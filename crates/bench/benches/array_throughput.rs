@@ -1,0 +1,42 @@
+//! Criterion: packets per second through hash-indexed cache arrays — every
+//! replacement policy at equal memory.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p4lru_core::array::MemoryModel;
+use p4lru_core::policies::{build_cache, merge_replace, PolicyKind};
+
+fn benches(c: &mut Criterion) {
+    let memory = 256 * 1024;
+    let layout = MemoryModel::fp32_len32();
+    let kinds = [
+        PolicyKind::P4Lru1,
+        PolicyKind::P4Lru2,
+        PolicyKind::P4Lru3,
+        PolicyKind::P4Lru4,
+        PolicyKind::Ideal,
+        PolicyKind::Timeout {
+            timeout_ns: 10_000_000,
+        },
+        PolicyKind::Elastic,
+        PolicyKind::Coco,
+    ];
+    let mut group = c.benchmark_group("array_throughput");
+    group.throughput(Throughput::Elements(1));
+    for kind in kinds {
+        let mut cache = build_cache::<u64, u64>(kind, memory, layout, 7);
+        let mut x = 1u64;
+        let mut t = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                x = p4lru_core::hashing::mix64(x);
+                t += 1_000;
+                let key = x % 100_000; // realistic working set
+                black_box(cache.access(black_box(key), x, t, merge_replace));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(array_throughput, benches);
+criterion_main!(array_throughput);

@@ -1,0 +1,27 @@
+//! Criterion: B+Tree lookup cost vs. database size and fan-out — the
+//! service-time asymmetry behind LruIndex's speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4lru_kvstore::db::Database;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_lookup");
+    for items in [10_000u64, 100_000, 1_000_000] {
+        let db = Database::populate(items);
+        let mut x = 1u64;
+        group.bench_function(BenchmarkId::new("by_key", items), |b| {
+            b.iter(|| {
+                x = p4lru_core::hashing::mix64(x);
+                black_box(db.lookup_by_key(black_box(x % items)));
+            })
+        });
+        let addr = db.lookup_by_key(items / 2).unwrap().addr;
+        group.bench_function(BenchmarkId::new("by_addr", items), |b| {
+            b.iter(|| black_box(db.lookup_by_addr(black_box(addr))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(btree_lookup, benches);
+criterion_main!(btree_lookup);

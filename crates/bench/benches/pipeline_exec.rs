@@ -1,0 +1,36 @@
+//! Criterion: packets per second through the pipeline-model P4LRU3 array
+//! versus the plain software array — the interpreter's overhead for the
+//! hardware-fidelity layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use p4lru_core::array::P4Lru3Array;
+use p4lru_pipeline::layouts::{build_p4lru3_array, ValueMode};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_exec");
+    group.throughput(Throughput::Elements(1));
+
+    let mut layout = build_p4lru3_array(1 << 12, 3, ValueMode::Overwrite);
+    let mut x = 1u64;
+    group.bench_function("pipeline_model", |b| {
+        b.iter(|| {
+            x = p4lru_core::hashing::mix64(x);
+            let key = (x % 50_000) as u32 + 1;
+            black_box(layout.process(black_box(key), x as u32));
+        })
+    });
+
+    let mut array = P4Lru3Array::<u32, u32>::with_seed(1 << 12, 3);
+    let mut x = 1u64;
+    group.bench_function("software_array", |b| {
+        b.iter(|| {
+            x = p4lru_core::hashing::mix64(x);
+            let key = (x % 50_000) as u32 + 1;
+            black_box(array.update(black_box(key), x as u32, |s, v| *s = v));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(pipeline_exec, benches);
+criterion_main!(pipeline_exec);

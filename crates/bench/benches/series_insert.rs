@@ -1,0 +1,33 @@
+//! Criterion: series-connection operations — query (read-only, all levels)
+//! and the reply-side cascade insert, across connection depths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4lru_core::series::P4Lru3Series;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("series");
+    for levels in [1usize, 2, 4, 8] {
+        let mut series = P4Lru3Series::<u64, u64>::new(levels, 4096 / levels, 9);
+        // Warm it up.
+        for k in 0..20_000u64 {
+            series.insert_cascade(k, k);
+        }
+        let mut x = 1u64;
+        group.bench_function(BenchmarkId::new("query", levels), |b| {
+            b.iter(|| {
+                x = p4lru_core::hashing::mix64(x);
+                black_box(series.query(&(x % 30_000)));
+            })
+        });
+        group.bench_function(BenchmarkId::new("cascade_insert", levels), |b| {
+            b.iter(|| {
+                x = p4lru_core::hashing::mix64(x);
+                black_box(series.insert_cascade(x, x));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(series_insert, benches);
+criterion_main!(series_insert);

@@ -1,0 +1,33 @@
+//! Criterion: per-packet update cost of the sketch filters.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p4lru_sketches::{CocoSketch, CountMin, CuSketch, ElasticSketch, FlowFilter, TowerSketch};
+
+fn benches(c: &mut Criterion) {
+    let reset = 10_000_000;
+    let mut filters: Vec<Box<dyn FlowFilter>> = vec![
+        Box::new(TowerSketch::paper_shape(64, reset, 1)),
+        Box::new(CountMin::lrumon_shape(1 << 16, reset, 1)),
+        Box::new(CuSketch::new(2, 1 << 16, 32, reset, 1)),
+        Box::new(ElasticSketch::new(1 << 14, 1 << 15, reset, 1)),
+        Box::new(CocoSketch::new(1 << 15, reset, 1)),
+    ];
+    let mut group = c.benchmark_group("sketch_ops");
+    group.throughput(Throughput::Elements(1));
+    for filter in &mut filters {
+        let mut x = 1u64;
+        let mut t = 0u64;
+        let name = filter.name();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                x = p4lru_core::hashing::mix64(x);
+                t += 500;
+                black_box(filter.add(black_box(x % 50_000), 1_000, t));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(sketch_ops, benches);
+criterion_main!(sketch_ops);

@@ -1,0 +1,31 @@
+//! Criterion: P4LRU unit update cost across state realizations — the
+//! encoded-DFA vs. permutation-DFA vs. table-DFA ablation of DESIGN.md §6.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use p4lru_core::dfa::{CacheState, Dfa2, Dfa3, Dfa4, TableDfa};
+use p4lru_core::perm::Perm;
+use p4lru_core::unit::LruUnit;
+
+fn bench_unit<const N: usize, S: CacheState<N>>(c: &mut Criterion, name: &str) {
+    let mut unit = LruUnit::<u64, u64, N, S>::new();
+    let mut x = 1u64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            x = p4lru_core::hashing::mix64(x);
+            let key = x % 8;
+            black_box(unit.update(black_box(key), x, |acc, v| *acc = acc.wrapping_add(v)));
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_unit::<2, Dfa2>(c, "unit_update/p4lru2_encoded");
+    bench_unit::<3, Dfa3>(c, "unit_update/p4lru3_encoded");
+    bench_unit::<4, Dfa4>(c, "unit_update/p4lru4_encoded");
+    bench_unit::<3, Perm<3>>(c, "unit_update/p4lru3_perm_reference");
+    bench_unit::<3, TableDfa<3>>(c, "unit_update/p4lru3_table_dfa");
+    bench_unit::<5, Perm<5>>(c, "unit_update/p4lru5_perm_reference");
+}
+
+criterion_group!(unit_update, benches);
+criterion_main!(unit_update);

@@ -1,0 +1,55 @@
+//! Ablation: single-hash placement vs. two-choice placement at equal
+//! total memory (DESIGN.md §6).
+//!
+//! The two-choice cache splits the same byte budget across two
+//! independently-hashed arrays and places fresh keys in the candidate unit
+//! with a free slot. The relief it buys against collision skew costs twice
+//! the pipeline stages/SALUs — worth knowing before spending them.
+
+use p4lru_bench::{FigureResult, Scale};
+use p4lru_core::array::{MemoryModel, P4Lru3Array};
+use p4lru_core::dway::DChoice3;
+use p4lru_traffic::caida::CaidaConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let packets = scale.pick(200_000, 2_000_000);
+    let trace = CaidaConfig::caida_n(8, packets, 0xD3A1).generate();
+    let layout = MemoryModel::fp32_len32();
+    let mems: Vec<usize> = scale.pick(
+        vec![6_000, 12_000, 24_000],
+        vec![12_000, 25_000, 50_000, 100_000],
+    );
+
+    let mut fig = FigureResult::new(
+        "ablation_dway",
+        "Placement: one hash vs two choices at equal memory (P4LRU3 units)",
+        "memory (bytes)",
+        "miss rate",
+    );
+    fig.x = mems.iter().map(|&m| m as f64).collect();
+
+    let mut one_vals = Vec::new();
+    let mut two_vals = Vec::new();
+    for &memory in &mems {
+        let units = layout.units_in(memory, 3);
+        let mut one = P4Lru3Array::<u64, u64>::with_seed(units, 5);
+        let mut two = DChoice3::<u64, u64>::with_seed((units / 2).max(1), 5);
+        let (mut miss_one, mut miss_two) = (0u64, 0u64);
+        for pkt in &trace {
+            let key = p4lru_core::hashing::hash_of(1, &pkt.flow);
+            if !one.update(key, 1, |s, v| *s = v).is_hit() {
+                miss_one += 1;
+            }
+            if !two.update(key, 1, |s, v| *s = v).is_hit() {
+                miss_two += 1;
+            }
+        }
+        one_vals.push(miss_one as f64 / trace.len() as f64);
+        two_vals.push(miss_two as f64 / trace.len() as f64);
+    }
+    fig.push_series("one-hash (paper)", one_vals);
+    fig.push_series("two-choice (extension)", two_vals);
+    fig.note("two-choice costs 2x pipeline stages/SALUs for the same bytes");
+    fig.emit();
+}

@@ -1,0 +1,56 @@
+//! Ablation: LruMon's filter choice — Tower vs CM vs CU (§3.3: "LruMon is
+//! also compatible with other sketches… when used as filters").
+//!
+//! Sweeps the filter threshold per filter kind and reports uploads and
+//! total error; a tighter filter estimate passes fewer false elephants at
+//! the same threshold.
+
+use p4lru_bench::{FigureResult, Scale};
+use p4lru_lrumon::{FilterKind, LruMon, LruMonConfig};
+use p4lru_traffic::caida::CaidaConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let packets = scale.pick(200_000, 1_500_000);
+    let trace = CaidaConfig::caida_n(8, packets, 0xF117).generate();
+    let thresholds: Vec<u64> = scale.pick(
+        vec![500, 1_500, 6_000],
+        vec![250, 500, 1_000, 1_500, 3_000, 6_000],
+    );
+
+    let mut uploads = FigureResult::new(
+        "ablation_filters_uploads",
+        "LruMon filter ablation: uploads vs threshold",
+        "threshold L (bytes)",
+        "upload packets",
+    );
+    let mut error = FigureResult::new(
+        "ablation_filters_error",
+        "LruMon filter ablation: total error vs threshold",
+        "threshold L (bytes)",
+        "total underestimation / total bytes",
+    );
+    uploads.x = thresholds.iter().map(|&t| t as f64).collect();
+    error.x = uploads.x.clone();
+
+    for filter in [FilterKind::Tower, FilterKind::Cm, FilterKind::Cu] {
+        let mut up = Vec::new();
+        let mut er = Vec::new();
+        for &l in &thresholds {
+            let r = LruMon::new(LruMonConfig {
+                filter,
+                threshold_bytes: l,
+                memory_bytes: scale.pick(8_000, 64_000),
+                ..Default::default()
+            })
+            .run_trace(&trace);
+            up.push(r.uploads as f64);
+            er.push(r.total_error_rate);
+        }
+        uploads.push_series(filter.label(), up);
+        error.push_series(filter.label(), er);
+    }
+    uploads.note("all filters share the same reset period (10 ms) and memory scale");
+    uploads.emit();
+    error.emit();
+}

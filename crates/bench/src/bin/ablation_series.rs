@@ -1,0 +1,71 @@
+//! Ablation: deferred (reply-driven) series updates vs. the naive eager
+//! mode the paper warns about (§3.2 "Series Connection Technique").
+//!
+//! Eager insertion records the same key in several arrays; this run
+//! quantifies the duplicate waste and the resulting miss-rate gap at equal
+//! memory, across connection depths.
+
+use p4lru_bench::{FigureResult, Scale};
+use p4lru_core::series::P4Lru3Series;
+use p4lru_traffic::ycsb::YcsbConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ops = scale.pick(150_000, 1_000_000);
+    let items = scale.pick(30_000u64, 200_000);
+    let units_total = scale.pick(1_024, 8_192);
+    let levels_axis: Vec<usize> = vec![1, 2, 4, 8];
+
+    let mut miss = FigureResult::new(
+        "ablation_series_miss",
+        "Series connection: deferred vs eager miss rate",
+        "levels",
+        "miss rate",
+    );
+    let mut dupes = FigureResult::new(
+        "ablation_series_dupes",
+        "Series connection: duplicate keys under eager insertion",
+        "levels",
+        "duplicate keys at end of run",
+    );
+    miss.x = levels_axis.iter().map(|&l| l as f64).collect();
+    dupes.x = miss.x.clone();
+
+    for eager in [false, true] {
+        let label = if eager { "eager" } else { "deferred" };
+        let mut miss_vals = Vec::new();
+        let mut dupe_vals = Vec::new();
+        for &levels in &levels_axis {
+            let mut series =
+                P4Lru3Series::<u64, u64>::new(levels, (units_total / levels).max(1), 77);
+            let workload = YcsbConfig {
+                items,
+                ..Default::default()
+            };
+            let mut misses = 0u64;
+            for op in workload.stream().take(ops) {
+                let key = op.key();
+                if eager {
+                    if !series.contains(&key) {
+                        misses += 1;
+                    }
+                    series.insert_eager(key, key);
+                } else {
+                    let (hit, _) = series.query(&key);
+                    if matches!(hit, p4lru_core::series::QueryHit::Miss) {
+                        misses += 1;
+                    }
+                    series.apply_reply(hit, key, key);
+                }
+            }
+            miss_vals.push(misses as f64 / ops as f64);
+            dupe_vals.push(series.duplicate_count() as f64);
+        }
+        miss.push_series(label, miss_vals);
+        dupes.push_series(label, dupe_vals);
+    }
+    miss.note("the deferred protocol needs two data-plane passes per key (query + reply), which LruIndex has for free");
+    dupes.note("deferred must stay at exactly 0 duplicates");
+    miss.emit();
+    dupes.emit();
+}

@@ -1,0 +1,34 @@
+//! Regenerates every table and figure of the paper's evaluation, writing
+//! JSON under `results/`. Run with `--scale full` for the EXPERIMENTS.md
+//! configuration.
+use p4lru_bench::figures;
+use p4lru_bench::Scale;
+
+type FigureFn = fn(Scale) -> Vec<p4lru_bench::FigureResult>;
+
+fn main() {
+    let scale = Scale::from_args();
+    let start = std::time::Instant::now();
+    let all: Vec<(&str, FigureFn)> = vec![
+        ("table1", figures::table1::run),
+        ("table2", figures::table2::run),
+        ("fig09", figures::fig09::run),
+        ("fig10", figures::fig10::run),
+        ("fig11", figures::fig11::run),
+        ("fig12", figures::fig12::run),
+        ("fig13", figures::fig13::run),
+        ("fig14", figures::fig14::run),
+        ("fig15", figures::fig15::run),
+        ("fig16", figures::fig16::run),
+        ("fig17", figures::fig17::run),
+    ];
+    for (name, run) in all {
+        let t = std::time::Instant::now();
+        eprintln!(">>> {name} ...");
+        for fig in run(scale) {
+            fig.emit();
+        }
+        eprintln!(">>> {name} done in {:.1?}\n", t.elapsed());
+    }
+    eprintln!("all figures regenerated in {:.1?}", start.elapsed());
+}

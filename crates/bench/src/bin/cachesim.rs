@@ -1,0 +1,96 @@
+//! CLI: run any replacement policy over a synthetic trace and print miss
+//! rate + LRU similarity — the minimal "bring your own policy question"
+//! driver.
+//!
+//! ```text
+//! cargo run --release -p p4lru-bench --bin cachesim -- \
+//!     --policy p4lru3 --memory 65536 --segments 8 --packets 500000
+//! ```
+
+use p4lru_core::array::MemoryModel;
+use p4lru_core::metrics::{MissStats, SimilarityTracker};
+use p4lru_core::policies::{build_cache, merge_replace, PolicyKind};
+use p4lru_traffic::caida::CaidaConfig;
+
+fn arg<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "ideal" | "lru" => PolicyKind::Ideal,
+        "p4lru1" | "hash" | "baseline" => PolicyKind::P4Lru1,
+        "p4lru2" => PolicyKind::P4Lru2,
+        "p4lru3" => PolicyKind::P4Lru3,
+        "p4lru4" => PolicyKind::P4Lru4,
+        "timeout" => PolicyKind::Timeout {
+            timeout_ns: 10_000_000,
+        },
+        "elastic" => PolicyKind::Elastic,
+        "coco" => PolicyKind::Coco,
+        "slru" => PolicyKind::Slru,
+        "arc" => PolicyKind::Arc,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let policy = match arg(&args, "--policy").map(parse_policy) {
+        Some(Some(p)) => p,
+        Some(None) => {
+            eprintln!("unknown policy; try: ideal p4lru1 p4lru2 p4lru3 p4lru4 timeout elastic coco slru arc");
+            std::process::exit(2);
+        }
+        None => PolicyKind::P4Lru3,
+    };
+    let memory: usize = arg(&args, "--memory")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(65_536);
+    let segments: usize = arg(&args, "--segments")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let packets: usize = arg(&args, "--packets")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300_000);
+    let seed: u64 = arg(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let trace = CaidaConfig::caida_n(segments, packets, seed).generate();
+    let mut cache = build_cache::<u64, u64>(policy, memory, MemoryModel::fp32_len32(), seed);
+    let mut stats = MissStats::default();
+    let mut tracker = SimilarityTracker::new(cache.capacity());
+    let started = std::time::Instant::now();
+    for pkt in &trace {
+        let key = p4lru_core::hashing::hash_of(seed, &pkt.flow);
+        let out = cache.access(key, u64::from(pkt.len), pkt.ts_ns, merge_replace);
+        stats.record(&out);
+        tracker.observe(&key, &out);
+    }
+    let elapsed = started.elapsed();
+    println!("policy          : {}", policy.label());
+    println!(
+        "trace           : CAIDA_{segments}, {} packets, seed {seed}",
+        trace.len()
+    );
+    println!(
+        "cache           : {} entries in {memory} bytes",
+        cache.capacity()
+    );
+    println!(
+        "miss rate       : {:.4} ({} misses)",
+        stats.miss_rate(),
+        stats.misses()
+    );
+    println!("hit rate        : {:.4}", stats.hit_rate());
+    println!("evictions       : {}", stats.evictions);
+    println!("LRU similarity  : {:.4}", tracker.similarity());
+    println!(
+        "throughput      : {:.1} Mpkt/s",
+        trace.len() as f64 / elapsed.as_secs_f64() / 1e6
+    );
+}

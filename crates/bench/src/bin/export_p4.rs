@@ -1,0 +1,62 @@
+//! Exports the generated P4₁₆ source for the P4LRU array layouts into
+//! `p4/` — the shape of the paper's published artifact, regenerated from
+//! the verified pipeline model.
+//!
+//! ```text
+//! cargo run --release -p p4lru-bench --bin export_p4
+//! ```
+
+use p4lru_pipeline::codegen::{emit_p4, CodegenOptions};
+use p4lru_pipeline::layouts::{build_p4lru2_array, build_p4lru3_array, ValueMode};
+use p4lru_pipeline::series_layout::build_series_pipeline;
+
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("p4")?;
+    let targets = [
+        (
+            "p4/lruindex_series4.p4",
+            emit_p4(
+                &build_series_pipeline(4, 1 << 16, 0x1D0).program,
+                &CodegenOptions {
+                    control_name: "LruIndexSeries".into(),
+                    ..Default::default()
+                },
+            ),
+        ),
+        (
+            "p4/p4lru3_read_cache.p4",
+            emit_p4(
+                &build_p4lru3_array(1 << 16, 0x7AB1E, ValueMode::Overwrite).program,
+                &CodegenOptions {
+                    control_name: "LruTableCache".into(),
+                    ..Default::default()
+                },
+            ),
+        ),
+        (
+            "p4/p4lru3_write_cache.p4",
+            emit_p4(
+                &build_p4lru3_array(1 << 17, 0x303, ValueMode::Accumulate).program,
+                &CodegenOptions {
+                    control_name: "LruMonCache".into(),
+                    ..Default::default()
+                },
+            ),
+        ),
+        (
+            "p4/p4lru2_read_cache.p4",
+            emit_p4(
+                &build_p4lru2_array(1 << 16, 0x22, ValueMode::Overwrite).program,
+                &CodegenOptions {
+                    control_name: "P4Lru2Cache".into(),
+                    ..Default::default()
+                },
+            ),
+        ),
+    ];
+    for (path, src) in targets {
+        std::fs::write(path, &src)?;
+        println!("wrote {path} ({} lines)", src.lines().count());
+    }
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (LruTable testbed: miss rate and latency vs. concurrency).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig09::run(scale) {
+        fig.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 10 (LruIndex testbed: throughput and speedup).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig10::run(scale) {
+        fig.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 11 (LruMon testbed: upload rates).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig11::run(scale) {
+        fig.emit();
+    }
+}

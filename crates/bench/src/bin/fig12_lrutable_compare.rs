@@ -1,0 +1,7 @@
+//! Regenerates Figure 12 (LruTable vs Coco/Elastic/Timeout).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig12::run(scale) {
+        fig.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13 (LruIndex vs Coco/Elastic/Timeout).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig13::run(scale) {
+        fig.emit();
+    }
+}

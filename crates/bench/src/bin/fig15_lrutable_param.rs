@@ -1,0 +1,7 @@
+//! Regenerates Figure 15 (LruTable parameter study with LRU similarity).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig15::run(scale) {
+        fig.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 16 (LruIndex parameter study: series levels).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig16::run(scale) {
+        fig.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 17 (LruMon parameter study: error/upload trade-off).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::fig17::run(scale) {
+        fig.emit();
+    }
+}

@@ -1,0 +1,23 @@
+//! Evaluates every saved figure in `results/` against the paper's shape
+//! expectations and writes `REPORT.md` with pass/fail verdicts.
+//!
+//! ```text
+//! cargo run --release -p p4lru-bench --bin all_figures -- --scale full
+//! cargo run --release -p p4lru-bench --bin report
+//! ```
+
+use std::path::Path;
+
+fn main() {
+    let (pass, fail, skip, report) = p4lru_bench::report::evaluate(Path::new("results"));
+    println!("{report}");
+    if let Err(e) = std::fs::write("REPORT.md", &report) {
+        eprintln!("could not write REPORT.md: {e}");
+    } else {
+        println!("written to REPORT.md");
+    }
+    eprintln!("{pass} passed, {fail} failed, {skip} skipped");
+    if fail > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 (the P4LRU3 cache-state encoding).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::table1::run(scale) {
+        fig.emit();
+    }
+}

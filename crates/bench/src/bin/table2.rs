@@ -1,0 +1,7 @@
+//! Regenerates Table 2 (hardware resources of the three systems).
+fn main() {
+    let scale = p4lru_bench::Scale::from_args();
+    for fig in p4lru_bench::figures::table2::run(scale) {
+        fig.emit();
+    }
+}

@@ -1,0 +1,48 @@
+//! CLI: generate a synthetic CAIDA_n trace and print its statistics, or
+//! sweep the concurrency knob to show the calibration.
+//!
+//! ```text
+//! cargo run --release -p p4lru-bench --bin tracegen -- --segments 8 --packets 500000 --seed 3
+//! cargo run --release -p p4lru-bench --bin tracegen -- --sweep
+//! ```
+
+use p4lru_traffic::caida::CaidaConfig;
+use p4lru_traffic::stats::trace_stats;
+
+fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn describe(n: usize, packets: usize, seed: u64) {
+    let cfg = CaidaConfig::caida_n(n, packets, seed);
+    let trace = cfg.generate();
+    let s = trace_stats(&trace);
+    println!(
+        "CAIDA_{n:<3} packets={:<9} flows={:<8} max_concurrent={:<8} mean_pkts/flow={:<7.2} top1%share={:<6.3} bytes={}M",
+        s.packets,
+        s.flows,
+        s.max_concurrent,
+        s.mean_flow_packets,
+        s.top1pct_share,
+        s.bytes / 1_000_000
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let packets = arg_u64(&args, "--packets", 300_000) as usize;
+    let seed = arg_u64(&args, "--seed", 0xCA1DA);
+    if args.iter().any(|a| a == "--sweep") {
+        println!("concurrency sweep (paper: flows 1.3M→2.4M, concurrent 150K→580K over n=1→60):\n");
+        for n in [1usize, 2, 4, 8, 16, 30, 45, 60] {
+            describe(n, packets, seed);
+        }
+    } else {
+        let n = arg_u64(&args, "--segments", 1) as usize;
+        describe(n, packets, seed);
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 11 — LruMon testbed: upload rate vs. (a) concurrency and
+//! (b) filter threshold, with the CM-sketch filter the testbed uses.
+
+use p4lru_core::policies::PolicyKind;
+use p4lru_lrumon::{FilterKind, LruMon, LruMonConfig};
+use p4lru_traffic::caida::CaidaConfig;
+
+use crate::harness::{FigureResult, Scale};
+
+/// Runs both panels.
+pub fn run(scale: Scale) -> Vec<FigureResult> {
+    let packets = scale.pick(150_000, 2_000_000);
+    let memory = scale.pick(16_000, 200_000);
+    let base = LruMonConfig {
+        filter: FilterKind::Cm,
+        threshold_bytes: 1_500,
+        reset_ns: 10_000_000,
+        memory_bytes: memory,
+        ..Default::default()
+    };
+
+    // (a) upload vs concurrency.
+    let concurrency: Vec<usize> = scale.pick(vec![1, 8, 30, 60], vec![1, 8, 16, 30, 45, 60]);
+    let mut fa = FigureResult::new(
+        "fig11a",
+        "LruMon: upload rate vs. concurrency (CM filter, L=1500B, reset 10ms)",
+        "CAIDA_n",
+        "uploads per second",
+    );
+    fa.x = concurrency.iter().map(|&n| n as f64).collect();
+    for policy in [PolicyKind::P4Lru3, PolicyKind::P4Lru1] {
+        let label = if policy == PolicyKind::P4Lru1 {
+            "Baseline"
+        } else {
+            policy.label()
+        };
+        let vals: Vec<f64> = concurrency
+            .iter()
+            .map(|&n| {
+                let trace = CaidaConfig::caida_n(n, packets, 0xB0).generate();
+                LruMon::new(LruMonConfig {
+                    policy,
+                    ..base.clone()
+                })
+                .run_trace(&trace)
+                .upload_pps
+            })
+            .collect();
+        fa.push_series(label, vals);
+    }
+    fa.note("paper: 35.5→74.0 KPPS (P4LRU3) vs 48.0→93.7 KPPS (baseline)");
+
+    // (b) upload vs threshold.
+    let thresholds: Vec<u64> = scale.pick(
+        vec![500, 1_500, 6_000],
+        vec![500, 1_000, 1_500, 3_000, 6_000, 12_000],
+    );
+    let trace = CaidaConfig::caida_n(scale.pick(8, 60), packets, 0xB1).generate();
+    let mut fb = FigureResult::new(
+        "fig11b",
+        "LruMon: upload rate vs. filter threshold",
+        "threshold L (bytes)",
+        "uploads per second",
+    );
+    fb.x = thresholds.iter().map(|&t| t as f64).collect();
+    for policy in [PolicyKind::P4Lru3, PolicyKind::P4Lru1] {
+        let label = if policy == PolicyKind::P4Lru1 {
+            "Baseline"
+        } else {
+            policy.label()
+        };
+        let vals: Vec<f64> = thresholds
+            .iter()
+            .map(|&l| {
+                LruMon::new(LruMonConfig {
+                    policy,
+                    threshold_bytes: l,
+                    ..base.clone()
+                })
+                .run_trace(&trace)
+                .upload_pps
+            })
+            .collect();
+        fb.push_series(label, vals);
+    }
+    fb.note("paper: 92.9→36.0 KPPS (P4LRU3) vs 115.8→47.9 KPPS (baseline)");
+    vec![fa, fb]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_shape_holds() {
+        let figs = run(Scale::Quick);
+        let fa = &figs[0];
+        let p3 = &fa.series_named("P4LRU3").unwrap().values;
+        let base = &fa.series_named("Baseline").unwrap().values;
+        for (a, b) in p3.iter().zip(base) {
+            assert!(a < b, "P4LRU3 {a} !< baseline {b}");
+        }
+        assert!(
+            p3.last().unwrap() > p3.first().unwrap(),
+            "uploads should rise with n"
+        );
+        // Panel b: uploads fall as the threshold rises.
+        let fb = &figs[1];
+        let p3 = &fb.series_named("P4LRU3").unwrap().values;
+        assert!(p3.last().unwrap() < p3.first().unwrap());
+    }
+}

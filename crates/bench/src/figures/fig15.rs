@@ -1,0 +1,143 @@
+//! Figure 15 — LruTable parameter study: miss rate and LRU similarity vs.
+//! memory and vs. ΔT, for LRU_IDEAL / P4LRU1 / P4LRU2 / P4LRU3.
+
+use p4lru_core::policies::PolicyKind;
+use p4lru_lrutable::{LruTable, LruTableConfig, LruTableReport};
+use p4lru_traffic::caida::CaidaConfig;
+
+use crate::harness::{FigureResult, Scale};
+
+fn run_one(
+    trace: &p4lru_traffic::caida::Trace,
+    policy: PolicyKind,
+    memory: usize,
+    dt: u64,
+) -> LruTableReport {
+    LruTable::new(LruTableConfig {
+        policy,
+        memory_bytes: memory,
+        slow_path_ns: dt,
+        track_similarity: true,
+        ..Default::default()
+    })
+    .run_trace(trace)
+}
+
+/// Runs all four panels.
+pub fn run(scale: Scale) -> Vec<FigureResult> {
+    let packets = scale.pick(100_000, 1_200_000);
+    let trace = CaidaConfig::caida_n(scale.pick(8, 60), packets, 0xE0).generate();
+    let policies = PolicyKind::parameter_set();
+    let base_memory = scale.pick(12_000, 150_000);
+    let base_dt = 50_000u64;
+
+    let mems: Vec<usize> = [1, 2, 4, 8].iter().map(|&m| base_memory * m / 2).collect();
+    let mut miss_mem = FigureResult::new(
+        "fig15a",
+        "LruTable: miss rate vs. memory",
+        "memory (bytes)",
+        "miss rate",
+    );
+    let mut sim_mem = FigureResult::new(
+        "fig15b",
+        "LruTable: LRU similarity vs. memory",
+        "memory (bytes)",
+        "similarity",
+    );
+    miss_mem.x = mems.iter().map(|&m| m as f64).collect();
+    sim_mem.x = miss_mem.x.clone();
+    for &p in &policies {
+        let reports: Vec<LruTableReport> = mems
+            .iter()
+            .map(|&m| run_one(&trace, p, m, base_dt))
+            .collect();
+        miss_mem.push_series(p.label(), reports.iter().map(|r| r.slow_rate).collect());
+        sim_mem.push_series(
+            p.label(),
+            reports
+                .iter()
+                .map(|r| r.similarity.unwrap_or(1.0))
+                .collect(),
+        );
+    }
+
+    let dts: Vec<u64> = scale.pick(
+        vec![10_000, 100_000, 1_000_000, 10_000_000],
+        vec![10_000, 50_000, 200_000, 1_000_000, 5_000_000, 20_000_000],
+    );
+    let mut miss_dt = FigureResult::new(
+        "fig15c",
+        "LruTable: miss rate vs. dT",
+        "dT (ns)",
+        "miss rate",
+    );
+    let mut sim_dt = FigureResult::new(
+        "fig15d",
+        "LruTable: LRU similarity vs. dT",
+        "dT (ns)",
+        "similarity",
+    );
+    miss_dt.x = dts.iter().map(|&d| d as f64).collect();
+    sim_dt.x = miss_dt.x.clone();
+    for &p in &policies {
+        let reports: Vec<LruTableReport> = dts
+            .iter()
+            .map(|&d| run_one(&trace, p, base_memory, d))
+            .collect();
+        miss_dt.push_series(p.label(), reports.iter().map(|r| r.slow_rate).collect());
+        sim_dt.push_series(
+            p.label(),
+            reports
+                .iter()
+                .map(|r| r.similarity.unwrap_or(1.0))
+                .collect(),
+        );
+    }
+    for f in [&mut miss_mem, &mut sim_mem, &mut miss_dt, &mut sim_dt] {
+        f.note("paper: P4LRU3 tracks LRU_IDEAL's miss rate; similarity P4LRU3 > P4LRU2 > P4LRU1");
+    }
+    vec![miss_mem, sim_mem, miss_dt, sim_dt]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_similarity_ordering() {
+        let figs = run(Scale::Quick);
+        let sim = &figs[1];
+        let ideal = &sim.series_named("LRU_IDEAL").unwrap().values;
+        let p3 = &sim.series_named("P4LRU3").unwrap().values;
+        let p2 = &sim.series_named("P4LRU2").unwrap().values;
+        let p1 = &sim.series_named("P4LRU1").unwrap().values;
+        for i in 0..sim.x.len() {
+            assert!((ideal[i] - 1.0).abs() < 1e-9, "ideal similarity must be 1");
+            assert!(
+                p3[i] > p2[i],
+                "similarity P4LRU3 {} !> P4LRU2 {}",
+                p3[i],
+                p2[i]
+            );
+            assert!(
+                p2[i] > p1[i],
+                "similarity P4LRU2 {} !> P4LRU1 {}",
+                p2[i],
+                p1[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fig15_miss_ordering() {
+        let figs = run(Scale::Quick);
+        let miss = &figs[0];
+        let ideal = &miss.series_named("LRU_IDEAL").unwrap().values;
+        let p3 = &miss.series_named("P4LRU3").unwrap().values;
+        let p1 = &miss.series_named("P4LRU1").unwrap().values;
+        for i in 0..miss.x.len() {
+            assert!(ideal[i] <= p3[i] * 1.02, "ideal should be the lower bound");
+            assert!(p3[i] < p1[i], "P4LRU3 should beat P4LRU1");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 16 — LruIndex parameter study: (a) miss rate and (b) LRU
+//! similarity vs. connection levels; (c) miss rate vs. memory; (d) miss
+//! rate vs. ΔT — for P4LRU1 / P4LRU2 / P4LRU3 (plus LRU_IDEAL in c/d).
+
+use p4lru_core::policies::PolicyKind;
+use p4lru_lruindex::system::{run_miss_rate, LruIndexConfig};
+
+use crate::harness::{FigureResult, Scale};
+
+/// Runs all four panels.
+pub fn run(scale: Scale) -> Vec<FigureResult> {
+    let items = scale.pick(30_000u64, 300_000);
+    let ops = scale.pick(80_000usize, 1_000_000);
+    let base_memory = scale.pick(20_000, 200_000);
+    let base = LruIndexConfig {
+        items,
+        ops,
+        memory_bytes: base_memory,
+        track_similarity: true,
+        ..Default::default()
+    };
+    let series_policies = [PolicyKind::P4Lru1, PolicyKind::P4Lru2, PolicyKind::P4Lru3];
+
+    // (a)+(b): levels sweep.
+    let levels: Vec<usize> = scale.pick(vec![1, 2, 4, 8], vec![1, 2, 3, 4, 6, 8]);
+    let mut miss_lvl = FigureResult::new(
+        "fig16a",
+        "LruIndex: miss rate vs. #connection levels",
+        "levels",
+        "miss rate",
+    );
+    let mut sim_lvl = FigureResult::new(
+        "fig16b",
+        "LruIndex: LRU similarity vs. #connection levels",
+        "levels",
+        "similarity",
+    );
+    miss_lvl.x = levels.iter().map(|&l| l as f64).collect();
+    sim_lvl.x = miss_lvl.x.clone();
+    for &p in &series_policies {
+        let reports: Vec<_> = levels
+            .iter()
+            .map(|&l| {
+                run_miss_rate(&LruIndexConfig {
+                    policy: p,
+                    levels: l,
+                    ..base.clone()
+                })
+            })
+            .collect();
+        miss_lvl.push_series(p.label(), reports.iter().map(|r| r.miss_rate).collect());
+        sim_lvl.push_series(
+            p.label(),
+            reports
+                .iter()
+                .map(|r| r.similarity.unwrap_or(1.0))
+                .collect(),
+        );
+    }
+    miss_lvl.note("paper: P4LRU3 lowest everywhere; P4LRU2/3 far below P4LRU1");
+    sim_lvl.note("paper: similarity rises with levels for P4LRU1/2, falls for P4LRU3");
+
+    // (c): memory sweep at 4 levels.
+    let mems: Vec<usize> = [1, 2, 4, 8].iter().map(|&m| base_memory * m / 2).collect();
+    let mut miss_mem = FigureResult::new(
+        "fig16c",
+        "LruIndex: miss rate vs. memory",
+        "memory (bytes)",
+        "miss rate",
+    );
+    miss_mem.x = mems.iter().map(|&m| m as f64).collect();
+    for &p in [PolicyKind::Ideal].iter().chain(&series_policies) {
+        miss_mem.push_series(
+            p.label(),
+            mems.iter()
+                .map(|&m| {
+                    run_miss_rate(&LruIndexConfig {
+                        policy: p,
+                        memory_bytes: m,
+                        track_similarity: false,
+                        ..base.clone()
+                    })
+                    .miss_rate
+                })
+                .collect(),
+        );
+    }
+
+    // (d): ΔT sweep.
+    let dts: Vec<u64> = scale.pick(
+        vec![10_000, 100_000, 1_000_000, 10_000_000],
+        vec![10_000, 50_000, 200_000, 1_000_000, 5_000_000, 20_000_000],
+    );
+    let mut miss_dt = FigureResult::new(
+        "fig16d",
+        "LruIndex: miss rate vs. query latency dT",
+        "dT (ns)",
+        "miss rate",
+    );
+    miss_dt.x = dts.iter().map(|&d| d as f64).collect();
+    for &p in [PolicyKind::Ideal].iter().chain(&series_policies) {
+        miss_dt.push_series(
+            p.label(),
+            dts.iter()
+                .map(|&d| {
+                    run_miss_rate(&LruIndexConfig {
+                        policy: p,
+                        delta_t_ns: d,
+                        track_similarity: false,
+                        ..base.clone()
+                    })
+                    .miss_rate
+                })
+                .collect(),
+        );
+    }
+    vec![miss_lvl, sim_lvl, miss_mem, miss_dt]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_p4lru3_has_lowest_miss_rate() {
+        let figs = run(Scale::Quick);
+        let miss = &figs[0];
+        let p3 = &miss.series_named("P4LRU3").unwrap().values;
+        let p1 = &miss.series_named("P4LRU1").unwrap().values;
+        for (a, b) in p3.iter().zip(p1) {
+            assert!(a < b, "P4LRU3 {a} !< P4LRU1 {b}");
+        }
+    }
+
+    #[test]
+    fn fig16_similarity_in_range() {
+        let figs = run(Scale::Quick);
+        let sim = &figs[1];
+        for s in &sim.series {
+            for &v in &s.values {
+                assert!(v > 0.0 && v <= 1.0, "{}: similarity {v}", s.label);
+            }
+        }
+    }
+}

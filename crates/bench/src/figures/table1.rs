@@ -1,0 +1,90 @@
+//! Table 1: the S₃ cache-state encoding, regenerated from the group-theory
+//! machinery and re-verified against the stateful-ALU arithmetic.
+
+use p4lru_core::dfa::Dfa3;
+use p4lru_core::group::S3_CODE_TABLE;
+use p4lru_core::salu::{p4lru3_program, transition_table};
+
+use crate::harness::{FigureResult, Scale};
+
+/// Regenerates Table 1 plus the transition arithmetic.
+pub fn run(_scale: Scale) -> Vec<FigureResult> {
+    let mut fig = FigureResult::new(
+        "table1",
+        "Encoding scheme for the cache state of P4LRU3",
+        "code",
+        "state (1-based images of positions 1..3)",
+    );
+    // Sort rows by code for readability.
+    let mut rows: Vec<([u8; 3], u8)> = S3_CODE_TABLE.to_vec();
+    rows.sort_by_key(|&(_, code)| code);
+    for (map, code) in &rows {
+        fig.x.push(f64::from(*code));
+        fig.note(format!(
+            "code {code} ≡ (1 2 3 ; {} {} {})",
+            map[0] + 1,
+            map[1] + 1,
+            map[2] + 1
+        ));
+    }
+    // Parity discipline: even permutations ↔ even codes.
+    let parity_ok = rows.iter().all(|&(map, code)| {
+        p4lru_core::perm::Perm::from_map_unchecked(map).is_even() == (code % 2 == 0)
+    });
+    fig.push_series(
+        "is_even_permutation",
+        rows.iter()
+            .map(|&(map, _)| {
+                f64::from(u8::from(
+                    p4lru_core::perm::Perm::from_map_unchecked(map).is_even(),
+                ))
+            })
+            .collect(),
+    );
+    fig.note(format!("parity discipline holds: {parity_ok}"));
+
+    // Re-verify the ALU program and record the operations.
+    let prog = p4lru3_program();
+    prog.verify_against::<3, Dfa3, _, _>(
+        &[0, 1, 2, 3, 4, 5],
+        |c| Dfa3::from_code(c).unwrap(),
+        |d| d.code(),
+    )
+    .expect("paper arithmetic realizes the DFA");
+    fig.note("op1 (hit@1): S unchanged");
+    fig.note("op2 (hit@2): S^=1 if S>=4 else S^=3");
+    fig.note("op3 (hit@3/miss): S-=2 if S>=2 else S+=4");
+    fig.note(format!("stateful ALUs: {}", prog.salu_count()));
+
+    // And show every transition as data.
+    for pos in 0..3usize {
+        let t = transition_table::<3, Dfa3, _, _>(
+            &[0, 1, 2, 3, 4, 5],
+            |c| Dfa3::from_code(c).unwrap(),
+            |d| d.code(),
+            pos,
+        );
+        fig.push_series(
+            format!("op{}_next_code", pos + 1),
+            t.iter().map(|&c| f64::from(c)).collect(),
+        );
+    }
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_regenerates_with_three_salus() {
+        let figs = run(Scale::Quick);
+        assert_eq!(figs.len(), 1);
+        let f = &figs[0];
+        assert_eq!(f.x.len(), 6);
+        assert!(f.notes.iter().any(|n| n.contains("stateful ALUs: 3")));
+        // op1 is the identity on codes.
+        let op1 = f.series_named("op1_next_code").unwrap();
+        assert_eq!(op1.values, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

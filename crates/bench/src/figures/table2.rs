@@ -1,0 +1,59 @@
+//! Table 2: hardware resources of the three systems, from the pipeline
+//! model's accounting.
+
+use p4lru_pipeline::resources::TofinoModel;
+use p4lru_pipeline::systems::table2_reports;
+
+use crate::harness::{FigureResult, Scale};
+
+/// Regenerates Table 2 (percentages per system).
+pub fn run(_scale: Scale) -> Vec<FigureResult> {
+    let reports = table2_reports(&TofinoModel::default());
+    let mut fig = FigureResult::new(
+        "table2",
+        "Hardware resources used by P4LRU systems (% of occupied pipes)",
+        "resource",
+        "percent",
+    );
+    // x-axis: resource index; one series per system.
+    let resources = ["HashBits", "SRAM", "MapRAM", "TCAM", "SALU", "VLIW"];
+    fig.x = (0..resources.len()).map(|i| i as f64).collect();
+    for (i, r) in resources.iter().enumerate() {
+        fig.note(format!("x={i}: {r}"));
+    }
+    for (name, rep) in &reports {
+        fig.push_series(
+            *name,
+            vec![
+                rep.hash_pct,
+                rep.sram_pct,
+                rep.map_ram_pct,
+                rep.tcam_pct,
+                rep.salu_pct,
+                rep.vliw_pct,
+            ],
+        );
+    }
+    fig.note("paper Table 2 SRAM%: LruTable 11.25, LruIndex 14.09, LruMon 24.90");
+    fig.note("pipes occupied: LruTable 1, LruIndex 4, LruMon 2 (paper §3)");
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_three_systems_and_zero_tcam() {
+        let figs = run(Scale::Quick);
+        let f = &figs[0];
+        assert_eq!(f.series.len(), 3);
+        for s in &f.series {
+            assert_eq!(s.values[3], 0.0, "{} uses TCAM", s.label);
+        }
+        // SRAM ordering: LruMon > LruIndex > LruTable.
+        let sram = |name: &str| f.series_named(name).unwrap().values[1];
+        assert!(sram("LruMon") > sram("LruIndex"));
+        assert!(sram("LruIndex") > sram("LruTable"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Shared harness: scales, result tables, printing and persistence.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// How big a run to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds per figure; used by tests and smoke runs.
+    Quick,
+    /// The EXPERIMENTS.md configuration (minutes for the full set).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale quick|full` style command-line arguments; defaults
+    /// to `Quick`.
+    pub fn from_args() -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                match args.next().as_deref() {
+                    Some("full") => return Scale::Full,
+                    Some("quick") | None => return Scale::Quick,
+                    Some(other) => {
+                        eprintln!("unknown scale '{other}', using quick");
+                        return Scale::Quick;
+                    }
+                }
+            }
+        }
+        Scale::Quick
+    }
+
+    /// Picks `quick` or `full` value.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One plotted series: a label and a y-value per x-point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (policy name etc.).
+    pub label: String,
+    /// One value per x-point (NaN-free; missing points are an error).
+    pub values: Vec<f64>,
+}
+
+/// A regenerated table or figure panel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier, e.g. `fig09a`.
+    pub id: String,
+    /// Human title, e.g. `LruTable miss rate vs. concurrency`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis points.
+    pub x: Vec<f64>,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (substitutions, tuning, caveats).
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            x: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series; must match the x-axis length at print time.
+    pub fn push_series(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.series.push(Series {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// The series labelled `label`, if present.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders an aligned text table (x column + one column per series).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for (i, &x) in self.x.iter().enumerate() {
+            let mut row = vec![fmt_num(x)];
+            for s in &self.series {
+                row.push(
+                    s.values
+                        .get(i)
+                        .map(|&v| fmt_num(v))
+                        .unwrap_or_else(|| "—".into()),
+                );
+            }
+            rows.push(row);
+        }
+        let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| {
+                rows.iter()
+                    .filter_map(|r| r.get(c))
+                    .map(String::len)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        for row in &rows {
+            let mut line = String::new();
+            for (c, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>width$}  ", cell, width = widths[c]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        let _ = writeln!(out, "   (y: {})", self.y_label);
+        for n in &self.notes {
+            let _ = writeln!(out, "   note: {n}");
+        }
+        out
+    }
+
+    /// Writes `results/<id>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )?;
+        Ok(path)
+    }
+
+    /// Prints to stdout and saves under `results/`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        match self.save(Path::new("results")) {
+            Ok(p) => println!("   saved: {}\n", p.display()),
+            Err(e) => eprintln!("   (could not save results: {e})"),
+        }
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 && v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut f = FigureResult::new("figX", "demo", "n", "miss");
+        f.x = vec![1.0, 10.0, 100.0];
+        f.push_series("P4LRU3", vec![0.014, 0.02, 0.027]);
+        f.push_series("Baseline", vec![0.03, 0.04, 0.051]);
+        let txt = f.render();
+        assert!(txt.contains("P4LRU3"));
+        assert!(txt.contains("0.01400"));
+        assert!(txt.lines().count() >= 5);
+    }
+
+    #[test]
+    fn save_roundtrips_json() {
+        let mut f = FigureResult::new("figY", "demo", "x", "y");
+        f.x = vec![1.0];
+        f.push_series("s", vec![2.0]);
+        f.note("hello");
+        let dir = std::env::temp_dir().join("p4lru_bench_test");
+        let p = f.save(&dir).unwrap();
+        let back: FigureResult =
+            serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+        assert_eq!(back.id, "figY");
+        assert_eq!(back.series[0].values, vec![2.0]);
+        assert_eq!(back.notes, vec!["hello"]);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn series_named_finds() {
+        let mut f = FigureResult::new("f", "t", "x", "y");
+        f.push_series("a", vec![1.0]);
+        assert!(f.series_named("a").is_some());
+        assert!(f.series_named("b").is_none());
+    }
+}

@@ -1,0 +1,339 @@
+//! Machine-checked reproduction report.
+//!
+//! Reads the `results/*.json` files the figure binaries emit and evaluates
+//! each against the paper's *shape expectations* (who wins, which direction
+//! each knob pushes), producing a pass/fail verdict table. `EXPERIMENTS.md`
+//! narrates; this module verifies.
+
+use std::path::Path;
+
+use crate::harness::FigureResult;
+
+/// One shape expectation over a saved figure.
+pub struct Expectation {
+    /// Which figure file (`results/<id>.json`).
+    pub id: &'static str,
+    /// Human-readable claim, quoted from or paraphrasing the paper.
+    pub claim: &'static str,
+    /// The check.
+    pub check: fn(&FigureResult) -> Result<(), String>,
+}
+
+fn series<'a>(f: &'a FigureResult, label: &str) -> Result<&'a [f64], String> {
+    f.series_named(label)
+        .map(|s| s.values.as_slice())
+        .ok_or_else(|| format!("series '{label}' missing"))
+}
+
+/// `a` dominates (≤) `b` pointwise with slack.
+fn dominates(a: &[f64], b: &[f64], slack: f64) -> Result<(), String> {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if *x > y * (1.0 + slack) {
+            return Err(format!("point {i}: {x:.5} > {y:.5}"));
+        }
+    }
+    Ok(())
+}
+
+fn increasing(v: &[f64]) -> Result<(), String> {
+    if v.last() <= v.first() {
+        return Err(format!(
+            "{:.5} → {:.5} not increasing",
+            v[0],
+            v[v.len() - 1]
+        ));
+    }
+    Ok(())
+}
+
+fn decreasing(v: &[f64]) -> Result<(), String> {
+    if v.last() >= v.first() {
+        return Err(format!(
+            "{:.5} → {:.5} not decreasing",
+            v[0],
+            v[v.len() - 1]
+        ));
+    }
+    Ok(())
+}
+
+/// The expectation catalogue: every testbed/comparative/parameter panel.
+pub fn expectations() -> Vec<Expectation> {
+    vec![
+        Expectation {
+            id: "fig09a",
+            claim: "LruTable: P4LRU3 misses less than the baseline; both rise with concurrency",
+            check: |f| {
+                dominates(series(f, "P4LRU3")?, series(f, "Baseline")?, 0.0)?;
+                increasing(series(f, "P4LRU3")?)
+            },
+        },
+        Expectation {
+            id: "fig09b",
+            claim: "LruTable: P4LRU3 adds less latency than the baseline",
+            check: |f| dominates(series(f, "P4LRU3")?, series(f, "Baseline")?, 0.0),
+        },
+        Expectation {
+            id: "fig10a",
+            claim: "LruIndex: cached throughput beats naive and scales with threads",
+            check: |f| {
+                dominates(series(f, "Naive")?, series(f, "P4LRU3")?, 0.0)?;
+                increasing(series(f, "P4LRU3")?)
+            },
+        },
+        Expectation {
+            id: "fig10b",
+            claim: "LruIndex: speedup over naive exceeds 1 for P4LRU3 and baseline",
+            check: |f| {
+                for label in ["P4LRU3", "Baseline"] {
+                    if series(f, label)?.iter().any(|&v| v <= 1.0) {
+                        return Err(format!("{label} dipped to ≤1"));
+                    }
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig11a",
+            claim: "LruMon: P4LRU3 uploads less; uploads rise with concurrency",
+            check: |f| {
+                dominates(series(f, "P4LRU3")?, series(f, "Baseline")?, 0.0)?;
+                increasing(series(f, "P4LRU3")?)
+            },
+        },
+        Expectation {
+            id: "fig11b",
+            claim: "LruMon: uploads fall as the threshold rises; P4LRU3 stays below baseline",
+            check: |f| {
+                dominates(series(f, "P4LRU3")?, series(f, "Baseline")?, 0.0)?;
+                decreasing(series(f, "P4LRU3")?)
+            },
+        },
+        Expectation {
+            id: "fig12a",
+            claim: "LruTable: P4LRU3 < Timeout < {Elastic, Coco} in miss rate; memory helps",
+            check: |f| {
+                dominates(series(f, "P4LRU3")?, series(f, "Timeout")?, 0.0)?;
+                dominates(series(f, "Timeout")?, series(f, "Elastic")?, 0.02)?;
+                dominates(series(f, "Timeout")?, series(f, "Coco")?, 0.02)?;
+                decreasing(series(f, "P4LRU3")?)
+            },
+        },
+        Expectation {
+            id: "fig12b",
+            claim: "LruTable: P4LRU3 best across the ΔT sweep",
+            check: |f| {
+                for other in ["Timeout", "Elastic", "Coco"] {
+                    dominates(series(f, "P4LRU3")?, series(f, other)?, 0.0)?;
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig13a",
+            claim: "LruIndex: P4LRU3 best across the memory sweep",
+            check: |f| {
+                for other in ["Timeout", "Elastic", "Coco"] {
+                    dominates(series(f, "P4LRU3")?, series(f, other)?, 0.02)?;
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig13b",
+            claim: "LruIndex: P4LRU3 best across the ΔT sweep (paper regime)",
+            check: |f| {
+                for other in ["Timeout", "Elastic", "Coco"] {
+                    dominates(series(f, "P4LRU3")?, series(f, other)?, 0.02)?;
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig14a",
+            claim: "LruMon: P4LRU3 best across the memory sweep",
+            check: |f| {
+                for other in ["Timeout", "Elastic", "Coco"] {
+                    dominates(series(f, "P4LRU3")?, series(f, other)?, 0.02)?;
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig14b",
+            claim: "LruMon: P4LRU3 best across the threshold sweep",
+            check: |f| {
+                for other in ["Timeout", "Elastic", "Coco"] {
+                    dominates(series(f, "P4LRU3")?, series(f, other)?, 0.02)?;
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig15a",
+            claim: "LruTable: ideal ≤ P4LRU3 ≤ P4LRU2 ≤ P4LRU1 in miss rate",
+            check: |f| {
+                dominates(series(f, "LRU_IDEAL")?, series(f, "P4LRU3")?, 0.02)?;
+                dominates(series(f, "P4LRU3")?, series(f, "P4LRU2")?, 0.0)?;
+                dominates(series(f, "P4LRU2")?, series(f, "P4LRU1")?, 0.0)
+            },
+        },
+        Expectation {
+            id: "fig15b",
+            claim: "LruTable similarity: P4LRU3 > P4LRU2 > P4LRU1; ideal = 1",
+            check: |f| {
+                dominates(series(f, "P4LRU2")?, series(f, "P4LRU3")?, 0.0)?;
+                dominates(series(f, "P4LRU1")?, series(f, "P4LRU2")?, 0.0)?;
+                if series(f, "LRU_IDEAL")?
+                    .iter()
+                    .any(|&v| (v - 1.0).abs() > 1e-9)
+                {
+                    return Err("ideal similarity ≠ 1".into());
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig15d",
+            claim: "LruTable similarity is largely ΔT-insensitive for P4LRU3",
+            check: |f| {
+                let v = series(f, "P4LRU3")?;
+                let (lo, hi) = v
+                    .iter()
+                    .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+                if hi - lo > 0.1 {
+                    return Err(format!("similarity swings {lo:.3}..{hi:.3}"));
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig16a",
+            claim:
+                "LruIndex: P4LRU3 miss rate lowest at every level count and improves with levels",
+            check: |f| {
+                dominates(series(f, "P4LRU3")?, series(f, "P4LRU2")?, 0.0)?;
+                dominates(series(f, "P4LRU2")?, series(f, "P4LRU1")?, 0.0)?;
+                decreasing(series(f, "P4LRU3")?)
+            },
+        },
+        Expectation {
+            id: "fig16b",
+            claim: "similarity rises with levels for P4LRU1/2 but falls for P4LRU3 (§4.2)",
+            check: |f| {
+                increasing(series(f, "P4LRU1")?)?;
+                increasing(series(f, "P4LRU2")?)?;
+                decreasing(series(f, "P4LRU3")?)
+            },
+        },
+        Expectation {
+            id: "fig17a",
+            claim: "LruMon: error rises with the bandwidth threshold for every reset period",
+            check: |f| {
+                for s in &f.series {
+                    if s.values.last() < s.values.first() {
+                        return Err(format!("{} error not rising", s.label));
+                    }
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "fig17b",
+            claim: "LruMon: uploads fall with the bandwidth threshold for every reset period",
+            check: |f| {
+                for s in &f.series {
+                    decreasing(&s.values).map_err(|e| format!("{}: {e}", s.label))?;
+                }
+                Ok(())
+            },
+        },
+        Expectation {
+            id: "table2",
+            claim: "Table 2: zero TCAM; SRAM% ordering LruMon > LruIndex > LruTable",
+            check: |f| {
+                let sram = |n: &str| series(f, n).map(|v| v[1]);
+                if sram("LruMon")? <= sram("LruIndex")? || sram("LruIndex")? <= sram("LruTable")? {
+                    return Err("SRAM ordering broken".into());
+                }
+                for s in &f.series {
+                    if s.values[3] != 0.0 {
+                        return Err(format!("{} uses TCAM", s.label));
+                    }
+                }
+                Ok(())
+            },
+        },
+    ]
+}
+
+/// Evaluates every expectation against the saved results in `dir`.
+/// Returns `(passed, failed, skipped)` and the rendered report.
+pub fn evaluate(dir: &Path) -> (usize, usize, usize, String) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let (mut pass, mut fail, mut skip) = (0, 0, 0);
+    let _ = writeln!(out, "# Reproduction report\n");
+    let _ = writeln!(out, "| figure | claim | verdict |");
+    let _ = writeln!(out, "|---|---|---|");
+    for e in expectations() {
+        let path = dir.join(format!("{}.json", e.id));
+        let verdict = match std::fs::read_to_string(&path) {
+            Err(_) => {
+                skip += 1;
+                "SKIP (no results file)".to_owned()
+            }
+            Ok(body) => match serde_json::from_str::<FigureResult>(&body) {
+                Err(err) => {
+                    fail += 1;
+                    format!("FAIL (unreadable: {err})")
+                }
+                Ok(fig) => match (e.check)(&fig) {
+                    Ok(()) => {
+                        pass += 1;
+                        "PASS".to_owned()
+                    }
+                    Err(why) => {
+                        fail += 1;
+                        format!("FAIL ({why})")
+                    }
+                },
+            },
+        };
+        let _ = writeln!(out, "| {} | {} | {} |", e.id, e.claim, verdict);
+    }
+    let _ = writeln!(out, "\n{pass} passed, {fail} failed, {skip} skipped.");
+    (pass, fail, skip, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_behave() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 2.5], 0.0).is_ok());
+        assert!(dominates(&[1.1, 2.0], &[1.0, 2.5], 0.05).is_err());
+        assert!(increasing(&[1.0, 2.0]).is_ok());
+        assert!(increasing(&[2.0, 1.0]).is_err());
+        assert!(decreasing(&[2.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn catalogue_covers_the_evaluation() {
+        let ids: Vec<&str> = expectations().iter().map(|e| e.id).collect();
+        for must in ["fig09a", "fig12a", "fig15b", "fig16b", "fig17a", "table2"] {
+            assert!(ids.contains(&must), "missing expectation for {must}");
+        }
+        assert!(ids.len() >= 18);
+    }
+
+    #[test]
+    fn evaluate_skips_gracefully_on_missing_dir() {
+        let dir = std::env::temp_dir().join("p4lru_no_results_here");
+        let (pass, fail, skip, report) = evaluate(&dir);
+        assert_eq!(pass + fail, 0);
+        assert!(skip > 0);
+        assert!(report.contains("SKIP"));
+    }
+}

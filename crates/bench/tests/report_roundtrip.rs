@@ -1,0 +1,25 @@
+//! End-to-end: figure modules → JSON on disk → verdict evaluation.
+
+use p4lru_bench::figures::{table1, table2};
+use p4lru_bench::report::evaluate;
+use p4lru_bench::Scale;
+
+#[test]
+fn saved_results_evaluate_cleanly() {
+    let dir = std::env::temp_dir().join(format!("p4lru_report_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for fig in table1::run(Scale::Quick)
+        .iter()
+        .chain(table2::run(Scale::Quick).iter())
+    {
+        fig.save(&dir).expect("results written");
+    }
+    let (pass, fail, skip, report) = evaluate(&dir);
+    // Only table2 has an expectation among the two we generated; everything
+    // else must be skipped, and nothing may fail.
+    assert_eq!(fail, 0, "report:\n{report}");
+    assert_eq!(pass, 1);
+    assert!(skip >= 15);
+    assert!(report.contains("| table2 |"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,300 @@
+//! Parallel connection of P4LRU units (paper §1.2, §3.1).
+//!
+//! A single P4LRU unit is a strict LRU of only 2–4 entries. The *parallel
+//! connection technique* reaches arbitrary capacity by replacing the buckets
+//! of a hash table with units: a hash function picks one unit per key, and
+//! that unit runs strict LRU among the keys that collide into it. This is
+//! exactly the `P[1…2¹⁶]` array LruTable deploys on the switch.
+
+use std::hash::Hash;
+
+use crate::dfa::{CacheState, Dfa2, Dfa3, Dfa4};
+use crate::hashing::BucketHasher;
+use crate::perm::Perm;
+use crate::unit::{LruUnit, Outcome};
+
+/// A hash-indexed array of P4LRU2 units.
+pub type P4Lru2Array<K, V> = LruArray<K, V, 2, Dfa2>;
+/// A hash-indexed array of P4LRU3 units — the paper's deployed flavor.
+pub type P4Lru3Array<K, V> = LruArray<K, V, 3, Dfa3>;
+/// A hash-indexed array of P4LRU4 units.
+pub type P4Lru4Array<K, V> = LruArray<K, V, 4, Dfa4>;
+
+/// Hash-indexed array of [`LruUnit`]s: the parallel connection.
+///
+/// ```
+/// use p4lru_core::array::P4Lru3Array;
+///
+/// let mut cache = P4Lru3Array::<u64, u64>::with_seed(256, 42);
+/// cache.update(7, 100, |acc, v| *acc += v);
+/// cache.update(7, 50, |acc, v| *acc += v);
+/// assert_eq!(cache.get(&7), Some(&150));
+/// assert_eq!(cache.capacity(), 768);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruArray<K, V, const N: usize, S: CacheState<N> = Perm<N>> {
+    units: Vec<LruUnit<K, V, N, S>>,
+    hasher: BucketHasher,
+}
+
+impl<K: Eq + Hash, V, const N: usize, S: CacheState<N>> LruArray<K, V, N, S> {
+    /// An array of `units` empty units with the hash function derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `units == 0`.
+    pub fn with_seed(units: usize, seed: u64) -> Self {
+        assert!(units > 0, "array needs at least one unit");
+        Self {
+            units: (0..units).map(|_| LruUnit::new()).collect(),
+            hasher: BucketHasher::new(seed, units),
+        }
+    }
+
+    /// Number of units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Total entry capacity (`units × N`).
+    pub fn capacity(&self) -> usize {
+        self.units.len() * N
+    }
+
+    /// Number of currently cached entries (linear scan; intended for
+    /// statistics, not the data path).
+    pub fn len(&self) -> usize {
+        self.units.iter().map(LruUnit::len).sum()
+    }
+
+    /// Is the whole array empty?
+    pub fn is_empty(&self) -> bool {
+        self.units.iter().all(LruUnit::is_empty)
+    }
+
+    /// The unit index `key` hashes to.
+    #[inline]
+    pub fn index_of(&self, key: &K) -> usize {
+        self.hasher.bucket(key)
+    }
+
+    /// The unit `key` hashes to.
+    pub fn unit_for(&self, key: &K) -> &LruUnit<K, V, N, S> {
+        &self.units[self.index_of(key)]
+    }
+
+    /// Mutable access to the unit `key` hashes to.
+    pub fn unit_for_mut(&mut self, key: &K) -> &mut LruUnit<K, V, N, S> {
+        let idx = self.index_of(key);
+        &mut self.units[idx]
+    }
+
+    /// Inserts or refreshes `key` in its unit (Algorithm 1 within the unit).
+    pub fn update(&mut self, key: K, value: V, merge: impl FnOnce(&mut V, V)) -> Outcome<K, V> {
+        let idx = self.index_of(&key);
+        self.units[idx].update(key, value, merge)
+    }
+
+    /// Read-only lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.unit_for(key).get(key)
+    }
+
+    /// Read-only probe returning the in-unit position too.
+    pub fn probe(&self, key: &K) -> Option<(usize, &V)> {
+        self.unit_for(key).probe(key)
+    }
+
+    /// Mutable value access without LRU reordering.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.unit_for_mut(key).get_mut(key)
+    }
+
+    /// Refreshes `key`'s recency within its unit. `false` if absent.
+    pub fn promote(&mut self, key: &K) -> bool {
+        self.unit_for_mut(key).promote(key)
+    }
+
+    /// Replaces the LRU entry of `key`'s unit with `(key, value)` as the new
+    /// least recently used entry (series-connection downstream insert).
+    pub fn insert_tail(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let idx = self.index_of(&key);
+        self.units[idx].insert_tail(key, value)
+    }
+
+    /// Iterates all cached entries as `(unit_index, key, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &K, &V)> {
+        self.units
+            .iter()
+            .enumerate()
+            .flat_map(|(i, u)| u.entries().map(move |(_, k, v)| (i, k, v)))
+    }
+
+    /// Removes and returns every cached entry, leaving all units empty (the
+    /// hash function is unchanged).
+    pub fn drain(&mut self) -> Vec<(K, V)> {
+        self.units.iter_mut().flat_map(LruUnit::drain).collect()
+    }
+
+    /// Direct access to a unit by index (for tests and layout tools).
+    pub fn unit(&self, idx: usize) -> &LruUnit<K, V, N, S> {
+        &self.units[idx]
+    }
+
+    /// Checks every unit's invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, u) in self.units.iter().enumerate() {
+            u.check_invariants().map_err(|e| format!("unit {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Memory accounting for sizing experiments ("miss rate vs. memory").
+///
+/// The paper's comparisons hold total data-plane memory constant across
+/// policies; this helper converts a byte budget into a unit count given the
+/// per-entry layout of a P4LRUₙ array.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryModel {
+    /// Bytes per stored key (e.g. 4 for an IPv4 address or a fingerprint).
+    pub key_bytes: usize,
+    /// Bytes per stored value.
+    pub value_bytes: usize,
+    /// Bytes for the cache-state register of one unit (1 is enough for
+    /// n ≤ 4, but hardware register granularity may round up).
+    pub state_bytes: usize,
+}
+
+impl MemoryModel {
+    /// A model with 4-byte keys and values and a 1-byte state — the layout
+    /// of LruMon's fingerprint/length entries.
+    pub fn fp32_len32() -> Self {
+        Self {
+            key_bytes: 4,
+            value_bytes: 4,
+            state_bytes: 1,
+        }
+    }
+
+    /// Bytes used by one P4LRUₙ unit.
+    pub fn unit_bytes(&self, n: usize) -> usize {
+        n * (self.key_bytes + self.value_bytes) + self.state_bytes
+    }
+
+    /// How many P4LRUₙ units fit in `budget` bytes (at least 1).
+    pub fn units_in(&self, budget: usize, n: usize) -> usize {
+        (budget / self.unit_bytes(n)).max(1)
+    }
+
+    /// Bytes used by one single-entry hash bucket (P4LRU1 / timeout-style),
+    /// with `extra` bytes of per-bucket metadata (e.g. a timestamp).
+    pub fn bucket_bytes(&self, extra: usize) -> usize {
+        self.key_bytes + self.value_bytes + extra
+    }
+
+    /// How many single-entry buckets fit in `budget` bytes (at least 1).
+    pub fn buckets_in(&self, budget: usize, extra: usize) -> usize {
+        (budget / self.bucket_bytes(extra)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_and_get_roundtrip() {
+        let mut arr = P4Lru3Array::<u64, u32>::with_seed(16, 1);
+        for k in 0..10u64 {
+            arr.update(k, k as u32, |a, v| *a = v);
+        }
+        for k in 0..10u64 {
+            assert_eq!(arr.get(&k), Some(&(k as u32)));
+        }
+        arr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn keys_always_land_in_their_hash_unit() {
+        let mut arr = P4Lru3Array::<u64, u32>::with_seed(8, 3);
+        for k in 0..100u64 {
+            arr.update(k, 0, |_, _| {});
+        }
+        for (unit_idx, key, _) in arr.entries() {
+            assert_eq!(arr.index_of(key), unit_idx);
+        }
+    }
+
+    #[test]
+    fn eviction_is_local_to_one_unit() {
+        let mut arr = P4Lru3Array::<u64, u32>::with_seed(4, 9);
+        // Find four keys colliding into one unit.
+        let mut colliders = Vec::new();
+        for k in 0..10_000u64 {
+            if arr.index_of(&k) == 0 {
+                colliders.push(k);
+                if colliders.len() == 4 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(colliders.len(), 4);
+        for &k in &colliders {
+            arr.update(k, 1, |_, _| {});
+        }
+        // First collider was evicted by the fourth.
+        assert_eq!(arr.get(&colliders[0]), None);
+        for &k in &colliders[1..] {
+            assert_eq!(arr.get(&k), Some(&1));
+        }
+        assert_eq!(arr.unit(0).len(), 3);
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut arr = P4Lru2Array::<u64, u32>::with_seed(10, 0);
+        assert_eq!(arr.capacity(), 20);
+        assert!(arr.is_empty());
+        arr.update(1, 1, |_, _| {});
+        assert_eq!(arr.len(), 1);
+        assert!(!arr.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_placement() {
+        let a = P4Lru3Array::<u64, u32>::with_seed(64, 5);
+        let b = P4Lru3Array::<u64, u32>::with_seed(64, 5);
+        for k in 0..1000u64 {
+            assert_eq!(a.index_of(&k), b.index_of(&k));
+        }
+    }
+
+    #[test]
+    fn p4lru4_array_works() {
+        let mut arr = P4Lru4Array::<u64, u64>::with_seed(32, 2);
+        for k in 0..200u64 {
+            arr.update(k, k, |a, v| *a = v);
+        }
+        arr.check_invariants().unwrap();
+        assert!(arr.len() <= arr.capacity());
+    }
+
+    #[test]
+    fn memory_model_unit_sizing() {
+        let m = MemoryModel::fp32_len32();
+        assert_eq!(m.unit_bytes(3), 25);
+        assert_eq!(m.units_in(25 * 100, 3), 100);
+        assert_eq!(m.bucket_bytes(0), 8);
+        assert_eq!(m.bucket_bytes(4), 12); // timeout policy: +32-bit timestamp
+        assert_eq!(m.buckets_in(1200, 4), 100);
+        // Budget smaller than one unit still yields one unit.
+        assert_eq!(m.units_in(3, 3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_rejected() {
+        let _ = P4Lru3Array::<u64, u32>::with_seed(0, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The two classical LRU implementations of §2.1 — and the measurement of
+//! why they cannot be pipelined.
+//!
+//! The paper's Figure 2 argument: both the timestamp-based and the
+//! queue-based LRU must, in the worst case, touch the *same data block
+//! twice* in one operation (find the oldest bucket, then overwrite it;
+//! find the matched entry, then write its value back at the queue head).
+//! A match-action pipeline forbids exactly that.
+//!
+//! These implementations instrument every block access, so tests — and the
+//! `second_access` analysis below — can *measure* the violation instead of
+//! asserting it rhetorically: [`AccessLog::max_accesses_per_block`] is 2
+//! for both classical structures and 1 for the P4LRU unit.
+
+/// Records, for one cache operation, how many times each data block was
+/// touched. A "block" is what one pipeline stage could host: one bucket of
+/// the array, one queue slot, one register cell.
+#[derive(Clone, Debug, Default)]
+pub struct AccessLog {
+    counts: Vec<u32>,
+}
+
+impl AccessLog {
+    /// A log over `blocks` blocks.
+    pub fn new(blocks: usize) -> Self {
+        Self {
+            counts: vec![0; blocks],
+        }
+    }
+
+    /// Resets for the next operation.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Notes one access to `block`.
+    pub fn touch(&mut self, block: usize) {
+        self.counts[block] += 1;
+    }
+
+    /// The largest per-block access count of the last operation — must be
+    /// ≤ 1 for a pipeline-implementable operation.
+    pub fn max_accesses_per_block(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// §2.1's timestamp-based LRU: an array of ⟨key, value, last-access⟩
+/// buckets; eviction scans for the oldest timestamp, then overwrites it —
+/// the second pass.
+#[derive(Clone, Debug)]
+pub struct TimestampLru<K, V> {
+    buckets: Vec<Option<(K, V, u64)>>,
+    clock: u64,
+    /// Per-operation access instrumentation.
+    pub log: AccessLog,
+}
+
+impl<K: Eq, V> TimestampLru<K, V> {
+    /// `n` buckets.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one bucket");
+        Self {
+            buckets: (0..n).map(|_| None).collect(),
+            clock: 0,
+            log: AccessLog::new(n),
+        }
+    }
+
+    /// One access: returns `true` on hit. Instrumented per block.
+    pub fn access(&mut self, key: K, value: V) -> bool {
+        self.log.reset();
+        self.clock += 1;
+        // First pass: look for the key (and remember an empty bucket and
+        // the oldest bucket as we go).
+        let mut empty = None;
+        let mut oldest: Option<(usize, u64)> = None;
+        for (i, b) in self.buckets.iter_mut().enumerate() {
+            self.log.touch(i);
+            match b {
+                Some((k, v, t)) if *k == key => {
+                    *v = value;
+                    *t = self.clock;
+                    return true;
+                }
+                Some((_, _, t)) => {
+                    if oldest.is_none_or(|(_, ot)| *t < ot) {
+                        oldest = Some((i, *t));
+                    }
+                }
+                None => {
+                    if empty.is_none() {
+                        empty = Some(i);
+                    }
+                }
+            }
+        }
+        // Miss: fill an empty bucket, or SECOND ACCESS to the oldest one.
+        let target = empty.unwrap_or_else(|| oldest.expect("full cache has an oldest").0);
+        self.log.touch(target);
+        self.buckets[target] = Some((key, value, self.clock));
+        false
+    }
+}
+
+/// §2.1's queue-based LRU: entries ordered by recency; a hit must move the
+/// matched entry's value back to the head — the second access to the head
+/// slot (slot 0), which a pipeline has already passed.
+#[derive(Clone, Debug)]
+pub struct QueueLru<K, V> {
+    /// Slot 0 is the head (MRU).
+    slots: Vec<Option<(K, V)>>,
+    /// Per-operation access instrumentation.
+    pub log: AccessLog,
+}
+
+impl<K: Eq + Clone, V> QueueLru<K, V> {
+    /// A queue of capacity `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one slot");
+        Self {
+            slots: (0..n).map(|_| None).collect(),
+            log: AccessLog::new(n),
+        }
+    }
+
+    /// One access: returns `true` on hit. Instrumented per slot.
+    pub fn access(&mut self, key: K, value: V) -> bool {
+        self.log.reset();
+        // Walk the queue front-to-back, shifting entries down (each slot is
+        // read and overwritten by its predecessor — one access per slot).
+        let orig = key.clone();
+        let mut carry = Some((key, value));
+        for i in 0..self.slots.len() {
+            self.log.touch(i);
+            let displaced = std::mem::replace(&mut self.slots[i], carry.take());
+            if let Some((dk, _)) = &displaced {
+                if *dk == orig && i > 0 {
+                    // The matched entry's old value was just displaced here;
+                    // the classical formulation must carry it back and
+                    // update the value at the head — a SECOND ACCESS to
+                    // slot 0, which the pipeline has already passed.
+                    self.log.touch(0);
+                    return true;
+                }
+                if *dk == orig {
+                    // Matched at the head itself: single access suffices.
+                    return true;
+                }
+            }
+            carry = displaced;
+        }
+        // A full-queue miss drops the carried (evicted) entry.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa3;
+    use crate::unit::LruUnit;
+
+    #[test]
+    fn timestamp_lru_behaves_as_lru() {
+        let mut c = TimestampLru::new(3);
+        assert!(!c.access(1, 'a'));
+        assert!(!c.access(2, 'b'));
+        assert!(!c.access(3, 'c'));
+        assert!(c.access(1, 'a')); // refresh 1
+        assert!(!c.access(4, 'd')); // evicts 2 (oldest)
+        assert!(!c.access(2, 'b')); // 2 is gone
+        assert!(c.access(1, 'a'));
+    }
+
+    #[test]
+    fn timestamp_lru_needs_a_second_block_access_on_eviction() {
+        let mut c = TimestampLru::new(3);
+        for k in 1..=3 {
+            c.access(k, ());
+        }
+        // Hits touch every block once.
+        c.access(1, ());
+        assert_eq!(c.log.max_accesses_per_block(), 1);
+        // A full-cache miss touches the victim twice — unpipelineable.
+        c.access(9, ());
+        assert_eq!(c.log.max_accesses_per_block(), 2);
+    }
+
+    #[test]
+    fn queue_lru_behaves_as_lru() {
+        let mut c = QueueLru::new(3);
+        assert!(!c.access(1, 'a'));
+        assert!(!c.access(2, 'b'));
+        assert!(!c.access(3, 'c'));
+        assert!(c.access(1, 'a'));
+        assert!(!c.access(4, 'd'));
+        assert!(!c.access(2, 'b'));
+    }
+
+    #[test]
+    fn queue_lru_needs_a_second_head_access_on_deep_hits() {
+        let mut c = QueueLru::new(3);
+        for k in 1..=3 {
+            c.access(k, ());
+        }
+        // Hit at the head: single pass.
+        c.access(3, ());
+        assert_eq!(c.log.max_accesses_per_block(), 1);
+        // Hit deeper in the queue: the head is touched a second time.
+        c.access(1, ());
+        assert_eq!(c.log.max_accesses_per_block(), 2);
+    }
+
+    #[test]
+    fn p4lru_unit_touches_every_block_at_most_once() {
+        // The paper's whole point, measured: instrument a P4LRU3 update
+        // with the same block model (3 key slots, 1 state, 3 value slots)
+        // and observe single-access behavior for hits, misses and
+        // evictions alike.
+        let mut unit = LruUnit::<u32, u32, 3, Dfa3>::new();
+        let mut log = AccessLog::new(7);
+        let drive = |unit: &mut LruUnit<u32, u32, 3, Dfa3>, log: &mut AccessLog, k: u32| {
+            log.reset();
+            // Key pass: one access per key slot (the bubble).
+            for i in 0..3 {
+                log.touch(i);
+            }
+            // State register: one access.
+            log.touch(3);
+            // Exactly one value slot.
+            let before = unit.state_perm();
+            let out = unit.update(k, k, |s, v| *s = v);
+            let slot = unit.state_perm().front_slot();
+            log.touch(4 + slot);
+            let _ = (before, out);
+            assert_eq!(
+                log.max_accesses_per_block(),
+                1,
+                "P4LRU touched a block twice"
+            );
+        };
+        for k in [1, 2, 3, 1, 9, 2, 7, 7, 8, 42] {
+            drive(&mut unit, &mut log, k);
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! Cache-state DFAs (paper §2.2–§2.3).
+//!
+//! A P4LRUₙ unit needs, per packet, one state transition of a DFA whose
+//! states are the n! permutations of Sₙ and whose inputs are the `n`
+//! possible outcomes of the key-array pass (hit at position `i`, with a miss
+//! behaving exactly like a hit at the last position). Three realizations are
+//! provided, all proven isomorphic by exhaustive tests:
+//!
+//! * [`Perm<N>`] itself — the reference semantics (`S ← R⁻¹ × S`).
+//! * [`TableDfa`] — the naive realization the paper *rules out* for the data
+//!   plane: `n` lookup tables of `n!` entries each. Kept as an executable
+//!   illustration of why the arithmetic encodings matter.
+//! * [`Dfa2`], [`Dfa3`], [`Dfa4`] — the encoded states whose transitions are
+//!   the paper's stateful-ALU arithmetic (`^1`; `^1`/`^3`; `−2`/`+4`) plus
+//!   the V₄ ⋊ S₃ factored registers for the paper's suggested P4LRU4.
+//!
+//! The common interface is [`CacheState`]; [`crate::unit::LruUnit`] is
+//! generic over it, so every unit flavor shares one update algorithm.
+
+use std::sync::OnceLock;
+
+use crate::group::{compose_s4, conjugate_v4, factor_s4, S3Code, V4Code};
+use crate::perm::{factorial, Perm};
+
+/// A cache state: tracks the key-position → value-position permutation of
+/// one P4LRU unit.
+///
+/// `advance(pos)` applies the transition for a key-array pass that resolved
+/// at 0-based position `pos` (`pos = N-1` doubles as the miss transition —
+/// the full rotation). `front_slot()` is `S(1)` in paper notation: the value
+/// slot owned by the most recently used key.
+pub trait CacheState<const N: usize>: Clone + Default {
+    /// Applies the transition for a hit at key position `pos` (or a miss,
+    /// which is `pos = N-1`).
+    fn advance(&mut self, pos: usize);
+
+    /// The permutation this state denotes.
+    fn as_perm(&self) -> Perm<N>;
+
+    /// `S(1)`: the value slot of the most recently used key. Implementations
+    /// may override with a table lookup.
+    #[inline]
+    fn front_slot(&self) -> usize {
+        self.as_perm().front_slot()
+    }
+
+    /// The value slot of the key at position `pos`, `S(pos+1)` in paper
+    /// notation. Needed by read-only probes and by tail replacement in the
+    /// series connection.
+    #[inline]
+    fn slot_of(&self, pos: usize) -> usize {
+        self.as_perm().apply(pos)
+    }
+}
+
+impl<const N: usize> CacheState<N> for Perm<N> {
+    #[inline]
+    fn advance(&mut self, pos: usize) {
+        Perm::advance(self, pos);
+    }
+
+    #[inline]
+    fn as_perm(&self) -> Perm<N> {
+        *self
+    }
+
+    #[inline]
+    fn front_slot(&self) -> usize {
+        Perm::front_slot(self)
+    }
+
+    #[inline]
+    fn slot_of(&self, pos: usize) -> usize {
+        self.apply(pos)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TableDfa: the n tables of size n! the paper says cannot fit.
+// ---------------------------------------------------------------------------
+
+/// The naive DFA realization: one transition table per input symbol, each
+/// with `N!` entries, states numbered by Lehmer rank.
+///
+/// The paper's point (§2.3) is that *this* is what a general P4LRUₙ needs and
+/// that the data plane's stateful ALUs cannot host tables of that size — a
+/// register action may only consult a tiny (≈16-entry) table. `TableDfa`
+/// exists to make that cost concrete (see the `table_sizes` test and the
+/// resource model in `p4lru-pipeline`), and as an oracle for the encodings.
+#[derive(Clone, Debug)]
+pub struct TableDfa<const N: usize> {
+    state: usize,
+    tables: &'static Vec<Vec<usize>>,
+}
+
+fn table_dfa_tables<const N: usize>(
+    cell: &'static OnceLock<Vec<Vec<usize>>>,
+) -> &'static Vec<Vec<usize>> {
+    cell.get_or_init(|| {
+        let nfact = factorial(N);
+        let mut tables = vec![vec![0usize; nfact]; N];
+        for rank in 0..nfact {
+            let perm = Perm::<N>::from_lehmer_rank(rank);
+            for (pos, table) in tables.iter_mut().enumerate() {
+                let mut next = perm;
+                next.advance(pos);
+                table[rank] = next.lehmer_rank();
+            }
+        }
+        tables
+    })
+}
+
+macro_rules! table_dfa_storage {
+    ($($n:literal => $name:ident),* $(,)?) => {
+        $(static $name: OnceLock<Vec<Vec<usize>>> = OnceLock::new();)*
+
+        /// Storage lookup: per-`N` lazily built transition tables.
+        fn tables_for<const N: usize>() -> &'static Vec<Vec<usize>> {
+            match N {
+                $($n => table_dfa_tables::<N>(&$name),)*
+                _ => panic!("TableDfa supports N in 2..=6, got {N}"),
+            }
+        }
+    };
+}
+
+table_dfa_storage! {
+    2 => TABLES_2,
+    3 => TABLES_3,
+    4 => TABLES_4,
+    5 => TABLES_5,
+    6 => TABLES_6,
+}
+
+impl<const N: usize> Default for TableDfa<N> {
+    fn default() -> Self {
+        Self {
+            state: Perm::<N>::identity().lehmer_rank(),
+            tables: tables_for::<N>(),
+        }
+    }
+}
+
+impl<const N: usize> TableDfa<N> {
+    /// Total table entries this realization needs: `N × N!` — the figure the
+    /// paper cites as infeasible for stateful ALUs.
+    pub fn total_table_entries() -> usize {
+        N * factorial(N)
+    }
+}
+
+impl<const N: usize> CacheState<N> for TableDfa<N> {
+    #[inline]
+    fn advance(&mut self, pos: usize) {
+        self.state = self.tables[pos][self.state];
+    }
+
+    #[inline]
+    fn as_perm(&self) -> Perm<N> {
+        Perm::from_lehmer_rank(self.state)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dfa2: one bit, one stateful ALU.
+// ---------------------------------------------------------------------------
+
+/// Encoded P4LRU2 state (§2.3.1): one bit.
+///
+/// * hit at position 0 → state unchanged;
+/// * hit at position 1 or miss → `S ← S ^ 1`.
+///
+/// Code 0 is the identity mapping, code 1 the swap. One stateful ALU (two
+/// arithmetic branches) covers both transitions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Dfa2 {
+    code: u8,
+}
+
+impl Dfa2 {
+    /// Raw register value (0 or 1).
+    pub fn code(self) -> u8 {
+        self.code
+    }
+
+    /// Builds from a raw register value. `None` unless `code <= 1`.
+    pub fn from_code(code: u8) -> Option<Self> {
+        (code <= 1).then_some(Self { code })
+    }
+}
+
+impl CacheState<2> for Dfa2 {
+    #[inline]
+    fn advance(&mut self, pos: usize) {
+        debug_assert!(pos < 2);
+        if pos == 1 {
+            self.code ^= 1;
+        }
+    }
+
+    #[inline]
+    fn as_perm(&self) -> Perm<2> {
+        if self.code == 0 {
+            Perm::identity()
+        } else {
+            Perm::from_map_unchecked([1, 0])
+        }
+    }
+
+    #[inline]
+    fn front_slot(&self) -> usize {
+        self.code as usize
+    }
+
+    #[inline]
+    fn slot_of(&self, pos: usize) -> usize {
+        debug_assert!(pos < 2);
+        pos ^ self.code as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dfa3: Table 1 codes, three stateful ALUs.
+// ---------------------------------------------------------------------------
+
+/// `FRONT3[code]` = value slot of the MRU key for each Table 1 code.
+const FRONT3: [u8; 6] = [1, 0, 2, 2, 0, 1];
+
+/// Encoded P4LRU3 state (§2.3.2): the six states of S₃ as the integers of
+/// Table 1, with even permutations on even codes.
+///
+/// The three key-array outcomes become five numeric operations:
+///
+/// * **Operation 1** (hit at key\[1\]): `S` unchanged.
+/// * **Operation 2** (hit at key\[2\]): `S ← S ^ 1` if `S ≥ 4`, else `S ^ 3`.
+/// * **Operation 3** (hit at key\[3\] or miss): `S ← S − 2` if `S ≥ 2`,
+///   else `S + 4`.
+///
+/// Each operation fits one stateful ALU (a predicate plus two arithmetic
+/// branches), so P4LRU3 costs three of the four SALUs a Tofino stage offers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dfa3 {
+    code: u8,
+}
+
+impl Default for Dfa3 {
+    fn default() -> Self {
+        Self {
+            code: S3Code::IDENTITY.code(),
+        }
+    }
+}
+
+impl Dfa3 {
+    /// Raw register value (0..=5).
+    pub fn code(self) -> u8 {
+        self.code
+    }
+
+    /// Builds from a raw register value. `None` unless `code <= 5`.
+    pub fn from_code(code: u8) -> Option<Self> {
+        (code <= 5).then_some(Self { code })
+    }
+}
+
+impl CacheState<3> for Dfa3 {
+    #[inline]
+    fn advance(&mut self, pos: usize) {
+        match pos {
+            0 => {}
+            1 => {
+                // Operation 2: type-2 permutation of Figure 4.
+                self.code ^= if self.code >= 4 { 1 } else { 3 };
+            }
+            2 => {
+                // Operation 3: type-3 permutation of Figure 5.
+                if self.code >= 2 {
+                    self.code -= 2;
+                } else {
+                    self.code += 4;
+                }
+            }
+            _ => debug_assert!(false, "position {pos} out of range for P4LRU3"),
+        }
+    }
+
+    #[inline]
+    fn as_perm(&self) -> Perm<3> {
+        S3Code::from_code(self.code)
+            .expect("Dfa3 code stays in 0..=5")
+            .decode()
+    }
+
+    #[inline]
+    fn front_slot(&self) -> usize {
+        FRONT3[self.code as usize] as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dfa4: the V4 ⋊ S3 factorization the paper sketches in §2.3.3.
+// ---------------------------------------------------------------------------
+
+/// Per-generator transition tables for [`Dfa4`], derived from group theory.
+struct Dfa4Tables {
+    /// `v_next[gen][v]`: V₄ register update; independent of the S₃ register.
+    v_next: [[u8; 4]; 4],
+    /// `s_next[gen][s]`: S₃ register update (left-multiplication by the
+    /// generator's S₃ factor, in Table 1 codes).
+    s_next: [[u8; 6]; 4],
+    /// `front[v][s]`: value slot of the MRU key for the decoded state.
+    front: [[u8; 6]; 4],
+}
+
+fn dfa4_tables() -> &'static Dfa4Tables {
+    static TABLES: OnceLock<Dfa4Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut v_next = [[0u8; 4]; 4];
+        let mut s_next = [[0u8; 6]; 4];
+        let mut front = [[0u8; 6]; 4];
+        for gen in 0..4 {
+            // The generator is R⁻¹ for a hit at position `gen`.
+            let g = Perm::<4>::rotation(gen).inverse();
+            let (v_g, sigma_g) = factor_s4(g);
+            // New state (paper convention): S' = g × S with S = v × σ.
+            // Factoring: v' = v_g × (σ_g⁻¹ v σ_g), σ' = σ_g × σ.
+            for v in 0..4u8 {
+                let conj = conjugate_v4(sigma_g.inverse(), V4Code::from_code(v).unwrap());
+                v_next[gen][v as usize] = v_g.mul(conj).code();
+            }
+            for s in 0..6u8 {
+                let sigma = S3Code::from_code(s).unwrap().decode();
+                s_next[gen][s as usize] = S3Code::encode(sigma_g.compose(&sigma)).code();
+            }
+        }
+        for v in 0..4u8 {
+            for s in 0..6u8 {
+                let perm = compose_s4(
+                    V4Code::from_code(v).unwrap(),
+                    S3Code::from_code(s).unwrap().decode(),
+                );
+                front[v as usize][s as usize] = perm.front_slot() as u8;
+            }
+        }
+        Dfa4Tables {
+            v_next,
+            s_next,
+            front,
+        }
+    })
+}
+
+/// Encoded P4LRU4 state: the paper's §2.3.3 construction made concrete.
+///
+/// S₄ ≅ V₄ ⋊ S₃ with V₄ = C₂ × C₂ normal, so a state splits into two
+/// registers updated *independently* per transition:
+///
+/// * a 2-bit register `v` (V₄, where group product is XOR), and
+/// * a 3-bit register `s` (S₃ in Table 1 codes).
+///
+/// Each of the four generators left-multiplies the state; the factorization
+/// turns that into `v ← v_g ⊕ π_g(v)` (a fixed relabeling of four values —
+/// "more nuanced logic" than a plain XOR, as the paper anticipates) and an
+/// S₃ left-multiplication on `s` of exactly the Table 1 arithmetic family.
+/// See `dfa4_tables` for the derivation and the `salu` module for which of
+/// these updates fit a single stateful ALU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dfa4 {
+    v: u8,
+    s: u8,
+}
+
+impl Default for Dfa4 {
+    fn default() -> Self {
+        Self {
+            v: V4Code::IDENTITY.code(),
+            s: S3Code::IDENTITY.code(),
+        }
+    }
+}
+
+impl Dfa4 {
+    /// The V₄ register (2 bits).
+    pub fn v_code(self) -> u8 {
+        self.v
+    }
+
+    /// The S₃ register (Table 1 code, 0..=5).
+    pub fn s_code(self) -> u8 {
+        self.s
+    }
+
+    /// Builds from raw register values. `None` if out of range.
+    pub fn from_codes(v: u8, s: u8) -> Option<Self> {
+        (v <= 3 && s <= 5).then_some(Self { v, s })
+    }
+}
+
+impl CacheState<4> for Dfa4 {
+    #[inline]
+    fn advance(&mut self, pos: usize) {
+        debug_assert!(pos < 4);
+        let t = dfa4_tables();
+        self.v = t.v_next[pos][self.v as usize];
+        self.s = t.s_next[pos][self.s as usize];
+    }
+
+    #[inline]
+    fn as_perm(&self) -> Perm<4> {
+        compose_s4(
+            V4Code::from_code(self.v).expect("v register stays in 0..=3"),
+            S3Code::from_code(self.s)
+                .expect("s register stays in 0..=5")
+                .decode(),
+        )
+    }
+
+    #[inline]
+    fn front_slot(&self) -> usize {
+        dfa4_tables().front[self.v as usize][self.s as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `dfa` and the reference permutation in lockstep over every
+    /// (state, input) pair reachable from the identity and checks they agree.
+    fn assert_isomorphic<const N: usize, D: CacheState<N> + std::fmt::Debug>(steps: usize) {
+        let mut dfa = D::default();
+        let mut oracle = Perm::<N>::identity();
+        assert_eq!(dfa.as_perm(), oracle);
+        // Deterministic pseudo-random walk covering all inputs.
+        let mut x = 0x12345678u64;
+        for step in 0..steps {
+            x = crate::hashing::mix64(x);
+            let pos = (x % N as u64) as usize;
+            dfa.advance(pos);
+            oracle.advance(pos);
+            assert_eq!(dfa.as_perm(), oracle, "diverged at step {step} input {pos}");
+            assert_eq!(dfa.front_slot(), oracle.front_slot());
+            for p in 0..N {
+                assert_eq!(dfa.slot_of(p), oracle.apply(p));
+            }
+        }
+    }
+
+    #[test]
+    fn dfa2_isomorphic_to_reference() {
+        assert_isomorphic::<2, Dfa2>(500);
+    }
+
+    #[test]
+    fn dfa3_isomorphic_to_reference() {
+        assert_isomorphic::<3, Dfa3>(2000);
+    }
+
+    #[test]
+    fn dfa4_isomorphic_to_reference() {
+        assert_isomorphic::<4, Dfa4>(5000);
+    }
+
+    #[test]
+    fn table_dfa_isomorphic_to_reference() {
+        assert_isomorphic::<2, TableDfa<2>>(200);
+        assert_isomorphic::<3, TableDfa<3>>(500);
+        assert_isomorphic::<4, TableDfa<4>>(1000);
+        assert_isomorphic::<5, TableDfa<5>>(2000);
+    }
+
+    #[test]
+    fn dfa3_exhaustive_transition_check() {
+        // All 6 states × 3 inputs — the 18 transitions of §1.2.
+        for code in 0..6u8 {
+            for pos in 0..3 {
+                let mut enc = Dfa3::from_code(code).unwrap();
+                let mut perm = enc.as_perm();
+                enc.advance(pos);
+                perm.advance(pos);
+                assert_eq!(enc.as_perm(), perm, "code {code} input {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn dfa3_figure4_type2_edges() {
+        // Figure 4: 4↔5 via ^1, 1↔2 via ^3, 0↔3 via ^3.
+        let step = |c: u8| {
+            let mut d = Dfa3::from_code(c).unwrap();
+            d.advance(1);
+            d.code()
+        };
+        assert_eq!(step(4), 5);
+        assert_eq!(step(5), 4);
+        assert_eq!(step(1), 2);
+        assert_eq!(step(2), 1);
+        assert_eq!(step(0), 3);
+        assert_eq!(step(3), 0);
+    }
+
+    #[test]
+    fn dfa3_figure5_type3_edges() {
+        // Figure 5: 4→2→0→4 and 5→3→1→5.
+        let step = |c: u8| {
+            let mut d = Dfa3::from_code(c).unwrap();
+            d.advance(2);
+            d.code()
+        };
+        assert_eq!(step(4), 2);
+        assert_eq!(step(2), 0);
+        assert_eq!(step(0), 4);
+        assert_eq!(step(5), 3);
+        assert_eq!(step(3), 1);
+        assert_eq!(step(1), 5);
+    }
+
+    #[test]
+    fn dfa4_exhaustive_over_all_states_and_inputs() {
+        for v in 0..4u8 {
+            for s in 0..6u8 {
+                for pos in 0..4 {
+                    let mut enc = Dfa4::from_codes(v, s).unwrap();
+                    let mut perm = enc.as_perm();
+                    enc.advance(pos);
+                    perm.advance(pos);
+                    assert_eq!(enc.as_perm(), perm, "v={v} s={s} input {pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dfa4_state_decode_is_bijective() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..4u8 {
+            for s in 0..6u8 {
+                let perm = Dfa4::from_codes(v, s).unwrap().as_perm();
+                assert!(seen.insert(perm), "duplicate decode for v={v} s={s}");
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn dfa4_v_register_update_independent_of_s() {
+        // The factorization's payoff: v' depends only on (gen, v).
+        let t = dfa4_tables();
+        for gen in 0..4 {
+            for v in 0..4u8 {
+                for s in 0..6u8 {
+                    let mut d = Dfa4::from_codes(v, s).unwrap();
+                    d.advance(gen);
+                    assert_eq!(d.v_code(), t.v_next[gen][v as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_dfa_entry_counts_match_paper_claim() {
+        assert_eq!(TableDfa::<3>::total_table_entries(), 18);
+        assert_eq!(TableDfa::<4>::total_table_entries(), 96);
+        assert_eq!(TableDfa::<5>::total_table_entries(), 600);
+    }
+
+    #[test]
+    fn front3_table_matches_decoded_permutations() {
+        for code in 0..6u8 {
+            let d = Dfa3::from_code(code).unwrap();
+            assert_eq!(d.front_slot(), d.as_perm().front_slot());
+        }
+    }
+
+    #[test]
+    fn dfa2_front_slot_shortcut() {
+        for code in 0..2u8 {
+            let d = Dfa2::from_code(code).unwrap();
+            assert_eq!(d.front_slot(), d.as_perm().front_slot());
+            for p in 0..2 {
+                assert_eq!(d.slot_of(p), d.as_perm().apply(p));
+            }
+        }
+    }
+
+    #[test]
+    fn miss_equals_hit_at_last_position() {
+        // The unit update treats a miss as pos = N-1; sanity-check that this
+        // is the full rotation the paper specifies for evictions.
+        let mut s = Perm::<3>::identity();
+        s.advance(2);
+        assert_eq!(*s.as_map(), [2, 0, 1]);
+    }
+}

@@ -1,0 +1,205 @@
+//! d-way choice placement: an extension beyond the paper.
+//!
+//! The parallel connection hashes each key to exactly **one** unit, so an
+//! unlucky unit can collect several hot flows while neighbors sit idle. A
+//! classic fix is the *power of two choices*: give each key two candidate
+//! units (in two independently-hashed arrays) and place it in the less
+//! loaded one.
+//!
+//! On a pipeline this is deployable — each packet accesses both arrays once
+//! (they are distinct register blocks in distinct stage groups), doubling
+//! the stage/SALU cost of the cache, which is exactly the trade-off the
+//! ablation (`ablation_dway`) quantifies: collision relief vs. 2× resources
+//! at *equal total memory* (each array is half-sized).
+//!
+//! Placement decision: prefer the candidate unit with a free slot; when
+//! both are full, a deterministic per-key coin picks, so repeated misses of
+//! one key always target the same array (no duplicate copies can arise —
+//! a key lives in at most one array because lookups check both).
+
+use std::hash::Hash;
+
+use crate::array::LruArray;
+use crate::dfa::{CacheState, Dfa3};
+use crate::perm::Perm;
+use crate::unit::Outcome;
+
+/// Two-choice P4LRU3 cache — the `ablation_dway` configuration.
+pub type DChoice3<K, V> = DChoiceLru<K, V, 3, Dfa3>;
+
+/// Two hash-independent P4LRU arrays with two-choice placement.
+#[derive(Clone, Debug)]
+pub struct DChoiceLru<K, V, const N: usize, S: CacheState<N> = Perm<N>> {
+    arrays: [LruArray<K, V, N, S>; 2],
+    coin_seed: u64,
+}
+
+impl<K: Eq + Hash + Clone, V, const N: usize, S: CacheState<N>> DChoiceLru<K, V, N, S> {
+    /// Two arrays of `units_per_array` units each (total capacity
+    /// `2 × units_per_array × N`).
+    ///
+    /// # Panics
+    /// Panics if `units_per_array == 0`.
+    pub fn with_seed(units_per_array: usize, seed: u64) -> Self {
+        Self {
+            arrays: [
+                LruArray::with_seed(units_per_array, crate::hashing::hash_u64(seed, 0)),
+                LruArray::with_seed(units_per_array, crate::hashing::hash_u64(seed, 1)),
+            ],
+            coin_seed: crate::hashing::hash_u64(seed, 2),
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.arrays.iter().map(LruArray::capacity).sum()
+    }
+
+    /// Cached entries (statistics only).
+    pub fn len(&self) -> usize {
+        self.arrays.iter().map(LruArray::len).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.arrays.iter().all(LruArray::is_empty)
+    }
+
+    /// Read-only lookup across both candidates.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.arrays[0].get(key).or_else(|| self.arrays[1].get(key))
+    }
+
+    /// Which array a fresh insert of `key` targets: the candidate unit with
+    /// a free slot, else a deterministic per-key coin.
+    fn placement(&self, key: &K) -> usize {
+        let free0 = self.arrays[0].unit_for(key).len() < N;
+        let free1 = self.arrays[1].unit_for(key).len() < N;
+        match (free0, free1) {
+            (true, false) => 0,
+            (false, true) => 1,
+            _ => (crate::hashing::hash_of(self.coin_seed, key) & 1) as usize,
+        }
+    }
+
+    /// Inserts or refreshes `key` (Algorithm 1 within the chosen unit).
+    pub fn update(&mut self, key: K, value: V, merge: impl FnOnce(&mut V, V)) -> Outcome<K, V> {
+        // A key lives in at most one array; updates go where it resides.
+        if self.arrays[0].get(&key).is_some() {
+            return self.arrays[0].update(key, value, merge);
+        }
+        if self.arrays[1].get(&key).is_some() {
+            return self.arrays[1].update(key, value, merge);
+        }
+        let target = self.placement(&key);
+        self.arrays[target].update(key, value, merge)
+    }
+
+    /// Checks both arrays' invariants plus the no-duplicates property.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.arrays[0]
+            .check_invariants()
+            .map_err(|e| format!("array 0: {e}"))?;
+        self.arrays[1]
+            .check_invariants()
+            .map_err(|e| format!("array 1: {e}"))?;
+        for (_, k, _) in self.arrays[0].entries() {
+            if self.arrays[1].get(k).is_some() {
+                return Err("key resident in both arrays".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::P4Lru3Array;
+    use crate::hashing::mix64;
+
+    fn overwrite(s: &mut u32, v: u32) {
+        *s = v;
+    }
+
+    #[test]
+    fn update_get_roundtrip_no_duplicates() {
+        let mut c = DChoice3::<u64, u32>::with_seed(8, 1);
+        for k in 0..40u64 {
+            c.update(k, k as u32, overwrite);
+        }
+        c.check_invariants().unwrap();
+        let mut resident = 0;
+        for k in 0..40u64 {
+            if let Some(&v) = c.get(&k) {
+                assert_eq!(v, k as u32);
+                resident += 1;
+            }
+        }
+        assert!(resident > 0);
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn repeated_key_is_a_hit_wherever_it_lives() {
+        let mut c = DChoice3::<u64, u32>::with_seed(4, 2);
+        c.update(9, 1, overwrite);
+        let out = c.update(9, 2, overwrite);
+        assert!(out.is_hit());
+        assert_eq!(c.get(&9), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn two_choices_beat_one_at_equal_memory() {
+        // Skewed collisions: many keys, small table. The two-choice cache
+        // (2 × 32 units) must miss less than one array of 64 units.
+        let drive_two = |seed: u64| {
+            let mut c = DChoice3::<u64, u64>::with_seed(32, seed);
+            let mut misses = 0u64;
+            let mut x = seed ^ 0xAA;
+            for _ in 0..60_000 {
+                x = mix64(x);
+                let key = x % 300;
+                if !c.update(key, x, |s, v| *s = v).is_hit() {
+                    misses += 1;
+                }
+            }
+            c.check_invariants().unwrap();
+            misses
+        };
+        let drive_one = |seed: u64| {
+            let mut c = P4Lru3Array::<u64, u64>::with_seed(64, seed);
+            let mut misses = 0u64;
+            let mut x = seed ^ 0xAA;
+            for _ in 0..60_000 {
+                x = mix64(x);
+                let key = x % 300;
+                if !c.update(key, x, |s, v| *s = v).is_hit() {
+                    misses += 1;
+                }
+            }
+            misses
+        };
+        // Average over several seeds to avoid hash luck.
+        let two: u64 = (0..5).map(drive_two).sum();
+        let one: u64 = (0..5).map(drive_one).sum();
+        assert!(two < one, "two-choice {two} misses !< one-choice {one}");
+    }
+
+    #[test]
+    fn placement_prefers_free_slots() {
+        let mut c = DChoice3::<u64, u32>::with_seed(1, 3); // 1 unit per array
+                                                           // Fill array picked by the coin for key 1's candidates… simply
+                                                           // insert 6 distinct keys: with both units initially empty the free
+                                                           // slots steer placement, so all 6 fit (3 + 3) with no eviction.
+        let mut evictions = 0;
+        for k in 0..6u64 {
+            if c.update(k, 0, overwrite).into_evicted().is_some() {
+                evictions += 1;
+            }
+        }
+        assert_eq!(evictions, 0, "free-slot steering should pack all 6 entries");
+        assert_eq!(c.len(), 6);
+    }
+}

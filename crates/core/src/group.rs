@@ -1,0 +1,521 @@
+//! Finite-group machinery behind the cache-state encodings (paper §2.3.3).
+//!
+//! The cache states of a P4LRUₙ unit form the symmetric group Sₙ, and each
+//! of the `n` possible key-array operations left-multiplies the state by a
+//! fixed group element. The data plane can only store integers and apply
+//! 2-branch arithmetic, so the question the paper raises is: *which groups
+//! can be encoded so that left-multiplication by fixed elements is
+//! arithmetic?*
+//!
+//! * **Cyclic groups** `C_n`: encode `gᵏ` as `k`; multiplication is modular
+//!   addition — trivially arithmetic ([`CyclicCode`]).
+//! * **Direct products** `H × K`: encode the factors independently.
+//! * **Extensions**: S₃ has the normal subgroup C₃ with S₃/C₃ ≅ C₂; the
+//!   paper's Table 1 codes (reproduced in [`S3Code`]) exploit exactly this —
+//!   the code's parity bit tracks the C₂ quotient and the remaining
+//!   structure tracks the C₃ part.
+//! * **S₄ ≅ V₄ ⋊ S₃**: the Klein four-group V₄ = C₂ × C₂ is normal in S₄
+//!   with quotient S₃, so an S₄ state splits into a 2-bit register and an
+//!   S₃ code ([`factor_s4`], [`compose_s4`]). This is the paper's sketched
+//!   route to P4LRU4, realized in [`crate::dfa::Dfa4`].
+
+// Group products are idiomatically named `mul`; they are not the scalar
+// `std::ops::Mul` (which would suggest commutativity callers cannot assume).
+#![allow(clippy::should_implement_trait)]
+
+use crate::perm::Perm;
+
+/// A group element encodable on the data plane: the element is an integer
+/// (or a small tuple of integers) and multiplication/inversion are register
+/// arithmetic. This is the abstraction behind §2.3.3's question of *which
+/// groups fit the pipeline*.
+pub trait Encodable: Copy + Eq {
+    /// Group product (paper convention where the element is a permutation).
+    fn mul(self, other: Self) -> Self;
+    /// Group inverse.
+    fn inverse(self) -> Self;
+    /// Is this the identity?
+    fn is_identity(self) -> bool;
+}
+
+/// Direct product `H × K`: encode the factors independently and multiply
+/// component-wise — the paper's construction (1) in §2.3.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProductCode<A, B>(pub A, pub B);
+
+impl<A: Encodable, B: Encodable> Encodable for ProductCode<A, B> {
+    fn mul(self, other: Self) -> Self {
+        ProductCode(self.0.mul(other.0), self.1.mul(other.1))
+    }
+
+    fn inverse(self) -> Self {
+        ProductCode(self.0.inverse(), self.1.inverse())
+    }
+
+    fn is_identity(self) -> bool {
+        self.0.is_identity() && self.1.is_identity()
+    }
+}
+
+/// Element of the cyclic group `C_n`, encoded as an integer `0..n`
+/// representing `g^k`. Group multiplication is addition mod `n` — the
+/// encoding a stateful ALU supports natively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CyclicCode {
+    k: u32,
+    n: u32,
+}
+
+impl CyclicCode {
+    /// The element `g^k` of `C_n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(k: u32, n: u32) -> Self {
+        assert!(n > 0, "cyclic group order must be positive");
+        Self { k: k % n, n }
+    }
+
+    /// The identity of `C_n`.
+    pub fn identity(n: u32) -> Self {
+        Self::new(0, n)
+    }
+
+    /// Group product (modular addition).
+    pub fn mul(self, other: Self) -> Self {
+        assert_eq!(self.n, other.n, "mixed cyclic group orders");
+        Self::new((self.k + other.k) % self.n, self.n)
+    }
+
+    /// Inverse element.
+    pub fn inverse(self) -> Self {
+        Self::new((self.n - self.k) % self.n, self.n)
+    }
+
+    /// The exponent `k` (the integer the data plane would store).
+    pub fn code(self) -> u32 {
+        self.k
+    }
+
+    /// Group order `n`.
+    pub fn order(self) -> u32 {
+        self.n
+    }
+}
+
+impl Encodable for CyclicCode {
+    fn mul(self, other: Self) -> Self {
+        CyclicCode::mul(self, other)
+    }
+
+    fn inverse(self) -> Self {
+        CyclicCode::inverse(self)
+    }
+
+    fn is_identity(self) -> bool {
+        self.k == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// S3: the paper's Table 1 encoding.
+// ---------------------------------------------------------------------------
+
+/// The paper's Table 1 codes for the six states of S₃, in 1-based paper
+/// notation `(1 2 3; a b c)` → 0-based image maps.
+///
+/// | state (paper) | map (0-based) | code |
+/// |---|---|---|
+/// | (1 2 3) | `[0,1,2]` | 4 |
+/// | (2 1 3) | `[1,0,2]` | 5 |
+/// | (3 1 2) | `[2,0,1]` | 2 |
+/// | (1 3 2) | `[0,2,1]` | 1 |
+/// | (2 3 1) | `[1,2,0]` | 0 |
+/// | (3 2 1) | `[2,1,0]` | 3 |
+///
+/// Even permutations get even codes, odd permutations odd codes — that
+/// parity discipline is what lets the three key-array operations become the
+/// five numeric operations of §2.3.2.
+pub const S3_CODE_TABLE: [([u8; 3], u8); 6] = [
+    ([0, 1, 2], 4),
+    ([1, 0, 2], 5),
+    ([2, 0, 1], 2),
+    ([0, 2, 1], 1),
+    ([1, 2, 0], 0),
+    ([2, 1, 0], 3),
+];
+
+/// An S₃ element carried as its paper Table 1 code (0..=5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct S3Code(u8);
+
+impl S3Code {
+    /// The identity permutation's code (4 in Table 1).
+    pub const IDENTITY: Self = Self(4);
+
+    /// Wraps a raw code. Returns `None` unless `code <= 5`.
+    pub fn from_code(code: u8) -> Option<Self> {
+        (code <= 5).then_some(Self(code))
+    }
+
+    /// Encodes a permutation per Table 1.
+    pub fn encode(p: Perm<3>) -> Self {
+        for (map, code) in S3_CODE_TABLE {
+            if *p.as_map() == map {
+                return Self(code);
+            }
+        }
+        unreachable!("every Perm<3> appears in the table")
+    }
+
+    /// Decodes back to the permutation.
+    pub fn decode(self) -> Perm<3> {
+        for (map, code) in S3_CODE_TABLE {
+            if code == self.0 {
+                return Perm::from_map_unchecked(map);
+            }
+        }
+        unreachable!("S3Code is always in 0..=5")
+    }
+
+    /// The raw integer code (what a switch register would hold).
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// Group product under the paper's composition convention
+    /// (`(P × Q)(i) = Q(P(i))`), computed via decode/compose/encode.
+    pub fn mul(self, other: Self) -> Self {
+        Self::encode(self.decode().compose(&other.decode()))
+    }
+}
+
+impl Encodable for S3Code {
+    fn mul(self, other: Self) -> Self {
+        S3Code::mul(self, other)
+    }
+
+    fn inverse(self) -> Self {
+        S3Code::encode(self.decode().inverse())
+    }
+
+    fn is_identity(self) -> bool {
+        self == Self::IDENTITY
+    }
+}
+
+// ---------------------------------------------------------------------------
+// V4 (Klein four-group) and the S4 = V4 ⋊ S3 factorization.
+// ---------------------------------------------------------------------------
+
+/// Element of the Klein four-group V₄ ⊲ S₄, encoded in 2 bits so that the
+/// group product is XOR.
+///
+/// The four elements as permutations of `{0,1,2,3}`:
+///
+/// | code | permutation |
+/// |---|---|
+/// | 0 | identity |
+/// | 1 | (0 1)(2 3) |
+/// | 2 | (0 2)(1 3) |
+/// | 3 | (0 3)(1 2) |
+///
+/// XOR works because code `i ∈ {1,2,3}` swaps `x ↔ x^i` positionally:
+/// the element maps position `p` to `p ^ i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct V4Code(u8);
+
+impl V4Code {
+    /// The identity.
+    pub const IDENTITY: Self = Self(0);
+
+    /// Wraps a raw 2-bit code. `None` unless `code <= 3`.
+    pub fn from_code(code: u8) -> Option<Self> {
+        (code <= 3).then_some(Self(code))
+    }
+
+    /// The permutation of `{0..3}` this element denotes: `p ↦ p ^ code`.
+    pub fn decode(self) -> Perm<4> {
+        let mut map = [0u8; 4];
+        for (p, m) in map.iter_mut().enumerate() {
+            *m = (p as u8) ^ self.0;
+        }
+        Perm::from_map_unchecked(map)
+    }
+
+    /// Encodes a permutation if it lies in V₄.
+    pub fn encode(p: Perm<4>) -> Option<Self> {
+        let code = p.apply(0) as u8;
+        let candidate = Self(code);
+        (candidate.decode() == p).then_some(candidate)
+    }
+
+    /// Group product — XOR of codes.
+    pub fn mul(self, other: Self) -> Self {
+        Self(self.0 ^ other.0)
+    }
+
+    /// Raw 2-bit code.
+    pub fn code(self) -> u8 {
+        self.0
+    }
+}
+
+impl Encodable for V4Code {
+    fn mul(self, other: Self) -> Self {
+        V4Code::mul(self, other)
+    }
+
+    fn inverse(self) -> Self {
+        self // every V4 element is an involution
+    }
+
+    fn is_identity(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Embeds an S₃ permutation into S₄ as a permutation fixing position 3.
+pub fn embed_s3(p: Perm<3>) -> Perm<4> {
+    let m = p.as_map();
+    Perm::from_map_unchecked([m[0], m[1], m[2], 3])
+}
+
+/// Restricts an S₄ permutation that fixes position 3 back to S₃.
+/// Returns `None` if it moves position 3.
+pub fn restrict_s4(p: Perm<4>) -> Option<Perm<3>> {
+    if p.apply(3) != 3 {
+        return None;
+    }
+    Perm::from_map([p.apply(0) as u8, p.apply(1) as u8, p.apply(2) as u8])
+}
+
+/// Factors `g ∈ S₄` uniquely as `g = v × σ` (paper convention: apply `v`
+/// first, then `σ`) with `v ∈ V₄` and `σ ∈ S₃` (fixing position 3).
+///
+/// Existence/uniqueness: V₄ ∩ S₃ = {e} and |V₄|·|S₃| = 24 = |S₄|, so
+/// S₄ = V₄ ⋊ S₃. Concretely `v` is the unique V₄ element with
+/// `v(3) = g⁻¹(3)`… equivalently we pick `v` so that `v⁻¹ × g` fixes 3.
+pub fn factor_s4(g: Perm<4>) -> (V4Code, Perm<3>) {
+    for code in 0..4u8 {
+        let v = V4Code(code);
+        // σ = v⁻¹ × g (V4 elements are involutions, so v⁻¹ = v).
+        let sigma4 = v.decode().compose(&g);
+        if let Some(sigma) = restrict_s4(sigma4) {
+            return (v, sigma);
+        }
+    }
+    unreachable!("S4 = V4 ⋊ S3 guarantees a factorization")
+}
+
+/// Recomposes the factors: `g = v × σ` (apply `v`, then `σ`).
+pub fn compose_s4(v: V4Code, sigma: Perm<3>) -> Perm<4> {
+    v.decode().compose(&embed_s3(sigma))
+}
+
+/// Conjugation `σ × v × σ⁻¹` stays in V₄ (V₄ is normal in S₄); returns the
+/// conjugated element. Used to derive the per-generator register updates of
+/// [`crate::dfa::Dfa4`].
+pub fn conjugate_v4(sigma: Perm<3>, v: V4Code) -> V4Code {
+    let s4 = embed_s3(sigma);
+    let conj = s4.inverse().compose(&v.decode()).compose(&s4);
+    V4Code::encode(conj).expect("V4 is normal in S4")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_group_axioms() {
+        let n = 7;
+        for a in 0..n {
+            let ca = CyclicCode::new(a, n);
+            assert_eq!(ca.mul(ca.inverse()), CyclicCode::identity(n));
+            assert_eq!(ca.mul(CyclicCode::identity(n)), ca);
+            for b in 0..n {
+                let cb = CyclicCode::new(b, n);
+                // Abelian.
+                assert_eq!(ca.mul(cb), cb.mul(ca));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_code_is_exponent_arithmetic() {
+        let g = CyclicCode::new(1, 5);
+        let mut acc = CyclicCode::identity(5);
+        for k in 0..10 {
+            assert_eq!(acc.code(), k % 5);
+            acc = acc.mul(g);
+        }
+    }
+
+    #[test]
+    fn s3_codes_cover_0_to_5_bijectively() {
+        let mut seen = [false; 6];
+        for p in Perm::<3>::all() {
+            let c = S3Code::encode(p);
+            assert!(!seen[c.code() as usize], "duplicate code");
+            seen[c.code() as usize] = true;
+            assert_eq!(c.decode(), p);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn s3_parity_discipline_of_table1() {
+        // Even permutations get even codes (paper §2.3.2).
+        for p in Perm::<3>::all() {
+            let c = S3Code::encode(p).code();
+            assert_eq!(p.is_even(), c.is_multiple_of(2), "perm {p:?} code {c}");
+        }
+    }
+
+    #[test]
+    fn s3_mul_matches_permutation_composition() {
+        for a in Perm::<3>::all() {
+            for b in Perm::<3>::all() {
+                let via_code = S3Code::encode(a).mul(S3Code::encode(b));
+                assert_eq!(via_code.decode(), a.compose(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn v4_is_closed_under_xor_and_matches_permutations() {
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let va = V4Code::from_code(a).unwrap();
+                let vb = V4Code::from_code(b).unwrap();
+                let prod_perm = va.decode().compose(&vb.decode());
+                assert_eq!(va.mul(vb).decode(), prod_perm);
+            }
+        }
+    }
+
+    #[test]
+    fn v4_elements_are_involutions() {
+        for c in 0..4u8 {
+            let v = V4Code::from_code(c).unwrap();
+            assert_eq!(v.mul(v), V4Code::IDENTITY);
+        }
+    }
+
+    #[test]
+    fn v4_encode_rejects_non_v4_permutations() {
+        let transposition = Perm::<4>::from_map_unchecked([1, 0, 2, 3]);
+        assert!(V4Code::encode(transposition).is_none());
+        let four_cycle = Perm::<4>::from_map_unchecked([1, 2, 3, 0]);
+        assert!(V4Code::encode(four_cycle).is_none());
+    }
+
+    #[test]
+    fn embed_restrict_roundtrip() {
+        for p in Perm::<3>::all() {
+            assert_eq!(restrict_s4(embed_s3(p)), Some(p));
+        }
+        let moves3 = Perm::<4>::from_map_unchecked([0, 1, 3, 2]);
+        assert_eq!(restrict_s4(moves3), None);
+    }
+
+    #[test]
+    fn s4_factorization_is_unique_and_total() {
+        let mut seen = std::collections::HashSet::new();
+        for g in Perm::<4>::all() {
+            let (v, sigma) = factor_s4(g);
+            assert_eq!(compose_s4(v, sigma), g, "recompose {g:?}");
+            assert!(
+                seen.insert((v.code(), *sigma.as_map())),
+                "collision for {g:?}"
+            );
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn v4_is_normal_conjugation_stays_inside() {
+        for sigma in Perm::<3>::all() {
+            for c in 0..4u8 {
+                let v = V4Code::from_code(c).unwrap();
+                // Must not panic, and must be consistent with permutations.
+                let conj = conjugate_v4(sigma, v);
+                let s4 = embed_s3(sigma);
+                let expect = s4.inverse().compose(&v.decode()).compose(&s4);
+                assert_eq!(conj.decode(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn product_code_c2_x_c2_is_isomorphic_to_v4() {
+        // §2.3.3 construction (1): V4 = C2 × C2, so the product encoding
+        // must agree with the XOR encoding under the bit-pair isomorphism.
+        let to_v4 = |p: ProductCode<CyclicCode, CyclicCode>| {
+            V4Code::from_code((p.0.code() as u8) << 1 | p.1.code() as u8).unwrap()
+        };
+        let c2 = |k| CyclicCode::new(k, 2);
+        for a0 in 0..2 {
+            for a1 in 0..2 {
+                for b0 in 0..2 {
+                    for b1 in 0..2 {
+                        let a = ProductCode(c2(a0), c2(a1));
+                        let b = ProductCode(c2(b0), c2(b1));
+                        assert_eq!(to_v4(a.mul(b)), to_v4(a).mul(to_v4(b)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_code_group_axioms() {
+        // C3 × S3: a non-abelian product still encodes component-wise.
+        let elems: Vec<ProductCode<CyclicCode, S3Code>> = (0..3)
+            .flat_map(|k| {
+                (0..6)
+                    .map(move |s| ProductCode(CyclicCode::new(k, 3), S3Code::from_code(s).unwrap()))
+            })
+            .collect();
+        assert_eq!(elems.len(), 18);
+        let id = ProductCode(CyclicCode::identity(3), S3Code::IDENTITY);
+        assert!(id.is_identity());
+        for &a in &elems {
+            assert_eq!(a.mul(a.inverse()), id);
+            assert_eq!(a.mul(id), a);
+            for &b in &elems {
+                for &c in &elems {
+                    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encodable_inverse_of_s3_and_v4() {
+        for s in 0..6u8 {
+            let a = S3Code::from_code(s).unwrap();
+            assert!(Encodable::mul(a, Encodable::inverse(a)).is_identity());
+        }
+        for v in 0..4u8 {
+            let a = V4Code::from_code(v).unwrap();
+            assert!(Encodable::mul(a, Encodable::inverse(a)).is_identity());
+        }
+    }
+
+    #[test]
+    fn conjugation_is_a_group_action() {
+        for sigma in Perm::<3>::all() {
+            for tau in Perm::<3>::all() {
+                for c in 0..4u8 {
+                    let v = V4Code::from_code(c).unwrap();
+                    // conj(τ, conj(σ, v)) == conj(σ × τ, v) under the paper
+                    // convention (σ applied first in σ × τ).
+                    let lhs = conjugate_v4(tau, conjugate_v4(sigma, v));
+                    let rhs = conjugate_v4(sigma.compose(&tau), v);
+                    assert_eq!(lhs, rhs);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Seedable 64-bit mixing hash.
+//!
+//! Every hash-indexed structure in this workspace (P4LRU arrays, the series
+//! connection's per-level hash functions, sketches) needs a family of
+//! independent, *deterministically seedable* hash functions — the switch uses
+//! distinct hardware hash units per table, and reproducible experiments need
+//! the same placement across runs. `std`'s `DefaultHasher` is neither
+//! seedable nor stable across releases, so this module provides a small,
+//! well-mixed alternative in the spirit of `wyhash`/`splitmix64`.
+
+use std::hash::{Hash, Hasher};
+
+/// Finalizing 64-bit mixer (the `splitmix64` finalizer). Full avalanche:
+/// every input bit flips every output bit with probability ≈ 1/2.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a `u64` key under a seed. Cheap path for the common case of
+/// integer keys (flow fingerprints, virtual addresses, database keys).
+#[inline]
+pub fn hash_u64(seed: u64, key: u64) -> u64 {
+    mix64(key ^ mix64(seed))
+}
+
+/// A seedable [`Hasher`] built on multiply-xor mixing.
+///
+/// Used through [`hash_of`] for arbitrary `Hash` keys; prefer [`hash_u64`]
+/// when the key is already a 64-bit integer.
+#[derive(Clone, Debug)]
+pub struct SeededHasher {
+    state: u64,
+}
+
+impl SeededHasher {
+    /// Creates a hasher whose output is a deterministic function of `seed`
+    /// and the written bytes.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: mix64(seed ^ 0xA076_1D64_78BD_642F),
+        }
+    }
+}
+
+impl Hasher for SeededHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail; mix after every word so
+        // field boundaries matter.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.state = mix64(self.state ^ w);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            // Include the length so "ab" | "" != "a" | "b".
+            self.state = mix64(self.state ^ u64::from_le_bytes(w) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix64(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i) | 0x1_0000_0000);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(u64::from(i) | 0x2_0000_0000);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i) | 0x4_0000_0000);
+    }
+}
+
+/// Hashes any `Hash` value under a seed.
+#[inline]
+pub fn hash_of<T: Hash + ?Sized>(seed: u64, value: &T) -> u64 {
+    let mut h = SeededHasher::new(seed);
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// A named hash function: a seed plus a modulus, mapping keys to bucket
+/// indices. This is the software stand-in for one hardware hash unit.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketHasher {
+    seed: u64,
+    buckets: usize,
+}
+
+impl BucketHasher {
+    /// A hash function onto `0..buckets` derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn new(seed: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        Self { seed, buckets }
+    }
+
+    /// Number of buckets this hasher maps onto.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Bucket index for `key`.
+    #[inline]
+    pub fn bucket<T: Hash + ?Sized>(&self, key: &T) -> usize {
+        // Multiply-shift range reduction avoids the bias of `% buckets`
+        // and is what switch hash units effectively do for power-of-two
+        // table sizes.
+        let h = hash_of(self.seed, key);
+        (((u128::from(h)) * (self.buckets as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_injective_on_small_sample() {
+        let mut outs: Vec<u64> = (0..10_000u64).map(mix64).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn different_seeds_give_independent_hashes() {
+        let a: Vec<u64> = (0..1000u64).map(|k| hash_u64(1, k)).collect();
+        let b: Vec<u64> = (0..1000u64).map(|k| hash_u64(2, k)).collect();
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn hasher_distinguishes_field_boundaries() {
+        assert_ne!(hash_of(0, &("ab", "")), hash_of(0, &("a", "b")));
+        assert_ne!(hash_of(0, &(1u32, 2u32)), hash_of(0, &(2u32, 1u32)));
+    }
+
+    #[test]
+    fn hash_of_matches_for_equal_values() {
+        #[derive(Hash)]
+        struct Five(u32, u32, u32, u16, u8);
+        let a = Five(1, 2, 3, 4, 5);
+        let b = Five(1, 2, 3, 4, 5);
+        assert_eq!(hash_of(42, &a), hash_of(42, &b));
+    }
+
+    #[test]
+    fn bucket_hasher_stays_in_range_and_spreads() {
+        let h = BucketHasher::new(3, 100);
+        let mut counts = vec![0usize; 100];
+        for k in 0..100_000u64 {
+            let b = h.bucket(&k);
+            assert!(b < 100);
+            counts[b] += 1;
+        }
+        // Each bucket expects 1000; allow generous slack (~±25%).
+        assert!(
+            counts.iter().all(|&c| (750..1250).contains(&c)),
+            "skewed: {counts:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bucket_hasher_rejects_zero_buckets() {
+        let _ = BucketHasher::new(0, 0);
+    }
+
+    #[test]
+    fn bucket_hasher_is_deterministic() {
+        let h1 = BucketHasher::new(9, 1 << 16);
+        let h2 = BucketHasher::new(9, 1 << 16);
+        for k in 0..1000u64 {
+            assert_eq!(h1.bucket(&k), h2.bucket(&k));
+        }
+    }
+}

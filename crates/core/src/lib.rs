@@ -1,0 +1,74 @@
+//! # p4lru-core
+//!
+//! A faithful software implementation of **P4LRU** — the pipeline-ordered LRU
+//! cache of *"P4LRU: Towards An LRU Cache Entirely in Programmable Data
+//! Plane"* (SIGCOMM 2023) — together with every replacement policy the paper
+//! compares against and the metrics its evaluation uses.
+//!
+//! ## Why a special LRU?
+//!
+//! A match-action pipeline (e.g. the Tofino ASIC) partitions state across
+//! stages. A packet visits the stages in order and may read-modify-write each
+//! register block **at most once**. Classical LRU implementations
+//! (timestamp-based and queue-based alike) need a *second* pass over the same
+//! data — to overwrite the oldest bucket, or to copy a matched value to the
+//! queue head — and therefore cannot be expressed in a pipeline.
+//!
+//! P4LRU removes the second pass by splitting keys from values:
+//!
+//! * the **key array** is kept in true LRU order, one slot per stage;
+//! * the **value array** never moves;
+//! * a permutation, the **cache state** [`Perm`], maps key positions to
+//!   value positions and is advanced by a small DFA whose transitions are
+//!   plain integer arithmetic (implementable in a stateful ALU).
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`classical`] | §2.1's timestamp/queue LRU with instrumentation measuring the two-pass problem |
+//! | [`dway`] | two-choice placement extension (ablation) |
+//! | [`perm`] | permutation algebra (paper's composition convention, rotations, ranking) |
+//! | [`group`] | finite-group machinery: cyclic groups, direct products, the S₃ and S₄≅V₄⋊S₃ encodings |
+//! | [`dfa`] | cache-state DFAs: reference permutation DFA and the encoded n=2/3/4 arithmetic DFAs |
+//! | [`salu`] | stateful-ALU instruction model + a searcher proving the encoded DFAs fit the ALU budget |
+//! | [`unit`](mod@unit) | [`unit::LruUnit`] — a single P4LRU cache of n entries (Algorithm 1) |
+//! | [`array`](mod@array) | parallel connection: hash-indexed arrays of units |
+//! | [`series`] | series connection with deferred (reply-driven) updates |
+//! | [`policies`] | unified [`policies::Cache`] trait + baselines: ideal LRU, P4LRU1, timeout, Elastic, Coco |
+//! | [`metrics`] | miss-rate bookkeeping and the paper's *LRU similarity* metric |
+//! | [`hashing`] | seedable 64-bit mixing hash used by all hash-indexed structures |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use p4lru_core::array::P4Lru3Array;
+//!
+//! // 1024 units of 3 entries each = 3072 cached flows.
+//! let mut cache = P4Lru3Array::<u64, u32>::with_seed(1024, 7);
+//! for (flow, bytes) in [(10, 1500u32), (11, 64), (10, 1500)] {
+//!     // write-cache semantics: accumulate bytes per flow
+//!     cache.update(flow, bytes, |acc, add| *acc += add);
+//! }
+//! assert_eq!(cache.get(&10), Some(&3000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod classical;
+pub mod dfa;
+pub mod dway;
+pub mod group;
+pub mod hashing;
+pub mod metrics;
+pub mod perm;
+pub mod policies;
+pub mod salu;
+pub mod series;
+pub mod unit;
+
+pub use array::LruArray;
+pub use perm::Perm;
+pub use unit::LruUnit;

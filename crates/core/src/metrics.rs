@@ -1,0 +1,510 @@
+//! Cache metrics: miss rate and the paper's **LRU similarity** (§4.2).
+//!
+//! > "Given a cache with a capacity of n, for each evicted entry, if the
+//! > ranking of its last access time is represented by k, its relative
+//! > ranking is deduced as k/n. In an ideal LRU cache scenario, this
+//! > relative ranking consistently equals 1. Therefore, we define the LRU
+//! > similarity as the average relative ranking of all evicted entries."
+//!
+//! [`SimilarityTracker`] shadows any [`crate::policies::Cache`]: it keeps the
+//! last-access sequence number of every cached key and, at each eviction,
+//! ranks the victim's recency among all cached entries in O(log n) using an
+//! order-statistic treap. Ranking counts from the newest entry, so evicting
+//! the globally oldest entry scores `k = n` and relative rank 1.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::hashing::mix64;
+use crate::policies::Access;
+
+// ---------------------------------------------------------------------------
+// Miss-rate bookkeeping.
+// ---------------------------------------------------------------------------
+
+/// Running hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MissStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Misses where the key was admitted.
+    pub admitted: u64,
+    /// Misses where the policy refused admission.
+    pub refused: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+}
+
+impl MissStats {
+    /// Records one access outcome.
+    pub fn record<K, V>(&mut self, access: &Access<K, V>) {
+        self.accesses += 1;
+        match access {
+            Access::Hit => self.hits += 1,
+            Access::Miss { evicted, inserted } => {
+                if *inserted {
+                    self.admitted += 1;
+                } else {
+                    self.refused += 1;
+                }
+                if evicted.is_some() {
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Misses (admitted or refused).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss fraction in `[0, 1]`; 0 for an empty record.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit fraction in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-statistic treap over last-access sequence numbers.
+// ---------------------------------------------------------------------------
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    key: u64,
+    priority: u64,
+    left: usize,
+    right: usize,
+    size: u32,
+}
+
+/// A treap keyed by `u64` with subtree sizes: O(log n) insert, remove and
+/// rank queries. Priorities are a deterministic hash of the key, keeping the
+/// whole metric reproducible run-to-run.
+#[derive(Clone, Debug, Default)]
+pub struct OrderStatTree {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: usize,
+}
+
+impl OrderStatTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        if self.root == NIL {
+            0
+        } else {
+            self.nodes[self.root].size as usize
+        }
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    fn size(&self, n: usize) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n].size
+        }
+    }
+
+    fn pull(&mut self, n: usize) {
+        let s = 1 + self.size(self.nodes[n].left) + self.size(self.nodes[n].right);
+        self.nodes[n].size = s;
+    }
+
+    fn alloc(&mut self, key: u64) -> usize {
+        let node = Node {
+            key,
+            priority: mix64(key ^ 0x7EA9_0000),
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Splits `t` into (< key, >= key).
+    fn split(&mut self, t: usize, key: u64) -> (usize, usize) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t].key < key {
+            let (l, r) = self.split(self.nodes[t].right, key);
+            self.nodes[t].right = l;
+            self.pull(t);
+            (t, r)
+        } else {
+            let (l, r) = self.split(self.nodes[t].left, key);
+            self.nodes[t].left = r;
+            self.pull(t);
+            (l, t)
+        }
+    }
+
+    fn merge(&mut self, a: usize, b: usize) -> usize {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a].priority > self.nodes[b].priority {
+            let m = self.merge(self.nodes[a].right, b);
+            self.nodes[a].right = m;
+            self.pull(a);
+            a
+        } else {
+            let m = self.merge(a, self.nodes[b].left);
+            self.nodes[b].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Inserts `key`; keys are unique (inserting a duplicate is a no-op).
+    pub fn insert(&mut self, key: u64) {
+        if self.contains(key) {
+            return;
+        }
+        let n = self.alloc(key);
+        let (l, r) = self.split(self.root, key);
+        let lr = self.merge(l, n);
+        self.root = self.merge(lr, r);
+    }
+
+    /// Removes `key` if present; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let (l, mid_r) = self.split(self.root, key);
+        let (mid, r) = self.split(mid_r, key + 1);
+        let found = mid != NIL;
+        if found {
+            self.free.push(mid);
+        }
+        self.root = self.merge(l, r);
+        found
+    }
+
+    /// Is `key` stored?
+    pub fn contains(&self, key: u64) -> bool {
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = &self.nodes[cur];
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => cur = n.left,
+                std::cmp::Ordering::Greater => cur = n.right,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Number of stored keys strictly less than `key`.
+    pub fn count_less(&self, key: u64) -> usize {
+        let mut cur = self.root;
+        let mut acc = 0usize;
+        while cur != NIL {
+            let n = &self.nodes[cur];
+            if n.key < key {
+                acc += 1 + self.size(n.left) as usize;
+                cur = n.right;
+            } else {
+                cur = n.left;
+            }
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LRU similarity.
+// ---------------------------------------------------------------------------
+
+/// Shadow tracker computing the paper's LRU-similarity metric for any cache
+/// driven through the [`crate::policies::Cache`] interface.
+#[derive(Clone, Debug)]
+pub struct SimilarityTracker<K> {
+    last_access: HashMap<K, u64>,
+    tree: OrderStatTree,
+    capacity: usize,
+    seq: u64,
+    rel_rank_sum: f64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone> SimilarityTracker<K> {
+    /// Tracker for a cache of total entry `capacity` (the `n` of `k/n`).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            last_access: HashMap::new(),
+            tree: OrderStatTree::new(),
+            capacity,
+            seq: 0,
+            rel_rank_sum: 0.0,
+            evictions: 0,
+        }
+    }
+
+    /// Observes one access of `key` and its outcome. Must be called for
+    /// every access, in order, with the outcome the cache returned.
+    pub fn observe<V>(&mut self, key: &K, access: &Access<K, V>) {
+        self.seq += 1;
+        let seq = self.seq;
+        match access {
+            Access::Hit => {
+                // Tolerate a hit on an untracked key (possible only under
+                // racy deferred protocols): start tracking it.
+                let slot = self.last_access.entry(key.clone()).or_insert(seq);
+                self.tree.remove(*slot);
+                *slot = seq;
+                self.tree.insert(seq);
+            }
+            Access::Miss { evicted, inserted } => {
+                if let Some((ek, _)) = evicted {
+                    // Score the victim's recency rank; skip silently if the
+                    // tracker never saw it (duplicate-entry races).
+                    if let Some(old_seq) = self.last_access.remove(ek) {
+                        // Rank from newest: the victim plus everything newer.
+                        let newer_or_equal = self.tree.len() - self.tree.count_less(old_seq);
+                        self.rel_rank_sum += newer_or_equal as f64 / self.capacity as f64;
+                        self.evictions += 1;
+                        self.tree.remove(old_seq);
+                    }
+                }
+                if *inserted {
+                    if let Some(old_seq) = self.last_access.insert(key.clone(), seq) {
+                        self.tree.remove(old_seq);
+                    }
+                    self.tree.insert(seq);
+                }
+            }
+        }
+    }
+
+    /// The LRU similarity so far: mean relative rank over all evictions
+    /// (1.0 when no eviction happened yet, matching the ideal-LRU value).
+    pub fn similarity(&self) -> f64 {
+        if self.evictions == 0 {
+            1.0
+        } else {
+            self.rel_rank_sum / self.evictions as f64
+        }
+    }
+
+    /// Number of evictions scored.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries currently shadow-tracked (should match the cache's `len`).
+    pub fn tracked(&self) -> usize {
+        self.last_access.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{merge_replace, Cache, IdealLru, P4Lru1Cache, P4Lru3Cache};
+
+    // ---- OrderStatTree ----
+
+    #[test]
+    fn tree_insert_remove_contains() {
+        let mut t = OrderStatTree::new();
+        assert!(t.is_empty());
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k);
+        }
+        assert_eq!(t.len(), 5);
+        assert!(t.contains(7));
+        assert!(!t.contains(2));
+        assert!(t.remove(7));
+        assert!(!t.remove(7));
+        assert_eq!(t.len(), 4);
+        assert!(!t.contains(7));
+    }
+
+    #[test]
+    fn tree_duplicate_insert_is_noop() {
+        let mut t = OrderStatTree::new();
+        t.insert(4);
+        t.insert(4);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn tree_count_less_matches_naive() {
+        let mut t = OrderStatTree::new();
+        let mut reference: Vec<u64> = Vec::new();
+        let mut x = 99u64;
+        for i in 0..3000 {
+            x = mix64(x);
+            let key = x % 500;
+            if x & 1 == 0 {
+                t.insert(key);
+                if !reference.contains(&key) {
+                    reference.push(key);
+                }
+            } else {
+                t.remove(key);
+                reference.retain(|&k| k != key);
+            }
+            if i % 97 == 0 {
+                let probe = x % 512;
+                let naive = reference.iter().filter(|&&k| k < probe).count();
+                assert_eq!(t.count_less(probe), naive, "probe {probe}");
+                assert_eq!(t.len(), reference.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reuses_freed_nodes() {
+        let mut t = OrderStatTree::new();
+        for k in 0..100u64 {
+            t.insert(k);
+        }
+        for k in 0..100u64 {
+            t.remove(k);
+        }
+        let allocated = t.nodes.len();
+        for k in 100..200u64 {
+            t.insert(k);
+        }
+        assert_eq!(t.nodes.len(), allocated, "should reuse freed slots");
+    }
+
+    // ---- MissStats ----
+
+    #[test]
+    fn miss_stats_accumulate() {
+        let mut s = MissStats::default();
+        s.record::<u32, u32>(&Access::Hit);
+        s.record::<u32, u32>(&Access::Miss {
+            evicted: None,
+            inserted: true,
+        });
+        s.record::<u32, u32>(&Access::Miss {
+            evicted: Some((1, 1)),
+            inserted: true,
+        });
+        s.record::<u32, u32>(&Access::Miss {
+            evicted: None,
+            inserted: false,
+        });
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 3);
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.refused, 1);
+        assert_eq!(s.evictions, 1);
+        assert!((s.miss_rate() - 0.75).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = MissStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    // ---- SimilarityTracker ----
+
+    /// Drives a cache + tracker over a pseudo-random trace and returns the
+    /// similarity.
+    fn run_similarity<C: Cache<u64, u64>>(cache: &mut C, keys: u64, steps: u64) -> f64 {
+        let mut tracker = SimilarityTracker::new(cache.capacity());
+        let mut x = 42u64;
+        for i in 0..steps {
+            x = mix64(x);
+            let key = x % keys;
+            let out = cache.access(key, i, i, merge_replace);
+            tracker.observe(&key, &out);
+            assert_eq!(tracker.tracked(), cache.len(), "shadow diverged at {i}");
+        }
+        tracker.similarity()
+    }
+
+    #[test]
+    fn ideal_lru_scores_exactly_one() {
+        let mut lru = IdealLru::<u64, u64>::new(64);
+        let sim = run_similarity(&mut lru, 256, 20_000);
+        assert!((sim - 1.0).abs() < 1e-9, "ideal LRU similarity {sim}");
+    }
+
+    #[test]
+    fn p4lru3_scores_below_ideal_but_above_hash_table() {
+        let mut p3 = P4Lru3Cache::<u64, u64>::new(32, 5); // 96 entries
+        let sim3 = run_similarity(&mut p3, 400, 30_000);
+        let mut p1 = P4Lru1Cache::<u64, u64>::new(96, 5); // 96 entries
+        let sim1 = run_similarity(&mut p1, 400, 30_000);
+        assert!(sim3 < 1.0);
+        assert!(
+            sim3 > sim1,
+            "P4LRU3 similarity {sim3} should beat P4LRU1 {sim1} (Figure 15b ordering)"
+        );
+    }
+
+    #[test]
+    fn no_evictions_means_similarity_one() {
+        let mut lru = IdealLru::<u64, u64>::new(1000);
+        let sim = run_similarity(&mut lru, 100, 1000); // never fills
+        assert_eq!(sim, 1.0);
+    }
+
+    #[test]
+    fn refused_admissions_do_not_corrupt_shadow() {
+        use crate::policies::TimeoutCache;
+        let mut c = TimeoutCache::<u64, u64>::new(16, 10, 3);
+        let mut tracker = SimilarityTracker::new(c.capacity());
+        let mut x = 17u64;
+        for i in 0..5000u64 {
+            x = mix64(x);
+            let key = x % 64;
+            let out = c.access(key, i, i, merge_replace);
+            tracker.observe(&key, &out);
+            assert_eq!(tracker.tracked(), c.len());
+        }
+    }
+}

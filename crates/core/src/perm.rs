@@ -1,0 +1,380 @@
+//! Permutation algebra for cache states.
+//!
+//! A P4LRU cache of capacity `N` keeps its key array in LRU order while the
+//! value array never moves; the *cache state* is the permutation mapping key
+//! positions to value positions (paper §2.2). This module implements the
+//! small, fixed-size permutations those states are drawn from, using the
+//! paper's composition convention:
+//!
+//! > `(P × Q)(i) = Q(P(i))`  — i.e. apply `P` first, then `Q`.
+//!
+//! Positions are **0-based** internally (the paper is 1-based); every doc
+//! comment that cites the paper translates accordingly.
+
+use std::fmt;
+
+/// A permutation of `{0, 1, …, N-1}` stored inline.
+///
+/// `Perm<N>` is `Copy` for all the small `N` used by cache states, so units
+/// can store and update states without allocation.
+///
+/// ```
+/// use p4lru_core::perm::Perm;
+/// let r = Perm::<3>::rotation(2); // paper's R for a hit at position 3 (1-based)
+/// assert_eq!(r.apply(0), 1);
+/// assert_eq!(r.apply(1), 2);
+/// assert_eq!(r.apply(2), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Perm<const N: usize> {
+    /// `map[i]` is the image of position `i`.
+    map: [u8; N],
+}
+
+impl<const N: usize> Default for Perm<N> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<const N: usize> fmt::Debug for Perm<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perm(")?;
+        for (i, p) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const N: usize> Perm<N> {
+    /// The identity permutation.
+    pub fn identity() -> Self {
+        let mut map = [0u8; N];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as u8;
+        }
+        Self { map }
+    }
+
+    /// Builds a permutation from an explicit image array.
+    ///
+    /// Returns `None` if `map` is not a permutation of `0..N`.
+    pub fn from_map(map: [u8; N]) -> Option<Self> {
+        let mut seen = [false; N];
+        for &m in &map {
+            let m = m as usize;
+            if m >= N || seen[m] {
+                return None;
+            }
+            seen[m] = true;
+        }
+        Some(Self { map })
+    }
+
+    /// Builds a permutation from an image array, panicking on invalid input.
+    ///
+    /// Intended for tests and constant tables.
+    pub fn from_map_unchecked(map: [u8; N]) -> Self {
+        Self::from_map(map).expect("invalid permutation map")
+    }
+
+    /// The image of position `i`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        debug_assert!(i < N);
+        self.map[i] as usize
+    }
+
+    /// The underlying image array.
+    #[inline]
+    pub fn as_map(&self) -> &[u8; N] {
+        &self.map
+    }
+
+    /// Paper-convention product: `(self × other)(i) = other(self(i))`.
+    ///
+    /// This matches the footnote of §2.2:
+    /// `(1…n; p₁…pₙ) × (1…n; q₁…qₙ) = (1…n; q_{p₁} … q_{pₙ})`.
+    pub fn compose(&self, other: &Self) -> Self {
+        let mut map = [0u8; N];
+        for (m, &p) in map.iter_mut().zip(&self.map) {
+            *m = other.map[p as usize];
+        }
+        Self { map }
+    }
+
+    /// The inverse permutation: `self.inverse().apply(self.apply(i)) == i`.
+    pub fn inverse(&self) -> Self {
+        let mut map = [0u8; N];
+        for i in 0..N {
+            map[self.map[i] as usize] = i as u8;
+        }
+        Self { map }
+    }
+
+    /// The paper's rotation `R` for a key matched at (0-based) position `h`:
+    /// positions `0..h` shift down by one, position `h` moves to the front,
+    /// and positions past `h` are fixed.
+    ///
+    /// In the paper's 1-based notation (§2.2, Step 2), a hit at position `i`
+    /// gives `R = (1 2 … i-1 i | 2 3 … i 1)`; a miss uses `i = n`, i.e.
+    /// `h = N-1` here.
+    pub fn rotation(h: usize) -> Self {
+        assert!(h < N, "rotation pivot {h} out of range for N={N}");
+        let mut map = [0u8; N];
+        for (j, m) in map.iter_mut().enumerate() {
+            *m = if j < h {
+                (j + 1) as u8
+            } else if j == h {
+                0
+            } else {
+                j as u8
+            };
+        }
+        Self { map }
+    }
+
+    /// Advances a cache state for an access resolved at key position `h`
+    /// (0-based): `S ← R⁻¹ × S` with `R = rotation(h)`.
+    ///
+    /// Equivalently, the first `h+1` images rotate right by one — the image
+    /// of the matched position becomes the image of position 0. A cache miss
+    /// is the `h = N-1` case: the incoming key reuses the value slot of the
+    /// evicted (least recently used) key.
+    pub fn advance(&mut self, h: usize) {
+        debug_assert!(h < N);
+        let front = self.map[h];
+        // Rotate map[0..=h] right by one.
+        let mut j = h;
+        while j > 0 {
+            self.map[j] = self.map[j - 1];
+            j -= 1;
+        }
+        self.map[0] = front;
+    }
+
+    /// The value slot mapped to the most recently used key, `S(1)` in paper
+    /// notation.
+    #[inline]
+    pub fn front_slot(&self) -> usize {
+        self.map[0] as usize
+    }
+
+    /// Parity of the permutation: `true` for even (expressible as an even
+    /// number of transpositions). Used by the S₃/S₄ encodings, which encode
+    /// even permutations as even integers (§2.3.2).
+    pub fn is_even(&self) -> bool {
+        // Count cycles: parity = (N - #cycles) mod 2.
+        let mut seen = [false; N];
+        let mut transpositions = 0usize;
+        for start in 0..N {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0usize;
+            let mut cur = start;
+            while !seen[cur] {
+                seen[cur] = true;
+                cur = self.map[cur] as usize;
+                len += 1;
+            }
+            transpositions += len - 1;
+        }
+        transpositions.is_multiple_of(2)
+    }
+
+    /// Lexicographic rank of the permutation among all `N!` permutations
+    /// (Lehmer code). Gives a canonical dense numbering used by the
+    /// reference DFA and by encoding-search tooling.
+    pub fn lehmer_rank(&self) -> usize {
+        let mut rank = 0usize;
+        for i in 0..N {
+            let mut smaller = 0usize;
+            for j in (i + 1)..N {
+                if self.map[j] < self.map[i] {
+                    smaller += 1;
+                }
+            }
+            rank = rank * (N - i) + smaller;
+        }
+        rank
+    }
+
+    /// Inverse of [`Self::lehmer_rank`]: the permutation with the given
+    /// lexicographic rank. Panics if `rank >= N!`.
+    pub fn from_lehmer_rank(mut rank: usize) -> Self {
+        let nfact = factorial(N);
+        assert!(rank < nfact, "rank {rank} out of range for N={N}");
+        // Decode factoradic digits.
+        let mut digits = [0usize; N];
+        for i in (0..N).rev() {
+            let base = N - i;
+            digits[i] = rank % base;
+            rank /= base;
+        }
+        // digits[i] = how many unused symbols smaller than map[i].
+        let mut pool: Vec<u8> = (0..N as u8).collect();
+        let mut map = [0u8; N];
+        for i in 0..N {
+            map[i] = pool.remove(digits[i]);
+        }
+        Self { map }
+    }
+
+    /// Iterator over all `N!` permutations in lexicographic-rank order.
+    pub fn all() -> impl Iterator<Item = Self> {
+        (0..factorial(N)).map(Self::from_lehmer_rank)
+    }
+
+    /// The order of the permutation in the group Sₙ (smallest `k > 0` with
+    /// `selfᵏ = identity`).
+    pub fn order(&self) -> usize {
+        let mut acc = *self;
+        let mut k = 1usize;
+        while acc != Self::identity() {
+            acc = acc.compose(self);
+            k += 1;
+        }
+        k
+    }
+}
+
+/// `n!` for the small `n` used by cache states.
+pub fn factorial(n: usize) -> usize {
+    (1..=n).product::<usize>().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_each_position_to_itself() {
+        let id = Perm::<5>::identity();
+        for i in 0..5 {
+            assert_eq!(id.apply(i), i);
+        }
+    }
+
+    #[test]
+    fn from_map_rejects_non_permutations() {
+        assert!(Perm::<3>::from_map([0, 0, 1]).is_none());
+        assert!(Perm::<3>::from_map([0, 1, 3]).is_none());
+        assert!(Perm::<3>::from_map([2, 1, 0]).is_some());
+    }
+
+    #[test]
+    fn compose_follows_paper_convention() {
+        // Paper example (§2.2, Example 1):
+        // (1 2 3 4 5; 4 1 2 3 5) × (1 2 3 4 5; 1 2 3 4 5) = (…; 4 1 2 3 5)
+        let r_inv = Perm::<5>::from_map_unchecked([3, 0, 1, 2, 4]);
+        let id = Perm::<5>::identity();
+        assert_eq!(r_inv.compose(&id), r_inv);
+
+        // Paper example (§2.2, Example 2):
+        // (1…5; 5 1 2 3 4) × (1…5; 4 1 2 3 5) = (1…5; 5 4 1 2 3)
+        let a = Perm::<5>::from_map_unchecked([4, 0, 1, 2, 3]);
+        let b = Perm::<5>::from_map_unchecked([3, 0, 1, 2, 4]);
+        let want = Perm::<5>::from_map_unchecked([4, 3, 0, 1, 2]);
+        assert_eq!(a.compose(&b), want);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity_both_ways() {
+        for p in Perm::<4>::all() {
+            assert_eq!(p.compose(&p.inverse()), Perm::identity());
+            assert_eq!(p.inverse().compose(&p), Perm::identity());
+        }
+    }
+
+    #[test]
+    fn rotation_matches_paper_definition() {
+        // Hit at 1-based position 4 in a 5-entry cache (Example 1):
+        // R = (1 2 3 4 5; 2 3 4 1 5)
+        let r = Perm::<5>::rotation(3);
+        assert_eq!(*r.as_map(), [1, 2, 3, 0, 4]);
+        // Miss (Example 2): R = (1…5; 2 3 4 5 1)
+        let r = Perm::<5>::rotation(4);
+        assert_eq!(*r.as_map(), [1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn advance_equals_premultiplication_by_inverse_rotation() {
+        for s in Perm::<5>::all() {
+            for h in 0..5 {
+                let mut fast = s;
+                fast.advance(h);
+                let slow = Perm::<5>::rotation(h).inverse().compose(&s);
+                assert_eq!(fast, slow, "state {s:?} advanced at {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_running_example_reproduced() {
+        // §2.2 Examples 1 & 2 end-to-end on the cache state.
+        let mut s = Perm::<5>::identity();
+        // Example 1: hit at 1-based position 4 → h = 3.
+        s.advance(3);
+        assert_eq!(*s.as_map(), [3, 0, 1, 2, 4]); // (1…5; 4 1 2 3 5)
+        assert_eq!(s.front_slot(), 3); // val[4] updated (V_D'')
+                                       // Example 2: miss → h = 4.
+        s.advance(4);
+        assert_eq!(*s.as_map(), [4, 3, 0, 1, 2]); // (1…5; 5 4 1 2 3)
+        assert_eq!(s.front_slot(), 4); // val[5] replaced by V_F
+    }
+
+    #[test]
+    fn lehmer_rank_roundtrips() {
+        for (i, p) in Perm::<4>::all().enumerate() {
+            assert_eq!(p.lehmer_rank(), i);
+            assert_eq!(Perm::<4>::from_lehmer_rank(i), p);
+        }
+    }
+
+    #[test]
+    fn lehmer_rank_is_lexicographic() {
+        let ranks: Vec<[u8; 3]> = Perm::<3>::all().map(|p| *p.as_map()).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort();
+        assert_eq!(ranks, sorted);
+        assert_eq!(ranks.len(), 6);
+    }
+
+    #[test]
+    fn parity_counts() {
+        let even = Perm::<4>::all().filter(Perm::is_even).count();
+        assert_eq!(even, 12); // |A4| = 12
+        assert!(Perm::<3>::identity().is_even());
+        assert!(!Perm::<3>::from_map_unchecked([1, 0, 2]).is_even());
+    }
+
+    #[test]
+    fn parity_is_a_homomorphism() {
+        for a in Perm::<4>::all() {
+            for b in Perm::<4>::all() {
+                assert_eq!(a.compose(&b).is_even(), a.is_even() == b.is_even());
+            }
+        }
+    }
+
+    #[test]
+    fn order_divides_group_order() {
+        for p in Perm::<4>::all() {
+            assert_eq!(24 % p.order(), 0);
+        }
+        assert_eq!(Perm::<4>::identity().order(), 1);
+    }
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(3), 6);
+        assert_eq!(factorial(5), 120);
+    }
+}

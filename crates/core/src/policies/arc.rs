@@ -1,0 +1,307 @@
+//! ARC — Adaptive Replacement Cache (Megiddo & Modha 2003; paper §5.1's
+//! hybrid policies).
+//!
+//! Four lists: `T1` (resident, seen once), `T2` (resident, seen twice+),
+//! and ghost lists `B1`/`B2` remembering *keys* recently evicted from each.
+//! A hit in a ghost list is evidence the adaptive target `p` (T1's share)
+//! should move toward that side. ARC adapts between recency (LRU-like) and
+//! frequency (LFU-like) behavior with O(1) operations.
+//!
+//! A software reference like [`super::IdealLru`] — far beyond what a
+//! pipeline can host (four linked structures, a second pass) — used to
+//! bound how much an adaptive policy could improve on P4LRU.
+
+use std::hash::Hash;
+
+use super::list::LruList;
+use super::{Access, Cache, MergeFn};
+
+/// ARC cache.
+#[derive(Clone, Debug)]
+pub struct ArcCache<K, V> {
+    t1: LruList<K, V>,
+    t2: LruList<K, V>,
+    b1: LruList<K, ()>,
+    b2: LruList<K, ()>,
+    /// Target size of T1 (adapted online), `p` in the paper.
+    p: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> ArcCache<K, V> {
+    /// An ARC of `capacity` resident entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            t1: LruList::new(),
+            t2: LruList::new(),
+            b1: LruList::new(),
+            b2: LruList::new(),
+            p: 0,
+            capacity,
+        }
+    }
+
+    /// The adaptive T1 target (diagnostics).
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Occupancies `(|T1|, |T2|, |B1|, |B2|)` (diagnostics).
+    pub fn occupancy(&self) -> (usize, usize, usize, usize) {
+        (self.t1.len(), self.t2.len(), self.b1.len(), self.b2.len())
+    }
+
+    /// REPLACE(x) of the ARC paper: demote a resident entry to its ghost
+    /// list, returning the evicted entry.
+    fn replace(&mut self, in_b2: bool) -> Option<(K, V)> {
+        let t1_len = self.t1.len();
+        if t1_len >= 1 && (t1_len > self.p || (in_b2 && t1_len == self.p)) {
+            let (k, v) = self.t1.pop_back().expect("non-empty");
+            self.b1.push_front(k.clone(), ());
+            Some((k, v))
+        } else if let Some((k, v)) = self.t2.pop_back() {
+            self.b2.push_front(k.clone(), ());
+            Some((k, v))
+        } else if let Some((k, v)) = self.t1.pop_back() {
+            self.b1.push_front(k.clone(), ());
+            Some((k, v))
+        } else {
+            None
+        }
+    }
+
+    /// Structural invariants (property tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let c = self.capacity;
+        if self.t1.len() + self.t2.len() > c {
+            return Err("resident overflow".into());
+        }
+        if self.t1.len() + self.b1.len() > c {
+            return Err("|T1|+|B1| > c".into());
+        }
+        if self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len() > 2 * c {
+            return Err("total directory > 2c".into());
+        }
+        if self.p > c {
+            return Err("p out of range".into());
+        }
+        self.t1.check_invariants()?;
+        self.t2.check_invariants()?;
+        self.b1.check_invariants()?;
+        self.b2.check_invariants()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Cache<K, V> for ArcCache<K, V> {
+    fn access(&mut self, key: K, value: V, _now_ns: u64, merge: MergeFn<V>) -> Access<K, V> {
+        // Case I: hit in T1 or T2 → move to T2 MRU.
+        if self.t1.contains(&key) {
+            let mut v = self.t1.remove(&key).expect("contained");
+            merge(&mut v, value);
+            self.t2.push_front(key, v);
+            return Access::Hit;
+        }
+        if self.t2.contains(&key) {
+            merge(self.t2.peek_mut(&key).expect("contained"), value);
+            self.t2.touch(&key);
+            return Access::Hit;
+        }
+        // Case II: ghost hit in B1 → grow p, fetch into T2.
+        if self.b1.contains(&key) {
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(self.capacity);
+            let evicted = self.replace(false);
+            self.b1.remove(&key);
+            self.t2.push_front(key, value);
+            return Access::Miss {
+                evicted,
+                inserted: true,
+            };
+        }
+        // Case III: ghost hit in B2 → shrink p, fetch into T2.
+        if self.b2.contains(&key) {
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            let evicted = self.replace(true);
+            self.b2.remove(&key);
+            self.t2.push_front(key, value);
+            return Access::Miss {
+                evicted,
+                inserted: true,
+            };
+        }
+        // Case IV: complete miss.
+        let c = self.capacity;
+        let mut evicted = None;
+        if self.t1.len() + self.b1.len() == c {
+            if self.t1.len() < c {
+                self.b1.pop_back();
+                evicted = self.replace(false);
+            } else {
+                // B1 empty, T1 full: evict T1 LRU outright (no ghost).
+                evicted = self.t1.pop_back();
+            }
+        } else if self.t1.len() + self.b1.len() < c {
+            let total = self.t1.len() + self.t2.len() + self.b1.len() + self.b2.len();
+            if total >= c {
+                if total == 2 * c {
+                    self.b2.pop_back();
+                }
+                if self.t1.len() + self.t2.len() >= c {
+                    evicted = self.replace(false);
+                }
+            }
+        }
+        self.t1.push_front(key, value);
+        Access::Miss {
+            evicted,
+            inserted: true,
+        }
+    }
+
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.t1.peek(key).or_else(|| self.t2.peek(key))
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "ARC"
+    }
+
+    fn drain_entries(&mut self) -> Vec<(K, V)> {
+        let mut out = self.t1.drain();
+        out.extend(self.t2.drain());
+        self.b1.drain();
+        self.b2.drain();
+        self.p = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::merge_replace;
+
+    #[test]
+    fn hit_promotes_to_t2() {
+        let mut c = ArcCache::<u64, u32>::new(4);
+        c.access(1, 10, 0, merge_replace);
+        assert_eq!(c.occupancy(), (1, 0, 0, 0));
+        assert!(c.access(1, 11, 0, merge_replace).is_hit());
+        assert_eq!(c.occupancy(), (0, 1, 0, 0));
+        assert_eq!(c.peek(&1), Some(&11));
+    }
+
+    #[test]
+    fn ghost_hit_adapts_p() {
+        let mut c = ArcCache::<u64, u32>::new(2);
+        c.access(1, 1, 0, merge_replace);
+        c.access(1, 1, 0, merge_replace); // promote 1 to T2
+        c.access(2, 2, 0, merge_replace); // T1={2}, T2={1}: resident = c
+                                          // Miss: REPLACE demotes T1's LRU (2) to the B1 ghost list.
+        c.access(3, 3, 0, merge_replace);
+        assert!(c.b1.contains(&2), "occupancy {:?}", c.occupancy());
+        let p_before = c.p();
+        // Re-reference 2: ghost hit, p grows, 2 becomes resident in T2.
+        let out = c.access(2, 2, 0, merge_replace);
+        assert!(!out.is_hit(), "ghost hits are misses (value was gone)");
+        assert!(out.resident());
+        assert!(c.p() > p_before);
+        assert_eq!(c.peek(&2), Some(&2));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn t1_full_with_empty_b1_evicts_without_ghosting() {
+        // The |T1| = c corner of ARC's Case IV: the LRU of T1 leaves the
+        // directory entirely.
+        let mut c = ArcCache::<u64, u32>::new(2);
+        c.access(1, 1, 0, merge_replace);
+        c.access(2, 2, 0, merge_replace);
+        let out = c.access(3, 3, 0, merge_replace);
+        assert_eq!(out.evicted().map(|(k, _)| k), Some(1));
+        assert!(!c.b1.contains(&1));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn never_exceeds_capacity_or_directory_bounds() {
+        let mut c = ArcCache::<u64, u64>::new(16);
+        let mut x = 5u64;
+        for i in 0..20_000u64 {
+            x = crate::hashing::mix64(x);
+            // Mixture: a hot set plus a scan.
+            let key = if x.is_multiple_of(3) { x % 8 } else { x % 4000 };
+            c.access(key, i, i, merge_replace);
+            if i % 500 == 0 {
+                c.check_invariants().unwrap();
+            }
+        }
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn adapts_to_scans_better_than_plain_lru() {
+        // Workload: a hot set of 8 keys accessed repeatedly, interleaved
+        // with a one-pass scan over 2000 cold keys. ARC should keep the hot
+        // set resident; plain LRU churns it.
+        let capacity = 32;
+        let mut arc = ArcCache::<u64, u64>::new(capacity);
+        let mut lru = crate::policies::IdealLru::<u64, u64>::new(capacity);
+        let mut arc_hits = 0u64;
+        let mut lru_hits = 0u64;
+        let mut cold = 10_000u64;
+        let mut x = 1u64;
+        for i in 0..60_000u64 {
+            x = crate::hashing::mix64(x);
+            let key = if x.is_multiple_of(2) {
+                x % 8 // hot
+            } else {
+                cold += 1; // pure scan
+                cold
+            };
+            if arc.access(key, i, i, merge_replace).is_hit() {
+                arc_hits += 1;
+            }
+            if lru.access(key, i, i, merge_replace).is_hit() {
+                lru_hits += 1;
+            }
+        }
+        assert!(
+            arc_hits > lru_hits,
+            "ARC {arc_hits} hits should beat LRU {lru_hits} under scanning"
+        );
+    }
+
+    #[test]
+    fn generic_policy_exercise() {
+        let mut c = ArcCache::<u64, u64>::new(32);
+        crate::policies::tests::exercise_policy(&mut c);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_clears_everything_including_ghosts() {
+        let mut c = ArcCache::<u64, u32>::new(4);
+        for k in 0..12u64 {
+            c.access(k, 0, 0, merge_replace);
+        }
+        let n = c.len();
+        assert_eq!(c.drain_entries().len(), n);
+        assert!(c.is_empty());
+        assert_eq!(c.occupancy(), (0, 0, 0, 0));
+        c.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,179 @@
+//! Equal-memory cache construction for the comparison sweeps.
+//!
+//! The paper's §4.2 experiments hold total data-plane memory constant while
+//! swapping the replacement policy. [`build_cache`] turns a byte budget into
+//! a concretely-sized cache for each [`PolicyKind`], using the per-entry
+//! layouts below:
+//!
+//! | policy | bytes per bucket/unit |
+//! |---|---|
+//! | P4LRUn | n·(key+value) + 1 state byte |
+//! | Timeout | key+value + 4-byte timestamp |
+//! | Elastic | key+value + 8 vote bytes |
+//! | Coco | key+value + 8 count bytes |
+//! | Ideal LRU | key+value only (an idealized bound; its list/map overhead is not data-plane memory) |
+
+use std::hash::Hash;
+
+use super::{
+    ArcCache, Cache, CocoCache, ElasticCache, IdealLru, P4Lru1Cache, P4Lru2Cache, P4Lru3Cache,
+    P4Lru4Cache, SlruCache, TimeoutCache,
+};
+use crate::array::MemoryModel;
+
+/// Which replacement policy to build.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// Ideal (software) LRU over the whole capacity.
+    Ideal,
+    /// Plain hash table (always replace) — the paper's baseline.
+    P4Lru1,
+    /// P4LRU2 units.
+    P4Lru2,
+    /// P4LRU3 units — the deployed flavor.
+    P4Lru3,
+    /// P4LRU4 units (the paper's §2.3.3 extension).
+    P4Lru4,
+    /// Timestamp-gated replacement with this timeout.
+    Timeout {
+        /// Expiry threshold in nanoseconds.
+        timeout_ns: u64,
+    },
+    /// Elastic-sketch vote replacement (λ = 8).
+    Elastic,
+    /// CocoSketch probabilistic replacement.
+    Coco,
+    /// Segmented LRU (software reference; paper §5.1 recency variants).
+    Slru,
+    /// Adaptive Replacement Cache (software reference; paper §5.1 hybrids).
+    Arc,
+}
+
+impl PolicyKind {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Ideal => "LRU_IDEAL",
+            PolicyKind::P4Lru1 => "P4LRU1",
+            PolicyKind::P4Lru2 => "P4LRU2",
+            PolicyKind::P4Lru3 => "P4LRU3",
+            PolicyKind::P4Lru4 => "P4LRU4",
+            PolicyKind::Timeout { .. } => "Timeout",
+            PolicyKind::Elastic => "Elastic",
+            PolicyKind::Coco => "Coco",
+            PolicyKind::Slru => "SLRU",
+            PolicyKind::Arc => "ARC",
+        }
+    }
+
+    /// The comparison set of Figures 12–14: Coco, Elastic, Timeout, P4LRU3.
+    pub fn comparison_set(timeout_ns: u64) -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Coco,
+            PolicyKind::Elastic,
+            PolicyKind::Timeout { timeout_ns },
+            PolicyKind::P4Lru3,
+        ]
+    }
+
+    /// The parameter set of Figures 15–16: LRU_IDEAL, P4LRU1/2/3.
+    pub fn parameter_set() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Ideal,
+            PolicyKind::P4Lru1,
+            PolicyKind::P4Lru2,
+            PolicyKind::P4Lru3,
+        ]
+    }
+}
+
+/// Builds a cache of the given policy fitting `memory_bytes`, for keys and
+/// values of the sizes in `layout`.
+pub fn build_cache<K, V>(
+    kind: PolicyKind,
+    memory_bytes: usize,
+    layout: MemoryModel,
+    seed: u64,
+) -> Box<dyn Cache<K, V>>
+where
+    K: Eq + Hash + Clone + 'static,
+    V: 'static,
+{
+    match kind {
+        PolicyKind::Ideal => {
+            let entries = layout.buckets_in(memory_bytes, 0);
+            Box::new(IdealLru::new(entries))
+        }
+        PolicyKind::P4Lru1 => Box::new(P4Lru1Cache::new(layout.buckets_in(memory_bytes, 0), seed)),
+        PolicyKind::P4Lru2 => Box::new(P4Lru2Cache::new(layout.units_in(memory_bytes, 2), seed)),
+        PolicyKind::P4Lru3 => Box::new(P4Lru3Cache::new(layout.units_in(memory_bytes, 3), seed)),
+        PolicyKind::P4Lru4 => Box::new(P4Lru4Cache::new(layout.units_in(memory_bytes, 4), seed)),
+        PolicyKind::Timeout { timeout_ns } => Box::new(TimeoutCache::new(
+            layout.buckets_in(memory_bytes, 4),
+            timeout_ns,
+            seed,
+        )),
+        PolicyKind::Elastic => Box::new(ElasticCache::with_default_lambda(
+            layout.buckets_in(memory_bytes, 8),
+            seed,
+        )),
+        PolicyKind::Coco => Box::new(CocoCache::new(layout.buckets_in(memory_bytes, 8), seed)),
+        // Software references: charged key+value only, like the ideal LRU.
+        PolicyKind::Slru => Box::new(SlruCache::new(layout.buckets_in(memory_bytes, 0))),
+        PolicyKind::Arc => Box::new(ArcCache::new(layout.buckets_in(memory_bytes, 0))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::merge_replace;
+
+    #[test]
+    fn builds_every_kind_with_sane_capacity() {
+        let layout = MemoryModel::fp32_len32();
+        let kinds = [
+            PolicyKind::Ideal,
+            PolicyKind::P4Lru1,
+            PolicyKind::P4Lru2,
+            PolicyKind::P4Lru3,
+            PolicyKind::P4Lru4,
+            PolicyKind::Timeout { timeout_ns: 1000 },
+            PolicyKind::Elastic,
+            PolicyKind::Coco,
+            PolicyKind::Slru,
+            PolicyKind::Arc,
+        ];
+        for kind in kinds {
+            let mut c: Box<dyn Cache<u64, u32>> = build_cache(kind, 10_000, layout, 1);
+            assert!(c.capacity() > 0, "{} empty", kind.label());
+            // ~10 KB at ≤ 16 B/entry ⇒ between 500 and 1300 entries.
+            assert!(
+                (500..=1300).contains(&c.capacity()),
+                "{}: capacity {}",
+                kind.label(),
+                c.capacity()
+            );
+            c.access(1, 1, 0, merge_replace);
+            assert_eq!(c.peek(&1), Some(&1), "{} lost an insert", kind.label());
+        }
+    }
+
+    #[test]
+    fn equal_memory_means_p4lru3_has_more_entries_than_timeout() {
+        let layout = MemoryModel::fp32_len32();
+        let p3: Box<dyn Cache<u64, u32>> = build_cache(PolicyKind::P4Lru3, 12_000, layout, 1);
+        let to: Box<dyn Cache<u64, u32>> =
+            build_cache(PolicyKind::Timeout { timeout_ns: 1 }, 12_000, layout, 1);
+        // 25 B per 3 entries (8.33 B/entry) vs 12 B/entry.
+        assert!(p3.capacity() > to.capacity());
+    }
+
+    #[test]
+    fn labels_and_sets() {
+        assert_eq!(PolicyKind::P4Lru3.label(), "P4LRU3");
+        assert_eq!(PolicyKind::comparison_set(5).len(), 4);
+        assert_eq!(PolicyKind::parameter_set().len(), 4);
+        assert_eq!(PolicyKind::Timeout { timeout_ns: 5 }.label(), "Timeout");
+    }
+}

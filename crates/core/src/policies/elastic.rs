@@ -1,0 +1,218 @@
+//! Elastic-sketch-style frequency replacement (paper §4.2, label `Elastic`).
+//!
+//! Each bucket holds one incumbent with a positive vote counter and a
+//! negative vote counter. Hits vote positive; colliding keys vote negative;
+//! when `negative / positive ≥ λ` the incumbent is ousted (Elastic sketch's
+//! heavy-part rule, λ = 8 in the original paper). The paper's critique of
+//! frequency policies applies verbatim: an entry that accumulated many
+//! positive votes lingers long after its flow has gone idle.
+
+use std::hash::Hash;
+
+use super::{Access, Cache, MergeFn};
+use crate::hashing::BucketHasher;
+
+/// Elastic's vote threshold λ: replace when `vote⁻ ≥ λ · vote⁺`.
+pub const DEFAULT_LAMBDA: u32 = 8;
+
+#[derive(Clone, Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    vote_pos: u32,
+    vote_neg: u32,
+}
+
+/// Vote-based frequency cache in the style of the Elastic sketch heavy part.
+#[derive(Clone, Debug)]
+pub struct ElasticCache<K, V> {
+    buckets: Vec<Option<Entry<K, V>>>,
+    hasher: BucketHasher,
+    lambda: u32,
+    len: usize,
+}
+
+impl<K: Eq + Hash, V> ElasticCache<K, V> {
+    /// `buckets` single-incumbent buckets with the given vote threshold.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `lambda == 0`.
+    pub fn new(buckets: usize, lambda: u32, seed: u64) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        assert!(lambda > 0, "lambda must be positive");
+        Self {
+            buckets: (0..buckets).map(|_| None).collect(),
+            hasher: BucketHasher::new(seed, buckets),
+            lambda,
+            len: 0,
+        }
+    }
+
+    /// Elastic with the original paper's λ = 8.
+    pub fn with_default_lambda(buckets: usize, seed: u64) -> Self {
+        Self::new(buckets, DEFAULT_LAMBDA, seed)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Cache<K, V> for ElasticCache<K, V> {
+    fn access(&mut self, key: K, value: V, _now_ns: u64, merge: MergeFn<V>) -> Access<K, V> {
+        let idx = self.hasher.bucket(&key);
+        match &mut self.buckets[idx] {
+            Some(e) if e.key == key => {
+                merge(&mut e.value, value);
+                e.vote_pos = e.vote_pos.saturating_add(1);
+                Access::Hit
+            }
+            Some(e) => {
+                e.vote_neg = e.vote_neg.saturating_add(1);
+                if e.vote_neg >= e.vote_pos.saturating_mul(self.lambda) {
+                    let old = std::mem::replace(
+                        e,
+                        Entry {
+                            key,
+                            value,
+                            vote_pos: 1,
+                            vote_neg: 0,
+                        },
+                    );
+                    Access::Miss {
+                        evicted: Some((old.key, old.value)),
+                        inserted: true,
+                    }
+                } else {
+                    Access::Miss {
+                        evicted: None,
+                        inserted: false,
+                    }
+                }
+            }
+            empty @ None => {
+                *empty = Some(Entry {
+                    key,
+                    value,
+                    vote_pos: 1,
+                    vote_neg: 0,
+                });
+                self.len += 1;
+                Access::Miss {
+                    evicted: None,
+                    inserted: true,
+                }
+            }
+        }
+    }
+
+    fn peek(&self, key: &K) -> Option<&V> {
+        let idx = self.hasher.bucket(key);
+        self.buckets[idx]
+            .as_ref()
+            .filter(|e| &e.key == key)
+            .map(|e| &e.value)
+    }
+
+    fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "Elastic"
+    }
+
+    fn drain_entries(&mut self) -> Vec<(K, V)> {
+        self.len = 0;
+        self.buckets
+            .iter_mut()
+            .filter_map(|b| b.take().map(|e| (e.key, e.value)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::merge_replace;
+
+    fn colliders(c: &ElasticCache<u64, u32>, want: usize) -> Vec<u64> {
+        let target = c.hasher.bucket(&0u64);
+        let mut out = vec![0u64];
+        out.extend(
+            (1..100_000u64)
+                .filter(|k| c.hasher.bucket(k) == target)
+                .take(want - 1),
+        );
+        assert_eq!(out.len(), want);
+        out
+    }
+
+    #[test]
+    fn heavily_voted_incumbent_resists_eviction() {
+        let mut c = ElasticCache::<u64, u32>::new(4, 8, 1);
+        let ks = colliders(&c, 2);
+        for _ in 0..10 {
+            c.access(ks[0], 1, 0, merge_replace); // vote_pos = 10
+        }
+        // 79 negative votes (< 80) must not oust it.
+        for _ in 0..79 {
+            let out = c.access(ks[1], 2, 0, merge_replace);
+            assert!(!out.resident());
+        }
+        assert_eq!(c.peek(&ks[0]), Some(&1));
+        // The 80th does.
+        let out = c.access(ks[1], 2, 0, merge_replace);
+        assert!(out.resident());
+        assert_eq!(c.peek(&ks[1]), Some(&2));
+    }
+
+    #[test]
+    fn stale_heavy_hitter_squats_the_paper_critique() {
+        // A flow hit 100 times then gone: λ·100 further misses are needed
+        // before any newcomer gets in — the recency blindness LRU fixes.
+        let mut c = ElasticCache::<u64, u32>::new(2, 8, 3);
+        let ks = colliders(&c, 3);
+        for _ in 0..100 {
+            c.access(ks[0], 1, 0, merge_replace);
+        }
+        let mut rejected = 0;
+        for i in 0..400u64 {
+            let newcomer = ks[1 + (i % 2) as usize];
+            if !c.access(newcomer, 2, i, merge_replace).resident() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 300, "only {rejected} rejections");
+    }
+
+    #[test]
+    fn fresh_bucket_admits_immediately() {
+        let mut c = ElasticCache::<u64, u32>::new(8, 8, 1);
+        let out = c.access(5, 50, 0, merge_replace);
+        assert_eq!(
+            out,
+            Access::Miss {
+                evicted: None,
+                inserted: true
+            }
+        );
+        assert!(c.access(5, 51, 0, merge_replace).is_hit());
+    }
+
+    #[test]
+    fn lambda_one_replaces_aggressively() {
+        let mut c = ElasticCache::<u64, u32>::new(4, 1, 1);
+        let ks = colliders(&c, 2);
+        c.access(ks[0], 1, 0, merge_replace);
+        // vote_pos = 1, so a single negative vote (= λ·1) replaces.
+        let out = c.access(ks[1], 2, 0, merge_replace);
+        assert!(out.resident());
+    }
+
+    #[test]
+    fn generic_policy_exercise() {
+        let mut c = ElasticCache::<u64, u64>::with_default_lambda(64, 1);
+        crate::policies::tests::exercise_policy(&mut c);
+    }
+}

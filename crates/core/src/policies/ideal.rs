@@ -1,0 +1,295 @@
+//! The ideal LRU cache (paper label `LRU_IDEAL`).
+//!
+//! A textbook O(1) LRU over the *whole* capacity — the upper bound every
+//! P4LRU configuration is measured against in §4.2. Implemented as a
+//! hash map into an intrusive doubly-linked list held in a slab, the same
+//! structure Memcached uses (minus the sharding), which the paper cites as
+//! the standard software realization that *cannot* be placed in a pipeline.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use super::{Access, Cache, MergeFn};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Strict LRU with O(1) access via hash map + intrusive list.
+///
+/// ```
+/// use p4lru_core::policies::{Cache, IdealLru, merge_replace};
+///
+/// let mut lru = IdealLru::new(2);
+/// lru.access("a", 1, 0, merge_replace);
+/// lru.access("b", 2, 1, merge_replace);
+/// lru.access("a", 1, 2, merge_replace);          // refresh "a"
+/// let out = lru.access("c", 3, 3, merge_replace); // evicts the LRU: "b"
+/// assert_eq!(out.evicted(), Some(("b", 2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IdealLru<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used slot index.
+    head: usize,
+    /// Least recently used slot index.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> IdealLru<K, V> {
+    /// An empty LRU holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// The least recently used entry.
+    pub fn peek_lru(&self) -> Option<(&K, &V)> {
+        (self.tail != NIL).then(|| {
+            let s = &self.slots[self.tail];
+            (&s.key, &s.value)
+        })
+    }
+
+    /// Entries in most-recent-first order (statistics only).
+    pub fn iter_mru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let s = &self.slots[cur];
+            cur = s.next;
+            Some((&s.key, &s.value))
+        })
+    }
+
+    /// Structural invariants for property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let listed: Vec<usize> = {
+            let mut v = Vec::new();
+            let mut cur = self.head;
+            let mut prev = NIL;
+            while cur != NIL {
+                if self.slots[cur].prev != prev {
+                    return Err(format!("bad prev link at slot {cur}"));
+                }
+                v.push(cur);
+                prev = cur;
+                cur = self.slots[cur].next;
+                if v.len() > self.slots.len() {
+                    return Err("list cycle".into());
+                }
+            }
+            if prev != self.tail {
+                return Err("tail mismatch".into());
+            }
+            v
+        };
+        if listed.len() != self.map.len() {
+            return Err(format!(
+                "list len {} != map len {}",
+                listed.len(),
+                self.map.len()
+            ));
+        }
+        for &idx in &listed {
+            if self.map.get(&self.slots[idx].key) != Some(&idx) {
+                return Err(format!("map does not point at slot {idx}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Cache<K, V> for IdealLru<K, V> {
+    fn access(&mut self, key: K, value: V, _now_ns: u64, merge: MergeFn<V>) -> Access<K, V> {
+        if let Some(&idx) = self.map.get(&key) {
+            merge(&mut self.slots[idx].value, value);
+            self.unlink(idx);
+            self.push_front(idx);
+            return Access::Hit;
+        }
+        if self.slots.len() < self.capacity {
+            let idx = self.slots.len();
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, idx);
+            self.push_front(idx);
+            return Access::Miss {
+                evicted: None,
+                inserted: true,
+            };
+        }
+        // Reuse the LRU slot.
+        let idx = self.tail;
+        self.unlink(idx);
+        let slot = &mut self.slots[idx];
+        let old_key = std::mem::replace(&mut slot.key, key.clone());
+        let old_value = std::mem::replace(&mut slot.value, value);
+        self.map.remove(&old_key);
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        Access::Miss {
+            evicted: Some((old_key, old_value)),
+            inserted: true,
+        }
+    }
+
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slots[idx].value)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU_IDEAL"
+    }
+
+    fn drain_entries(&mut self) -> Vec<(K, V)> {
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.slots.drain(..).map(|s| (s.key, s.value)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::merge_replace;
+
+    #[test]
+    fn evicts_strictly_least_recently_used() {
+        let mut lru = IdealLru::<u32, u32>::new(3);
+        for k in 1..=3 {
+            lru.access(k, k, 0, merge_replace);
+        }
+        lru.access(1, 1, 0, merge_replace); // order now 1,3,2
+        let out = lru.access(4, 4, 0, merge_replace);
+        assert_eq!(out.evicted(), Some((2, 2)));
+        let order: Vec<u32> = lru.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![4, 1, 3]);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hit_merges_value() {
+        let mut lru = IdealLru::<u32, u32>::new(2);
+        lru.access(5, 10, 0, merge_replace);
+        let out = lru.access(5, 20, 0, |a, v| *a += v);
+        assert!(out.is_hit());
+        assert_eq!(lru.peek(&5), Some(&30));
+    }
+
+    #[test]
+    fn relative_recency_matches_paper_definition() {
+        // The LRU_IDEAL always evicts the entry with the oldest last access.
+        let mut lru = IdealLru::<u32, u64>::new(4);
+        for (t, k) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 2), (5, 1)] {
+            lru.access(k, t, t, merge_replace);
+        }
+        // Last-access order (new→old): 1, 2, 4, 3.
+        let out = lru.access(9, 9, 6, merge_replace);
+        assert_eq!(out.evicted().map(|(k, _)| k), Some(3));
+    }
+
+    #[test]
+    fn capacity_one_degenerates_gracefully() {
+        let mut lru = IdealLru::<u32, u32>::new(1);
+        assert!(!lru.access(1, 1, 0, merge_replace).is_hit());
+        assert!(lru.access(1, 1, 0, merge_replace).is_hit());
+        let out = lru.access(2, 2, 0, merge_replace);
+        assert_eq!(out.evicted(), Some((1, 1)));
+        assert_eq!(lru.len(), 1);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drain_returns_everything_and_empties() {
+        let mut lru = IdealLru::<u32, u32>::new(8);
+        for k in 0..5 {
+            lru.access(k, k * 2, 0, merge_replace);
+        }
+        let mut drained = lru.drain_entries();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![(0, 0), (1, 2), (2, 4), (3, 6), (4, 8)]);
+        assert!(lru.is_empty());
+        assert_eq!(lru.peek_lru(), None);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn generic_policy_exercise() {
+        let mut lru = IdealLru::<u64, u64>::new(32);
+        crate::policies::tests::exercise_policy(&mut lru);
+        lru.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn long_random_walk_keeps_invariants() {
+        let mut lru = IdealLru::<u64, u64>::new(16);
+        let mut x = 5u64;
+        for i in 0..20_000u64 {
+            x = crate::hashing::mix64(x);
+            lru.access(x % 50, i, i, merge_replace);
+            if i % 1000 == 0 {
+                lru.check_invariants().unwrap();
+            }
+        }
+        lru.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,334 @@
+//! A reusable intrusive LRU list: hash map into an arena doubly-linked
+//! list. O(1) touch/insert/evict. Building block for the multi-segment
+//! software references ([`super::SlruCache`], [`super::ArcCache`]) that the
+//! extension ablations compare P4LRU against.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K, V> {
+    key: K,
+    /// `None` only while the slot sits on the free list.
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU-ordered list with O(1) operations (front = most recent).
+#[derive(Clone, Debug)]
+pub struct LruList<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for LruList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> LruList<K, V> {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Does the list contain `key`?
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Borrow the value of `key` without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map
+            .get(key)
+            .and_then(|&i| self.nodes[i].value.as_ref())
+    }
+
+    /// Mutably borrow the value of `key` without touching recency.
+    pub fn peek_mut(&mut self, key: &K) -> Option<&mut V> {
+        let i = *self.map.get(key)?;
+        self.nodes[i].value.as_mut()
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.nodes[i].prev, self.nodes[i].next);
+        if p != NIL {
+            self.nodes[p].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.nodes[n].prev = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn link_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn vacate(&mut self, i: usize) -> (K, V) {
+        self.unlink(i);
+        self.free.push(i);
+        let key = self.nodes[i].key.clone();
+        let value = self.nodes[i]
+            .value
+            .take()
+            .expect("occupied slot has a value");
+        self.map.remove(&key);
+        (key, value)
+    }
+
+    /// Moves `key` to the front. Returns `false` if absent.
+    pub fn touch(&mut self, key: &K) -> bool {
+        let Some(&i) = self.map.get(key) else {
+            return false;
+        };
+        self.unlink(i);
+        self.link_front(i);
+        true
+    }
+
+    /// Inserts at the front.
+    ///
+    /// # Panics
+    /// Panics if the key is already present.
+    pub fn push_front(&mut self, key: K, value: V) {
+        assert!(!self.map.contains_key(&key), "duplicate key");
+        let node = Node {
+            key: key.clone(),
+            value: Some(value),
+            prev: NIL,
+            next: NIL,
+        };
+        let i = if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+
+    /// Removes and returns the least recently used entry.
+    pub fn pop_back(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let i = self.tail;
+        Some(self.vacate(i))
+    }
+
+    /// Removes and returns the most recently used entry.
+    pub fn pop_front(&mut self) -> Option<(K, V)> {
+        if self.head == NIL {
+            return None;
+        }
+        let i = self.head;
+        Some(self.vacate(i))
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = *self.map.get(key)?;
+        Some(self.vacate(i).1)
+    }
+
+    /// The least recently used key.
+    pub fn back(&self) -> Option<&K> {
+        (self.tail != NIL).then(|| &self.nodes[self.tail].key)
+    }
+
+    /// Iterates entries front (MRU) to back (LRU).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            while cur != NIL {
+                let n = &self.nodes[cur];
+                cur = n.next;
+                if let Some(v) = n.value.as_ref() {
+                    return Some((&n.key, v));
+                }
+            }
+            None
+        })
+    }
+
+    /// Drains everything (MRU first).
+    pub fn drain(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(e) = self.pop_front() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Structural check for property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut cur = self.head;
+        let mut prev = NIL;
+        let mut count = 0usize;
+        while cur != NIL {
+            if self.nodes[cur].prev != prev {
+                return Err(format!("bad prev at {cur}"));
+            }
+            if self.nodes[cur].value.is_none() {
+                return Err(format!("vacated slot {cur} still linked"));
+            }
+            if self.map.get(&self.nodes[cur].key) != Some(&cur) {
+                return Err(format!("map mismatch at {cur}"));
+            }
+            count += 1;
+            if count > self.nodes.len() {
+                return Err("cycle".into());
+            }
+            prev = cur;
+            cur = self.nodes[cur].next;
+        }
+        if prev != self.tail {
+            return Err("tail mismatch".into());
+        }
+        if count != self.map.len() {
+            return Err(format!("list len {count} != map len {}", self.map.len()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_lru_order() {
+        let mut l = LruList::new();
+        l.push_front(1, "a");
+        l.push_front(2, "b");
+        l.push_front(3, "c");
+        assert_eq!(l.back(), Some(&1));
+        assert!(l.touch(&1));
+        assert_eq!(l.back(), Some(&2));
+        assert_eq!(l.pop_back(), Some((2, "b")));
+        assert_eq!(l.len(), 2);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut l = LruList::new();
+        for k in 0..10 {
+            l.push_front(k, k * 10);
+        }
+        assert_eq!(l.remove(&5), Some(50));
+        assert_eq!(l.remove(&5), None);
+        let arena = l.nodes.len();
+        l.push_front(99, 990);
+        assert_eq!(l.nodes.len(), arena, "freed slot reused");
+        assert_eq!(l.peek(&99), Some(&990));
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iter_is_mru_to_lru() {
+        let mut l = LruList::new();
+        for k in 1..=4 {
+            l.push_front(k, ());
+        }
+        l.touch(&2);
+        let order: Vec<i32> = l.iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut l = LruList::new();
+        for k in 0..5 {
+            l.push_front(k, k);
+        }
+        let drained = l.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(l.is_empty());
+        assert_eq!(l.pop_back(), None);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn peek_mut_edits() {
+        let mut l = LruList::new();
+        l.push_front(7, 1);
+        *l.peek_mut(&7).unwrap() += 5;
+        assert_eq!(l.peek(&7), Some(&6));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_push_panics() {
+        let mut l = LruList::new();
+        l.push_front(1, ());
+        l.push_front(1, ());
+    }
+
+    #[test]
+    fn random_walk_invariants() {
+        let mut l = LruList::<u64, u64>::new();
+        let mut x = 9u64;
+        for i in 0..10_000u64 {
+            x = crate::hashing::mix64(x);
+            let k = x % 60;
+            match x % 4 {
+                0 => {
+                    if !l.contains(&k) {
+                        l.push_front(k, i);
+                    }
+                }
+                1 => {
+                    l.touch(&k);
+                }
+                2 => {
+                    l.remove(&k);
+                }
+                _ => {
+                    l.pop_back();
+                }
+            }
+            if i % 500 == 0 {
+                l.check_invariants().unwrap();
+            }
+        }
+        l.check_invariants().unwrap();
+    }
+}

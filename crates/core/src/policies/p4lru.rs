@@ -1,0 +1,161 @@
+//! P4LRU arrays behind the [`Cache`] trait, including the single-entry
+//! degenerate case P4LRU1 — the plain hash table the paper's testbed calls
+//! *Baseline*.
+
+use std::hash::Hash;
+
+use super::{Access, Cache, MergeFn};
+use crate::array::LruArray;
+use crate::dfa::{CacheState, Dfa2, Dfa3, Dfa4};
+use crate::perm::Perm;
+use crate::unit::Outcome;
+
+/// P4LRU1: one entry per bucket — a hash table that always replaces on
+/// collision (NetSeer-style), the paper's baseline.
+pub type P4Lru1Cache<K, V> = P4LruCache<K, V, 1, Perm<1>>;
+/// P4LRU2 with the encoded one-bit state.
+pub type P4Lru2Cache<K, V> = P4LruCache<K, V, 2, Dfa2>;
+/// P4LRU3 with the Table 1 encoded state — the paper's deployed flavor.
+pub type P4Lru3Cache<K, V> = P4LruCache<K, V, 3, Dfa3>;
+/// P4LRU4 with the V₄ ⋊ S₃ factored state.
+pub type P4Lru4Cache<K, V> = P4LruCache<K, V, 4, Dfa4>;
+
+/// An [`LruArray`] adapted to the policy interface.
+#[derive(Clone, Debug)]
+pub struct P4LruCache<K, V, const N: usize, S: CacheState<N> = Perm<N>> {
+    array: LruArray<K, V, N, S>,
+}
+
+impl<K: Eq + Hash, V, const N: usize, S: CacheState<N>> P4LruCache<K, V, N, S> {
+    /// `units` P4LRUₙ units with hashing from `seed`.
+    pub fn new(units: usize, seed: u64) -> Self {
+        Self {
+            array: LruArray::with_seed(units, seed),
+        }
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &LruArray<K, V, N, S> {
+        &self.array
+    }
+
+    /// Mutable access to the underlying array.
+    pub fn array_mut(&mut self) -> &mut LruArray<K, V, N, S> {
+        &mut self.array
+    }
+}
+
+impl<K: Eq + Hash + Clone, V, const N: usize, S: CacheState<N>> Cache<K, V>
+    for P4LruCache<K, V, N, S>
+{
+    fn access(&mut self, key: K, value: V, _now_ns: u64, merge: MergeFn<V>) -> Access<K, V> {
+        match self.array.update(key, value, merge) {
+            Outcome::Hit { .. } => Access::Hit,
+            Outcome::Inserted => Access::Miss {
+                evicted: None,
+                inserted: true,
+            },
+            Outcome::Evicted { key, value } => Access::Miss {
+                evicted: Some((key, value)),
+                inserted: true,
+            },
+        }
+    }
+
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.array.get(key)
+    }
+
+    fn capacity(&self) -> usize {
+        self.array.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    fn name(&self) -> &'static str {
+        match N {
+            1 => "P4LRU1",
+            2 => "P4LRU2",
+            3 => "P4LRU3",
+            4 => "P4LRU4",
+            _ => "P4LRUn",
+        }
+    }
+
+    fn drain_entries(&mut self) -> Vec<(K, V)> {
+        self.array.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::merge_replace;
+
+    #[test]
+    fn p4lru1_always_replaces_on_collision() {
+        let mut c = P4Lru1Cache::<u64, u32>::new(4, 1);
+        // Find two keys that collide.
+        let (mut a, mut b) = (None, None);
+        for k in 0..1000u64 {
+            if c.array().index_of(&k) == 0 {
+                if a.is_none() {
+                    a = Some(k);
+                } else {
+                    b = Some(k);
+                    break;
+                }
+            }
+        }
+        let (a, b) = (a.unwrap(), b.unwrap());
+        c.access(a, 1, 0, merge_replace);
+        let out = c.access(b, 2, 0, merge_replace);
+        assert_eq!(out.evicted(), Some((a, 1)));
+        assert_eq!(c.peek(&a), None);
+        assert_eq!(c.peek(&b), Some(&2));
+    }
+
+    #[test]
+    fn p4lru3_survives_two_collisions() {
+        // The point of the parallel connection: a unit tolerates up to
+        // N-1 interleaving keys before a hot key is evicted.
+        let mut c = P4Lru3Cache::<u64, u32>::new(1, 7);
+        c.access(1, 1, 0, merge_replace);
+        c.access(2, 2, 0, merge_replace);
+        c.access(3, 3, 0, merge_replace);
+        assert!(c.access(1, 1, 0, merge_replace).is_hit());
+    }
+
+    #[test]
+    fn drain_entries_empties_and_preserves_hashing() {
+        let mut c = P4Lru3Cache::<u64, u32>::new(8, 3);
+        for k in 0..12u64 {
+            c.access(k, k as u32, 0, merge_replace);
+        }
+        let before = c.array().index_of(&5);
+        let mut got = c.drain_entries();
+        assert!(c.is_empty());
+        got.sort_unstable();
+        assert!(got.len() <= 12);
+        assert!(!got.is_empty());
+        assert_eq!(c.array().index_of(&5), before);
+    }
+
+    #[test]
+    fn names_reflect_n() {
+        assert_eq!(P4Lru1Cache::<u64, u32>::new(1, 0).name(), "P4LRU1");
+        assert_eq!(P4Lru2Cache::<u64, u32>::new(1, 0).name(), "P4LRU2");
+        assert_eq!(P4Lru3Cache::<u64, u32>::new(1, 0).name(), "P4LRU3");
+        assert_eq!(P4Lru4Cache::<u64, u32>::new(1, 0).name(), "P4LRU4");
+    }
+
+    #[test]
+    fn generic_policy_exercise_all_n() {
+        crate::policies::tests::exercise_policy(&mut P4Lru1Cache::<u64, u64>::new(32, 1));
+        crate::policies::tests::exercise_policy(&mut P4Lru2Cache::<u64, u64>::new(16, 1));
+        crate::policies::tests::exercise_policy(&mut P4Lru3Cache::<u64, u64>::new(11, 1));
+        crate::policies::tests::exercise_policy(&mut P4Lru4Cache::<u64, u64>::new(8, 1));
+    }
+}

@@ -1,0 +1,200 @@
+//! Segmented LRU (Seg-LRU; paper §5.1's recency-based variants).
+//!
+//! Two LRU segments: a *probationary* segment absorbs new keys and a
+//! *protected* segment holds keys that were hit at least once. A hit in the
+//! probationary segment promotes to protected (demoting the protected LRU
+//! back to probationary when over budget); eviction always takes the
+//! probationary LRU. One-hit wonders never displace proven entries — the
+//! classic scan-resistance fix for plain LRU.
+//!
+//! A software reference (like [`super::IdealLru`]): not data-plane
+//! deployable, used by the extension ablations to bound what smarter
+//! recency policies could buy.
+
+use std::hash::Hash;
+
+use super::list::LruList;
+use super::{Access, Cache, MergeFn};
+
+/// Default fraction of capacity reserved for the protected segment.
+pub const DEFAULT_PROTECTED_FRACTION: f64 = 0.8;
+
+/// Segmented LRU cache.
+#[derive(Clone, Debug)]
+pub struct SlruCache<K, V> {
+    probationary: LruList<K, V>,
+    protected: LruList<K, V>,
+    capacity: usize,
+    protected_cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> SlruCache<K, V> {
+    /// A cache of `capacity` entries with the default 80 % protected share.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_protected_fraction(capacity, DEFAULT_PROTECTED_FRACTION)
+    }
+
+    /// A cache with an explicit protected-segment share in `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or the fraction is out of range.
+    pub fn with_protected_fraction(capacity: usize, fraction: f64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!((0.0..1.0).contains(&fraction), "fraction out of range");
+        let protected_cap = ((capacity as f64 * fraction) as usize).min(capacity - 1);
+        Self {
+            probationary: LruList::new(),
+            protected: LruList::new(),
+            capacity,
+            protected_cap,
+        }
+    }
+
+    /// Current protected-segment occupancy (diagnostics).
+    pub fn protected_len(&self) -> usize {
+        self.protected.len()
+    }
+
+    fn promote(&mut self, key: &K) {
+        let value = self.probationary.remove(key).expect("hit key is resident");
+        self.protected.push_front(key.clone(), value);
+        // Keep the protected segment within budget by demoting its LRU.
+        while self.protected.len() > self.protected_cap {
+            let (k, v) = self
+                .protected
+                .pop_back()
+                .expect("over budget implies non-empty");
+            self.probationary.push_front(k, v);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Cache<K, V> for SlruCache<K, V> {
+    fn access(&mut self, key: K, value: V, _now_ns: u64, merge: MergeFn<V>) -> Access<K, V> {
+        if self.protected.contains(&key) {
+            merge(self.protected.peek_mut(&key).expect("contained"), value);
+            self.protected.touch(&key);
+            return Access::Hit;
+        }
+        if self.probationary.contains(&key) {
+            merge(self.probationary.peek_mut(&key).expect("contained"), value);
+            self.promote(&key);
+            return Access::Hit;
+        }
+        // Miss: insert probationary, evict its LRU when full overall.
+        let evicted = if self.len() >= self.capacity {
+            self.probationary
+                .pop_back()
+                .or_else(|| self.protected.pop_back())
+        } else {
+            None
+        };
+        self.probationary.push_front(key, value);
+        Access::Miss {
+            evicted,
+            inserted: true,
+        }
+    }
+
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.protected
+            .peek(key)
+            .or_else(|| self.probationary.peek(key))
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.probationary.len() + self.protected.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "SLRU"
+    }
+
+    fn drain_entries(&mut self) -> Vec<(K, V)> {
+        let mut out = self.protected.drain();
+        out.extend(self.probationary.drain());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::merge_replace;
+
+    #[test]
+    fn one_hit_wonders_cannot_evict_proven_entries() {
+        let mut c = SlruCache::<u64, u32>::new(10); // protected cap 8
+                                                    // Establish two proven entries.
+        for k in [1, 2] {
+            c.access(k, k as u32, 0, merge_replace);
+            c.access(k, k as u32, 0, merge_replace); // promote
+        }
+        assert_eq!(c.protected_len(), 2);
+        // A scan of 20 one-hit wonders churns the probationary segment only.
+        for k in 100..120u64 {
+            c.access(k, 0, 0, merge_replace);
+        }
+        assert!(
+            c.access(1, 1, 0, merge_replace).is_hit(),
+            "protected key 1 lost"
+        );
+        assert!(
+            c.access(2, 2, 0, merge_replace).is_hit(),
+            "protected key 2 lost"
+        );
+    }
+
+    #[test]
+    fn protected_overflow_demotes_not_evicts() {
+        let mut c = SlruCache::<u64, u32>::with_protected_fraction(6, 0.5); // protected cap 3
+        for k in 0..4u64 {
+            c.access(k, 0, 0, merge_replace);
+            c.access(k, 0, 0, merge_replace); // promote each
+        }
+        // Only 3 fit in protected; one was demoted, none evicted.
+        assert_eq!(c.protected_len(), 3);
+        assert_eq!(c.len(), 4);
+        for k in 0..4u64 {
+            assert!(c.peek(&k).is_some(), "key {k} evicted by demotion");
+        }
+    }
+
+    #[test]
+    fn eviction_takes_probationary_lru() {
+        let mut c = SlruCache::<u64, u32>::with_protected_fraction(4, 0.5);
+        c.access(1, 1, 0, merge_replace);
+        c.access(1, 1, 0, merge_replace); // 1 → protected
+        for k in [2, 3, 4] {
+            c.access(k, 0, 0, merge_replace);
+        }
+        // Cache full (1 protected + 3 probationary). Next miss evicts 2.
+        let out = c.access(5, 0, 0, merge_replace);
+        assert_eq!(out.evicted().map(|(k, _)| k), Some(2));
+        assert!(c.peek(&1).is_some());
+    }
+
+    #[test]
+    fn generic_policy_exercise() {
+        let mut c = SlruCache::<u64, u64>::new(32);
+        crate::policies::tests::exercise_policy(&mut c);
+    }
+
+    #[test]
+    fn drain_returns_all() {
+        let mut c = SlruCache::<u64, u32>::new(8);
+        for k in 0..6u64 {
+            c.access(k, k as u32, 0, merge_replace);
+        }
+        c.access(0, 0, 0, merge_replace); // promote 0
+        assert_eq!(c.drain_entries().len(), 6);
+        assert!(c.is_empty());
+    }
+}

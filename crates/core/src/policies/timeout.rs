@@ -1,0 +1,201 @@
+//! The timeout replacement policy (BeauCoup-style; paper §1.1).
+//!
+//! A hash table where every entry carries its last-access timestamp. On a
+//! collision the incumbent is replaced **only if its timestamp has expired**;
+//! otherwise the incoming key is simply not admitted. The paper's critique:
+//! the threshold needs careful tuning — too short and hot entries churn, too
+//! long and dead entries squat (the comparative figures sweep the threshold
+//! and take the best, as §4.2 notes the authors "meticulously adjusted" it).
+
+use std::hash::Hash;
+
+use super::{Access, Cache, MergeFn};
+use crate::hashing::BucketHasher;
+
+#[derive(Clone, Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    last_ns: u64,
+}
+
+/// Hash table with timestamp-gated replacement.
+#[derive(Clone, Debug)]
+pub struct TimeoutCache<K, V> {
+    buckets: Vec<Option<Entry<K, V>>>,
+    hasher: BucketHasher,
+    timeout_ns: u64,
+    len: usize,
+}
+
+impl<K: Eq + Hash, V> TimeoutCache<K, V> {
+    /// `buckets` single-entry buckets; an incumbent expires `timeout_ns`
+    /// after its last access.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: usize, timeout_ns: u64, seed: u64) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        Self {
+            buckets: (0..buckets).map(|_| None).collect(),
+            hasher: BucketHasher::new(seed, buckets),
+            timeout_ns,
+            len: 0,
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout_ns(&self) -> u64 {
+        self.timeout_ns
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Cache<K, V> for TimeoutCache<K, V> {
+    fn access(&mut self, key: K, value: V, now_ns: u64, merge: MergeFn<V>) -> Access<K, V> {
+        let idx = self.hasher.bucket(&key);
+        match &mut self.buckets[idx] {
+            Some(e) if e.key == key => {
+                merge(&mut e.value, value);
+                e.last_ns = now_ns;
+                Access::Hit
+            }
+            Some(e) if now_ns.saturating_sub(e.last_ns) > self.timeout_ns => {
+                let old = std::mem::replace(
+                    e,
+                    Entry {
+                        key,
+                        value,
+                        last_ns: now_ns,
+                    },
+                );
+                Access::Miss {
+                    evicted: Some((old.key, old.value)),
+                    inserted: true,
+                }
+            }
+            Some(_) => Access::Miss {
+                evicted: None,
+                inserted: false,
+            },
+            empty @ None => {
+                *empty = Some(Entry {
+                    key,
+                    value,
+                    last_ns: now_ns,
+                });
+                self.len += 1;
+                Access::Miss {
+                    evicted: None,
+                    inserted: true,
+                }
+            }
+        }
+    }
+
+    fn peek(&self, key: &K) -> Option<&V> {
+        let idx = self.hasher.bucket(key);
+        self.buckets[idx]
+            .as_ref()
+            .filter(|e| &e.key == key)
+            .map(|e| &e.value)
+    }
+
+    fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "Timeout"
+    }
+
+    fn drain_entries(&mut self) -> Vec<(K, V)> {
+        self.len = 0;
+        self.buckets
+            .iter_mut()
+            .filter_map(|b| b.take().map(|e| (e.key, e.value)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::merge_replace;
+
+    fn colliding_pair(cache: &TimeoutCache<u64, u32>) -> (u64, u64) {
+        let target = cache.hasher.bucket(&0u64);
+        let other = (1..10_000u64)
+            .find(|k| cache.hasher.bucket(k) == target)
+            .expect("collision exists");
+        (0, other)
+    }
+
+    #[test]
+    fn unexpired_incumbent_blocks_admission() {
+        let mut c = TimeoutCache::<u64, u32>::new(4, 1_000, 1);
+        let (a, b) = colliding_pair(&c);
+        c.access(a, 1, 0, merge_replace);
+        let out = c.access(b, 2, 500, merge_replace);
+        assert_eq!(
+            out,
+            Access::Miss {
+                evicted: None,
+                inserted: false
+            }
+        );
+        assert_eq!(c.peek(&a), Some(&1));
+        assert_eq!(c.peek(&b), None);
+    }
+
+    #[test]
+    fn expired_incumbent_is_replaced() {
+        let mut c = TimeoutCache::<u64, u32>::new(4, 1_000, 1);
+        let (a, b) = colliding_pair(&c);
+        c.access(a, 1, 0, merge_replace);
+        let out = c.access(b, 2, 2_000, merge_replace);
+        assert_eq!(out.evicted(), Some((a, 1)));
+        assert_eq!(c.peek(&b), Some(&2));
+    }
+
+    #[test]
+    fn hit_refreshes_the_timestamp() {
+        let mut c = TimeoutCache::<u64, u32>::new(4, 1_000, 1);
+        let (a, b) = colliding_pair(&c);
+        c.access(a, 1, 0, merge_replace);
+        c.access(a, 1, 900, merge_replace); // refresh just before expiry
+                                            // At t=1500 the incumbent is only 600ns old — still protected.
+        let out = c.access(b, 2, 1_500, merge_replace);
+        assert!(!out.resident());
+        assert_eq!(c.peek(&a), Some(&1));
+    }
+
+    #[test]
+    fn zero_timeout_degenerates_to_always_replace() {
+        let mut c = TimeoutCache::<u64, u32>::new(4, 0, 1);
+        let (a, b) = colliding_pair(&c);
+        c.access(a, 1, 0, merge_replace);
+        let out = c.access(b, 2, 1, merge_replace);
+        assert_eq!(out.evicted(), Some((a, 1)));
+    }
+
+    #[test]
+    fn generic_policy_exercise() {
+        let mut c = TimeoutCache::<u64, u64>::new(64, 50_000, 1);
+        crate::policies::tests::exercise_policy(&mut c);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut c = TimeoutCache::<u64, u32>::new(16, 100, 1);
+        for k in 0..8u64 {
+            c.access(k, 1, 0, merge_replace);
+        }
+        let n = c.len();
+        assert_eq!(c.drain_entries().len(), n);
+        assert!(c.is_empty());
+    }
+}

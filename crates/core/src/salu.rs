@@ -1,0 +1,478 @@
+//! Stateful-ALU instruction model for cache-state transitions (§2.3).
+//!
+//! On Tofino, a register is updated by a *stateful ALU*: per packet, one
+//! read-modify-write whose new value is chosen by a predicate between (at
+//! most) two arithmetic branches. A cache-state DFA is deployable only if
+//! each input symbol's transition function can be expressed as one such
+//! instruction on the state register.
+//!
+//! This module gives that constraint a concrete, checkable form:
+//!
+//! * [`SaluInstr`] — predicate + two branches of add/sub/bit ops;
+//! * [`find_realization`] — a small search proving (or refuting) that a
+//!   transition function fits a single instruction;
+//! * [`p4lru2_program`] / [`p4lru3_program`] — the paper's concrete
+//!   programs (`^1`; `^1`/`^3`; `−2`/`+4`), verified exhaustively against
+//!   the permutation semantics in tests.
+
+use crate::dfa::CacheState;
+use crate::perm::Perm;
+
+/// One arithmetic branch of a stateful ALU: `state ← state ⊕ const` for a
+/// small operation set (what Tofino register actions support on one word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AluOp {
+    /// Leave the register unchanged.
+    Nop,
+    /// Wrapping add of a constant.
+    Add(u8),
+    /// Wrapping subtract of a constant.
+    Sub(u8),
+    /// Bitwise XOR with a constant.
+    Xor(u8),
+    /// Bitwise AND with a constant.
+    And(u8),
+    /// Bitwise OR with a constant.
+    Or(u8),
+    /// Overwrite with a constant.
+    Set(u8),
+}
+
+impl AluOp {
+    /// Applies the branch to a register value.
+    #[inline]
+    pub fn eval(self, state: u8) -> u8 {
+        match self {
+            AluOp::Nop => state,
+            AluOp::Add(c) => state.wrapping_add(c),
+            AluOp::Sub(c) => state.wrapping_sub(c),
+            AluOp::Xor(c) => state ^ c,
+            AluOp::And(c) => state & c,
+            AluOp::Or(c) => state | c,
+            AluOp::Set(c) => c,
+        }
+    }
+}
+
+/// The predicate selecting between the two branches. Tofino predicates
+/// compare the current register value against a constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// Always take the true branch (single-branch instruction).
+    Always,
+    /// True branch when `state >= c`.
+    Ge(u8),
+    /// True branch when `state <= c`.
+    Le(u8),
+    /// True branch when `state == c`.
+    Eq(u8),
+    /// True branch when `state & mask != 0`.
+    TestBits(u8),
+}
+
+impl Pred {
+    /// Evaluates the predicate on a register value.
+    #[inline]
+    pub fn eval(self, state: u8) -> bool {
+        match self {
+            Pred::Always => true,
+            Pred::Ge(c) => state >= c,
+            Pred::Le(c) => state <= c,
+            Pred::Eq(c) => state == c,
+            Pred::TestBits(m) => state & m != 0,
+        }
+    }
+}
+
+/// One stateful-ALU instruction: a predicate and two arithmetic branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaluInstr {
+    /// Branch selector.
+    pub pred: Pred,
+    /// Branch taken when the predicate holds.
+    pub on_true: AluOp,
+    /// Branch taken otherwise.
+    pub on_false: AluOp,
+}
+
+impl SaluInstr {
+    /// A single-branch instruction.
+    pub fn unconditional(op: AluOp) -> Self {
+        Self {
+            pred: Pred::Always,
+            on_true: op,
+            on_false: AluOp::Nop,
+        }
+    }
+
+    /// Executes the instruction on a register value.
+    #[inline]
+    pub fn eval(self, state: u8) -> u8 {
+        if self.pred.eval(state) {
+            self.on_true.eval(state)
+        } else {
+            self.on_false.eval(state)
+        }
+    }
+
+    /// Does this instruction compute `f` on the domain `0..f.len()`?
+    pub fn realizes(self, f: &[u8]) -> bool {
+        f.iter()
+            .enumerate()
+            .all(|(s, &out)| self.eval(s as u8) == out)
+    }
+}
+
+/// Searches for a single stateful-ALU instruction computing the transition
+/// function `f` (given as its value table over states `0..f.len()`).
+///
+/// The search space is every predicate/branch combination with constants up
+/// to `max_const`; it is tiny (≈10⁵ candidates for `max_const = 8`), which is
+/// the point — the ALU's expressiveness really is this small. Returns the
+/// first instruction found, preferring unconditional ones.
+pub fn find_realization(f: &[u8], max_const: u8) -> Option<SaluInstr> {
+    let ops = |out: &mut Vec<AluOp>| {
+        out.push(AluOp::Nop);
+        for c in 0..=max_const {
+            out.push(AluOp::Add(c));
+            out.push(AluOp::Sub(c));
+            out.push(AluOp::Xor(c));
+            out.push(AluOp::And(c));
+            out.push(AluOp::Or(c));
+            out.push(AluOp::Set(c));
+        }
+    };
+    let mut branch_ops = Vec::new();
+    ops(&mut branch_ops);
+
+    // Unconditional first: cheaper in hardware and matches the paper's op 1/2.
+    for &op in &branch_ops {
+        let instr = SaluInstr::unconditional(op);
+        if instr.realizes(f) {
+            return Some(instr);
+        }
+    }
+    let mut preds = Vec::new();
+    for c in 0..=max_const {
+        preds.push(Pred::Ge(c));
+        preds.push(Pred::Le(c));
+        preds.push(Pred::Eq(c));
+        preds.push(Pred::TestBits(c));
+    }
+    for &pred in &preds {
+        for &on_true in &branch_ops {
+            for &on_false in &branch_ops {
+                let instr = SaluInstr {
+                    pred,
+                    on_true,
+                    on_false,
+                };
+                if instr.realizes(f) {
+                    return Some(instr);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// A complete SALU program for a cache-state DFA: one instruction per input
+/// symbol (key-array outcome). The instruction count is the number of
+/// stateful ALUs consumed in the state stage.
+#[derive(Clone, Debug)]
+pub struct SaluProgram {
+    /// `instrs[pos]` handles a hit at key position `pos` (with `pos = N-1`
+    /// also covering the miss).
+    pub instrs: Vec<SaluInstr>,
+}
+
+impl SaluProgram {
+    /// Number of stateful ALUs the program occupies.
+    ///
+    /// Each SALU supports two arithmetic branches; an unconditional
+    /// instruction uses one branch, a predicated one uses two. Instructions
+    /// pack greedily into SALUs (first-fit), reproducing the paper's counts:
+    /// one SALU for P4LRU2 (ops 1+2 share it), three for P4LRU3.
+    pub fn salu_count(&self) -> usize {
+        let mut free_branches: Vec<usize> = Vec::new();
+        for instr in &self.instrs {
+            let need = if matches!(instr.pred, Pred::Always) {
+                1
+            } else {
+                2
+            };
+            if let Some(slot) = free_branches.iter_mut().find(|f| **f >= need) {
+                *slot -= need;
+            } else {
+                free_branches.push(2 - need);
+            }
+        }
+        free_branches.len()
+    }
+
+    /// Runs the program as a DFA from `start`, applying the instruction for
+    /// each input in `inputs`.
+    pub fn run(&self, start: u8, inputs: &[usize]) -> u8 {
+        inputs
+            .iter()
+            .fold(start, |s, &pos| self.instrs[pos].eval(s))
+    }
+
+    /// Verifies the program against an encoded DFA type: for every reachable
+    /// code and every input, the instruction must map code to code exactly as
+    /// the DFA does. `codes` enumerates the valid register values and
+    /// `encode`/`decode` bridge to the DFA.
+    pub fn verify_against<const N: usize, D, F, G>(
+        &self,
+        codes: &[u8],
+        decode: F,
+        code_of: G,
+    ) -> Result<(), String>
+    where
+        D: CacheState<N>,
+        F: Fn(u8) -> D,
+        G: Fn(&D) -> u8,
+    {
+        if self.instrs.len() != N {
+            return Err(format!(
+                "program has {} instructions, DFA needs {N}",
+                self.instrs.len()
+            ));
+        }
+        for &c in codes {
+            for (pos, instr) in self.instrs.iter().enumerate() {
+                let mut d = decode(c);
+                d.advance(pos);
+                let want = code_of(&d);
+                let got = instr.eval(c);
+                if got != want {
+                    return Err(format!(
+                        "code {c} input {pos}: ALU gives {got}, DFA gives {want}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's P4LRU2 program (§2.3.1): operation 1 is a no-op, operation 2
+/// is `S ← S ^ 1`. One stateful ALU.
+pub fn p4lru2_program() -> SaluProgram {
+    SaluProgram {
+        instrs: vec![
+            SaluInstr::unconditional(AluOp::Nop),
+            SaluInstr::unconditional(AluOp::Xor(1)),
+        ],
+    }
+}
+
+/// The paper's P4LRU3 program (§2.3.2):
+///
+/// * operation 1 — no-op;
+/// * operation 2 — `S ^ 1` if `S ≥ 4` else `S ^ 3`;
+/// * operation 3 — `S − 2` if `S ≥ 2` else `S + 4`.
+///
+/// Three stateful ALUs, within the four a Tofino stage provides.
+pub fn p4lru3_program() -> SaluProgram {
+    SaluProgram {
+        instrs: vec![
+            SaluInstr::unconditional(AluOp::Nop),
+            SaluInstr {
+                pred: Pred::Ge(4),
+                on_true: AluOp::Xor(1),
+                on_false: AluOp::Xor(3),
+            },
+            SaluInstr {
+                pred: Pred::Ge(2),
+                on_true: AluOp::Sub(2),
+                on_false: AluOp::Add(4),
+            },
+        ],
+    }
+}
+
+/// Transition value-table of an encoded DFA for one input symbol, used as
+/// input to [`find_realization`].
+pub fn transition_table<const N: usize, D, F, G>(
+    codes: &[u8],
+    decode: F,
+    code_of: G,
+    pos: usize,
+) -> Vec<u8>
+where
+    D: CacheState<N>,
+    F: Fn(u8) -> D,
+    G: Fn(&D) -> u8,
+{
+    codes
+        .iter()
+        .map(|&c| {
+            let mut d = decode(c);
+            d.advance(pos);
+            code_of(&d)
+        })
+        .collect()
+}
+
+/// Reference transition table for the *Lehmer-ranked* states of Sₙ — what a
+/// hypothetical unencoded P4LRUₙ register would have to realize. Used to
+/// demonstrate that naive numberings do not fit the ALU (see tests).
+pub fn lehmer_transition_table<const N: usize>(pos: usize) -> Vec<u8> {
+    Perm::<N>::all()
+        .map(|p| {
+            let mut q = p;
+            q.advance(pos);
+            q.lehmer_rank() as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::{Dfa2, Dfa3};
+
+    #[test]
+    fn paper_p4lru2_program_is_exact() {
+        let prog = p4lru2_program();
+        prog.verify_against::<2, Dfa2, _, _>(
+            &[0, 1],
+            |c| Dfa2::from_code(c).unwrap(),
+            |d| d.code(),
+        )
+        .unwrap();
+        assert_eq!(prog.salu_count(), 1);
+    }
+
+    #[test]
+    fn paper_p4lru3_program_is_exact() {
+        let prog = p4lru3_program();
+        prog.verify_against::<3, Dfa3, _, _>(
+            &[0, 1, 2, 3, 4, 5],
+            |c| Dfa3::from_code(c).unwrap(),
+            |d| d.code(),
+        )
+        .unwrap();
+        // Paper: "we can utilize three stateful ALUs to implement the
+        // arithmetic logic corresponding to operations 1, 2, and 3" — within
+        // the four SALUs one Tofino stage offers.
+        assert_eq!(prog.salu_count(), 3);
+        assert!(prog.salu_count() <= 4);
+    }
+
+    #[test]
+    fn searcher_rediscovers_the_paper_encoding_ops() {
+        let codes: Vec<u8> = (0..6).collect();
+        for pos in 0..3 {
+            let table = transition_table::<3, Dfa3, _, _>(
+                &codes,
+                |c| Dfa3::from_code(c).unwrap(),
+                |d| d.code(),
+                pos,
+            );
+            let instr = find_realization(&table, 6)
+                .unwrap_or_else(|| panic!("operation {pos} should fit one SALU"));
+            assert!(instr.realizes(&table));
+        }
+    }
+
+    #[test]
+    fn searcher_verdicts_are_sound() {
+        // Whatever the searcher returns must actually realize the table.
+        let tables = [vec![1u8, 0, 3, 2], vec![0u8, 0, 0, 0], vec![3u8, 1, 2, 0]];
+        for t in &tables {
+            if let Some(instr) = find_realization(t, 8) {
+                assert!(instr.realizes(t), "unsound for {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lehmer_numbering_of_s3_does_not_fit_one_salu() {
+        // The naive state numbering (Lehmer rank) is NOT ALU-friendly for
+        // every operation — this is why Table 1's custom codes exist.
+        let mut fits = 0;
+        for pos in 0..3 {
+            let table = lehmer_transition_table::<3>(pos);
+            if find_realization(&table, 8).is_some() {
+                fits += 1;
+            }
+        }
+        assert!(
+            fits < 3,
+            "Lehmer codes unexpectedly fit all three operations"
+        );
+    }
+
+    #[test]
+    fn op_eval_semantics() {
+        assert_eq!(AluOp::Add(3).eval(250), 253);
+        assert_eq!(AluOp::Add(10).eval(250), 4); // wrapping
+        assert_eq!(AluOp::Sub(2).eval(1), 255); // wrapping
+        assert_eq!(AluOp::Xor(3).eval(1), 2);
+        assert_eq!(AluOp::And(1).eval(3), 1);
+        assert_eq!(AluOp::Or(4).eval(1), 5);
+        assert_eq!(AluOp::Set(9).eval(200), 9);
+        assert_eq!(AluOp::Nop.eval(7), 7);
+    }
+
+    #[test]
+    fn pred_eval_semantics() {
+        assert!(Pred::Always.eval(0));
+        assert!(Pred::Ge(4).eval(4) && !Pred::Ge(4).eval(3));
+        assert!(Pred::Le(2).eval(2) && !Pred::Le(2).eval(3));
+        assert!(Pred::Eq(5).eval(5) && !Pred::Eq(5).eval(4));
+        assert!(Pred::TestBits(2).eval(6) && !Pred::TestBits(2).eval(5));
+    }
+
+    #[test]
+    fn program_run_traces_paper_example() {
+        // Figure 4 walk: 4 --op2--> 5 --op3--> 3 --op3--> 1 --op2--> 2.
+        let prog = p4lru3_program();
+        assert_eq!(prog.run(4, &[1]), 5);
+        assert_eq!(prog.run(5, &[2]), 3);
+        assert_eq!(prog.run(3, &[2]), 1);
+        assert_eq!(prog.run(1, &[1]), 2);
+        assert_eq!(prog.run(4, &[1, 2, 2, 1]), 2);
+    }
+
+    #[test]
+    fn verify_against_catches_wrong_programs() {
+        let bad = SaluProgram {
+            instrs: vec![
+                SaluInstr::unconditional(AluOp::Nop),
+                SaluInstr::unconditional(AluOp::Xor(1)), // wrong for codes <= 3
+                SaluInstr {
+                    pred: Pred::Ge(2),
+                    on_true: AluOp::Sub(2),
+                    on_false: AluOp::Add(4),
+                },
+            ],
+        };
+        let res = bad.verify_against::<3, Dfa3, _, _>(
+            &[0, 1, 2, 3, 4, 5],
+            |c| Dfa3::from_code(c).unwrap(),
+            |d| d.code(),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn salu_count_packs_branches() {
+        // Two unconditional ops share one SALU (P4LRU2's case)…
+        assert_eq!(p4lru2_program().salu_count(), 1);
+        // …and four predicated ops need four SALUs.
+        let four = SaluProgram {
+            instrs: vec![
+                SaluInstr {
+                    pred: Pred::Ge(1),
+                    on_true: AluOp::Add(1),
+                    on_false: AluOp::Nop
+                };
+                4
+            ],
+        };
+        assert_eq!(four.salu_count(), 4);
+    }
+}

@@ -1,0 +1,535 @@
+//! A single P4LRU cache unit (paper §2.2, Algorithm 1).
+//!
+//! [`LruUnit`] holds `N` entries: a key array kept in true LRU order (the
+//! front is most recently used), a value array that **never moves**, and a
+//! cache state mapping key positions to value positions. One update touches
+//! the key slots in order, the state register once, and exactly one value
+//! slot — the access pattern a match-action pipeline permits.
+//!
+//! The unit is generic over the state realization ([`CacheState`]); the
+//! encoded aliases [`P4Lru2Unit`], [`P4Lru3Unit`] and [`P4Lru4Unit`] are the
+//! deployable flavors, while `LruUnit<_, _, N, Perm<N>>` is the reference
+//! semantics for any `N`.
+
+use crate::dfa::{CacheState, Dfa2, Dfa3, Dfa4};
+use crate::perm::Perm;
+
+/// A P4LRU2 unit with the one-bit encoded state.
+pub type P4Lru2Unit<K, V> = LruUnit<K, V, 2, Dfa2>;
+/// A P4LRU3 unit with the Table 1 encoded state.
+pub type P4Lru3Unit<K, V> = LruUnit<K, V, 3, Dfa3>;
+/// A P4LRU4 unit with the V₄ ⋊ S₃ factored state.
+pub type P4Lru4Unit<K, V> = LruUnit<K, V, 4, Dfa4>;
+
+/// Result of an [`LruUnit::update`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome<K, V> {
+    /// The key was already cached, at (0-based) key position `pos` before the
+    /// update; its value was merged and it is now the most recently used.
+    Hit {
+        /// Position the key occupied before being moved to the front.
+        pos: usize,
+    },
+    /// The key was absent and an empty slot absorbed it.
+    Inserted,
+    /// The key was absent and the least recently used entry was evicted.
+    Evicted {
+        /// The evicted key.
+        key: K,
+        /// The evicted key's value.
+        value: V,
+    },
+}
+
+impl<K, V> Outcome<K, V> {
+    /// Was this access a hit?
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Outcome::Hit { .. })
+    }
+
+    /// The evicted entry, if any.
+    pub fn into_evicted(self) -> Option<(K, V)> {
+        match self {
+            Outcome::Evicted { key, value } => Some((key, value)),
+            _ => None,
+        }
+    }
+}
+
+/// One P4LRU cache of `N` key-value pairs.
+///
+/// ```
+/// use p4lru_core::unit::{P4Lru3Unit, Outcome};
+///
+/// let mut unit = P4Lru3Unit::<&str, u32>::new();
+/// unit.update("a", 1, |_, _| {});
+/// unit.update("b", 2, |_, _| {});
+/// unit.update("c", 3, |_, _| {});
+/// // "a" is now least recently used; inserting "d" evicts it.
+/// let out = unit.update("d", 4, |_, _| {});
+/// assert_eq!(out, Outcome::Evicted { key: "a", value: 1 });
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruUnit<K, V, const N: usize, S: CacheState<N> = Perm<N>> {
+    /// Key array in LRU order: `keys[0]` is the most recently used.
+    keys: [Option<K>; N],
+    /// Value array in *fixed* order; `state` maps key positions here.
+    vals: [Option<V>; N],
+    /// The cache-state DFA, `S_lru` in the paper.
+    state: S,
+}
+
+impl<K: Eq, V, const N: usize, S: CacheState<N>> Default for LruUnit<K, V, N, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq, V, const N: usize, S: CacheState<N>> LruUnit<K, V, N, S> {
+    /// An empty unit in the identity cache state.
+    pub fn new() -> Self {
+        assert!(N >= 1, "a unit needs at least one entry");
+        Self {
+            keys: std::array::from_fn(|_| None),
+            vals: std::array::from_fn(|_| None),
+            state: S::default(),
+        }
+    }
+
+    /// Capacity `N`.
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.keys.iter().filter(|k| k.is_some()).count()
+    }
+
+    /// Is the unit empty?
+    pub fn is_empty(&self) -> bool {
+        self.keys.iter().all(|k| k.is_none())
+    }
+
+    /// Read-only lookup (no LRU reordering). Returns the key's 0-based
+    /// position in the key array and a reference to its value.
+    ///
+    /// This is the *query-packet* path of the series connection (§3.2):
+    /// queries may inspect every array without modifying any.
+    pub fn probe(&self, key: &K) -> Option<(usize, &V)> {
+        let pos = self.position_of(key)?;
+        let slot = self.state.slot_of(pos);
+        self.vals[slot].as_ref().map(|v| (pos, v))
+    }
+
+    /// Read-only value lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.probe(key).map(|(_, v)| v)
+    }
+
+    /// Position of `key` in the key array, if cached.
+    pub fn position_of(&self, key: &K) -> Option<usize> {
+        self.keys.iter().position(|k| k.as_ref() == Some(key))
+    }
+
+    /// Algorithm 1: insert or refresh `key`, making it the most recently
+    /// used entry.
+    ///
+    /// On a hit, `merge(cached, value)` combines the incoming value into the
+    /// cached one — accumulate for a write-cache (`|acc, v| *acc += v`),
+    /// overwrite for a read-cache (`|slot, v| *slot = v`). On a miss the
+    /// incoming value is stored as-is and the least recently used entry (if
+    /// the unit was full) is returned.
+    pub fn update(&mut self, key: K, value: V, merge: impl FnOnce(&mut V, V)) -> Outcome<K, V> {
+        // Step 1: maintain the key array in LRU order. A miss behaves like a
+        // hit at the last position (the LRU key falls off the end).
+        let hit_pos = self.position_of(&key);
+        let h = hit_pos.unwrap_or(N - 1);
+        let evicted_key = if hit_pos.is_some() {
+            None
+        } else {
+            self.keys[N - 1].take()
+        };
+        self.keys[..=h].rotate_right(1);
+        self.keys[0] = Some(key);
+
+        // Step 2: update the cache state (S ← R⁻¹ × S).
+        self.state.advance(h);
+
+        // Step 3: find and update the value through the cache state. After
+        // the advance, the front slot is the value position of keys[0] —
+        // the hit key's old value, or the evicted key's reusable slot.
+        let slot = self.state.front_slot();
+        match (hit_pos, evicted_key) {
+            (Some(pos), _) => {
+                let cached = self.vals[slot]
+                    .as_mut()
+                    .expect("invariant: a cached key's slot holds a value");
+                merge(cached, value);
+                Outcome::Hit { pos }
+            }
+            (None, Some(old_key)) => {
+                let old_value = self.vals[slot]
+                    .replace(value)
+                    .expect("invariant: the evicted key's slot holds a value");
+                Outcome::Evicted {
+                    key: old_key,
+                    value: old_value,
+                }
+            }
+            (None, None) => {
+                debug_assert!(
+                    self.vals[slot].is_none(),
+                    "empty key must map to empty slot"
+                );
+                self.vals[slot] = Some(value);
+                Outcome::Inserted
+            }
+        }
+    }
+
+    /// Refreshes `key`'s recency without touching its value. Returns `false`
+    /// if the key is not cached.
+    ///
+    /// This is the reply-packet path of the series connection when the key
+    /// was found in some array: the entry is "prioritized as the most recent"
+    /// in place.
+    pub fn promote(&mut self, key: &K) -> bool {
+        let Some(h) = self.position_of(key) else {
+            return false;
+        };
+        self.keys[..=h].rotate_right(1);
+        self.state.advance(h);
+        true
+    }
+
+    /// Replaces the **least recently used** entry with `(key, value)` without
+    /// promoting it — the incoming entry takes over the tail position and the
+    /// cache state is unchanged. Returns the displaced entry.
+    ///
+    /// This is how the series connection pushes an evictee *down* a level
+    /// (§3.2): "we place the evicted key … into the cache unit of the second
+    /// array, designating it as the least recently used entry."
+    ///
+    /// If `key` is already cached elsewhere in this unit, the tail is still
+    /// replaced (the data plane cannot scan-and-dedup in this path); callers
+    /// that must avoid duplicates check with [`Self::probe`] first.
+    pub fn insert_tail(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let slot = self.state.slot_of(N - 1);
+        let old_key = self.keys[N - 1].replace(key);
+        let old_val = self.vals[slot].replace(value);
+        match (old_key, old_val) {
+            (Some(k), Some(v)) => Some((k, v)),
+            (None, None) => None,
+            _ => unreachable!("invariant: key and value slots are paired"),
+        }
+    }
+
+    /// The least recently used entry, if the tail slot is occupied.
+    pub fn peek_lru(&self) -> Option<(&K, &V)> {
+        let key = self.keys[N - 1].as_ref()?;
+        let slot = self.state.slot_of(N - 1);
+        self.vals[slot].as_ref().map(|v| (key, v))
+    }
+
+    /// The most recently used entry.
+    pub fn peek_mru(&self) -> Option<(&K, &V)> {
+        let key = self.keys[0].as_ref()?;
+        self.vals[self.state.front_slot()]
+            .as_ref()
+            .map(|v| (key, v))
+    }
+
+    /// Entries in LRU order (most recent first) as `(position, key, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &K, &V)> {
+        (0..N).filter_map(move |pos| {
+            let key = self.keys[pos].as_ref()?;
+            let val = self.vals[self.state.slot_of(pos)].as_ref()?;
+            Some((pos, key, val))
+        })
+    }
+
+    /// Mutable access to the value of `key` (no LRU reordering).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let pos = self.position_of(key)?;
+        let slot = self.state.slot_of(pos);
+        self.vals[slot].as_mut()
+    }
+
+    /// Removes and returns every cached entry, resetting the unit to the
+    /// identity state.
+    pub fn drain(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for pos in 0..N {
+            if let Some(k) = self.keys[pos].take() {
+                let slot = self.state.slot_of(pos);
+                let v = self.vals[slot]
+                    .take()
+                    .expect("invariant: a cached key's slot holds a value");
+                out.push((k, v));
+            }
+        }
+        self.state = S::default();
+        out
+    }
+
+    /// The current cache state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The cache state as a permutation (for inspection and tests).
+    pub fn state_perm(&self) -> Perm<N> {
+        self.state.as_perm()
+    }
+
+    /// Verifies the unit's structural invariants. Used by property tests;
+    /// returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // 1. The state decodes to a permutation (by construction of as_perm).
+        let perm = self.state.as_perm();
+        // 2. Occupied keys map to occupied value slots and vice versa.
+        for pos in 0..N {
+            let slot = perm.apply(pos);
+            match (&self.keys[pos], &self.vals[slot]) {
+                (Some(_), Some(_)) | (None, None) => {}
+                (Some(_), None) => {
+                    return Err(format!("key at {pos} maps to empty value slot {slot}"));
+                }
+                (None, Some(_)) => {
+                    return Err(format!("empty key at {pos} maps to occupied slot {slot}"));
+                }
+            }
+        }
+        // 3. No duplicate keys.
+        for i in 0..N {
+            for j in (i + 1)..N {
+                if self.keys[i].is_some() && self.keys[i] == self.keys[j] {
+                    return Err(format!("duplicate key at positions {i} and {j}"));
+                }
+            }
+        }
+        // Note: occupancy need not be a front-prefix — `insert_tail` (the
+        // series connection's downstream path) legitimately fills the tail
+        // of a unit whose front is still empty, exactly as real hardware
+        // (which has no notion of "empty" slots) would.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type RefUnit<K, V, const N: usize> = LruUnit<K, V, N, Perm<N>>;
+
+    fn overwrite(slot: &mut u32, v: u32) {
+        *slot = v;
+    }
+
+    #[test]
+    fn empty_unit_misses_everything() {
+        let unit = P4Lru3Unit::<u64, u32>::new();
+        assert!(unit.is_empty());
+        assert_eq!(unit.len(), 0);
+        assert_eq!(unit.get(&1), None);
+        assert_eq!(unit.peek_lru(), None);
+        assert_eq!(unit.peek_mru(), None);
+    }
+
+    #[test]
+    fn fills_from_front_without_evicting() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        assert_eq!(unit.update(1, 10, overwrite), Outcome::Inserted);
+        assert_eq!(unit.update(2, 20, overwrite), Outcome::Inserted);
+        assert_eq!(unit.update(3, 30, overwrite), Outcome::Inserted);
+        assert_eq!(unit.len(), 3);
+        assert_eq!(unit.get(&1), Some(&10));
+        assert_eq!(unit.get(&2), Some(&20));
+        assert_eq!(unit.get(&3), Some(&30));
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        for k in 1..=3 {
+            unit.update(k, (k * 10) as u32, overwrite);
+        }
+        // LRU order: 3 (MRU), 2, 1 (LRU).
+        assert_eq!(unit.peek_lru().map(|(k, v)| (*k, *v)), Some((1, 10)));
+        let out = unit.update(4, 40, overwrite);
+        assert_eq!(out, Outcome::Evicted { key: 1, value: 10 });
+        assert_eq!(unit.get(&1), None);
+        assert_eq!(unit.get(&4), Some(&40));
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hit_refreshes_recency_and_merges() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        for k in 1..=3 {
+            unit.update(k, 1, overwrite);
+        }
+        // Touch 1 (currently LRU) with accumulate semantics.
+        let out = unit.update(1, 5, |acc, v| *acc += v);
+        assert_eq!(out, Outcome::Hit { pos: 2 });
+        assert_eq!(unit.get(&1), Some(&6));
+        // Now 2 is LRU; a new key evicts 2.
+        let out = unit.update(9, 90, overwrite);
+        assert_eq!(out, Outcome::Evicted { key: 2, value: 1 });
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn values_never_move_only_the_mapping_does() {
+        // Drive the paper's Figure 3 example with the reference state.
+        let mut unit = RefUnit::<char, char, 5>::new();
+        for (k, v) in [('A', 'a'), ('B', 'b'), ('C', 'c'), ('D', 'd'), ('E', 'e')] {
+            unit.update(k, v, |_, _| {});
+        }
+        // Insertion order A..E means LRU order E,D,C,B,A — the paper's
+        // figure instead starts from state (K_A..K_E | identity); rebuild
+        // exactly that situation by touching in reverse.
+        for k in ['E', 'D', 'C', 'B', 'A'] {
+            unit.update(k, k.to_ascii_lowercase(), |slot, v| *slot = v);
+        }
+        // Now keys in LRU order: A B C D E.
+        let keys: Vec<char> = unit.entries().map(|(_, k, _)| *k).collect();
+        assert_eq!(keys, vec!['A', 'B', 'C', 'D', 'E']);
+        // Hit D (position 4 → paper Example 1).
+        unit.update('D', 'δ', |slot, v| *slot = v);
+        let keys: Vec<char> = unit.entries().map(|(_, k, _)| *k).collect();
+        assert_eq!(keys, vec!['D', 'A', 'B', 'C', 'E']);
+        assert_eq!(unit.get(&'D'), Some(&'δ'));
+        // Miss F (paper Example 2) evicts E.
+        let out = unit.update('F', 'f', |_, _| {});
+        assert!(matches!(out, Outcome::Evicted { key: 'E', .. }));
+        let keys: Vec<char> = unit.entries().map(|(_, k, _)| *k).collect();
+        assert_eq!(keys, vec!['F', 'D', 'A', 'B', 'C']);
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn probe_does_not_reorder() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        for k in 1..=3 {
+            unit.update(k, k as u32, overwrite);
+        }
+        let before: Vec<u64> = unit.entries().map(|(_, k, _)| *k).collect();
+        assert_eq!(unit.probe(&1).map(|(pos, v)| (pos, *v)), Some((2, 1)));
+        let after: Vec<u64> = unit.entries().map(|(_, k, _)| *k).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn promote_reorders_without_value_change() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        for k in 1..=3 {
+            unit.update(k, k as u32 * 10, overwrite);
+        }
+        assert!(unit.promote(&1));
+        assert_eq!(unit.peek_mru().map(|(k, v)| (*k, *v)), Some((1, 10)));
+        assert!(!unit.promote(&99));
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_tail_replaces_lru_and_keeps_state() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        for k in 1..=3 {
+            unit.update(k, k as u32, overwrite);
+        }
+        let state_before = unit.state_perm();
+        let displaced = unit.insert_tail(7, 70);
+        assert_eq!(displaced, Some((1, 1)));
+        assert_eq!(unit.state_perm(), state_before);
+        assert_eq!(unit.peek_lru().map(|(k, v)| (*k, *v)), Some((7, 70)));
+        // 7 is LRU: the next miss evicts it.
+        let out = unit.update(8, 80, overwrite);
+        assert_eq!(out, Outcome::Evicted { key: 7, value: 70 });
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_tail_into_empty_unit() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        assert_eq!(unit.insert_tail(5, 50), None);
+        assert_eq!(unit.peek_lru().map(|(k, v)| (*k, *v)), Some((5, 50)));
+        assert_eq!(unit.get(&5), Some(&50));
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut unit = P4Lru2Unit::<u64, u32>::new();
+        unit.update(1, 10, overwrite);
+        *unit.get_mut(&1).unwrap() += 5;
+        assert_eq!(unit.get(&1), Some(&15));
+        assert_eq!(unit.get_mut(&2), None);
+    }
+
+    #[test]
+    fn encoded_units_agree_with_reference_unit() {
+        fn drive<S: CacheState<3> + std::fmt::Debug>(seed: u64) {
+            let mut enc = LruUnit::<u64, u64, 3, S>::new();
+            let mut reference = RefUnit::<u64, u64, 3>::new();
+            let mut x = seed;
+            for _ in 0..5000 {
+                x = crate::hashing::mix64(x);
+                let key = x % 8; // small key space forces frequent hits
+                let val = x >> 32;
+                let a = enc.update(key, val, |acc, v| *acc ^= v);
+                let b = reference.update(key, val, |acc, v| *acc ^= v);
+                assert_eq!(a, b);
+                assert_eq!(enc.state_perm(), reference.state_perm());
+                enc.check_invariants().unwrap();
+            }
+        }
+        drive::<Dfa3>(1);
+        drive::<crate::dfa::TableDfa<3>>(2);
+    }
+
+    #[test]
+    fn p4lru2_and_p4lru4_basic_behaviour() {
+        let mut u2 = P4Lru2Unit::<u64, u32>::new();
+        u2.update(1, 1, overwrite);
+        u2.update(2, 2, overwrite);
+        assert_eq!(
+            u2.update(3, 3, overwrite),
+            Outcome::Evicted { key: 1, value: 1 }
+        );
+
+        let mut u4 = P4Lru4Unit::<u64, u32>::new();
+        for k in 1..=4 {
+            u4.update(k, k as u32, overwrite);
+        }
+        assert_eq!(
+            u4.update(5, 5, overwrite),
+            Outcome::Evicted { key: 1, value: 1 }
+        );
+        u4.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repeated_updates_of_same_key_stay_hits() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        unit.update(42, 1, overwrite);
+        for i in 0..10 {
+            let out = unit.update(42, i, |acc, v| *acc = v);
+            assert_eq!(out, Outcome::Hit { pos: 0 });
+        }
+        assert_eq!(unit.get(&42), Some(&9));
+        assert_eq!(unit.len(), 1);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let hit: Outcome<u32, u32> = Outcome::Hit { pos: 1 };
+        assert!(hit.is_hit());
+        assert_eq!(hit.into_evicted(), None);
+        let ev: Outcome<u32, u32> = Outcome::Evicted { key: 1, value: 2 };
+        assert!(!ev.is_hit());
+        assert_eq!(ev.into_evicted(), Some((1, 2)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Deployability analysis of P4LRU4's factored state (paper §2.3.3).
+//!
+//! The paper proves S₄ ≅ V₄ ⋊ S₃ makes a P4LRU4 state *encodable* as two
+//! registers but says deployment "would demand a more nuanced logic". This
+//! analysis makes that precise by running the stateful-ALU realizability
+//! search over every register transition:
+//!
+//! * all four **s-register** updates (S₃ left-multiplications) fit one SALU
+//!   each — the Table 1 arithmetic family generalizes;
+//! * three of four **v-register** updates fit one SALU (identity, an XOR,
+//!   and a ±-rotation);
+//! * generator 2's v-update is the 3-cycle `[0,3,1,2]` on the V₄ codes,
+//!   which no predicate + two-branch arithmetic realizes — *this* is the
+//!   nuance. (On Tofino it would fit the SALU's small lookup table or a
+//!   recoded V₄; either way P4LRU4 costs more than three plain SALUs.)
+
+use p4lru_core::dfa::{CacheState, Dfa4};
+use p4lru_core::salu::find_realization;
+
+fn v_table(gen: usize) -> Vec<u8> {
+    (0..4u8)
+        .map(|v| {
+            let mut d = Dfa4::from_codes(v, 0).unwrap();
+            d.advance(gen);
+            d.v_code()
+        })
+        .collect()
+}
+
+fn s_table(gen: usize) -> Vec<u8> {
+    (0..6u8)
+        .map(|s| {
+            let mut d = Dfa4::from_codes(0, s).unwrap();
+            d.advance(gen);
+            d.s_code()
+        })
+        .collect()
+}
+
+#[test]
+fn all_s_register_updates_fit_single_salus() {
+    for gen in 0..4 {
+        let table = s_table(gen);
+        let instr = find_realization(&table, 8)
+            .unwrap_or_else(|| panic!("s-update of generator {gen} ({table:?}) should fit"));
+        assert!(instr.realizes(&table));
+    }
+}
+
+#[test]
+fn exactly_one_v_register_update_needs_nuanced_logic() {
+    let mut unrealizable = Vec::new();
+    for gen in 0..4 {
+        let table = v_table(gen);
+        match find_realization(&table, 8) {
+            Some(instr) => assert!(instr.realizes(&table), "unsound realization for gen {gen}"),
+            None => unrealizable.push((gen, table)),
+        }
+    }
+    assert_eq!(
+        unrealizable.len(),
+        1,
+        "expected exactly one nuanced transition, got {unrealizable:?}"
+    );
+    let (gen, table) = &unrealizable[0];
+    assert_eq!(
+        *gen, 2,
+        "the nuanced generator is the hit-at-position-3 rotation"
+    );
+    // The 3-cycle (1 3 2) on the nonzero V4 codes.
+    assert_eq!(table.as_slice(), &[0, 3, 1, 2]);
+}
+
+#[test]
+fn v_updates_match_group_theoretic_form() {
+    // v' = v_g ⊕ π_g(v) with π_g the conjugation by the generator's S₃
+    // factor: π is a permutation of {1,2,3} fixing 0, so v' must map 0 to
+    // v_g and be a bijection.
+    for gen in 0..4 {
+        let table = v_table(gen);
+        let vg = table[0];
+        let mut seen = [false; 4];
+        for &t in &table {
+            assert!(!seen[t as usize], "gen {gen}: v-update not a bijection");
+            seen[t as usize] = true;
+        }
+        // π(0) = 0 ⇒ table[0] = v_g; consistency is definitional, but the
+        // bijection + the XOR structure imply π_g(v) = table[v] ⊕ v_g fixes 0.
+        assert_eq!(table[0] ^ vg, 0);
+    }
+}

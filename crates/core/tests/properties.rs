@@ -1,0 +1,226 @@
+//! Property-based tests for p4lru-core invariants.
+//!
+//! Strategy: drive the real structures and simple reference models with
+//! arbitrary operation sequences and require observational equivalence —
+//! the P4LRU pipeline tricks must be *behaviorally invisible*.
+
+use proptest::prelude::*;
+
+use p4lru_core::dfa::{CacheState, Dfa2, Dfa3, Dfa4};
+use p4lru_core::metrics::{OrderStatTree, SimilarityTracker};
+use p4lru_core::perm::Perm;
+use p4lru_core::policies::{merge_replace, Cache, IdealLru, P4Lru3Cache};
+use p4lru_core::series::{QueryHit, SeriesLru};
+use p4lru_core::unit::{LruUnit, Outcome, P4Lru3Unit};
+
+// ---------------------------------------------------------------------------
+// Reference model: a strict LRU list of bounded capacity.
+// ---------------------------------------------------------------------------
+
+/// Naive LRU: Vec ordered most-recent-first.
+#[derive(Default)]
+struct ModelLru {
+    entries: Vec<(u8, u32)>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn access(&mut self, key: u8, value: u32) -> Option<(u8, u32)> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let (k, v) = self.entries.remove(pos);
+            self.entries.insert(0, (k, v.wrapping_add(value)));
+            return None;
+        }
+        self.entries.insert(0, (key, value));
+        if self.entries.len() > self.capacity {
+            self.entries.pop()
+        } else {
+            None
+        }
+    }
+}
+
+proptest! {
+    /// A P4LRU3 unit behaves exactly like a 3-entry strict LRU.
+    #[test]
+    fn unit_matches_model_lru(ops in proptest::collection::vec((0u8..12, 0u32..1000), 0..400)) {
+        let mut unit = P4Lru3Unit::<u8, u32>::new();
+        let mut model = ModelLru::new(3);
+        for (key, value) in ops {
+            let out = unit.update(key, value, |acc, v| *acc = acc.wrapping_add(v));
+            let model_evicted = model.access(key, value);
+            match (&out, model_evicted) {
+                (Outcome::Evicted { key: ek, value: ev }, Some((mk, mv))) => {
+                    prop_assert_eq!(*ek, mk);
+                    prop_assert_eq!(*ev, mv);
+                }
+                (Outcome::Hit { .. } | Outcome::Inserted, None) => {}
+                other => prop_assert!(false, "divergence: {:?}", other),
+            }
+            // Same contents in the same recency order.
+            let got: Vec<(u8, u32)> = unit.entries().map(|(_, k, v)| (*k, *v)).collect();
+            prop_assert_eq!(&got, &model.entries);
+            prop_assert!(unit.check_invariants().is_ok());
+        }
+    }
+
+    /// All three encoded DFAs stay isomorphic to the permutation reference
+    /// under arbitrary input words.
+    #[test]
+    fn encoded_dfas_isomorphic(word in proptest::collection::vec(0usize..4, 0..300)) {
+        let mut d2 = Dfa2::default();
+        let mut d3 = Dfa3::default();
+        let mut d4 = Dfa4::default();
+        let mut p2 = Perm::<2>::identity();
+        let mut p3 = Perm::<3>::identity();
+        let mut p4 = Perm::<4>::identity();
+        for &w in &word {
+            d2.advance(w.min(1));
+            p2.advance(w.min(1));
+            d3.advance(w.min(2));
+            p3.advance(w.min(2));
+            d4.advance(w);
+            p4.advance(w);
+            prop_assert_eq!(d2.as_perm(), p2);
+            prop_assert_eq!(d3.as_perm(), p3);
+            prop_assert_eq!(d4.as_perm(), p4);
+        }
+    }
+
+    /// Composition respects the paper's convention on random permutations,
+    /// and advance() is always premultiplication by the inverse rotation.
+    #[test]
+    fn advance_is_premultiplication(ranks in proptest::collection::vec(0usize..120, 1..50),
+                                    pivots in proptest::collection::vec(0usize..5, 1..50)) {
+        for (&r, &h) in ranks.iter().zip(&pivots) {
+            let s = Perm::<5>::from_lehmer_rank(r);
+            let mut fast = s;
+            fast.advance(h);
+            let slow = Perm::<5>::rotation(h).inverse().compose(&s);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    /// IdealLru is observationally a strict LRU for any trace.
+    #[test]
+    fn ideal_lru_matches_model(capacity in 1usize..20,
+                               ops in proptest::collection::vec((0u8..30, 0u32..100), 0..500)) {
+        let mut ideal = IdealLru::<u8, u32>::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        for (key, value) in ops {
+            let out = ideal.access(key, value, 0, |acc, v| *acc = acc.wrapping_add(v));
+            let model_evicted = model.access(key, value);
+            prop_assert_eq!(out.clone().evicted(), model_evicted);
+            let got: Vec<(u8, u32)> = ideal.iter_mru().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(&got, &model.entries);
+        }
+        prop_assert!(ideal.check_invariants().is_ok());
+    }
+
+    /// The deferred series protocol never stores a key at two levels.
+    #[test]
+    fn series_deferred_never_duplicates(levels in 1usize..5,
+                                        units in 1usize..6,
+                                        ops in proptest::collection::vec(0u16..80, 0..400)) {
+        let mut s = SeriesLru::<u16, u32, 3, Dfa3>::new(levels, units, 99);
+        for key in ops {
+            let (hit, _) = s.query(&key);
+            s.apply_reply(hit, key, u32::from(key));
+            prop_assert_eq!(s.duplicate_count(), 0);
+        }
+        prop_assert!(s.check_invariants().is_ok());
+    }
+
+    /// Series query is read-only: two consecutive queries agree and leave
+    /// all state untouched.
+    #[test]
+    fn series_query_is_pure(ops in proptest::collection::vec(0u16..50, 1..200)) {
+        let mut s = SeriesLru::<u16, u32, 3, Dfa3>::new(3, 4, 7);
+        for (i, key) in ops.iter().enumerate() {
+            if i % 2 == 0 {
+                s.insert_cascade(*key, u32::from(*key));
+            }
+            let a = s.query(key).0;
+            let b = s.query(key).0;
+            prop_assert_eq!(a, b);
+            if let QueryHit::Level(l) = a {
+                prop_assert!(l < s.level_count());
+            }
+        }
+    }
+
+    /// OrderStatTree agrees with a sorted-vec model.
+    #[test]
+    fn ostree_matches_model(ops in proptest::collection::vec((any::<bool>(), 0u64..200), 0..500),
+                            probes in proptest::collection::vec(0u64..210, 1..20)) {
+        let mut tree = OrderStatTree::new();
+        let mut model: Vec<u64> = Vec::new();
+        for (insert, key) in ops {
+            if insert {
+                tree.insert(key);
+                if !model.contains(&key) {
+                    model.push(key);
+                }
+            } else {
+                let was = tree.remove(key);
+                let pos = model.iter().position(|&k| k == key);
+                prop_assert_eq!(was, pos.is_some());
+                if let Some(p) = pos {
+                    model.remove(p);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        for probe in probes {
+            let naive = model.iter().filter(|&&k| k < probe).count();
+            prop_assert_eq!(tree.count_less(probe), naive);
+        }
+    }
+
+    /// The similarity shadow never diverges from the cache occupancy, and
+    /// similarity stays in (0, 1].
+    #[test]
+    fn similarity_tracker_consistency(ops in proptest::collection::vec((0u16..60, 0u32..10), 1..600)) {
+        let mut cache = P4Lru3Cache::<u16, u32>::new(8, 3);
+        let mut tracker = SimilarityTracker::new(cache.capacity());
+        for (i, (key, value)) in ops.into_iter().enumerate() {
+            let out = cache.access(key, value, i as u64, merge_replace);
+            tracker.observe(&key, &out);
+            prop_assert_eq!(tracker.tracked(), cache.len());
+        }
+        let sim = tracker.similarity();
+        prop_assert!(sim > 0.0 && sim <= 1.0, "similarity {}", sim);
+    }
+
+    /// Lehmer ranking is a bijection for N=5.
+    #[test]
+    fn lehmer_bijection(rank in 0usize..120) {
+        let p = Perm::<5>::from_lehmer_rank(rank);
+        prop_assert_eq!(p.lehmer_rank(), rank);
+    }
+
+    /// insert_tail never disturbs the recency of other entries.
+    #[test]
+    fn insert_tail_preserves_non_tail_entries(setup in proptest::collection::vec(0u8..6, 3..10),
+                                              newcomer in 100u8..110) {
+        let mut unit = LruUnit::<u8, u32, 3, Dfa3>::new();
+        for k in setup {
+            unit.update(k, u32::from(k), merge_replace);
+        }
+        let before: Vec<(u8, u32)> = unit.entries().map(|(_, k, v)| (*k, *v)).collect();
+        unit.insert_tail(newcomer, 0);
+        let after: Vec<(u8, u32)> = unit.entries().map(|(_, k, v)| (*k, *v)).collect();
+        // All but the last entry are untouched.
+        let keep = before.len().saturating_sub(1);
+        prop_assert_eq!(&before[..keep], &after[..keep]);
+        prop_assert_eq!(after.last().map(|(k, _)| *k), Some(newcomer));
+        prop_assert!(unit.check_invariants().is_ok());
+    }
+}

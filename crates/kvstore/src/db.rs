@@ -1,0 +1,209 @@
+//! The assembled database: B+Tree index over the slab store, plus the
+//! service-time model used by the LruIndex throughput experiments.
+
+use crate::btree::BPlusTree;
+use crate::slab::{Addr48, Record, SlabStore, VALUE_SIZE};
+
+/// Default B+Tree fan-out used across the workspace.
+pub const DEFAULT_MAX_KEYS: usize = 32;
+
+/// Per-node-visit cost of an index walk, in nanoseconds. A cache-missing
+/// pointer chase in DRAM is ≈100 ns; binary search within a node adds a
+/// little.
+pub const NODE_VISIT_NS: u64 = 120;
+
+/// Cost of reading a 64-byte record by direct address, in nanoseconds.
+pub const RECORD_READ_NS: u64 = 100;
+
+/// Fixed per-request server overhead (parsing, syscalls, reply build), ns.
+pub const REQUEST_OVERHEAD_NS: u64 = 1_000;
+
+/// A key-value database: `u64` keys → 64-byte records, indexed by a B+Tree
+/// whose leaves hold [`Addr48`] record addresses.
+///
+/// ```
+/// use p4lru_kvstore::db::Database;
+///
+/// let db = Database::populate(10_000);
+/// let slow = db.lookup_by_key(77).unwrap();   // walks the index
+/// let fast = db.lookup_by_addr(slow.addr);    // what a cached index unlocks
+/// assert_eq!(slow.record, fast);
+/// assert!(db.service_ns_indexed() < db.service_ns_unindexed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Database {
+    index: BPlusTree<u64, Addr48>,
+    store: SlabStore,
+}
+
+/// Result of a keyed lookup: the record plus the cost drivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lookup<'a> {
+    /// The record's address (what LruIndex would cache).
+    pub addr: Addr48,
+    /// The record contents.
+    pub record: &'a Record,
+    /// B+Tree nodes visited to find the address.
+    pub index_visits: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_KEYS)
+    }
+}
+
+impl Database {
+    /// An empty database with the given index fan-out.
+    pub fn new(max_keys: usize) -> Self {
+        Self {
+            index: BPlusTree::new(max_keys),
+            store: SlabStore::new(),
+        }
+    }
+
+    /// Builds a database with `items` records keyed `0..items`, each record
+    /// derived deterministically from its key.
+    pub fn populate(items: u64) -> Self {
+        let mut db = Self::new(DEFAULT_MAX_KEYS);
+        for key in 0..items {
+            db.insert(key, record_for(key));
+        }
+        db
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Index height (lookup cost in node visits).
+    pub fn index_height(&self) -> usize {
+        self.index.height()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn insert(&mut self, key: u64, record: Record) -> Option<Addr48> {
+        if let Some(&addr) = self.index.get(&key) {
+            self.store.set(addr, record);
+            return Some(addr);
+        }
+        let addr = self.store.insert(record);
+        self.index.insert(key, addr);
+        None
+    }
+
+    /// Keyed lookup through the index (the slow path a cache miss takes).
+    pub fn lookup_by_key(&self, key: u64) -> Option<Lookup<'_>> {
+        let (addr, visits) = self.index.lookup(&key);
+        let addr = *addr?;
+        Some(Lookup {
+            addr,
+            record: self.store.get(addr),
+            index_visits: visits,
+        })
+    }
+
+    /// Direct read by cached address (the fast path a cache hit takes).
+    pub fn lookup_by_addr(&self, addr: Addr48) -> &Record {
+        self.store.get(addr)
+    }
+
+    /// Removes `key`.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.index.remove(&key) {
+            Some(addr) => {
+                self.store.remove(addr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Service time of a request whose index walk was *skipped* thanks to a
+    /// cached address.
+    pub fn service_ns_indexed(&self) -> u64 {
+        REQUEST_OVERHEAD_NS + RECORD_READ_NS
+    }
+
+    /// Service time of a request that must walk the index.
+    pub fn service_ns_unindexed(&self) -> u64 {
+        REQUEST_OVERHEAD_NS + self.index_height() as u64 * NODE_VISIT_NS + RECORD_READ_NS
+    }
+}
+
+/// Deterministic record contents for key `k` (checkable by tests).
+pub fn record_for(k: u64) -> Record {
+    let mut r = [0u8; VALUE_SIZE];
+    r[..8].copy_from_slice(&k.to_le_bytes());
+    r[8..16].copy_from_slice(&p4lru_core::hashing::mix64(k).to_le_bytes());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_and_lookup() {
+        let db = Database::populate(10_000);
+        assert_eq!(db.len(), 10_000);
+        let l = db.lookup_by_key(1234).expect("key exists");
+        assert_eq!(l.record, &record_for(1234));
+        assert_eq!(l.index_visits, db.index_height());
+        assert_eq!(db.lookup_by_key(99_999), None);
+    }
+
+    #[test]
+    fn cached_address_reads_same_record() {
+        let db = Database::populate(1000);
+        let l = db.lookup_by_key(77).unwrap();
+        assert_eq!(db.lookup_by_addr(l.addr), &record_for(77));
+    }
+
+    #[test]
+    fn indexed_path_is_cheaper_and_gap_grows_with_db_size() {
+        let small = Database::populate(1_000);
+        let large = Database::populate(100_000);
+        assert!(small.service_ns_indexed() < small.service_ns_unindexed());
+        // Bigger databases have taller indexes, so caching saves more —
+        // the driver of Figure 10(b)'s speedup-vs-items trend.
+        let gap_small = small.service_ns_unindexed() - small.service_ns_indexed();
+        let gap_large = large.service_ns_unindexed() - large.service_ns_indexed();
+        assert!(gap_large > gap_small, "gap {gap_small} → {gap_large}");
+    }
+
+    #[test]
+    fn insert_overwrites_in_place() {
+        let mut db = Database::new(8);
+        db.insert(5, record_for(5));
+        let addr1 = db.lookup_by_key(5).unwrap().addr;
+        let replaced = db.insert(5, record_for(6));
+        assert_eq!(replaced, Some(addr1));
+        assert_eq!(db.lookup_by_key(5).unwrap().record, &record_for(6));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn remove_frees_key_and_slot() {
+        let mut db = Database::new(8);
+        for k in 0..100 {
+            db.insert(k, record_for(k));
+        }
+        assert!(db.remove(50));
+        assert!(!db.remove(50));
+        assert_eq!(db.lookup_by_key(50), None);
+        assert_eq!(db.len(), 99);
+    }
+
+    #[test]
+    fn record_for_is_deterministic_and_distinct() {
+        assert_eq!(record_for(1), record_for(1));
+        assert_ne!(record_for(1), record_for(2));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: the B+Tree must be observationally a `BTreeMap` under
+//! arbitrary operation sequences, with structural invariants intact.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use p4lru_kvstore::btree::BPlusTree;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 500, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 500)),
+        any::<u16>().prop_map(|k| Op::Get(k % 500)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn btree_matches_btreemap(max_keys in 3usize..12, ops in proptest::collection::vec(op_strategy(), 0..800)) {
+        let mut tree = BPlusTree::new(max_keys);
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => prop_assert_eq!(tree.insert(k, v), model.insert(k, v)),
+                Op::Remove(k) => prop_assert_eq!(tree.remove(&k), model.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(tree.get(&k), model.get(&k)),
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+        let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u32)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lookup_cost_is_height(keys in proptest::collection::vec(any::<u32>(), 1..2000)) {
+        let mut tree = BPlusTree::new(8);
+        for &k in &keys {
+            tree.insert(k, ());
+        }
+        for &k in keys.iter().take(50) {
+            let (v, visits) = tree.lookup(&k);
+            prop_assert!(v.is_some());
+            prop_assert_eq!(visits, tree.height());
+        }
+    }
+
+    #[test]
+    fn deletion_shrinks_back_to_empty(count in 1usize..600) {
+        let mut tree = BPlusTree::new(5);
+        for k in 0..count {
+            tree.insert(k, k);
+        }
+        for k in 0..count {
+            prop_assert_eq!(tree.remove(&k), Some(k));
+            prop_assert!(tree.check_invariants().is_ok());
+        }
+        prop_assert!(tree.is_empty());
+        prop_assert_eq!(tree.height(), 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! LruIndex drivers: miss-rate/similarity sweeps and the closed-loop
+//! throughput benchmark.
+
+use p4lru_core::metrics::{MissStats, SimilarityTracker};
+use p4lru_core::policies::{Access, PolicyKind};
+use p4lru_kvstore::db::Database;
+use p4lru_netsim::queue::{ClosedLoop, ServerPool};
+use p4lru_traffic::ycsb::YcsbConfig;
+
+use crate::cache::build_index_cache;
+
+/// Configuration of a miss-rate run (Figures 13, 16).
+#[derive(Clone, Debug)]
+pub struct LruIndexConfig {
+    /// Replacement policy (P4LRU flavors become series connections).
+    pub policy: PolicyKind,
+    /// Series connection levels (the paper defaults to 4).
+    pub levels: usize,
+    /// Switch memory budget in bytes.
+    pub memory_bytes: usize,
+    /// Database round-trip ΔT: a reply lands this long after its query.
+    pub delta_t_ns: u64,
+    /// Gap between consecutive queries (closed pacing of the trace).
+    pub op_interval_ns: u64,
+    /// Database size (key population).
+    pub items: u64,
+    /// Zipf skew of the YCSB workload (paper: 0.9).
+    pub alpha: f64,
+    /// Number of operations to run.
+    pub ops: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Also compute LRU similarity.
+    pub track_similarity: bool,
+}
+
+impl Default for LruIndexConfig {
+    fn default() -> Self {
+        Self {
+            policy: PolicyKind::P4Lru3,
+            levels: 4,
+            memory_bytes: 64 * 1024,
+            delta_t_ns: 100_000, // 100 µs database round trip
+            op_interval_ns: 2_000,
+            items: 100_000,
+            alpha: 0.9,
+            ops: 200_000,
+            seed: 0x1DE0,
+            track_similarity: false,
+        }
+    }
+}
+
+/// Results of a miss-rate run.
+#[derive(Clone, Debug)]
+pub struct LruIndexReport {
+    /// Policy label.
+    pub policy: String,
+    /// Query-time hit/miss stats.
+    pub stats: MissStats,
+    /// Fraction of queries whose `cached_flag` was 0.
+    pub miss_rate: f64,
+    /// LRU similarity, if tracked.
+    pub similarity: Option<f64>,
+    /// Cache entries built.
+    pub cache_entries: usize,
+}
+
+/// Runs the deferred query/reply protocol over a YCSB stream with in-flight
+/// delay ΔT.
+pub fn run_miss_rate(config: &LruIndexConfig) -> LruIndexReport {
+    let mut cache = build_index_cache(
+        config.policy,
+        config.levels,
+        config.memory_bytes,
+        config.seed,
+    );
+    let mut tracker = config
+        .track_similarity
+        .then(|| SimilarityTracker::new(cache.capacity()));
+    let workload = YcsbConfig {
+        items: config.items,
+        alpha: config.alpha,
+        read_fraction: 1.0,
+        seed: config.seed,
+    };
+    let mut stats = MissStats::default();
+    // In-flight replies: (ready_time, key, flag, addr).
+    let mut pending: std::collections::VecDeque<(u64, u64, u8, u64)> =
+        std::collections::VecDeque::new();
+    for (i, op) in workload.stream().take(config.ops).enumerate() {
+        let now = i as u64 * config.op_interval_ns;
+        while let Some(&(ready, key, flag, addr)) = pending.front() {
+            if ready > now {
+                break;
+            }
+            pending.pop_front();
+            let effect = cache.apply_reply(key, addr, flag, ready);
+            if let Some(t) = &mut tracker {
+                // Feed the tracker what actually happened (stale replies
+                // leave the cache untouched and are not observed).
+                let access: Access<u64, ()> = if effect.refreshed {
+                    Access::Hit
+                } else if effect.inserted || effect.evicted.is_some() {
+                    Access::Miss {
+                        evicted: effect.evicted.map(|k| (k, ())),
+                        inserted: effect.inserted,
+                    }
+                } else {
+                    continue;
+                };
+                t.observe(&key, &access);
+            }
+        }
+        let key = op.key();
+        let flag = cache.query(key);
+        let access: Access<u64, ()> = if flag != 0 {
+            Access::Hit
+        } else {
+            Access::Miss {
+                evicted: None,
+                inserted: false,
+            }
+        };
+        stats.record(&access);
+        // The database's reply returns after ΔT carrying the address.
+        let addr = p4lru_core::hashing::hash_u64(0xADD8, key) & ((1 << 48) - 1);
+        pending.push_back((now + config.delta_t_ns, key, flag, addr));
+    }
+    LruIndexReport {
+        policy: cache.label(),
+        stats,
+        miss_rate: stats.miss_rate(),
+        similarity: tracker.as_ref().map(SimilarityTracker::similarity),
+        cache_entries: cache.capacity(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Throughput model (Figure 10).
+// ---------------------------------------------------------------------------
+
+/// Configuration of a throughput run.
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// Client query threads (the server pool is sized to match).
+    pub threads: usize,
+    /// Database size.
+    pub items: u64,
+    /// Switch memory budget.
+    pub memory_bytes: usize,
+    /// Series levels (testbed uses the two-pipeline version).
+    pub levels: usize,
+    /// Network round trip client↔server (through the switch).
+    pub rtt_ns: u64,
+    /// Wall-clock budget of the run.
+    pub duration_ns: u64,
+    /// Zipf skew.
+    pub alpha: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self {
+            threads: 8,
+            items: 1_000_000,
+            memory_bytes: 256 * 1024,
+            levels: 2,
+            rtt_ns: 6_000,
+            duration_ns: 200_000_000, // 200 ms of simulated time
+            alpha: 0.9,
+            seed: 0x10DB,
+        }
+    }
+}
+
+/// Results of a throughput run.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Kilo-transactions per second with the index cache.
+    pub ktps: f64,
+    /// KTPS of the naive solution (no cache, every query walks the index).
+    pub naive_ktps: f64,
+    /// Speedup over naive.
+    pub speedup: f64,
+    /// Cache hit rate observed during the run.
+    pub hit_rate: f64,
+}
+
+/// How a cached/uncached query costs out at the server.
+fn service_times(db: &Database) -> (u64, u64) {
+    (db.service_ns_indexed(), db.service_ns_unindexed())
+}
+
+/// Runs the closed-loop throughput benchmark for a policy (use
+/// [`PolicyKind::P4Lru3`] for the paper system, [`PolicyKind::P4Lru1`] for
+/// its baseline). Pass `use_cache = false` for the naive solution.
+pub fn run_throughput(config: &ThroughputConfig, policy: PolicyKind) -> ThroughputReport {
+    let db = Database::populate(config.items);
+    let (t_hit, t_miss) = service_times(&db);
+    let workload = YcsbConfig {
+        items: config.items,
+        alpha: config.alpha,
+        read_fraction: 1.0,
+        seed: config.seed,
+    };
+
+    // Cached run.
+    let mut cache = build_index_cache(policy, config.levels, config.memory_bytes, config.seed);
+    let mut stream = workload.stream();
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    let loop_cfg = ClosedLoop {
+        clients: config.threads,
+        rtt: config.rtt_ns,
+        duration: config.duration_ns,
+    };
+    let mut pool = ServerPool::new(config.threads);
+    let ktps = loop_cfg.throughput(&mut pool, |_| {
+        let key = stream.next().expect("infinite stream").key();
+        let flag = cache.query(key);
+        total += 1;
+        let addr = p4lru_core::hashing::hash_u64(0xADD8, key) & ((1 << 48) - 1);
+        cache.apply_reply(key, addr, flag, 0);
+        if flag != 0 {
+            hits += 1;
+            t_hit
+        } else {
+            t_miss
+        }
+    }) / 1_000.0;
+
+    // Naive run: same workload, every query walks the index.
+    let mut pool = ServerPool::new(config.threads);
+    let naive_ktps = loop_cfg.throughput(&mut pool, |_| t_miss) / 1_000.0;
+
+    ThroughputReport {
+        ktps,
+        naive_ktps,
+        speedup: if naive_ktps == 0.0 {
+            0.0
+        } else {
+            ktps / naive_ktps
+        },
+        hit_rate: if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(policy: PolicyKind, levels: usize, mem: usize) -> LruIndexReport {
+        run_miss_rate(&LruIndexConfig {
+            policy,
+            levels,
+            memory_bytes: mem,
+            items: 20_000,
+            ops: 60_000,
+            delta_t_ns: 50_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn p4lru3_beats_p4lru1_on_miss_rate() {
+        let p3 = quick(PolicyKind::P4Lru3, 4, 16_000);
+        let p1 = quick(PolicyKind::P4Lru1, 4, 16_000);
+        assert!(
+            p3.miss_rate < p1.miss_rate,
+            "P4LRU3 {:.4} should beat P4LRU1 {:.4} (Figure 16a)",
+            p3.miss_rate,
+            p1.miss_rate
+        );
+    }
+
+    #[test]
+    fn more_memory_lowers_miss_rate() {
+        let small = quick(PolicyKind::P4Lru3, 4, 4_000);
+        let large = quick(PolicyKind::P4Lru3, 4, 64_000);
+        assert!(
+            large.miss_rate < small.miss_rate,
+            "{:.4} → {:.4} (Figure 13a)",
+            small.miss_rate,
+            large.miss_rate
+        );
+    }
+
+    #[test]
+    fn longer_delta_t_raises_miss_rate() {
+        let run = |dt| {
+            run_miss_rate(&LruIndexConfig {
+                delta_t_ns: dt,
+                items: 20_000,
+                ops: 60_000,
+                memory_bytes: 16_000,
+                ..Default::default()
+            })
+            .miss_rate
+        };
+        let short = run(2_000);
+        let long = run(5_000_000);
+        assert!(long > short, "{short:.4} → {long:.4} (Figure 13b)");
+    }
+
+    #[test]
+    fn similarity_is_tracked_and_sane() {
+        let r = run_miss_rate(&LruIndexConfig {
+            track_similarity: true,
+            items: 10_000,
+            ops: 40_000,
+            memory_bytes: 8_000,
+            ..Default::default()
+        });
+        let sim = r.similarity.unwrap();
+        assert!(sim > 0.0 && sim <= 1.0, "similarity {sim}");
+    }
+
+    #[test]
+    fn throughput_scales_with_threads_and_beats_naive() {
+        let base = ThroughputConfig {
+            items: 50_000,
+            duration_ns: 50_000_000,
+            ..Default::default()
+        };
+        let one = run_throughput(
+            &ThroughputConfig {
+                threads: 1,
+                ..base.clone()
+            },
+            PolicyKind::P4Lru3,
+        );
+        let eight = run_throughput(&ThroughputConfig { threads: 8, ..base }, PolicyKind::P4Lru3);
+        assert!(
+            eight.ktps > one.ktps * 4.0,
+            "1→8 threads: {} → {}",
+            one.ktps,
+            eight.ktps
+        );
+        assert!(eight.speedup > 1.0, "speedup {}", eight.speedup);
+        assert!(eight.hit_rate > 0.3, "hit rate {}", eight.hit_rate);
+    }
+
+    #[test]
+    fn speedup_stays_in_paper_regime_across_database_sizes() {
+        // Figure 10b plots speedup vs items. Two forces compete: taller
+        // indexes make each hit save more (tested in p4lru-kvstore), while
+        // fixed cache memory covers a smaller key fraction. Our model
+        // reproduces the *magnitude* (1.0–1.5×); see EXPERIMENTS.md for the
+        // trend discussion.
+        for items in [10_000u64, 100_000, 1_000_000] {
+            let r = run_throughput(
+                &ThroughputConfig {
+                    items,
+                    duration_ns: 30_000_000,
+                    ..Default::default()
+                },
+                PolicyKind::P4Lru3,
+            );
+            assert!(
+                r.speedup > 1.0 && r.speedup < 1.6,
+                "items {items}: speedup {:.3} out of regime",
+                r.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn p4lru3_throughput_at_least_matches_baseline() {
+        let cfg = ThroughputConfig {
+            items: 50_000,
+            duration_ns: 50_000_000,
+            ..Default::default()
+        };
+        let p3 = run_throughput(&cfg, PolicyKind::P4Lru3);
+        let p1 = run_throughput(&cfg, PolicyKind::P4Lru1);
+        assert!(
+            p3.ktps >= p1.ktps * 0.99,
+            "P4LRU3 {} KTPS vs baseline {} KTPS (Figure 10a)",
+            p3.ktps,
+            p1.ktps
+        );
+    }
+}

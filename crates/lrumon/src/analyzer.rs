@@ -1,0 +1,154 @@
+//! The remote analyzer: re-assembles per-flow byte counts from upload
+//! packets (paper §3.3, "Remote Analyzer").
+//!
+//! It keeps two tables: `T_fp` mapping 5-tuples to their fingerprints and
+//! `T_len` mapping 5-tuples to accumulated lengths. Evicted cache entries
+//! arrive as `(fp′, len′)`; the fingerprint is resolved back to its flow
+//! through the registration performed when the flow first missed.
+
+use std::collections::HashMap;
+
+use p4lru_traffic::packet::FiveTuple;
+
+/// The analyzer's state.
+#[derive(Clone, Debug, Default)]
+pub struct RemoteAnalyzer {
+    /// `T_fp`: flow → fingerprint.
+    t_fp: HashMap<FiveTuple, u32>,
+    /// `T_len`: flow → accumulated bytes.
+    t_len: HashMap<FiveTuple, u64>,
+    /// Reverse index: fingerprint → first flow registered under it.
+    by_fp: HashMap<u32, FiveTuple>,
+    /// Upload packets received.
+    uploads: u64,
+    /// Evicted counts whose fingerprint was never registered (lost).
+    orphaned_bytes: u64,
+}
+
+impl RemoteAnalyzer {
+    /// An empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one upload packet: registers `flow ↔ fp` if new, then
+    /// credits the evicted `(evicted_fp, evicted_len)` if present.
+    pub fn upload(&mut self, flow: FiveTuple, fp: u32, evicted: Option<(u32, u64)>) {
+        self.uploads += 1;
+        self.register(flow, fp);
+        if let Some((efp, elen)) = evicted {
+            self.credit(efp, elen);
+        }
+    }
+
+    /// Registers a flow's fingerprint (idempotent).
+    pub fn register(&mut self, flow: FiveTuple, fp: u32) {
+        self.t_fp.entry(flow).or_insert(fp);
+        self.t_len.entry(flow).or_insert(0);
+        self.by_fp.entry(fp).or_insert(flow);
+    }
+
+    /// Credits `len` bytes to the flow owning fingerprint `fp`.
+    pub fn credit(&mut self, fp: u32, len: u64) {
+        match self.by_fp.get(&fp) {
+            Some(flow) => {
+                *self
+                    .t_len
+                    .get_mut(flow)
+                    .expect("registered flow has a length") += len
+            }
+            None => self.orphaned_bytes += len,
+        }
+    }
+
+    /// A direct measurement for a refused/uncacheable packet: credit the
+    /// flow itself.
+    pub fn upload_direct(&mut self, flow: FiveTuple, fp: u32, len: u64) {
+        self.uploads += 1;
+        self.register(flow, fp);
+        self.credit(fp, len);
+    }
+
+    /// Measured bytes of a flow (0 if never seen).
+    pub fn measured(&self, flow: &FiveTuple) -> u64 {
+        self.t_len.get(flow).copied().unwrap_or(0)
+    }
+
+    /// Number of flows registered.
+    pub fn flow_count(&self) -> usize {
+        self.t_fp.len()
+    }
+
+    /// Upload packets received.
+    pub fn uploads(&self) -> u64 {
+        self.uploads
+    }
+
+    /// Bytes that arrived under unregistered fingerprints.
+    pub fn orphaned_bytes(&self) -> u64 {
+        self.orphaned_bytes
+    }
+
+    /// Total measured bytes across all flows.
+    pub fn total_measured(&self) -> u64 {
+        self.t_len.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(i: u64) -> FiveTuple {
+        FiveTuple::synthetic(i)
+    }
+
+    #[test]
+    fn upload_registers_and_credits() {
+        let mut a = RemoteAnalyzer::new();
+        a.upload(flow(1), 11, None);
+        assert_eq!(a.flow_count(), 1);
+        assert_eq!(a.measured(&flow(1)), 0);
+        // Flow 2's miss evicts flow 1's entry.
+        a.upload(flow(2), 22, Some((11, 500)));
+        assert_eq!(a.measured(&flow(1)), 500);
+        assert_eq!(a.measured(&flow(2)), 0);
+        assert_eq!(a.uploads(), 2);
+    }
+
+    #[test]
+    fn unregistered_fingerprints_are_orphaned() {
+        let mut a = RemoteAnalyzer::new();
+        a.upload(flow(1), 11, Some((99, 300)));
+        assert_eq!(a.orphaned_bytes(), 300);
+        assert_eq!(a.total_measured(), 0);
+    }
+
+    #[test]
+    fn direct_upload_credits_self() {
+        let mut a = RemoteAnalyzer::new();
+        a.upload_direct(flow(3), 33, 1500);
+        assert_eq!(a.measured(&flow(3)), 1500);
+        assert_eq!(a.uploads(), 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut a = RemoteAnalyzer::new();
+        a.register(flow(1), 11);
+        a.register(flow(1), 12); // second registration ignored
+        a.credit(11, 100);
+        assert_eq!(a.measured(&flow(1)), 100);
+        assert_eq!(a.flow_count(), 1);
+    }
+
+    #[test]
+    fn fingerprint_collision_credits_first_registrant() {
+        let mut a = RemoteAnalyzer::new();
+        a.register(flow(1), 7);
+        a.register(flow(2), 7); // collision
+        a.credit(7, 64);
+        assert_eq!(a.measured(&flow(1)), 64);
+        assert_eq!(a.measured(&flow(2)), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # p4lru-lrumon
+//!
+//! **LruMon** (paper §3.3): data-plane network telemetry.
+//!
+//! Every packet first passes a *mouse-flow filter* (TowerSketch by default;
+//! CM and CU are drop-in alternatives): a periodically-reset estimate of the
+//! flow's bytes in the current interval. Packets below the threshold `L`
+//! are dropped from measurement — the only place the system loses bytes.
+//! Elephant packets are aggregated in a P4LRU3 cache keyed by 32-bit flow
+//! fingerprints; every cache miss emits one upload packet `⟨f, fp′, len′⟩`
+//! to the remote analyzer, carrying the new flow's identity and the evicted
+//! entry's counts.
+//!
+//! A better cache ⇒ fewer misses ⇒ fewer uploads at identical accuracy —
+//! the paper's headline 35% upload reduction.
+//!
+//! * [`analyzer`] — the remote analyzer's `T_fp`/`T_len` tables;
+//! * [`system`] — the packet-processing loop, upload-rate and
+//!   under-estimation accounting, and policy/filter plug points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod system;
+
+pub use analyzer::RemoteAnalyzer;
+pub use p4lru_core::policies::PolicyKind;
+pub use system::{FilterKind, LruMon, LruMonConfig, LruMonReport};

@@ -1,0 +1,482 @@
+//! The LruMon packet-processing loop and its measurement accounting.
+
+use std::collections::HashMap;
+
+use p4lru_core::array::MemoryModel;
+use p4lru_core::metrics::MissStats;
+use p4lru_core::policies::{build_cache, Access, Cache, PolicyKind};
+use p4lru_netsim::link::Link;
+use p4lru_netsim::stats::WindowedRate;
+use p4lru_sketches::{CountMin, CuSketch, FlowFilter, TowerSketch};
+use p4lru_traffic::caida::Trace;
+use p4lru_traffic::packet::FiveTuple;
+
+use crate::analyzer::RemoteAnalyzer;
+
+/// Which sketch filters mouse flows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterKind {
+    /// TowerSketch (the paper's deployed filter).
+    Tower,
+    /// Count-Min (the testbed figure's filter).
+    Cm,
+    /// Conservative update.
+    Cu,
+}
+
+impl FilterKind {
+    /// Label for figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            FilterKind::Tower => "Tower",
+            FilterKind::Cm => "CM",
+            FilterKind::Cu => "CU",
+        }
+    }
+}
+
+/// Configuration of an LruMon run.
+#[derive(Clone, Debug)]
+pub struct LruMonConfig {
+    /// Mouse-flow filter.
+    pub filter: FilterKind,
+    /// Filter scale: ~1024·scale 8-bit counters (Tower row 1), or the CM/CU
+    /// width.
+    pub filter_scale: usize,
+    /// Byte threshold `L`: flows below it in the current interval are
+    /// filtered out.
+    pub threshold_bytes: u64,
+    /// Counter reset period (the paper sweeps 5–20 ms).
+    pub reset_ns: u64,
+    /// Cache replacement policy.
+    pub policy: PolicyKind,
+    /// Cache memory budget in bytes.
+    pub memory_bytes: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for LruMonConfig {
+    fn default() -> Self {
+        Self {
+            filter: FilterKind::Tower,
+            filter_scale: 64,
+            threshold_bytes: 1_500,
+            reset_ns: 10_000_000, // 10 ms
+            policy: PolicyKind::P4Lru3,
+            memory_bytes: 64 * 1024,
+            seed: 0x30A,
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Clone, Debug)]
+pub struct LruMonReport {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Filter label.
+    pub filter: &'static str,
+    /// Upload packets per second (the paper reports KPPS).
+    pub upload_pps: f64,
+    /// Total upload packets.
+    pub uploads: u64,
+    /// Cache hit/miss stats over post-filter packets.
+    pub stats: MissStats,
+    /// Cache miss rate over post-filter packets (Figure 14).
+    pub miss_rate: f64,
+    /// Total under-estimation error over total bytes (Figure 17a).
+    pub total_error_rate: f64,
+    /// Largest single-flow under-estimation in bytes (Figure 17d).
+    pub max_flow_error: u64,
+    /// Packets that passed the filter.
+    pub elephant_packets: u64,
+    /// Packets filtered as mice.
+    pub filtered_packets: u64,
+    /// Mean utilization of the switch→analyzer upload link.
+    pub upload_link_utilization: f64,
+    /// Peak queueing delay a report packet saw on the upload link, ns.
+    pub upload_peak_queue_ns: u64,
+}
+
+fn build_filter(config: &LruMonConfig) -> Box<dyn FlowFilter> {
+    let scale = config.filter_scale.max(1);
+    match config.filter {
+        FilterKind::Tower => Box::new(TowerSketch::paper_shape(
+            scale,
+            config.reset_ns,
+            config.seed,
+        )),
+        FilterKind::Cm => Box::new(CountMin::lrumon_shape(
+            scale << 10,
+            config.reset_ns,
+            config.seed,
+        )),
+        FilterKind::Cu => Box::new(CuSketch::new(
+            2,
+            scale << 10,
+            32,
+            config.reset_ns,
+            config.seed,
+        )),
+    }
+}
+
+/// The LruMon system.
+pub struct LruMon {
+    config: LruMonConfig,
+    filter: Box<dyn FlowFilter>,
+    cache: Box<dyn Cache<u32, u64>>,
+    analyzer: RemoteAnalyzer,
+    uploads: WindowedRate,
+    /// The switch→analyzer channel (1 Gb/s management link, 10 µs away).
+    upload_link: Link,
+    upload_peak_queue_ns: u64,
+    stats: MissStats,
+    elephants: u64,
+    mice: u64,
+    /// Fingerprint of every flow seen post-filter (for the final flush and
+    /// eviction attribution).
+    fp_of: HashMap<u32, FiveTuple>,
+}
+
+impl LruMon {
+    /// Builds the system.
+    pub fn new(config: LruMonConfig) -> Self {
+        let filter = build_filter(&config);
+        let cache = build_cache(
+            config.policy,
+            config.memory_bytes,
+            MemoryModel::fp32_len32(),
+            config.seed,
+        );
+        Self {
+            filter,
+            cache,
+            analyzer: RemoteAnalyzer::new(),
+            uploads: WindowedRate::new(1_000_000), // 1 ms rate windows
+            upload_link: Link::new(1_000_000_000, 10_000),
+            upload_peak_queue_ns: 0,
+            stats: MissStats::default(),
+            elephants: 0,
+            mice: 0,
+            fp_of: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Processes one packet.
+    pub fn process(&mut self, flow: FiveTuple, len: u16, now_ns: u64) {
+        let flow_hash = p4lru_core::hashing::hash_of(self.config.seed ^ 0xF10, &flow);
+        let est = self.filter.add(flow_hash, u32::from(len), now_ns);
+        if est < self.config.threshold_bytes {
+            // Mouse: filtered out — the system's only source of error.
+            self.mice += 1;
+            return;
+        }
+        self.elephants += 1;
+        let fp = flow.fingerprint(self.config.seed ^ 0xF9);
+        self.fp_of.entry(fp).or_insert(flow);
+        let out = self
+            .cache
+            .access(fp, u64::from(len), now_ns, |acc, v| *acc += v);
+        self.stats.record(&out);
+        match out {
+            Access::Hit => {}
+            Access::Miss { evicted, inserted } => {
+                if inserted {
+                    // One upload: register f, carry the evicted entry.
+                    self.analyzer.upload(flow, fp, evicted);
+                } else {
+                    // Refusing policies must ship the bytes immediately or
+                    // the measurement would under-count.
+                    self.analyzer.upload_direct(flow, fp, u64::from(len));
+                }
+                self.uploads.record(now_ns);
+                // The report packet (5-tuple + fingerprint + length + hdrs
+                // ≈ 64 B) crosses the management link to the analyzer.
+                self.upload_peak_queue_ns = self
+                    .upload_peak_queue_ns
+                    .max(self.upload_link.queue_delay(now_ns));
+                self.upload_link.transmit(now_ns, 64);
+            }
+        }
+    }
+
+    /// Final collection: flush every cached entry to the analyzer.
+    pub fn flush(&mut self) {
+        for (fp, len) in self.cache.drain_entries() {
+            if let Some(flow) = self.fp_of.get(&fp) {
+                self.analyzer.register(*flow, fp);
+            }
+            self.analyzer.credit(fp, len);
+        }
+    }
+
+    /// Runs a full trace and reports the paper's metrics.
+    pub fn run_trace(mut self, trace: &Trace) -> LruMonReport {
+        for pkt in trace {
+            self.process(pkt.flow, pkt.len, pkt.ts_ns);
+        }
+        self.flush();
+
+        // Ground truth per flow.
+        let mut truth: HashMap<FiveTuple, u64> = HashMap::new();
+        for pkt in trace {
+            *truth.entry(pkt.flow).or_insert(0) += u64::from(pkt.len);
+        }
+        let total_bytes: u64 = truth.values().sum();
+        let mut total_err = 0u64;
+        let mut max_err = 0u64;
+        for (flow, &true_bytes) in &truth {
+            let measured = self.analyzer.measured(flow).min(true_bytes);
+            let err = true_bytes - measured;
+            total_err += err;
+            max_err = max_err.max(err);
+        }
+        let duration_s = (trace.duration_ns as f64 / 1e9).max(1e-9);
+        LruMonReport {
+            policy: self.config.policy.label(),
+            filter: self.config.filter.label(),
+            upload_pps: self.analyzer.uploads() as f64 / duration_s,
+            uploads: self.analyzer.uploads(),
+            stats: self.stats,
+            miss_rate: self.stats.miss_rate(),
+            total_error_rate: if total_bytes == 0 {
+                0.0
+            } else {
+                total_err as f64 / total_bytes as f64
+            },
+            max_flow_error: max_err,
+            elephant_packets: self.elephants,
+            filtered_packets: self.mice,
+            upload_link_utilization: self.upload_link.utilization(trace.duration_ns.max(1)),
+            upload_peak_queue_ns: self.upload_peak_queue_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4lru_traffic::caida::CaidaConfig;
+
+    fn trace(n: usize, seed: u64) -> Trace {
+        CaidaConfig::caida_n(4, n, seed).generate()
+    }
+
+    fn run(config: LruMonConfig, t: &Trace) -> LruMonReport {
+        LruMon::new(config).run_trace(t)
+    }
+
+    #[test]
+    fn p4lru3_uploads_less_than_baseline_at_equal_accuracy() {
+        let t = trace(60_000, 21);
+        let p3 = run(
+            LruMonConfig {
+                memory_bytes: 8_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        let p1 = run(
+            LruMonConfig {
+                policy: PolicyKind::P4Lru1,
+                memory_bytes: 8_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        assert!(
+            p3.uploads < p1.uploads,
+            "P4LRU3 {} uploads should beat baseline {} (Figure 11)",
+            p3.uploads,
+            p1.uploads
+        );
+        // Accuracy is filter-determined, not cache-determined.
+        assert!(
+            (p3.total_error_rate - p1.total_error_rate).abs() < 0.02,
+            "error rates diverged: {} vs {}",
+            p3.total_error_rate,
+            p1.total_error_rate
+        );
+    }
+
+    #[test]
+    fn higher_threshold_lowers_uploads_but_raises_error() {
+        let t = trace(50_000, 22);
+        let lo = run(
+            LruMonConfig {
+                threshold_bytes: 500,
+                ..Default::default()
+            },
+            &t,
+        );
+        let hi = run(
+            LruMonConfig {
+                threshold_bytes: 8_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        assert!(
+            hi.uploads < lo.uploads,
+            "uploads {} → {}",
+            lo.uploads,
+            hi.uploads
+        );
+        assert!(
+            hi.total_error_rate > lo.total_error_rate,
+            "error {} → {}",
+            lo.total_error_rate,
+            hi.total_error_rate
+        );
+    }
+
+    #[test]
+    fn no_flow_is_overstated() {
+        let t = trace(30_000, 23);
+        let mut sys = LruMon::new(LruMonConfig::default());
+        for pkt in &t {
+            sys.process(pkt.flow, pkt.len, pkt.ts_ns);
+        }
+        sys.flush();
+        let mut truth: HashMap<FiveTuple, u64> = HashMap::new();
+        for pkt in &t {
+            *truth.entry(pkt.flow).or_insert(0) += u64::from(pkt.len);
+        }
+        let mut overstated = 0usize;
+        for (flow, &true_bytes) in &truth {
+            if sys.analyzer.measured(flow) > true_bytes {
+                overstated += 1;
+            }
+        }
+        // Only fingerprint collisions can overstate; with 32-bit prints and
+        // tens of thousands of flows this should be essentially zero.
+        assert!(overstated <= 2, "{overstated} flows overstated");
+    }
+
+    #[test]
+    fn zero_threshold_measures_everything_exactly() {
+        let t = trace(20_000, 24);
+        let r = run(
+            LruMonConfig {
+                threshold_bytes: 0,
+                memory_bytes: 32_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        assert_eq!(r.filtered_packets, 0);
+        assert!(r.total_error_rate < 1e-6, "error {}", r.total_error_rate);
+        assert_eq!(r.max_flow_error, 0);
+    }
+
+    #[test]
+    fn filter_kinds_all_work() {
+        let t = trace(20_000, 25);
+        for f in [FilterKind::Tower, FilterKind::Cm, FilterKind::Cu] {
+            let r = run(
+                LruMonConfig {
+                    filter: f,
+                    ..Default::default()
+                },
+                &t,
+            );
+            assert!(r.elephant_packets > 0, "{:?} filtered everything", f);
+            assert!(r.filtered_packets > 0, "{:?} filtered nothing", f);
+            assert!(
+                r.total_error_rate < 0.5,
+                "{:?} error {}",
+                f,
+                r.total_error_rate
+            );
+        }
+    }
+
+    #[test]
+    fn shorter_reset_reduces_error_but_raises_uploads() {
+        // With a fixed byte threshold L, a shorter reset period makes the
+        // filter stricter (flows must re-accumulate L more often): more
+        // error, fewer elephants, fewer uploads. (Figure 17's "shorter
+        // reset decreases error" holds under a fixed *bandwidth* threshold
+        // L/reset — the harness sweeps that axis too.)
+        let t = trace(50_000, 26);
+        let short = run(
+            LruMonConfig {
+                reset_ns: 2_000_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        let long = run(
+            LruMonConfig {
+                reset_ns: 50_000_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        assert!(
+            short.total_error_rate >= long.total_error_rate,
+            "error short {} vs long {}",
+            short.total_error_rate,
+            long.total_error_rate
+        );
+        assert!(
+            short.uploads <= long.uploads,
+            "uploads short {} vs long {}",
+            short.uploads,
+            long.uploads
+        );
+    }
+
+    #[test]
+    fn upload_link_accounting_tracks_policy_quality() {
+        // A worse cache uploads more, loading the management link harder.
+        let t = trace(50_000, 28);
+        let p3 = run(
+            LruMonConfig {
+                memory_bytes: 8_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        let coco = run(
+            LruMonConfig {
+                policy: PolicyKind::Coco,
+                memory_bytes: 8_000,
+                ..Default::default()
+            },
+            &t,
+        );
+        assert!(p3.upload_link_utilization >= 0.0 && p3.upload_link_utilization <= 1.0);
+        assert!(
+            coco.upload_link_utilization > p3.upload_link_utilization,
+            "Coco {:.4} should load the link more than P4LRU3 {:.4}",
+            coco.upload_link_utilization,
+            p3.upload_link_utilization
+        );
+    }
+
+    #[test]
+    fn upload_rate_rises_with_concurrency() {
+        // Figure 11a.
+        let run_n = |n| {
+            let t = CaidaConfig::caida_n(n, 40_000, 27).generate();
+            run(
+                LruMonConfig {
+                    memory_bytes: 8_000,
+                    ..Default::default()
+                },
+                &t,
+            )
+            .uploads
+        };
+        let low = run_n(1);
+        let high = run_n(16);
+        assert!(
+            high > low,
+            "uploads {low} → {high} should rise with concurrency"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for LruMon: measurement conservation — nothing the
+//! filter passes is ever lost, no flow is overstated (modulo fingerprint
+//! collisions), and accuracy is policy-independent.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use p4lru_core::policies::PolicyKind;
+use p4lru_lrumon::{FilterKind, LruMon, LruMonConfig};
+use p4lru_traffic::caida::CaidaConfig;
+use p4lru_traffic::packet::FiveTuple;
+
+fn any_cache_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::P4Lru1),
+        Just(PolicyKind::P4Lru2),
+        Just(PolicyKind::P4Lru3),
+        Just(PolicyKind::Ideal),
+        (1u64..50_000_000).prop_map(|t| PolicyKind::Timeout { timeout_ns: t }),
+        Just(PolicyKind::Elastic),
+        Just(PolicyKind::Coco),
+    ]
+}
+
+fn any_filter() -> impl Strategy<Value = FilterKind> {
+    prop_oneof![
+        Just(FilterKind::Tower),
+        Just(FilterKind::Cm),
+        Just(FilterKind::Cu)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_flow_overstated_and_conservation(
+        policy in any_cache_policy(),
+        filter in any_filter(),
+        threshold in 0u64..5_000,
+        memory in 2_000usize..30_000,
+        seed in any::<u64>(),
+    ) {
+        let trace = CaidaConfig::caida_n(2, 8_000, seed).generate();
+        let r = LruMon::new(LruMonConfig {
+            policy,
+            filter,
+            threshold_bytes: threshold,
+            memory_bytes: memory,
+            seed,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        // Packet conservation through the filter.
+        prop_assert_eq!(r.elephant_packets + r.filtered_packets, trace.len() as u64);
+        // Error is a fraction.
+        prop_assert!((0.0..=1.0).contains(&r.total_error_rate));
+        // Max per-flow error is bounded by the largest flow.
+        let mut truth: HashMap<FiveTuple, u64> = HashMap::new();
+        for pkt in &trace {
+            *truth.entry(pkt.flow).or_insert(0) += u64::from(pkt.len);
+        }
+        let biggest = truth.values().copied().max().unwrap_or(0);
+        prop_assert!(r.max_flow_error <= biggest);
+    }
+
+    #[test]
+    fn zero_threshold_is_lossless(
+        policy in any_cache_policy(),
+        filter in any_filter(),
+        seed in any::<u64>(),
+    ) {
+        let trace = CaidaConfig::caida_n(2, 6_000, seed).generate();
+        let r = LruMon::new(LruMonConfig {
+            policy,
+            filter,
+            threshold_bytes: 0,
+            memory_bytes: 8_000,
+            seed,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        prop_assert_eq!(r.filtered_packets, 0);
+        // Every byte accounted (fingerprint collisions could in principle
+        // reshuffle bytes between flows but not destroy them — and the
+        // error metric clamps at 0 per flow, so demand near-exactness).
+        prop_assert!(r.total_error_rate < 1e-3, "error {}", r.total_error_rate);
+    }
+
+    #[test]
+    fn accuracy_is_policy_independent(
+        filter in any_filter(),
+        threshold in 100u64..4_000,
+        seed in any::<u64>(),
+    ) {
+        let trace = CaidaConfig::caida_n(2, 6_000, seed).generate();
+        let run = |policy| {
+            LruMon::new(LruMonConfig {
+                policy,
+                filter,
+                threshold_bytes: threshold,
+                memory_bytes: 4_000,
+                seed,
+                ..Default::default()
+            })
+            .run_trace(&trace)
+        };
+        let a = run(PolicyKind::P4Lru3);
+        let b = run(PolicyKind::P4Lru1);
+        let c = run(PolicyKind::Ideal);
+        prop_assert!((a.total_error_rate - b.total_error_rate).abs() < 1e-12);
+        prop_assert!((a.total_error_rate - c.total_error_rate).abs() < 1e-12);
+    }
+}

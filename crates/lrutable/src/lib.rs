@@ -1,0 +1,31 @@
+//! # p4lru-lrutable
+//!
+//! **LruTable** (paper §3.1): a data-plane NAT system. The full
+//! virtual-to-real address table lives in control-plane memory; the data
+//! plane caches hot translations in an array of P4LRU3 units.
+//!
+//! Per packet with virtual address `va`:
+//!
+//! * **fast path** — cache hit with a real address: translate inline;
+//! * **slow path** — miss (or a hit on a placeholder): the cache state is
+//!   updated, a placeholder is written, and the packet consults the control
+//!   plane (latency ΔT). The answer re-traverses the data plane, replacing
+//!   the placeholder with the real address — *if* the entry survived that
+//!   long.
+//!
+//! The in-flight window is what makes the slow-path latency ΔT affect the
+//! miss rate (Figures 12b/15c): while a translation is pending, packets of
+//! the same flow keep hitting the placeholder and paying ΔT.
+//!
+//! The replacement policy is pluggable ([`PolicyKind`]) so the same driver
+//! produces the comparative (Fig. 12) and parameter (Fig. 15) sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nat;
+pub mod system;
+
+pub use nat::NatTable;
+pub use p4lru_core::policies::PolicyKind;
+pub use system::{LruTable, LruTableConfig, LruTableReport};

@@ -1,0 +1,95 @@
+//! The control-plane NAT table: the authoritative virtual → real mapping.
+
+use std::collections::HashMap;
+
+/// Authoritative address translations, held in control-plane memory.
+///
+/// Mappings are materialized deterministically on first use (the testbed
+/// preloads its table; the exact real addresses are irrelevant to the
+/// experiments as long as they are stable and nonzero).
+#[derive(Clone, Debug)]
+pub struct NatTable {
+    map: HashMap<u32, u32>,
+    seed: u64,
+    lookups: u64,
+}
+
+impl NatTable {
+    /// An empty table deriving mappings from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            map: HashMap::new(),
+            seed,
+            lookups: 0,
+        }
+    }
+
+    /// Full-table lookup (the slow path). Deterministic per (seed, va);
+    /// never returns 0 or the placeholder.
+    pub fn lookup(&mut self, va: u32) -> u32 {
+        self.lookups += 1;
+        let seed = self.seed;
+        *self.map.entry(va).or_insert_with(|| {
+            let h = p4lru_core::hashing::hash_u64(seed, u64::from(va)) as u32;
+            match h {
+                0 => 1,
+                u32::MAX => u32::MAX - 1,
+                v => v,
+            }
+        })
+    }
+
+    /// Read-only lookup of an already-materialized mapping.
+    pub fn peek(&self, va: u32) -> Option<u32> {
+        self.map.get(&va).copied()
+    }
+
+    /// Number of slow-path lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Number of materialized entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_stable_and_nonzero() {
+        let mut t = NatTable::new(7);
+        let a = t.lookup(100);
+        assert_eq!(t.lookup(100), a);
+        assert_ne!(a, 0);
+        assert_ne!(a, u32::MAX);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookups(), 2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NatTable::new(1);
+        let mut b = NatTable::new(2);
+        let same = (0..100u32)
+            .filter(|&va| a.lookup(va) == b.lookup(va))
+            .count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn peek_does_not_materialize() {
+        let mut t = NatTable::new(3);
+        assert_eq!(t.peek(5), None);
+        let ra = t.lookup(5);
+        assert_eq!(t.peek(5), Some(ra));
+    }
+}

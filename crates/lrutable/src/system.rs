@@ -1,0 +1,352 @@
+//! The LruTable system driver: data-plane cache + control-plane table +
+//! pending-completion machinery, measured over a packet trace.
+
+use std::collections::VecDeque;
+
+use p4lru_core::array::MemoryModel;
+use p4lru_core::metrics::{MissStats, SimilarityTracker};
+use p4lru_core::policies::{build_cache, merge_keep, merge_replace, Access, Cache, PolicyKind};
+use p4lru_netsim::stats::OnlineStats;
+use p4lru_traffic::caida::Trace;
+
+use crate::nat::NatTable;
+
+/// The placeholder written on a miss while the control plane resolves the
+/// address (the paper suggests 0x00000000 or 0xFFFFFFFF).
+pub const PLACEHOLDER: u32 = u32::MAX;
+
+/// Configuration of one LruTable run.
+#[derive(Clone, Debug)]
+pub struct LruTableConfig {
+    /// Replacement policy of the data-plane cache.
+    pub policy: PolicyKind,
+    /// Data-plane memory budget in bytes.
+    pub memory_bytes: usize,
+    /// Slow-path (control-plane) latency ΔT in nanoseconds.
+    pub slow_path_ns: u64,
+    /// Base forwarding latency (both paths pay it).
+    pub base_forward_ns: u64,
+    /// Seed for hashing and the NAT table.
+    pub seed: u64,
+    /// Also compute LRU similarity (adds shadow-tracking cost).
+    pub track_similarity: bool,
+}
+
+impl Default for LruTableConfig {
+    fn default() -> Self {
+        Self {
+            policy: PolicyKind::P4Lru3,
+            memory_bytes: 64 * 1024,
+            slow_path_ns: 50_000, // 50 µs control-plane round trip
+            base_forward_ns: 1_000,
+            seed: 0x7AB1E,
+            track_similarity: false,
+        }
+    }
+}
+
+/// Measured results of a run.
+#[derive(Clone, Debug)]
+pub struct LruTableReport {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Cache hit/miss bookkeeping (client packets only).
+    pub stats: MissStats,
+    /// Packets translated on the fast path.
+    pub fast_path: u64,
+    /// Packets that needed the control plane (miss or placeholder hit).
+    pub slow_path: u64,
+    /// Fraction of packets taking the slow path — the paper's "miss rate".
+    pub slow_rate: f64,
+    /// Mean per-packet latency added over direct forwarding, ns (Fig. 9b).
+    pub mean_added_latency_ns: f64,
+    /// LRU similarity, if tracked (Fig. 15b/15d).
+    pub similarity: Option<f64>,
+    /// Cache entry capacity actually built.
+    pub cache_entries: usize,
+}
+
+/// The LruTable system.
+pub struct LruTable {
+    config: LruTableConfig,
+    cache: Box<dyn Cache<u32, u32>>,
+    nat: NatTable,
+    /// In-flight control-plane resolutions: (ready_time, va).
+    pending: VecDeque<(u64, u32)>,
+    tracker: Option<SimilarityTracker<u32>>,
+}
+
+impl LruTable {
+    /// Builds the system per `config`.
+    pub fn new(config: LruTableConfig) -> Self {
+        let cache = build_cache(
+            config.policy,
+            config.memory_bytes,
+            MemoryModel::fp32_len32(),
+            config.seed,
+        );
+        let tracker = config
+            .track_similarity
+            .then(|| SimilarityTracker::new(cache.capacity()));
+        Self {
+            nat: NatTable::new(config.seed ^ 0xA7),
+            pending: VecDeque::new(),
+            cache,
+            config,
+            tracker,
+        }
+    }
+
+    /// Virtual address of a packet: a stable nonzero 32-bit id of its flow.
+    fn virtual_address(&self, flow: &p4lru_traffic::packet::FiveTuple) -> u32 {
+        match flow.fingerprint(self.config.seed ^ 0x7A) {
+            0 => 1,
+            PLACEHOLDER => PLACEHOLDER - 1,
+            va => va,
+        }
+    }
+
+    /// Applies control-plane completions that are ready by `now`.
+    fn drain_pending(&mut self, now: u64) {
+        while let Some(&(ready, va)) = self.pending.front() {
+            if ready > now {
+                break;
+            }
+            self.pending.pop_front();
+            let ra = self.nat.lookup(va);
+            // The completion packet re-traverses the data plane: a full
+            // cache access replacing the placeholder (and refreshing
+            // recency). If the entry was evicted meanwhile it is
+            // re-admitted, as on hardware.
+            let out = self.cache.access(va, ra, now, merge_replace);
+            if let Some(t) = &mut self.tracker {
+                t.observe(&va, &out);
+            }
+        }
+    }
+
+    /// Processes one packet; returns `(fast_path, latency_ns)`.
+    pub fn process(&mut self, va: u32, now: u64) -> (bool, u64) {
+        self.drain_pending(now);
+        // Client packets carry no value: on a hit the cached value is kept,
+        // on a miss a placeholder is admitted.
+        let out = self.cache.access(va, PLACEHOLDER, now, merge_keep);
+        if let Some(t) = &mut self.tracker {
+            t.observe(&va, &out);
+        }
+        let (fast, schedule) = match &out {
+            Access::Hit => {
+                let fast = self.cache.peek(&va) != Some(&PLACEHOLDER);
+                // A placeholder hit still needs the control plane but does
+                // NOT re-update the cache (§3.1: "it won't process through
+                // the data plane cache again").
+                (fast, false)
+            }
+            Access::Miss { inserted, .. } => (false, *inserted),
+        };
+        if schedule {
+            self.pending.push_back((now + self.config.slow_path_ns, va));
+        }
+        let latency = self.config.base_forward_ns + if fast { 0 } else { self.config.slow_path_ns };
+        (fast, latency)
+    }
+
+    /// Replays a trace and reports the paper's metrics; `stats` counts only
+    /// client packets.
+    pub fn run_trace(mut self, trace: &Trace) -> LruTableReport {
+        let mut stats = MissStats::default();
+        let mut latency = OnlineStats::new();
+        let (mut fast_path, mut slow_path) = (0u64, 0u64);
+        for pkt in trace {
+            let va = self.virtual_address(&pkt.flow);
+            // Count hit/miss from the cache's perspective: a placeholder hit
+            // is a cache hit structurally but a *fast-path miss*
+            // functionally; both views are reported.
+            let before_pending = self.pending.len();
+            let (fast, lat) = self.process(va, pkt.ts_ns);
+            let inserted_pending = self.pending.len() > before_pending;
+            if fast {
+                fast_path += 1;
+                stats.record::<u32, u32>(&Access::Hit);
+            } else {
+                slow_path += 1;
+                stats.record::<u32, u32>(&Access::Miss {
+                    evicted: None,
+                    inserted: inserted_pending,
+                });
+            }
+            latency.push(lat as f64 - self.config.base_forward_ns as f64);
+        }
+        let total = fast_path + slow_path;
+        LruTableReport {
+            policy: self.config.policy.label(),
+            stats,
+            fast_path,
+            slow_path,
+            slow_rate: if total == 0 {
+                0.0
+            } else {
+                slow_path as f64 / total as f64
+            },
+            mean_added_latency_ns: latency.mean(),
+            similarity: self.tracker.as_ref().map(|t| t.similarity()),
+            cache_entries: self.cache.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4lru_traffic::caida::CaidaConfig;
+
+    fn small_trace(n: usize, seed: u64) -> Trace {
+        CaidaConfig::caida_n(1, n, seed).generate()
+    }
+
+    #[test]
+    fn repeated_address_becomes_fast_after_resolution() {
+        let mut sys = LruTable::new(LruTableConfig {
+            slow_path_ns: 1_000,
+            ..Default::default()
+        });
+        // First packet: slow (miss), schedules resolution.
+        let (fast, lat) = sys.process(42, 0);
+        assert!(!fast);
+        assert_eq!(lat, 1_000 + 1_000);
+        // Second packet before resolution: placeholder hit → still slow,
+        // but does not schedule again.
+        let (fast, _) = sys.process(42, 500);
+        assert!(!fast);
+        assert_eq!(sys.pending.len(), 1);
+        // After ΔT the completion lands: fast path.
+        let (fast, lat) = sys.process(42, 2_000);
+        assert!(fast);
+        assert_eq!(lat, 1_000);
+    }
+
+    #[test]
+    fn distinct_addresses_all_slow_initially() {
+        let mut sys = LruTable::new(LruTableConfig::default());
+        for va in 1..50u32 {
+            let (fast, _) = sys.process(va, u64::from(va) * 10);
+            assert!(!fast, "va {va} unexpectedly fast");
+        }
+    }
+
+    #[test]
+    fn p4lru3_beats_baseline_on_miss_rate() {
+        let trace = small_trace(60_000, 11);
+        let run = |policy| {
+            LruTable::new(LruTableConfig {
+                policy,
+                memory_bytes: 6_000,
+                ..Default::default()
+            })
+            .run_trace(&trace)
+        };
+        let p3 = run(PolicyKind::P4Lru3);
+        let p1 = run(PolicyKind::P4Lru1);
+        assert!(
+            p3.slow_rate < p1.slow_rate,
+            "P4LRU3 {:.4} should beat baseline {:.4} (Figure 9a)",
+            p3.slow_rate,
+            p1.slow_rate
+        );
+    }
+
+    #[test]
+    fn miss_rate_rises_with_concurrency() {
+        // Figure 9a's x-axis: CAIDA_n concurrency.
+        let run = |n| {
+            let trace = CaidaConfig::caida_n(n, 40_000, 5).generate();
+            LruTable::new(LruTableConfig {
+                memory_bytes: 4_000,
+                ..Default::default()
+            })
+            .run_trace(&trace)
+            .slow_rate
+        };
+        let low = run(1);
+        let high = run(16);
+        assert!(
+            high > low,
+            "miss rate {low:.4} → {high:.4} should rise with n"
+        );
+    }
+
+    #[test]
+    fn added_latency_tracks_slow_rate_times_delta_t() {
+        let trace = small_trace(20_000, 3);
+        let report = LruTable::new(LruTableConfig {
+            slow_path_ns: 10_000,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        let predicted = report.slow_rate * 10_000.0;
+        let got = report.mean_added_latency_ns;
+        assert!(
+            (got - predicted).abs() < 1.0,
+            "mean added latency {got} vs slow_rate·ΔT {predicted}"
+        );
+    }
+
+    #[test]
+    fn longer_delta_t_increases_miss_rate() {
+        // Figure 12b: pending placeholders linger longer.
+        let trace = small_trace(40_000, 7);
+        let run = |dt| {
+            LruTable::new(LruTableConfig {
+                slow_path_ns: dt,
+                memory_bytes: 8_000,
+                ..Default::default()
+            })
+            .run_trace(&trace)
+            .slow_rate
+        };
+        let short = run(1_000);
+        let long = run(20_000_000); // 20 ms
+        assert!(
+            long > short,
+            "slow rate {short:.4} → {long:.4} should rise with ΔT"
+        );
+    }
+
+    #[test]
+    fn similarity_tracked_when_requested() {
+        let trace = small_trace(20_000, 9);
+        let report = LruTable::new(LruTableConfig {
+            track_similarity: true,
+            memory_bytes: 4_000,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        let sim = report.similarity.expect("similarity requested");
+        assert!(sim > 0.0 && sim <= 1.0, "similarity {sim}");
+    }
+
+    #[test]
+    fn ideal_policy_has_lowest_miss_rate() {
+        let trace = small_trace(40_000, 13);
+        let run = |policy| {
+            LruTable::new(LruTableConfig {
+                policy,
+                memory_bytes: 6_000,
+                ..Default::default()
+            })
+            .run_trace(&trace)
+            .slow_rate
+        };
+        let ideal = run(PolicyKind::Ideal);
+        for p in [PolicyKind::P4Lru1, PolicyKind::P4Lru3, PolicyKind::Coco] {
+            let r = run(p);
+            assert!(
+                ideal <= r + 0.01,
+                "{}: {:.4} beat ideal {:.4}",
+                p.label(),
+                r,
+                ideal
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the LruTable system: conservation, determinism and
+//! protocol safety for arbitrary traces and configurations.
+
+use proptest::prelude::*;
+
+use p4lru_core::policies::PolicyKind;
+use p4lru_lrutable::{LruTable, LruTableConfig, NatTable};
+use p4lru_traffic::caida::CaidaConfig;
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Ideal),
+        Just(PolicyKind::P4Lru1),
+        Just(PolicyKind::P4Lru2),
+        Just(PolicyKind::P4Lru3),
+        Just(PolicyKind::P4Lru4),
+        (1u64..100_000_000).prop_map(|t| PolicyKind::Timeout { timeout_ns: t }),
+        Just(PolicyKind::Elastic),
+        Just(PolicyKind::Coco),
+        Just(PolicyKind::Slru),
+        Just(PolicyKind::Arc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_and_bounds(
+        policy in any_policy(),
+        memory in 2_000usize..40_000,
+        dt in 1_000u64..10_000_000,
+        packets in 2_000usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        let trace = CaidaConfig::caida_n(2, packets, seed).generate();
+        let report = LruTable::new(LruTableConfig {
+            policy,
+            memory_bytes: memory,
+            slow_path_ns: dt,
+            track_similarity: true,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        // Every packet goes exactly one way.
+        prop_assert_eq!(report.fast_path + report.slow_path, trace.len() as u64);
+        prop_assert!(report.slow_rate >= 0.0 && report.slow_rate <= 1.0);
+        // Added latency is bounded by ΔT (it is slow_rate · ΔT).
+        prop_assert!(report.mean_added_latency_ns <= dt as f64 + 1e-9);
+        let sim = report.similarity.unwrap();
+        prop_assert!(sim > 0.0 && sim <= 1.0, "similarity {}", sim);
+    }
+
+    #[test]
+    fn deterministic_for_any_config(
+        policy in any_policy(),
+        seed in any::<u64>(),
+    ) {
+        let trace = CaidaConfig::caida_n(2, 5_000, seed).generate();
+        let run = || {
+            let r = LruTable::new(LruTableConfig {
+                policy,
+                memory_bytes: 4_000,
+                seed,
+                ..Default::default()
+            })
+            .run_trace(&trace);
+            (r.fast_path, r.slow_path, r.stats.evictions)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn nat_lookup_is_a_pure_function(seed in any::<u64>(), vas in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let mut a = NatTable::new(seed);
+        let mut b = NatTable::new(seed);
+        for &va in &vas {
+            prop_assert_eq!(a.lookup(va), b.lookup(va));
+        }
+        // Re-lookup returns the materialized value.
+        for &va in &vas {
+            let want = a.peek(va).unwrap();
+            prop_assert_eq!(a.lookup(va), want);
+        }
+    }
+
+    #[test]
+    fn first_packet_of_every_flow_is_slow(seed in any::<u64>()) {
+        let trace = CaidaConfig::caida_n(1, 4_000, seed).generate();
+        let mut sys = LruTable::new(LruTableConfig {
+            memory_bytes: 100_000, // ample: no capacity evictions
+            ..Default::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for pkt in &trace {
+            let va = pkt.flow.fingerprint(7) | 1;
+            let (fast, _) = sys.process(va, pkt.ts_ns);
+            if seen.insert(va) {
+                prop_assert!(!fast, "first access of {va} cannot be fast");
+            }
+        }
+    }
+}

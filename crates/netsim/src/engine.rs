@@ -1,0 +1,233 @@
+//! Time-ordered event queue.
+//!
+//! Events carry a user-defined payload `E`. Ties in time are broken by
+//! insertion order (FIFO), which keeps simulations deterministic even when
+//! many events share a timestamp.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Nanos;
+
+/// A deterministic discrete-event engine.
+///
+/// ```
+/// use p4lru_netsim::Engine;
+///
+/// let mut engine = Engine::new();
+/// engine.schedule(20, "world");
+/// engine.schedule(10, "hello");
+/// let mut seen = Vec::new();
+/// while let Some((t, ev)) = engine.pop() {
+///     seen.push((t, ev));
+///     if ev == "hello" {
+///         engine.schedule(15, "again"); // may schedule while running
+///     }
+/// }
+/// assert_eq!(seen, vec![(10, "hello"), (15, "again"), (20, "world")]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine<E> {
+    heap: BinaryHeap<Reverse<(Nanos, u64, EventBox<E>)>>,
+    seq: u64,
+    now: Nanos,
+    processed: u64,
+}
+
+/// Wrapper giving the payload a vacuous ordering so the heap only orders by
+/// (time, seq).
+#[derive(Clone, Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// An empty engine at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            processed: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current simulation time (events cannot
+    /// be scheduled into the past).
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let Reverse((t, _, EventBox(e))) = self.heap.pop()?;
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue drained?
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains the queue through `handler`, which may schedule more events.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, Nanos, E)) {
+        while let Some((t, e)) = self.pop() {
+            handler(self, t, e);
+        }
+    }
+
+    /// Like [`Self::run`] but stops (leaving the queue intact) once the
+    /// clock passes `deadline`.
+    pub fn run_until(&mut self, deadline: Nanos, mut handler: impl FnMut(&mut Self, Nanos, E)) {
+        while let Some(Reverse((t, _, _))) = self.heap.peek() {
+            if *t > deadline {
+                break;
+            }
+            let (t, e) = self.pop().expect("peeked event exists");
+            handler(self, t, e);
+        }
+        self.now = self.now.max(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(30, 'c');
+        e.schedule(10, 'a');
+        e.schedule(20, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| e.pop().map(|(_, c)| c)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut e = Engine::new();
+        for i in 0..10 {
+            e.schedule(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| e.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e = Engine::new();
+        e.schedule(100, ());
+        assert_eq!(e.now(), 0);
+        e.pop();
+        assert_eq!(e.now(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule(100, ());
+        e.pop();
+        e.schedule(50, ());
+    }
+
+    #[test]
+    fn run_handles_cascading_events() {
+        let mut e = Engine::new();
+        e.schedule(1, 3u32);
+        let mut total = 0u32;
+        e.run(|eng, t, countdown| {
+            total += 1;
+            if countdown > 0 {
+                eng.schedule(t + 10, countdown - 1);
+            }
+        });
+        assert_eq!(total, 4);
+        assert_eq!(e.now(), 31);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        for t in [10u64, 20, 30, 40] {
+            e.schedule(t, ());
+        }
+        let mut count = 0;
+        e.run_until(25, |_, _, _| count += 1);
+        assert_eq!(count, 2);
+        assert_eq!(e.pending(), 2);
+        assert_eq!(e.now(), 25);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = Engine::new();
+        e.schedule(100, "first");
+        e.pop();
+        e.schedule_in(50, "second");
+        assert_eq!(e.pop(), Some((150, "second")));
+    }
+
+    #[test]
+    fn processed_counter() {
+        let mut e = Engine::new();
+        e.schedule(1, ());
+        e.schedule(2, ());
+        e.run(|_, _, _| {});
+        assert_eq!(e.processed(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! A store-and-forward link: fixed propagation latency plus a serialization
+//! rate with a FIFO queue. Models the client↔switch↔server wires of the
+//! testbed and the switch→analyzer upload channel.
+
+use crate::Nanos;
+
+/// A simplex link.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Bits per second.
+    rate_bps: u64,
+    /// Propagation delay.
+    latency_ns: Nanos,
+    /// Time the transmitter becomes free.
+    busy_until: Nanos,
+    /// Bytes accepted.
+    bytes: u64,
+    /// Frames accepted.
+    frames: u64,
+}
+
+impl Link {
+    /// A link with the given serialization rate and propagation delay.
+    ///
+    /// # Panics
+    /// Panics if `rate_bps == 0`.
+    pub fn new(rate_bps: u64, latency_ns: Nanos) -> Self {
+        assert!(rate_bps > 0, "link rate must be positive");
+        Self {
+            rate_bps,
+            latency_ns,
+            busy_until: 0,
+            bytes: 0,
+            frames: 0,
+        }
+    }
+
+    /// A 10 Gb/s link with the given propagation delay (the testbed's NICs).
+    pub fn ten_gbps(latency_ns: Nanos) -> Self {
+        Self::new(10_000_000_000, latency_ns)
+    }
+
+    /// Serialization time of a frame.
+    pub fn serialization_ns(&self, bytes: u32) -> Nanos {
+        (u64::from(bytes) * 8 * 1_000_000_000).div_ceil(self.rate_bps)
+    }
+
+    /// Enqueues a frame handed to the link at `now`; returns its arrival
+    /// time at the far end (FIFO behind any queued frames).
+    pub fn transmit(&mut self, now: Nanos, bytes: u32) -> Nanos {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + self.serialization_ns(bytes);
+        self.bytes += u64::from(bytes);
+        self.frames += 1;
+        self.busy_until + self.latency_ns
+    }
+
+    /// Queueing delay a frame handed over at `now` would experience before
+    /// serialization starts.
+    pub fn queue_delay(&self, now: Nanos) -> Nanos {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Total bytes accepted.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total frames accepted.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Mean utilization over `[0, horizon]` (serialized time / horizon).
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        let serialized = self.bytes * 8 * 1_000_000_000 / self.rate_bps;
+        (serialized as f64 / horizon as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_matches_rate() {
+        let l = Link::new(1_000_000_000, 0); // 1 Gb/s
+        assert_eq!(l.serialization_ns(125), 1_000); // 1000 bits → 1 µs
+        let l = Link::ten_gbps(0);
+        assert_eq!(l.serialization_ns(1250), 1_000);
+    }
+
+    #[test]
+    fn idle_link_delivers_after_serialization_plus_latency() {
+        let mut l = Link::new(1_000_000_000, 500);
+        assert_eq!(l.transmit(1_000, 125), 1_000 + 1_000 + 500);
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_fifo() {
+        let mut l = Link::new(1_000_000_000, 0);
+        let a = l.transmit(0, 125); // done at 1000
+        let b = l.transmit(0, 125); // queued: done at 2000
+        assert_eq!(a, 1_000);
+        assert_eq!(b, 2_000);
+        assert_eq!(l.queue_delay(0), 2_000);
+        // After the queue drains, a later frame sees no delay.
+        let c = l.transmit(10_000, 125);
+        assert_eq!(c, 11_000);
+    }
+
+    #[test]
+    fn accounting_and_utilization() {
+        let mut l = Link::new(1_000_000_000, 0);
+        for _ in 0..10 {
+            l.transmit(0, 125);
+        }
+        assert_eq!(l.frames(), 10);
+        assert_eq!(l.bytes(), 1250);
+        // 10 µs serialized over a 20 µs horizon.
+        assert!((l.utilization(20_000) - 0.5).abs() < 1e-9);
+        assert_eq!(l.utilization(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Link::new(0, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Server pools and closed-loop clients.
+//!
+//! [`ServerPool`] models `c` identical FIFO servers (database worker
+//! threads, a control-plane CPU): work submitted at an arrival time with a
+//! service duration completes when a server has drained everything ahead of
+//! it. [`ClosedLoop`] drives a pool the way the YCSB benchmark drives a
+//! database: each client keeps exactly one request outstanding.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Nanos;
+
+/// `c` identical FIFO servers.
+#[derive(Clone, Debug)]
+pub struct ServerPool {
+    /// Earliest time each server becomes free (min-heap).
+    free_at: BinaryHeap<Reverse<Nanos>>,
+}
+
+impl ServerPool {
+    /// A pool of `servers` servers, all free at time 0.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "pool needs at least one server");
+        Self {
+            free_at: (0..servers).map(|_| Reverse(0)).collect(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Submits work arriving at `arrival` needing `service` time; returns
+    /// its completion time. Work is served by the earliest-free server.
+    pub fn submit(&mut self, arrival: Nanos, service: Nanos) -> Nanos {
+        let Reverse(free) = self.free_at.pop().expect("pool is non-empty");
+        let start = free.max(arrival);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        done
+    }
+
+    /// The earliest time any server is free.
+    pub fn next_free(&self) -> Nanos {
+        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(0)
+    }
+}
+
+/// Closed-loop client driver: `clients` clients each keep one request in
+/// flight against a [`ServerPool`], with a fixed network round-trip.
+///
+/// `service_time(op_index)` supplies per-operation service durations (e.g.
+/// cheap for index-cache hits, a full B+Tree walk for misses). The loop
+/// runs until the simulated clock passes `duration`; returns completed
+/// operation count, from which throughput follows.
+#[derive(Debug)]
+pub struct ClosedLoop {
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Network round-trip added to every operation.
+    pub rtt: Nanos,
+    /// Wall-clock budget of the run.
+    pub duration: Nanos,
+}
+
+impl ClosedLoop {
+    /// Runs the loop; returns `(completed_ops, makespan)`.
+    ///
+    /// Deterministic: clients are interleaved by completion time with FIFO
+    /// tie-breaks.
+    pub fn run(
+        &self,
+        pool: &mut ServerPool,
+        mut service_time: impl FnMut(u64) -> Nanos,
+    ) -> (u64, Nanos) {
+        assert!(self.clients > 0, "need at least one client");
+        // Min-heap of (next issue time, client id).
+        let mut issue: BinaryHeap<Reverse<(Nanos, usize)>> =
+            (0..self.clients).map(|c| Reverse((0, c))).collect();
+        let mut ops = 0u64;
+        let mut makespan = 0;
+        while let Some(Reverse((t, client))) = issue.pop() {
+            if t >= self.duration {
+                continue;
+            }
+            // Request travels rtt/2, queues at the pool, is served, returns.
+            let service = service_time(ops);
+            let done = pool.submit(t + self.rtt / 2, service) + self.rtt / 2;
+            ops += 1;
+            makespan = makespan.max(done);
+            issue.push(Reverse((done, client)));
+        }
+        (ops, makespan)
+    }
+
+    /// Convenience: throughput in operations per second.
+    pub fn throughput(&self, pool: &mut ServerPool, service_time: impl FnMut(u64) -> Nanos) -> f64 {
+        let (ops, makespan) = self.run(pool, service_time);
+        if makespan == 0 {
+            0.0
+        } else {
+            ops as f64 * 1e9 / makespan as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes() {
+        let mut p = ServerPool::new(1);
+        assert_eq!(p.submit(0, 10), 10);
+        assert_eq!(p.submit(0, 10), 20); // queued behind the first
+        assert_eq!(p.submit(100, 10), 110); // idle gap
+    }
+
+    #[test]
+    fn two_servers_parallelize() {
+        let mut p = ServerPool::new(2);
+        assert_eq!(p.submit(0, 10), 10);
+        assert_eq!(p.submit(0, 10), 10);
+        assert_eq!(p.submit(0, 10), 20);
+    }
+
+    #[test]
+    fn next_free_tracks_earliest() {
+        let mut p = ServerPool::new(2);
+        p.submit(0, 100);
+        assert_eq!(p.next_free(), 0);
+        p.submit(0, 50);
+        assert_eq!(p.next_free(), 50);
+    }
+
+    #[test]
+    fn closed_loop_throughput_scales_with_clients_until_saturation() {
+        // 8 servers, 1 µs service, zero RTT: throughput should scale
+        // linearly in clients up to 8, then plateau at 8 ops/µs.
+        let tput = |clients| {
+            let mut pool = ServerPool::new(8);
+            let cl = ClosedLoop {
+                clients,
+                rtt: 0,
+                duration: 1_000_000,
+            };
+            cl.throughput(&mut pool, |_| 1_000)
+        };
+        let t1 = tput(1);
+        let t4 = tput(4);
+        let t8 = tput(8);
+        let t32 = tput(32);
+        assert!((t1 - 1e6).abs() / 1e6 < 0.01, "t1 = {t1}");
+        assert!((t4 - 4e6).abs() / 4e6 < 0.01, "t4 = {t4}");
+        assert!((t8 - 8e6).abs() / 8e6 < 0.02, "t8 = {t8}");
+        assert!(t32 < 8.3e6, "t32 = {t32} exceeded capacity");
+    }
+
+    #[test]
+    fn rtt_lowers_closed_loop_throughput() {
+        let run = |rtt| {
+            let mut pool = ServerPool::new(1);
+            let cl = ClosedLoop {
+                clients: 1,
+                rtt,
+                duration: 1_000_000,
+            };
+            cl.throughput(&mut pool, |_| 1_000)
+        };
+        // 1 µs service + 1 µs RTT halves single-client throughput.
+        let fast = run(0);
+        let slow = run(1_000);
+        assert!(
+            (slow - fast / 2.0).abs() / fast < 0.02,
+            "fast {fast} slow {slow}"
+        );
+    }
+
+    #[test]
+    fn per_op_service_times_apply() {
+        // Every second op is 3× slower; mean service = 2 µs → 0.5 ops/µs.
+        let mut pool = ServerPool::new(1);
+        let cl = ClosedLoop {
+            clients: 1,
+            rtt: 0,
+            duration: 10_000_000,
+        };
+        let tput = cl.throughput(&mut pool, |i| if i % 2 == 0 { 1_000 } else { 3_000 });
+        assert!((tput - 0.5e6).abs() / 0.5e6 < 0.01, "tput {tput}");
+    }
+
+    #[test]
+    fn deterministic_run() {
+        let run = || {
+            let mut pool = ServerPool::new(3);
+            let cl = ClosedLoop {
+                clients: 5,
+                rtt: 500,
+                duration: 100_000,
+            };
+            cl.run(&mut pool, |i| 700 + (i % 7) * 100)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_pool_rejected() {
+        let _ = ServerPool::new(0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Measurement sinks: online moments, exact percentiles, windowed rates.
+
+use crate::Nanos;
+
+/// Welford online mean/variance with min/max.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Exact percentile recorder: stores all samples, sorts on demand.
+///
+/// The figure harnesses record ≤ a few million latencies per run; exactness
+/// beats a sketch here and sorting once at the end is cheap.
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: u64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&x| x as f64).sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+/// Counts events per fixed time window, yielding a rate series — used for
+/// upload-rate (KPPS) measurements in LruMon.
+#[derive(Clone, Debug)]
+pub struct WindowedRate {
+    window_ns: Nanos,
+    counts: Vec<u64>,
+}
+
+impl WindowedRate {
+    /// A rate counter with the given window size.
+    ///
+    /// # Panics
+    /// Panics if `window_ns == 0`.
+    pub fn new(window_ns: Nanos) -> Self {
+        assert!(window_ns > 0, "window must be positive");
+        Self {
+            window_ns,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records one event at absolute time `at`.
+    pub fn record(&mut self, at: Nanos) {
+        let idx = (at / self.window_ns) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean events per second over the observed span.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let span_sec = (self.counts.len() as f64 * self.window_ns as f64) / 1e9;
+        self.total() as f64 / span_sec
+    }
+
+    /// Peak single-window rate, scaled to events per second.
+    pub fn peak_rate_per_sec(&self) -> f64 {
+        let peak = self.counts.iter().copied().max().unwrap_or(0);
+        peak as f64 * (1e9 / self.window_ns as f64)
+    }
+
+    /// Per-window counts (for plotting time series).
+    pub fn windows(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut p = Percentiles::new();
+        for x in 1..=100u64 {
+            p.push(x);
+        }
+        assert_eq!(p.quantile(0.5), Some(50));
+        assert_eq!(p.quantile(0.99), Some(99));
+        assert_eq!(p.quantile(1.0), Some(100));
+        assert_eq!(p.quantile(0.0), Some(1));
+        assert!((p.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interleaved_push_and_query() {
+        let mut p = Percentiles::new();
+        p.push(10);
+        assert_eq!(p.quantile(0.5), Some(10));
+        p.push(0);
+        assert_eq!(p.quantile(0.5), Some(0));
+        assert_eq!(p.count(), 2);
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.quantile(0.5), None);
+        assert_eq!(p.mean(), 0.0);
+    }
+
+    #[test]
+    fn windowed_rate_buckets_and_rates() {
+        let mut w = WindowedRate::new(1_000_000); // 1 ms windows
+        for t in [0u64, 100, 999_999, 1_000_000, 2_500_000] {
+            w.record(t);
+        }
+        assert_eq!(w.windows(), &[3, 1, 1]);
+        assert_eq!(w.total(), 5);
+        // 5 events over 3 ms.
+        assert!((w.mean_rate_per_sec() - 5.0 / 0.003).abs() < 1e-6);
+        // Peak window had 3 events in 1 ms → 3000/s.
+        assert!((w.peak_rate_per_sec() - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windowed_rate_empty() {
+        let w = WindowedRate::new(1000);
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.mean_rate_per_sec(), 0.0);
+        assert_eq!(w.peak_rate_per_sec(), 0.0);
+    }
+}

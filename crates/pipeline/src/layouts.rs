@@ -1,0 +1,846 @@
+//! Pipeline layouts: P4LRU expressed as stage programs.
+//!
+//! [`build_p4lru3_array`] lays a hash-indexed array of P4LRU3 units onto the
+//! pipeline exactly as §2.3 and §3 describe:
+//!
+//! ```text
+//! s0  hash → unit index; init carry/pos
+//! s1  key[1] register   (guarded swap, old value out)
+//! s2  compare: hit at 1? update carry / pos
+//! s3  key[2] register
+//! s4  compare
+//! s5  key[3] register
+//! s6  compare
+//! s7  state register    (3 guarded stateful-ALU actions: Table 1 arithmetic)
+//! s8  state → value-slot mapping (match table → PHV move)
+//! s9  val[1..3] registers (one accessed per packet, selected by slot)
+//! ```
+//!
+//! Ten stages, within Tofino's twelve; three stateful ALUs in the state
+//! stage's action set; every register touched at most once per packet. The
+//! `pipeline_equivalence` integration test drives millions of packets
+//! through this program and the software `LruUnit` array in lockstep.
+//!
+//! The *matched* flag is folded into the carried key: once the incoming key
+//! is found, the carry is set to [`SENTINEL`] (a value outside the 32-bit
+//! key space), and every later key stage's action guard fails — the
+//! "conditionally don't touch this register" idiom real P4 uses.
+
+use crate::phv::{FieldId, PhvAllocator};
+use crate::program::{
+    Guard, Operand, OutputSel, Program, RegCompute, RegId, RegPredicate, RegisterAction, StageOp,
+};
+
+/// Carry value meaning "the incoming key has already been matched";
+/// deliberately outside the 32-bit key space.
+pub const SENTINEL: u64 = u64::MAX;
+
+/// How a hit merges the incoming value (mirrors the software merge fn).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueMode {
+    /// Hit overwrites the stored value (read-cache).
+    Overwrite,
+    /// Hit accumulates into the stored value (write-cache, e.g. LruMon).
+    Accumulate,
+    /// Hit behavior dispatches on the `in_write` header field — 1 writes,
+    /// 0 reads (keeps the stored value and returns it). This is how
+    /// LruTable shares one program between client packets (read) and
+    /// control-plane completions (write).
+    WriteFlagged,
+}
+
+/// PHV fields of the array program.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayIo {
+    /// Input: the key (≤ 32 bits, nonzero for real entries).
+    pub in_key: FieldId,
+    /// Input: the value.
+    pub in_val: FieldId,
+    /// Input ([`ValueMode::WriteFlagged`] only): 1 = write on hit, 0 = read.
+    pub in_write: FieldId,
+    /// Output: match position 0..=2, or 3 for a miss.
+    pub out_pos: FieldId,
+    /// Output: the key evicted on a miss (0 if the slot was empty).
+    pub out_evicted_key: FieldId,
+    /// Output: the evicted value (miss) or merged value (hit).
+    pub out_val: FieldId,
+    /// Output: the unit index the key hashed to.
+    pub out_index: FieldId,
+}
+
+/// A built array layout: program + IO + register handles.
+#[derive(Clone, Debug)]
+pub struct P4Lru3ArrayLayout {
+    /// The executable pipeline program.
+    pub program: Program,
+    /// PHV handles for driving packets.
+    pub io: ArrayIo,
+    /// Key registers, front to back.
+    pub key_regs: [RegId; 3],
+    /// The cache-state register.
+    pub state_reg: RegId,
+    /// Value registers val\[1..=3\].
+    pub val_regs: [RegId; 3],
+    /// Unit count.
+    pub units: usize,
+}
+
+/// Builds the pipeline program for an array of `units` P4LRU3 units.
+///
+/// # Panics
+/// Panics if `units == 0`.
+pub fn build_p4lru3_array(units: usize, seed: u64, mode: ValueMode) -> P4Lru3ArrayLayout {
+    assert!(units > 0, "array needs units");
+    let mut alloc = PhvAllocator::new();
+    let in_key = alloc.field("in_key");
+    let in_val = alloc.field("in_val");
+    let in_write = alloc.field("in_write");
+    let idx = alloc.field("unit_index");
+    let carry = alloc.field("carry");
+    let pos = alloc.field("pos");
+    let outs = [
+        alloc.field("out0"),
+        alloc.field("out1"),
+        alloc.field("out2"),
+    ];
+    let state_out = alloc.field("state_out");
+    let slot = alloc.field("slot");
+    let out_evicted_key = alloc.field("evicted_key");
+    let out_val = alloc.field("out_val");
+
+    let mut p = Program::new(alloc);
+    let key_regs = [
+        p.register("key1", units, 32),
+        p.register("key2", units, 32),
+        p.register("key3", units, 32),
+    ];
+    let state_reg = p.register("state", units, 8);
+    let val_regs = [
+        p.register("val1", units, 32),
+        p.register("val2", units, 32),
+        p.register("val3", units, 32),
+    ];
+    // The cache state must start at Table 1 code 4 (the identity), not the
+    // register reset value 0 — a control-plane preload, as on hardware.
+    for i in 0..units {
+        p.write_cell(state_reg, i, 4);
+    }
+
+    // s0: hash to the unit index; initialize carry and pos.
+    p.stage(vec![
+        StageOp::Hash {
+            srcs: vec![in_key],
+            seed,
+            modulus: units as u64,
+            dst: idx,
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: carry,
+            src: Operand::Field(in_key),
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: pos,
+            src: Operand::Const(3),
+        },
+        // Stale-output guards compare against in_key; preload the sentinel
+        // so skipped key stages can never fake a match.
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: outs[0],
+            src: Operand::Const(SENTINEL),
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: outs[1],
+            src: Operand::Const(SENTINEL),
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: outs[2],
+            src: Operand::Const(SENTINEL),
+        },
+    ]);
+
+    // Key stages: swap-through, with the compare in the following stage.
+    for (i, (&reg, &out)) in key_regs.iter().zip(outs.iter()).enumerate() {
+        p.stage(vec![StageOp::Register {
+            reg,
+            index: Operand::Field(idx),
+            actions: vec![RegisterAction {
+                guard: Guard::FieldNe(carry, SENTINEL),
+                pred: RegPredicate::None,
+                on_true: RegCompute::Set(Operand::Field(carry)),
+                on_false: RegCompute::Keep,
+                output: OutputSel::OldValue,
+            }],
+            output_to: Some(out),
+        }]);
+        p.stage(vec![
+            // Order matters for sequential semantics: the carry update reads
+            // the pre-stage carry, so it must run before the sentinel write.
+            StageOp::Move {
+                guard: Guard::FieldNe(carry, SENTINEL),
+                dst: carry,
+                src: Operand::Field(out),
+            },
+            StageOp::Move {
+                guard: Guard::FieldsEq(out, in_key),
+                dst: pos,
+                src: Operand::Const(i as u64),
+            },
+            StageOp::Move {
+                guard: Guard::FieldsEq(out, in_key),
+                dst: carry,
+                src: Operand::Const(SENTINEL),
+            },
+        ]);
+    }
+
+    // s7: the cache-state DFA — the paper's three operations as three
+    // stateful-ALU actions (Table 1 arithmetic, §2.3.2).
+    p.stage(vec![StageOp::Register {
+        reg: state_reg,
+        index: Operand::Field(idx),
+        actions: vec![
+            // Operation 1 (hit at key[1]): state unchanged.
+            RegisterAction {
+                guard: Guard::FieldEq(pos, 0),
+                pred: RegPredicate::None,
+                on_true: RegCompute::Keep,
+                on_false: RegCompute::Keep,
+                output: OutputSel::NewValue,
+            },
+            // Operation 2 (hit at key[2]): S ^= 1 if S ≥ 4 else S ^= 3.
+            RegisterAction {
+                guard: Guard::FieldEq(pos, 1),
+                pred: RegPredicate::RegGe(Operand::Const(4)),
+                on_true: RegCompute::Xor(Operand::Const(1)),
+                on_false: RegCompute::Xor(Operand::Const(3)),
+                output: OutputSel::NewValue,
+            },
+            // Operation 3 (hit at key[3] or miss): S −= 2 if S ≥ 2 else += 4.
+            RegisterAction {
+                guard: Guard::FieldGe(pos, 2),
+                pred: RegPredicate::RegGe(Operand::Const(2)),
+                on_true: RegCompute::Sub(Operand::Const(2)),
+                on_false: RegCompute::Add(Operand::Const(4)),
+                output: OutputSel::NewValue,
+            },
+        ],
+        output_to: Some(state_out),
+    }]);
+
+    // s8: state code → front value slot (FRONT3 = [1,0,2,2,0,1]); a plain
+    // match table on hardware.
+    p.stage(
+        [1u64, 0, 2, 2, 0, 1]
+            .iter()
+            .enumerate()
+            .map(|(code, &s)| StageOp::Move {
+                guard: Guard::FieldEq(state_out, code as u64),
+                dst: slot,
+                src: Operand::Const(s),
+            })
+            .collect(),
+    );
+
+    // s9: one of three value registers, selected by the slot; hit merges,
+    // miss overwrites and emits the evicted value. The evicted key is
+    // whatever fell out of the last key stage.
+    let mut value_stage: Vec<StageOp> = val_regs
+        .iter()
+        .enumerate()
+        .map(|(s, &reg)| {
+            // Miss (pos == 3) always writes, returning the evicted value.
+            let mut actions = vec![RegisterAction {
+                guard: guard_slot_and_miss(slot, s as u64, pos),
+                pred: RegPredicate::None,
+                on_true: RegCompute::Set(Operand::Field(in_val)),
+                on_false: RegCompute::Keep,
+                output: OutputSel::OldValue,
+            }];
+            match mode {
+                ValueMode::Overwrite | ValueMode::Accumulate => {
+                    let hit_compute = if matches!(mode, ValueMode::Overwrite) {
+                        RegCompute::Set(Operand::Field(in_val))
+                    } else {
+                        RegCompute::Add(Operand::Field(in_val))
+                    };
+                    actions.push(RegisterAction {
+                        guard: Guard::FieldEq(slot, s as u64),
+                        pred: RegPredicate::None,
+                        on_true: hit_compute,
+                        on_false: RegCompute::Keep,
+                        output: OutputSel::NewValue,
+                    });
+                }
+                ValueMode::WriteFlagged => {
+                    // Write packets (completions) overwrite on hit…
+                    actions.push(RegisterAction {
+                        guard: Guard::TwoFieldsEq(slot, s as u64, in_write, 1),
+                        pred: RegPredicate::None,
+                        on_true: RegCompute::Set(Operand::Field(in_val)),
+                        on_false: RegCompute::Keep,
+                        output: OutputSel::NewValue,
+                    });
+                    // …read packets return the stored value untouched.
+                    actions.push(RegisterAction {
+                        guard: Guard::FieldEq(slot, s as u64),
+                        pred: RegPredicate::None,
+                        on_true: RegCompute::Keep,
+                        on_false: RegCompute::Keep,
+                        output: OutputSel::OldValue,
+                    });
+                }
+            }
+            StageOp::Register {
+                reg,
+                index: Operand::Field(idx),
+                actions,
+                output_to: Some(out_val),
+            }
+        })
+        .collect();
+    // Export the evicted key (out2 holds it on a miss; SENTINEL on a hit —
+    // normalized to 0 by the guard below).
+    value_stage.push(StageOp::Move {
+        guard: Guard::FieldEq(pos, 3),
+        dst: out_evicted_key,
+        src: Operand::Field(outs[2]),
+    });
+    value_stage.push(StageOp::Move {
+        guard: Guard::FieldNe(pos, 3),
+        dst: out_evicted_key,
+        src: Operand::Const(0),
+    });
+    p.stage(value_stage);
+
+    P4Lru3ArrayLayout {
+        program: p,
+        io: ArrayIo {
+            in_key,
+            in_val,
+            in_write,
+            out_pos: pos,
+            out_evicted_key,
+            out_val,
+            out_index: idx,
+        },
+        key_regs,
+        state_reg,
+        val_regs,
+        units,
+    }
+}
+
+/// "slot == s AND pos == 3 (miss)": a two-field exact match key, which real
+/// match tables support natively.
+fn guard_slot_and_miss(slot: FieldId, s: u64, pos: FieldId) -> Guard {
+    Guard::TwoFieldsEq(slot, s, pos, 3)
+}
+
+/// A built P4LRU2 array layout.
+#[derive(Clone, Debug)]
+pub struct P4Lru2ArrayLayout {
+    /// The executable pipeline program.
+    pub program: Program,
+    /// PHV handles (same meaning as [`ArrayIo`], with miss pos = 2).
+    pub io: ArrayIo,
+    /// Key registers.
+    pub key_regs: [RegId; 2],
+    /// The one-bit cache-state register.
+    pub state_reg: RegId,
+    /// Value registers.
+    pub val_regs: [RegId; 2],
+    /// Unit count.
+    pub units: usize,
+}
+
+/// Builds the pipeline program for an array of `units` P4LRU2 units
+/// (§2.3.1): seven stages, and the whole cache-state DFA fits **one**
+/// stateful ALU — op 1 is a no-op branch and op 2 is `S ^= 1`.
+///
+/// # Panics
+/// Panics if `units == 0`.
+pub fn build_p4lru2_array(units: usize, seed: u64, mode: ValueMode) -> P4Lru2ArrayLayout {
+    assert!(units > 0, "array needs units");
+    let mut alloc = PhvAllocator::new();
+    let in_key = alloc.field("in_key");
+    let in_val = alloc.field("in_val");
+    let in_write = alloc.field("in_write");
+    let idx = alloc.field("unit_index");
+    let carry = alloc.field("carry");
+    let pos = alloc.field("pos");
+    let outs = [alloc.field("out0"), alloc.field("out1")];
+    let slot = alloc.field("slot");
+    let out_evicted_key = alloc.field("evicted_key");
+    let out_val = alloc.field("out_val");
+
+    let mut p = Program::new(alloc);
+    let key_regs = [p.register("key1", units, 32), p.register("key2", units, 32)];
+    let state_reg = p.register("state", units, 1);
+    let val_regs = [p.register("val1", units, 32), p.register("val2", units, 32)];
+    // Code 0 is already the identity for P4LRU2 — no preload needed.
+
+    p.stage(vec![
+        StageOp::Hash {
+            srcs: vec![in_key],
+            seed,
+            modulus: units as u64,
+            dst: idx,
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: carry,
+            src: Operand::Field(in_key),
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: pos,
+            src: Operand::Const(2),
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: outs[0],
+            src: Operand::Const(SENTINEL),
+        },
+        StageOp::Move {
+            guard: Guard::Always,
+            dst: outs[1],
+            src: Operand::Const(SENTINEL),
+        },
+    ]);
+    for (i, (&reg, &out)) in key_regs.iter().zip(outs.iter()).enumerate() {
+        p.stage(vec![StageOp::Register {
+            reg,
+            index: Operand::Field(idx),
+            actions: vec![RegisterAction {
+                guard: Guard::FieldNe(carry, SENTINEL),
+                pred: RegPredicate::None,
+                on_true: RegCompute::Set(Operand::Field(carry)),
+                on_false: RegCompute::Keep,
+                output: OutputSel::OldValue,
+            }],
+            output_to: Some(out),
+        }]);
+        p.stage(vec![
+            StageOp::Move {
+                guard: Guard::FieldNe(carry, SENTINEL),
+                dst: carry,
+                src: Operand::Field(out),
+            },
+            StageOp::Move {
+                guard: Guard::FieldsEq(out, in_key),
+                dst: pos,
+                src: Operand::Const(i as u64),
+            },
+            StageOp::Move {
+                guard: Guard::FieldsEq(out, in_key),
+                dst: carry,
+                src: Operand::Const(SENTINEL),
+            },
+        ]);
+    }
+    // State stage: ONE stateful ALU covers both operations (§2.3.1).
+    p.stage(vec![StageOp::Register {
+        reg: state_reg,
+        index: Operand::Field(idx),
+        actions: vec![
+            RegisterAction {
+                guard: Guard::FieldEq(pos, 0),
+                pred: RegPredicate::None,
+                on_true: RegCompute::Keep,
+                on_false: RegCompute::Keep,
+                output: OutputSel::NewValue,
+            },
+            RegisterAction {
+                guard: Guard::FieldGe(pos, 1),
+                pred: RegPredicate::None,
+                on_true: RegCompute::Xor(Operand::Const(1)),
+                on_false: RegCompute::Keep,
+                output: OutputSel::NewValue,
+            },
+        ],
+        // The P4LRU2 front slot IS the state bit — no mapping table.
+        output_to: Some(slot),
+    }]);
+    let hit_compute = match mode {
+        ValueMode::Overwrite | ValueMode::WriteFlagged => RegCompute::Set(Operand::Field(in_val)),
+        ValueMode::Accumulate => RegCompute::Add(Operand::Field(in_val)),
+    };
+    let mut value_stage: Vec<StageOp> = val_regs
+        .iter()
+        .enumerate()
+        .map(|(s, &reg)| StageOp::Register {
+            reg,
+            index: Operand::Field(idx),
+            actions: vec![
+                RegisterAction {
+                    guard: Guard::TwoFieldsEq(slot, s as u64, pos, 2),
+                    pred: RegPredicate::None,
+                    on_true: RegCompute::Set(Operand::Field(in_val)),
+                    on_false: RegCompute::Keep,
+                    output: OutputSel::OldValue,
+                },
+                RegisterAction {
+                    guard: Guard::FieldEq(slot, s as u64),
+                    pred: RegPredicate::None,
+                    on_true: hit_compute,
+                    on_false: RegCompute::Keep,
+                    output: OutputSel::NewValue,
+                },
+            ],
+            output_to: Some(out_val),
+        })
+        .collect();
+    value_stage.push(StageOp::Move {
+        guard: Guard::FieldEq(pos, 2),
+        dst: out_evicted_key,
+        src: Operand::Field(outs[1]),
+    });
+    value_stage.push(StageOp::Move {
+        guard: Guard::FieldNe(pos, 2),
+        dst: out_evicted_key,
+        src: Operand::Const(0),
+    });
+    p.stage(value_stage);
+
+    P4Lru2ArrayLayout {
+        program: p,
+        io: ArrayIo {
+            in_key,
+            in_val,
+            in_write,
+            out_pos: pos,
+            out_evicted_key,
+            out_val,
+            out_index: idx,
+        },
+        key_regs,
+        state_reg,
+        val_regs,
+        units,
+    }
+}
+
+impl P4Lru2ArrayLayout {
+    /// Pushes one `(key, value)` through the pipeline; returns the outcome
+    /// (miss marker is `pos == 2` for the two-entry unit).
+    ///
+    /// # Panics
+    /// Panics if `key` is 0 (reserved for empty cells).
+    pub fn process(&mut self, key: u32, value: u32) -> ArrayOutcome {
+        assert!(key != 0, "key 0 is the empty-cell marker");
+        let mut phv = self.program.alloc.phv();
+        phv.set(self.io.in_key, u64::from(key));
+        phv.set(self.io.in_val, u64::from(value));
+        self.program.exec(&mut phv);
+        let pos = phv.get(self.io.out_pos);
+        let evicted_key = phv.get(self.io.out_evicted_key) as u32;
+        let out_val = phv.get(self.io.out_val) as u32;
+        if pos < 2 {
+            ArrayOutcome::Hit {
+                pos: pos as usize,
+                merged: out_val,
+            }
+        } else if evicted_key == 0 {
+            ArrayOutcome::Inserted
+        } else {
+            ArrayOutcome::Evicted {
+                key: evicted_key,
+                value: out_val,
+            }
+        }
+    }
+}
+
+impl P4Lru3ArrayLayout {
+    /// Pushes one `(key, value)` through the pipeline; returns the outcome.
+    /// In [`ValueMode::WriteFlagged`] layouts this is a *write* packet; use
+    /// [`Self::process_with`] to send reads.
+    ///
+    /// # Panics
+    /// Panics if `key` is 0 (reserved for empty cells) or ≥ 2³².
+    pub fn process(&mut self, key: u32, value: u32) -> ArrayOutcome {
+        self.process_with(key, value, true)
+    }
+
+    /// Pushes one packet with an explicit write flag (only meaningful for
+    /// [`ValueMode::WriteFlagged`] layouts).
+    ///
+    /// # Panics
+    /// Panics if `key` is 0 (reserved for empty cells).
+    pub fn process_with(&mut self, key: u32, value: u32, write: bool) -> ArrayOutcome {
+        assert!(key != 0, "key 0 is the empty-cell marker");
+        let mut phv = self.program.alloc.phv();
+        phv.set(self.io.in_key, u64::from(key));
+        phv.set(self.io.in_val, u64::from(value));
+        phv.set(self.io.in_write, u64::from(write));
+        self.program.exec(&mut phv);
+        let pos = phv.get(self.io.out_pos);
+        let evicted_key = phv.get(self.io.out_evicted_key) as u32;
+        let out_val = phv.get(self.io.out_val) as u32;
+        if pos < 3 {
+            ArrayOutcome::Hit {
+                pos: pos as usize,
+                merged: out_val,
+            }
+        } else if evicted_key == 0 {
+            ArrayOutcome::Inserted
+        } else {
+            ArrayOutcome::Evicted {
+                key: evicted_key,
+                value: out_val,
+            }
+        }
+    }
+}
+
+/// Outcome of one packet through the array program (mirrors
+/// `p4lru_core::unit::Outcome`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrayOutcome {
+    /// Key found at `pos`; `merged` is the post-merge value.
+    Hit {
+        /// 0-based key position before promotion.
+        pos: usize,
+        /// Value after the merge.
+        merged: u32,
+    },
+    /// Key admitted into an empty slot.
+    Inserted,
+    /// Key admitted, evicting an entry.
+    Evicted {
+        /// Evicted key.
+        key: u32,
+        /// Evicted value.
+        value: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ConstraintChecker;
+    use p4lru_core::dfa::{CacheState, Dfa3};
+    use p4lru_core::unit::{LruUnit, Outcome};
+
+    /// The software oracle: units placed by the *same* hash as the program.
+    struct Oracle {
+        units: Vec<LruUnit<u32, u32, 3, Dfa3>>,
+    }
+
+    impl Oracle {
+        fn new(n: usize) -> Self {
+            Self {
+                units: (0..n).map(|_| LruUnit::new()).collect(),
+            }
+        }
+    }
+
+    fn drive_equivalence(mode: ValueMode, units: usize, keyspace: u64, steps: usize, seed: u64) {
+        let mut layout = build_p4lru3_array(units, seed, mode);
+        ConstraintChecker::default().check(&layout.program).unwrap();
+        let mut oracle = Oracle::new(units);
+        let mut x = seed ^ 0xABCD;
+        for step in 0..steps {
+            x = p4lru_core::hashing::mix64(x);
+            let key = (x % keyspace) as u32 + 1; // nonzero keys
+            let val = (x >> 33) as u32;
+
+            // The pipeline picks the unit; mirror its placement.
+            let got = layout.process(key, val);
+            let phv_probe_idx = {
+                // Recompute the unit index the same way the Hash op does.
+                let acc = p4lru_core::hashing::mix64(seed);
+                let h = p4lru_core::hashing::hash_u64(acc, u64::from(key));
+                ((u128::from(h) * units as u128) >> 64) as usize
+            };
+            let unit = &mut oracle.units[phv_probe_idx];
+            let want = match mode {
+                // WriteFlagged packets sent through `process` carry write=1,
+                // i.e. overwrite semantics.
+                ValueMode::Overwrite | ValueMode::WriteFlagged => {
+                    unit.update(key, val, |s, v| *s = v)
+                }
+                ValueMode::Accumulate => unit.update(key, val, |s, v| *s = s.wrapping_add(v)),
+            };
+            match (got, &want) {
+                (ArrayOutcome::Hit { pos, merged }, Outcome::Hit { pos: wpos }) => {
+                    assert_eq!(pos, *wpos, "step {step}: hit position");
+                    assert_eq!(Some(&merged), unit.get(&key), "step {step}: merged value");
+                }
+                (ArrayOutcome::Inserted, Outcome::Inserted) => {}
+                (
+                    ArrayOutcome::Evicted { key: ek, value: ev },
+                    Outcome::Evicted { key: wk, value: wv },
+                ) => {
+                    assert_eq!(ek, *wk, "step {step}: evicted key");
+                    assert_eq!(ev, *wv, "step {step}: evicted value");
+                }
+                other => panic!("step {step}: diverged: {other:?}"),
+            }
+            // Register contents must decode to the oracle's unit state.
+            let state_code = layout.program.reg_cells(layout.state_reg)[phv_probe_idx] as u8;
+            assert_eq!(
+                Dfa3::from_code(state_code).unwrap().as_perm(),
+                unit.state_perm(),
+                "step {step}: state register"
+            );
+            for (i, reg) in layout.key_regs.iter().enumerate() {
+                let hw_key = layout.program.reg_cells(*reg)[phv_probe_idx] as u32;
+                let sw_key = unit
+                    .entries()
+                    .find(|(pos, _, _)| *pos == i)
+                    .map(|(_, k, _)| *k)
+                    .unwrap_or(0);
+                assert_eq!(hw_key, sw_key, "step {step}: key register {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_equals_software_overwrite() {
+        drive_equivalence(ValueMode::Overwrite, 8, 40, 4000, 1);
+    }
+
+    #[test]
+    fn pipeline_equals_software_accumulate() {
+        drive_equivalence(ValueMode::Accumulate, 4, 16, 4000, 2);
+    }
+
+    #[test]
+    fn pipeline_equals_software_single_unit_high_contention() {
+        drive_equivalence(ValueMode::Overwrite, 1, 6, 3000, 3);
+    }
+
+    #[test]
+    fn layout_fits_the_twelve_stage_budget() {
+        let layout = build_p4lru3_array(256, 9, ValueMode::Overwrite);
+        assert_eq!(layout.program.stage_count(), 10);
+        ConstraintChecker::default().check(&layout.program).unwrap();
+    }
+
+    #[test]
+    fn fresh_layout_misses_then_hits() {
+        let mut layout = build_p4lru3_array(16, 11, ValueMode::Overwrite);
+        assert_eq!(layout.process(5, 50), ArrayOutcome::Inserted);
+        assert_eq!(
+            layout.process(5, 60),
+            ArrayOutcome::Hit { pos: 0, merged: 60 }
+        );
+    }
+
+    #[test]
+    fn eviction_returns_the_lru_entry() {
+        let mut layout = build_p4lru3_array(1, 13, ValueMode::Overwrite);
+        layout.process(1, 10);
+        layout.process(2, 20);
+        layout.process(3, 30);
+        assert_eq!(
+            layout.process(4, 40),
+            ArrayOutcome::Evicted { key: 1, value: 10 }
+        );
+    }
+
+    #[test]
+    fn write_flagged_reads_do_not_clobber() {
+        let mut layout = build_p4lru3_array(4, 5, ValueMode::WriteFlagged);
+        // Install a real value with a write packet.
+        assert_eq!(layout.process_with(9, 1234, true), ArrayOutcome::Inserted);
+        // Read packets hit, return the stored value, and leave it intact —
+        // even though they carry a different in_val.
+        for _ in 0..5 {
+            match layout.process_with(9, 0xFFFF_FFFF, false) {
+                ArrayOutcome::Hit { merged, .. } => assert_eq!(merged, 1234),
+                other => panic!("expected hit, got {other:?}"),
+            }
+        }
+        // A later write updates it.
+        assert!(matches!(
+            layout.process_with(9, 77, true),
+            ArrayOutcome::Hit { merged: 77, .. }
+        ));
+        assert!(matches!(
+            layout.process_with(9, 0, false),
+            ArrayOutcome::Hit { merged: 77, .. }
+        ));
+    }
+
+    #[test]
+    fn write_flagged_read_miss_installs_the_carried_value() {
+        // A read miss still admits the key (LruTable's placeholder insert).
+        let mut layout = build_p4lru3_array(4, 6, ValueMode::WriteFlagged);
+        assert_eq!(
+            layout.process_with(3, 0xAAAA, false),
+            ArrayOutcome::Inserted
+        );
+        assert!(matches!(
+            layout.process_with(3, 0, false),
+            ArrayOutcome::Hit { merged: 0xAAAA, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty-cell marker")]
+    fn key_zero_rejected() {
+        let mut layout = build_p4lru3_array(4, 1, ValueMode::Overwrite);
+        layout.process(0, 1);
+    }
+
+    #[test]
+    fn p4lru2_pipeline_equals_software() {
+        use p4lru_core::dfa::Dfa2;
+        let units = 4usize;
+        let seed = 21u64;
+        let mut hw = build_p4lru2_array(units, seed, ValueMode::Overwrite);
+        ConstraintChecker::default().check(&hw.program).unwrap();
+        assert_eq!(hw.program.stage_count(), 7);
+        let mut sw: Vec<LruUnit<u32, u32, 2, Dfa2>> = (0..units).map(|_| LruUnit::new()).collect();
+        let mut x = 3u64;
+        for step in 0..4000 {
+            x = p4lru_core::hashing::mix64(x);
+            let key = (x % 12) as u32 + 1;
+            let val = (x >> 33) as u32;
+            let got = hw.process(key, val);
+            let idx = {
+                let acc = p4lru_core::hashing::mix64(seed);
+                let h = p4lru_core::hashing::hash_u64(acc, u64::from(key));
+                ((u128::from(h) * units as u128) >> 64) as usize
+            };
+            let want = sw[idx].update(key, val, |s, v| *s = v);
+            match (got, &want) {
+                (ArrayOutcome::Hit { pos, .. }, Outcome::Hit { pos: wp }) => {
+                    assert_eq!(pos, *wp, "step {step}")
+                }
+                (ArrayOutcome::Inserted, Outcome::Inserted) => {}
+                (
+                    ArrayOutcome::Evicted { key: ek, value: ev },
+                    Outcome::Evicted { key: wk, value: wv },
+                ) => {
+                    assert_eq!((ek, ev), (*wk, *wv), "step {step}");
+                }
+                other => panic!("step {step}: diverged: {other:?}"),
+            }
+            // The state register is a single bit matching the encoded DFA.
+            let bit = hw.program.reg_cells(hw.state_reg)[idx] as u8;
+            assert_eq!(
+                Dfa2::from_code(bit).unwrap().as_perm(),
+                sw[idx].state_perm(),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn p4lru2_state_stage_uses_one_salu() {
+        use crate::resources::{account, TofinoModel};
+        let layout = build_p4lru2_array(1 << 10, 2, ValueMode::Overwrite);
+        let report = account(&layout.program, &TofinoModel::default(), 1);
+        // 2 key regs + 1-branch+1-branch state (1 SALU) + 2 value regs
+        // (2 single-branch-pair actions = 1 SALU each) = 5 SALUs total.
+        assert_eq!(report.usage.salus, 2 + 1 + 2);
+    }
+}

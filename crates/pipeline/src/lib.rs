@@ -1,0 +1,45 @@
+//! # p4lru-pipeline
+//!
+//! A software model of a Tofino-like match-action pipeline — the substrate
+//! standing in for the paper's hardware (see DESIGN.md §2).
+//!
+//! The paper's entire design problem is created by three pipeline rules:
+//!
+//! 1. state is partitioned into **register arrays**, each bound to exactly
+//!    one stage;
+//! 2. a packet traverses the stages **in order** and may read-modify-write
+//!    each register array **at most once**;
+//! 3. a register update is a **stateful ALU** action: one predicate
+//!    selecting between at most two arithmetic branches.
+//!
+//! This crate makes those rules executable and checkable:
+//!
+//! * [`phv`] — the packet header vector carrying per-packet fields;
+//! * [`program`] — stage operations (hash, VLIW ALU, register actions), an
+//!   interpreter, and a [`program::ConstraintChecker`] that rejects programs
+//!   violating rules 1–3;
+//! * [`layouts`] — the P4LRU unit array expressed as a pipeline program
+//!   (proven behaviorally equal to the software `LruUnit` in tests), plus
+//!   whole-system layouts for LruTable / LruIndex / LruMon;
+//! * [`resources`] — a documented Tofino-1 resource model and the
+//!   accounting that regenerates Table 2;
+//! * [`series_layout`] — the full LruIndex series connection (query/reply
+//!   protocol across four chained arrays) as one 44-stage program, proven
+//!   equal to the software `SeriesLru`;
+//! * [`codegen`] — a P4₁₆ emitter turning any program into the shape of
+//!   the paper's published artifact (see the `export_p4` binary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod layouts;
+pub mod phv;
+pub mod program;
+pub mod resources;
+pub mod series_layout;
+pub mod systems;
+
+pub use phv::{FieldId, Phv, PhvAllocator};
+pub use program::{Program, RegisterAction};
+pub use resources::{ResourceReport, TofinoModel};

@@ -1,0 +1,99 @@
+//! The packet header vector (PHV): per-packet metadata flowing through the
+//! pipeline. Fields are allocated once per program and addressed by
+//! [`FieldId`]; values are 64-bit (wide enough for every field the P4LRU
+//! programs need — real hardware packs 8/16/32-bit containers, which the
+//! resource model accounts separately).
+
+use std::fmt;
+
+/// Handle to one PHV field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldId(pub(crate) usize);
+
+impl fmt::Debug for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Allocates named PHV fields at program-build time.
+#[derive(Clone, Debug, Default)]
+pub struct PhvAllocator {
+    names: Vec<String>,
+}
+
+impl PhvAllocator {
+    /// An empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a field with a diagnostic name.
+    pub fn field(&mut self, name: &str) -> FieldId {
+        self.names.push(name.to_owned());
+        FieldId(self.names.len() - 1)
+    }
+
+    /// Number of allocated fields.
+    pub fn count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Diagnostic name of a field.
+    pub fn name(&self, id: FieldId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// A fresh PHV with all fields zeroed.
+    pub fn phv(&self) -> Phv {
+        Phv {
+            fields: vec![0; self.names.len()],
+        }
+    }
+}
+
+/// One packet's header vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phv {
+    fields: Vec<u64>,
+}
+
+impl Phv {
+    /// Reads a field.
+    #[inline]
+    pub fn get(&self, id: FieldId) -> u64 {
+        self.fields[id.0]
+    }
+
+    /// Writes a field.
+    #[inline]
+    pub fn set(&mut self, id: FieldId, value: u64) {
+        self.fields[id.0] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_roundtrip() {
+        let mut alloc = PhvAllocator::new();
+        let a = alloc.field("key");
+        let b = alloc.field("pos");
+        assert_eq!(alloc.count(), 2);
+        assert_eq!(alloc.name(a), "key");
+        let mut phv = alloc.phv();
+        assert_eq!(phv.get(a), 0);
+        phv.set(b, 7);
+        assert_eq!(phv.get(b), 7);
+        assert_eq!(phv.get(a), 0);
+    }
+
+    #[test]
+    fn field_ids_format_compactly() {
+        let mut alloc = PhvAllocator::new();
+        let f = alloc.field("x");
+        assert_eq!(format!("{f:?}"), "f0");
+    }
+}

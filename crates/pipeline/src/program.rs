@@ -1,0 +1,712 @@
+//! Pipeline programs: stage operations, an interpreter, and the constraint
+//! checker enforcing the data-plane rules the paper designs around.
+//!
+//! A [`Program`] is a sequence of stages, each a list of [`StageOp`]s:
+//! hardware hash computations, VLIW header-field instructions, and stateful
+//! register accesses. Register state lives inside the program, so executing
+//! packets through it mutates switch state exactly like hardware would.
+
+use crate::phv::{FieldId, Phv, PhvAllocator};
+
+/// Handle to a register array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegId(pub(crate) usize);
+
+/// A register array: `depth` cells of `width_bits` each, bound to the stage
+/// that accesses it.
+#[derive(Clone, Debug)]
+pub struct Register {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of cells.
+    pub depth: usize,
+    /// Cell width in bits (≤ 64 in this model).
+    pub width_bits: u32,
+}
+
+/// A value source: immediate or PHV field.
+#[derive(Clone, Copy, Debug)]
+pub enum Operand {
+    /// Immediate constant.
+    Const(u64),
+    /// Read a PHV field.
+    Field(FieldId),
+}
+
+impl Operand {
+    #[inline]
+    fn eval(self, phv: &Phv) -> u64 {
+        match self {
+            Operand::Const(c) => c,
+            Operand::Field(f) => phv.get(f),
+        }
+    }
+}
+
+/// A PHV-side condition gating an operation (compiled from match tables).
+#[derive(Clone, Copy, Debug)]
+pub enum Guard {
+    /// Unconditional.
+    Always,
+    /// `field == const`.
+    FieldEq(FieldId, u64),
+    /// `field != const`.
+    FieldNe(FieldId, u64),
+    /// `field == field`.
+    FieldsEq(FieldId, FieldId),
+    /// `field != field`.
+    FieldsNe(FieldId, FieldId),
+    /// `field >= const`.
+    FieldGe(FieldId, u64),
+    /// `field < const`.
+    FieldLt(FieldId, u64),
+    /// `f1 == c1 && f2 == c2` — a two-field exact match key, as real match
+    /// tables support natively.
+    TwoFieldsEq(FieldId, u64, FieldId, u64),
+}
+
+impl Guard {
+    #[inline]
+    fn eval(self, phv: &Phv) -> bool {
+        match self {
+            Guard::Always => true,
+            Guard::FieldEq(f, c) => phv.get(f) == c,
+            Guard::FieldNe(f, c) => phv.get(f) != c,
+            Guard::FieldsEq(a, b) => phv.get(a) == phv.get(b),
+            Guard::FieldsNe(a, b) => phv.get(a) != phv.get(b),
+            Guard::FieldGe(f, c) => phv.get(f) >= c,
+            Guard::FieldLt(f, c) => phv.get(f) < c,
+            Guard::TwoFieldsEq(f1, c1, f2, c2) => phv.get(f1) == c1 && phv.get(f2) == c2,
+        }
+    }
+}
+
+/// Predicate inside a stateful ALU, comparing the register cell against an
+/// operand.
+#[derive(Clone, Copy, Debug)]
+pub enum RegPredicate {
+    /// Always take the true branch.
+    None,
+    /// `reg == operand`.
+    RegEq(Operand),
+    /// `reg != operand`.
+    RegNe(Operand),
+    /// `reg >= operand`.
+    RegGe(Operand),
+    /// `reg <= operand`.
+    RegLe(Operand),
+}
+
+impl RegPredicate {
+    #[inline]
+    fn eval(self, reg: u64, phv: &Phv) -> bool {
+        match self {
+            RegPredicate::None => true,
+            RegPredicate::RegEq(o) => reg == o.eval(phv),
+            RegPredicate::RegNe(o) => reg != o.eval(phv),
+            RegPredicate::RegGe(o) => reg >= o.eval(phv),
+            RegPredicate::RegLe(o) => reg <= o.eval(phv),
+        }
+    }
+}
+
+/// One arithmetic branch of a stateful ALU.
+#[derive(Clone, Copy, Debug)]
+pub enum RegCompute {
+    /// Leave the cell unchanged.
+    Keep,
+    /// `reg ← operand`.
+    Set(Operand),
+    /// `reg ← reg + operand` (wrapping, clamped to the cell width).
+    Add(Operand),
+    /// `reg ← reg − operand` (wrapping, clamped to the cell width).
+    Sub(Operand),
+    /// Saturating add, clamped at the cell's max value (counter rows).
+    SatAdd(Operand),
+    /// `reg ← reg ⊕ operand`.
+    Xor(Operand),
+    /// `reg ← max(reg, operand)`.
+    Max(Operand),
+}
+
+impl RegCompute {
+    #[inline]
+    fn eval(self, reg: u64, phv: &Phv, mask: u64) -> u64 {
+        let v = match self {
+            RegCompute::Keep => reg,
+            RegCompute::Set(o) => o.eval(phv),
+            RegCompute::Add(o) => reg.wrapping_add(o.eval(phv)),
+            RegCompute::Sub(o) => reg.wrapping_sub(o.eval(phv)),
+            RegCompute::SatAdd(o) => reg.saturating_add(o.eval(phv)).min(mask),
+            RegCompute::Xor(o) => reg ^ o.eval(phv),
+            RegCompute::Max(o) => reg.max(o.eval(phv)),
+        };
+        v & mask
+    }
+}
+
+/// What the stateful ALU hands back to the PHV.
+#[derive(Clone, Copy, Debug)]
+pub enum OutputSel {
+    /// Nothing.
+    None,
+    /// The cell value before the update.
+    OldValue,
+    /// The cell value after the update.
+    NewValue,
+    /// 1 if the predicate held, else 0.
+    PredFlag,
+}
+
+/// One register action: a guarded stateful-ALU program (predicate + two
+/// branches + output selector).
+#[derive(Clone, Debug)]
+pub struct RegisterAction {
+    /// PHV guard choosing this action (the match-table dispatch).
+    pub guard: Guard,
+    /// In-ALU predicate.
+    pub pred: RegPredicate,
+    /// Branch when the predicate holds.
+    pub on_true: RegCompute,
+    /// Branch otherwise.
+    pub on_false: RegCompute,
+    /// What to return to the PHV.
+    pub output: OutputSel,
+}
+
+impl RegisterAction {
+    /// An unguarded, unconditional action.
+    pub fn simple(compute: RegCompute, output: OutputSel) -> Self {
+        Self {
+            guard: Guard::Always,
+            pred: RegPredicate::None,
+            on_true: compute,
+            on_false: RegCompute::Keep,
+            output,
+        }
+    }
+}
+
+/// VLIW header-field arithmetic.
+#[derive(Clone, Copy, Debug)]
+pub enum ArithOp {
+    /// `a + b`.
+    Add,
+    /// `a − b`.
+    Sub,
+    /// `a ⊕ b`.
+    Xor,
+    /// `a & b`.
+    And,
+    /// `a | b`.
+    Or,
+    /// `a << b`.
+    Shl,
+}
+
+/// One operation inside a stage.
+#[derive(Clone, Debug)]
+pub enum StageOp {
+    /// Hardware hash unit: `dst ← hash(srcs) mod modulus`.
+    Hash {
+        /// Fields feeding the hash.
+        srcs: Vec<FieldId>,
+        /// Seed selecting the hash function.
+        seed: u64,
+        /// Range of the output.
+        modulus: u64,
+        /// Destination field.
+        dst: FieldId,
+    },
+    /// Guarded VLIW move: `dst ← src`.
+    Move {
+        /// Condition.
+        guard: Guard,
+        /// Destination field.
+        dst: FieldId,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Guarded VLIW arithmetic: `dst ← a op b`.
+    Arith {
+        /// Condition.
+        guard: Guard,
+        /// Destination field.
+        dst: FieldId,
+        /// Left operand.
+        a: Operand,
+        /// Operator.
+        op: ArithOp,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Stateful register access: at most one per register per packet.
+    Register {
+        /// Which register array.
+        reg: RegId,
+        /// Cell index (taken modulo depth — hardware truncates the hash).
+        index: Operand,
+        /// Guarded actions; the first whose guard holds executes. If none
+        /// holds the register is *not* accessed.
+        actions: Vec<RegisterAction>,
+        /// Field receiving the action's output.
+        output_to: Option<FieldId>,
+    },
+}
+
+/// A complete pipeline program with its register state.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// PHV layout.
+    pub alloc: PhvAllocator,
+    registers: Vec<Register>,
+    storage: Vec<Vec<u64>>,
+    stages: Vec<Vec<StageOp>>,
+}
+
+impl Program {
+    /// An empty program using the given PHV layout.
+    pub fn new(alloc: PhvAllocator) -> Self {
+        Self {
+            alloc,
+            registers: Vec::new(),
+            storage: Vec::new(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Declares a register array (zero-initialized).
+    pub fn register(&mut self, name: &str, depth: usize, width_bits: u32) -> RegId {
+        assert!(depth > 0, "register needs cells");
+        assert!((1..=64).contains(&width_bits), "width out of range");
+        self.registers.push(Register {
+            name: name.to_owned(),
+            depth,
+            width_bits,
+        });
+        self.storage.push(vec![0; depth]);
+        RegId(self.registers.len() - 1)
+    }
+
+    /// Appends a stage; returns its index.
+    pub fn stage(&mut self, ops: Vec<StageOp>) -> usize {
+        self.stages.push(ops);
+        self.stages.len() - 1
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Declared registers.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Stages and their ops (resource accounting walks this).
+    pub fn stages(&self) -> &[Vec<StageOp>] {
+        &self.stages
+    }
+
+    /// Raw register contents (tests compare against software structures).
+    pub fn reg_cells(&self, reg: RegId) -> &[u64] {
+        &self.storage[reg.0]
+    }
+
+    /// Handle of the `index`-th declared register (declaration order).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn reg_id(&self, index: usize) -> RegId {
+        assert!(index < self.registers.len(), "register index out of range");
+        RegId(index)
+    }
+
+    /// Overwrites one register cell (control-plane write, e.g. preloading).
+    pub fn write_cell(&mut self, reg: RegId, index: usize, value: u64) {
+        let mask = width_mask(self.registers[reg.0].width_bits);
+        self.storage[reg.0][index] = value & mask;
+    }
+
+    /// Executes one packet through all stages, mutating PHV and registers.
+    pub fn exec(&mut self, phv: &mut Phv) {
+        for stage in &self.stages {
+            for op in stage {
+                match op {
+                    StageOp::Hash {
+                        srcs,
+                        seed,
+                        modulus,
+                        dst,
+                    } => {
+                        let mut acc = p4lru_core::hashing::mix64(*seed);
+                        for f in srcs {
+                            acc = p4lru_core::hashing::hash_u64(acc, phv.get(*f));
+                        }
+                        let v = if *modulus == 0 {
+                            acc
+                        } else {
+                            ((u128::from(acc) * u128::from(*modulus)) >> 64) as u64
+                        };
+                        phv.set(*dst, v);
+                    }
+                    StageOp::Move { guard, dst, src } => {
+                        if guard.eval(phv) {
+                            let v = src.eval(phv);
+                            phv.set(*dst, v);
+                        }
+                    }
+                    StageOp::Arith {
+                        guard,
+                        dst,
+                        a,
+                        op,
+                        b,
+                    } => {
+                        if guard.eval(phv) {
+                            let (a, b) = (a.eval(phv), b.eval(phv));
+                            let v = match op {
+                                ArithOp::Add => a.wrapping_add(b),
+                                ArithOp::Sub => a.wrapping_sub(b),
+                                ArithOp::Xor => a ^ b,
+                                ArithOp::And => a & b,
+                                ArithOp::Or => a | b,
+                                ArithOp::Shl => a.wrapping_shl(b as u32),
+                            };
+                            phv.set(*dst, v);
+                        }
+                    }
+                    StageOp::Register {
+                        reg,
+                        index,
+                        actions,
+                        output_to,
+                    } => {
+                        let Some(action) = actions.iter().find(|a| a.guard.eval(phv)) else {
+                            continue;
+                        };
+                        let r = reg.0;
+                        let depth = self.registers[r].depth as u64;
+                        let mask = width_mask(self.registers[r].width_bits);
+                        let idx = (index.eval(phv) % depth) as usize;
+                        let old = self.storage[r][idx];
+                        let taken = action.pred.eval(old, phv);
+                        let new = if taken {
+                            action.on_true.eval(old, phv, mask)
+                        } else {
+                            action.on_false.eval(old, phv, mask)
+                        };
+                        self.storage[r][idx] = new;
+                        if let Some(f) = output_to {
+                            let out = match action.output {
+                                OutputSel::None => continue,
+                                OutputSel::OldValue => old,
+                                OutputSel::NewValue => new,
+                                OutputSel::PredFlag => u64::from(taken),
+                            };
+                            phv.set(*f, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Bit mask of a cell width.
+fn width_mask(bits: u32) -> u64 {
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constraint checking.
+// ---------------------------------------------------------------------------
+
+/// Static verifier of the data-plane rules (§2.1):
+/// every register is accessed in exactly one stage and by exactly one
+/// `Register` op (so no packet can touch it twice), stage budgets hold,
+/// and every stateful action fits the ALU shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstraintChecker {
+    /// Maximum stages available (after any pipeline folding).
+    pub max_stages: usize,
+    /// Stateful ALUs per stage.
+    pub max_salus_per_stage: usize,
+    /// VLIW instruction slots per stage.
+    pub max_vliw_per_stage: usize,
+    /// Register actions sharable by one stateful ALU.
+    pub max_actions_per_salu: usize,
+}
+
+impl Default for ConstraintChecker {
+    fn default() -> Self {
+        Self {
+            max_stages: 12,
+            max_salus_per_stage: 4,
+            max_vliw_per_stage: 32,
+            max_actions_per_salu: 4,
+        }
+    }
+}
+
+impl ConstraintChecker {
+    /// Checks `program`; returns the first violation.
+    pub fn check(&self, program: &Program) -> Result<(), String> {
+        if program.stage_count() > self.max_stages {
+            return Err(format!(
+                "{} stages exceed the {}-stage budget",
+                program.stage_count(),
+                self.max_stages
+            ));
+        }
+        let mut reg_use: Vec<Option<usize>> = vec![None; program.registers().len()];
+        for (s, ops) in program.stages().iter().enumerate() {
+            let mut salus = 0usize;
+            let mut vliw = 0usize;
+            for op in ops {
+                match op {
+                    StageOp::Register { reg, actions, .. } => {
+                        salus += 1;
+                        if actions.len() > self.max_actions_per_salu {
+                            return Err(format!(
+                                "stage {s}: register '{}' has {} actions (max {})",
+                                program.registers()[reg.0].name,
+                                actions.len(),
+                                self.max_actions_per_salu
+                            ));
+                        }
+                        if let Some(prev) = reg_use[reg.0] {
+                            return Err(format!(
+                                "register '{}' accessed in stage {prev} and again in stage {s} — \
+                                 a packet would traverse it twice",
+                                program.registers()[reg.0].name
+                            ));
+                        }
+                        reg_use[reg.0] = Some(s);
+                    }
+                    StageOp::Move { .. } | StageOp::Arith { .. } => vliw += 1,
+                    StageOp::Hash { .. } => {}
+                }
+            }
+            if salus > self.max_salus_per_stage {
+                return Err(format!(
+                    "stage {s}: {salus} stateful ALUs exceed the per-stage budget of {}",
+                    self.max_salus_per_stage
+                ));
+            }
+            if vliw > self.max_vliw_per_stage {
+                return Err(format!(
+                    "stage {s}: {vliw} VLIW ops exceed {}",
+                    self.max_vliw_per_stage
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_program() -> (Program, FieldId, FieldId, RegId) {
+        let mut alloc = PhvAllocator::new();
+        let key = alloc.field("key");
+        let out = alloc.field("out");
+        let mut p = Program::new(alloc);
+        let reg = p.register("counter", 16, 32);
+        let idx = p.alloc.field("idx");
+        p.stage(vec![StageOp::Hash {
+            srcs: vec![key],
+            seed: 1,
+            modulus: 16,
+            dst: idx,
+        }]);
+        p.stage(vec![StageOp::Register {
+            reg,
+            index: Operand::Field(idx),
+            actions: vec![RegisterAction::simple(
+                RegCompute::Add(Operand::Const(1)),
+                OutputSel::NewValue,
+            )],
+            output_to: Some(out),
+        }]);
+        (p, key, out, reg)
+    }
+
+    #[test]
+    fn counter_program_counts() {
+        let (mut p, key, out, _) = counter_program();
+        for i in 1..=5u64 {
+            let mut phv = p.alloc.phv();
+            phv.set(key, 42);
+            p.exec(&mut phv);
+            assert_eq!(phv.get(out), i);
+        }
+        // A different key hits a (very likely) different cell.
+        let mut phv = p.alloc.phv();
+        phv.set(key, 43);
+        p.exec(&mut phv);
+        assert!(phv.get(out) <= 6);
+    }
+
+    #[test]
+    fn checker_accepts_counter_program() {
+        let (p, ..) = counter_program();
+        ConstraintChecker::default().check(&p).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_double_register_access() {
+        let mut alloc = PhvAllocator::new();
+        let idx = alloc.field("idx");
+        let mut p = Program::new(alloc);
+        let reg = p.register("r", 4, 32);
+        let access = || StageOp::Register {
+            reg,
+            index: Operand::Field(idx),
+            actions: vec![RegisterAction::simple(
+                RegCompute::Add(Operand::Const(1)),
+                OutputSel::None,
+            )],
+            output_to: None,
+        };
+        p.stage(vec![access()]);
+        p.stage(vec![access()]);
+        let err = ConstraintChecker::default().check(&p).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_salu_overflow() {
+        let mut alloc = PhvAllocator::new();
+        let idx = alloc.field("idx");
+        let mut p = Program::new(alloc);
+        let ops: Vec<StageOp> = (0..5)
+            .map(|i| {
+                let reg = p.register(&format!("r{i}"), 4, 32);
+                StageOp::Register {
+                    reg,
+                    index: Operand::Field(idx),
+                    actions: vec![RegisterAction::simple(RegCompute::Keep, OutputSel::None)],
+                    output_to: None,
+                }
+            })
+            .collect();
+        p.stage(ops);
+        let err = ConstraintChecker::default().check(&p).unwrap_err();
+        assert!(err.contains("stateful ALUs"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_stage_overflow() {
+        let alloc = PhvAllocator::new();
+        let mut p = Program::new(alloc);
+        for _ in 0..13 {
+            p.stage(vec![]);
+        }
+        assert!(ConstraintChecker::default().check(&p).is_err());
+    }
+
+    #[test]
+    fn guards_select_register_actions() {
+        let mut alloc = PhvAllocator::new();
+        let mode = alloc.field("mode");
+        let out = alloc.field("out");
+        let mut p = Program::new(alloc);
+        let reg = p.register("r", 1, 32);
+        p.stage(vec![StageOp::Register {
+            reg,
+            index: Operand::Const(0),
+            actions: vec![
+                RegisterAction {
+                    guard: Guard::FieldEq(mode, 1),
+                    pred: RegPredicate::None,
+                    on_true: RegCompute::Add(Operand::Const(10)),
+                    on_false: RegCompute::Keep,
+                    output: OutputSel::NewValue,
+                },
+                RegisterAction {
+                    guard: Guard::FieldEq(mode, 2),
+                    pred: RegPredicate::None,
+                    on_true: RegCompute::Set(Operand::Const(0)),
+                    on_false: RegCompute::Keep,
+                    output: OutputSel::OldValue,
+                },
+            ],
+            output_to: Some(out),
+        }]);
+        let mut phv = p.alloc.phv();
+        phv.set(mode, 1);
+        p.exec(&mut phv);
+        assert_eq!(phv.get(out), 10);
+        // mode=2 resets, returning the old value.
+        let mut phv = p.alloc.phv();
+        phv.set(mode, 2);
+        p.exec(&mut phv);
+        assert_eq!(phv.get(out), 10);
+        assert_eq!(p.reg_cells(reg)[0], 0);
+        // mode=0 matches no action: register untouched, PHV untouched.
+        let mut phv = p.alloc.phv();
+        p.exec(&mut phv);
+        assert_eq!(phv.get(out), 0);
+    }
+
+    #[test]
+    fn width_masking_wraps_small_cells() {
+        let mut alloc = PhvAllocator::new();
+        let out = alloc.field("out");
+        let mut p = Program::new(alloc);
+        let reg = p.register("tiny", 1, 8);
+        p.stage(vec![StageOp::Register {
+            reg,
+            index: Operand::Const(0),
+            actions: vec![RegisterAction::simple(
+                RegCompute::Add(Operand::Const(200)),
+                OutputSel::NewValue,
+            )],
+            output_to: Some(out),
+        }]);
+        let mut phv = p.alloc.phv();
+        p.exec(&mut phv);
+        assert_eq!(phv.get(out), 200);
+        let mut phv = p.alloc.phv();
+        p.exec(&mut phv);
+        assert_eq!(phv.get(out), (200 + 200) & 0xFF);
+    }
+
+    #[test]
+    fn sat_add_clamps_at_width() {
+        let mut alloc = PhvAllocator::new();
+        let out = alloc.field("out");
+        let mut p = Program::new(alloc);
+        let reg = p.register("sat", 1, 8);
+        p.stage(vec![StageOp::Register {
+            reg,
+            index: Operand::Const(0),
+            actions: vec![RegisterAction::simple(
+                RegCompute::SatAdd(Operand::Const(200)),
+                OutputSel::NewValue,
+            )],
+            output_to: Some(out),
+        }]);
+        let mut phv = p.alloc.phv();
+        p.exec(&mut phv);
+        p.exec(&mut phv);
+        assert_eq!(phv.get(out), 255);
+    }
+
+    #[test]
+    fn control_plane_writes_respect_width() {
+        let alloc = PhvAllocator::new();
+        let mut p = Program::new(alloc);
+        let reg = p.register("r", 4, 8);
+        p.write_cell(reg, 2, 0x1FF);
+        assert_eq!(p.reg_cells(reg)[2], 0xFF);
+    }
+}

@@ -1,0 +1,185 @@
+//! Fuzz-style property tests for the pipeline interpreter: arbitrary
+//! (checker-accepted) programs must execute any packet without panicking,
+//! keep register cells within their declared widths, and be deterministic.
+
+use proptest::prelude::*;
+
+use p4lru_pipeline::phv::PhvAllocator;
+use p4lru_pipeline::program::{
+    ArithOp, ConstraintChecker, Guard, Operand, OutputSel, Program, RegCompute, RegPredicate,
+    RegisterAction, StageOp,
+};
+
+#[derive(Clone, Debug)]
+enum OpSpec {
+    Hash {
+        seed: u64,
+        modulus: u64,
+    },
+    Move {
+        guard: u8,
+        con: u64,
+    },
+    Arith {
+        op: u8,
+        a: u64,
+        b: u64,
+    },
+    Register {
+        depth: u8,
+        width: u8,
+        pred: u8,
+        compute: u8,
+        output: u8,
+        con: u64,
+    },
+}
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (any::<u64>(), 1u64..1000).prop_map(|(seed, modulus)| OpSpec::Hash { seed, modulus }),
+        (0u8..5, any::<u64>()).prop_map(|(guard, con)| OpSpec::Move { guard, con }),
+        (0u8..6, any::<u64>(), any::<u64>()).prop_map(|(op, a, b)| OpSpec::Arith { op, a, b }),
+        (1u8..32, 1u8..64, 0u8..5, 0u8..7, 0u8..4, any::<u64>()).prop_map(
+            |(depth, width, pred, compute, output, con)| OpSpec::Register {
+                depth,
+                width,
+                pred,
+                compute,
+                output,
+                con
+            }
+        ),
+    ]
+}
+
+/// Builds a structurally valid program from specs: a handful of fields,
+/// one op per stage (so register single-access holds trivially).
+fn build(specs: &[OpSpec]) -> (Program, Vec<p4lru_pipeline::phv::FieldId>) {
+    let mut alloc = PhvAllocator::new();
+    let fields: Vec<_> = (0..4).map(|i| alloc.field(&format!("f{i}"))).collect();
+    let mut p = Program::new(alloc);
+    for (i, spec) in specs.iter().enumerate() {
+        let f = |k: usize| fields[k % fields.len()];
+        let op = match spec {
+            OpSpec::Hash { seed, modulus } => StageOp::Hash {
+                srcs: vec![f(i), f(i + 1)],
+                seed: *seed,
+                modulus: *modulus,
+                dst: f(i + 2),
+            },
+            OpSpec::Move { guard, con } => StageOp::Move {
+                guard: match guard {
+                    0 => Guard::Always,
+                    1 => Guard::FieldEq(f(i), con % 7),
+                    2 => Guard::FieldNe(f(i), con % 7),
+                    3 => Guard::FieldsEq(f(i), f(i + 1)),
+                    _ => Guard::FieldGe(f(i), con % 100),
+                },
+                dst: f(i + 1),
+                src: Operand::Const(*con),
+            },
+            OpSpec::Arith { op, a, b } => StageOp::Arith {
+                guard: Guard::Always,
+                dst: f(i),
+                a: Operand::Const(*a),
+                op: match op {
+                    0 => ArithOp::Add,
+                    1 => ArithOp::Sub,
+                    2 => ArithOp::Xor,
+                    3 => ArithOp::And,
+                    4 => ArithOp::Or,
+                    _ => ArithOp::Shl,
+                },
+                b: Operand::Const(*b % 64),
+            },
+            OpSpec::Register {
+                depth,
+                width,
+                pred,
+                compute,
+                output,
+                con,
+            } => {
+                let reg = p.register(&format!("r{i}"), *depth as usize, u32::from(*width));
+                let operand = Operand::Const(*con);
+                StageOp::Register {
+                    reg,
+                    index: Operand::Field(f(i)),
+                    actions: vec![RegisterAction {
+                        guard: Guard::Always,
+                        pred: match pred {
+                            0 => RegPredicate::None,
+                            1 => RegPredicate::RegEq(operand),
+                            2 => RegPredicate::RegNe(operand),
+                            3 => RegPredicate::RegGe(operand),
+                            _ => RegPredicate::RegLe(operand),
+                        },
+                        on_true: match compute {
+                            0 => RegCompute::Keep,
+                            1 => RegCompute::Set(operand),
+                            2 => RegCompute::Add(operand),
+                            3 => RegCompute::Sub(operand),
+                            4 => RegCompute::SatAdd(operand),
+                            5 => RegCompute::Xor(operand),
+                            _ => RegCompute::Max(operand),
+                        },
+                        on_false: RegCompute::Keep,
+                        output: match output {
+                            0 => OutputSel::None,
+                            1 => OutputSel::OldValue,
+                            2 => OutputSel::NewValue,
+                            _ => OutputSel::PredFlag,
+                        },
+                    }],
+                    output_to: Some(f(i + 3)),
+                }
+            }
+        };
+        p.stage(vec![op]);
+    }
+    (p, fields)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_programs_execute_safely(
+        specs in proptest::collection::vec(op_spec(), 1..12),
+        inputs in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let (mut program, fields) = build(&specs);
+        // One op per stage, fresh register per op: always checker-clean.
+        prop_assert!(ConstraintChecker::default().check(&program).is_ok());
+        for chunk in inputs.chunks(4) {
+            let mut phv = program.alloc.phv();
+            for (i, &v) in chunk.iter().enumerate() {
+                phv.set(fields[i % fields.len()], v);
+            }
+            program.exec(&mut phv); // must not panic
+        }
+        // Register cells respect their widths.
+        for (r, reg) in program.registers().iter().enumerate() {
+            let mask = if reg.width_bits == 64 { u64::MAX } else { (1u64 << reg.width_bits) - 1 };
+            for &cell in program.reg_cells(program.reg_id(r)) {
+                prop_assert!(cell <= mask, "register {r} cell {cell:#x} exceeds width {}", reg.width_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic(
+        specs in proptest::collection::vec(op_spec(), 1..10),
+        input in any::<u64>(),
+    ) {
+        let run = || {
+            let (mut program, fields) = build(&specs);
+            let mut phv = program.alloc.phv();
+            phv.set(fields[0], input);
+            program.exec(&mut phv);
+            (0..4).map(|i| phv.get(fields[i])).collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: the pipeline-model P4LRU3 array is observationally
+//! identical to the software unit array for arbitrary key/value sequences,
+//! and register state always decodes to a valid cache.
+
+use proptest::prelude::*;
+
+use p4lru_core::dfa::{CacheState, Dfa3};
+use p4lru_core::unit::{LruUnit, Outcome};
+use p4lru_pipeline::layouts::{build_p4lru3_array, ArrayOutcome, ValueMode};
+use p4lru_pipeline::program::ConstraintChecker;
+
+fn unit_index(seed: u64, units: usize, key: u32) -> usize {
+    let acc = p4lru_core::hashing::mix64(seed);
+    let h = p4lru_core::hashing::hash_u64(acc, u64::from(key));
+    ((u128::from(h) * units as u128) >> 64) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipeline_equals_software(
+        units in 1usize..6,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((1u32..30, any::<u32>()), 1..300),
+    ) {
+        let mut hw = build_p4lru3_array(units, seed, ValueMode::Overwrite);
+        ConstraintChecker::default().check(&hw.program).unwrap();
+        let mut sw: Vec<LruUnit<u32, u32, 3, Dfa3>> =
+            (0..units).map(|_| LruUnit::new()).collect();
+        for (key, value) in ops {
+            let got = hw.process(key, value);
+            let idx = unit_index(seed, units, key);
+            let want = sw[idx].update(key, value, |s, v| *s = v);
+            match (got, want) {
+                (ArrayOutcome::Hit { pos, .. }, Outcome::Hit { pos: wp }) => {
+                    prop_assert_eq!(pos, wp)
+                }
+                (ArrayOutcome::Inserted, Outcome::Inserted) => {}
+                (
+                    ArrayOutcome::Evicted { key: ek, value: ev },
+                    Outcome::Evicted { key: wk, value: wv },
+                ) => {
+                    prop_assert_eq!(ek, wk);
+                    prop_assert_eq!(ev, wv);
+                }
+                other => prop_assert!(false, "diverged: {:?}", other),
+            }
+            // State registers always hold valid Table 1 codes.
+            for &cell in hw.program.reg_cells(hw.state_reg) {
+                prop_assert!(cell <= 5, "state register corrupted: {}", cell);
+            }
+        }
+        // Final contents agree unit by unit.
+        for (i, unit) in sw.iter().enumerate() {
+            let code = hw.program.reg_cells(hw.state_reg)[i] as u8;
+            prop_assert_eq!(Dfa3::from_code(code).unwrap().as_perm(), unit.state_perm());
+        }
+    }
+
+    #[test]
+    fn checker_passes_for_any_size(units in 1usize..2000, seed in any::<u64>()) {
+        let layout = build_p4lru3_array(units, seed, ValueMode::Accumulate);
+        prop_assert!(ConstraintChecker::default().check(&layout.program).is_ok());
+        prop_assert_eq!(layout.program.stage_count(), 10);
+    }
+}

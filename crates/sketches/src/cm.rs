@@ -1,0 +1,213 @@
+//! Count-Min and conservative-update (CU) sketches as LruMon filters.
+//!
+//! The paper's testbed uses the CM sketch as the LruMon filter (§4.1) and
+//! names the "approximate CU sketch" as a further alternative. Both reuse
+//! the resettable rows of [`crate::row`].
+
+use crate::filter::FlowFilter;
+use crate::row::ResettableRow;
+
+/// Classic d×w Count-Min with periodic resets.
+#[derive(Clone, Debug)]
+pub struct CountMin {
+    rows: Vec<ResettableRow>,
+}
+
+impl CountMin {
+    /// `depth` rows of `width` counters of `width_bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize, width: usize, width_bits: u8, reset_ns: u64, seed: u64) -> Self {
+        assert!(depth > 0, "CM needs at least one row");
+        Self {
+            rows: (0..depth)
+                .map(|i| {
+                    ResettableRow::new(
+                        width,
+                        width_bits,
+                        reset_ns,
+                        p4lru_core::hashing::hash_u64(seed, i as u64),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Two 32-bit rows — the shape used by the LruMon testbed harness.
+    pub fn lrumon_shape(width: usize, reset_ns: u64, seed: u64) -> Self {
+        Self::new(2, width, 32, reset_ns, seed)
+    }
+}
+
+impl FlowFilter for CountMin {
+    fn add(&mut self, flow: u64, len: u32, now_ns: u64) -> u64 {
+        self.rows
+            .iter_mut()
+            .map(|r| u64::from(r.add(flow, len, now_ns)))
+            .min()
+            .expect("CM has rows")
+    }
+
+    fn estimate(&self, flow: u64, now_ns: u64) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| u64::from(r.read(flow, now_ns)))
+            .min()
+            .expect("CM has rows")
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.rows.iter().map(ResettableRow::memory_bytes).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "CM"
+    }
+}
+
+/// Conservative-update sketch: each packet raises only the counters that
+/// would otherwise fall below the new estimate, halving over-estimation in
+/// practice at identical memory.
+#[derive(Clone, Debug)]
+pub struct CuSketch {
+    rows: Vec<ResettableRow>,
+}
+
+impl CuSketch {
+    /// `depth` rows of `width` counters of `width_bits` bits.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize, width: usize, width_bits: u8, reset_ns: u64, seed: u64) -> Self {
+        assert!(depth > 0, "CU needs at least one row");
+        Self {
+            rows: (0..depth)
+                .map(|i| {
+                    // Same row-seed derivation as CountMin so that a CU and
+                    // a CM built from one seed share hash functions — this
+                    // makes per-counter dominance (CU ≤ CM) hold exactly.
+                    ResettableRow::new(
+                        width,
+                        width_bits,
+                        reset_ns,
+                        p4lru_core::hashing::hash_u64(seed, i as u64),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl FlowFilter for CuSketch {
+    fn add(&mut self, flow: u64, len: u32, now_ns: u64) -> u64 {
+        // Current min (after epoch resets are applied via read-with-reset,
+        // which `raise_to` performs), then raise all rows to min + len.
+        let current = self
+            .rows
+            .iter()
+            .map(|r| u64::from(r.read(flow, now_ns)))
+            .min()
+            .expect("CU has rows");
+        let target = current
+            .saturating_add(u64::from(len))
+            .min(u64::from(u32::MAX)) as u32;
+        self.rows
+            .iter_mut()
+            .map(|r| u64::from(r.raise_to(flow, target, now_ns)))
+            .min()
+            .expect("CU has rows")
+    }
+
+    fn estimate(&self, flow: u64, now_ns: u64) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| u64::from(r.read(flow, now_ns)))
+            .min()
+            .expect("CU has rows")
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.rows.iter().map(ResettableRow::memory_bytes).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "CU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(filter: &mut dyn FlowFilter, flows: u64, packets: usize, seed: u64) -> Vec<u64> {
+        let mut truth = vec![0u64; flows as usize];
+        let mut x = seed;
+        for _ in 0..packets {
+            x = p4lru_core::hashing::mix64(x);
+            let flow = x % flows;
+            let len = 100;
+            truth[flow as usize] += 100;
+            filter.add(flow, len, 0);
+        }
+        truth
+    }
+
+    #[test]
+    fn cm_never_underestimates() {
+        let mut cm = CountMin::new(2, 256, 32, 10_000_000, 1);
+        let truth = drive(&mut cm, 500, 10_000, 3);
+        for (flow, &want) in truth.iter().enumerate() {
+            let est = cm.estimate(flow as u64, 0);
+            assert!(est >= want, "flow {flow}: {est} < {want}");
+        }
+    }
+
+    #[test]
+    fn cu_never_underestimates_and_beats_cm() {
+        let mut cm = CountMin::new(2, 256, 32, 10_000_000, 1);
+        let mut cu = CuSketch::new(2, 256, 32, 10_000_000, 1);
+        let truth_cm = drive(&mut cm, 500, 10_000, 3);
+        let truth_cu = drive(&mut cu, 500, 10_000, 3);
+        assert_eq!(truth_cm, truth_cu);
+        let (mut err_cm, mut err_cu) = (0u64, 0u64);
+        for (flow, &want) in truth_cu.iter().enumerate() {
+            let est = cu.estimate(flow as u64, 0);
+            assert!(est >= want, "flow {flow}: {est} < {want}");
+            err_cu += est - want;
+            err_cm += cm.estimate(flow as u64, 0) - want;
+        }
+        assert!(err_cu <= err_cm, "CU error {err_cu} > CM error {err_cm}");
+    }
+
+    #[test]
+    fn single_flow_is_exact() {
+        let mut cm = CountMin::new(2, 64, 32, 10_000_000, 2);
+        for _ in 0..10 {
+            cm.add(42, 150, 0);
+        }
+        assert_eq!(cm.estimate(42, 0), 1500);
+    }
+
+    #[test]
+    fn reset_clears_both_sketches() {
+        let mut cm = CountMin::new(2, 64, 32, 1_000_000, 2);
+        let mut cu = CuSketch::new(2, 64, 32, 1_000_000, 2);
+        cm.add(1, 500, 0);
+        cu.add(1, 500, 0);
+        assert_eq!(cm.estimate(1, 1_000_001), 0);
+        assert_eq!(cu.estimate(1, 1_000_001), 0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let cm = CountMin::new(2, 100, 32, 1_000, 0);
+        assert_eq!(cm.memory_bytes(), 2 * 100 * 5); // 4B counter + 1B epoch
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CountMin::lrumon_shape(8, 1_000, 0).name(), "CM");
+        assert_eq!(CuSketch::new(1, 8, 32, 1_000, 0).name(), "CU");
+    }
+}

@@ -1,0 +1,165 @@
+//! CocoSketch: unbiased key/count replacement in a single array.
+//!
+//! Each bucket holds one `(key, count)` pair. Every packet adds its bytes to
+//! the bucket count; a colliding key takes the bucket over with probability
+//! `len / count`, which makes the per-key estimate *unbiased* (CocoSketch's
+//! core property). The cache-policy form lives in
+//! `p4lru_core::policies::CocoCache`; this is the measuring sketch.
+
+use crate::filter::{epoch_of, FlowFilter};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bucket {
+    key: u64,
+    count: u64,
+    occupied: bool,
+    epoch: u8,
+}
+
+/// Single-array CocoSketch with periodic resets.
+#[derive(Clone, Debug)]
+pub struct CocoSketch {
+    buckets: Vec<Bucket>,
+    seed: u64,
+    reset_ns: u64,
+    /// Deterministic coin-flip state (splitmix walk).
+    rng_state: u64,
+}
+
+impl CocoSketch {
+    /// `buckets` buckets, reset every `reset_ns`.
+    ///
+    /// # Panics
+    /// Panics on zero sizes or period.
+    pub fn new(buckets: usize, reset_ns: u64, seed: u64) -> Self {
+        assert!(buckets > 0, "needs buckets");
+        assert!(reset_ns > 0, "reset period must be positive");
+        Self {
+            buckets: vec![Bucket::default(); buckets],
+            seed,
+            reset_ns,
+            rng_state: p4lru_core::hashing::mix64(seed ^ 0xC0C0_5EED),
+        }
+    }
+
+    fn index(&self, flow: u64) -> usize {
+        let h = p4lru_core::hashing::hash_u64(self.seed, flow);
+        (((u128::from(h)) * (self.buckets.len() as u128)) >> 64) as usize
+    }
+
+    fn coin(&mut self, num: u64, den: u64) -> bool {
+        self.rng_state = p4lru_core::hashing::mix64(self.rng_state);
+        den > 0 && (self.rng_state % den) < num
+    }
+}
+
+impl FlowFilter for CocoSketch {
+    fn add(&mut self, flow: u64, len: u32, now_ns: u64) -> u64 {
+        let i = self.index(flow);
+        let e = epoch_of(now_ns, self.reset_ns);
+        if self.buckets[i].epoch != e {
+            self.buckets[i] = Bucket {
+                epoch: e,
+                ..Bucket::default()
+            };
+        }
+        let len64 = u64::from(len);
+        if !self.buckets[i].occupied {
+            self.buckets[i] = Bucket {
+                key: flow,
+                count: len64,
+                occupied: true,
+                epoch: e,
+            };
+            return len64;
+        }
+        self.buckets[i].count += len64;
+        let count = self.buckets[i].count;
+        if self.buckets[i].key == flow {
+            count
+        } else if self.coin(len64, count) {
+            self.buckets[i].key = flow;
+            count
+        } else {
+            0
+        }
+    }
+
+    fn estimate(&self, flow: u64, now_ns: u64) -> u64 {
+        let i = self.index(flow);
+        let b = &self.buckets[i];
+        if b.epoch == epoch_of(now_ns, self.reset_ns) && b.occupied && b.key == flow {
+            b.count
+        } else {
+            0
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.buckets.len() * 17 // 8B key + 8B count + 1B epoch
+    }
+
+    fn name(&self) -> &'static str {
+        "Coco"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_flow_exact() {
+        let mut c = CocoSketch::new(16, 10_000_000, 1);
+        for _ in 0..4 {
+            c.add(9, 250, 0);
+        }
+        assert_eq!(c.estimate(9, 0), 1000);
+    }
+
+    #[test]
+    fn estimates_are_unbiased_over_seeds() {
+        // Two colliding flows, A with 900 bytes and B with 100: the expected
+        // estimate of each equals its true size when averaged over runs.
+        let trials = 2000;
+        let (mut sum_a, mut sum_b) = (0u64, 0u64);
+        for seed in 0..trials {
+            let mut c = CocoSketch::new(1, 10_000_000, seed);
+            let mut x = seed;
+            for _ in 0..100 {
+                x = p4lru_core::hashing::mix64(x);
+                let flow = if x % 10 == 0 { 2 } else { 1 };
+                c.add(flow, 10, 0);
+            }
+            sum_a += c.estimate(1, 0);
+            sum_b += c.estimate(2, 0);
+        }
+        let mean_a = sum_a as f64 / trials as f64;
+        let mean_b = sum_b as f64 / trials as f64;
+        assert!((mean_a - 900.0).abs() < 60.0, "E[A] = {mean_a}");
+        assert!((mean_b - 100.0).abs() < 40.0, "E[B] = {mean_b}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = CocoSketch::new(8, 1_000_000, 2);
+        c.add(5, 400, 0);
+        assert_eq!(c.estimate(5, 1_000_001), 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut c = CocoSketch::new(4, 10_000_000, seed);
+            let mut out = Vec::new();
+            let mut x = 7u64;
+            for _ in 0..500 {
+                x = p4lru_core::hashing::mix64(x);
+                out.push(c.add(x % 20, 100, 0));
+            }
+            out
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

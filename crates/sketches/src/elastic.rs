@@ -1,0 +1,203 @@
+//! Elastic sketch: vote-based heavy part backed by a Count-Min light part.
+//!
+//! The comparison baseline "Elastic" of §4.2 uses this sketch's replacement
+//! rule (see `p4lru_core::policies::ElasticCache` for the cache-policy
+//! form); the full sketch here also *measures* flow sizes, which the
+//! sketch-ops benchmarks and the filter ablation exercise.
+
+use crate::cm::CountMin;
+use crate::filter::{epoch_of, FlowFilter};
+
+/// Vote threshold λ of the original Elastic sketch.
+pub const LAMBDA: u32 = 8;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bucket {
+    key: u64,
+    vote_pos: u32,
+    vote_neg: u32,
+    /// Did this incumbent ever shed bytes to the light part?
+    flag: bool,
+    occupied: bool,
+    epoch: u8,
+}
+
+/// Elastic sketch with periodic resets.
+#[derive(Clone, Debug)]
+pub struct ElasticSketch {
+    heavy: Vec<Bucket>,
+    light: CountMin,
+    seed: u64,
+    reset_ns: u64,
+}
+
+impl ElasticSketch {
+    /// `buckets` heavy buckets over a `light_width` Count-Min light part.
+    ///
+    /// # Panics
+    /// Panics on zero sizes or period.
+    pub fn new(buckets: usize, light_width: usize, reset_ns: u64, seed: u64) -> Self {
+        assert!(buckets > 0, "heavy part needs buckets");
+        Self {
+            heavy: vec![Bucket::default(); buckets],
+            light: CountMin::new(1, light_width, 32, reset_ns, seed ^ 0xE1A5),
+            seed,
+            reset_ns,
+        }
+    }
+
+    fn index(&self, flow: u64) -> usize {
+        let h = p4lru_core::hashing::hash_u64(self.seed, flow);
+        (((u128::from(h)) * (self.heavy.len() as u128)) >> 64) as usize
+    }
+
+    fn refresh(&mut self, i: usize, now_ns: u64) {
+        let e = epoch_of(now_ns, self.reset_ns);
+        if self.heavy[i].epoch != e {
+            self.heavy[i] = Bucket {
+                epoch: e,
+                ..Bucket::default()
+            };
+        }
+    }
+}
+
+impl FlowFilter for ElasticSketch {
+    fn add(&mut self, flow: u64, len: u32, now_ns: u64) -> u64 {
+        let i = self.index(flow);
+        self.refresh(i, now_ns);
+        let b = &mut self.heavy[i];
+        if !b.occupied {
+            *b = Bucket {
+                key: flow,
+                vote_pos: len,
+                vote_neg: 0,
+                flag: false,
+                occupied: true,
+                epoch: b.epoch,
+            };
+            return u64::from(len);
+        }
+        if b.key == flow {
+            b.vote_pos = b.vote_pos.saturating_add(len);
+            let flagged = b.flag;
+            let pos = u64::from(b.vote_pos);
+            return if flagged {
+                pos + self.light.estimate(flow, now_ns)
+            } else {
+                pos
+            };
+        }
+        b.vote_neg = b.vote_neg.saturating_add(len);
+        if b.vote_neg >= b.vote_pos.saturating_mul(LAMBDA) {
+            // Evict incumbent into the light part; newcomer takes over
+            // flagged (its earlier bytes live in the light part).
+            let old_key = b.key;
+            let old_pos = b.vote_pos;
+            *b = Bucket {
+                key: flow,
+                vote_pos: len,
+                vote_neg: 0,
+                flag: true,
+                occupied: true,
+                epoch: b.epoch,
+            };
+            self.light.add(old_key, old_pos, now_ns);
+            let prior = self.light.estimate(flow, now_ns);
+            u64::from(len) + prior
+        } else {
+            self.light.add(flow, len, now_ns)
+        }
+    }
+
+    fn estimate(&self, flow: u64, now_ns: u64) -> u64 {
+        let i = self.index(flow);
+        let b = &self.heavy[i];
+        let fresh = b.epoch == epoch_of(now_ns, self.reset_ns);
+        if fresh && b.occupied && b.key == flow {
+            let pos = u64::from(b.vote_pos);
+            if b.flag {
+                pos + self.light.estimate(flow, now_ns)
+            } else {
+                pos
+            }
+        } else {
+            self.light.estimate(flow, now_ns)
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // key 8B + votes 8B + flag/epoch 2B per bucket.
+        self.heavy.len() * 18 + self.light.memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "Elastic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_flow_is_exact() {
+        let mut e = ElasticSketch::new(16, 64, 10_000_000, 1);
+        for _ in 0..5 {
+            e.add(7, 100, 0);
+        }
+        assert_eq!(e.estimate(7, 0), 500);
+    }
+
+    #[test]
+    fn heavy_incumbent_resists_light_traffic() {
+        let mut e = ElasticSketch::new(1, 64, 10_000_000, 2);
+        e.add(1, 1000, 0);
+        // A smattering of other flows votes negative but loses.
+        for f in 2..9u64 {
+            e.add(f, 100, 0);
+        }
+        assert_eq!(e.estimate(1, 0), 1000);
+        // The losers were counted in the light part — never lost.
+        for f in 2..9u64 {
+            assert!(e.estimate(f, 0) >= 100, "flow {f} undercounted");
+        }
+    }
+
+    #[test]
+    fn takeover_moves_incumbent_to_light_part() {
+        let mut e = ElasticSketch::new(1, 64, 10_000_000, 3);
+        e.add(1, 10, 0);
+        // 8×10 = 80 negative bytes trigger the λ = 8 takeover.
+        e.add(2, 80, 0);
+        assert!(
+            e.estimate(2, 0) >= 80,
+            "newcomer undercounted after takeover"
+        );
+        assert!(e.estimate(1, 0) >= 10, "evicted incumbent lost its bytes");
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut e = ElasticSketch::new(32, 256, 10_000_000, 4);
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 9u64;
+        for _ in 0..5000 {
+            x = p4lru_core::hashing::mix64(x);
+            let flow = x % 200;
+            *truth.entry(flow).or_insert(0u64) += 100;
+            e.add(flow, 100, 0);
+        }
+        for (&flow, &want) in &truth {
+            let est = e.estimate(flow, 0);
+            assert!(est >= want, "flow {flow}: {est} < {want}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_estimates() {
+        let mut e = ElasticSketch::new(8, 64, 1_000_000, 5);
+        e.add(3, 700, 0);
+        assert_eq!(e.estimate(3, 1_000_001), 0);
+    }
+}

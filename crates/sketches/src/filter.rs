@@ -1,0 +1,43 @@
+//! The flow-filter interface LruMon plugs sketches into.
+
+/// A byte-count estimator over flows with periodic per-counter resets.
+///
+/// Flows are identified by a 64-bit hash (the caller hashes its 5-tuple);
+/// implementations derive per-row indices from it with independent seeds.
+pub trait FlowFilter {
+    /// Credits `len` bytes to `flow` at absolute time `now_ns` and returns
+    /// the *estimated* byte count of the flow in the current reset interval
+    /// (including this packet). Estimates never under-count within an
+    /// interval.
+    fn add(&mut self, flow: u64, len: u32, now_ns: u64) -> u64;
+
+    /// Read-only estimate at `now_ns` (counters whose epoch expired read 0).
+    fn estimate(&self, flow: u64, now_ns: u64) -> u64;
+
+    /// Memory footprint in bytes (counters + epoch stamps), for
+    /// equal-memory comparisons.
+    fn memory_bytes(&self) -> usize;
+
+    /// Label used in figure output.
+    fn name(&self) -> &'static str;
+}
+
+/// Epoch number of `now_ns` under a reset period (8-bit wrap, like the
+/// paper's 8-bit timestamps).
+#[inline]
+pub fn epoch_of(now_ns: u64, reset_ns: u64) -> u8 {
+    ((now_ns / reset_ns) & 0xFF) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_advances_per_period_and_wraps() {
+        assert_eq!(epoch_of(0, 1000), 0);
+        assert_eq!(epoch_of(999, 1000), 0);
+        assert_eq!(epoch_of(1000, 1000), 1);
+        assert_eq!(epoch_of(256_000, 1000), 0); // 8-bit wrap
+    }
+}

@@ -1,0 +1,40 @@
+//! # p4lru-sketches
+//!
+//! Data-plane sketches used by LruMon (paper §3.3) and the comparison
+//! baselines.
+//!
+//! LruMon's front stage is a *mouse-flow filter*: a sketch of periodically
+//! reset counters estimates each flow's bytes in the current interval, and
+//! only flows crossing a threshold `L` proceed to the P4LRU cache. The
+//! paper deploys the TowerSketch and notes CM and approximate-CU filters as
+//! drop-in alternatives — all three live here behind the
+//! [`filter::FlowFilter`] trait:
+//!
+//! * [`tower::TowerSketch`] — rows of different counter widths (8-bit and
+//!   16-bit by default); saturated counters are treated as ∞ in the min;
+//! * [`cm::CountMin`] — classic d×w Count-Min;
+//! * [`cm::CuSketch`] — conservative update: only minimal counters grow;
+//! * [`elastic::ElasticSketch`] — heavy part (per-bucket incumbent with
+//!   votes) backed by a CM light part;
+//! * [`coco::CocoSketch`] — single-array unbiased key/count replacement.
+//!
+//! Every counter carries an 8-bit epoch stamp for the millisecond-scale
+//! periodic resets the paper describes, implemented lazily (a counter is
+//! zeroed when first touched in a new epoch), which is exactly how the
+//! switch implements it without a scanning thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cm;
+pub mod coco;
+pub mod elastic;
+pub mod filter;
+pub mod row;
+pub mod tower;
+
+pub use cm::{CountMin, CuSketch};
+pub use coco::CocoSketch;
+pub use elastic::ElasticSketch;
+pub use filter::FlowFilter;
+pub use tower::TowerSketch;

@@ -1,0 +1,180 @@
+//! A row of periodically-reset saturating counters.
+//!
+//! Each counter pairs with an 8-bit epoch stamp (the paper: "every counter
+//! is paired with an 8-bit timestamp, facilitating periodic counter resets,
+//! typically on a millisecond scale"). Resets happen lazily on first touch
+//! in a new epoch — no scanning thread, matching the data-plane reality.
+
+use crate::filter::epoch_of;
+
+/// One counter row: `width_bits`-wide saturating counters with lazy reset.
+#[derive(Clone, Debug)]
+pub struct ResettableRow {
+    counters: Vec<u32>,
+    epochs: Vec<u8>,
+    max: u32,
+    width_bits: u8,
+    seed: u64,
+    reset_ns: u64,
+}
+
+impl ResettableRow {
+    /// A row of `len` counters of `width_bits` bits (≤ 32), reset every
+    /// `reset_ns`, indexed by a hash derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics on zero length/period or unsupported width.
+    pub fn new(len: usize, width_bits: u8, reset_ns: u64, seed: u64) -> Self {
+        assert!(len > 0, "row needs counters");
+        assert!(
+            (1..=32).contains(&width_bits),
+            "width {width_bits} out of range"
+        );
+        assert!(reset_ns > 0, "reset period must be positive");
+        let max = if width_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width_bits) - 1
+        };
+        Self {
+            counters: vec![0; len],
+            epochs: vec![0; len],
+            max,
+            width_bits,
+            seed,
+            reset_ns,
+        }
+    }
+
+    /// Counter count.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Is the row empty? (Never true by construction; present for API
+    /// completeness.)
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The saturation value.
+    pub fn saturation(&self) -> u32 {
+        self.max
+    }
+
+    /// Counter width in bits.
+    pub fn width_bits(&self) -> u8 {
+        self.width_bits
+    }
+
+    /// Bytes of state: counters (rounded up to whole bytes) + 1-byte epochs.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.len() * ((self.width_bits as usize).div_ceil(8) + 1)
+    }
+
+    #[inline]
+    fn index(&self, flow: u64) -> usize {
+        let h = p4lru_core::hashing::hash_u64(self.seed, flow);
+        (((u128::from(h)) * (self.counters.len() as u128)) >> 64) as usize
+    }
+
+    /// Adds `len` to the flow's counter (resetting first if the epoch
+    /// turned) and returns the post-add value.
+    pub fn add(&mut self, flow: u64, len: u32, now_ns: u64) -> u32 {
+        let i = self.index(flow);
+        let e = epoch_of(now_ns, self.reset_ns);
+        if self.epochs[i] != e {
+            self.epochs[i] = e;
+            self.counters[i] = 0;
+        }
+        self.counters[i] = self.counters[i].saturating_add(len).min(self.max);
+        self.counters[i]
+    }
+
+    /// Read-only counter value at `now_ns` (0 if the epoch expired).
+    pub fn read(&self, flow: u64, now_ns: u64) -> u32 {
+        let i = self.index(flow);
+        if self.epochs[i] != epoch_of(now_ns, self.reset_ns) {
+            0
+        } else {
+            self.counters[i]
+        }
+    }
+
+    /// Conservative-update write: raises the counter to `target` if below
+    /// (after epoch reset), returns the resulting value.
+    pub fn raise_to(&mut self, flow: u64, target: u32, now_ns: u64) -> u32 {
+        let i = self.index(flow);
+        let e = epoch_of(now_ns, self.reset_ns);
+        if self.epochs[i] != e {
+            self.epochs[i] = e;
+            self.counters[i] = 0;
+        }
+        self.counters[i] = self.counters[i].max(target.min(self.max));
+        self.counters[i]
+    }
+
+    /// Is the flow's counter saturated (treated as ∞ in Tower's min)?
+    pub fn is_saturated(&self, flow: u64, now_ns: u64) -> bool {
+        self.read(flow, now_ns) >= self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_within_epoch() {
+        let mut r = ResettableRow::new(64, 16, 1_000_000, 1);
+        assert_eq!(r.add(7, 100, 0), 100);
+        assert_eq!(r.add(7, 50, 500_000), 150);
+        assert_eq!(r.read(7, 900_000), 150);
+    }
+
+    #[test]
+    fn epoch_turn_resets_lazily() {
+        let mut r = ResettableRow::new(64, 16, 1_000_000, 1);
+        r.add(7, 100, 0);
+        // New epoch: read sees 0 even before any write.
+        assert_eq!(r.read(7, 1_000_001,), 0);
+        // And the next add starts fresh.
+        assert_eq!(r.add(7, 30, 1_000_001), 30);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let mut r = ResettableRow::new(8, 8, 1_000, 2);
+        assert_eq!(r.saturation(), 255);
+        r.add(1, 200, 0);
+        assert_eq!(r.add(1, 200, 0), 255);
+        assert!(r.is_saturated(1, 0));
+    }
+
+    #[test]
+    fn raise_to_is_monotone() {
+        let mut r = ResettableRow::new(8, 16, 1_000, 3);
+        assert_eq!(r.raise_to(5, 100, 0), 100);
+        assert_eq!(r.raise_to(5, 50, 0), 100); // no lowering
+        assert_eq!(r.raise_to(5, 300, 0), 300);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let r8 = ResettableRow::new(100, 8, 1_000, 0);
+        assert_eq!(r8.memory_bytes(), 200); // 1B counter + 1B epoch
+        let r16 = ResettableRow::new(100, 16, 1_000, 0);
+        assert_eq!(r16.memory_bytes(), 300);
+    }
+
+    #[test]
+    fn different_flows_mostly_different_counters() {
+        let mut r = ResettableRow::new(1024, 32, 1_000_000, 4);
+        for f in 0..100u64 {
+            r.add(f, 1, 0);
+        }
+        // With 100 flows over 1024 counters, ≈(1−1/1024)⁹⁹ ≈ 91% stay clean.
+        let loaded = (0..100u64).filter(|&f| r.read(f, 0) == 1).count();
+        assert!(loaded > 80, "only {loaded} flows kept clean counters");
+    }
+}

@@ -1,0 +1,198 @@
+//! TowerSketch: counter rows of increasing width and decreasing count.
+//!
+//! The paper's LruMon configuration (§3.3): `C₁` has 2²⁰ 8-bit counters,
+//! `C₂` has 2¹⁹ 16-bit counters; the estimate is the minimum over
+//! *non-saturated* counters (a saturated narrow counter reads as ∞ — the
+//! tower property that lets 8-bit counters coexist with elephant flows).
+
+use crate::filter::FlowFilter;
+use crate::row::ResettableRow;
+
+/// A TowerSketch over periodically-reset rows.
+///
+/// ```
+/// use p4lru_sketches::{FlowFilter, TowerSketch};
+///
+/// let mut tower = TowerSketch::paper_shape(4, 10_000_000, 1); // 10 ms resets
+/// let est = tower.add(0xF10, 1500, 0);
+/// assert!(est >= 1500);          // never under-counts in an interval
+/// assert_eq!(tower.estimate(0xF10, 10_000_001), 0); // next interval: reset
+/// ```
+#[derive(Clone, Debug)]
+pub struct TowerSketch {
+    rows: Vec<ResettableRow>,
+}
+
+impl TowerSketch {
+    /// The paper's LruMon shape scaled by `scale` (1 = 2²⁰ + 2¹⁹ counters):
+    /// row 1 is 8-bit, row 2 is 16-bit, half the length.
+    ///
+    /// # Panics
+    /// Panics if `scale == 0`.
+    pub fn paper_shape(scale: usize, reset_ns: u64, seed: u64) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        let r1 = (scale << 10).max(8); // scale × 1024 8-bit counters
+        let r2 = (r1 / 2).max(4); // half as many 16-bit counters
+        Self::new(vec![(r1, 8), (r2, 16)], reset_ns, seed)
+    }
+
+    /// A tower with explicit `(len, width_bits)` rows.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty.
+    pub fn new(rows: Vec<(usize, u8)>, reset_ns: u64, seed: u64) -> Self {
+        assert!(!rows.is_empty(), "tower needs at least one row");
+        Self {
+            rows: rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (len, bits))| {
+                    ResettableRow::new(
+                        len,
+                        bits,
+                        reset_ns,
+                        p4lru_core::hashing::hash_u64(seed, i as u64),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl FlowFilter for TowerSketch {
+    fn add(&mut self, flow: u64, len: u32, now_ns: u64) -> u64 {
+        let mut est = u64::MAX;
+        for row in &mut self.rows {
+            let v = row.add(flow, len, now_ns);
+            if v < row.saturation() {
+                est = est.min(u64::from(v));
+            }
+        }
+        if est == u64::MAX {
+            // Every row saturated: report the widest row's saturation value
+            // (the best lower bound available).
+            self.rows
+                .iter()
+                .map(|r| u64::from(r.saturation()))
+                .max()
+                .expect("tower has rows")
+        } else {
+            est
+        }
+    }
+
+    fn estimate(&self, flow: u64, now_ns: u64) -> u64 {
+        let mut est = u64::MAX;
+        for row in &self.rows {
+            let v = row.read(flow, now_ns);
+            if v < row.saturation() {
+                est = est.min(u64::from(v));
+            }
+        }
+        if est == u64::MAX {
+            self.rows
+                .iter()
+                .map(|r| u64::from(r.saturation()))
+                .max()
+                .unwrap_or(0)
+        } else {
+            est
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.rows.iter().map(ResettableRow::memory_bytes).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "Tower"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tower() -> TowerSketch {
+        TowerSketch::new(vec![(1024, 8), (512, 16)], 10_000_000, 1)
+    }
+
+    #[test]
+    fn never_underestimates_within_epoch() {
+        let mut t = small_tower();
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 5u64;
+        for _ in 0..5000 {
+            x = p4lru_core::hashing::mix64(x);
+            let flow = x % 300;
+            let len = (x >> 8) as u32 % 200 + 40;
+            *truth.entry(flow).or_insert(0u64) += u64::from(len);
+            let est = t.add(flow, len, 0);
+            let want = truth[&flow];
+            // Tower estimates: ≥ truth unless clamped by full saturation.
+            assert!(
+                est >= want.min(65_535),
+                "flow {flow}: est {est} < truth {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_row_saturation_defers_to_wide_row() {
+        let mut t = TowerSketch::new(vec![(4, 8), (4, 16)], 10_000_000, 2);
+        // Single flow: drive past the 8-bit cap; the 16-bit row answers.
+        let mut last = 0;
+        for _ in 0..10 {
+            last = t.add(9, 100, 0);
+        }
+        assert_eq!(last, 1000);
+        assert!(last > 255, "estimate stuck at the 8-bit cap");
+    }
+
+    #[test]
+    fn reset_period_clears_estimates() {
+        let mut t = small_tower();
+        t.add(5, 1000, 0);
+        assert!(t.estimate(5, 0) >= 1000);
+        // Next epoch (reset 10 ms): estimate reads 0.
+        assert_eq!(t.estimate(5, 10_000_001), 0);
+        assert_eq!(t.add(5, 100, 10_000_001), 100);
+    }
+
+    #[test]
+    fn paper_shape_has_two_rows_with_expected_memory() {
+        let t = TowerSketch::paper_shape(4, 10_000_000, 3);
+        assert_eq!(t.row_count(), 2);
+        // 4096×(1+1) + 2048×(2+1) = 8192 + 6144.
+        assert_eq!(t.memory_bytes(), 8192 + 6144);
+    }
+
+    #[test]
+    fn estimate_is_read_only() {
+        let mut t = small_tower();
+        t.add(1, 50, 0);
+        let a = t.estimate(1, 0);
+        let b = t.estimate(1, 0);
+        assert_eq!(a, b);
+        assert_eq!(a, 50);
+    }
+
+    #[test]
+    fn collision_inflates_but_min_helps() {
+        // With 2 rows, a flow colliding in one row is usually clean in the
+        // other, keeping the estimate tight.
+        // 200 flows over 1024-counter rows: a row is clean for a flow with
+        // prob ≈0.82, and the min over two rows is tight with prob ≈0.97.
+        let mut t = TowerSketch::new(vec![(1024, 32), (1024, 32)], 10_000_000, 7);
+        for f in 0..200u64 {
+            t.add(f, 10, 0);
+        }
+        let tight = (0..200u64).filter(|&f| t.estimate(f, 0) == 10).count();
+        assert!(tight > 150, "only {tight} tight estimates");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the one invariant every LruMon filter must uphold is
+//! *no under-estimation within a reset interval* — otherwise elephants
+//! would be mis-filtered and the telemetry would silently lose bytes.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use p4lru_sketches::{CocoSketch, CountMin, CuSketch, ElasticSketch, FlowFilter, TowerSketch};
+
+fn packets_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec((0u64..200, 40u32..1500), 1..800)
+}
+
+fn assert_no_underestimate(
+    filter: &mut dyn FlowFilter,
+    packets: &[(u64, u32)],
+    saturation_cap: u64,
+) -> Result<(), TestCaseError> {
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for &(flow, len) in packets {
+        *truth.entry(flow).or_insert(0) += u64::from(len);
+        filter.add(flow, len, 0);
+    }
+    for (&flow, &want) in &truth {
+        let est = filter.estimate(flow, 0);
+        prop_assert!(
+            est >= want.min(saturation_cap),
+            "{}: flow {} estimated {} < true {}",
+            filter.name(),
+            flow,
+            est,
+            want
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tower_never_underestimates(packets in packets_strategy(), seed in any::<u64>()) {
+        let mut t = TowerSketch::new(vec![(256, 8), (128, 16)], 1_000_000_000, seed);
+        // The widest row saturates at 65535.
+        assert_no_underestimate(&mut t, &packets, 65_535)?;
+    }
+
+    #[test]
+    fn cm_and_cu_never_underestimate(packets in packets_strategy(), seed in any::<u64>()) {
+        let mut cm = CountMin::new(2, 128, 32, 1_000_000_000, seed);
+        assert_no_underestimate(&mut cm, &packets, u64::from(u32::MAX))?;
+        let mut cu = CuSketch::new(2, 128, 32, 1_000_000_000, seed);
+        assert_no_underestimate(&mut cu, &packets, u64::from(u32::MAX))?;
+    }
+
+    #[test]
+    fn elastic_never_underestimates(packets in packets_strategy(), seed in any::<u64>()) {
+        let mut e = ElasticSketch::new(64, 256, 1_000_000_000, seed);
+        assert_no_underestimate(&mut e, &packets, u64::from(u32::MAX))?;
+    }
+
+    #[test]
+    fn cu_dominated_by_cm(packets in packets_strategy(), seed in any::<u64>()) {
+        // Conservative update can only lower over-estimation.
+        let mut cm = CountMin::new(2, 64, 32, 1_000_000_000, seed);
+        let mut cu = CuSketch::new(2, 64, 32, 1_000_000_000, seed);
+        for &(flow, len) in &packets {
+            cm.add(flow, len, 0);
+            cu.add(flow, len, 0);
+        }
+        for &(flow, _) in &packets {
+            prop_assert!(cu.estimate(flow, 0) <= cm.estimate(flow, 0));
+        }
+    }
+
+    #[test]
+    fn resets_clear_every_filter(seed in any::<u64>(), flow in any::<u64>()) {
+        let reset = 1_000_000u64;
+        let mut filters: Vec<Box<dyn FlowFilter>> = vec![
+            Box::new(TowerSketch::new(vec![(64, 8), (32, 16)], reset, seed)),
+            Box::new(CountMin::new(2, 64, 32, reset, seed)),
+            Box::new(CuSketch::new(2, 64, 32, reset, seed)),
+            Box::new(ElasticSketch::new(16, 64, reset, seed)),
+            Box::new(CocoSketch::new(32, reset, seed)),
+        ];
+        for f in &mut filters {
+            f.add(flow, 1_000, 0);
+            prop_assert!(f.estimate(flow, 0) >= 1_000, "{} lost bytes", f.name());
+            prop_assert_eq!(f.estimate(flow, reset + 1), 0, "{} kept stale bytes", f.name());
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Synthetic CAIDA_n trace generation.
+//!
+//! The paper's `CAIDA_n` datasets splice `1/n` minutes from each of the
+//! first `n` one-minute CAIDA 2018 traces: packet count stays ≈2.6×10⁷
+//! while flow population and concurrency grow with `n`. [`CaidaConfig`]
+//! reproduces that construction synthetically:
+//!
+//! * the trace is `n` back-to-back **segments**, each with a fresh flow
+//!   population (splicing different minutes ⇒ disjoint flows);
+//! * per segment, flow sizes follow a Zipf law and flow count is calibrated
+//!   so the *total* flow count grows like the paper's measurements
+//!   (1.3×10⁶ → 2.4×10⁶ over n = 1 → 60, i.e. ∝ n^0.15);
+//! * each flow transmits in bursts inside a bounded active window, giving
+//!   the temporal locality an LRU exploits.
+//!
+//! Everything is deterministic in the seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::{FiveTuple, Packet};
+use crate::zipf::Zipf;
+
+/// How the total flow count scales with the segment count `n`, fit to the
+/// paper's quoted 1.3×10⁶ (n=1) → 2.4×10⁶ (n=60): `60^0.15 ≈ 1.85`.
+pub const FLOW_GROWTH_EXPONENT: f64 = 0.15;
+
+/// Configuration of a synthetic CAIDA_n trace.
+///
+/// ```
+/// use p4lru_traffic::caida::CaidaConfig;
+///
+/// // CAIDA_8: eight spliced populations, ~50k packets.
+/// let trace = CaidaConfig::caida_n(8, 50_000, 42).generate();
+/// assert!(trace.packets.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+/// assert!(trace.flow_count() > 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CaidaConfig {
+    /// The `n` of CAIDA_n: number of spliced segments with fresh flow
+    /// populations. Higher `n` ⇒ more concurrent flows.
+    pub segments: usize,
+    /// Total packet budget across all segments.
+    pub packets: usize,
+    /// Trace duration in nanoseconds (the paper rescales to one second for
+    /// the simulation experiments).
+    pub duration_ns: u64,
+    /// Flow count of the `n = 1` configuration; the population for other
+    /// `n` is derived via [`FLOW_GROWTH_EXPONENT`].
+    pub base_flows: usize,
+    /// Zipf exponent of the flow-size distribution.
+    pub zipf_alpha: f64,
+    /// RNG seed; equal configs with equal seeds generate identical traces.
+    pub seed: u64,
+}
+
+impl Default for CaidaConfig {
+    fn default() -> Self {
+        Self {
+            segments: 1,
+            packets: 500_000,
+            duration_ns: 1_000_000_000,
+            base_flows: 25_000,
+            zipf_alpha: 1.0,
+            seed: 0xCA1DA,
+        }
+    }
+}
+
+impl CaidaConfig {
+    /// The standard scaled-down CAIDA_n used across the figure harnesses:
+    /// `packets` total packets, flow population scaled to preserve the real
+    /// trace's ≈20 packets-per-flow average, concurrency knob `n`.
+    pub fn caida_n(n: usize, packets: usize, seed: u64) -> Self {
+        Self {
+            segments: n.max(1),
+            packets,
+            base_flows: (packets / 20).max(1),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Total flows this configuration will generate (before rounding).
+    pub fn total_flows(&self) -> usize {
+        let n = self.segments as f64;
+        ((self.base_flows as f64) * n.powf(FLOW_GROWTH_EXPONENT)).round() as usize
+    }
+
+    /// Generates the trace: packets sorted by timestamp.
+    pub fn generate(&self) -> Trace {
+        assert!(self.segments > 0, "need at least one segment");
+        assert!(self.packets > 0, "need a positive packet budget");
+        let seg_len = self.duration_ns / self.segments as u64;
+        let flows_total = self.total_flows().max(self.segments);
+        let flows_per_seg = (flows_total / self.segments).max(1);
+        let packets_per_seg = (self.packets / self.segments).max(1);
+
+        let mut packets = Vec::with_capacity(self.packets + self.packets / 8);
+        for seg in 0..self.segments {
+            let seg_start = seg as u64 * seg_len;
+            let mut rng =
+                SmallRng::seed_from_u64(p4lru_core::hashing::hash_u64(self.seed, seg as u64));
+            self.generate_segment(
+                &mut rng,
+                seg as u64,
+                seg_start,
+                seg_len,
+                flows_per_seg,
+                packets_per_seg,
+                &mut packets,
+            );
+        }
+        packets.sort_by(Packet::time_order);
+        Trace {
+            packets,
+            duration_ns: self.duration_ns,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_segment(
+        &self,
+        rng: &mut SmallRng,
+        seg: u64,
+        seg_start: u64,
+        seg_len: u64,
+        flows: usize,
+        packet_budget: usize,
+        out: &mut Vec<Packet>,
+    ) {
+        // Deterministic Zipf sizes: size_i = C / i^alpha, C chosen so the
+        // segment total approximates the packet budget; every flow sends at
+        // least one packet so the flow count is exact.
+        let zipf = Zipf::new(flows as u64, self.zipf_alpha);
+        let hn = zipf.normalization();
+        let c = packet_budget as f64 / hn;
+        for rank in 1..=flows as u64 {
+            let size = ((c * zipf.weight(rank)).round() as usize).max(1);
+            let flow_id = (seg << 32) | rank;
+            let flow = FiveTuple::synthetic(flow_id);
+            self.emit_flow(rng, flow, size, seg_start, seg_len, out);
+        }
+    }
+
+    /// Emits one flow's packets: bursts inside an active window whose length
+    /// grows with flow size (big flows span the segment, mice are compact).
+    fn emit_flow(
+        &self,
+        rng: &mut SmallRng,
+        flow: FiveTuple,
+        size: usize,
+        seg_start: u64,
+        seg_len: u64,
+        out: &mut Vec<Packet>,
+    ) {
+        // A flow *starts* inside its segment (segments model population
+        // turnover, like splicing fresh one-minute populations) but lives
+        // its natural lifetime, which scales with the full trace duration:
+        // 1 - e^(-size/50) ⇒ a 20-packet flow lives ~1/3 of the trace, an
+        // elephant essentially all of it. With more segments, fresh
+        // populations start while earlier ones are still alive, so flow
+        // concurrency rises with n — the paper's CAIDA_n knob.
+        let frac = 1.0 - (-(size as f64) / 50.0).exp();
+        let window = ((self.duration_ns as f64) * frac).max(10_000.0) as u64; // ≥10 µs
+        let start = seg_start + rng.gen_range(0..seg_len.max(1));
+        let end = (start + window)
+            .min(self.duration_ns.saturating_sub(1))
+            .max(start + 1);
+        let span = end - start;
+
+        // Bursts: geometric burst lengths (mean 4), ~10 µs intra-burst gaps,
+        // exponential inter-burst gaps sized so the flow spans its window.
+        let expected_bursts = (size as f64 / 4.0).max(1.0);
+        let inter_gap_mean = span as f64 / expected_bursts;
+        let mut t = start as f64;
+        let mut emitted = 0usize;
+        while emitted < size {
+            let burst = burst_len(rng).min(size - emitted);
+            for _ in 0..burst {
+                // A burst may run past the window end; clamp rather than
+                // spill past the trace boundary.
+                let ts = (t as u64).min(end - 1);
+                out.push(Packet {
+                    ts_ns: ts,
+                    flow,
+                    len: packet_len(rng),
+                });
+                emitted += 1;
+                t += exp_sample(rng, 10_000.0); // ~10 µs between packets
+            }
+            t += exp_sample(rng, inter_gap_mean);
+            if t >= end as f64 {
+                // Wrap the remainder uniformly into the window rather than
+                // spilling past the trace end.
+                t = start as f64 + rng.gen::<f64>() * span as f64;
+            }
+        }
+    }
+}
+
+/// Geometric burst length with mean 4 (p = 0.25).
+fn burst_len<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    let mut len = 1usize;
+    while rng.gen::<f64>() > 0.25 && len < 64 {
+        len += 1;
+    }
+    len
+}
+
+/// Exponential sample with the given mean (ns).
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Internet-mix packet length: ~half minimum-size ACKs, a tail of MTU-size
+/// data packets.
+fn packet_len<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+    let x: f64 = rng.gen();
+    if x < 0.5 {
+        rng.gen_range(40..=100)
+    } else if x < 0.7 {
+        rng.gen_range(101..=1000)
+    } else {
+        1500
+    }
+}
+
+/// A generated packet trace, time-sorted.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Packets sorted by [`Packet::time_order`].
+    pub packets: Vec<Packet>,
+    /// Nominal duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl Trace {
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterates the packets in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.packets.iter()
+    }
+
+    /// Number of distinct flows.
+    pub fn flow_count(&self) -> usize {
+        let mut flows: Vec<FiveTuple> = self.packets.iter().map(|p| p.flow).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        flows.len()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| u64::from(p.len)).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Packet;
+    type IntoIter = std::slice::Iter<'a, Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_roughly_the_packet_budget() {
+        let trace = CaidaConfig::caida_n(1, 50_000, 7).generate();
+        let got = trace.len() as f64;
+        assert!((got - 50_000.0).abs() / 50_000.0 < 0.25, "got {got}");
+    }
+
+    #[test]
+    fn packets_are_time_sorted_within_duration() {
+        let cfg = CaidaConfig::caida_n(4, 20_000, 3);
+        let trace = cfg.generate();
+        for w in trace.packets.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+        assert!(trace.packets.iter().all(|p| p.ts_ns < cfg.duration_ns));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = CaidaConfig::caida_n(2, 10_000, 11).generate();
+        let b = CaidaConfig::caida_n(2, 10_000, 11).generate();
+        assert_eq!(a.packets, b.packets);
+        let c = CaidaConfig::caida_n(2, 10_000, 12).generate();
+        assert_ne!(a.packets, c.packets);
+    }
+
+    #[test]
+    fn flow_count_grows_with_segments() {
+        let f1 = CaidaConfig::caida_n(1, 40_000, 5).generate().flow_count();
+        let f16 = CaidaConfig::caida_n(16, 40_000, 5).generate().flow_count();
+        assert!(f16 > f1, "flows n=16 ({f16}) should exceed n=1 ({f1})");
+        // And sublinearly: nowhere near 16×.
+        assert!(f16 < f1 * 4, "flows n=16 ({f16}) grew too fast vs {f1}");
+    }
+
+    #[test]
+    fn flow_sizes_are_zipf_skewed() {
+        let trace = CaidaConfig::caida_n(1, 100_000, 9).generate();
+        let mut counts = std::collections::HashMap::new();
+        for p in &trace {
+            *counts.entry(p.flow).or_insert(0usize) += 1;
+        }
+        let mut sizes: Vec<usize> = counts.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = sizes.iter().sum();
+        let top100: usize = sizes.iter().take(100).sum();
+        // With Zipf(1.0) over ~5000 flows, the top 100 flows carry a
+        // disproportionate share (H_100/H_5000 ≈ 0.55 of traffic).
+        let share = top100 as f64 / total as f64;
+        assert!(share > 0.35, "top-100 share only {share:.3}");
+    }
+
+    #[test]
+    fn flows_have_temporal_locality() {
+        // Median gap between consecutive packets of the same flow must be
+        // far below the trace duration (bursts!).
+        let trace = CaidaConfig::caida_n(1, 50_000, 13).generate();
+        let mut last_seen = std::collections::HashMap::new();
+        let mut gaps = Vec::new();
+        for p in &trace {
+            if let Some(prev) = last_seen.insert(p.flow, p.ts_ns) {
+                gaps.push(p.ts_ns - prev);
+            }
+        }
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        assert!(
+            median < trace.duration_ns / 100,
+            "median same-flow gap {median} ns is not bursty"
+        );
+    }
+
+    #[test]
+    fn total_flows_calibration_matches_paper_ratio() {
+        // Paper: 1.3e6 → 2.4e6 over n = 1 → 60 (×1.85).
+        let base = CaidaConfig {
+            segments: 1,
+            base_flows: 1_300_000,
+            ..Default::default()
+        };
+        let n60 = CaidaConfig {
+            segments: 60,
+            base_flows: 1_300_000,
+            ..Default::default()
+        };
+        let ratio = n60.total_flows() as f64 / base.total_flows() as f64;
+        assert!((ratio - 1.85).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn every_flow_sends_at_least_one_packet() {
+        let cfg = CaidaConfig::caida_n(2, 5_000, 21);
+        let trace = cfg.generate();
+        // Flow count equals the calibrated population (each rank emits ≥1).
+        let expect = (cfg.total_flows() / cfg.segments) * cfg.segments;
+        let got = trace.flow_count();
+        assert!(
+            (got as i64 - expect as i64).unsigned_abs() <= cfg.segments as u64,
+            "got {got}, expect ≈{expect}"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Trace statistics used to calibrate the synthetic generator against the
+//! paper's quoted CAIDA numbers (flow counts, peak concurrency).
+
+use std::collections::HashMap;
+
+use crate::caida::Trace;
+use crate::packet::FiveTuple;
+
+/// Summary statistics of a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Packet count.
+    pub packets: usize,
+    /// Distinct flows.
+    pub flows: usize,
+    /// Peak number of simultaneously active flows (a flow is active from its
+    /// first to its last packet).
+    pub max_concurrent: usize,
+    /// Mean packets per flow.
+    pub mean_flow_packets: f64,
+    /// Fraction of packets carried by the largest 1% of flows.
+    pub top1pct_share: f64,
+    /// Total bytes.
+    pub bytes: u64,
+}
+
+/// Computes [`TraceStats`] in O(P + F log F).
+pub fn trace_stats(trace: &Trace) -> TraceStats {
+    let mut spans: HashMap<FiveTuple, (u64, u64, usize)> = HashMap::new();
+    for p in trace {
+        let e = spans.entry(p.flow).or_insert((p.ts_ns, p.ts_ns, 0));
+        e.0 = e.0.min(p.ts_ns);
+        e.1 = e.1.max(p.ts_ns);
+        e.2 += 1;
+    }
+    let flows = spans.len();
+
+    // Peak concurrency: sweep over (start, +1) / (end, −1) events; ends sort
+    // after starts at the same instant so a point flow still counts once.
+    let mut events: Vec<(u64, i32)> = Vec::with_capacity(flows * 2);
+    for &(s, e, _) in spans.values() {
+        events.push((s, 1));
+        events.push((e + 1, -1));
+    }
+    events.sort_unstable();
+    let (mut cur, mut peak) = (0i64, 0i64);
+    for (_, d) in events {
+        cur += i64::from(d);
+        peak = peak.max(cur);
+    }
+
+    let mut sizes: Vec<usize> = spans.values().map(|&(_, _, c)| c).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (flows / 100).max(1);
+    let top_share = if trace.is_empty() {
+        0.0
+    } else {
+        sizes.iter().take(top).sum::<usize>() as f64 / trace.len() as f64
+    };
+
+    TraceStats {
+        packets: trace.len(),
+        flows,
+        max_concurrent: peak as usize,
+        mean_flow_packets: if flows == 0 {
+            0.0
+        } else {
+            trace.len() as f64 / flows as f64
+        },
+        top1pct_share: top_share,
+        bytes: trace.total_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caida::CaidaConfig;
+    use crate::packet::Packet;
+
+    fn mini_trace(packets: Vec<Packet>) -> Trace {
+        let mut packets = packets;
+        packets.sort_by(Packet::time_order);
+        Trace {
+            packets,
+            duration_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn counts_flows_and_packets() {
+        let f1 = FiveTuple::synthetic(1);
+        let f2 = FiveTuple::synthetic(2);
+        let t = mini_trace(vec![
+            Packet {
+                ts_ns: 0,
+                flow: f1,
+                len: 100,
+            },
+            Packet {
+                ts_ns: 10,
+                flow: f2,
+                len: 100,
+            },
+            Packet {
+                ts_ns: 20,
+                flow: f1,
+                len: 100,
+            },
+        ]);
+        let s = trace_stats(&t);
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.bytes, 300);
+        assert!((s.mean_flow_packets - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_counts_overlapping_spans() {
+        let f = |id| FiveTuple::synthetic(id);
+        // f1 spans [0,30], f2 [10,20], f3 [40,50]: peak overlap is 2.
+        let t = mini_trace(vec![
+            Packet {
+                ts_ns: 0,
+                flow: f(1),
+                len: 40,
+            },
+            Packet {
+                ts_ns: 30,
+                flow: f(1),
+                len: 40,
+            },
+            Packet {
+                ts_ns: 10,
+                flow: f(2),
+                len: 40,
+            },
+            Packet {
+                ts_ns: 20,
+                flow: f(2),
+                len: 40,
+            },
+            Packet {
+                ts_ns: 40,
+                flow: f(3),
+                len: 40,
+            },
+            Packet {
+                ts_ns: 50,
+                flow: f(3),
+                len: 40,
+            },
+        ]);
+        assert_eq!(trace_stats(&t).max_concurrent, 2);
+    }
+
+    #[test]
+    fn single_packet_flows_count_as_concurrent_at_their_instant() {
+        let f = |id| FiveTuple::synthetic(id);
+        let t = mini_trace(vec![
+            Packet {
+                ts_ns: 5,
+                flow: f(1),
+                len: 40,
+            },
+            Packet {
+                ts_ns: 5,
+                flow: f(2),
+                len: 40,
+            },
+        ]);
+        assert_eq!(trace_stats(&t).max_concurrent, 2);
+    }
+
+    #[test]
+    fn concurrency_grows_with_caida_n() {
+        let s1 = trace_stats(&CaidaConfig::caida_n(1, 30_000, 2).generate());
+        let s8 = trace_stats(&CaidaConfig::caida_n(8, 30_000, 2).generate());
+        assert!(
+            s8.max_concurrent > s1.max_concurrent,
+            "concurrency n=8 ({}) should exceed n=1 ({})",
+            s8.max_concurrent,
+            s1.max_concurrent
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeroes() {
+        let s = trace_stats(&Trace {
+            packets: vec![],
+            duration_ns: 0,
+        });
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.max_concurrent, 0);
+        assert_eq!(s.top1pct_share, 0.0);
+    }
+
+    #[test]
+    fn top_share_reflects_skew() {
+        let s = trace_stats(&CaidaConfig::caida_n(1, 60_000, 4).generate());
+        assert!(s.top1pct_share > 0.15, "top-1% share {}", s.top1pct_share);
+    }
+}

@@ -1,0 +1,240 @@
+//! YCSB-style key-request workload (paper §4.1, LruIndex experiments).
+//!
+//! "The query transaction set was generated based on the Zipf distribution
+//! with a skewness of α = 0.9." Popularity ranks are scrambled onto key ids
+//! with a format-preserving permutation so that hot keys are spread across
+//! the key space (adjacent ranks must not be adjacent ids, or hash-indexed
+//! caches would see artificial collision patterns).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// A format-preserving pseudorandom permutation on `0..n`, built from a
+/// 4-round Feistel network over the next power of two with cycle-walking.
+/// Deterministic in the seed; bijective for any `n`.
+#[derive(Clone, Debug)]
+pub struct ScrambledIndex {
+    n: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl ScrambledIndex {
+    /// A permutation of `0..n` derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        let bits = 64 - (n - 1).leading_zeros();
+        let half_bits = (bits.max(2)).div_ceil(2);
+        let keys = std::array::from_fn(|i| p4lru_core::hashing::hash_u64(seed, i as u64 ^ 0xF015));
+        Self { n, half_bits, keys }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    fn round(&self, half: u64, key: u64) -> u64 {
+        p4lru_core::hashing::hash_u64(key, half) & ((1 << self.half_bits) - 1)
+    }
+
+    fn feistel(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let (mut l, mut r) = (x >> self.half_bits, x & mask);
+        for key in self.keys {
+            let next = l ^ self.round(r, key);
+            l = r;
+            r = next & mask;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// The image of `x` under the permutation.
+    ///
+    /// # Panics
+    /// Panics if `x >= n`.
+    pub fn apply(&self, x: u64) -> u64 {
+        assert!(x < self.n, "input {x} outside domain 0..{}", self.n);
+        // Cycle-walk: iterate until we land back inside the domain. The
+        // Feistel net permutes 0..2^(2·half_bits), so walking terminates.
+        let mut y = self.feistel(x);
+        while y >= self.n {
+            y = self.feistel(y);
+        }
+        y
+    }
+}
+
+/// One database operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value of a key.
+    Read(u64),
+    /// Update the value of a key.
+    Update(u64),
+}
+
+impl Op {
+    /// The key being operated on.
+    pub fn key(self) -> u64 {
+        match self {
+            Op::Read(k) | Op::Update(k) => k,
+        }
+    }
+}
+
+/// YCSB-style workload configuration.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Number of items in the database.
+    pub items: u64,
+    /// Zipf skew of key popularity (paper: 0.9).
+    pub alpha: f64,
+    /// Fraction of reads (YCSB-B is 0.95, YCSB-C is 1.0).
+    pub read_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        Self {
+            items: 1_000_000,
+            alpha: 0.9,
+            read_fraction: 1.0,
+            seed: 0x5C5B,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// An infinite deterministic operation stream.
+    pub fn stream(&self) -> YcsbStream {
+        YcsbStream {
+            zipf: Zipf::new(self.items, self.alpha),
+            scramble: ScrambledIndex::new(self.items, self.seed ^ 0x5EED),
+            rng: SmallRng::seed_from_u64(self.seed),
+            read_fraction: self.read_fraction,
+        }
+    }
+
+    /// Generates `ops` operations eagerly.
+    pub fn generate(&self, ops: usize) -> Vec<Op> {
+        self.stream().take(ops).collect()
+    }
+}
+
+/// Iterator of YCSB operations.
+#[derive(Clone, Debug)]
+pub struct YcsbStream {
+    zipf: Zipf,
+    scramble: ScrambledIndex,
+    rng: SmallRng,
+    read_fraction: f64,
+}
+
+impl Iterator for YcsbStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        let rank = self.zipf.sample(&mut self.rng); // 1..=items
+        let key = self.scramble.apply(rank - 1);
+        let op = if self.rng.gen::<f64>() < self.read_fraction {
+            Op::Read(key)
+        } else {
+            Op::Update(key)
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_is_a_bijection() {
+        for n in [1u64, 2, 7, 100, 1000, 4096] {
+            let s = ScrambledIndex::new(n, 42);
+            let mut seen = vec![false; n as usize];
+            for x in 0..n {
+                let y = s.apply(x);
+                assert!(y < n, "image {y} out of range for n={n}");
+                assert!(!seen[y as usize], "collision at {x} for n={n}");
+                seen[y as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn scramble_differs_per_seed() {
+        let a = ScrambledIndex::new(1000, 1);
+        let b = ScrambledIndex::new(1000, 2);
+        let diff = (0..1000).filter(|&x| a.apply(x) != b.apply(x)).count();
+        assert!(diff > 900, "only {diff} differences");
+    }
+
+    #[test]
+    fn scramble_spreads_adjacent_ranks() {
+        let s = ScrambledIndex::new(1 << 16, 3);
+        let adjacent = (0..1000u64)
+            .filter(|&x| s.apply(x).abs_diff(s.apply(x + 1)) <= 1)
+            .count();
+        assert!(adjacent < 5, "{adjacent} adjacent pairs stayed adjacent");
+    }
+
+    #[test]
+    fn workload_is_zipf_skewed() {
+        let cfg = YcsbConfig {
+            items: 10_000,
+            ..Default::default()
+        };
+        let ops = cfg.generate(100_000);
+        let mut counts = std::collections::HashMap::new();
+        for op in &ops {
+            *counts.entry(op.key()).or_insert(0usize) += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        // With α=0.9 over 10⁴ items, the hottest ~100 keys take a large share.
+        let share: usize = freq.iter().take(100).sum();
+        let share = share as f64 / ops.len() as f64;
+        assert!(share > 0.2, "top-100 share {share}");
+        // And all keys are in range.
+        assert!(counts.keys().all(|&k| k < cfg.items));
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let cfg = YcsbConfig {
+            items: 100,
+            read_fraction: 0.5,
+            ..Default::default()
+        };
+        let ops = cfg.generate(20_000);
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((frac - 0.5).abs() < 0.03, "read fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = YcsbConfig {
+            items: 1000,
+            seed: 77,
+            ..Default::default()
+        };
+        assert_eq!(cfg.generate(500), cfg.generate(500));
+    }
+
+    #[test]
+    fn op_key_helper() {
+        assert_eq!(Op::Read(5).key(), 5);
+        assert_eq!(Op::Update(9).key(), 9);
+    }
+}

@@ -1,0 +1,242 @@
+//! Zipf sampling by rejection inversion.
+//!
+//! Flow-size skew and key popularity in the evaluation both follow Zipf
+//! laws (the YCSB transactions use α = 0.9, §4.1). This is the
+//! rejection-inversion sampler of Hörmann & Derflinger ("Rejection-inversion
+//! to get discrete distributions", 1996): O(1) expected time per sample and
+//! no O(n) cumulative table, so sweeps over 10⁷-item databases stay cheap.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s > 0`:
+/// `P(k) ∝ k^(-s)`.
+///
+/// ```
+/// use p4lru_traffic::zipf::Zipf;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1_000_000, 0.9); // the paper's YCSB skew
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1_000_000).contains(&rank));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    shift: f64,
+}
+
+impl Zipf {
+    /// A Zipf(s) distribution over `1..=n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0` or `s` is not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one element");
+        assert!(
+            s > 0.0 && s.is_finite(),
+            "exponent must be positive and finite"
+        );
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let shift = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Self {
+            n,
+            s,
+            h_x1,
+            h_n,
+            shift,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.shift || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Exact probability of rank `k` (O(n) normalization on first call is
+    /// avoided by returning the *unnormalized* weight; use
+    /// [`Self::normalization`] when exact probabilities are needed).
+    pub fn weight(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        (k as f64).powf(-self.s)
+    }
+
+    /// The normalization constant `H_{n,s} = Σ k^(-s)` (O(n)).
+    pub fn normalization(&self) -> f64 {
+        (1..=self.n).map(|k| (k as f64).powf(-self.s)).sum()
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^(-s) dt`, extended continuously across `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^(-s)`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        // Numerical guard from the reference implementation.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `(log(1+x))/x`, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(exp(x)-1)/x`, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, s: f64, samples: usize, seed: u64) -> Vec<u64> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..samples {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[k as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn frequencies_match_theory_alpha_1() {
+        let n = 100;
+        let samples = 200_000;
+        let counts = histogram(n, 1.0, samples, 1);
+        let hn: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        for k in [1u64, 2, 5, 10, 50] {
+            let expect = (1.0 / k as f64) / hn;
+            let got = counts[k as usize] as f64 / samples as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.08, "rank {k}: got {got:.4}, expect {expect:.4}");
+        }
+    }
+
+    #[test]
+    fn frequencies_match_theory_alpha_09() {
+        // The YCSB skew used by the paper.
+        let n = 1000;
+        let samples = 300_000;
+        let counts = histogram(n, 0.9, samples, 2);
+        let hn: f64 = (1..=n).map(|k| (k as f64).powf(-0.9)).sum();
+        for k in [1u64, 3, 10, 100] {
+            let expect = (k as f64).powf(-0.9) / hn;
+            let got = counts[k as usize] as f64 / samples as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.1, "rank {k}: got {got:.5}, expect {expect:.5}");
+        }
+    }
+
+    #[test]
+    fn monotone_nonincreasing_head() {
+        let counts = histogram(50, 1.2, 100_000, 3);
+        for k in 1..5 {
+            assert!(
+                counts[k] >= counts[k + 1],
+                "rank {k} ({}) < rank {} ({})",
+                counts[k],
+                k + 1,
+                counts[k + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn single_element_always_returns_one() {
+        let zipf = Zipf::new(1, 0.9);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let zipf = Zipf::new(1000, 0.9);
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn huge_n_does_not_allocate_tables() {
+        // 10^9 ranks: would be 8 GB as a CDF table; rejection-inversion is O(1).
+        let zipf = Zipf::new(1_000_000_000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=1_000_000_000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn weight_and_normalization() {
+        let zipf = Zipf::new(10, 1.0);
+        assert!((zipf.weight(1) - 1.0).abs() < 1e-12);
+        assert!((zipf.weight(2) - 0.5).abs() < 1e-12);
+        let hn: f64 = (1..=10).map(|k| 1.0 / k as f64).sum();
+        assert!((zipf.normalization() - hn).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_n_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_exponent_rejected() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the workload generators: structural invariants that
+//! must hold for *any* configuration, not just the calibrated defaults.
+
+use proptest::prelude::*;
+
+use p4lru_traffic::caida::CaidaConfig;
+use p4lru_traffic::packet::FiveTuple;
+use p4lru_traffic::ycsb::{ScrambledIndex, YcsbConfig};
+use p4lru_traffic::zipf::Zipf;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn traces_are_sorted_bounded_and_deterministic(
+        segments in 1usize..12,
+        packets in 500usize..8000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = CaidaConfig::caida_n(segments, packets, seed);
+        let trace = cfg.generate();
+        // Time-sorted, within duration.
+        for w in trace.packets.windows(2) {
+            prop_assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+        prop_assert!(trace.packets.iter().all(|p| p.ts_ns < cfg.duration_ns));
+        // Packet lengths are valid wire sizes.
+        prop_assert!(trace.packets.iter().all(|p| (40..=1500).contains(&p.len)));
+        // Deterministic.
+        let again = cfg.generate();
+        prop_assert_eq!(&trace.packets, &again.packets);
+        // Budget respected within tolerance.
+        let got = trace.len() as f64;
+        prop_assert!(
+            (got - packets as f64).abs() / packets as f64 <= 0.5,
+            "budget {} got {}", packets, got
+        );
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1u64..100_000, s in 0.2f64..2.5, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let zipf = Zipf::new(n, s);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let k = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    #[test]
+    fn scramble_is_bijective_for_any_domain(n in 1u64..5000, seed in any::<u64>()) {
+        let s = ScrambledIndex::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = s.apply(x);
+            prop_assert!(y < n);
+            prop_assert!(!seen[y as usize], "collision at input {}", x);
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn ycsb_keys_in_range_and_deterministic(items in 1u64..100_000, seed in any::<u64>()) {
+        let cfg = YcsbConfig { items, seed, ..Default::default() };
+        let a = cfg.generate(300);
+        let b = cfg.generate(300);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|op| op.key() < items));
+    }
+
+    #[test]
+    fn synthetic_tuples_roundtrip_distinctness(ids in proptest::collection::hash_set(any::<u64>(), 2..100)) {
+        let tuples: Vec<FiveTuple> = ids.iter().map(|&i| FiveTuple::synthetic(i)).collect();
+        let mut dedup = tuples.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), tuples.len());
+    }
+}

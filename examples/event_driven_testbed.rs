@@ -1,0 +1,95 @@
+//! Event-driven testbed: the DPDK sender → switch → control-plane loop as
+//! a discrete-event simulation with latency percentiles.
+//!
+//! Unlike the trace-replay drivers (which apply pending completions
+//! lazily), this example schedules every packet arrival and every
+//! control-plane completion as events on the netsim engine, and reports
+//! p50/p99 translation latency — the style of measurement a real testbed
+//! produces.
+//!
+//! ```text
+//! cargo run --release --example event_driven_testbed
+//! ```
+
+use p4lru::core::array::P4Lru3Array;
+use p4lru::netsim::stats::Percentiles;
+use p4lru::netsim::{Engine, MICROSECOND};
+use p4lru::traffic::caida::CaidaConfig;
+
+/// The placeholder for in-flight translations.
+const PENDING: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A client packet with this virtual address arrives at the switch.
+    Packet { va: u32 },
+    /// The control plane answers a lookup for `va` with `ra`.
+    Resolution { va: u32, ra: u32 },
+}
+
+fn main() {
+    let trace = CaidaConfig::caida_n(8, 200_000, 11).generate();
+    let delta_t = 50 * MICROSECOND;
+    let base_forward = MICROSECOND;
+
+    let mut engine = Engine::new();
+    for pkt in &trace {
+        let va = pkt.flow.fingerprint(5) | 1;
+        engine.schedule(pkt.ts_ns, Event::Packet { va });
+    }
+    println!("scheduled {} packet arrivals", engine.pending());
+
+    let mut cache = P4Lru3Array::<u32, u32>::with_seed(1 << 12, 9);
+    let mut latency = Percentiles::new();
+    let (mut fast, mut slow) = (0u64, 0u64);
+
+    engine.run(|eng, now, ev| match ev {
+        Event::Packet { va } => {
+            // One pass through the P4LRU3 array: hit keeps the value,
+            // miss installs the placeholder.
+            let before = cache.get(&va).copied();
+            cache.update(va, PENDING, |_cached, _new| { /* keep on hit */ });
+            match before {
+                Some(ra) if ra != PENDING => {
+                    fast += 1;
+                    latency.push(base_forward);
+                }
+                Some(_) => {
+                    // Placeholder hit: pays the slow path, no re-lookup.
+                    slow += 1;
+                    latency.push(base_forward + delta_t);
+                }
+                None => {
+                    slow += 1;
+                    latency.push(base_forward + delta_t);
+                    let ra = p4lru::core::hashing::hash_u64(0xA7, u64::from(va)) as u32 | 1;
+                    eng.schedule(now + delta_t, Event::Resolution { va, ra });
+                }
+            }
+        }
+        Event::Resolution { va, ra } => {
+            // The answer re-traverses the data plane as a full update.
+            cache.update(va, ra, |cached, new| *cached = new);
+        }
+    });
+
+    let total = fast + slow;
+    println!(
+        "processed {} packets ({} events total)",
+        total,
+        engine.processed()
+    );
+    println!(
+        "fast path: {} ({:.2}%), slow path: {} ({:.2}%)",
+        fast,
+        fast as f64 / total as f64 * 100.0,
+        slow,
+        slow as f64 / total as f64 * 100.0
+    );
+    println!(
+        "translation latency: p50 = {:.1} us, p99 = {:.1} us, mean = {:.1} us",
+        latency.quantile(0.5).unwrap() as f64 / 1000.0,
+        latency.quantile(0.99).unwrap() as f64 / 1000.0,
+        latency.mean() / 1000.0
+    );
+}

@@ -1,0 +1,25 @@
+//! # p4lru — facade crate
+//!
+//! Re-exports the whole P4LRU reproduction workspace under one roof so the
+//! examples and integration tests can `use p4lru::…`. See the individual
+//! crates for the real documentation:
+//!
+//! * [`core`] — the P4LRU algorithm, baselines and metrics
+//! * [`pipeline`] — the Tofino-like pipeline model and resource accounting
+//! * [`sketches`] — TowerSketch, Count-Min, CU, Elastic, Coco
+//! * [`traffic`] — synthetic CAIDA_n traces and YCSB workloads
+//! * [`kvstore`] — B+Tree-indexed database substrate
+//! * [`netsim`] — deterministic discrete-event simulator
+//! * [`lrutable`], [`lruindex`], [`lrumon`] — the three in-network systems
+
+#![forbid(unsafe_code)]
+
+pub use p4lru_core as core;
+pub use p4lru_kvstore as kvstore;
+pub use p4lru_lruindex as lruindex;
+pub use p4lru_lrumon as lrumon;
+pub use p4lru_lrutable as lrutable;
+pub use p4lru_netsim as netsim;
+pub use p4lru_pipeline as pipeline;
+pub use p4lru_sketches as sketches;
+pub use p4lru_traffic as traffic;

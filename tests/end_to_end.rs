@@ -1,0 +1,122 @@
+//! Cross-crate integration: the three systems driven end-to-end on shared
+//! synthetic traces, exercised through the facade crate.
+
+use p4lru::core::policies::PolicyKind;
+use p4lru::lruindex::system::{run_miss_rate, LruIndexConfig};
+use p4lru::lrumon::{LruMon, LruMonConfig};
+use p4lru::lrutable::{LruTable, LruTableConfig};
+use p4lru::traffic::caida::CaidaConfig;
+use p4lru::traffic::stats::trace_stats;
+
+#[test]
+fn one_trace_through_all_three_systems() {
+    let trace = CaidaConfig::caida_n(8, 80_000, 99).generate();
+    let stats = trace_stats(&trace);
+    assert!(stats.flows > 1000, "trace too small: {} flows", stats.flows);
+
+    // LruTable.
+    let nat = LruTable::new(LruTableConfig {
+        policy: PolicyKind::P4Lru3,
+        memory_bytes: 16_000,
+        ..Default::default()
+    })
+    .run_trace(&trace);
+    assert_eq!(nat.fast_path + nat.slow_path, trace.len() as u64);
+    assert!(nat.slow_rate > 0.0 && nat.slow_rate < 1.0);
+
+    // LruMon on the same trace.
+    let mon = LruMon::new(LruMonConfig {
+        policy: PolicyKind::P4Lru3,
+        memory_bytes: 16_000,
+        ..Default::default()
+    })
+    .run_trace(&trace);
+    assert_eq!(
+        mon.elephant_packets + mon.filtered_packets,
+        trace.len() as u64
+    );
+    assert!(mon.total_error_rate < 0.6);
+    assert!(mon.uploads > 0);
+
+    // LruIndex on a matching-scale workload.
+    let idx = run_miss_rate(&LruIndexConfig {
+        policy: PolicyKind::P4Lru3,
+        items: 20_000,
+        ops: 50_000,
+        memory_bytes: 16_000,
+        ..Default::default()
+    });
+    assert!(idx.miss_rate > 0.0 && idx.miss_rate < 1.0);
+    assert_eq!(idx.stats.accesses, 50_000);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let trace = CaidaConfig::caida_n(4, 40_000, 5).generate();
+        let r = LruTable::new(LruTableConfig {
+            memory_bytes: 8_000,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        (r.fast_path, r.slow_path)
+    };
+    assert_eq!(run(), run(), "whole-system runs must be bit-reproducible");
+}
+
+#[test]
+fn every_policy_runs_every_system() {
+    let trace = CaidaConfig::caida_n(2, 20_000, 3).generate();
+    let policies = [
+        PolicyKind::Ideal,
+        PolicyKind::P4Lru1,
+        PolicyKind::P4Lru2,
+        PolicyKind::P4Lru3,
+        PolicyKind::P4Lru4,
+        PolicyKind::Timeout {
+            timeout_ns: 10_000_000,
+        },
+        PolicyKind::Elastic,
+        PolicyKind::Coco,
+    ];
+    for policy in policies {
+        let nat = LruTable::new(LruTableConfig {
+            policy,
+            memory_bytes: 6_000,
+            track_similarity: true,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        assert!(nat.slow_rate > 0.0, "{}: no misses at all?", nat.policy);
+        let sim = nat.similarity.unwrap();
+        assert!(sim > 0.0 && sim <= 1.0, "{}: similarity {sim}", nat.policy);
+
+        let mon = LruMon::new(LruMonConfig {
+            policy,
+            memory_bytes: 6_000,
+            ..Default::default()
+        })
+        .run_trace(&trace);
+        assert!(mon.uploads > 0, "{}: no uploads", mon.policy);
+
+        let idx = run_miss_rate(&LruIndexConfig {
+            policy,
+            items: 5_000,
+            ops: 20_000,
+            memory_bytes: 6_000,
+            ..Default::default()
+        });
+        assert!(idx.miss_rate > 0.0, "{}: no index misses", idx.policy);
+    }
+}
+
+#[test]
+fn facade_reexports_are_wired() {
+    // Each sub-crate is reachable through the facade.
+    let _ = p4lru::core::perm::Perm::<3>::identity();
+    let _ = p4lru::pipeline::resources::TofinoModel::default();
+    let _ = p4lru::sketches::TowerSketch::paper_shape(1, 1_000_000, 0);
+    let _ = p4lru::kvstore::db::Database::populate(10);
+    let _ = p4lru::netsim::Engine::<u32>::new();
+    let _ = p4lru::traffic::zipf::Zipf::new(10, 1.0);
+}

@@ -1,0 +1,171 @@
+//! The paper's headline claims as executable assertions.
+//!
+//! Each test names the claim it checks (§ of the paper) and asserts the
+//! *shape* — who wins and in which direction — on scaled-down workloads.
+//! The magnitudes at full scale are recorded in EXPERIMENTS.md.
+
+use p4lru::core::array::MemoryModel;
+use p4lru::core::metrics::SimilarityTracker;
+use p4lru::core::policies::build_cache;
+use p4lru::core::policies::{merge_replace, PolicyKind};
+use p4lru::lrumon::{LruMon, LruMonConfig};
+use p4lru::lrutable::{LruTable, LruTableConfig};
+use p4lru::traffic::caida::CaidaConfig;
+
+/// §1.2 / Figure 12: "P4LRU provides a significant performance boost over
+/// existing data plane caches" — P4LRU3 has the lowest miss rate of all
+/// deployable policies on a CAIDA-style trace.
+#[test]
+fn claim_p4lru3_beats_all_deployable_baselines() {
+    let trace = CaidaConfig::caida_n(8, 120_000, 42).generate();
+    let miss = |policy| {
+        LruTable::new(LruTableConfig {
+            policy,
+            memory_bytes: 10_000,
+            ..Default::default()
+        })
+        .run_trace(&trace)
+        .slow_rate
+    };
+    let p3 = miss(PolicyKind::P4Lru3);
+    for policy in [
+        PolicyKind::P4Lru1,
+        PolicyKind::Timeout {
+            timeout_ns: 10_000_000,
+        },
+        PolicyKind::Elastic,
+        PolicyKind::Coco,
+    ] {
+        let other = miss(policy);
+        assert!(
+            p3 < other,
+            "P4LRU3 {p3:.4} !< {} {other:.4}",
+            policy.label()
+        );
+    }
+    // And the ideal LRU bounds it from below.
+    assert!(miss(PolicyKind::Ideal) <= p3);
+}
+
+/// §4.2: "the P4LRU3 cache consistently scores the highest [similarity],
+/// remaining largely unaffected by memory variations."
+#[test]
+fn claim_similarity_ordering_p4lru3_highest() {
+    let trace = CaidaConfig::caida_n(4, 80_000, 17).generate();
+    let sim_of = |policy| {
+        LruTable::new(LruTableConfig {
+            policy,
+            memory_bytes: 8_000,
+            track_similarity: true,
+            ..Default::default()
+        })
+        .run_trace(&trace)
+        .similarity
+        .unwrap()
+    };
+    let (s3, s2, s1) = (
+        sim_of(PolicyKind::P4Lru3),
+        sim_of(PolicyKind::P4Lru2),
+        sim_of(PolicyKind::P4Lru1),
+    );
+    assert!(
+        s3 > s2 && s2 > s1,
+        "similarity ordering broken: {s3} / {s2} / {s1}"
+    );
+    assert!(sim_of(PolicyKind::Ideal) > 0.999);
+}
+
+/// §1.2: "LruMon … can reduce the upload or transmission volume of the
+/// telemetry system by up to 35%."
+#[test]
+fn claim_lrumon_upload_reduction_vs_baseline() {
+    let trace = CaidaConfig::caida_n(16, 150_000, 5).generate();
+    let uploads = |policy| {
+        LruMon::new(LruMonConfig {
+            policy,
+            memory_bytes: 8_000,
+            ..Default::default()
+        })
+        .run_trace(&trace)
+        .uploads
+    };
+    let p3 = uploads(PolicyKind::P4Lru3);
+    let base = uploads(PolicyKind::P4Lru1);
+    let reduction = 1.0 - p3 as f64 / base as f64;
+    assert!(
+        reduction > 0.05,
+        "upload reduction {:.1}% too small ({} vs {})",
+        reduction * 100.0,
+        p3,
+        base
+    );
+}
+
+/// §2.2: P4LRU with enough per-unit associativity approaches the ideal LRU;
+/// with n=1 it degenerates to a hash table. Ordering: ideal ≤ P4LRU4 ≤
+/// P4LRU3 ≤ P4LRU2 ≤ P4LRU1 at equal total memory (allowing small noise).
+#[test]
+fn claim_unit_size_monotonicity() {
+    let trace = CaidaConfig::caida_n(4, 100_000, 23).generate();
+    let layout = MemoryModel::fp32_len32();
+    let memory = 12_000;
+    let mut rates = Vec::new();
+    for policy in [
+        PolicyKind::Ideal,
+        PolicyKind::P4Lru4,
+        PolicyKind::P4Lru3,
+        PolicyKind::P4Lru2,
+        PolicyKind::P4Lru1,
+    ] {
+        let mut cache = build_cache::<u64, u64>(policy, memory, layout, 3);
+        let mut tracker = SimilarityTracker::new(cache.capacity());
+        let mut misses = 0u64;
+        for pkt in &trace {
+            let key = p4lru::core::hashing::hash_of(1, &pkt.flow);
+            let out = cache.access(key, 1, pkt.ts_ns, merge_replace);
+            if !out.is_hit() {
+                misses += 1;
+            }
+            tracker.observe(&key, &out);
+        }
+        rates.push((policy.label(), misses as f64 / trace.len() as f64));
+    }
+    for w in rates.windows(2) {
+        assert!(
+            w[0].1 <= w[1].1 * 1.03,
+            "miss ordering broken: {} {:.4} vs {} {:.4}",
+            w[0].0,
+            w[0].1,
+            w[1].0,
+            w[1].1
+        );
+    }
+}
+
+/// §3.3: "different data plane caches don't compromise measurement
+/// precision" — P4LRU3 and the baseline produce identical accuracy, only
+/// different upload volumes.
+#[test]
+fn claim_accuracy_is_cache_independent() {
+    let trace = CaidaConfig::caida_n(4, 80_000, 31).generate();
+    let run = |policy| {
+        LruMon::new(LruMonConfig {
+            policy,
+            memory_bytes: 6_000,
+            ..Default::default()
+        })
+        .run_trace(&trace)
+    };
+    let a = run(PolicyKind::P4Lru3);
+    let b = run(PolicyKind::P4Lru1);
+    assert!(
+        (a.total_error_rate - b.total_error_rate).abs() < 1e-9,
+        "error rates must match exactly: {} vs {}",
+        a.total_error_rate,
+        b.total_error_rate
+    );
+    assert_ne!(
+        a.uploads, b.uploads,
+        "policies should differ in uploads, not accuracy"
+    );
+}

@@ -1,0 +1,95 @@
+//! Hardware-fidelity integration: the pipeline-model P4LRU3 array must be
+//! observationally identical to the software cache on a realistic trace,
+//! while satisfying every data-plane constraint.
+
+use p4lru::core::array::P4Lru3Array;
+use p4lru::core::unit::Outcome;
+use p4lru::pipeline::layouts::{build_p4lru3_array, ArrayOutcome, ValueMode};
+use p4lru::pipeline::program::ConstraintChecker;
+use p4lru::traffic::caida::CaidaConfig;
+
+#[test]
+fn pipeline_program_matches_software_on_a_real_trace() {
+    let units = 64usize;
+    let seed = 0xF1DE;
+    let mut hw = build_p4lru3_array(units, seed, ValueMode::Accumulate);
+    ConstraintChecker::default().check(&hw.program).unwrap();
+
+    // Software array placed by the *identical* hash: recompute the
+    // pipeline's hash-stage function per packet.
+    let mut sw: Vec<p4lru::core::unit::P4Lru3Unit<u32, u32>> = (0..units)
+        .map(|_| p4lru::core::unit::P4Lru3Unit::new())
+        .collect();
+    let unit_of = |key: u32| {
+        let acc = p4lru::core::hashing::mix64(seed);
+        let h = p4lru::core::hashing::hash_u64(acc, u64::from(key));
+        ((u128::from(h) * units as u128) >> 64) as usize
+    };
+
+    let trace = CaidaConfig::caida_n(2, 30_000, 8).generate();
+    let (mut hits, mut evictions) = (0u64, 0u64);
+    for pkt in &trace {
+        let key = match pkt.flow.fingerprint(3) {
+            0 => 1,
+            k => k,
+        };
+        let got = hw.process(key, u32::from(pkt.len));
+        let want = sw[unit_of(key)].update(key, u32::from(pkt.len), |a, v| *a = a.wrapping_add(v));
+        match (got, want) {
+            (ArrayOutcome::Hit { pos, .. }, Outcome::Hit { pos: wp }) => {
+                assert_eq!(pos, wp);
+                hits += 1;
+            }
+            (ArrayOutcome::Inserted, Outcome::Inserted) => {}
+            (
+                ArrayOutcome::Evicted { key: ek, value: ev },
+                Outcome::Evicted { key: wk, value: wv },
+            ) => {
+                assert_eq!((ek, ev), (wk, wv));
+                evictions += 1;
+            }
+            other => panic!("pipeline diverged from software: {other:?}"),
+        }
+    }
+    assert!(
+        hits > 1000,
+        "trace produced too few hits ({hits}) to be meaningful"
+    );
+    assert!(
+        evictions > 100,
+        "trace produced too few evictions ({evictions})"
+    );
+}
+
+#[test]
+fn pipeline_array_miss_rate_equals_software_array() {
+    // Higher-level check through the public array APIs.
+    let trace = CaidaConfig::caida_n(2, 20_000, 9).generate();
+    let mut hw = build_p4lru3_array(128, 5, ValueMode::Overwrite);
+    let mut hw_miss = 0u64;
+    for pkt in &trace {
+        let key = pkt.flow.fingerprint(7) | 1;
+        if !matches!(hw.process(key, 0), ArrayOutcome::Hit { .. }) {
+            hw_miss += 1;
+        }
+    }
+    // The software array uses its own BucketHasher seeding, so the unit
+    // placement differs — miss *rates* must still agree closely because the
+    // hash family is uniform either way.
+    let mut sw = P4Lru3Array::<u32, u32>::with_seed(128, 5);
+    let mut sw_miss = 0u64;
+    for pkt in &trace {
+        let key = pkt.flow.fingerprint(7) | 1;
+        if !sw.update(key, 0, |a, v| *a = v).is_hit() {
+            sw_miss += 1;
+        }
+    }
+    let (a, b) = (
+        hw_miss as f64 / trace.len() as f64,
+        sw_miss as f64 / trace.len() as f64,
+    );
+    assert!(
+        (a - b).abs() < 0.02,
+        "miss rates diverged: pipeline {a:.4} vs software {b:.4}"
+    );
+}
