@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses:
+//! `Criterion::bench_function`, `benchmark_group` (with `throughput` and
+//! `finish`), `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a simple calibrated loop: warm up, pick an iteration
+//! count targeting ~100 ms, take the median of several samples, and print
+//! one line per benchmark. When invoked by `cargo test` (which passes
+//! `--test` to `harness = false` targets) each benchmark runs a single
+//! iteration so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration (binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units).
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.test_mode, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.criterion.test_mode, self.throughput, &mut f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Calibrate: how many iterations fit in ~20 ms?
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || n >= 1 << 30 {
+                break;
+            }
+            let scale = (Duration::from_millis(25).as_nanos() as f64
+                / elapsed.as_nanos().max(1) as f64)
+                .clamp(2.0, 100.0);
+            n = ((n as f64) * scale) as u64;
+        }
+        // Sample: five timed batches, take the median.
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / n as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        test_mode,
+        ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{name}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let ns = b.ns_per_iter;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(e) => format!(" ({:.1} Melem/s)", e as f64 / ns * 1e3),
+        Throughput::Bytes(by) | Throughput::BytesDecimal(by) => {
+            format!(" ({:.1} MB/s)", by as f64 / ns * 1e3)
+        }
+    });
+    println!(
+        "{name}: {} ns/iter{}",
+        if ns < 100.0 {
+            format!("{ns:.2}")
+        } else {
+            format!("{ns:.0}")
+        },
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_bench(c: &mut Criterion) {
+        c.bench_function("fast", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn runs_in_test_mode_quickly() {
+        // Force test mode regardless of how the test binary was invoked.
+        let mut c = Criterion { test_mode: true };
+        fast_bench(&mut c);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(2u64 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

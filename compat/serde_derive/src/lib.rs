@@ -1,0 +1,253 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields, and non-generic enums whose variants are all
+//! unit variants (serialized as their name string). Anything else is a
+//! compile error with a pointed message, so unsupported uses fail loudly
+//! rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = parse_item(input);
+    let code = match (&item, dir) {
+        (Item::Struct { name, fields }, Direction::Serialize) => struct_ser(name, fields),
+        (Item::Struct { name, fields }, Direction::Deserialize) => struct_de(name, fields),
+        (Item::Enum { name, variants }, Direction::Serialize) => enum_ser(name, variants),
+        (Item::Enum { name, variants }, Direction::Deserialize) => enum_de(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parses the derive input down to the item name and its field/variant
+/// names. Panics (a compile error at the derive site) on unsupported
+/// shapes: generics, tuple/unit structs, or enum variants with payloads.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (on `{name}`)");
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body \
+             (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            fields: named_fields(body, &name),
+            name,
+        },
+        "enum" => Item::Enum {
+            variants: unit_variants(body, &name),
+            name,
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(body: TokenStream, item: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            panic!("serde_derive shim: `{item}` has a non-named field");
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!(
+                "serde_derive shim: `{item}` field `{}` lacks a type",
+                fields.last().unwrap()
+            ),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or past-the-end)
+    }
+    fields
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn unit_variants(body: TokenStream, item: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive shim: unexpected token in enum `{item}`: {other:?}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde_derive shim: enum `{item}` variant `{}` must be a unit variant, got {other:?}",
+                variants.last().unwrap()
+            ),
+        }
+    }
+    variants
+}
+
+fn struct_ser(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{pushes}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_de(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     __v.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?\
+                 )?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_de(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v.as_str().ok_or_else(|| ::serde::Error::expected(\"string variant of {name}\"))? {{\n\
+                     {arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,85 @@
+//! Criterion: encode/decode cost of the p4lru-server wire protocol.
+//!
+//! The service's per-request overhead is two frame round-trips; these
+//! micro-benchmarks bound how much of that is serialization (it should be
+//! far below the two loopback syscalls).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use p4lru_server::protocol::{read_frame, write_frame, Request, Response};
+
+fn bench_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proto_encode");
+    group.throughput(Throughput::Elements(1));
+    let mut buf = Vec::new();
+
+    group.bench_function("get", |b| {
+        let req = Request::Get { key: 0xDEAD_BEEF };
+        b.iter(|| {
+            black_box(&req).encode(&mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("set_64b", |b| {
+        let req = Request::Set {
+            key: 0xDEAD_BEEF,
+            value: vec![0xAB; 64],
+        };
+        b.iter(|| {
+            black_box(&req).encode(&mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("proto_decode");
+    group.throughput(Throughput::Elements(1));
+    let mut get_wire = Vec::new();
+    Request::Get { key: 0xDEAD_BEEF }.encode(&mut get_wire);
+    let mut set_wire = Vec::new();
+    Request::Set {
+        key: 0xDEAD_BEEF,
+        value: vec![0xAB; 64],
+    }
+    .encode(&mut set_wire);
+    let mut value_wire = Vec::new();
+    Response::Value(vec![0xCD; 64]).encode(&mut value_wire);
+
+    group.bench_function("get", |b| {
+        b.iter(|| Request::decode(black_box(&get_wire)).unwrap())
+    });
+    group.bench_function("set_64b", |b| {
+        b.iter(|| Request::decode(black_box(&set_wire)).unwrap())
+    });
+    group.bench_function("value_64b", |b| {
+        b.iter(|| Response::decode(black_box(&value_wire)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_framing_roundtrip(c: &mut Criterion) {
+    // A full frame round-trip through an in-memory pipe: length prefix out,
+    // length prefix in, payload copy — everything but the socket.
+    let mut group = c.benchmark_group("proto_frame_roundtrip");
+    let mut payload = Vec::new();
+    Request::Set {
+        key: 42,
+        value: vec![0xEF; 64],
+    }
+    .encode(&mut payload);
+    group.throughput(Throughput::Bytes(payload.len() as u64 + 4));
+    group.bench_function("set_64b", |b| {
+        let mut wire = Vec::with_capacity(payload.len() + 4);
+        let mut back = Vec::new();
+        b.iter(|| {
+            wire.clear();
+            write_frame(&mut wire, black_box(&payload)).unwrap();
+            let mut cursor = std::io::Cursor::new(&wire);
+            assert!(read_frame(&mut cursor, &mut back).unwrap());
+            black_box(Request::decode(&back).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(proto_framing, bench_requests, bench_framing_roundtrip);
+criterion_main!(proto_framing);

@@ -31,6 +31,17 @@ pub type P4Lru4Array<K, V> = LruArray<K, V, 4, Dfa4>;
 /// assert_eq!(cache.get(&7), Some(&150));
 /// assert_eq!(cache.capacity(), 768);
 /// ```
+///
+/// # Thread safety
+///
+/// The array holds only owned data (`Vec` of units, a hasher seed), so it is
+/// `Send`/`Sync` whenever `K` and `V` are — moving a whole array into a
+/// worker thread (shard-per-thread ownership, as `p4lru-server` does) is
+/// safe and lock-free. There is **no** internal synchronization: concurrent
+/// mutation through shared references is rejected by the compiler, which is
+/// exactly the discipline the hardware pipeline enforces (one update per
+/// register per packet). The static assertions in this module's tests pin
+/// the auto-traits so a future field can't silently lose them.
 #[derive(Clone, Debug)]
 pub struct LruArray<K, V, const N: usize, S: CacheState<N> = Perm<N>> {
     units: Vec<LruUnit<K, V, N, S>>,
@@ -120,6 +131,13 @@ impl<K: Eq + Hash, V, const N: usize, S: CacheState<N>> LruArray<K, V, N, S> {
     pub fn insert_tail(&mut self, key: K, value: V) -> Option<(K, V)> {
         let idx = self.index_of(&key);
         self.units[idx].insert_tail(key, value)
+    }
+
+    /// Removes `key` from its unit, returning its value if it was cached
+    /// (see [`LruUnit::remove`] for how this stays within legal DFA
+    /// transitions).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.unit_for_mut(key).remove(key)
     }
 
     /// Iterates all cached entries as `(unit_index, key, value)`.
@@ -296,5 +314,59 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn zero_units_rejected() {
         let _ = P4Lru3Array::<u64, u32>::with_seed(0, 0);
+    }
+
+    #[test]
+    fn remove_deletes_only_the_key_and_keeps_invariants() {
+        let mut arr = P4Lru3Array::<u64, u32>::with_seed(16, 7);
+        for k in 0..40u64 {
+            arr.update(k, k as u32, |a, v| *a = v);
+        }
+        let before = arr.len();
+        let kept: Vec<u64> = arr.entries().map(|(_, &k, _)| k).collect();
+        let victim = kept[kept.len() / 2];
+        assert_eq!(arr.remove(&victim), Some(victim as u32));
+        assert_eq!(arr.get(&victim), None);
+        assert_eq!(arr.len(), before - 1);
+        arr.check_invariants().unwrap();
+        for k in kept {
+            if k != victim {
+                assert_eq!(arr.get(&k), Some(&(k as u32)), "collateral loss of {k}");
+            }
+        }
+        // Removing an absent key is a no-op.
+        assert_eq!(arr.remove(&victim), None);
+        arr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_then_reinsert_cycles_cleanly() {
+        let mut arr = P4Lru3Array::<u64, u32>::with_seed(4, 3);
+        for round in 0..50u64 {
+            for k in 0..20u64 {
+                arr.update(k, (k + round) as u32, |a, v| *a = v);
+            }
+            for k in (0..20u64).step_by(3) {
+                arr.remove(&k);
+                assert_eq!(arr.get(&k), None);
+            }
+            arr.check_invariants().unwrap();
+        }
+    }
+
+    /// Thread-safety audit: shard-per-thread ownership (`p4lru-server`)
+    /// requires the arrays to be `Send`; read-only sharing requires `Sync`.
+    /// These are compile-time checks — the test body is trivially true.
+    #[test]
+    fn arrays_are_send_and_sync_for_plain_data() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<P4Lru2Array<u64, u64>>();
+        assert_send::<P4Lru3Array<u64, [u8; 64]>>();
+        assert_send::<P4Lru4Array<u32, u32>>();
+        assert_sync::<P4Lru3Array<u64, u64>>();
+        assert_send::<LruArray<u64, u64, 5, Perm<5>>>();
+        assert_send::<crate::unit::P4Lru3Unit<u64, u64>>();
+        assert_sync::<crate::unit::P4Lru3Unit<u64, u64>>();
     }
 }

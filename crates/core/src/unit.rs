@@ -256,6 +256,41 @@ impl<K: Eq, V, const N: usize, S: CacheState<N>> LruUnit<K, V, N, S> {
         self.vals[slot].as_mut()
     }
 
+    /// Removes `key` from the unit, returning its value if it was cached.
+    ///
+    /// The data plane has no "delete" primitive, but the control plane (or a
+    /// software deployment such as `p4lru-server`) needs one to invalidate
+    /// entries on backing-store deletes. The implementation stays within the
+    /// DFA's legal transition set, using only `advance` (the hit/promote
+    /// transition): promoting positions `1..=L` in increasing order reverses
+    /// the first `L+1` entries, so the victim is promoted to the front, the
+    /// whole array is reversed (parking the victim at the tail), the tail is
+    /// cleared, and the surviving prefix is reversed back into its original
+    /// recency order. The cache state remains a reachable `S_lru`, survivors
+    /// keep their relative LRU order, and every invariant holds afterwards.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let pos = self.position_of(key)?;
+        // Victim to the front.
+        self.keys[..=pos].rotate_right(1);
+        self.state.advance(pos);
+        // Reverse the array: the victim ends up last, survivors reversed.
+        for i in 1..N {
+            self.keys[..=i].rotate_right(1);
+            self.state.advance(i);
+        }
+        let slot = self.state.slot_of(N - 1);
+        self.keys[N - 1] = None;
+        let value = self.vals[slot]
+            .take()
+            .expect("invariant: a cached key's slot holds a value");
+        // Un-reverse the survivors to restore their recency order.
+        for i in 1..N - 1 {
+            self.keys[..=i].rotate_right(1);
+            self.state.advance(i);
+        }
+        Some(value)
+    }
+
     /// Removes and returns every cached entry, resetting the unit to the
     /// identity state.
     pub fn drain(&mut self) -> Vec<(K, V)> {
@@ -378,6 +413,57 @@ mod tests {
         // Now 2 is LRU; a new key evicts 2.
         let out = unit.update(9, 90, overwrite);
         assert_eq!(out, Outcome::Evicted { key: 2, value: 1 });
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_from_every_position() {
+        for victim in 1..=3u64 {
+            let mut unit = P4Lru3Unit::<u64, u32>::new();
+            for k in 1..=3 {
+                unit.update(k, (k * 10) as u32, overwrite);
+            }
+            assert_eq!(unit.remove(&victim), Some((victim * 10) as u32));
+            assert_eq!(unit.get(&victim), None);
+            assert_eq!(unit.len(), 2);
+            unit.check_invariants().unwrap();
+            for k in 1..=3 {
+                if k != victim {
+                    assert_eq!(unit.get(&k), Some(&((k * 10) as u32)));
+                }
+            }
+            // The freed slot must be reusable without eviction.
+            assert_eq!(unit.update(99, 7, overwrite), Outcome::Inserted);
+            unit.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn remove_missing_key_is_noop() {
+        let mut unit = P4Lru3Unit::<u64, u32>::new();
+        assert_eq!(unit.remove(&5), None);
+        unit.update(1, 10, overwrite);
+        assert_eq!(unit.remove(&5), None);
+        assert_eq!(unit.get(&1), Some(&10));
+        unit.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_preserves_lru_order_of_survivors() {
+        let mut unit = RefUnit::<u64, u32, 4>::new();
+        for k in 1..=4 {
+            unit.update(k, k as u32, overwrite);
+        }
+        // LRU order: 4 (MRU), 3, 2, 1 (LRU). Remove 3 from the middle.
+        assert_eq!(unit.remove(&3), Some(3));
+        unit.check_invariants().unwrap();
+        // Survivor order must still be 4, 2, 1: filling the hole and then
+        // inserting one more key must evict 1 (the original LRU).
+        assert_eq!(unit.update(5, 5, overwrite), Outcome::Inserted);
+        assert_eq!(
+            unit.update(6, 6, overwrite),
+            Outcome::Evicted { key: 1, value: 1 }
+        );
         unit.check_invariants().unwrap();
     }
 

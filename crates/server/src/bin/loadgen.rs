@@ -1,0 +1,189 @@
+//! The closed-loop benchmark client: replays a YCSB workload against a
+//! running `p4lru_serverd`, prints throughput and latency percentiles, and
+//! writes a `FigureResult`-shaped JSON file for the report tooling.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use p4lru_server::client::Client;
+use p4lru_server::loadgen::{run, to_figure_json, LoadgenConfig};
+
+const USAGE: &str = "\
+loadgen — closed-loop YCSB benchmark for p4lru_serverd
+
+USAGE: loadgen [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>     server address          [default: 127.0.0.1:4190]
+  --threads <n>          worker threads          [default: 4]
+  --seconds <s>          run duration            [default: 5]
+  --items <n>            YCSB key-space size     [default: 100000]
+  --alpha <a>            Zipf skew               [default: 0.9]
+  --read-fraction <f>    fraction of reads       [default: 0.95]
+  --seed <n>             workload seed           [default: 4269]
+  --out <path>           write FigureResult JSON [default: results/server_bench.json]
+  --no-out               skip writing the JSON file
+  --no-verify            skip read verification
+  --shutdown             send SHUTDOWN to the server afterwards
+  --expect-hits          exit nonzero unless the server reports cache hits
+  -h, --help             print this help
+";
+
+struct Args {
+    config: LoadgenConfig,
+    out: Option<PathBuf>,
+    shutdown: bool,
+    expect_hits: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: LoadgenConfig::default(),
+        out: Some(PathBuf::from("results/server_bench.json")),
+        shutdown: false,
+        expect_hits: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--no-out" => {
+                args.out = None;
+                continue;
+            }
+            "--no-verify" => {
+                args.config.verify = false;
+                continue;
+            }
+            "--shutdown" => {
+                args.shutdown = true;
+                continue;
+            }
+            "--expect-hits" => {
+                args.expect_hits = true;
+                continue;
+            }
+            _ => {}
+        }
+        const VALUE_FLAGS: &[&str] = &[
+            "--addr",
+            "--threads",
+            "--seconds",
+            "--items",
+            "--alpha",
+            "--read-fraction",
+            "--seed",
+            "--out",
+        ];
+        if !VALUE_FLAGS.contains(&flag.as_str()) {
+            return Err(format!("unknown flag {flag}"));
+        }
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        fn bad<E: std::fmt::Debug>(flag: &str) -> impl Fn(E) -> String + '_ {
+            move |e| format!("bad value for {flag}: {e:?}")
+        }
+        match flag.as_str() {
+            "--addr" => args.config.addr = value,
+            "--threads" => args.config.threads = value.parse().map_err(bad(&flag))?,
+            "--seconds" => args.config.seconds = value.parse().map_err(bad(&flag))?,
+            "--items" => args.config.items = value.parse().map_err(bad(&flag))?,
+            "--alpha" => args.config.alpha = value.parse().map_err(bad(&flag))?,
+            "--read-fraction" => args.config.read_fraction = value.parse().map_err(bad(&flag))?,
+            "--seed" => args.config.seed = value.parse().map_err(bad(&flag))?,
+            "--out" => args.out = Some(PathBuf::from(value)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "loadgen: {} threads x {}s against {} (items={}, alpha={}, read_fraction={})",
+        args.config.threads,
+        args.config.seconds,
+        args.config.addr,
+        args.config.items,
+        args.config.alpha,
+        args.config.read_fraction
+    );
+    let summary = match run(&args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: loadgen run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "  {} ops in {:.2}s: {:.0} ops/s, p50 {:.1} us, p99 {:.1} us",
+        summary.ops, summary.elapsed_s, summary.throughput_ops_s, summary.p50_us, summary.p99_us
+    );
+    if summary.not_found > 0 || summary.corrupt > 0 {
+        eprintln!(
+            "warning: {} reads found nothing, {} reads mismatched",
+            summary.not_found, summary.corrupt
+        );
+    }
+
+    // One extra connection for STATS (and SHUTDOWN, if asked).
+    let mut notes = Vec::new();
+    let mut hits = None;
+    match Client::connect(&*args.config.addr) {
+        Ok(mut control) => {
+            match control.stats() {
+                Ok(stats) => {
+                    let t = &stats.totals;
+                    println!(
+                        "  server: gets={} hits={} misses={} absent={} hit_rate={:.3}",
+                        t.gets, t.hits, t.misses, t.absent, t.hit_rate
+                    );
+                    hits = Some(t.hits);
+                    notes.push(format!(
+                        "server: shards={} gets={} hits={} misses={} absent={} sets={} evictions={} index_visits={} hit_rate={:.4}",
+                        stats.shards.len(), t.gets, t.hits, t.misses, t.absent, t.sets, t.evictions, t.index_visits, t.hit_rate
+                    ));
+                }
+                Err(e) => eprintln!("warning: STATS failed: {e}"),
+            }
+            if args.shutdown {
+                match control.shutdown() {
+                    Ok(()) => println!("  server acknowledged shutdown"),
+                    Err(e) => eprintln!("warning: SHUTDOWN failed: {e}"),
+                }
+            }
+        }
+        Err(e) => eprintln!("warning: control connection failed: {e}"),
+    }
+
+    if let Some(out) = &args.out {
+        if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        let json = to_figure_json(&args.config, &summary, &notes);
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  wrote {}", out.display());
+    }
+
+    if args.expect_hits && hits.unwrap_or(0) == 0 {
+        eprintln!("error: --expect-hits: server reported no cache hits");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,84 @@
+//! The server daemon: binds, serves, and exits cleanly on the SHUTDOWN
+//! opcode (printing final per-shard stats).
+
+use std::process::ExitCode;
+
+use p4lru_server::server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+p4lru_serverd — sharded P4LRU cache service
+
+USAGE: p4lru_serverd [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>   listen address       [default: 127.0.0.1:4190]
+  --shards <n>         shard threads        [default: 4]
+  --items <n>          pre-populated keys   [default: 100000]
+  --units <n>          cache units/shard    [default: 4096]
+  --seed <n>           cache hash seed      [default: 0x9412C0DE]
+  -h, --help           print this help
+";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4190".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |e| format!("bad value for {flag}: {e:?}");
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--shards" => config.shards = value.parse().map_err(bad)?,
+            "--items" => config.items = value.parse().map_err(bad)?,
+            "--units" => config.units_per_shard = value.parse().map_err(bad)?,
+            "--seed" => config.seed = value.parse().map_err(bad)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::spawn(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let capacity = config.shards * config.units_per_shard * 3;
+    println!(
+        "p4lru_serverd listening on {} ({} shards, {} items, {} cached addrs)",
+        server.local_addr(),
+        config.shards,
+        config.items,
+        capacity
+    );
+    let stats = server.wait();
+    println!("shutdown: final stats");
+    for s in &stats.shards {
+        println!(
+            "  shard {}: gets={} hits={} misses={} absent={} sets={} dels={} evictions={} hit_rate={:.3}",
+            s.shard, s.gets, s.hits, s.misses, s.absent, s.sets, s.dels, s.evictions, s.hit_rate
+        );
+    }
+    let t = &stats.totals;
+    println!(
+        "  total: gets={} hits={} hit_rate={:.3} index_visits={}",
+        t.gets, t.hits, t.hit_rate, t.index_visits
+    );
+    ExitCode::SUCCESS
+}

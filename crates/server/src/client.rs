@@ -1,0 +1,100 @@
+//! A minimal blocking client: one TCP connection, one request in flight.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::metrics::StatsReport;
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// A blocking protocol client. Reused buffers keep the per-request cost to
+/// the two syscalls.
+pub struct Client {
+    stream: TcpStream,
+    frame: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+fn unexpected(what: &str, got: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{what}: unexpected response {got:?}"),
+    )
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, as a closed-loop client needs).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            frame: Vec::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        request.encode(&mut self.payload);
+        write_frame(&mut self.stream, &self.payload)?;
+        if !read_frame(&mut self.stream, &mut self.frame)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            ));
+        }
+        Ok(Response::decode(&self.frame)?)
+    }
+
+    /// Reads a key's value.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        match self.call(&Request::Get { key })? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected("GET", &other)),
+        }
+    }
+
+    /// Writes a key's value.
+    pub fn set(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
+        match self.call(&Request::Set {
+            key,
+            value: value.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("SET", &other)),
+        }
+    }
+
+    /// Deletes a key, returning whether it existed.
+    pub fn del(&mut self, key: u64) -> io::Result<bool> {
+        match self.call(&Request::Del { key })? {
+            Response::Ok => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(unexpected("DEL", &other)),
+        }
+    }
+
+    /// Fetches the raw STATS JSON.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        match self.call(&Request::Stats)? {
+            Response::StatsJson(json) => Ok(json),
+            other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// Fetches and parses the STATS report.
+    pub fn stats(&mut self) -> io::Result<StatsReport> {
+        let json = self.stats_json()?;
+        serde_json::from_str(&json).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad STATS JSON: {e:?}"))
+        })
+    }
+
+    /// Asks the server to shut down (acknowledged before it stops).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("SHUTDOWN", &other)),
+        }
+    }
+}

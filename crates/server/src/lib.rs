@@ -1,0 +1,31 @@
+//! # p4lru-server
+//!
+//! A runnable cache service built from the workspace's pieces: per-shard
+//! engines pair a [`p4lru_core::array::P4Lru3Array`] front cache (storing
+//! 48-bit record addresses, LruIndex-style) with a
+//! [`p4lru_kvstore::Database`] backing store, behind a length-prefixed
+//! binary protocol over TCP. A closed-loop load generator replays the
+//! `p4lru-traffic` YCSB workloads against it and reports throughput and
+//! latency percentiles.
+//!
+//! The deployment story mirrors the paper's LruTable (§3.1): the cache
+//! absorbs the skewed head of the workload, misses take the slow path
+//! through the store's B+Tree index, and the looked-up address is installed
+//! in the cache on the way back. Binaries: `p4lru_serverd` (the daemon) and
+//! `loadgen` (the benchmark client).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use client::Client;
+pub use metrics::{LatencyHistogram, ShardMetrics, ShardSnapshot, StatsReport};
+pub use protocol::{Request, Response};
+pub use server::{shard_of, Server, ServerConfig};
+pub use shard::Shard;

@@ -1,0 +1,306 @@
+//! A closed-loop load generator replaying the YCSB workloads from
+//! `p4lru-traffic` against a running server.
+//!
+//! Each worker thread owns one connection and one deterministic operation
+//! stream (seeded per worker) and issues requests back-to-back until the
+//! deadline: classic closed-loop load, so reported latency is service time
+//! plus loopback RTT, and throughput is bounded by `threads / latency`.
+//! Latencies go into per-worker log₂ histograms, merged at the end.
+
+use std::io;
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use p4lru_kvstore::db::record_for;
+use p4lru_traffic::ycsb::{Op, YcsbConfig};
+use serde::Serialize;
+
+use crate::client::Client;
+use crate::metrics::LatencyHistogram;
+
+/// Load-generation parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Worker threads (one connection each).
+    pub threads: usize,
+    /// Run duration in seconds.
+    pub seconds: f64,
+    /// YCSB key-space size; must match the server's `--items` for the
+    /// workload to make sense.
+    pub items: u64,
+    /// Zipf skew (paper: 0.9).
+    pub alpha: f64,
+    /// Fraction of reads (YCSB-B: 0.95, YCSB-C: 1.0).
+    pub read_fraction: f64,
+    /// Base RNG seed; worker `i` uses a derived seed.
+    pub seed: u64,
+    /// Verify every read against the deterministic record contents.
+    pub verify: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4190".to_owned(),
+            threads: 4,
+            seconds: 5.0,
+            items: 100_000,
+            alpha: 0.9,
+            read_fraction: 0.95,
+            seed: 0x10AD,
+            verify: true,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Clone, Debug)]
+pub struct BenchSummary {
+    /// Operations completed across all workers.
+    pub ops: u64,
+    /// Reads that found no value (should be 0 against a populated server).
+    pub not_found: u64,
+    /// Reads whose value did not match the expected record contents.
+    pub corrupt: u64,
+    /// Wall-clock duration of the measurement.
+    pub elapsed_s: f64,
+    /// `ops / elapsed_s`.
+    pub throughput_ops_s: f64,
+    /// Client-observed median latency, microseconds.
+    pub p50_us: f64,
+    /// Client-observed 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// The merged latency histogram (for further quantiles).
+    pub latency: LatencyHistogram,
+}
+
+struct WorkerResult {
+    ops: u64,
+    not_found: u64,
+    corrupt: u64,
+    latency: LatencyHistogram,
+}
+
+/// Runs the closed loop and aggregates the per-worker results.
+pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
+    assert!(config.threads >= 1, "need at least one worker");
+    // Resolve once so worker errors are workload errors, not DNS races.
+    let addr = config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(config.seconds);
+
+    let workers: Vec<thread::JoinHandle<io::Result<WorkerResult>>> = (0..config.threads)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            let workload = YcsbConfig {
+                items: config.items,
+                alpha: config.alpha,
+                read_fraction: config.read_fraction,
+                seed: config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            let verify = config.verify;
+            thread::spawn(move || worker(addr, &workload, deadline, &stop, verify))
+        })
+        .collect();
+
+    let mut summary = BenchSummary {
+        ops: 0,
+        not_found: 0,
+        corrupt: 0,
+        elapsed_s: 0.0,
+        throughput_ops_s: 0.0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        latency: LatencyHistogram::new(),
+    };
+    let mut first_error = None;
+    for handle in workers {
+        match handle.join().expect("loadgen worker panicked") {
+            Ok(w) => {
+                summary.ops += w.ops;
+                summary.not_found += w.not_found;
+                summary.corrupt += w.corrupt;
+                summary.latency.merge(&w.latency);
+            }
+            Err(e) => {
+                // One failed worker sinks the run, but let the rest finish
+                // first so the error isn't a cascade of resets.
+                stop.store(true, Ordering::Relaxed);
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    summary.elapsed_s = started.elapsed().as_secs_f64();
+    summary.throughput_ops_s = summary.ops as f64 / summary.elapsed_s.max(1e-9);
+    summary.p50_us = summary.latency.quantile_ns(0.50).unwrap_or(0) as f64 / 1e3;
+    summary.p99_us = summary.latency.quantile_ns(0.99).unwrap_or(0) as f64 / 1e3;
+    Ok(summary)
+}
+
+fn worker(
+    addr: std::net::SocketAddr,
+    workload: &YcsbConfig,
+    deadline: Instant,
+    stop: &AtomicBool,
+    verify: bool,
+) -> io::Result<WorkerResult> {
+    let mut client = Client::connect(addr)?;
+    let mut ops_stream = workload.stream();
+    let mut result = WorkerResult {
+        ops: 0,
+        not_found: 0,
+        corrupt: 0,
+        latency: LatencyHistogram::new(),
+    };
+    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        let op = ops_stream.next().expect("YCSB stream is infinite");
+        let begin = Instant::now();
+        match op {
+            Op::Read(key) => match client.get(key)? {
+                Some(value) => {
+                    if verify && value != record_for(key) {
+                        result.corrupt += 1;
+                    }
+                }
+                None => result.not_found += 1,
+            },
+            Op::Update(key) => {
+                // Rewrite the deterministic contents so concurrent readers
+                // still verify cleanly.
+                client.set(key, &record_for(key))?;
+            }
+        }
+        result.latency.record_ns(begin.elapsed().as_nanos() as u64);
+        result.ops += 1;
+    }
+    Ok(result)
+}
+
+// Local mirror of `p4lru_bench::harness::FigureResult` — the server crate
+// sits below the bench crate in the dependency order (the bench crate
+// benchmarks this one), so it re-declares the two records rather than
+// importing them. The root integration test parses the emitted file with
+// the real `FigureResult` to keep the shapes locked together.
+#[derive(Serialize)]
+struct FigureOut {
+    id: String,
+    title: String,
+    x_label: String,
+    y_label: String,
+    x: Vec<f64>,
+    series: Vec<SeriesOut>,
+    notes: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct SeriesOut {
+    label: String,
+    values: Vec<f64>,
+}
+
+/// Renders the summary as a `FigureResult`-shaped JSON document (id
+/// `server_bench`): x = percentile, one latency series, one (flat)
+/// throughput series, configuration and hit-rate detail in `notes`.
+pub fn to_figure_json(
+    config: &LoadgenConfig,
+    summary: &BenchSummary,
+    extra_notes: &[String],
+) -> String {
+    let fig = FigureOut {
+        id: "server_bench".to_owned(),
+        title: "p4lru-server closed-loop YCSB benchmark".to_owned(),
+        x_label: "percentile".to_owned(),
+        y_label: "latency (us)".to_owned(),
+        x: vec![50.0, 99.0],
+        series: vec![
+            SeriesOut {
+                label: "latency_us".to_owned(),
+                values: vec![summary.p50_us, summary.p99_us],
+            },
+            SeriesOut {
+                label: "throughput_ops_s".to_owned(),
+                values: vec![summary.throughput_ops_s, summary.throughput_ops_s],
+            },
+        ],
+        notes: {
+            let mut notes = vec![
+                format!(
+                    "threads={} seconds={} items={} alpha={} read_fraction={}",
+                    config.threads,
+                    config.seconds,
+                    config.items,
+                    config.alpha,
+                    config.read_fraction
+                ),
+                format!(
+                    "ops={} elapsed_s={:.3} not_found={} corrupt={}",
+                    summary.ops, summary.elapsed_s, summary.not_found, summary.corrupt
+                ),
+            ];
+            notes.extend_from_slice(extra_notes);
+            notes
+        },
+    };
+    serde_json::to_string_pretty(&fig).expect("figure serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn short_run_against_in_process_server() {
+        let server = Server::spawn(&ServerConfig {
+            items: 2_000,
+            units_per_shard: 256,
+            shards: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let config = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            threads: 2,
+            seconds: 0.2,
+            items: 2_000,
+            ..LoadgenConfig::default()
+        };
+        let summary = run(&config).unwrap();
+        assert!(summary.ops > 0, "closed loop must complete operations");
+        assert_eq!(summary.not_found, 0, "server is fully populated");
+        assert_eq!(summary.corrupt, 0, "reads must verify");
+        assert!(summary.p99_us >= summary.p50_us);
+        assert_eq!(summary.latency.count(), summary.ops);
+
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.totals.gets + stats.totals.sets,
+            summary.ops,
+            "server-side op count must match the client's"
+        );
+        assert!(
+            stats.totals.hits > 0,
+            "zipf 0.9 over a roomy cache must hit"
+        );
+
+        let json = to_figure_json(
+            &config,
+            &summary,
+            &[format!("hit_rate={:.3}", stats.totals.hit_rate)],
+        );
+        assert!(json.contains("\"server_bench\""));
+        assert!(json.contains("latency_us"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-shard metrics: lock-free atomic counters readable by any thread
+//! (STATS never has to queue behind the shard's request channel), plus a
+//! log₂-bucketed latency histogram for the load generator's client side.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Atomic hit/miss/slow-path counters owned by one shard, shared via `Arc`
+/// with whoever serves STATS.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// GETs answered from the front cache (address was cached).
+    pub hits: AtomicU64,
+    /// GETs that walked the backing index (key present, address not cached).
+    pub misses: AtomicU64,
+    /// GETs for keys the backing store does not hold.
+    pub absent: AtomicU64,
+    /// SETs applied.
+    pub sets: AtomicU64,
+    /// DELs applied (whether or not the key existed).
+    pub dels: AtomicU64,
+    /// Cache entries evicted while installing a new address.
+    pub evictions: AtomicU64,
+    /// Total B+Tree nodes visited on slow paths (misses and new-key SETs).
+    pub index_visits: AtomicU64,
+}
+
+impl ShardMetrics {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Records a cache hit.
+    pub fn hit(&self) {
+        Self::bump(&self.hits, 1);
+    }
+
+    /// Records a cache miss that cost `index_visits` node visits.
+    pub fn miss(&self, index_visits: usize) {
+        Self::bump(&self.misses, 1);
+        Self::bump(&self.index_visits, index_visits as u64);
+    }
+
+    /// Records a GET for an absent key.
+    pub fn absent(&self) {
+        Self::bump(&self.absent, 1);
+    }
+
+    /// Records a SET that cost `index_visits` node visits (0 when the key
+    /// already existed and its address was reused in place).
+    pub fn set(&self, index_visits: usize) {
+        Self::bump(&self.sets, 1);
+        Self::bump(&self.index_visits, index_visits as u64);
+    }
+
+    /// Records a DEL.
+    pub fn del(&self) {
+        Self::bump(&self.dels, 1);
+    }
+
+    /// Records a cache eviction.
+    pub fn eviction(&self) {
+        Self::bump(&self.evictions, 1);
+    }
+
+    /// A consistent-enough snapshot (individual counters are exact; the set
+    /// is not read under a lock, matching what a data-plane register dump
+    /// would give).
+    pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let absent = self.absent.load(Ordering::Relaxed);
+        let gets = hits + misses + absent;
+        ShardSnapshot {
+            shard: shard as u64,
+            gets,
+            hits,
+            misses,
+            absent,
+            sets: self.sets.load(Ordering::Relaxed),
+            dels: self.dels.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            index_visits: self.index_visits.load(Ordering::Relaxed),
+            hit_rate: if gets == 0 {
+                0.0
+            } else {
+                hits as f64 / gets as f64
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's counters, as served by STATS.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: u64,
+    /// Total GETs (= hits + misses + absent).
+    pub gets: u64,
+    /// GETs answered from the front cache.
+    pub hits: u64,
+    /// GETs that walked the backing index.
+    pub misses: u64,
+    /// GETs for keys not in the backing store.
+    pub absent: u64,
+    /// SETs applied.
+    pub sets: u64,
+    /// DELs applied.
+    pub dels: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Total index nodes visited on slow paths.
+    pub index_visits: u64,
+    /// hits / gets (0 when no GETs yet).
+    pub hit_rate: f64,
+}
+
+/// The STATS payload: one snapshot per shard plus their sum.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Counters summed across shards (`shard` is the shard count).
+    pub totals: ShardSnapshot,
+}
+
+impl StatsReport {
+    /// Builds the report from per-shard snapshots.
+    pub fn from_shards(shards: Vec<ShardSnapshot>) -> Self {
+        let mut totals = ShardSnapshot {
+            shard: shards.len() as u64,
+            gets: 0,
+            hits: 0,
+            misses: 0,
+            absent: 0,
+            sets: 0,
+            dels: 0,
+            evictions: 0,
+            index_visits: 0,
+            hit_rate: 0.0,
+        };
+        for s in &shards {
+            totals.gets += s.gets;
+            totals.hits += s.hits;
+            totals.misses += s.misses;
+            totals.absent += s.absent;
+            totals.sets += s.sets;
+            totals.dels += s.dels;
+            totals.evictions += s.evictions;
+            totals.index_visits += s.index_visits;
+        }
+        if totals.gets > 0 {
+            totals.hit_rate = totals.hits as f64 / totals.gets as f64;
+        }
+        Self { shards, totals }
+    }
+}
+
+/// A log₂-bucketed latency histogram (client side of the load generator).
+///
+/// Bucket `i` holds samples with `floor(log2(ns)) == i`; quantiles are read
+/// back at the bucket's geometric midpoint, so error is bounded by the √2
+/// bucket half-width — plenty for p50/p99 over a closed-loop run, with O(1)
+/// recording and a fixed 64-word footprint (no allocation on the hot path).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    /// Records one sample in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+    }
+
+    /// The approximate `q`-quantile in nanoseconds (`q` in `[0, 1]`), or
+    /// `None` if the histogram is empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)): 2^i * sqrt(2).
+                let lo = 1u64 << i;
+                return Some((lo as f64 * std::f64::consts::SQRT_2) as u64);
+            }
+        }
+        unreachable!("count > 0 implies some bucket holds the rank");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_totals_add_up() {
+        let m = ShardMetrics::default();
+        m.hit();
+        m.hit();
+        m.miss(3);
+        m.absent();
+        m.set(2);
+        m.del();
+        m.eviction();
+        let s = m.snapshot(5);
+        assert_eq!(s.shard, 5);
+        assert_eq!(s.gets, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.absent, 1);
+        assert_eq!(s.sets, 1);
+        assert_eq!(s.dels, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.index_visits, 5);
+        assert!((s.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_report_sums_shards_and_roundtrips_json() {
+        let a = ShardMetrics::default();
+        a.hit();
+        a.miss(2);
+        let b = ShardMetrics::default();
+        b.hit();
+        let report = StatsReport::from_shards(vec![a.snapshot(0), b.snapshot(1)]);
+        assert_eq!(report.totals.gets, 3);
+        assert_eq!(report.totals.hits, 2);
+        assert_eq!(report.totals.index_visits, 2);
+        assert!((report.totals.hit_rate - 2.0 / 3.0).abs() < 1e-12);
+
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_accurate() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record_ns(1_000); // bucket 9 (512..1024)
+        }
+        h.record_ns(1_000_000); // bucket 19
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50).unwrap();
+        assert!((512..2048).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99).unwrap();
+        assert!((512..2048).contains(&p99), "p99 = {p99}");
+        let p100 = h.quantile_ns(1.0).unwrap();
+        assert!((524_288..2_097_152).contains(&p100), "p100 = {p100}");
+    }
+
+    #[test]
+    fn histogram_merge_and_edge_cases() {
+        let mut a = LatencyHistogram::new();
+        assert_eq!(a.quantile_ns(0.5), None);
+        a.record_ns(0); // clamps to bucket 0
+        let mut b = LatencyHistogram::new();
+        b.record_ns(u64::MAX); // top bucket
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile_ns(0.0).is_some());
+        assert!(a.quantile_ns(1.0).is_some());
+    }
+}

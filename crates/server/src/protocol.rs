@@ -1,0 +1,337 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one frame: a little-endian `u32` payload length followed
+//! by the payload. The first payload byte is the opcode; the rest is the
+//! fixed-layout body. Keys are little-endian `u64`; values are raw bytes
+//! (the kvstore stores fixed 64-byte records, but the framing itself is
+//! length-agnostic so STATS can carry JSON in the same envelope).
+//!
+//! Requests: GET `0x01`, SET `0x02`, DEL `0x03`, STATS `0x04`,
+//! SHUTDOWN `0x05`. Responses: VALUE `0x80`, NOT_FOUND `0x81`, OK `0x82`,
+//! STATS_JSON `0x83`, ERR `0x84`.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted payload. Frames beyond this are a protocol error, not an
+/// allocation: a garbage length prefix must not make the server reserve
+/// gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A request from client to server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Read the value of a key.
+    Get {
+        /// The key to read.
+        key: u64,
+    },
+    /// Write a key's value (write-through: backing store then cache).
+    Set {
+        /// The key to write.
+        key: u64,
+        /// The value bytes; the store pads/validates to its record size.
+        value: Vec<u8>,
+    },
+    /// Delete a key (and invalidate any cached address for it).
+    Del {
+        /// The key to delete.
+        key: u64,
+    },
+    /// Fetch per-shard metrics as JSON.
+    Stats,
+    /// Ask the server to stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+/// A response from server to client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The value of a key that was present.
+    Value(Vec<u8>),
+    /// The key was absent.
+    NotFound,
+    /// A SET/DEL/SHUTDOWN was applied.
+    Ok,
+    /// The STATS payload.
+    StatsJson(String),
+    /// The request could not be served.
+    Err(String),
+}
+
+const OP_GET: u8 = 0x01;
+const OP_SET: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+
+const RE_VALUE: u8 = 0x80;
+const RE_NOT_FOUND: u8 = 0x81;
+const RE_OK: u8 = 0x82;
+const RE_STATS_JSON: u8 = 0x83;
+const RE_ERR: u8 = 0x84;
+
+/// A malformed frame or payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+fn err(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+fn take_u64(payload: &[u8], at: usize) -> Result<u64, ProtocolError> {
+    let bytes: [u8; 8] = payload
+        .get(at..at + 8)
+        .ok_or_else(|| err("truncated u64 field"))?
+        .try_into()
+        .expect("slice of length 8");
+    Ok(u64::from_le_bytes(bytes))
+}
+
+impl Request {
+    /// Serializes the request payload (opcode + body, no length prefix).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        match self {
+            Request::Get { key } => {
+                buf.push(OP_GET);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::Set { key, value } => {
+                buf.push(OP_SET);
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(value);
+            }
+            Request::Del { key } => {
+                buf.push(OP_DEL);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::Stats => buf.push(OP_STATS),
+            Request::Shutdown => buf.push(OP_SHUTDOWN),
+        }
+    }
+
+    /// Parses a request payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let (&op, body) = payload.split_first().ok_or_else(|| err("empty frame"))?;
+        let req = match op {
+            OP_GET => Request::Get {
+                key: take_u64(body, 0)?,
+            },
+            OP_SET => Request::Set {
+                key: take_u64(body, 0)?,
+                value: body
+                    .get(8..)
+                    .ok_or_else(|| err("SET missing value"))?
+                    .to_vec(),
+            },
+            OP_DEL => Request::Del {
+                key: take_u64(body, 0)?,
+            },
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(err(format!("unknown request opcode {other:#04x}"))),
+        };
+        // Fixed-layout requests must not carry trailing bytes.
+        let expect = match &req {
+            Request::Get { .. } | Request::Del { .. } => 9,
+            Request::Stats | Request::Shutdown => 1,
+            Request::Set { .. } => payload.len(),
+        };
+        if payload.len() != expect {
+            return Err(err(format!(
+                "request opcode {op:#04x}: expected {expect} payload bytes, got {}",
+                payload.len()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (opcode + body, no length prefix).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        match self {
+            Response::Value(v) => {
+                buf.push(RE_VALUE);
+                buf.extend_from_slice(v);
+            }
+            Response::NotFound => buf.push(RE_NOT_FOUND),
+            Response::Ok => buf.push(RE_OK),
+            Response::StatsJson(s) => {
+                buf.push(RE_STATS_JSON);
+                buf.extend_from_slice(s.as_bytes());
+            }
+            Response::Err(s) => {
+                buf.push(RE_ERR);
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Parses a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let (&op, body) = payload.split_first().ok_or_else(|| err("empty frame"))?;
+        let utf8 = |body: &[u8], what: &str| {
+            String::from_utf8(body.to_vec()).map_err(|_| err(format!("{what} is not UTF-8")))
+        };
+        match op {
+            RE_VALUE => Ok(Response::Value(body.to_vec())),
+            RE_NOT_FOUND if body.is_empty() => Ok(Response::NotFound),
+            RE_OK if body.is_empty() => Ok(Response::Ok),
+            RE_NOT_FOUND | RE_OK => Err(err("unexpected body on bare response")),
+            RE_STATS_JSON => Ok(Response::StatsJson(utf8(body, "STATS payload")?)),
+            RE_ERR => Ok(Response::Err(utf8(body, "ERR payload")?)),
+            other => Err(err(format!("unknown response opcode {other:#04x}"))),
+        }
+    }
+}
+
+/// Writes one frame: `u32` little-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(err(format!(
+            "frame of {} bytes exceeds MAX_FRAME",
+            payload.len()
+        ))
+        .into());
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload into `buf` (cleared and resized).
+///
+/// Returns `Ok(false)` on clean EOF *before* the length prefix — the peer
+/// hung up between requests, which is not an error.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut len = [0u8; 4];
+    // A clean disconnect shows up as EOF on the first prefix byte.
+    match r.read(&mut len[..1]) {
+        Ok(0) => return Ok(false),
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    r.read_exact(&mut len[1..])?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(err(format!("incoming frame of {n} bytes exceeds MAX_FRAME")).into());
+    }
+    buf.clear();
+    buf.resize(n, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert_eq!(Request::decode(&buf).unwrap(), req);
+    }
+
+    fn roundtrip_response(res: Response) {
+        let mut buf = Vec::new();
+        res.encode(&mut buf);
+        assert_eq!(Response::decode(&buf).unwrap(), res);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Get { key: 0 });
+        roundtrip_request(Request::Get { key: u64::MAX });
+        roundtrip_request(Request::Set {
+            key: 7,
+            value: vec![0xAB; 64],
+        });
+        roundtrip_request(Request::Set {
+            key: 7,
+            value: vec![],
+        });
+        roundtrip_request(Request::Del { key: 42 });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Value(vec![1, 2, 3]));
+        roundtrip_response(Response::Value(vec![]));
+        roundtrip_response(Response::NotFound);
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::StatsJson("{\"x\":1}".into()));
+        roundtrip_response(Response::Err("nope".into()));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xFF]).is_err());
+        assert!(Request::decode(&[OP_GET, 1, 2]).is_err(), "truncated key");
+        assert!(
+            Request::decode(&[OP_GET, 0, 0, 0, 0, 0, 0, 0, 0, 9]).is_err(),
+            "trailing byte"
+        );
+        assert!(Request::decode(&[OP_STATS, 0]).is_err(), "STATS with body");
+        assert!(Response::decode(&[RE_OK, 1]).is_err(), "OK with body");
+        assert!(Response::decode(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"hello");
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"");
+        assert!(!read_frame(&mut cursor, &mut buf).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut cursor, &mut buf).is_err());
+        assert!(
+            buf.capacity() < MAX_FRAME,
+            "must not reserve the bogus length"
+        );
+
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut Vec::new(), &huge).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_eof() {
+        // Length says 10 bytes; only 3 arrive.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_le_bytes());
+        wire.extend_from_slice(&[1, 2, 3]);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor, &mut Vec::new()).is_err());
+    }
+}

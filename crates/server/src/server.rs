@@ -1,0 +1,439 @@
+//! The TCP server: shard-per-thread engines behind an accept loop.
+//!
+//! Each shard thread exclusively owns one [`Shard`] (cache + store slice)
+//! and drains an mpsc request channel — the software rendering of "one
+//! pipeline owns its registers", which is what lets the P4LRU arrays stay
+//! lock-free (see the thread-safety notes on
+//! [`p4lru_core::array::LruArray`]). Connection-handler threads parse
+//! frames, route each keyed request to its shard by key hash, and relay the
+//! reply. STATS reads the shards' atomic counters directly, so it never
+//! queues behind the data path.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use p4lru_core::hashing::hash_u64;
+use p4lru_kvstore::db::record_for;
+use p4lru_kvstore::slab::Record;
+
+use crate::metrics::{ShardMetrics, StatsReport};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::shard::{record_from_bytes, Shard};
+
+/// Seed of the key → shard routing hash. Distinct from the per-shard cache
+/// seeds so routing and unit indexing stay uncorrelated.
+const ROUTE_SEED: u64 = 0x5EED_0F54_A2D5;
+
+/// How often an idle connection handler re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// The shard a key is routed to.
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    (hash_u64(ROUTE_SEED, key) % shards as u64) as usize
+}
+
+/// Server sizing and listen address.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (tests do this).
+    pub addr: String,
+    /// Number of shards (= shard threads).
+    pub shards: usize,
+    /// Records to pre-populate, keyed `0..items` (the YCSB key space).
+    pub items: u64,
+    /// Three-entry cache units per shard; front-cache capacity is
+    /// `shards * units_per_shard * 3` entries.
+    pub units_per_shard: usize,
+    /// Seed for the per-shard cache hashes.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 4,
+            items: 100_000,
+            units_per_shard: 4096,
+            seed: 0x9412_C0DE,
+        }
+    }
+}
+
+enum ShardOp {
+    Get(u64),
+    Set(u64, Record),
+    Del(u64),
+}
+
+struct ShardRequest {
+    op: ShardOp,
+    reply: Sender<Response>,
+}
+
+/// What the accept loop hands every connection handler.
+struct Ctx {
+    senders: Vec<Sender<ShardRequest>>,
+    metrics: Vec<Arc<ShardMetrics>>,
+    running: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+}
+
+/// A running server; dropping it without [`Server::shutdown`] detaches the
+/// threads (the process exit reaps them).
+pub struct Server {
+    local_addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    senders: Vec<Sender<ShardRequest>>,
+    metrics: Vec<Arc<ShardMetrics>>,
+}
+
+impl Server {
+    /// Builds the shards, populates them with `items` records (key `k` gets
+    /// the deterministic [`record_for`]`(k)`), binds the listener, and
+    /// spawns the shard and accept threads.
+    pub fn spawn(config: &ServerConfig) -> io::Result<Server> {
+        assert!(config.shards >= 1, "need at least one shard");
+        let mut shards: Vec<Shard> = (0..config.shards)
+            .map(|i| {
+                Shard::new(
+                    config.units_per_shard,
+                    config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect();
+        for key in 0..config.items {
+            shards[shard_of(key, config.shards)].load(key, record_for(key));
+        }
+        let metrics: Vec<Arc<ShardMetrics>> = shards.iter().map(Shard::metrics).collect();
+
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut shard_handles = Vec::with_capacity(config.shards);
+        for (i, mut shard) in shards.into_iter().enumerate() {
+            let (tx, rx): (Sender<ShardRequest>, Receiver<ShardRequest>) = mpsc::channel();
+            senders.push(tx);
+            shard_handles.push(
+                thread::Builder::new()
+                    .name(format!("p4lru-shard-{i}"))
+                    .spawn(move || shard_loop(&mut shard, &rx))?,
+            );
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let ctx = Arc::new(Ctx {
+            senders: senders.clone(),
+            metrics: metrics.clone(),
+            running: Arc::clone(&running),
+            local_addr,
+        });
+        let accept = {
+            let handlers = Arc::clone(&handlers);
+            thread::Builder::new()
+                .name("p4lru-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &ctx, &handlers))?
+        };
+
+        Ok(Server {
+            local_addr,
+            running,
+            accept: Some(accept),
+            shard_handles,
+            handlers,
+            senders,
+            metrics,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A stats report straight from the shards' atomic counters.
+    pub fn stats(&self) -> StatsReport {
+        StatsReport::from_shards(
+            self.metrics
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.snapshot(i))
+                .collect(),
+        )
+    }
+
+    /// Blocks until a client sends SHUTDOWN, then tears down and returns the
+    /// final stats (the `p4lru_serverd` main loop).
+    pub fn wait(mut self) -> StatsReport {
+        self.teardown();
+        self.stats()
+    }
+
+    /// Initiates shutdown from this process, tears down, and returns the
+    /// final stats.
+    pub fn shutdown(mut self) -> StatsReport {
+        self.running.store(false, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        self.teardown();
+        self.stats()
+    }
+
+    fn teardown(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        // Shard threads exit once every sender is gone (accept loop and all
+        // handlers are joined by now, so these are the last clones).
+        self.senders.clear();
+        for h in self.shard_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>) {
+    while let Ok(req) = rx.recv() {
+        let response = match req.op {
+            ShardOp::Get(key) => match shard.get(key) {
+                Some(record) => Response::Value(record.to_vec()),
+                None => Response::NotFound,
+            },
+            ShardOp::Set(key, record) => {
+                shard.set(key, record);
+                Response::Ok
+            }
+            ShardOp::Del(key) => {
+                if shard.del(key) {
+                    Response::Ok
+                } else {
+                    Response::NotFound
+                }
+            }
+        };
+        // A vanished handler (client hung up mid-request) is not an error.
+        let _ = req.reply.send(response);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if !ctx.running.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !ctx.running.load(Ordering::SeqCst) {
+            return; // the wake-up connection, or a straggler past shutdown
+        }
+        let ctx = Arc::clone(ctx);
+        if let Ok(handle) = thread::Builder::new()
+            .name("p4lru-conn".to_owned())
+            .spawn(move || handle_connection(stream, &ctx))
+        {
+            let mut list = handlers.lock().expect("handler list poisoned");
+            list.retain(|h| !h.is_finished());
+            list.push(handle);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    // Closed-loop clients need every reply on the wire immediately.
+    let _ = stream.set_nodelay(true);
+    // Bound every read so an idle connection notices shutdown.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut stream, &mut frame) {
+            Ok(true) => {}
+            Ok(false) => return, // clean disconnect
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.running.load(Ordering::SeqCst) {
+                    continue;
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+        let response = match Request::decode(&frame) {
+            Ok(request) => serve(request, ctx, &mut stream),
+            Err(e) => Some(Response::Err(e.to_string())),
+        };
+        let Some(response) = response else { return };
+        response.encode(&mut out);
+        if write_frame(&mut stream, &out).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serves one request; `None` means the handler should close the connection
+/// (the SHUTDOWN acknowledgement is written here, before the accept loop is
+/// woken, so the client always sees its OK).
+fn serve(request: Request, ctx: &Ctx, stream: &mut (impl Read + Write)) -> Option<Response> {
+    let route = |key: u64| &ctx.senders[shard_of(key, ctx.senders.len())];
+    match request {
+        Request::Get { key } => Some(dispatch(route(key), ShardOp::Get(key))),
+        Request::Set { key, value } => Some(dispatch(
+            route(key),
+            ShardOp::Set(key, record_from_bytes(&value)),
+        )),
+        Request::Del { key } => Some(dispatch(route(key), ShardOp::Del(key))),
+        Request::Stats => {
+            let report = StatsReport::from_shards(
+                ctx.metrics
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| m.snapshot(i))
+                    .collect(),
+            );
+            Some(match serde_json::to_string(&report) {
+                Ok(json) => Response::StatsJson(json),
+                Err(e) => Response::Err(format!("stats serialization failed: {e:?}")),
+            })
+        }
+        Request::Shutdown => {
+            let mut out = Vec::new();
+            Response::Ok.encode(&mut out);
+            let _ = write_frame(stream, &out);
+            ctx.running.store(false, Ordering::SeqCst);
+            let _ = TcpStream::connect(ctx.local_addr); // wake the accept loop
+            None
+        }
+    }
+}
+
+fn dispatch(sender: &Sender<ShardRequest>, op: ShardOp) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if sender
+        .send(ShardRequest {
+            op,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        return Response::Err("shard unavailable".to_owned());
+    }
+    match reply_rx.recv() {
+        Ok(response) => response,
+        Err(_) => Response::Err("shard dropped the request".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn tiny_config() -> ServerConfig {
+        ServerConfig {
+            items: 1_000,
+            units_per_shard: 64,
+            shards: 2,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_get_set_del_stats() {
+        let server = Server::spawn(&tiny_config()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        // GET a populated key twice: miss then hit.
+        let v1 = client.get(17).unwrap().expect("populated key");
+        assert_eq!(v1, record_for(17).to_vec());
+        assert_eq!(client.get(17).unwrap().unwrap(), v1);
+
+        // SET and read back.
+        client.set(2_000, b"fresh").unwrap();
+        let v = client.get(2_000).unwrap().expect("just set");
+        assert_eq!(&v[..5], b"fresh");
+
+        // DEL and confirm gone.
+        assert!(client.del(2_000).unwrap());
+        assert!(!client.del(2_000).unwrap());
+        assert_eq!(client.get(2_000).unwrap(), None);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.shards.len(), 2);
+        assert_eq!(
+            stats.totals.hits, 2,
+            "repeat GET + read-back of a SET-installed key"
+        );
+        assert_eq!(stats.totals.misses, 1, "only the first GET walks the index");
+        assert_eq!(stats.totals.absent, 1);
+        assert_eq!(stats.totals.gets, 4);
+        assert_eq!(stats.totals.sets, 1);
+        assert_eq!(stats.totals.dels, 2);
+
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.totals.gets, 4);
+    }
+
+    #[test]
+    fn shutdown_opcode_stops_the_server() {
+        let server = Server::spawn(&tiny_config()).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        drop(client);
+        let stats = server.wait(); // returns only if the opcode worked
+        assert_eq!(stats.totals.gets, 0);
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may still accept briefly; a request must fail either way.
+                let mut c = Client::connect(addr).unwrap();
+                c.get(1).is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_frames_get_an_error_response() {
+        let server = Server::spawn(&tiny_config()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut stream, &[0xFF, 1, 2, 3]).unwrap();
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut stream, &mut buf).unwrap());
+        assert!(matches!(Response::decode(&buf).unwrap(), Response::Err(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn routing_covers_every_shard_and_is_stable() {
+        let shards = 4;
+        let mut seen = vec![0u64; shards];
+        for key in 0..10_000 {
+            let s = shard_of(key, shards);
+            assert_eq!(s, shard_of(key, shards));
+            seen[s] += 1;
+        }
+        for (i, &n) in seen.iter().enumerate() {
+            assert!(n > 1_500, "shard {i} got only {n} of 10000 keys");
+        }
+    }
+}

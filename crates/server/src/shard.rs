@@ -1,0 +1,232 @@
+//! One shard: a P4LRU front cache write-through to its own slice of the
+//! backing store.
+//!
+//! This is the software analogue of the paper's LruTable deployment (§3.1):
+//! the switch holds a small LRU cache in front of the servers, and a miss
+//! takes the *slow path* — here, a B+Tree index walk in
+//! [`p4lru_kvstore::Database`] — after which the looked-up record's address
+//! is installed in the cache (the §3.1 placeholder is the install; in a
+//! single-threaded shard the install is atomic with the lookup, so the
+//! placeholder's "reserve, then fill" dance collapses into one step — see
+//! DESIGN.md §7). Like LruIndex (§3.2), the cache stores the record's
+//! 48-bit *address*, not its value: a hit skips the index walk and reads
+//! the slab directly.
+//!
+//! A shard is single-threaded by construction — the server gives each shard
+//! thread exclusive ownership, mirroring how one pipeline owns its
+//! registers — so the cache needs no interior locking (see the thread-safety
+//! notes on [`p4lru_core::array::LruArray`]).
+
+use std::sync::Arc;
+
+use p4lru_core::array::P4Lru3Array;
+use p4lru_core::unit::Outcome;
+use p4lru_kvstore::slab::Record;
+use p4lru_kvstore::{Addr48, Database, VALUE_SIZE};
+
+use crate::metrics::{ShardMetrics, ShardSnapshot};
+
+/// A shard: front cache, backing store, and counters.
+#[derive(Debug)]
+pub struct Shard {
+    cache: P4Lru3Array<u64, Addr48>,
+    db: Database,
+    metrics: Arc<ShardMetrics>,
+}
+
+fn overwrite(slot: &mut Addr48, addr: Addr48) {
+    *slot = addr;
+}
+
+impl Shard {
+    /// A shard with `units` three-entry cache units and an empty store.
+    pub fn new(units: usize, seed: u64) -> Self {
+        Self {
+            cache: P4Lru3Array::with_seed(units, seed),
+            db: Database::default(),
+            metrics: Arc::new(ShardMetrics::default()),
+        }
+    }
+
+    /// The shard's metrics handle (share with the STATS path).
+    pub fn metrics(&self) -> Arc<ShardMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Front-cache capacity in entries.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Number of records in the backing store.
+    pub fn store_len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Bulk-loads a record without touching counters or the cache (initial
+    /// population).
+    pub fn load(&mut self, key: u64, record: Record) {
+        self.db.insert(key, record);
+    }
+
+    /// Reads `key`. A cache hit reads the slab directly by cached address
+    /// and refreshes the entry's recency; a miss walks the index and
+    /// installs the address.
+    pub fn get(&mut self, key: u64) -> Option<Record> {
+        if let Some(&addr) = self.cache.get(&key) {
+            let record = *self.db.lookup_by_addr(addr);
+            self.cache.update(key, addr, overwrite);
+            self.metrics.hit();
+            return Some(record);
+        }
+        match self.db.lookup_by_key(key) {
+            Some(found) => {
+                let (addr, visits) = (found.addr, found.index_visits);
+                let record = *found.record;
+                self.metrics.miss(visits);
+                self.install(key, addr);
+                Some(record)
+            }
+            None => {
+                self.metrics.absent();
+                None
+            }
+        }
+    }
+
+    /// Write-through SET: the backing store is updated first, then the
+    /// cache (write-allocate — the written key becomes most recently used,
+    /// matching YCSB's read-your-writes access pattern).
+    pub fn set(&mut self, key: u64, record: Record) {
+        match self.db.insert(key, record) {
+            Some(addr) => {
+                // Existing key: the record was overwritten in place, so any
+                // cached address is still valid.
+                self.metrics.set(0);
+                self.install(key, addr);
+            }
+            None => {
+                // New key: learn the freshly assigned address the same way
+                // a miss would.
+                let found = self.db.lookup_by_key(key).expect("key was just inserted");
+                let (addr, visits) = (found.addr, found.index_visits);
+                self.metrics.set(visits);
+                self.install(key, addr);
+            }
+        }
+    }
+
+    /// Deletes `key`, returning whether it existed.
+    ///
+    /// The cached address **must** be invalidated before the store frees the
+    /// record: the slab reuses freed addresses, so a stale cache entry would
+    /// later serve some other key's record.
+    pub fn del(&mut self, key: u64) -> bool {
+        self.metrics.del();
+        self.cache.remove(&key);
+        self.db.remove(key)
+    }
+
+    /// A snapshot of this shard's counters.
+    pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        self.metrics.snapshot(shard)
+    }
+
+    fn install(&mut self, key: u64, addr: Addr48) {
+        if let Outcome::Evicted { .. } = self.cache.update(key, addr, overwrite) {
+            self.metrics.eviction();
+        }
+    }
+}
+
+/// Pads or truncates arbitrary value bytes to the store's record size.
+pub fn record_from_bytes(value: &[u8]) -> Record {
+    let mut r = [0u8; VALUE_SIZE];
+    let n = value.len().min(VALUE_SIZE);
+    r[..n].copy_from_slice(&value[..n]);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4lru_kvstore::db::record_for;
+    use std::sync::atomic::Ordering;
+
+    fn loaded_shard(items: u64) -> Shard {
+        let mut shard = Shard::new(64, 0xBEEF);
+        for k in 0..items {
+            shard.load(k, record_for(k));
+        }
+        shard
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let mut shard = loaded_shard(100);
+        assert_eq!(shard.get(7), Some(record_for(7)));
+        assert_eq!(shard.get(7), Some(record_for(7)));
+        assert_eq!(shard.get(999), None);
+        let s = shard.snapshot(0);
+        assert_eq!((s.hits, s.misses, s.absent), (1, 1, 1));
+        assert_eq!(s.gets, 3);
+        assert!(s.index_visits > 0, "a miss walks the index");
+    }
+
+    #[test]
+    fn set_new_and_existing_keys() {
+        let mut shard = loaded_shard(10);
+        shard.set(3, record_for(103)); // existing: in-place
+        assert_eq!(shard.get(3), Some(record_for(103)));
+        shard.set(500, record_for(500)); // new key
+        assert_eq!(shard.get(500), Some(record_for(500)));
+        assert_eq!(shard.store_len(), 11);
+        let s = shard.snapshot(0);
+        assert_eq!(s.sets, 2);
+        // Both SETs installed the address, so both GETs hit.
+        assert_eq!((s.hits, s.misses), (2, 0));
+    }
+
+    #[test]
+    fn del_invalidates_the_cached_address() {
+        let mut shard = loaded_shard(10);
+        assert_eq!(shard.get(4), Some(record_for(4))); // cache addr of key 4
+        assert!(shard.del(4));
+        assert!(!shard.del(4), "second delete finds nothing");
+        // The slab reuses key 4's freed slot for the next insert; a stale
+        // cached address would now serve key 777's record under key 4.
+        shard.set(777, record_for(777));
+        assert_eq!(shard.get(4), None, "deleted key must stay deleted");
+        assert_eq!(shard.get(777), Some(record_for(777)));
+    }
+
+    #[test]
+    fn eviction_is_counted_when_the_cache_overflows() {
+        let mut shard = Shard::new(1, 1); // one unit: 3 entries total
+        for k in 0..10 {
+            shard.load(k, record_for(k));
+        }
+        for k in 0..10 {
+            assert_eq!(shard.get(k), Some(record_for(k)));
+        }
+        let s = shard.snapshot(0);
+        assert_eq!(s.misses, 10);
+        assert_eq!(s.evictions, 7, "10 installs into 3 slots evict 7");
+    }
+
+    #[test]
+    fn metrics_handle_is_shared() {
+        let mut shard = loaded_shard(5);
+        let handle = shard.metrics();
+        shard.get(1);
+        assert_eq!(handle.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn record_from_bytes_pads_and_truncates() {
+        assert_eq!(record_from_bytes(b"ab")[..2], *b"ab");
+        assert_eq!(record_from_bytes(b"ab")[2..], [0u8; VALUE_SIZE - 2]);
+        let long = vec![7u8; VALUE_SIZE + 9];
+        assert_eq!(record_from_bytes(&long), [7u8; VALUE_SIZE]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Compile-time thread-safety assertions for the types the server moves
+//! across threads: each shard thread takes ownership of a [`Shard`] (and
+//! therefore of its `P4Lru3Array` and `Database`), so all three must be
+//! `Send`. If a future field (an `Rc`, a raw pointer cache, …) broke that,
+//! this test would fail to *compile* rather than letting the server rot.
+
+use p4lru_core::array::P4Lru3Array;
+use p4lru_kvstore::{Addr48, Database};
+use p4lru_server::metrics::{ShardMetrics, StatsReport};
+use p4lru_server::Shard;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn shard_building_blocks_are_send() {
+    assert_send::<P4Lru3Array<u64, Addr48>>();
+    assert_send::<Database>();
+    assert_send::<Shard>();
+}
+
+#[test]
+fn stats_types_cross_threads_both_ways() {
+    // Metrics are shared via Arc (needs Sync); snapshots are sent back over
+    // channels (needs Send).
+    assert_sync::<ShardMetrics>();
+    assert_send::<ShardMetrics>();
+    assert_send::<StatsReport>();
+}

@@ -11,6 +11,7 @@
 //! * [`kvstore`] — B+Tree-indexed database substrate
 //! * [`netsim`] — deterministic discrete-event simulator
 //! * [`lrutable`], [`lruindex`], [`lrumon`] — the three in-network systems
+//! * [`server`] — the runnable sharded cache service and load generator
 
 #![forbid(unsafe_code)]
 
@@ -21,5 +22,6 @@ pub use p4lru_lrumon as lrumon;
 pub use p4lru_lrutable as lrutable;
 pub use p4lru_netsim as netsim;
 pub use p4lru_pipeline as pipeline;
+pub use p4lru_server as server;
 pub use p4lru_sketches as sketches;
 pub use p4lru_traffic as traffic;
