@@ -1,0 +1,101 @@
+//! Property test: `LruArray::remove` must preserve the relative LRU order
+//! of the surviving entries.
+//!
+//! P4LRU's cache state is a DFA over permutations (paper §2.2), and
+//! `remove` is the one operation the hardware pipeline never performs — it
+//! exists for the software deployments (the server invalidates a cached
+//! address on DEL). That makes it the easiest place to corrupt the
+//! permutation: a buggy removal could legally-looking compact the keys but
+//! leave the value mapping pointing at the wrong slots, or reorder the
+//! survivors. So every unit is checked against the obvious executable
+//! model — a `VecDeque` with most-recently-used at the front — under
+//! arbitrary interleavings of get/set/remove.
+
+use std::collections::VecDeque;
+
+use p4lru_core::array::P4Lru3Array;
+use p4lru_core::unit::Outcome;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Get(u16),
+    Set(u16, u32),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key space over few units forces collisions, evictions, and
+    // removals of keys at every LRU position.
+    prop_oneof![
+        any::<u16>().prop_map(|k| Op::Get(k % 60)),
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Set(k % 60, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 60)),
+    ]
+}
+
+/// The executable model of one three-entry LRU unit: front = MRU.
+type Unit = VecDeque<(u16, u32)>;
+
+fn model_set(unit: &mut Unit, key: u16, value: u32) -> Outcome<u16, u32> {
+    if let Some(pos) = unit.iter().position(|&(k, _)| k == key) {
+        unit.remove(pos);
+        unit.push_front((key, value));
+        return Outcome::Hit { pos };
+    }
+    unit.push_front((key, value));
+    if unit.len() > 3 {
+        let (key, value) = unit.pop_back().expect("len > 3");
+        return Outcome::Evicted { key, value };
+    }
+    Outcome::Inserted
+}
+
+proptest! {
+    #[test]
+    fn remove_preserves_surviving_lru_order(
+        units in 1usize..6,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 0..400),
+    ) {
+        let mut arr = P4Lru3Array::<u16, u32>::with_seed(units, seed);
+        let mut model: Vec<Unit> = vec![Unit::new(); units];
+
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    let want = model[arr.index_of(&k)]
+                        .iter()
+                        .find(|&&(key, _)| key == k)
+                        .map(|&(_, v)| v);
+                    prop_assert_eq!(arr.get(&k).copied(), want);
+                }
+                Op::Set(k, v) => {
+                    let unit = arr.index_of(&k);
+                    let want = model_set(&mut model[unit], k, v);
+                    let got = arr.update(k, v, |slot, v| *slot = v);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Remove(k) => {
+                    let unit = arr.index_of(&k);
+                    let pos = model[unit].iter().position(|&(key, _)| key == k);
+                    let want = pos.and_then(|p| model[unit].remove(p)).map(|(_, v)| v);
+                    prop_assert_eq!(arr.remove(&k), want);
+                }
+            }
+            prop_assert!(arr.check_invariants().is_ok(), "{:?}", arr.check_invariants());
+
+            // The survivors' relative recency must match the model exactly,
+            // in every unit, after every operation.
+            for (i, unit_model) in model.iter().enumerate() {
+                let got: Vec<(u16, u32)> =
+                    arr.unit(i).entries().map(|(_, &k, &v)| (k, v)).collect();
+                let want: Vec<(u16, u32)> = unit_model.iter().copied().collect();
+                prop_assert_eq!(got, want, "unit {} diverged from the model", i);
+            }
+        }
+
+        let model_len: usize = model.iter().map(Unit::len).sum();
+        prop_assert_eq!(arr.len(), model_len);
+    }
+}

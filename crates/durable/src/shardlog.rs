@@ -1,0 +1,284 @@
+//! The per-shard durability engine: WAL + snapshots + recovery, behind the
+//! handful of calls a shard's request loop needs.
+//!
+//! The intended discipline (enforced by `p4lru-server`'s shard loop):
+//!
+//! 1. For each mutation in a batch: [`ShardLog::append_set`] /
+//!    [`ShardLog::append_del`] *before* applying it in memory.
+//! 2. After the batch: [`ShardLog::commit`] — the sync policy decides
+//!    whether this fsyncs. Replies are released only after `commit`
+//!    returns, so under [`SyncPolicy::Always`] every acknowledged write is
+//!    durable (group commit: one fsync covers the whole batch).
+//! 3. When [`ShardLog::should_snapshot`] turns true, call
+//!    [`ShardLog::snapshot`] with the store; the log rotates, seals a
+//!    snapshot, and prunes segments the snapshot made redundant.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use p4lru_kvstore::{Database, Record};
+
+use crate::record::WalOp;
+use crate::recover::{recover, Recovery};
+use crate::snapshot::write_snapshot;
+use crate::wal::Wal;
+use crate::{DurabilityConfig, SyncPolicy};
+
+/// One shard's durability engine.
+#[derive(Debug)]
+pub struct ShardLog {
+    dir: PathBuf,
+    wal: Wal,
+    config: DurabilityConfig,
+    unsynced: u64,
+    appends_since_snapshot: u64,
+    last_sync: Instant,
+}
+
+impl ShardLog {
+    /// Initializes a *fresh* shard directory: seals a snapshot of `db` at
+    /// sequence 0 (so the initial population survives a crash that happens
+    /// before the first WAL-driven snapshot) and opens the WAL at sequence
+    /// 1.
+    pub fn init_fresh(dir: &Path, db: &Database, config: &DurabilityConfig) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        write_snapshot(dir, 0, db)?;
+        let wal = Wal::create(dir, 1, config.segment_bytes)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            wal,
+            config: config.clone(),
+            unsynced: 0,
+            appends_since_snapshot: 0,
+            last_sync: Instant::now(),
+        })
+    }
+
+    /// Recovers an existing shard directory and positions the WAL to append
+    /// after the last durable record. Returns the engine plus what recovery
+    /// found (the caller owns rebuilding its in-memory state from it).
+    pub fn recover(dir: &Path, config: &DurabilityConfig) -> io::Result<(Self, Recovery)> {
+        let recovery = recover(dir)?;
+        // Always start a new segment: old segments are never appended to, so
+        // a sealed segment is immutable from here on.
+        let wal = Wal::create(dir, recovery.last_seq + 1, config.segment_bytes)?;
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                wal,
+                config: config.clone(),
+                unsynced: 0,
+                appends_since_snapshot: 0,
+                last_sync: Instant::now(),
+            },
+            recovery,
+        ))
+    }
+
+    /// The shard directory this log writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the last appended record.
+    pub fn last_seq(&self) -> u64 {
+        self.wal.last_seq()
+    }
+
+    /// Appends a SET, returning its sequence number (not yet durable).
+    pub fn append_set(&mut self, key: u64, record: Record) -> io::Result<u64> {
+        self.append(&WalOp::Set { key, record })
+    }
+
+    /// Appends a DEL, returning its sequence number (not yet durable).
+    pub fn append_del(&mut self, key: u64) -> io::Result<u64> {
+        self.append(&WalOp::Del { key })
+    }
+
+    fn append(&mut self, op: &WalOp) -> io::Result<u64> {
+        let seq = self.wal.append(op)?;
+        self.unsynced += 1;
+        self.appends_since_snapshot += 1;
+        Ok(seq)
+    }
+
+    /// Applies the sync policy at a batch boundary. Returns the fsync
+    /// duration if one happened, `None` if the policy deferred it.
+    pub fn commit(&mut self) -> io::Result<Option<Duration>> {
+        if self.unsynced == 0 {
+            return Ok(None);
+        }
+        let due = match self.config.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            SyncPolicy::Interval(window) => self.last_sync.elapsed() >= window,
+        };
+        if !due {
+            return Ok(None);
+        }
+        self.sync().map(Some)
+    }
+
+    /// Unconditionally fsyncs everything appended so far.
+    pub fn sync(&mut self) -> io::Result<Duration> {
+        let took = self.wal.sync()?;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        Ok(took)
+    }
+
+    /// Whether enough appends have accumulated to be worth a snapshot.
+    pub fn should_snapshot(&self) -> bool {
+        self.config.snapshot_every > 0 && self.appends_since_snapshot >= self.config.snapshot_every
+    }
+
+    /// Seals a snapshot of `db` at the current tail of the log and prunes
+    /// the WAL segments it supersedes. Returns the sealed sequence number.
+    ///
+    /// Ordering is crash-safe at every step: sync (all records `<= seq`
+    /// durable), rotate (the active segment now starts past `seq`), write
+    /// the snapshot atomically, and only then delete old segments. A crash
+    /// between any two steps recovers from the previous snapshot plus the
+    /// still-present segments.
+    pub fn snapshot(&mut self, db: &Database) -> io::Result<u64> {
+        self.sync()?;
+        let seq = self.wal.last_seq();
+        self.wal.rotate()?;
+        write_snapshot(&self.dir, seq, db)?;
+        self.wal.prune_segments(seq + 1)?;
+        self.appends_since_snapshot = 0;
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use crate::wal::list_segments;
+    use p4lru_kvstore::db::record_for;
+
+    fn populated(items: u64) -> Database {
+        let mut db = Database::default();
+        for k in 0..items {
+            db.insert(k, record_for(k));
+        }
+        db
+    }
+
+    fn config(sync: SyncPolicy) -> DurabilityConfig {
+        DurabilityConfig {
+            sync,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    #[test]
+    fn fresh_init_then_recover_restores_the_population() {
+        let tmp = TempDir::new("slog-fresh");
+        let db = populated(100);
+        let mut log = ShardLog::init_fresh(tmp.path(), &db, &config(SyncPolicy::Always)).unwrap();
+        log.append_set(500, record_for(500)).unwrap();
+        log.append_del(3).unwrap();
+        log.commit().unwrap();
+        drop(log); // crash: no snapshot since init
+
+        let (_log, recovery) = ShardLog::recover(tmp.path(), &config(SyncPolicy::Always)).unwrap();
+        assert_eq!(recovery.snapshot_seq, 0);
+        assert_eq!(recovery.snapshot_entries, 100);
+        assert_eq!(recovery.replayed, 2);
+        assert_eq!(recovery.db.len(), 100); // +1 -1
+        assert!(recovery.db.lookup_by_key(500).is_some());
+        assert!(recovery.db.lookup_by_key(3).is_none());
+    }
+
+    #[test]
+    fn always_policy_fsyncs_every_commit() {
+        let tmp = TempDir::new("slog-always");
+        let mut log = ShardLog::init_fresh(
+            tmp.path(),
+            &Database::default(),
+            &config(SyncPolicy::Always),
+        )
+        .unwrap();
+        log.append_set(1, record_for(1)).unwrap();
+        assert!(log.commit().unwrap().is_some());
+        assert!(log.commit().unwrap().is_none(), "nothing new to sync");
+    }
+
+    #[test]
+    fn every_n_policy_defers_until_the_threshold() {
+        let tmp = TempDir::new("slog-everyn");
+        let mut log = ShardLog::init_fresh(
+            tmp.path(),
+            &Database::default(),
+            &config(SyncPolicy::EveryN(3)),
+        )
+        .unwrap();
+        log.append_set(1, record_for(1)).unwrap();
+        assert!(log.commit().unwrap().is_none());
+        log.append_set(2, record_for(2)).unwrap();
+        assert!(log.commit().unwrap().is_none());
+        log.append_set(3, record_for(3)).unwrap();
+        assert!(log.commit().unwrap().is_some(), "third append crosses n=3");
+    }
+
+    #[test]
+    fn interval_policy_fsyncs_once_the_window_elapses() {
+        let tmp = TempDir::new("slog-interval");
+        let mut log = ShardLog::init_fresh(
+            tmp.path(),
+            &Database::default(),
+            &config(SyncPolicy::Interval(Duration::from_millis(20))),
+        )
+        .unwrap();
+        log.append_set(1, record_for(1)).unwrap();
+        assert!(log.commit().unwrap().is_none(), "window not elapsed");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(log.commit().unwrap().is_some());
+    }
+
+    #[test]
+    fn snapshot_prunes_the_log_and_recovery_uses_it() {
+        let tmp = TempDir::new("slog-snap");
+        let mut db = populated(10);
+        let mut log = ShardLog::init_fresh(tmp.path(), &db, &config(SyncPolicy::Always)).unwrap();
+        for k in 10..40 {
+            log.append_set(k, record_for(k)).unwrap();
+            db.insert(k, record_for(k));
+        }
+        log.commit().unwrap();
+        let sealed = log.snapshot(&db).unwrap();
+        assert_eq!(sealed, 30);
+        assert_eq!(
+            list_segments(tmp.path()).unwrap().len(),
+            1,
+            "only the fresh active segment survives"
+        );
+        log.append_del(0).unwrap();
+        log.commit().unwrap();
+        drop(log);
+
+        let (_log, recovery) = ShardLog::recover(tmp.path(), &config(SyncPolicy::Always)).unwrap();
+        assert_eq!(recovery.snapshot_seq, 30);
+        assert_eq!(recovery.replayed, 1, "only the post-snapshot DEL");
+        assert_eq!(recovery.db.len(), 39);
+    }
+
+    #[test]
+    fn should_snapshot_tracks_the_configured_cadence() {
+        let tmp = TempDir::new("slog-cadence");
+        let mut cfg = config(SyncPolicy::Always);
+        cfg.snapshot_every = 2;
+        let db = populated(1);
+        let mut log = ShardLog::init_fresh(tmp.path(), &db, &cfg).unwrap();
+        assert!(!log.should_snapshot());
+        log.append_set(1, record_for(1)).unwrap();
+        assert!(!log.should_snapshot());
+        log.append_set(2, record_for(2)).unwrap();
+        assert!(log.should_snapshot());
+        log.snapshot(&db).unwrap();
+        assert!(!log.should_snapshot(), "cadence resets after a snapshot");
+    }
+}

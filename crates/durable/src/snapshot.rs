@@ -1,0 +1,286 @@
+//! Point-in-time snapshots of a shard's backing store.
+//!
+//! A snapshot file `snap-<seq:020>.snap` holds every record of the store as
+//! of WAL sequence number `seq` (all ops `<= seq` applied, none after):
+//!
+//! ```text
+//! [8  magic "P4LRSNAP"]
+//! [u32 version]
+//! [u64 seq]
+//! [u64 count]
+//! count × ([u64 key][VALUE_SIZE record bytes])
+//! [u32 crc]                 // over everything after the magic
+//! ```
+//!
+//! Writes are crash-atomic: the body goes to `snap-<seq>.tmp`, is fsynced,
+//! and is renamed into place, then the directory is fsynced. Readers ignore
+//! `.tmp` leftovers and validate the CRC, so a crash at any point leaves
+//! either the old snapshot or the new one, never a half-written hybrid.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use p4lru_kvstore::{Database, Record, VALUE_SIZE};
+
+use crate::crc::{crc32, Crc32};
+
+const MAGIC: &[u8; 8] = b"P4LRSNAP";
+const VERSION: u32 = 1;
+const PREFIX: &str = "snap-";
+const SUFFIX: &str = ".snap";
+
+/// The file name of the snapshot sealed at `seq`.
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("{PREFIX}{seq:020}{SUFFIX}")
+}
+
+fn err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A writer that checksums what it writes (so the CRC is computed in one
+/// streaming pass, without materializing the body).
+struct ChecksummedWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> ChecksummedWriter<W> {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.crc.update(bytes);
+        self.inner.write_all(bytes)
+    }
+}
+
+/// Writes the snapshot of `db` sealed at WAL sequence `seq`, atomically.
+///
+/// Returns the final snapshot path. Older snapshot files are pruned after
+/// the new one is durable (best effort — a leftover old snapshot is ignored
+/// at load time because the newest valid one wins).
+pub fn write_snapshot(dir: &Path, seq: u64, db: &Database) -> io::Result<PathBuf> {
+    let tmp = dir.join(format!("{PREFIX}{seq:020}.tmp"));
+    let path = dir.join(snapshot_file_name(seq));
+    {
+        let file = File::create(&tmp)?;
+        let mut w = ChecksummedWriter {
+            inner: BufWriter::new(file),
+            crc: Crc32::new(),
+        };
+        w.inner.write_all(MAGIC)?; // magic is outside the CRC
+        w.write(&VERSION.to_le_bytes())?;
+        w.write(&seq.to_le_bytes())?;
+        w.write(&(db.len() as u64).to_le_bytes())?;
+        for (key, record) in db.iter() {
+            w.write(&key.to_le_bytes())?;
+            w.write(record)?;
+        }
+        let crc = w.crc.finish();
+        let mut inner = w.inner;
+        inner.write_all(&crc.to_le_bytes())?;
+        inner.flush()?;
+        inner.get_ref().sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    crate::wal::fsync_dir(dir)?;
+    prune_older_snapshots(dir, seq)?;
+    Ok(path)
+}
+
+fn prune_older_snapshots(dir: &Path, newest_seq: u64) -> io::Result<()> {
+    for (seq, path) in list_snapshots(dir)? {
+        if seq < newest_seq {
+            let _ = fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lists `(seq, path)` of every snapshot file, sorted ascending by `seq`.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix(PREFIX)
+            .and_then(|s| s.strip_suffix(SUFFIX))
+        else {
+            continue;
+        };
+        if let Ok(seq) = stem.parse::<u64>() {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(seq, _)| seq);
+    Ok(found)
+}
+
+/// A loaded snapshot: the sealed sequence number and the store contents.
+#[derive(Clone, Debug)]
+pub struct LoadedSnapshot {
+    /// WAL sequence number the snapshot covers.
+    pub seq: u64,
+    /// Every `(key, record)` pair, in key order.
+    pub entries: Vec<(u64, Record)>,
+    /// Snapshot files that failed validation and were skipped.
+    pub invalid_skipped: u64,
+}
+
+/// Loads the newest snapshot that validates, falling back to older ones.
+///
+/// With no (valid) snapshot at all, returns `seq: 0` and no entries — the
+/// state before any WAL record.
+pub fn load_latest(dir: &Path) -> io::Result<LoadedSnapshot> {
+    let mut invalid_skipped = 0;
+    for (seq, path) in list_snapshots(dir)?.into_iter().rev() {
+        match read_snapshot(&path) {
+            Ok((file_seq, entries)) => {
+                if file_seq != seq {
+                    return Err(err(format!(
+                        "snapshot {} declares seq {file_seq} but is named for {seq}",
+                        path.display()
+                    )));
+                }
+                return Ok(LoadedSnapshot {
+                    seq,
+                    entries,
+                    invalid_skipped,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                invalid_skipped += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(LoadedSnapshot {
+        seq: 0,
+        entries: Vec::new(),
+        invalid_skipped,
+    })
+}
+
+fn read_snapshot(path: &Path) -> io::Result<(u64, Vec<(u64, Record)>)> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 + 4 {
+        return Err(err("snapshot file is too short"));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(err("snapshot magic mismatch"));
+    }
+    let body = &bytes[MAGIC.len()..bytes.len() - 4];
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != stored_crc {
+        return Err(err("snapshot CRC mismatch"));
+    }
+    let version = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(err(format!("unsupported snapshot version {version}")));
+    }
+    let seq = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes")) as usize;
+    let entry_bytes = 8 + VALUE_SIZE;
+    let records = &body[20..];
+    if records.len() != count * entry_bytes {
+        return Err(err(format!(
+            "snapshot declares {count} entries but holds {} bytes of records",
+            records.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for chunk in records.chunks_exact(entry_bytes) {
+        let key = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+        let mut record = [0u8; VALUE_SIZE];
+        record.copy_from_slice(&chunk[8..]);
+        entries.push((key, record));
+    }
+    Ok((seq, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use p4lru_kvstore::db::record_for;
+
+    fn sample_db(items: u64) -> Database {
+        let mut db = Database::default();
+        for k in 0..items {
+            db.insert(k * 7, record_for(k));
+        }
+        db
+    }
+
+    #[test]
+    fn write_then_load_roundtrips() {
+        let tmp = TempDir::new("snap-roundtrip");
+        let db = sample_db(100);
+        write_snapshot(tmp.path(), 42, &db).unwrap();
+        let loaded = load_latest(tmp.path()).unwrap();
+        assert_eq!(loaded.seq, 42);
+        assert_eq!(loaded.invalid_skipped, 0);
+        assert_eq!(loaded.entries.len(), 100);
+        for (key, record) in &loaded.entries {
+            assert_eq!(db.lookup_by_key(*key).unwrap().record, record);
+        }
+    }
+
+    #[test]
+    fn empty_dir_loads_the_zero_state() {
+        let tmp = TempDir::new("snap-empty");
+        let loaded = load_latest(tmp.path()).unwrap();
+        assert_eq!(loaded.seq, 0);
+        assert!(loaded.entries.is_empty());
+    }
+
+    #[test]
+    fn newest_wins_and_older_snapshots_are_pruned() {
+        let tmp = TempDir::new("snap-newest");
+        write_snapshot(tmp.path(), 10, &sample_db(5)).unwrap();
+        write_snapshot(tmp.path(), 20, &sample_db(9)).unwrap();
+        assert_eq!(list_snapshots(tmp.path()).unwrap().len(), 1, "older pruned");
+        let loaded = load_latest(tmp.path()).unwrap();
+        assert_eq!(loaded.seq, 20);
+        assert_eq!(loaded.entries.len(), 9);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_an_older_valid_snapshot() {
+        let tmp = TempDir::new("snap-fallback");
+        write_snapshot(tmp.path(), 10, &sample_db(5)).unwrap();
+        // Forge a newer snapshot (pruning removed the older one, so re-write
+        // it first, then damage the newer file).
+        let newer = write_snapshot(tmp.path(), 20, &sample_db(9)).unwrap();
+        write_snapshot(tmp.path(), 10, &sample_db(5)).unwrap();
+        let mut bytes = fs::read(&newer).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newer, bytes).unwrap();
+
+        let loaded = load_latest(tmp.path()).unwrap();
+        assert_eq!(loaded.seq, 10);
+        assert_eq!(loaded.entries.len(), 5);
+        assert_eq!(loaded.invalid_skipped, 1);
+    }
+
+    #[test]
+    fn tmp_leftovers_are_ignored() {
+        let tmp = TempDir::new("snap-tmp");
+        write_snapshot(tmp.path(), 5, &sample_db(3)).unwrap();
+        fs::write(tmp.path().join("snap-99999.tmp"), b"half-written").unwrap();
+        let loaded = load_latest(tmp.path()).unwrap();
+        assert_eq!(loaded.seq, 5);
+    }
+
+    #[test]
+    fn empty_database_snapshots_cleanly() {
+        let tmp = TempDir::new("snap-zero");
+        write_snapshot(tmp.path(), 1, &Database::default()).unwrap();
+        let loaded = load_latest(tmp.path()).unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert!(loaded.entries.is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! The segmented write-ahead log.
+//!
+//! A shard's log is a directory of segment files named
+//! `wal-<first_seq:020>.log`. Records are appended to the *active* (newest)
+//! segment; the segment rolls over once it passes the configured size, and
+//! rollover happens only at a sync boundary, so every sealed segment is
+//! fully fsynced — a crash can tear only the active segment's tail.
+//!
+//! Appends buffer in the writer and reach the OS on [`Wal::sync`] (or when
+//! the buffer spills); `sync` is the fsync boundary the sync policy drives.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::record::{self, Decoded, WalOp, WalRecord};
+
+/// Rotate the active segment once it exceeds this many bytes (default).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
+
+const SEGMENT_PREFIX: &str = "wal-";
+const SEGMENT_SUFFIX: &str = ".log";
+
+/// The on-disk name of the segment whose first record is `first_seq`.
+pub fn segment_file_name(first_seq: u64) -> String {
+    format!("{SEGMENT_PREFIX}{first_seq:020}{SEGMENT_SUFFIX}")
+}
+
+/// One segment file and the sequence number its name declares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Sequence number of the segment's first record.
+    pub first_seq: u64,
+    /// Path of the segment file.
+    pub path: PathBuf,
+}
+
+/// Lists the segments of `dir`, sorted by `first_seq`.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<Segment>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix(SEGMENT_PREFIX)
+            .and_then(|s| s.strip_suffix(SEGMENT_SUFFIX))
+        else {
+            continue;
+        };
+        let Ok(first_seq) = stem.parse::<u64>() else {
+            continue;
+        };
+        segments.push(Segment {
+            first_seq,
+            path: entry.path(),
+        });
+    }
+    segments.sort_by_key(|s| s.first_seq);
+    Ok(segments)
+}
+
+/// How a segment scan ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Damage {
+    /// The segment ends mid-record (crash mid-append).
+    Torn,
+    /// A record failed validation (bad length, opcode, or CRC).
+    Corrupt,
+}
+
+/// Every valid record of a segment, plus where validity ends.
+#[derive(Clone, Debug)]
+pub struct SegmentScan {
+    /// The valid records, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset up to which the segment is valid.
+    pub valid_len: u64,
+    /// Why the scan stopped before the end of the file, if it did.
+    pub damage: Option<Damage>,
+}
+
+/// Scans one segment file, stopping at the first invalid record.
+pub fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut damage = None;
+    while at < bytes.len() {
+        match record::decode(&bytes[at..]) {
+            Decoded::Record { record, consumed } => {
+                records.push(record);
+                at += consumed;
+            }
+            Decoded::Torn => {
+                damage = Some(Damage::Torn);
+                break;
+            }
+            Decoded::Corrupt => {
+                damage = Some(Damage::Corrupt);
+                break;
+            }
+        }
+    }
+    Ok(SegmentScan {
+        records,
+        valid_len: at as u64,
+        damage,
+    })
+}
+
+/// Opens `dir` itself and fsyncs it, making renames/creates in it durable.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// The append side of the log: one active segment, buffered writes, explicit
+/// sync.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    seg_first_seq: u64,
+    seg_written: u64,
+    next_seq: u64,
+    segment_bytes: u64,
+    buf: Vec<u8>,
+}
+
+impl Wal {
+    /// Starts a fresh active segment whose first record will be `next_seq`.
+    ///
+    /// An existing file of the same name is truncated: recovery has already
+    /// established that no durable record at or past `next_seq` exists.
+    pub fn create(dir: &Path, next_seq: u64, segment_bytes: u64) -> io::Result<Wal> {
+        let path = dir.join(segment_file_name(next_seq));
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        fsync_dir(dir)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            seg_first_seq: next_seq,
+            seg_written: 0,
+            next_seq,
+            segment_bytes: segment_bytes.max(1),
+            buf: Vec::new(),
+        })
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the last appended record (`None` before the first
+    /// append of the log's lifetime — i.e. when `next_seq` is still 1 — or,
+    /// more generally, the predecessor of [`Wal::next_seq`]).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// First sequence number of the active segment.
+    pub fn active_first_seq(&self) -> u64 {
+        self.seg_first_seq
+    }
+
+    /// Appends one op, returning its sequence number. The record is buffered;
+    /// it is durable only after the next [`Wal::sync`].
+    pub fn append(&mut self, op: &WalOp) -> io::Result<u64> {
+        let seq = self.next_seq;
+        record::encode_into(&mut self.buf, seq, op);
+        self.next_seq += 1;
+        // Keep the buffer bounded even if the caller syncs rarely.
+        if self.buf.len() >= 1 << 16 {
+            self.write_out()?;
+        }
+        Ok(seq)
+    }
+
+    fn write_out(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.seg_written += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered records and fsyncs the active segment, then rotates
+    /// it if it outgrew the segment size. Returns how long the fsync took.
+    pub fn sync(&mut self) -> io::Result<Duration> {
+        self.write_out()?;
+        let begin = Instant::now();
+        self.file.sync_data()?;
+        let took = begin.elapsed();
+        if self.seg_written >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(took)
+    }
+
+    /// Seals the active segment (callers must have synced) and starts a new
+    /// one at `next_seq`.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        let fresh = Wal::create(&self.dir, self.next_seq, self.segment_bytes)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Deletes every sealed segment that holds only records before
+    /// `upto_seq` (exclusive); the active segment always survives. Returns
+    /// how many files were removed.
+    pub fn prune_segments(&self, upto_seq: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        for segment in list_segments(&self.dir)? {
+            // A sealed segment's records all precede the successor segment's
+            // first_seq; since rotation happens at sync boundaries, any
+            // segment other than the active one whose first_seq is below
+            // `upto_seq` and which is not the active segment may only be
+            // removed if every record in it precedes `upto_seq`. The active
+            // segment's first_seq equals or exceeds the snapshot boundary by
+            // construction (snapshot rotates first), so the name check
+            // suffices.
+            if segment.first_seq < upto_seq && segment.first_seq != self.seg_first_seq {
+                fs::remove_file(&segment.path)?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            fsync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalOp;
+    use crate::testutil::TempDir;
+
+    fn del(key: u64) -> WalOp {
+        WalOp::Del { key }
+    }
+
+    #[test]
+    fn append_sync_scan_roundtrip() {
+        let tmp = TempDir::new("wal-roundtrip");
+        let mut wal = Wal::create(tmp.path(), 1, DEFAULT_SEGMENT_BYTES).unwrap();
+        for key in 0..10 {
+            assert_eq!(wal.append(&del(key)).unwrap(), key + 1);
+        }
+        wal.sync().unwrap();
+
+        let segments = list_segments(tmp.path()).unwrap();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].first_seq, 1);
+        let scan = scan_segment(&segments[0].path).unwrap();
+        assert_eq!(scan.damage, None);
+        assert_eq!(scan.records.len(), 10);
+        assert_eq!(scan.records[3].seq, 4);
+        assert_eq!(scan.records[3].op, del(3));
+    }
+
+    #[test]
+    fn rotation_seals_segments_at_sync_boundaries() {
+        let tmp = TempDir::new("wal-rotate");
+        // Tiny segments: every synced record overflows the segment.
+        let mut wal = Wal::create(tmp.path(), 1, 8).unwrap();
+        for key in 0..4 {
+            wal.append(&del(key)).unwrap();
+            wal.sync().unwrap();
+        }
+        let segments = list_segments(tmp.path()).unwrap();
+        // 4 sealed + 1 fresh active.
+        assert_eq!(segments.len(), 5);
+        let firsts: Vec<u64> = segments.iter().map(|s| s.first_seq).collect();
+        assert_eq!(firsts, vec![1, 2, 3, 4, 5]);
+        for sealed in &segments[..4] {
+            let scan = scan_segment(&sealed.path).unwrap();
+            assert_eq!(scan.damage, None);
+            assert_eq!(scan.records.len(), 1);
+        }
+    }
+
+    #[test]
+    fn prune_keeps_the_active_segment() {
+        let tmp = TempDir::new("wal-prune");
+        let mut wal = Wal::create(tmp.path(), 1, 8).unwrap();
+        for key in 0..4 {
+            wal.append(&del(key)).unwrap();
+            wal.sync().unwrap();
+        }
+        let removed = wal.prune_segments(wal.next_seq()).unwrap();
+        assert_eq!(removed, 4);
+        let segments = list_segments(tmp.path()).unwrap();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].first_seq, wal.active_first_seq());
+    }
+
+    #[test]
+    fn unsynced_appends_are_not_on_disk_yet() {
+        let tmp = TempDir::new("wal-buffer");
+        let mut wal = Wal::create(tmp.path(), 1, DEFAULT_SEGMENT_BYTES).unwrap();
+        wal.append(&del(1)).unwrap();
+        let segments = list_segments(tmp.path()).unwrap();
+        let scan = scan_segment(&segments[0].path).unwrap();
+        assert_eq!(scan.records.len(), 0, "append buffers until sync");
+        wal.sync().unwrap();
+        let scan = scan_segment(&segments[0].path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+    }
+}

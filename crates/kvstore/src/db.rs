@@ -114,6 +114,28 @@ impl Database {
         self.store.get(addr)
     }
 
+    /// Iterates every `(key, record)` pair in ascending key order.
+    ///
+    /// This is the serialization hook the durability subsystem snapshots
+    /// through: a full, ordered scan of the store without exposing the
+    /// index or slab internals.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Record)> + '_ {
+        self.index
+            .iter()
+            .map(|(key, addr)| (*key, self.store.get(*addr)))
+    }
+
+    /// Builds a database from `(key, record)` pairs (deserialization hook —
+    /// the slab assigns fresh addresses, so only the contents round-trip,
+    /// not the physical layout).
+    pub fn from_entries(entries: impl IntoIterator<Item = (u64, Record)>) -> Self {
+        let mut db = Self::default();
+        for (key, record) in entries {
+            db.insert(key, record);
+        }
+        db
+    }
+
     /// Removes `key`.
     pub fn remove(&mut self, key: u64) -> bool {
         match self.index.remove(&key) {

@@ -24,4 +24,4 @@ pub mod slab;
 
 pub use btree::BPlusTree;
 pub use db::Database;
-pub use slab::{Addr48, SlabStore, VALUE_SIZE};
+pub use slab::{Addr48, Record, SlabStore, VALUE_SIZE};

@@ -1,10 +1,16 @@
 //! The closed-loop benchmark client: replays a YCSB workload against a
 //! running `p4lru_serverd`, prints throughput and latency percentiles, and
 //! writes a `FigureResult`-shaped JSON file for the report tooling.
+//!
+//! Crash-recovery harness duty (DESIGN.md §8): `--crash-ok --acked-log`
+//! keeps loading while the server is kill-9'd and records every
+//! acknowledged SET; after a restart, `--verify-acked` replays that log and
+//! fails if any acknowledged write was lost.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use p4lru_kvstore::db::record_for;
 use p4lru_server::client::Client;
 use p4lru_server::loadgen::{run, to_figure_json, LoadgenConfig};
 
@@ -26,6 +32,12 @@ OPTIONS:
   --no-verify            skip read verification
   --shutdown             send SHUTDOWN to the server afterwards
   --expect-hits          exit nonzero unless the server reports cache hits
+  --crash-ok             a worker hitting a connection error ends its run
+                         instead of failing (server kill tests)
+  --acked-log <path>     write every acknowledged SET key to this file
+                         (one decimal key per line)
+  --verify-acked <path>  skip the load phase; GET every key in the file and
+                         exit nonzero if any acknowledged write was lost
   -h, --help             print this help
 ";
 
@@ -34,6 +46,8 @@ struct Args {
     out: Option<PathBuf>,
     shutdown: bool,
     expect_hits: bool,
+    acked_log: Option<PathBuf>,
+    verify_acked: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         out: Some(PathBuf::from("results/server_bench.json")),
         shutdown: false,
         expect_hits: false,
+        acked_log: None,
+        verify_acked: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +82,10 @@ fn parse_args() -> Result<Args, String> {
                 args.expect_hits = true;
                 continue;
             }
+            "--crash-ok" => {
+                args.config.crash_ok = true;
+                continue;
+            }
             _ => {}
         }
         const VALUE_FLAGS: &[&str] = &[
@@ -77,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
             "--read-fraction",
             "--seed",
             "--out",
+            "--acked-log",
+            "--verify-acked",
         ];
         if !VALUE_FLAGS.contains(&flag.as_str()) {
             return Err(format!("unknown flag {flag}"));
@@ -94,10 +116,57 @@ fn parse_args() -> Result<Args, String> {
             "--read-fraction" => args.config.read_fraction = value.parse().map_err(bad(&flag))?,
             "--seed" => args.config.seed = value.parse().map_err(bad(&flag))?,
             "--out" => args.out = Some(PathBuf::from(value)),
+            "--acked-log" => {
+                args.config.record_acked = true;
+                args.acked_log = Some(PathBuf::from(value));
+            }
+            "--verify-acked" => args.verify_acked = Some(PathBuf::from(value)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// GETs every key the acked log names and checks its contents. Any missing
+/// or mismatched key is a lost acknowledged write — the one thing a durable
+/// server must never do.
+fn verify_acked(addr: &str, path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut keys: Vec<u64> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        keys.push(
+            line.trim()
+                .parse()
+                .map_err(|e| format!("bad key {line:?} in {}: {e:?}", path.display()))?,
+        );
+    }
+    // The log may name a key several times (rewrites); one check suffices.
+    keys.sort_unstable();
+    keys.dedup();
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let (mut verified, mut missing, mut mismatched) = (0u64, 0u64, 0u64);
+    for &key in &keys {
+        match client
+            .get(key)
+            .map_err(|e| format!("GET {key} failed: {e}"))?
+        {
+            Some(value) if value == record_for(key) => verified += 1,
+            Some(_) => mismatched += 1,
+            None => missing += 1,
+        }
+    }
+    println!(
+        "  verify-acked: {verified} verified, {missing} missing, {mismatched} mismatched \
+         (of {} distinct acked keys)",
+        keys.len()
+    );
+    if missing > 0 || mismatched > 0 {
+        return Err(format!(
+            "{missing} acknowledged writes missing and {mismatched} mismatched after recovery"
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -109,32 +178,72 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "loadgen: {} threads x {}s against {} (items={}, alpha={}, read_fraction={})",
-        args.config.threads,
-        args.config.seconds,
-        args.config.addr,
-        args.config.items,
-        args.config.alpha,
-        args.config.read_fraction
-    );
-    let summary = match run(&args.config) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: loadgen run failed: {e}");
+    let summary = if let Some(path) = &args.verify_acked {
+        println!(
+            "loadgen: verifying acked writes from {} against {}",
+            path.display(),
+            args.config.addr
+        );
+        if let Err(e) = verify_acked(&args.config.addr, path) {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
-    };
-    println!(
-        "  {} ops in {:.2}s: {:.0} ops/s, p50 {:.1} us, p99 {:.1} us",
-        summary.ops, summary.elapsed_s, summary.throughput_ops_s, summary.p50_us, summary.p99_us
-    );
-    if summary.not_found > 0 || summary.corrupt > 0 {
-        eprintln!(
-            "warning: {} reads found nothing, {} reads mismatched",
-            summary.not_found, summary.corrupt
+        None
+    } else {
+        println!(
+            "loadgen: {} threads x {}s against {} (items={}, alpha={}, read_fraction={})",
+            args.config.threads,
+            args.config.seconds,
+            args.config.addr,
+            args.config.items,
+            args.config.alpha,
+            args.config.read_fraction
         );
-    }
+        let summary = match run(&args.config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: loadgen run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  {} ops in {:.2}s: {:.0} ops/s, p50 {:.1} us, p99 {:.1} us",
+            summary.ops,
+            summary.elapsed_s,
+            summary.throughput_ops_s,
+            summary.p50_us,
+            summary.p99_us
+        );
+        if summary.not_found > 0 || summary.corrupt > 0 {
+            eprintln!(
+                "warning: {} reads found nothing, {} reads mismatched",
+                summary.not_found, summary.corrupt
+            );
+        }
+        if summary.aborted_workers > 0 {
+            println!(
+                "  {} workers stopped early on connection errors (--crash-ok)",
+                summary.aborted_workers
+            );
+        }
+        if let Some(path) = &args.acked_log {
+            let mut text = String::with_capacity(summary.acked_sets.len() * 8);
+            for key in &summary.acked_sets {
+                text.push_str(&key.to_string());
+                text.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "  logged {} acked SETs to {}",
+                summary.acked_sets.len(),
+                path.display()
+            );
+        }
+        Some(summary)
+    };
 
     // One extra connection for STATS (and SHUTDOWN, if asked).
     let mut notes = Vec::new();
@@ -145,14 +254,31 @@ fn main() -> ExitCode {
                 Ok(stats) => {
                     let t = &stats.totals;
                     println!(
-                        "  server: gets={} hits={} misses={} absent={} hit_rate={:.3}",
-                        t.gets, t.hits, t.misses, t.absent, t.hit_rate
+                        "  server: gets={} hits={} misses={} absent={} hit_rate={:.3} store_len={}",
+                        t.gets, t.hits, t.misses, t.absent, t.hit_rate, t.store_len
                     );
+                    if t.wal_appends > 0 || t.recovery_replayed > 0 {
+                        println!(
+                            "  durability: wal_appends={} wal_fsyncs={} mean_fsync_us={:.1} snapshots={} recovery_replayed={} recovery_ms={:.1}",
+                            t.wal_appends,
+                            t.wal_fsyncs,
+                            t.wal_fsync_ns as f64 / t.wal_fsyncs.max(1) as f64 / 1e3,
+                            t.snapshots,
+                            t.recovery_replayed,
+                            t.recovery_us as f64 / 1e3,
+                        );
+                    }
                     hits = Some(t.hits);
                     notes.push(format!(
-                        "server: shards={} gets={} hits={} misses={} absent={} sets={} evictions={} index_visits={} hit_rate={:.4}",
-                        stats.shards.len(), t.gets, t.hits, t.misses, t.absent, t.sets, t.evictions, t.index_visits, t.hit_rate
+                        "server: shards={} gets={} hits={} misses={} absent={} sets={} evictions={} index_visits={} hit_rate={:.4} store_len={}",
+                        stats.shards.len(), t.gets, t.hits, t.misses, t.absent, t.sets, t.evictions, t.index_visits, t.hit_rate, t.store_len
                     ));
+                    if t.wal_appends > 0 {
+                        notes.push(format!(
+                            "durability: wal_appends={} wal_fsyncs={} snapshots={} recovery_replayed={}",
+                            t.wal_appends, t.wal_fsyncs, t.snapshots, t.recovery_replayed
+                        ));
+                    }
                 }
                 Err(e) => eprintln!("warning: STATS failed: {e}"),
             }
@@ -166,19 +292,21 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("warning: control connection failed: {e}"),
     }
 
-    if let Some(out) = &args.out {
-        if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: cannot create {}: {e}", dir.display());
+    if let Some(summary) = &summary {
+        if let Some(out) = &args.out {
+            if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            let json = to_figure_json(&args.config, summary, &notes);
+            if let Err(e) = std::fs::write(out, json) {
+                eprintln!("error: cannot write {}: {e}", out.display());
                 return ExitCode::FAILURE;
             }
+            println!("  wrote {}", out.display());
         }
-        let json = to_figure_json(&args.config, &summary, &notes);
-        if let Err(e) = std::fs::write(out, json) {
-            eprintln!("error: cannot write {}: {e}", out.display());
-            return ExitCode::FAILURE;
-        }
-        println!("  wrote {}", out.display());
     }
 
     if args.expect_hits && hits.unwrap_or(0) == 0 {

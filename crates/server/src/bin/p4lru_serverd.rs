@@ -1,9 +1,15 @@
 //! The server daemon: binds, serves, and exits cleanly on the SHUTDOWN
 //! opcode (printing final per-shard stats).
+//!
+//! With `--data-dir` the daemon is durable: writes go through a per-shard
+//! WAL (sync policy from `--sync`), snapshots are sealed every
+//! `--snapshot-every` appends, and a restart against the same directory
+//! recovers the store instead of repopulating it.
 
 use std::process::ExitCode;
 
-use p4lru_server::server::{Server, ServerConfig};
+use p4lru_durable::SyncPolicy;
+use p4lru_server::server::{Server, ServerConfig, StartMode};
 
 const USAGE: &str = "\
 p4lru_serverd — sharded P4LRU cache service
@@ -11,12 +17,18 @@ p4lru_serverd — sharded P4LRU cache service
 USAGE: p4lru_serverd [OPTIONS]
 
 OPTIONS:
-  --addr <host:port>   listen address       [default: 127.0.0.1:4190]
-  --shards <n>         shard threads        [default: 4]
-  --items <n>          pre-populated keys   [default: 100000]
-  --units <n>          cache units/shard    [default: 4096]
-  --seed <n>           cache hash seed      [default: 0x9412C0DE]
-  -h, --help           print this help
+  --addr <host:port>    listen address       [default: 127.0.0.1:4190]
+  --shards <n>          shard threads        [default: 4]
+  --items <n>           pre-populated keys   [default: 100000]
+  --units <n>           cache units/shard    [default: 4096]
+  --seed <n>            cache hash seed      [default: 0x9412C0DE]
+  --data-dir <path>     durability root (WAL + snapshots); a dir that was
+                        written before is recovered, and --items is ignored
+  --sync <policy>       WAL sync policy: always | every=<n> | interval=<ms>
+                        [default: always]
+  --snapshot-every <n>  appends between snapshots; 0 disables
+                        [default: 100000]
+  -h, --help            print this help
 ";
 
 fn parse_args() -> Result<ServerConfig, String> {
@@ -38,6 +50,13 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--items" => config.items = value.parse().map_err(bad)?,
             "--units" => config.units_per_shard = value.parse().map_err(bad)?,
             "--seed" => config.seed = value.parse().map_err(bad)?,
+            "--data-dir" => config.data_dir = Some(value.into()),
+            "--sync" => {
+                config.durability.sync = value
+                    .parse::<SyncPolicy>()
+                    .map_err(|e| format!("bad value for {flag}: {e}"))?;
+            }
+            "--snapshot-every" => config.durability.snapshot_every = value.parse().map_err(bad)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -60,6 +79,29 @@ fn main() -> ExitCode {
         }
     };
     let capacity = config.shards * config.units_per_shard * 3;
+    match server.start_mode() {
+        StartMode::Volatile => {}
+        StartMode::Fresh => println!(
+            "durability: fresh data dir at {} (sync={})",
+            config
+                .data_dir
+                .as_deref()
+                .unwrap_or_else(|| "?".as_ref())
+                .display(),
+            config.durability.sync,
+        ),
+        StartMode::Recovered => {
+            let t = server.stats().totals;
+            println!(
+                "durability: recovered {} records ({} wal records replayed, \
+                 torn_tails={}) in {:.1} ms",
+                t.store_len,
+                t.recovery_replayed,
+                t.recovery_torn,
+                t.recovery_us as f64 / 1e3,
+            );
+        }
+    }
     println!(
         "p4lru_serverd listening on {} ({} shards, {} items, {} cached addrs)",
         server.local_addr(),
@@ -71,8 +113,8 @@ fn main() -> ExitCode {
     println!("shutdown: final stats");
     for s in &stats.shards {
         println!(
-            "  shard {}: gets={} hits={} misses={} absent={} sets={} dels={} evictions={} hit_rate={:.3}",
-            s.shard, s.gets, s.hits, s.misses, s.absent, s.sets, s.dels, s.evictions, s.hit_rate
+            "  shard {}: gets={} hits={} misses={} absent={} sets={} dels={} evictions={} hit_rate={:.3} store_len={}",
+            s.shard, s.gets, s.hits, s.misses, s.absent, s.sets, s.dels, s.evictions, s.hit_rate, s.store_len
         );
     }
     let t = &stats.totals;
@@ -80,5 +122,15 @@ fn main() -> ExitCode {
         "  total: gets={} hits={} hit_rate={:.3} index_visits={}",
         t.gets, t.hits, t.hit_rate, t.index_visits
     );
+    if t.wal_appends > 0 {
+        println!(
+            "  durability: wal_appends={} wal_fsyncs={} mean_fsync_us={:.1} max_fsync_us={:.1} snapshots={}",
+            t.wal_appends,
+            t.wal_fsyncs,
+            t.wal_fsync_ns as f64 / t.wal_fsyncs.max(1) as f64 / 1e3,
+            t.wal_fsync_max_ns as f64 / 1e3,
+            t.snapshots,
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -41,6 +41,13 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Verify every read against the deterministic record contents.
     pub verify: bool,
+    /// Treat a mid-run connection error as the end of that worker's run
+    /// instead of a failure — the expected outcome when the server is
+    /// kill-9'd underneath the load (crash-recovery tests).
+    pub crash_ok: bool,
+    /// Record the key of every *acknowledged* SET, so a later run can
+    /// verify that none of them were lost across a crash.
+    pub record_acked: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -54,6 +61,8 @@ impl Default for LoadgenConfig {
             read_fraction: 0.95,
             seed: 0x10AD,
             verify: true,
+            crash_ok: false,
+            record_acked: false,
         }
     }
 }
@@ -77,6 +86,11 @@ pub struct BenchSummary {
     pub p99_us: f64,
     /// The merged latency histogram (for further quantiles).
     pub latency: LatencyHistogram,
+    /// Keys of every acknowledged SET (only with `record_acked`).
+    pub acked_sets: Vec<u64>,
+    /// Workers that stopped early on a connection error (only nonzero with
+    /// `crash_ok` — a kill-9'd server under test).
+    pub aborted_workers: u64,
 }
 
 struct WorkerResult {
@@ -84,6 +98,8 @@ struct WorkerResult {
     not_found: u64,
     corrupt: u64,
     latency: LatencyHistogram,
+    acked_sets: Vec<u64>,
+    aborted: bool,
 }
 
 /// Runs the closed loop and aggregates the per-worker results.
@@ -107,8 +123,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
                 read_fraction: config.read_fraction,
                 seed: config.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             };
-            let verify = config.verify;
-            thread::spawn(move || worker(addr, &workload, deadline, &stop, verify))
+            let config = config.clone();
+            thread::spawn(move || worker(addr, &workload, deadline, &stop, &config))
         })
         .collect();
 
@@ -121,6 +137,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
         p50_us: 0.0,
         p99_us: 0.0,
         latency: LatencyHistogram::new(),
+        acked_sets: Vec::new(),
+        aborted_workers: 0,
     };
     let mut first_error = None;
     for handle in workers {
@@ -130,6 +148,8 @@ pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
                 summary.not_found += w.not_found;
                 summary.corrupt += w.corrupt;
                 summary.latency.merge(&w.latency);
+                summary.acked_sets.extend(w.acked_sets);
+                summary.aborted_workers += u64::from(w.aborted);
             }
             Err(e) => {
                 // One failed worker sinks the run, but let the rest finish
@@ -149,12 +169,41 @@ pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
     Ok(summary)
 }
 
+fn run_op(
+    client: &mut Client,
+    op: Op,
+    config: &LoadgenConfig,
+    result: &mut WorkerResult,
+) -> io::Result<()> {
+    match op {
+        Op::Read(key) => match client.get(key)? {
+            Some(value) => {
+                if config.verify && value != record_for(key) {
+                    result.corrupt += 1;
+                }
+            }
+            None => result.not_found += 1,
+        },
+        Op::Update(key) => {
+            // Rewrite the deterministic contents so concurrent readers
+            // still verify cleanly.
+            client.set(key, &record_for(key))?;
+            // Only reached once the server's reply was read: this SET was
+            // acknowledged, so a durable server must never lose it.
+            if config.record_acked {
+                result.acked_sets.push(key);
+            }
+        }
+    }
+    Ok(())
+}
+
 fn worker(
     addr: std::net::SocketAddr,
     workload: &YcsbConfig,
     deadline: Instant,
     stop: &AtomicBool,
-    verify: bool,
+    config: &LoadgenConfig,
 ) -> io::Result<WorkerResult> {
     let mut client = Client::connect(addr)?;
     let mut ops_stream = workload.stream();
@@ -163,24 +212,20 @@ fn worker(
         not_found: 0,
         corrupt: 0,
         latency: LatencyHistogram::new(),
+        acked_sets: Vec::new(),
+        aborted: false,
     };
     while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
         let op = ops_stream.next().expect("YCSB stream is infinite");
         let begin = Instant::now();
-        match op {
-            Op::Read(key) => match client.get(key)? {
-                Some(value) => {
-                    if verify && value != record_for(key) {
-                        result.corrupt += 1;
-                    }
-                }
-                None => result.not_found += 1,
-            },
-            Op::Update(key) => {
-                // Rewrite the deterministic contents so concurrent readers
-                // still verify cleanly.
-                client.set(key, &record_for(key))?;
+        if let Err(e) = run_op(&mut client, op, config, &mut result) {
+            if config.crash_ok {
+                // The server died underneath us (the crash test's kill -9):
+                // everything acknowledged so far still counts.
+                result.aborted = true;
+                break;
             }
+            return Err(e);
         }
         result.latency.record_ns(begin.elapsed().as_nanos() as u64);
         result.ops += 1;

@@ -24,6 +24,24 @@ pub struct ShardMetrics {
     pub evictions: AtomicU64,
     /// Total B+Tree nodes visited on slow paths (misses and new-key SETs).
     pub index_visits: AtomicU64,
+    /// Records currently in the backing store (gauge, not a counter).
+    pub store_len: AtomicU64,
+    /// WAL records appended (0 when the shard runs without durability).
+    pub wal_appends: AtomicU64,
+    /// WAL fsyncs issued (group commit: one fsync can cover many appends).
+    pub wal_fsyncs: AtomicU64,
+    /// Total nanoseconds spent in WAL fsyncs.
+    pub wal_fsync_ns: AtomicU64,
+    /// Slowest single WAL fsync, nanoseconds.
+    pub wal_fsync_max_ns: AtomicU64,
+    /// Snapshots sealed since startup.
+    pub snapshots: AtomicU64,
+    /// WAL records replayed by the last recovery.
+    pub recovery_replayed: AtomicU64,
+    /// Microseconds the last recovery took (0 when the shard started fresh).
+    pub recovery_us: AtomicU64,
+    /// 1 if the last recovery skipped a torn/corrupt final WAL record.
+    pub recovery_torn: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -64,6 +82,38 @@ impl ShardMetrics {
         Self::bump(&self.evictions, 1);
     }
 
+    /// Updates the backing-store size gauge.
+    pub fn store_len_set(&self, len: usize) {
+        self.store_len.store(len as u64, Ordering::Relaxed);
+    }
+
+    /// Records one WAL append.
+    pub fn wal_append(&self) {
+        Self::bump(&self.wal_appends, 1);
+    }
+
+    /// Records one WAL fsync and how long it took.
+    pub fn wal_fsync(&self, took: std::time::Duration) {
+        let ns = took.as_nanos() as u64;
+        Self::bump(&self.wal_fsyncs, 1);
+        Self::bump(&self.wal_fsync_ns, ns);
+        self.wal_fsync_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records one sealed snapshot.
+    pub fn snapshot_taken(&self) {
+        Self::bump(&self.snapshots, 1);
+    }
+
+    /// Records the outcome of a startup recovery.
+    pub fn recovery(&self, replayed: u64, torn_tail: bool, took: std::time::Duration) {
+        self.recovery_replayed.store(replayed, Ordering::Relaxed);
+        self.recovery_us
+            .store(took.as_micros() as u64, Ordering::Relaxed);
+        self.recovery_torn
+            .store(u64::from(torn_tail), Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot (individual counters are exact; the set
     /// is not read under a lock, matching what a data-plane register dump
     /// would give).
@@ -87,6 +137,15 @@ impl ShardMetrics {
             } else {
                 hits as f64 / gets as f64
             },
+            store_len: self.store_len.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_fsync_ns: self.wal_fsync_ns.load(Ordering::Relaxed),
+            wal_fsync_max_ns: self.wal_fsync_max_ns.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
+            recovery_us: self.recovery_us.load(Ordering::Relaxed),
+            recovery_torn: self.recovery_torn.load(Ordering::Relaxed),
         }
     }
 }
@@ -114,6 +173,24 @@ pub struct ShardSnapshot {
     pub index_visits: u64,
     /// hits / gets (0 when no GETs yet).
     pub hit_rate: f64,
+    /// Records currently in the backing store.
+    pub store_len: u64,
+    /// WAL records appended (0 without durability).
+    pub wal_appends: u64,
+    /// WAL fsyncs issued.
+    pub wal_fsyncs: u64,
+    /// Total nanoseconds spent in WAL fsyncs.
+    pub wal_fsync_ns: u64,
+    /// Slowest single WAL fsync, nanoseconds (max across shards in totals).
+    pub wal_fsync_max_ns: u64,
+    /// Snapshots sealed since startup.
+    pub snapshots: u64,
+    /// WAL records replayed by the last startup recovery.
+    pub recovery_replayed: u64,
+    /// Microseconds the last startup recovery took.
+    pub recovery_us: u64,
+    /// Shards whose last recovery skipped a torn final WAL record.
+    pub recovery_torn: u64,
 }
 
 /// The STATS payload: one snapshot per shard plus their sum.
@@ -139,6 +216,15 @@ impl StatsReport {
             evictions: 0,
             index_visits: 0,
             hit_rate: 0.0,
+            store_len: 0,
+            wal_appends: 0,
+            wal_fsyncs: 0,
+            wal_fsync_ns: 0,
+            wal_fsync_max_ns: 0,
+            snapshots: 0,
+            recovery_replayed: 0,
+            recovery_us: 0,
+            recovery_torn: 0,
         };
         for s in &shards {
             totals.gets += s.gets;
@@ -149,6 +235,15 @@ impl StatsReport {
             totals.dels += s.dels;
             totals.evictions += s.evictions;
             totals.index_visits += s.index_visits;
+            totals.store_len += s.store_len;
+            totals.wal_appends += s.wal_appends;
+            totals.wal_fsyncs += s.wal_fsyncs;
+            totals.wal_fsync_ns += s.wal_fsync_ns;
+            totals.wal_fsync_max_ns = totals.wal_fsync_max_ns.max(s.wal_fsync_max_ns);
+            totals.snapshots += s.snapshots;
+            totals.recovery_replayed += s.recovery_replayed;
+            totals.recovery_us += s.recovery_us;
+            totals.recovery_torn += s.recovery_torn;
         }
         if totals.gets > 0 {
             totals.hit_rate = totals.hits as f64 / totals.gets as f64;
@@ -238,6 +333,13 @@ mod tests {
         m.set(2);
         m.del();
         m.eviction();
+        m.store_len_set(7);
+        m.wal_append();
+        m.wal_append();
+        m.wal_fsync(std::time::Duration::from_nanos(500));
+        m.wal_fsync(std::time::Duration::from_nanos(300));
+        m.snapshot_taken();
+        m.recovery(3, true, std::time::Duration::from_micros(250));
         let s = m.snapshot(5);
         assert_eq!(s.shard, 5);
         assert_eq!(s.gets, 4);
@@ -249,6 +351,15 @@ mod tests {
         assert_eq!(s.evictions, 1);
         assert_eq!(s.index_visits, 5);
         assert!((s.hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.store_len, 7);
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.wal_fsyncs, 2);
+        assert_eq!(s.wal_fsync_ns, 800);
+        assert_eq!(s.wal_fsync_max_ns, 500);
+        assert_eq!(s.snapshots, 1);
+        assert_eq!(s.recovery_replayed, 3);
+        assert_eq!(s.recovery_us, 250);
+        assert_eq!(s.recovery_torn, 1);
     }
 
     #[test]
@@ -258,11 +369,22 @@ mod tests {
         a.miss(2);
         let b = ShardMetrics::default();
         b.hit();
+        a.store_len_set(10);
+        a.wal_fsync(std::time::Duration::from_nanos(900));
+        b.store_len_set(5);
+        b.wal_fsync(std::time::Duration::from_nanos(400));
         let report = StatsReport::from_shards(vec![a.snapshot(0), b.snapshot(1)]);
         assert_eq!(report.totals.gets, 3);
         assert_eq!(report.totals.hits, 2);
         assert_eq!(report.totals.index_visits, 2);
         assert!((report.totals.hit_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.totals.store_len, 15);
+        assert_eq!(report.totals.wal_fsyncs, 2);
+        assert_eq!(report.totals.wal_fsync_ns, 1300);
+        assert_eq!(
+            report.totals.wal_fsync_max_ns, 900,
+            "totals take the max, not the sum"
+        );
 
         let json = serde_json::to_string(&report).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();

@@ -1,16 +1,30 @@
 //! The wire protocol: length-prefixed binary frames over TCP.
 //!
-//! Every message is one frame: a little-endian `u32` payload length followed
-//! by the payload. The first payload byte is the opcode; the rest is the
-//! fixed-layout body. Keys are little-endian `u64`; values are raw bytes
-//! (the kvstore stores fixed 64-byte records, but the framing itself is
-//! length-agnostic so STATS can carry JSON in the same envelope).
+//! Every message is one frame: a magic/version byte ([`FRAME_MAGIC`]), a
+//! little-endian `u32` payload length, then the payload. The first payload
+//! byte is the opcode; the rest is the fixed-layout body. Keys are
+//! little-endian `u64`; values are raw bytes (the kvstore stores fixed
+//! 64-byte records, but the framing itself is length-agnostic so STATS can
+//! carry JSON in the same envelope).
+//!
+//! The magic byte makes version drift fail fast and loud: a peer speaking
+//! an older protocol revision (or not this protocol at all) is rejected on
+//! its first frame with a clear error, instead of having its length prefix
+//! misread as garbage opcodes.
 //!
 //! Requests: GET `0x01`, SET `0x02`, DEL `0x03`, STATS `0x04`,
 //! SHUTDOWN `0x05`. Responses: VALUE `0x80`, NOT_FOUND `0x81`, OK `0x82`,
 //! STATS_JSON `0x83`, ERR `0x84`.
 
 use std::io::{self, Read, Write};
+
+/// Wire-format revision. Bump when the frame or payload layout changes.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// First byte of every frame: a fixed marker nibble carrying the protocol
+/// version in its low bits. Chosen to collide with neither request nor
+/// response opcodes, so a peer that skips the magic entirely is also caught.
+pub const FRAME_MAGIC: u8 = 0xB0 | PROTOCOL_VERSION;
 
 /// Largest accepted payload. Frames beyond this are a protocol error, not an
 /// allocation: a garbage length prefix must not make the server reserve
@@ -201,7 +215,8 @@ impl Response {
     }
 }
 
-/// Writes one frame: `u32` little-endian payload length, then the payload.
+/// Writes one frame: [`FRAME_MAGIC`], `u32` little-endian payload length,
+/// then the payload.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(err(format!(
@@ -210,6 +225,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         ))
         .into());
     }
+    w.write_all(&[FRAME_MAGIC])?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -217,17 +233,27 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 
 /// Reads one frame's payload into `buf` (cleared and resized).
 ///
-/// Returns `Ok(false)` on clean EOF *before* the length prefix — the peer
-/// hung up between requests, which is not an error.
+/// Returns `Ok(false)` on clean EOF *before* the magic byte — the peer hung
+/// up between requests, which is not an error. A wrong magic byte is an
+/// error naming the likely cause (a peer on a different protocol version).
 pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
-    let mut len = [0u8; 4];
-    // A clean disconnect shows up as EOF on the first prefix byte.
-    match r.read(&mut len[..1]) {
+    let mut magic = [0u8; 1];
+    // A clean disconnect shows up as EOF on the magic byte.
+    match r.read(&mut magic) {
         Ok(0) => return Ok(false),
         Ok(_) => {}
         Err(e) => return Err(e),
     }
-    r.read_exact(&mut len[1..])?;
+    if magic[0] != FRAME_MAGIC {
+        return Err(err(format!(
+            "bad frame magic {:#04x} (expected {FRAME_MAGIC:#04x}; \
+             mixed protocol versions?)",
+            magic[0]
+        ))
+        .into());
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
     let n = u32::from_le_bytes(len) as usize;
     if n > MAX_FRAME {
         return Err(err(format!("incoming frame of {n} bytes exceeds MAX_FRAME")).into());
@@ -310,8 +336,27 @@ mod tests {
     }
 
     #[test]
-    fn oversized_frames_are_refused_without_allocating() {
+    fn wrong_magic_is_rejected_with_a_version_hint() {
+        // A v0-era frame (no magic): its length prefix's first byte arrives
+        // where the magic belongs.
         let mut wire = Vec::new();
+        wire.extend_from_slice(&5u32.to_le_bytes());
+        wire.extend_from_slice(b"hello");
+        let mut cursor = std::io::Cursor::new(wire);
+        let e = read_frame(&mut cursor, &mut Vec::new()).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("protocol versions"), "{e}");
+
+        // Every frame leads with the magic, and it is version-stamped.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"x").unwrap();
+        assert_eq!(wire[0], FRAME_MAGIC);
+        assert_eq!(FRAME_MAGIC & 0x0F, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_without_allocating() {
+        let mut wire = vec![FRAME_MAGIC];
         wire.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut cursor = std::io::Cursor::new(wire);
         let mut buf = Vec::new();
@@ -328,7 +373,7 @@ mod tests {
     #[test]
     fn truncated_stream_is_an_error_not_eof() {
         // Length says 10 bytes; only 3 arrive.
-        let mut wire = Vec::new();
+        let mut wire = vec![FRAME_MAGIC];
         wire.extend_from_slice(&10u32.to_le_bytes());
         wire.extend_from_slice(&[1, 2, 3]);
         let mut cursor = std::io::Cursor::new(wire);

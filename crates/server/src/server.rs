@@ -11,13 +11,15 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use p4lru_core::hashing::hash_u64;
+use p4lru_durable::DurabilityConfig;
 use p4lru_kvstore::db::record_for;
 use p4lru_kvstore::slab::Record;
 
@@ -51,6 +53,13 @@ pub struct ServerConfig {
     pub units_per_shard: usize,
     /// Seed for the per-shard cache hashes.
     pub seed: u64,
+    /// Durability root. `None` runs in-memory only. When the directory
+    /// already holds a completed data set (its `meta` file exists), the
+    /// server recovers from it and ignores `items`; otherwise it populates
+    /// fresh and seals initial snapshots before serving.
+    pub data_dir: Option<PathBuf>,
+    /// WAL sync policy and snapshot cadence (only used with `data_dir`).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ServerConfig {
@@ -61,8 +70,21 @@ impl Default for ServerConfig {
             items: 100_000,
             units_per_shard: 4096,
             seed: 0x9412_C0DE,
+            data_dir: None,
+            durability: DurabilityConfig::default(),
         }
     }
+}
+
+/// What `spawn` decided about the data directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartMode {
+    /// In-memory only (no `data_dir`).
+    Volatile,
+    /// Fresh population; initial snapshots sealed.
+    Fresh,
+    /// Recovered snapshots + WAL tails from an existing data dir.
+    Recovered,
 }
 
 enum ShardOp {
@@ -94,25 +116,144 @@ pub struct Server {
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     senders: Vec<Sender<ShardRequest>>,
     metrics: Vec<Arc<ShardMetrics>>,
+    start_mode: StartMode,
 }
 
-impl Server {
-    /// Builds the shards, populates them with `items` records (key `k` gets
-    /// the deterministic [`record_for`]`(k)`), binds the listener, and
-    /// spawns the shard and accept threads.
-    pub fn spawn(config: &ServerConfig) -> io::Result<Server> {
-        assert!(config.shards >= 1, "need at least one shard");
+/// Name of the marker file a completed data-dir initialization writes last.
+/// Its absence means any shard directories present are from an interrupted
+/// first run and must be rebuilt, not recovered.
+const META_FILE: &str = "meta";
+
+fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard:03}"))
+}
+
+fn cache_seed(config: &ServerConfig, shard: usize) -> u64 {
+    config.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn write_meta(root: &Path, shards: usize) -> io::Result<()> {
+    let tmp = root.join("meta.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(format!("p4lru-server v1\nshards={shards}\n").as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, root.join(META_FILE))?;
+    fsync_dir(root)
+}
+
+/// Shard count recorded in the meta file, or `None` when initialization
+/// never completed.
+fn read_meta(root: &Path) -> io::Result<Option<usize>> {
+    let text = match std::fs::read_to_string(root.join(META_FILE)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let bad = || {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unrecognized meta file in data dir: {text:?}"),
+        )
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some("p4lru-server v1") {
+        return Err(bad());
+    }
+    let shards = lines
+        .next()
+        .and_then(|l| l.strip_prefix("shards="))
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(bad)?;
+    Ok(Some(shards))
+}
+
+#[cfg(unix)]
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn fsync_dir(_dir: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+/// Removes shard directories left behind by an initialization that never
+/// reached its meta file.
+fn wipe_partial_init(root: &Path) -> io::Result<()> {
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_string_lossy().starts_with("shard-") && entry.file_type()?.is_dir() {
+            std::fs::remove_dir_all(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds every shard according to the config: in-memory, fresh-durable, or
+/// recovered from an existing data dir.
+fn build_shards(config: &ServerConfig) -> io::Result<(Vec<Shard>, StartMode)> {
+    let fresh = |config: &ServerConfig| -> Vec<Shard> {
         let mut shards: Vec<Shard> = (0..config.shards)
-            .map(|i| {
-                Shard::new(
-                    config.units_per_shard,
-                    config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                )
-            })
+            .map(|i| Shard::new(config.units_per_shard, cache_seed(config, i)))
             .collect();
         for key in 0..config.items {
             shards[shard_of(key, config.shards)].load(key, record_for(key));
         }
+        shards
+    };
+    let Some(root) = &config.data_dir else {
+        return Ok((fresh(config), StartMode::Volatile));
+    };
+    std::fs::create_dir_all(root)?;
+    if let Some(meta_shards) = read_meta(root)? {
+        if meta_shards != config.shards {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "data dir was written with {meta_shards} shards but the \
+                     server was started with {} — keys would route to the \
+                     wrong shard",
+                    config.shards
+                ),
+            ));
+        }
+        let shards = (0..config.shards)
+            .map(|i| {
+                Shard::recover(
+                    config.units_per_shard,
+                    cache_seed(config, i),
+                    &shard_dir(root, i),
+                    &config.durability,
+                )
+            })
+            .collect::<io::Result<Vec<Shard>>>()?;
+        return Ok((shards, StartMode::Recovered));
+    }
+    // First run (or an interrupted one): rebuild from scratch, and only
+    // declare the data dir usable once every shard's initial snapshot is on
+    // disk — the meta file is written last.
+    wipe_partial_init(root)?;
+    let mut shards = fresh(config);
+    for (i, shard) in shards.iter_mut().enumerate() {
+        let dir = shard_dir(root, i);
+        std::fs::create_dir_all(&dir)?;
+        shard.enable_durability_fresh(&dir, &config.durability)?;
+    }
+    write_meta(root, config.shards)?;
+    Ok((shards, StartMode::Fresh))
+}
+
+impl Server {
+    /// Builds the shards, populates them with `items` records (key `k` gets
+    /// the deterministic [`record_for`]`(k)`) or recovers them from
+    /// `data_dir`, binds the listener, and spawns the shard and accept
+    /// threads.
+    pub fn spawn(config: &ServerConfig) -> io::Result<Server> {
+        assert!(config.shards >= 1, "need at least one shard");
+        let (shards, start_mode) = build_shards(config)?;
         let metrics: Vec<Arc<ShardMetrics>> = shards.iter().map(Shard::metrics).collect();
 
         let mut senders = Vec::with_capacity(config.shards);
@@ -152,12 +293,18 @@ impl Server {
             handlers,
             senders,
             metrics,
+            start_mode,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// How the data directory was brought up (volatile/fresh/recovered).
+    pub fn start_mode(&self) -> StartMode {
+        self.start_mode
     }
 
     /// A stats report straight from the shards' atomic counters.
@@ -205,28 +352,59 @@ impl Server {
     }
 }
 
-fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>) {
-    while let Ok(req) = rx.recv() {
-        let response = match req.op {
-            ShardOp::Get(key) => match shard.get(key) {
-                Some(record) => Response::Value(record.to_vec()),
-                None => Response::NotFound,
-            },
-            ShardOp::Set(key, record) => {
-                shard.set(key, record);
-                Response::Ok
-            }
-            ShardOp::Del(key) => {
-                if shard.del(key) {
-                    Response::Ok
-                } else {
-                    Response::NotFound
-                }
-            }
-        };
-        // A vanished handler (client hung up mid-request) is not an error.
-        let _ = req.reply.send(response);
+/// Most requests one fsync is allowed to cover (group commit). Large enough
+/// to amortize the sync across a busy batch, small enough to bound the ack
+/// latency the last request in a batch pays.
+const MAX_BATCH: usize = 128;
+
+fn apply(shard: &mut Shard, op: ShardOp) -> Response {
+    match op {
+        ShardOp::Get(key) => match shard.get(key) {
+            Some(record) => Response::Value(record.to_vec()),
+            None => Response::NotFound,
+        },
+        ShardOp::Set(key, record) => match shard.set(key, record) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Err(format!("wal append failed: {e}")),
+        },
+        ShardOp::Del(key) => match shard.del(key) {
+            Ok(true) => Response::Ok,
+            Ok(false) => Response::NotFound,
+            Err(e) => Response::Err(format!("wal append failed: {e}")),
+        },
     }
+}
+
+/// Drains the request channel in batches: apply every request in the batch,
+/// run one commit (so a single fsync covers all of them under
+/// `sync=always`), and only then release the replies — the group-commit
+/// discipline that makes "acknowledged" mean "durable".
+fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>) {
+    let mut batch: Vec<(Sender<Response>, Response)> = Vec::with_capacity(MAX_BATCH);
+    while let Ok(req) = rx.recv() {
+        batch.push((req.reply, apply(shard, req.op)));
+        // Opportunistically fold in whatever else is already queued.
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(req) => batch.push((req.reply, apply(shard, req.op))),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        if let Err(e) = shard.commit() {
+            // The batch's appends may not have reached disk: none of these
+            // requests may be acknowledged as succeeding.
+            let msg = format!("wal commit failed: {e}");
+            for (_, response) in &mut batch {
+                *response = Response::Err(msg.clone());
+            }
+        }
+        for (reply, response) in batch.drain(..) {
+            // A vanished handler (client hung up mid-request) is not an error.
+            let _ = reply.send(response);
+        }
+    }
+    // Clean shutdown: push any policy-deferred appends to disk.
+    let _ = shard.flush();
 }
 
 fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
@@ -421,6 +599,75 @@ mod tests {
         assert!(read_frame(&mut stream, &mut buf).unwrap());
         assert!(matches!(Response::decode(&buf).unwrap(), Response::Err(_)));
         server.shutdown();
+    }
+
+    #[test]
+    fn durable_server_recovers_after_clean_restart() {
+        let root =
+            std::env::temp_dir().join(format!("p4lru-server-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = ServerConfig {
+            data_dir: Some(root.clone()),
+            ..tiny_config()
+        };
+
+        let server = Server::spawn(&config).unwrap();
+        assert_eq!(server.start_mode(), StartMode::Fresh);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.set(5_000, b"durable").unwrap();
+        assert!(client.del(17).unwrap());
+        drop(client);
+        server.shutdown();
+
+        // Same data dir: recovers instead of repopulating; `items` ignored.
+        let server = Server::spawn(&ServerConfig {
+            items: 0,
+            ..config.clone()
+        })
+        .unwrap();
+        assert_eq!(server.start_mode(), StartMode::Recovered);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let v = client.get(5_000).unwrap().expect("survived the restart");
+        assert_eq!(&v[..7], b"durable");
+        assert_eq!(client.get(17).unwrap(), None, "delete survived too");
+        assert_eq!(client.get(18).unwrap().unwrap(), record_for(18).to_vec());
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.totals.store_len, 1_000, "1000 seeded +1 set -1 del");
+        assert!(stats.totals.recovery_replayed >= 2);
+        drop(client);
+        server.shutdown();
+
+        // Mismatched shard count must be refused, not mis-routed.
+        let err = match Server::spawn(&ServerConfig {
+            shards: 3,
+            ..config.clone()
+        }) {
+            Ok(_) => panic!("a mismatched shard count must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_meta_file_forces_a_rebuild() {
+        let root = std::env::temp_dir().join(format!("p4lru-server-nometa-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = ServerConfig {
+            data_dir: Some(root.clone()),
+            ..tiny_config()
+        };
+        Server::spawn(&config).unwrap().shutdown();
+        // Simulate a crash between shard init and the meta write.
+        std::fs::remove_file(root.join(META_FILE)).unwrap();
+        let server = Server::spawn(&config).unwrap();
+        assert_eq!(
+            server.start_mode(),
+            StartMode::Fresh,
+            "without meta the shard dirs are untrusted and rebuilt"
+        );
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -16,22 +16,33 @@
 //! thread exclusive ownership, mirroring how one pipeline owns its
 //! registers — so the cache needs no interior locking (see the thread-safety
 //! notes on [`p4lru_core::array::LruArray`]).
+//!
+//! With durability enabled (DESIGN.md §8), every SET/DEL appends to the
+//! shard's write-ahead log *before* mutating the in-memory store, and the
+//! server's request loop withholds acknowledgements until [`Shard::commit`]
+//! has applied the sync policy — so under `sync=always` no acknowledged
+//! write can be lost to a crash.
 
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 use p4lru_core::array::P4Lru3Array;
 use p4lru_core::unit::Outcome;
+use p4lru_durable::{DurabilityConfig, Recovery, ShardLog};
 use p4lru_kvstore::slab::Record;
 use p4lru_kvstore::{Addr48, Database, VALUE_SIZE};
 
 use crate::metrics::{ShardMetrics, ShardSnapshot};
 
-/// A shard: front cache, backing store, and counters.
+/// A shard: front cache, backing store, counters, and (optionally) the
+/// durability engine.
 #[derive(Debug)]
 pub struct Shard {
     cache: P4Lru3Array<u64, Addr48>,
     db: Database,
     metrics: Arc<ShardMetrics>,
+    log: Option<ShardLog>,
 }
 
 fn overwrite(slot: &mut Addr48, addr: Addr48) {
@@ -39,13 +50,68 @@ fn overwrite(slot: &mut Addr48, addr: Addr48) {
 }
 
 impl Shard {
-    /// A shard with `units` three-entry cache units and an empty store.
+    /// A shard with `units` three-entry cache units, an empty store, and no
+    /// durability (in-memory only).
     pub fn new(units: usize, seed: u64) -> Self {
         Self {
             cache: P4Lru3Array::with_seed(units, seed),
             db: Database::default(),
             metrics: Arc::new(ShardMetrics::default()),
+            log: None,
         }
+    }
+
+    /// Attaches a durability engine to a freshly populated shard: seals an
+    /// initial snapshot of the current store (so the population survives a
+    /// crash) and opens the WAL. Call after [`Shard::load`]-ing the initial
+    /// records and before serving traffic.
+    pub fn enable_durability_fresh(
+        &mut self,
+        dir: &Path,
+        config: &DurabilityConfig,
+    ) -> io::Result<()> {
+        self.log = Some(ShardLog::init_fresh(dir, &self.db, config)?);
+        Ok(())
+    }
+
+    /// Rebuilds a shard from its durability directory: latest snapshot plus
+    /// WAL tail, with the front cache re-warmed by installing the address
+    /// of every key the replay touched (oldest first, so the most recently
+    /// written keys end up most recently used).
+    pub fn recover(
+        units: usize,
+        seed: u64,
+        dir: &Path,
+        config: &DurabilityConfig,
+    ) -> io::Result<Self> {
+        let (log, recovery) = ShardLog::recover(dir, config)?;
+        let Recovery {
+            db,
+            replayed_keys,
+            replayed,
+            torn_tail,
+            duration,
+            ..
+        } = recovery;
+        let mut shard = Self {
+            cache: P4Lru3Array::with_seed(units, seed),
+            db,
+            metrics: Arc::new(ShardMetrics::default()),
+            log: Some(log),
+        };
+        for key in replayed_keys {
+            // Deleted keys are simply absent by now; survivors get their
+            // (fresh) slab address installed, warming the cache with what
+            // was hot at crash time. Warm-up installs bypass the eviction
+            // counter — they are not request-driven traffic.
+            if let Some(found) = shard.db.lookup_by_key(key) {
+                let addr = found.addr;
+                shard.cache.update(key, addr, overwrite);
+            }
+        }
+        shard.metrics.recovery(replayed, torn_tail, duration);
+        shard.metrics.store_len_set(shard.db.len());
+        Ok(shard)
     }
 
     /// The shard's metrics handle (share with the STATS path).
@@ -63,10 +129,17 @@ impl Shard {
         self.db.len()
     }
 
-    /// Bulk-loads a record without touching counters or the cache (initial
-    /// population).
+    /// Whether this shard writes a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Bulk-loads a record without touching counters, the cache, or the WAL
+    /// (initial population — made durable by the initial snapshot that
+    /// [`Shard::enable_durability_fresh`] seals afterwards).
     pub fn load(&mut self, key: u64, record: Record) {
         self.db.insert(key, record);
+        self.metrics.store_len_set(self.db.len());
     }
 
     /// Reads `key`. A cache hit reads the slab directly by cached address
@@ -94,10 +167,15 @@ impl Shard {
         }
     }
 
-    /// Write-through SET: the backing store is updated first, then the
-    /// cache (write-allocate — the written key becomes most recently used,
-    /// matching YCSB's read-your-writes access pattern).
-    pub fn set(&mut self, key: u64, record: Record) {
+    /// Write-through SET: the WAL (when durable) sees the record first, then
+    /// the backing store, then the cache (write-allocate — the written key
+    /// becomes most recently used, matching YCSB's read-your-writes access
+    /// pattern). The record is durable only after [`Shard::commit`].
+    pub fn set(&mut self, key: u64, record: Record) -> io::Result<()> {
+        if let Some(log) = &mut self.log {
+            log.append_set(key, record)?;
+            self.metrics.wal_append();
+        }
         match self.db.insert(key, record) {
             Some(addr) => {
                 // Existing key: the record was overwritten in place, so any
@@ -114,6 +192,8 @@ impl Shard {
                 self.install(key, addr);
             }
         }
+        self.metrics.store_len_set(self.db.len());
+        Ok(())
     }
 
     /// Deletes `key`, returning whether it existed.
@@ -121,10 +201,42 @@ impl Shard {
     /// The cached address **must** be invalidated before the store frees the
     /// record: the slab reuses freed addresses, so a stale cache entry would
     /// later serve some other key's record.
-    pub fn del(&mut self, key: u64) -> bool {
+    pub fn del(&mut self, key: u64) -> io::Result<bool> {
+        if let Some(log) = &mut self.log {
+            log.append_del(key)?;
+            self.metrics.wal_append();
+        }
         self.metrics.del();
         self.cache.remove(&key);
-        self.db.remove(key)
+        let existed = self.db.remove(key);
+        self.metrics.store_len_set(self.db.len());
+        Ok(existed)
+    }
+
+    /// Batch boundary: applies the sync policy to pending WAL appends and
+    /// seals a snapshot when the cadence says so. The server must call this
+    /// before releasing the batch's acknowledgements.
+    pub fn commit(&mut self) -> io::Result<()> {
+        let Some(log) = &mut self.log else {
+            return Ok(());
+        };
+        if let Some(took) = log.commit()? {
+            self.metrics.wal_fsync(took);
+        }
+        if log.should_snapshot() {
+            log.snapshot(&self.db)?;
+            self.metrics.snapshot_taken();
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to disk (clean shutdown).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(log) = &mut self.log {
+            let took = log.sync()?;
+            self.metrics.wal_fsync(took);
+        }
+        Ok(())
     }
 
     /// A snapshot of this shard's counters.
@@ -150,6 +262,7 @@ pub fn record_from_bytes(value: &[u8]) -> Record {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4lru_durable::SyncPolicy;
     use p4lru_kvstore::db::record_for;
     use std::sync::atomic::Ordering;
 
@@ -159,6 +272,24 @@ mod tests {
             shard.load(k, record_for(k));
         }
         shard
+    }
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(label: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "p4lru-shard-{label}-{}-{:x}",
+                std::process::id(),
+                &raw const label as usize
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            Self(path)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
     }
 
     #[test]
@@ -171,31 +302,34 @@ mod tests {
         assert_eq!((s.hits, s.misses, s.absent), (1, 1, 1));
         assert_eq!(s.gets, 3);
         assert!(s.index_visits > 0, "a miss walks the index");
+        assert_eq!(s.store_len, 100);
+        assert_eq!(s.wal_appends, 0, "no WAL without durability");
     }
 
     #[test]
     fn set_new_and_existing_keys() {
         let mut shard = loaded_shard(10);
-        shard.set(3, record_for(103)); // existing: in-place
+        shard.set(3, record_for(103)).unwrap(); // existing: in-place
         assert_eq!(shard.get(3), Some(record_for(103)));
-        shard.set(500, record_for(500)); // new key
+        shard.set(500, record_for(500)).unwrap(); // new key
         assert_eq!(shard.get(500), Some(record_for(500)));
         assert_eq!(shard.store_len(), 11);
         let s = shard.snapshot(0);
         assert_eq!(s.sets, 2);
         // Both SETs installed the address, so both GETs hit.
         assert_eq!((s.hits, s.misses), (2, 0));
+        assert_eq!(s.store_len, 11);
     }
 
     #[test]
     fn del_invalidates_the_cached_address() {
         let mut shard = loaded_shard(10);
         assert_eq!(shard.get(4), Some(record_for(4))); // cache addr of key 4
-        assert!(shard.del(4));
-        assert!(!shard.del(4), "second delete finds nothing");
+        assert!(shard.del(4).unwrap());
+        assert!(!shard.del(4).unwrap(), "second delete finds nothing");
         // The slab reuses key 4's freed slot for the next insert; a stale
         // cached address would now serve key 777's record under key 4.
-        shard.set(777, record_for(777));
+        shard.set(777, record_for(777)).unwrap();
         assert_eq!(shard.get(4), None, "deleted key must stay deleted");
         assert_eq!(shard.get(777), Some(record_for(777)));
     }
@@ -228,5 +362,54 @@ mod tests {
         assert_eq!(record_from_bytes(b"ab")[2..], [0u8; VALUE_SIZE - 2]);
         let long = vec![7u8; VALUE_SIZE + 9];
         assert_eq!(record_from_bytes(&long), [7u8; VALUE_SIZE]);
+    }
+
+    #[test]
+    fn durable_shard_survives_a_simulated_crash() {
+        let tmp = TempDir::new("crash");
+        let config = DurabilityConfig {
+            sync: SyncPolicy::Always,
+            ..DurabilityConfig::default()
+        };
+        {
+            let mut shard = loaded_shard(20);
+            shard.enable_durability_fresh(&tmp.0, &config).unwrap();
+            assert!(shard.is_durable());
+            shard.set(100, record_for(100)).unwrap();
+            shard.set(5, record_for(505)).unwrap();
+            assert!(shard.del(7).unwrap());
+            shard.commit().unwrap();
+            let s = shard.snapshot(0);
+            assert_eq!(s.wal_appends, 3);
+            assert!(s.wal_fsyncs >= 1);
+            // Dropped without flush: a crash. Everything committed must
+            // still be recoverable.
+        }
+        let mut shard = Shard::recover(64, 0xBEEF, &tmp.0, &config).unwrap();
+        assert_eq!(shard.store_len(), 20, "+1 new, -1 deleted");
+        assert_eq!(shard.get(100), Some(record_for(100)));
+        assert_eq!(shard.get(5), Some(record_for(505)));
+        assert_eq!(shard.get(7), None);
+        let s = shard.snapshot(0);
+        assert_eq!(s.recovery_replayed, 3);
+        assert_eq!(s.recovery_torn, 0);
+        // The replayed keys were re-installed: reading them hits the cache.
+        assert!(s.hits >= 2, "recovered hot keys hit, got {}", s.hits);
+    }
+
+    #[test]
+    fn recovery_warms_the_cache_with_replayed_keys() {
+        let tmp = TempDir::new("warm");
+        let config = DurabilityConfig::default();
+        {
+            let mut shard = loaded_shard(10);
+            shard.enable_durability_fresh(&tmp.0, &config).unwrap();
+            shard.set(42, record_for(42)).unwrap();
+            shard.commit().unwrap();
+        }
+        let mut shard = Shard::recover(64, 0xBEEF, &tmp.0, &config).unwrap();
+        shard.get(42);
+        let s = shard.snapshot(0);
+        assert_eq!((s.hits, s.misses), (1, 0), "replayed key was pre-installed");
     }
 }

@@ -1,0 +1,203 @@
+//! Kill-9 crash-recovery test: under `--sync always`, no acknowledged write
+//! may be lost, no matter when the server dies.
+//!
+//! The test drives a real `p4lru_serverd` child process with live SET/DEL
+//! traffic, SIGKILLs it mid-load, vandalizes the WAL tails the way a crash
+//! mid-append would (a torn trailing record), restarts the daemon on the
+//! same data dir, and then audits every acknowledged operation against the
+//! recovered store.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use p4lru_kvstore::db::record_for;
+use p4lru_server::client::Client;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir().join(format!("p4lru-kill9-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Spawns `p4lru_serverd` on a free port and parses the bound address from
+/// its stdout (no port race).
+fn spawn_serverd(data_dir: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_p4lru_serverd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--items",
+            "1000",
+            "--units",
+            "64",
+            "--sync",
+            "always",
+            "--snapshot-every",
+            "512",
+            "--data-dir",
+        ])
+        .arg(data_dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serverd spawns");
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serverd printed its listen line before EOF")
+            .expect("serverd stdout is readable");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after 'listening on'")
+                .parse()
+                .expect("listen address parses");
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// Appends a garbage record-header fragment to the newest WAL segment —
+/// exactly what a crash in the middle of an un-acked append leaves behind.
+fn tear_wal_tail(shard_dir: &Path) {
+    let newest = std::fs::read_dir(shard_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            let name = p
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            name.starts_with("wal-") && name.ends_with(".log")
+        })
+        .max()
+        .expect("shard dir has at least one wal segment");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    bytes.extend_from_slice(&[81, 0, 0, 0, 0xAA, 0xBB, 0xCC]);
+    std::fs::write(&newest, bytes).unwrap();
+}
+
+#[test]
+fn kill9_mid_load_loses_no_acknowledged_write() {
+    let tmp = TempDir::new();
+    let data_dir = tmp.0.join("data");
+    let (mut child, addr) = spawn_serverd(&data_dir);
+
+    // Writer thread: fresh keys (outside the populated 0..1000 space) with
+    // occasional deletes, recording only *acknowledged* operations. Runs
+    // until the SIGKILL severs the connection.
+    let writer = {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connects");
+            // key -> should it exist after recovery?
+            let mut acked: HashMap<u64, bool> = HashMap::new();
+            let mut i = 0u64;
+            loop {
+                let key = 1_000_000 + i;
+                if client.set(key, &record_for(key)).is_err() {
+                    break;
+                }
+                acked.insert(key, true);
+                if i % 7 == 3 {
+                    // Delete an earlier key; a recovered store must not
+                    // resurrect it.
+                    let victim = 1_000_000 + i / 2;
+                    match client.del(victim) {
+                        Ok(_) => {
+                            acked.insert(victim, false);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                i += 1;
+                // No stop condition needed: every iteration is a blocking
+                // round-trip, so the SIGKILL's socket teardown surfaces as
+                // an error on the very next operation.
+            }
+            acked
+        })
+    };
+
+    // Let real load build up (several commits and at least one snapshot
+    // cadence worth of appends), then kill -9 mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    child.kill().expect("SIGKILL the server");
+    child.wait().expect("reap the server");
+    let acked = writer.join().expect("writer thread");
+    assert!(
+        acked.len() > 20,
+        "need meaningful load before the kill, got {} acked ops",
+        acked.len()
+    );
+
+    // Simulate the torn final append a less polite crash leaves behind.
+    tear_wal_tail(&data_dir.join("shard-000"));
+    tear_wal_tail(&data_dir.join("shard-001"));
+
+    // Restart on the same data dir and audit every acknowledged op.
+    let (mut child, addr) = spawn_serverd(&data_dir);
+    let mut client = Client::connect(addr).expect("verifier connects");
+    let (mut live, mut deleted) = (0u64, 0u64);
+    for (&key, &should_exist) in &acked {
+        let got = client.get(key).expect("GET after recovery");
+        if should_exist {
+            assert_eq!(
+                got.as_deref(),
+                Some(&record_for(key)[..]),
+                "acknowledged SET of key {key} was lost or corrupted"
+            );
+            live += 1;
+        } else {
+            assert_eq!(got, None, "acknowledged DEL of key {key} was resurrected");
+            deleted += 1;
+        }
+    }
+    assert!(live > 0 && deleted > 0, "both op kinds must be audited");
+
+    // Pre-populated keys still present (snapshot path).
+    assert_eq!(
+        client.get(17).expect("GET populated key").as_deref(),
+        Some(&record_for(17)[..])
+    );
+
+    let stats = client.stats().expect("STATS after recovery");
+    assert!(
+        stats.totals.recovery_replayed > 0,
+        "recovery must have replayed WAL records"
+    );
+    assert_eq!(
+        stats.totals.recovery_torn, 2,
+        "both shards' torn tails must be detected and skipped"
+    );
+    assert!(
+        stats.totals.recovery_us > 0,
+        "recovery duration is reported"
+    );
+
+    client.shutdown().expect("clean shutdown");
+    drop(client);
+    child.wait().expect("server exits after SHUTDOWN");
+}

@@ -9,6 +9,7 @@
 //! * [`sketches`] — TowerSketch, Count-Min, CU, Elastic, Coco
 //! * [`traffic`] — synthetic CAIDA_n traces and YCSB workloads
 //! * [`kvstore`] — B+Tree-indexed database substrate
+//! * [`durable`] — write-ahead log, snapshots, and crash recovery
 //! * [`netsim`] — deterministic discrete-event simulator
 //! * [`lrutable`], [`lruindex`], [`lrumon`] — the three in-network systems
 //! * [`server`] — the runnable sharded cache service and load generator
@@ -16,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub use p4lru_core as core;
+pub use p4lru_durable as durable;
 pub use p4lru_kvstore as kvstore;
 pub use p4lru_lruindex as lruindex;
 pub use p4lru_lrumon as lrumon;
