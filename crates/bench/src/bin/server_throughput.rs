@@ -1,0 +1,170 @@
+//! Server throughput vs. pipeline depth (DESIGN.md §9).
+//!
+//! Spawns an in-process (volatile) `p4lru-server`, drives it with the
+//! crate's own load generator at pipeline depths 1 / 8 / 32, and records
+//! throughput and latency percentiles per depth as `results/BENCH_server.json`.
+//! Depth 1 is the pre-pipelining closed loop; the deeper columns are what
+//! batched framed I/O and shard group commit buy.
+//!
+//! `--assert-speedup <f>` exits nonzero unless the deepest depth achieves
+//! at least `f`× the ops/sec of depth 1 (CI smoke uses this).
+
+use std::process::ExitCode;
+
+use p4lru_bench::{FigureResult, Scale};
+use p4lru_server::loadgen::{run, LoadgenConfig};
+use p4lru_server::server::{Server, ServerConfig};
+
+fn parse_extra_args() -> Result<(Option<f64>, Vec<usize>), String> {
+    let mut assert_speedup = None;
+    let mut depths = vec![1, 8, 32];
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--assert-speedup" => {
+                let v = args.next().ok_or("--assert-speedup needs a value")?;
+                assert_speedup = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad value for --assert-speedup: {e:?}"))?,
+                );
+            }
+            "--depths" => {
+                let v = args.next().ok_or("--depths needs a value")?;
+                depths = v
+                    .split(',')
+                    .map(|d| {
+                        d.parse::<usize>()
+                            .map_err(|e| format!("bad depth {d:?}: {e:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if depths.is_empty() {
+                    return Err("--depths needs at least one depth".into());
+                }
+            }
+            "--scale" => {
+                args.next(); // handled by Scale::from_args
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (try --scale, --depths, --assert-speedup)"
+                ))
+            }
+        }
+    }
+    Ok((assert_speedup, depths))
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let (assert_speedup, depths) = match parse_extra_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let server_config = ServerConfig {
+        shards: scale.pick(2, 4),
+        items: scale.pick(20_000, 100_000),
+        units_per_shard: scale.pick(1024, 4096),
+        ..ServerConfig::default()
+    };
+    let seconds = scale.pick(2.0, 5.0);
+    let threads = scale.pick(2, 4);
+
+    let mut fig = FigureResult::new(
+        "BENCH_server",
+        "Server throughput vs. pipeline depth (volatile, YCSB-B)",
+        "pipeline depth (in-flight requests per connection)",
+        "throughput (ops/s)",
+    );
+    fig.note(format!(
+        "in-process server: shards={} items={} units_per_shard={} window={}",
+        server_config.shards,
+        server_config.items,
+        server_config.units_per_shard,
+        server_config.pipeline_window,
+    ));
+    fig.note(format!(
+        "loadgen: threads={threads} seconds={seconds} alpha=0.9 read_fraction=0.95 verify=on"
+    ));
+
+    let mut throughput = Vec::new();
+    let mut p50 = Vec::new();
+    let mut p95 = Vec::new();
+    let mut p99 = Vec::new();
+    for &depth in &depths {
+        // A fresh server per depth so cache warm-up and store contents
+        // cannot leak from one column into the next.
+        let server = match Server::spawn(&server_config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: failed to start server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let config = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            threads,
+            seconds,
+            items: server_config.items,
+            pipeline: depth,
+            ..LoadgenConfig::default()
+        };
+        let summary = match run(&config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: loadgen failed at depth {depth}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if summary.not_found > 0 || summary.corrupt > 0 {
+            eprintln!(
+                "error: depth {depth}: {} reads found nothing, {} mismatched",
+                summary.not_found, summary.corrupt
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "depth {depth:>3}: {:>9.0} ops/s  p50 {:>7.1} us  p95 {:>7.1} us  p99 {:>7.1} us  ({} ops)",
+            summary.throughput_ops_s, summary.p50_us, summary.p95_us, summary.p99_us, summary.ops
+        );
+        let stats = server.shutdown();
+        let t = &stats.totals;
+        fig.note(format!(
+            "depth {depth}: ops={} batches={} mean_batch={:.2} max_batch={} hit_rate={:.4}",
+            summary.ops, t.batches, t.batch_mean, t.batch_max, t.hit_rate
+        ));
+        fig.x.push(depth as f64);
+        throughput.push(summary.throughput_ops_s);
+        p50.push(summary.p50_us);
+        p95.push(summary.p95_us);
+        p99.push(summary.p99_us);
+    }
+    fig.push_series("throughput (ops/s)", throughput.clone());
+    fig.push_series("p50 latency (us)", p50);
+    fig.push_series("p95 latency (us)", p95);
+    fig.push_series("p99 latency (us)", p99);
+
+    let speedup = throughput.last().unwrap_or(&0.0) / throughput.first().unwrap_or(&1.0).max(1e-9);
+    fig.note(format!(
+        "speedup: depth {} reaches {speedup:.2}x the ops/s of depth {}",
+        depths.last().unwrap(),
+        depths.first().unwrap(),
+    ));
+    fig.emit();
+
+    if let Some(want) = assert_speedup {
+        if speedup < want {
+            eprintln!(
+                "error: --assert-speedup {want}: depth {} only reached {speedup:.2}x depth {}",
+                depths.last().unwrap(),
+                depths.first().unwrap(),
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("speedup {speedup:.2}x >= required {want}x");
+    }
+    ExitCode::SUCCESS
+}

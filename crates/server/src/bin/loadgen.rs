@@ -26,6 +26,8 @@ OPTIONS:
   --items <n>            YCSB key-space size     [default: 100000]
   --alpha <a>            Zipf skew               [default: 0.9]
   --read-fraction <f>    fraction of reads       [default: 0.95]
+  --pipeline <depth>     in-flight requests per connection; 1 = closed loop
+                         [default: 1]
   --seed <n>             workload seed           [default: 4269]
   --out <path>           write FigureResult JSON [default: results/server_bench.json]
   --no-out               skip writing the JSON file
@@ -95,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--items",
             "--alpha",
             "--read-fraction",
+            "--pipeline",
             "--seed",
             "--out",
             "--acked-log",
@@ -114,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
             "--items" => args.config.items = value.parse().map_err(bad(&flag))?,
             "--alpha" => args.config.alpha = value.parse().map_err(bad(&flag))?,
             "--read-fraction" => args.config.read_fraction = value.parse().map_err(bad(&flag))?,
+            "--pipeline" => args.config.pipeline = value.parse().map_err(bad(&flag))?,
             "--seed" => args.config.seed = value.parse().map_err(bad(&flag))?,
             "--out" => args.out = Some(PathBuf::from(value)),
             "--acked-log" => {
@@ -191,13 +195,14 @@ fn main() -> ExitCode {
         None
     } else {
         println!(
-            "loadgen: {} threads x {}s against {} (items={}, alpha={}, read_fraction={})",
+            "loadgen: {} threads x {}s against {} (items={}, alpha={}, read_fraction={}, pipeline={})",
             args.config.threads,
             args.config.seconds,
             args.config.addr,
             args.config.items,
             args.config.alpha,
-            args.config.read_fraction
+            args.config.read_fraction,
+            args.config.pipeline
         );
         let summary = match run(&args.config) {
             Ok(s) => s,
@@ -207,11 +212,12 @@ fn main() -> ExitCode {
             }
         };
         println!(
-            "  {} ops in {:.2}s: {:.0} ops/s, p50 {:.1} us, p99 {:.1} us",
+            "  {} ops in {:.2}s: {:.0} ops/s, p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
             summary.ops,
             summary.elapsed_s,
             summary.throughput_ops_s,
             summary.p50_us,
+            summary.p95_us,
             summary.p99_us
         );
         if summary.not_found > 0 || summary.corrupt > 0 {
@@ -257,6 +263,12 @@ fn main() -> ExitCode {
                         "  server: gets={} hits={} misses={} absent={} hit_rate={:.3} store_len={}",
                         t.gets, t.hits, t.misses, t.absent, t.hit_rate, t.store_len
                     );
+                    if t.batches > 0 {
+                        println!(
+                            "  batching: batches={} mean_batch={:.2} max_batch={} queue_depth={}",
+                            t.batches, t.batch_mean, t.batch_max, t.queue_depth
+                        );
+                    }
                     if t.wal_appends > 0 || t.recovery_replayed > 0 {
                         println!(
                             "  durability: wal_appends={} wal_fsyncs={} mean_fsync_us={:.1} snapshots={} recovery_replayed={} recovery_ms={:.1}",
@@ -273,6 +285,12 @@ fn main() -> ExitCode {
                         "server: shards={} gets={} hits={} misses={} absent={} sets={} evictions={} index_visits={} hit_rate={:.4} store_len={}",
                         stats.shards.len(), t.gets, t.hits, t.misses, t.absent, t.sets, t.evictions, t.index_visits, t.hit_rate, t.store_len
                     ));
+                    if t.batches > 0 {
+                        notes.push(format!(
+                            "batching: batches={} mean_batch={:.2} max_batch={} queue_depth={}",
+                            t.batches, t.batch_mean, t.batch_max, t.queue_depth
+                        ));
+                    }
                     if t.wal_appends > 0 {
                         notes.push(format!(
                             "durability: wal_appends={} wal_fsyncs={} snapshots={} recovery_replayed={}",

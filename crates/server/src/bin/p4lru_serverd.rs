@@ -22,6 +22,8 @@ OPTIONS:
   --items <n>           pre-populated keys   [default: 100000]
   --units <n>           cache units/shard    [default: 4096]
   --seed <n>            cache hash seed      [default: 0x9412C0DE]
+  --window <n>          max in-flight requests per connection (pipelining)
+                        [default: 64]
   --data-dir <path>     durability root (WAL + snapshots); a dir that was
                         written before is recovered, and --items is ignored
   --sync <policy>       WAL sync policy: always | every=<n> | interval=<ms>
@@ -50,6 +52,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--items" => config.items = value.parse().map_err(bad)?,
             "--units" => config.units_per_shard = value.parse().map_err(bad)?,
             "--seed" => config.seed = value.parse().map_err(bad)?,
+            "--window" => config.pipeline_window = value.parse().map_err(bad)?,
             "--data-dir" => config.data_dir = Some(value.into()),
             "--sync" => {
                 config.durability.sync = value

@@ -1,15 +1,26 @@
-//! A minimal blocking client: one TCP connection, one request in flight.
+//! A blocking protocol client over buffered framed I/O.
+//!
+//! The classic methods ([`Client::get`], [`Client::set`], …) are one
+//! request in flight: send, flush, wait. The pipelined surface
+//! ([`Client::send_get`]/[`Client::send_set`]/[`Client::send_del`] +
+//! [`Client::flush`] + [`Client::recv`]) queues many requests per `write`
+//! syscall and reads the in-order replies back later — the server
+//! guarantees responses arrive in request order, so the caller only needs
+//! to remember what it sent.
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::metrics::StatsReport;
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{
+    encode_del, encode_get, encode_set, FrameReader, FrameWriter, Request, Response,
+};
 
 /// A blocking protocol client. Reused buffers keep the per-request cost to
-/// the two syscalls.
+/// the syscalls, and pipelining amortizes even those.
 pub struct Client {
-    stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter<TcpStream>,
     frame: Vec<u8>,
     payload: Vec<u8>,
 }
@@ -26,23 +37,63 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
         Ok(Self {
-            stream,
+            reader: FrameReader::new(stream),
+            writer: FrameWriter::new(write_half),
             frame: Vec::new(),
             payload: Vec::new(),
         })
     }
 
-    fn call(&mut self, request: &Request) -> io::Result<Response> {
+    /// Queues a GET without flushing (pipelined path).
+    pub fn send_get(&mut self, key: u64) -> io::Result<()> {
+        encode_get(key, &mut self.payload);
+        self.writer.write_frame(&self.payload)
+    }
+
+    /// Queues a SET without flushing (pipelined path; borrows the value, no
+    /// per-request allocation).
+    pub fn send_set(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
+        encode_set(key, value, &mut self.payload);
+        self.writer.write_frame(&self.payload)
+    }
+
+    /// Queues a DEL without flushing (pipelined path).
+    pub fn send_del(&mut self, key: u64) -> io::Result<()> {
+        encode_del(key, &mut self.payload);
+        self.writer.write_frame(&self.payload)
+    }
+
+    /// Queues any request without flushing.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
         request.encode(&mut self.payload);
-        write_frame(&mut self.stream, &self.payload)?;
-        if !read_frame(&mut self.stream, &mut self.frame)? {
+        self.writer.write_frame(&self.payload)
+    }
+
+    /// Pushes every queued request onto the wire.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Reads the next in-order response, flushing any queued requests first
+    /// (so a recv can never deadlock against the client's own buffer).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        if self.writer.pending() > 0 {
+            self.writer.flush()?;
+        }
+        if !self.reader.read_frame(&mut self.frame)? {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection mid-request",
             ));
         }
         Ok(Response::decode(&self.frame)?)
+    }
+
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()
     }
 
     /// Reads a key's value.
@@ -56,10 +107,8 @@ impl Client {
 
     /// Writes a key's value.
     pub fn set(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
-        match self.call(&Request::Set {
-            key,
-            value: value.to_vec(),
-        })? {
+        self.send_set(key, value)?;
+        match self.recv()? {
             Response::Ok => Ok(()),
             other => Err(unexpected("SET", &other)),
         }

@@ -13,6 +13,13 @@
 //! through the store's B+Tree index, and the looked-up address is installed
 //! in the cache on the way back. Binaries: `p4lru_serverd` (the daemon) and
 //! `loadgen` (the benchmark client).
+//!
+//! The request path is pipelined (DESIGN.md §9): connections carry up to a
+//! configurable window of in-flight requests over buffered framed I/O
+//! ([`protocol::FrameReader`]/[`protocol::FrameWriter`]), shards reply out
+//! of order over one long-lived per-connection channel, and the handler
+//! reorders by sequence number so the wire always sees responses in request
+//! order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +33,6 @@ pub mod shard;
 
 pub use client::Client;
 pub use metrics::{LatencyHistogram, ShardMetrics, ShardSnapshot, StatsReport};
-pub use protocol::{Request, Response};
+pub use protocol::{FrameReader, FrameWriter, Request, Response};
 pub use server::{shard_of, Server, ServerConfig};
 pub use shard::Shard;

@@ -2,11 +2,17 @@
 //! `p4lru-traffic` against a running server.
 //!
 //! Each worker thread owns one connection and one deterministic operation
-//! stream (seeded per worker) and issues requests back-to-back until the
-//! deadline: classic closed-loop load, so reported latency is service time
-//! plus loopback RTT, and throughput is bounded by `threads / latency`.
-//! Latencies go into per-worker log₂ histograms, merged at the end.
+//! stream (seeded per worker). With `pipeline == 1` it issues requests
+//! back-to-back: classic closed loop, latency is service time plus loopback
+//! RTT, throughput is bounded by `threads / latency`. With `pipeline == d`
+//! the worker keeps up to `d` requests in flight on its one connection —
+//! sends are batched into one `write`, replies drain in request order —
+//! so throughput is bounded by `threads * d / latency` instead, and the
+//! server's group commit sees batches up to `d` deep per connection.
+//! Latencies (send → reply, including client-side queueing when pipelined)
+//! go into per-worker log₂ histograms, merged at the end.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,6 +54,9 @@ pub struct LoadgenConfig {
     /// Record the key of every *acknowledged* SET, so a later run can
     /// verify that none of them were lost across a crash.
     pub record_acked: bool,
+    /// Requests each worker keeps in flight on its connection. 1 is the
+    /// classic closed loop; larger depths pipeline.
+    pub pipeline: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -63,6 +72,7 @@ impl Default for LoadgenConfig {
             verify: true,
             crash_ok: false,
             record_acked: false,
+            pipeline: 1,
         }
     }
 }
@@ -82,6 +92,8 @@ pub struct BenchSummary {
     pub throughput_ops_s: f64,
     /// Client-observed median latency, microseconds.
     pub p50_us: f64,
+    /// Client-observed 95th-percentile latency, microseconds.
+    pub p95_us: f64,
     /// Client-observed 99th-percentile latency, microseconds.
     pub p99_us: f64,
     /// The merged latency histogram (for further quantiles).
@@ -105,6 +117,7 @@ struct WorkerResult {
 /// Runs the closed loop and aggregates the per-worker results.
 pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
     assert!(config.threads >= 1, "need at least one worker");
+    assert!(config.pipeline >= 1, "pipeline depth of 0 sends nothing");
     // Resolve once so worker errors are workload errors, not DNS races.
     let addr = config.addr.to_socket_addrs()?.next().ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
@@ -135,6 +148,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
         elapsed_s: 0.0,
         throughput_ops_s: 0.0,
         p50_us: 0.0,
+        p95_us: 0.0,
         p99_us: 0.0,
         latency: LatencyHistogram::new(),
         acked_sets: Vec::new(),
@@ -165,39 +179,57 @@ pub fn run(config: &LoadgenConfig) -> io::Result<BenchSummary> {
     summary.elapsed_s = started.elapsed().as_secs_f64();
     summary.throughput_ops_s = summary.ops as f64 / summary.elapsed_s.max(1e-9);
     summary.p50_us = summary.latency.quantile_ns(0.50).unwrap_or(0) as f64 / 1e3;
+    summary.p95_us = summary.latency.quantile_ns(0.95).unwrap_or(0) as f64 / 1e3;
     summary.p99_us = summary.latency.quantile_ns(0.99).unwrap_or(0) as f64 / 1e3;
     Ok(summary)
 }
 
-fn run_op(
-    client: &mut Client,
+/// Queues one operation on the connection (no flush — the worker batches).
+fn send_op(client: &mut Client, op: Op) -> io::Result<()> {
+    match op {
+        Op::Read(key) => client.send_get(key),
+        // Rewrite the deterministic contents so concurrent readers still
+        // verify cleanly.
+        Op::Update(key) => client.send_set(key, &record_for(key)),
+    }
+}
+
+/// Accounts one in-order reply against the operation that asked for it.
+fn account_reply(
     op: Op,
+    response: &crate::protocol::Response,
     config: &LoadgenConfig,
     result: &mut WorkerResult,
 ) -> io::Result<()> {
-    match op {
-        Op::Read(key) => match client.get(key)? {
-            Some(value) => {
-                if config.verify && value != record_for(key) {
-                    result.corrupt += 1;
-                }
+    use crate::protocol::Response;
+    match (op, response) {
+        (Op::Read(key), Response::Value(value)) => {
+            if config.verify && value[..] != record_for(key)[..] {
+                result.corrupt += 1;
             }
-            None => result.not_found += 1,
-        },
-        Op::Update(key) => {
-            // Rewrite the deterministic contents so concurrent readers
-            // still verify cleanly.
-            client.set(key, &record_for(key))?;
+        }
+        (Op::Read(_), Response::NotFound) => result.not_found += 1,
+        (Op::Update(key), Response::Ok) => {
             // Only reached once the server's reply was read: this SET was
             // acknowledged, so a durable server must never lose it.
             if config.record_acked {
                 result.acked_sets.push(key);
             }
         }
+        (op, other) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to {op:?}: {other:?}"),
+            ));
+        }
     }
     Ok(())
 }
 
+/// One worker: keeps up to `config.pipeline` operations in flight on a
+/// single connection. Sends are queued unbuffered-syscall-free and flushed
+/// once per burst; replies come back in request order, so a `VecDeque` of
+/// what was sent is all the bookkeeping reordering needs.
 fn worker(
     addr: std::net::SocketAddr,
     workload: &YcsbConfig,
@@ -215,20 +247,69 @@ fn worker(
         acked_sets: Vec::new(),
         aborted: false,
     };
-    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
-        let op = ops_stream.next().expect("YCSB stream is infinite");
-        let begin = Instant::now();
-        if let Err(e) = run_op(&mut client, op, config, &mut result) {
-            if config.crash_ok {
+    let depth = config.pipeline;
+    let mut inflight: VecDeque<(Op, Instant)> = VecDeque::with_capacity(depth);
+    // Receive one reply (blocking), account it. `false` = stop the loop.
+    let recv_one = |client: &mut Client,
+                    inflight: &mut VecDeque<(Op, Instant)>,
+                    result: &mut WorkerResult|
+     -> io::Result<bool> {
+        let (op, sent_at) = inflight.pop_front().expect("a reply needs a request");
+        match client.recv() {
+            Ok(response) => {
+                account_reply(op, &response, config, result)?;
+                result
+                    .latency
+                    .record_ns(sent_at.elapsed().as_nanos() as u64);
+                result.ops += 1;
+                Ok(true)
+            }
+            Err(e) if config.crash_ok => {
                 // The server died underneath us (the crash test's kill -9):
-                // everything acknowledged so far still counts.
+                // everything acknowledged so far still counts; anything in
+                // flight was never acknowledged.
+                let _ = e;
                 result.aborted = true;
-                break;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    };
+    'load: while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        // Top the window up in one buffered burst...
+        while inflight.len() < depth {
+            let op = ops_stream.next().expect("YCSB stream is infinite");
+            if let Err(e) = send_op(&mut client, op) {
+                if config.crash_ok {
+                    result.aborted = true;
+                    break 'load;
+                }
+                return Err(e);
+            }
+            inflight.push_back((op, Instant::now()));
+        }
+        if let Err(e) = client.flush() {
+            if config.crash_ok {
+                result.aborted = true;
+                break 'load;
             }
             return Err(e);
         }
-        result.latency.record_ns(begin.elapsed().as_nanos() as u64);
-        result.ops += 1;
+        // ...then drain half of it, so the server always has work queued
+        // while the next burst is being built (at depth 1 this is exactly
+        // the classic send-one-await-one closed loop).
+        let drain = (inflight.len() / 2).max(1);
+        for _ in 0..drain {
+            if !recv_one(&mut client, &mut inflight, &mut result)? {
+                return Ok(result);
+            }
+        }
+    }
+    // Deadline (or stop signal): collect what is still in flight.
+    while !inflight.is_empty() {
+        if !recv_one(&mut client, &mut inflight, &mut result)? {
+            break;
+        }
     }
     Ok(result)
 }
@@ -268,26 +349,31 @@ pub fn to_figure_json(
         title: "p4lru-server closed-loop YCSB benchmark".to_owned(),
         x_label: "percentile".to_owned(),
         y_label: "latency (us)".to_owned(),
-        x: vec![50.0, 99.0],
+        x: vec![50.0, 95.0, 99.0],
         series: vec![
             SeriesOut {
                 label: "latency_us".to_owned(),
-                values: vec![summary.p50_us, summary.p99_us],
+                values: vec![summary.p50_us, summary.p95_us, summary.p99_us],
             },
             SeriesOut {
                 label: "throughput_ops_s".to_owned(),
-                values: vec![summary.throughput_ops_s, summary.throughput_ops_s],
+                values: vec![
+                    summary.throughput_ops_s,
+                    summary.throughput_ops_s,
+                    summary.throughput_ops_s,
+                ],
             },
         ],
         notes: {
             let mut notes = vec![
                 format!(
-                    "threads={} seconds={} items={} alpha={} read_fraction={}",
+                    "threads={} seconds={} items={} alpha={} read_fraction={} pipeline={}",
                     config.threads,
                     config.seconds,
                     config.items,
                     config.alpha,
-                    config.read_fraction
+                    config.read_fraction,
+                    config.pipeline
                 ),
                 format!(
                     "ops={} elapsed_s={:.3} not_found={} corrupt={}",
@@ -326,7 +412,8 @@ mod tests {
         assert!(summary.ops > 0, "closed loop must complete operations");
         assert_eq!(summary.not_found, 0, "server is fully populated");
         assert_eq!(summary.corrupt, 0, "reads must verify");
-        assert!(summary.p99_us >= summary.p50_us);
+        assert!(summary.p99_us >= summary.p95_us);
+        assert!(summary.p95_us >= summary.p50_us);
         assert_eq!(summary.latency.count(), summary.ops);
 
         let stats = server.shutdown();
@@ -347,5 +434,45 @@ mod tests {
         );
         assert!(json.contains("\"server_bench\""));
         assert!(json.contains("latency_us"));
+    }
+
+    #[test]
+    fn pipelined_run_completes_and_batches() {
+        let server = Server::spawn(&ServerConfig {
+            items: 2_000,
+            units_per_shard: 256,
+            shards: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let config = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            threads: 2,
+            seconds: 0.3,
+            items: 2_000,
+            pipeline: 8,
+            ..LoadgenConfig::default()
+        };
+        let summary = run(&config).unwrap();
+        assert!(summary.ops > 0);
+        assert_eq!(summary.not_found, 0);
+        assert_eq!(summary.corrupt, 0, "in-order replies match their ops");
+        assert_eq!(summary.latency.count(), summary.ops);
+
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.totals.gets + stats.totals.sets,
+            summary.ops,
+            "every pipelined op was acknowledged exactly once"
+        );
+        assert!(stats.totals.batches > 0);
+        assert_eq!(stats.totals.batch_ops, summary.ops);
+        assert!(
+            stats.totals.batch_max > 1,
+            "pipelined load must produce multi-request commit batches, \
+             got max {}",
+            stats.totals.batch_max
+        );
+        assert_eq!(stats.totals.queue_depth, 0, "drained at shutdown");
     }
 }

@@ -42,6 +42,18 @@ pub struct ShardMetrics {
     pub recovery_us: AtomicU64,
     /// 1 if the last recovery skipped a torn/corrupt final WAL record.
     pub recovery_torn: AtomicU64,
+    /// Requests currently queued on this shard's channel (gauge: connection
+    /// handlers increment on dispatch, the shard loop decrements on
+    /// dequeue). Pipelining is what makes this exceed the connection count.
+    pub queue_depth: AtomicU64,
+    /// Commit batches the shard loop has run (one commit — at most one
+    /// fsync — per batch).
+    pub batches: AtomicU64,
+    /// Requests covered by those batches (`batch_ops / batches` = mean
+    /// batch depth per fsync, the number group commit amortizes by).
+    pub batch_ops: AtomicU64,
+    /// Deepest single commit batch seen.
+    pub batch_max: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -105,6 +117,23 @@ impl ShardMetrics {
         Self::bump(&self.snapshots, 1);
     }
 
+    /// Records a request enqueued on the shard channel (handler side).
+    pub fn queue_push(&self) {
+        Self::bump(&self.queue_depth, 1);
+    }
+
+    /// Records a request dequeued by the shard loop.
+    pub fn queue_pop(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one commit batch of `len` requests (one group commit).
+    pub fn batch_committed(&self, len: usize) {
+        Self::bump(&self.batches, 1);
+        Self::bump(&self.batch_ops, len as u64);
+        self.batch_max.fetch_max(len as u64, Ordering::Relaxed);
+    }
+
     /// Records the outcome of a startup recovery.
     pub fn recovery(&self, replayed: u64, torn_tail: bool, took: std::time::Duration) {
         self.recovery_replayed.store(replayed, Ordering::Relaxed);
@@ -122,6 +151,8 @@ impl ShardMetrics {
         let misses = self.misses.load(Ordering::Relaxed);
         let absent = self.absent.load(Ordering::Relaxed);
         let gets = hits + misses + absent;
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batch_ops = self.batch_ops.load(Ordering::Relaxed);
         ShardSnapshot {
             shard: shard as u64,
             gets,
@@ -146,6 +177,15 @@ impl ShardMetrics {
             recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
             recovery_us: self.recovery_us.load(Ordering::Relaxed),
             recovery_torn: self.recovery_torn.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            batches,
+            batch_ops,
+            batch_max: self.batch_max.load(Ordering::Relaxed),
+            batch_mean: if batches == 0 {
+                0.0
+            } else {
+                batch_ops as f64 / batches as f64
+            },
         }
     }
 }
@@ -191,6 +231,16 @@ pub struct ShardSnapshot {
     pub recovery_us: u64,
     /// Shards whose last recovery skipped a torn final WAL record.
     pub recovery_torn: u64,
+    /// Requests queued on the shard channel at snapshot time (gauge).
+    pub queue_depth: u64,
+    /// Commit batches run (one group commit — at most one fsync — each).
+    pub batches: u64,
+    /// Requests covered by those batches.
+    pub batch_ops: u64,
+    /// Deepest single commit batch.
+    pub batch_max: u64,
+    /// Mean requests per commit batch (`batch_ops / batches`).
+    pub batch_mean: f64,
 }
 
 /// The STATS payload: one snapshot per shard plus their sum.
@@ -225,6 +275,11 @@ impl StatsReport {
             recovery_replayed: 0,
             recovery_us: 0,
             recovery_torn: 0,
+            queue_depth: 0,
+            batches: 0,
+            batch_ops: 0,
+            batch_max: 0,
+            batch_mean: 0.0,
         };
         for s in &shards {
             totals.gets += s.gets;
@@ -244,9 +299,16 @@ impl StatsReport {
             totals.recovery_replayed += s.recovery_replayed;
             totals.recovery_us += s.recovery_us;
             totals.recovery_torn += s.recovery_torn;
+            totals.queue_depth += s.queue_depth;
+            totals.batches += s.batches;
+            totals.batch_ops += s.batch_ops;
+            totals.batch_max = totals.batch_max.max(s.batch_max);
         }
         if totals.gets > 0 {
             totals.hit_rate = totals.hits as f64 / totals.gets as f64;
+        }
+        if totals.batches > 0 {
+            totals.batch_mean = totals.batch_ops as f64 / totals.batches as f64;
         }
         Self { shards, totals }
     }
@@ -340,6 +402,11 @@ mod tests {
         m.wal_fsync(std::time::Duration::from_nanos(300));
         m.snapshot_taken();
         m.recovery(3, true, std::time::Duration::from_micros(250));
+        m.queue_push();
+        m.queue_push();
+        m.queue_pop();
+        m.batch_committed(3);
+        m.batch_committed(7);
         let s = m.snapshot(5);
         assert_eq!(s.shard, 5);
         assert_eq!(s.gets, 4);
@@ -360,6 +427,25 @@ mod tests {
         assert_eq!(s.recovery_replayed, 3);
         assert_eq!(s.recovery_us, 250);
         assert_eq!(s.recovery_torn, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_ops, 10);
+        assert_eq!(s.batch_max, 7);
+        assert!((s.batch_mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_totals_take_the_max_and_recompute_the_mean() {
+        let a = ShardMetrics::default();
+        a.batch_committed(1);
+        a.batch_committed(9);
+        let b = ShardMetrics::default();
+        b.batch_committed(4);
+        let report = StatsReport::from_shards(vec![a.snapshot(0), b.snapshot(1)]);
+        assert_eq!(report.totals.batches, 3);
+        assert_eq!(report.totals.batch_ops, 14);
+        assert_eq!(report.totals.batch_max, 9, "max, not sum");
+        assert!((report.totals.batch_mean - 14.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! Requests: GET `0x01`, SET `0x02`, DEL `0x03`, STATS `0x04`,
 //! SHUTDOWN `0x05`. Responses: VALUE `0x80`, NOT_FOUND `0x81`, OK `0x82`,
 //! STATS_JSON `0x83`, ERR `0x84`.
+//!
+//! **Pipelining.** A peer may send any number of request frames before
+//! reading a response; the server guarantees responses come back in request
+//! order on that connection, even though the requests fan out across shard
+//! threads internally. [`FrameReader`] and [`FrameWriter`] are the buffered
+//! endpoints of that contract: the reader drains many frames per `read`
+//! syscall, the writer coalesces many frames per `write`.
 
 use std::io::{self, Read, Write};
 
@@ -115,26 +122,54 @@ fn take_u64(payload: &[u8], at: usize) -> Result<u64, ProtocolError> {
     Ok(u64::from_le_bytes(bytes))
 }
 
+/// Encodes a GET payload into `buf` (cleared first) without building a
+/// [`Request`] — the pipelined client's allocation-free path.
+pub fn encode_get(key: u64, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_GET);
+    buf.extend_from_slice(&key.to_le_bytes());
+}
+
+/// Encodes a SET payload into `buf` (cleared first) from borrowed value
+/// bytes, avoiding the owned `Vec` a [`Request::Set`] would need.
+pub fn encode_set(key: u64, value: &[u8], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_SET);
+    buf.extend_from_slice(&key.to_le_bytes());
+    buf.extend_from_slice(value);
+}
+
+/// Encodes a DEL payload into `buf` (cleared first).
+pub fn encode_del(key: u64, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(OP_DEL);
+    buf.extend_from_slice(&key.to_le_bytes());
+}
+
+/// Encodes a VALUE response payload into `buf` (cleared first) from
+/// borrowed bytes — the server's hot GET path, which answers straight from
+/// a fixed-size record without an intermediate `Vec`.
+pub fn encode_value(value: &[u8], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(RE_VALUE);
+    buf.extend_from_slice(value);
+}
+
 impl Request {
     /// Serializes the request payload (opcode + body, no length prefix).
     pub fn encode(&self, buf: &mut Vec<u8>) {
-        buf.clear();
         match self {
-            Request::Get { key } => {
-                buf.push(OP_GET);
-                buf.extend_from_slice(&key.to_le_bytes());
+            Request::Get { key } => encode_get(*key, buf),
+            Request::Set { key, value } => encode_set(*key, value, buf),
+            Request::Del { key } => encode_del(*key, buf),
+            Request::Stats => {
+                buf.clear();
+                buf.push(OP_STATS);
             }
-            Request::Set { key, value } => {
-                buf.push(OP_SET);
-                buf.extend_from_slice(&key.to_le_bytes());
-                buf.extend_from_slice(value);
+            Request::Shutdown => {
+                buf.clear();
+                buf.push(OP_SHUTDOWN);
             }
-            Request::Del { key } => {
-                buf.push(OP_DEL);
-                buf.extend_from_slice(&key.to_le_bytes());
-            }
-            Request::Stats => buf.push(OP_STATS),
-            Request::Shutdown => buf.push(OP_SHUTDOWN),
         }
     }
 
@@ -180,10 +215,7 @@ impl Response {
     pub fn encode(&self, buf: &mut Vec<u8>) {
         buf.clear();
         match self {
-            Response::Value(v) => {
-                buf.push(RE_VALUE);
-                buf.extend_from_slice(v);
-            }
+            Response::Value(v) => encode_value(v, buf),
             Response::NotFound => buf.push(RE_NOT_FOUND),
             Response::Ok => buf.push(RE_OK),
             Response::StatsJson(s) => {
@@ -262,6 +294,207 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
     buf.resize(n, 0);
     r.read_exact(buf)?;
     Ok(true)
+}
+
+/// Bytes of a frame header: the magic byte plus the `u32` payload length.
+const HEADER: usize = 5;
+
+/// How much socket data the buffered endpoints hold before a syscall. Large
+/// enough that a pipelined burst of small GET/SET frames is one `read` (or
+/// one `write`), small enough to stay cache-friendly per connection.
+const IO_BUF: usize = 64 * 1024;
+
+/// A buffered frame reader: one `read` syscall pulls in as many frames as
+/// the kernel has queued, and subsequent frames are parsed straight out of
+/// the buffer. The pipelined connection handler uses
+/// [`FrameReader::has_buffered_frame`] to drain every already-received
+/// request before blocking.
+///
+/// Reads are resumable: if the underlying stream has a read timeout and
+/// returns `WouldBlock`/`TimedOut` mid-frame, the partial bytes stay
+/// buffered and the next call continues where it left off.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream with a fresh (empty) buffer.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: vec![0; IO_BUF],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Payload length of the buffered frame header, if a full header is
+    /// buffered and well-formed. `Err` variants are reported by
+    /// [`FrameReader::read_frame`]; this only peeks.
+    fn peek_len(&self) -> Option<usize> {
+        if self.buffered() < HEADER || self.buf[self.start] != FRAME_MAGIC {
+            return None;
+        }
+        let len: [u8; 4] = self.buf[self.start + 1..self.start + HEADER]
+            .try_into()
+            .expect("four header bytes");
+        Some(u32::from_le_bytes(len) as usize)
+    }
+
+    /// Whether a complete frame (or a malformed header, which
+    /// [`FrameReader::read_frame`] will turn into an immediate error) is
+    /// already buffered, so the next `read_frame` will not touch the socket.
+    pub fn has_buffered_frame(&self) -> bool {
+        if self.buffered() >= 1 && self.buf[self.start] != FRAME_MAGIC {
+            return true; // bad magic: read_frame errors without blocking
+        }
+        match self.peek_len() {
+            Some(len) => len > MAX_FRAME || self.buffered() >= HEADER + len,
+            None => false,
+        }
+    }
+
+    /// Pulls more bytes from the stream into the buffer (compacting first,
+    /// and growing it if `need` bytes must fit). `Ok(false)` means EOF.
+    fn fill(&mut self, need: usize) -> io::Result<bool> {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < need {
+            self.buf.resize(need, 0);
+        }
+        let n = self.inner.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n > 0)
+    }
+
+    /// Reads one frame's payload into `buf` (cleared and resized), from the
+    /// internal buffer when possible, from the stream otherwise.
+    ///
+    /// Returns `Ok(false)` on clean EOF *before* a frame starts (peer hung
+    /// up between requests). EOF mid-frame is an `UnexpectedEof` error, and
+    /// a wrong magic byte is an `InvalidData` error, exactly like the
+    /// unbuffered [`read_frame`].
+    pub fn read_frame(&mut self, buf: &mut Vec<u8>) -> io::Result<bool> {
+        loop {
+            if self.buffered() >= 1 && self.buf[self.start] != FRAME_MAGIC {
+                return Err(err(format!(
+                    "bad frame magic {:#04x} (expected {FRAME_MAGIC:#04x}; \
+                     mixed protocol versions?)",
+                    self.buf[self.start]
+                ))
+                .into());
+            }
+            if let Some(len) = self.peek_len() {
+                if len > MAX_FRAME {
+                    return Err(
+                        err(format!("incoming frame of {len} bytes exceeds MAX_FRAME")).into(),
+                    );
+                }
+                if self.buffered() >= HEADER + len {
+                    let at = self.start + HEADER;
+                    buf.clear();
+                    buf.extend_from_slice(&self.buf[at..at + len]);
+                    self.start += HEADER + len;
+                    if self.start == self.end {
+                        self.start = 0;
+                        self.end = 0;
+                    }
+                    return Ok(true);
+                }
+                // Header is sane but the payload is partial: make sure the
+                // whole frame can fit, then read more.
+                if !self.fill(HEADER + len)? {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended mid-frame",
+                    ));
+                }
+                continue;
+            }
+            let was_empty = self.buffered() == 0;
+            if !self.fill(HEADER)? {
+                return if was_empty {
+                    Ok(false) // clean disconnect between frames
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended mid-frame",
+                    ))
+                };
+            }
+        }
+    }
+}
+
+/// A buffered frame writer: frames accumulate in memory and go to the
+/// stream in one `write` syscall per [`FrameWriter::flush`] (or when the
+/// buffer passes [`IO_BUF`]). The connection handler flushes before every
+/// potential block, so a peer is never left waiting on a buffered reply.
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a stream with an empty write buffer.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(IO_BUF),
+        }
+    }
+
+    /// Queues one frame. Only touches the stream if the buffer is already
+    /// past [`IO_BUF`] (a burst bigger than the buffer still coalesces into
+    /// buffer-sized writes).
+    pub fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME {
+            return Err(err(format!(
+                "frame of {} bytes exceeds MAX_FRAME",
+                payload.len()
+            ))
+            .into());
+        }
+        if self.buf.len() >= IO_BUF {
+            self.flush()?;
+        }
+        self.buf.push(FRAME_MAGIC);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Number of bytes queued but not yet written.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Borrows the underlying stream.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// Writes every queued frame to the stream.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.inner.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.inner.flush()
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +611,139 @@ mod tests {
         wire.extend_from_slice(&[1, 2, 3]);
         let mut cursor = std::io::Cursor::new(wire);
         assert!(read_frame(&mut cursor, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn buffered_reader_drains_many_frames_per_read() {
+        // A Cursor hands the whole wire over in one `read`; the FrameReader
+        // must then serve every frame without touching the source again.
+        let mut wire = Vec::new();
+        let mut writer = FrameWriter::new(&mut wire);
+        for i in 0..100u32 {
+            writer.write_frame(&i.to_le_bytes()).unwrap();
+        }
+        writer.flush().unwrap();
+
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let mut buf = Vec::new();
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, 0u32.to_le_bytes());
+        assert!(
+            reader.has_buffered_frame(),
+            "one read syscall must buffer the rest"
+        );
+        for i in 1..100u32 {
+            assert!(reader.read_frame(&mut buf).unwrap());
+            assert_eq!(buf, i.to_le_bytes());
+        }
+        assert!(!reader.read_frame(&mut buf).unwrap(), "clean EOF");
+    }
+
+    /// A reader that hands out one byte per `read` call — the worst-case
+    /// fragmentation a TCP stream can produce.
+    struct OneByte(std::io::Cursor<Vec<u8>>);
+    impl io::Read for OneByte {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let take = buf.len().min(1);
+            self.0.read(&mut buf[..take])
+        }
+    }
+
+    #[test]
+    fn buffered_reader_survives_byte_at_a_time_arrival() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"split me").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut reader = FrameReader::new(OneByte(std::io::Cursor::new(wire)));
+        let mut buf = Vec::new();
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, b"split me");
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, b"");
+        assert!(!reader.read_frame(&mut buf).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn buffered_reader_handles_frames_larger_than_its_buffer() {
+        // A max-size frame dwarfs the 64 KiB read buffer; the reader grows
+        // to fit it and shrinks back to normal operation afterwards.
+        let big = vec![0xC3u8; MAX_FRAME];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &big).unwrap();
+        write_frame(&mut wire, b"after").unwrap();
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let mut buf = Vec::new();
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, big);
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, b"after");
+        assert!(!reader.read_frame(&mut buf).unwrap());
+    }
+
+    #[test]
+    fn buffered_reader_rejects_bad_magic_and_bogus_lengths() {
+        let mut reader = FrameReader::new(std::io::Cursor::new(vec![0u8; 16]));
+        assert!(
+            reader.has_buffered_frame() || reader.buffered() == 0,
+            "before any read nothing is buffered"
+        );
+        let e = reader.read_frame(&mut Vec::new()).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+
+        let mut wire = vec![FRAME_MAGIC];
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let mut buf = Vec::new();
+        assert!(reader.read_frame(&mut buf).is_err());
+        assert!(buf.capacity() < MAX_FRAME);
+    }
+
+    #[test]
+    fn buffered_reader_reports_mid_frame_eof() {
+        let mut wire = vec![FRAME_MAGIC];
+        wire.extend_from_slice(&10u32.to_le_bytes());
+        wire.extend_from_slice(&[1, 2, 3]);
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let e = reader.read_frame(&mut Vec::new()).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn buffered_writer_coalesces_frames_until_flush() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            writer.write_frame(b"one").unwrap();
+            writer.write_frame(b"two").unwrap();
+            assert!(writer.pending() > 0, "small frames stay buffered");
+            assert_eq!(writer.inner().len(), 0, "nothing on the wire yet");
+            writer.flush().unwrap();
+            assert_eq!(writer.pending(), 0);
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"one");
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"two");
+        assert!(!read_frame(&mut cursor, &mut buf).unwrap());
+    }
+
+    #[test]
+    fn buffered_writer_flushes_itself_when_full() {
+        let mut wire = Vec::new();
+        let mut writer = FrameWriter::new(&mut wire);
+        let chunk = vec![7u8; 8 * 1024];
+        for _ in 0..32 {
+            writer.write_frame(&chunk).unwrap();
+        }
+        assert!(
+            !writer.inner().is_empty(),
+            "exceeding the buffer must trigger an interim flush"
+        );
+        writer.flush().unwrap();
+        let total = writer.inner().len();
+        assert_eq!(total, 32 * (HEADER + chunk.len()));
+        assert!(writer.write_frame(&vec![0u8; MAX_FRAME + 1]).is_err());
     }
 }

@@ -4,16 +4,21 @@
 //! and drains an mpsc request channel — the software rendering of "one
 //! pipeline owns its registers", which is what lets the P4LRU arrays stay
 //! lock-free (see the thread-safety notes on
-//! [`p4lru_core::array::LruArray`]). Connection-handler threads parse
-//! frames, route each keyed request to its shard by key hash, and relay the
-//! reply. STATS reads the shards' atomic counters directly, so it never
-//! queues behind the data path.
+//! [`p4lru_core::array::LruArray`]). Connection-handler threads run a
+//! pipelined pump (DESIGN.md §9): buffered framed I/O, up to
+//! [`ServerConfig::pipeline_window`] requests in flight per connection, one
+//! long-lived reply channel per connection carrying `(seq, reply)` pairs
+//! back from the shards, and a reorder buffer that puts responses on the
+//! wire in request order no matter which shard finished first. STATS reads
+//! the shards' atomic counters directly, so it never queues behind the
+//! data path.
 
-use std::io::{self, Read, Write};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -24,7 +29,7 @@ use p4lru_kvstore::db::record_for;
 use p4lru_kvstore::slab::Record;
 
 use crate::metrics::{ShardMetrics, StatsReport};
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{encode_value, FrameReader, FrameWriter, Request, Response};
 use crate::shard::{record_from_bytes, Shard};
 
 /// Seed of the key → shard routing hash. Distinct from the per-shard cache
@@ -34,9 +39,14 @@ const ROUTE_SEED: u64 = 0x5EED_0F54_A2D5;
 /// How often an idle connection handler re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(250);
 
-/// The shard a key is routed to.
+/// The shard a key is routed to: fixed-point multiply-shift range reduction
+/// of the routing hash. `(h as u128 * shards as u128) >> 64` maps the full
+/// 64-bit hash range onto `0..shards` with bias at most one part in
+/// 2⁶⁴/shards — like the modulo it replaces, but without the ~20-cycle
+/// divide on every request (the hash's high bits carry full avalanche, so
+/// the product's top word is uniform).
 pub fn shard_of(key: u64, shards: usize) -> usize {
-    (hash_u64(ROUTE_SEED, key) % shards as u64) as usize
+    ((hash_u64(ROUTE_SEED, key) as u128 * shards as u128) >> 64) as usize
 }
 
 /// Server sizing and listen address.
@@ -60,6 +70,11 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// WAL sync policy and snapshot cadence (only used with `data_dir`).
     pub durability: DurabilityConfig,
+    /// Most requests one connection may have in flight (parsed but not yet
+    /// answered on the wire). A closed-loop client never exceeds 1; a
+    /// pipelined client is capped here so a firehose peer cannot queue
+    /// unbounded work.
+    pub pipeline_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +87,7 @@ impl Default for ServerConfig {
             seed: 0x9412_C0DE,
             data_dir: None,
             durability: DurabilityConfig::default(),
+            pipeline_window: 64,
         }
     }
 }
@@ -93,9 +109,37 @@ enum ShardOp {
     Del(u64),
 }
 
+/// A shard's answer, in the form the connection pump reorders and encodes.
+/// GET hits carry the fixed-size record inline — no per-request `Vec` — and
+/// are serialized straight into the connection's write buffer.
+enum ShardReply {
+    Record(Record),
+    NotFound,
+    Ok,
+    /// A pre-encoded response payload (STATS JSON, protocol errors); also
+    /// what WAL failures come back as.
+    Other(Response),
+}
+
+impl ShardReply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ShardReply::Record(record) => encode_value(record, buf),
+            ShardReply::NotFound => Response::NotFound.encode(buf),
+            ShardReply::Ok => Response::Ok.encode(buf),
+            ShardReply::Other(response) => response.encode(buf),
+        }
+    }
+}
+
 struct ShardRequest {
     op: ShardOp,
-    reply: Sender<Response>,
+    /// Position in the connection's request order; echoed back so the pump
+    /// can reorder replies that raced across shards.
+    seq: u64,
+    /// The connection's long-lived reply channel (one per connection, not
+    /// per request — dispatch allocates nothing).
+    reply: Sender<(u64, ShardReply)>,
 }
 
 /// What the accept loop hands every connection handler.
@@ -104,6 +148,7 @@ struct Ctx {
     metrics: Vec<Arc<ShardMetrics>>,
     running: Arc<AtomicBool>,
     local_addr: SocketAddr,
+    pipeline_window: u64,
 }
 
 /// A running server; dropping it without [`Server::shutdown`] detaches the
@@ -253,6 +298,7 @@ impl Server {
     /// threads.
     pub fn spawn(config: &ServerConfig) -> io::Result<Server> {
         assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.pipeline_window >= 1, "window admits one request");
         let (shards, start_mode) = build_shards(config)?;
         let metrics: Vec<Arc<ShardMetrics>> = shards.iter().map(Shard::metrics).collect();
 
@@ -277,6 +323,7 @@ impl Server {
             metrics: metrics.clone(),
             running: Arc::clone(&running),
             local_addr,
+            pipeline_window: config.pipeline_window as u64,
         });
         let accept = {
             let handlers = Arc::clone(&handlers);
@@ -357,20 +404,20 @@ impl Server {
 /// latency the last request in a batch pays.
 const MAX_BATCH: usize = 128;
 
-fn apply(shard: &mut Shard, op: ShardOp) -> Response {
+fn apply(shard: &mut Shard, op: ShardOp) -> ShardReply {
     match op {
         ShardOp::Get(key) => match shard.get(key) {
-            Some(record) => Response::Value(record.to_vec()),
-            None => Response::NotFound,
+            Some(record) => ShardReply::Record(record),
+            None => ShardReply::NotFound,
         },
         ShardOp::Set(key, record) => match shard.set(key, record) {
-            Ok(()) => Response::Ok,
-            Err(e) => Response::Err(format!("wal append failed: {e}")),
+            Ok(()) => ShardReply::Ok,
+            Err(e) => ShardReply::Other(Response::Err(format!("wal append failed: {e}"))),
         },
         ShardOp::Del(key) => match shard.del(key) {
-            Ok(true) => Response::Ok,
-            Ok(false) => Response::NotFound,
-            Err(e) => Response::Err(format!("wal append failed: {e}")),
+            Ok(true) => ShardReply::Ok,
+            Ok(false) => ShardReply::NotFound,
+            Err(e) => ShardReply::Other(Response::Err(format!("wal append failed: {e}"))),
         },
     }
 }
@@ -378,29 +425,38 @@ fn apply(shard: &mut Shard, op: ShardOp) -> Response {
 /// Drains the request channel in batches: apply every request in the batch,
 /// run one commit (so a single fsync covers all of them under
 /// `sync=always`), and only then release the replies — the group-commit
-/// discipline that makes "acknowledged" mean "durable".
+/// discipline that makes "acknowledged" mean "durable". Pipelined
+/// connections are what make these batches deep: a closed-loop client
+/// contributes at most one request per batch, a `--pipeline 32` client up
+/// to its whole window.
 fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>) {
-    let mut batch: Vec<(Sender<Response>, Response)> = Vec::with_capacity(MAX_BATCH);
+    type BatchEntry = (Sender<(u64, ShardReply)>, u64, ShardReply);
+    let metrics = shard.metrics();
+    let mut batch: Vec<BatchEntry> = Vec::with_capacity(MAX_BATCH);
     while let Ok(req) = rx.recv() {
-        batch.push((req.reply, apply(shard, req.op)));
+        metrics.queue_pop();
+        batch.push((req.reply, req.seq, apply(shard, req.op)));
         // Opportunistically fold in whatever else is already queued.
         while batch.len() < MAX_BATCH {
             match rx.try_recv() {
-                Ok(req) => batch.push((req.reply, apply(shard, req.op))),
+                Ok(req) => {
+                    metrics.queue_pop();
+                    batch.push((req.reply, req.seq, apply(shard, req.op)));
+                }
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
             }
         }
-        if let Err(e) = shard.commit() {
+        if let Err(e) = shard.commit_batch(batch.len()) {
             // The batch's appends may not have reached disk: none of these
             // requests may be acknowledged as succeeding.
             let msg = format!("wal commit failed: {e}");
-            for (_, response) in &mut batch {
-                *response = Response::Err(msg.clone());
+            for (_, _, reply) in &mut batch {
+                *reply = ShardReply::Other(Response::Err(msg.clone()));
             }
         }
-        for (reply, response) in batch.drain(..) {
+        for (reply, seq, response) in batch.drain(..) {
             // A vanished handler (client hung up mid-request) is not an error.
-            let _ = reply.send(response);
+            let _ = reply.send((seq, response));
         }
     }
     // Clean shutdown: push any policy-deferred appends to disk.
@@ -433,54 +489,182 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, handlers: &Arc<Mutex<Vec<
     }
 }
 
-fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
-    // Closed-loop clients need every reply on the wire immediately.
+/// Per-connection pump state: sequence counters, the reorder buffer, and
+/// the one reply channel every shard sends back on.
+struct Conn {
+    /// Sequence number the next parsed request gets.
+    next_seq: u64,
+    /// Sequence number of the next response to put on the wire.
+    next_write: u64,
+    /// Replies that arrived ahead of `next_write` (cross-shard races), plus
+    /// inline responses (STATS, protocol errors) parked behind in-flight
+    /// shard work. The common in-order reply skips this map entirely.
+    parked: BTreeMap<u64, ShardReply>,
+    /// The connection's reply channel; `reply_tx` clones ride inside
+    /// [`ShardRequest`]s instead of a fresh channel per request.
+    reply_tx: Sender<(u64, ShardReply)>,
+    reply_rx: Receiver<(u64, ShardReply)>,
+    /// Set once a SHUTDOWN request is parsed: its sequence number. No
+    /// further requests are read; the pump drains, writes the final OK,
+    /// then stops the server.
+    shutdown_at: Option<u64>,
+    /// Reused response-encode scratch buffer.
+    out: Vec<u8>,
+}
+
+impl Conn {
+    fn outstanding(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+
+    /// Accepts one reply from a shard (or an inline response) into the
+    /// reorder buffer.
+    fn park(&mut self, seq: u64, reply: ShardReply) {
+        self.parked.insert(seq, reply);
+    }
+
+    /// Writes every response that is next in request order into the write
+    /// buffer. The in-order case (`seq == next_write` just parked) costs
+    /// one BTreeMap round-trip at most; responses behind a straggler shard
+    /// stay parked.
+    fn write_ready(&mut self, writer: &mut FrameWriter<TcpStream>) -> io::Result<()> {
+        while let Some(reply) = self.parked.remove(&self.next_write) {
+            reply.encode(&mut self.out);
+            writer.write_frame(&self.out)?;
+            self.next_write += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether the SHUTDOWN acknowledgement has been written (the pump's
+    /// cue to flush, stop the server, and close).
+    fn shutdown_acked(&self) -> bool {
+        self.shutdown_at.is_some_and(|seq| self.next_write > seq)
+    }
+}
+
+/// The pipelined connection pump. One thread, three obligations, strictly
+/// ordered so a blocking wait can never starve the peer:
+///
+/// 1. ship every reply that is ready, in request order;
+/// 2. park on the reply channel whenever requests are in flight (a
+///    closed-loop peer won't send more until those replies land);
+/// 3. otherwise read requests — draining frames already buffered before
+///    paying another `read` syscall — and dispatch up to the window.
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    // Replies must hit the wire the moment we flush.
     let _ = stream.set_nodelay(true);
     // Bound every read so an idle connection notices shutdown.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(stream);
+    let mut writer = FrameWriter::new(write_half);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut conn = Conn {
+        next_seq: 0,
+        next_write: 0,
+        parked: BTreeMap::new(),
+        reply_tx,
+        reply_rx,
+        shutdown_at: None,
+        out: Vec::new(),
+    };
     let mut frame = Vec::new();
-    let mut out = Vec::new();
     loop {
-        match read_frame(&mut stream, &mut frame) {
-            Ok(true) => {}
-            Ok(false) => return, // clean disconnect
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if ctx.running.load(Ordering::SeqCst) {
-                    continue;
-                }
+        // (1) Collect whatever replies already arrived and ship the ready
+        // prefix.
+        while let Ok((seq, reply)) = conn.reply_rx.try_recv() {
+            conn.park(seq, reply);
+        }
+        if conn.write_ready(&mut writer).is_err() {
+            return;
+        }
+        if conn.shutdown_acked() {
+            if writer.flush().is_err() {
                 return;
             }
-            Err(_) => return,
-        }
-        let response = match Request::decode(&frame) {
-            Ok(request) => serve(request, ctx, &mut stream),
-            Err(e) => Some(Response::Err(e.to_string())),
-        };
-        let Some(response) = response else { return };
-        response.encode(&mut out);
-        if write_frame(&mut stream, &out).is_err() {
+            ctx.running.store(false, Ordering::SeqCst);
+            let _ = TcpStream::connect(ctx.local_addr); // wake the accept loop
             return;
+        }
+
+        // (2) Read more requests only when under the window, not draining
+        // for shutdown, and — unless frames are already buffered — nothing
+        // is in flight (with requests outstanding, the next event that
+        // matters is a reply; new frames keep in the kernel buffer).
+        let may_read = conn.outstanding() < ctx.pipeline_window && conn.shutdown_at.is_none();
+        if may_read && (conn.outstanding() == 0 || reader.has_buffered_frame()) {
+            if conn.outstanding() == 0 && !reader.has_buffered_frame() {
+                // About to block on the socket: everything written so far
+                // must be visible to the peer first.
+                if writer.flush().is_err() {
+                    return;
+                }
+            }
+            match reader.read_frame(&mut frame) {
+                Ok(true) => serve(&frame, ctx, &mut conn),
+                Ok(false) => return, // clean disconnect
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !ctx.running.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+            continue;
+        }
+
+        if conn.outstanding() == 0 {
+            // Nothing in flight and nothing to read: only reachable while
+            // draining a shutdown whose ack was just written (handled
+            // above), so this is unreachable — but a stray state must not
+            // spin.
+            return;
+        }
+
+        // (3) Requests are in flight: block for the next reply. Flush
+        // first — the peer may be waiting on buffered responses before it
+        // sends (or reads) anything else.
+        if writer.flush().is_err() {
+            return;
+        }
+        match conn.reply_rx.recv_timeout(POLL_INTERVAL) {
+            Ok((seq, reply)) => conn.park(seq, reply),
+            Err(RecvTimeoutError::Timeout) => {
+                if !ctx.running.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
 
-/// Serves one request; `None` means the handler should close the connection
-/// (the SHUTDOWN acknowledgement is written here, before the accept loop is
-/// woken, so the client always sees its OK).
-fn serve(request: Request, ctx: &Ctx, stream: &mut (impl Read + Write)) -> Option<Response> {
-    let route = |key: u64| &ctx.senders[shard_of(key, ctx.senders.len())];
-    match request {
-        Request::Get { key } => Some(dispatch(route(key), ShardOp::Get(key))),
-        Request::Set { key, value } => Some(dispatch(
-            route(key),
-            ShardOp::Set(key, record_from_bytes(&value)),
-        )),
-        Request::Del { key } => Some(dispatch(route(key), ShardOp::Del(key))),
+/// Parses and dispatches one request frame under the connection's next
+/// sequence number. Keyed requests go to their shard; STATS and SHUTDOWN
+/// (and malformed frames) resolve inline but park behind any in-flight
+/// shard replies so the wire stays in request order.
+fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let request = match Request::decode(frame) {
+        Ok(request) => request,
+        Err(e) => {
+            conn.park(seq, ShardReply::Other(Response::Err(e.to_string())));
+            return;
+        }
+    };
+    let op = match request {
+        Request::Get { key } => ShardOp::Get(key),
+        Request::Set { key, value } => ShardOp::Set(key, record_from_bytes(&value)),
+        Request::Del { key } => ShardOp::Del(key),
         Request::Stats => {
             let report = StatsReport::from_shards(
                 ctx.metrics
@@ -489,36 +673,42 @@ fn serve(request: Request, ctx: &Ctx, stream: &mut (impl Read + Write)) -> Optio
                     .map(|(i, m)| m.snapshot(i))
                     .collect(),
             );
-            Some(match serde_json::to_string(&report) {
+            let response = match serde_json::to_string(&report) {
                 Ok(json) => Response::StatsJson(json),
                 Err(e) => Response::Err(format!("stats serialization failed: {e:?}")),
-            })
+            };
+            conn.park(seq, ShardReply::Other(response));
+            return;
         }
         Request::Shutdown => {
-            let mut out = Vec::new();
-            Response::Ok.encode(&mut out);
-            let _ = write_frame(stream, &out);
-            ctx.running.store(false, Ordering::SeqCst);
-            let _ = TcpStream::connect(ctx.local_addr); // wake the accept loop
-            None
+            // Acknowledged in order; the pump stops the server once the OK
+            // (and every response before it) is on the wire.
+            conn.shutdown_at = Some(seq);
+            conn.park(seq, ShardReply::Ok);
+            return;
         }
-    }
-}
-
-fn dispatch(sender: &Sender<ShardRequest>, op: ShardOp) -> Response {
-    let (reply_tx, reply_rx) = mpsc::channel();
-    if sender
+    };
+    let shard = shard_of(op_key(&op), ctx.senders.len());
+    ctx.metrics[shard].queue_push();
+    if ctx.senders[shard]
         .send(ShardRequest {
             op,
-            reply: reply_tx,
+            seq,
+            reply: conn.reply_tx.clone(),
         })
         .is_err()
     {
-        return Response::Err("shard unavailable".to_owned());
+        ctx.metrics[shard].queue_pop();
+        conn.park(
+            seq,
+            ShardReply::Other(Response::Err("shard unavailable".to_owned())),
+        );
     }
-    match reply_rx.recv() {
-        Ok(response) => response,
-        Err(_) => Response::Err("shard dropped the request".to_owned()),
+}
+
+fn op_key(op: &ShardOp) -> u64 {
+    match op {
+        ShardOp::Get(key) | ShardOp::Set(key, _) | ShardOp::Del(key) => *key,
     }
 }
 
@@ -526,6 +716,7 @@ fn dispatch(sender: &Sender<ShardRequest>, op: ShardOp) -> Response {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::protocol::{read_frame, write_frame};
 
     fn tiny_config() -> ServerConfig {
         ServerConfig {
@@ -680,7 +871,26 @@ mod tests {
             seen[s] += 1;
         }
         for (i, &n) in seen.iter().enumerate() {
-            assert!(n > 1_500, "shard {i} got only {n} of 10000 keys");
+            assert!(n > 2_200, "shard {i} got only {n} of 10000 keys");
+        }
+    }
+
+    #[test]
+    fn routing_stays_in_range_for_awkward_shard_counts() {
+        // Multiply-shift range reduction: the result is always < shards and
+        // every shard still gets a fair cut even when the count is not a
+        // power of two (where `hash % shards` would also work, but slower).
+        for shards in [1usize, 3, 5, 7, 13] {
+            let mut seen = vec![0u64; shards];
+            for key in 0..10_000 {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                seen[s] += 1;
+            }
+            let floor = 5_000 / shards as u64;
+            for (i, &n) in seen.iter().enumerate() {
+                assert!(n > floor, "{shards} shards: shard {i} got only {n}");
+            }
         }
     }
 }

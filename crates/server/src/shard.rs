@@ -21,7 +21,10 @@
 //! shard's write-ahead log *before* mutating the in-memory store, and the
 //! server's request loop withholds acknowledgements until [`Shard::commit`]
 //! has applied the sync policy — so under `sync=always` no acknowledged
-//! write can be lost to a crash.
+//! write can be lost to a crash. Pipelined connections (DESIGN.md §9) are
+//! what make the batches between commits deep: [`Shard::commit_batch`]
+//! records each batch's size so STATS can report how much one fsync is
+//! actually amortizing.
 
 use std::io;
 use std::path::Path;
@@ -213,6 +216,17 @@ impl Shard {
         Ok(existed)
     }
 
+    /// [`Shard::commit`] plus batch accounting: records `batch_len` in the
+    /// batch-size histogram counters (STATS `batches`/`batch_mean`/
+    /// `batch_max`) next to the fsync it amortizes. The shard loop calls
+    /// this once per drained batch — pipelined connections are what make
+    /// `batch_len` grow past 1, and the ratio `batch_ops / batches` is the
+    /// direct measure of how much group commit is actually grouping.
+    pub fn commit_batch(&mut self, batch_len: usize) -> io::Result<()> {
+        self.metrics.batch_committed(batch_len);
+        self.commit()
+    }
+
     /// Batch boundary: applies the sync policy to pending WAL appends and
     /// seals a snapshot when the cadence says so. The server must call this
     /// before releasing the batch's acknowledgements.
@@ -304,6 +318,22 @@ mod tests {
         assert!(s.index_visits > 0, "a miss walks the index");
         assert_eq!(s.store_len, 100);
         assert_eq!(s.wal_appends, 0, "no WAL without durability");
+    }
+
+    #[test]
+    fn commit_batch_records_the_group_commit_sizes() {
+        let mut shard = loaded_shard(8);
+        shard.set(100, record_for(100)).unwrap();
+        shard.commit_batch(1).unwrap();
+        shard.set(101, record_for(101)).unwrap();
+        shard.set(102, record_for(102)).unwrap();
+        shard.set(103, record_for(103)).unwrap();
+        shard.commit_batch(3).unwrap();
+        let snap = shard.snapshot(0);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batch_ops, 4);
+        assert_eq!(snap.batch_max, 3);
+        assert!((snap.batch_mean - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Pipelined-connection ordering tests (DESIGN.md §9).
+//!
+//! The server's contract is that responses arrive in request order even
+//! though requests fan out to shard threads that complete out of order. A
+//! single connection queues interleaved GET/SET/DEL bursts across every
+//! shard without reading a single reply, then drains and checks each reply
+//! against a sequential model — any reordering, dropped, or duplicated
+//! reply shows up as a model mismatch at an exact request index.
+
+use std::collections::{HashMap, VecDeque};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use p4lru_kvstore::db::record_for;
+use p4lru_server::client::Client;
+use p4lru_server::protocol::Response;
+use p4lru_server::server::{shard_of, Server, ServerConfig};
+
+const ITEMS: u64 = 100;
+
+fn tiny_config(shards: usize) -> ServerConfig {
+    ServerConfig {
+        items: ITEMS,
+        units_per_shard: 64,
+        shards,
+        ..ServerConfig::default()
+    }
+}
+
+/// What the store actually keeps: values are fixed 64-byte records, so a
+/// SET pads (or truncates) to 64 bytes and a GET returns all 64.
+fn pad64(value: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; 64];
+    let n = value.len().min(64);
+    out[..n].copy_from_slice(&value[..n]);
+    out
+}
+
+fn populated_model() -> HashMap<u64, Vec<u8>> {
+    (0..ITEMS).map(|k| (k, record_for(k).to_vec())).collect()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum TestOp {
+    Get(u64),
+    /// key, fill byte, length
+    Set(u64, u8, usize),
+    Del(u64),
+}
+
+/// Applies `op` to the model and returns the response the server must give.
+fn expected(model: &mut HashMap<u64, Vec<u8>>, op: TestOp) -> Response {
+    match op {
+        TestOp::Get(key) => match model.get(&key) {
+            Some(v) => Response::Value(v.clone()),
+            None => Response::NotFound,
+        },
+        TestOp::Set(key, fill, len) => {
+            model.insert(key, pad64(&vec![fill; len]));
+            Response::Ok
+        }
+        TestOp::Del(key) => {
+            if model.remove(&key).is_some() {
+                Response::Ok
+            } else {
+                Response::NotFound
+            }
+        }
+    }
+}
+
+fn send(client: &mut Client, op: TestOp) -> std::io::Result<()> {
+    match op {
+        TestOp::Get(key) => client.send_get(key),
+        TestOp::Set(key, fill, len) => client.send_set(key, &vec![fill; len]),
+        TestOp::Del(key) => client.send_del(key),
+    }
+}
+
+#[test]
+fn pipelined_replies_arrive_in_request_order_across_all_shards() {
+    let shards = 4;
+    let server = Server::spawn(&tiny_config(shards)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A fixed interleaving of every opcode over keys that are a mix of
+    // populated and absent, queued as one burst with zero reads.
+    let mut model = populated_model();
+    let mut covered = vec![false; shards];
+    let mut want = Vec::new();
+    let mut ops = Vec::new();
+    for i in 0u64..96 {
+        let key = (i * 37) % 150;
+        covered[shard_of(key, shards)] = true;
+        let op = match i % 3 {
+            0 => TestOp::Get(key),
+            1 => TestOp::Set(key, i as u8, 1 + (i as usize % 64)),
+            _ => TestOp::Del(key),
+        };
+        ops.push(op);
+        want.push(expected(&mut model, op));
+        send(&mut client, op).unwrap();
+    }
+    assert!(
+        covered.iter().all(|&c| c),
+        "the burst must interleave across every shard: {covered:?}"
+    );
+
+    client.flush().unwrap();
+    for (i, want) in want.iter().enumerate() {
+        let got = client.recv().unwrap();
+        assert_eq!(&got, want, "reply {i} (request {:?}) out of order", ops[i]);
+    }
+
+    // The connection is still healthy for ordinary traffic afterwards.
+    assert_eq!(client.get(0).unwrap(), model.get(&0).cloned());
+    server.shutdown();
+}
+
+#[test]
+fn burst_deeper_than_the_server_window_still_completes_in_order() {
+    // The server reads at most `pipeline_window` requests ahead per
+    // connection; a client that queues far more must still get every reply,
+    // in order, via backpressure (the server simply stops reading).
+    let config = ServerConfig {
+        pipeline_window: 4,
+        ..tiny_config(2)
+    };
+    let server = Server::spawn(&config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut model = populated_model();
+    let mut want = Vec::new();
+    for i in 0u64..256 {
+        let op = TestOp::Get(i % 120);
+        want.push(expected(&mut model, op));
+        send(&mut client, op).unwrap();
+    }
+    client.flush().unwrap();
+    for (i, want) in want.iter().enumerate() {
+        assert_eq!(&client.recv().unwrap(), want, "reply {i}");
+    }
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random interleavings at random pipeline depths against a sequential
+    /// model: the pipelined server must be observationally identical to a
+    /// one-request-at-a-time server.
+    #[test]
+    fn random_pipelined_interleavings_match_the_sequential_model(
+        raw in vec((0u8..3, 0u64..200, any::<u8>(), 0usize..80), 1..250),
+        depth in 1usize..80,
+        shards in 1usize..5,
+    ) {
+        let server = Server::spawn(&tiny_config(shards)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut model = populated_model();
+        let mut inflight: VecDeque<(usize, TestOp, Response)> = VecDeque::new();
+
+        for (i, &(kind, key, fill, len)) in raw.iter().enumerate() {
+            let op = match kind {
+                0 => TestOp::Get(key),
+                1 => TestOp::Set(key, fill, len),
+                _ => TestOp::Del(key),
+            };
+            let want = expected(&mut model, op);
+            send(&mut client, op).unwrap();
+            inflight.push_back((i, op, want));
+            if inflight.len() == depth {
+                let (i, op, want) = inflight.pop_front().unwrap();
+                let got = client.recv().unwrap();
+                prop_assert_eq!(got, want, "reply {} (request {:?})", i, op);
+            }
+        }
+        while let Some((i, op, want)) = inflight.pop_front() {
+            let got = client.recv().unwrap();
+            prop_assert_eq!(got, want, "reply {} (request {:?})", i, op);
+        }
+        server.shutdown();
+    }
+}

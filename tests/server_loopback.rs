@@ -67,10 +67,15 @@ fn loadgen_over_loopback_hits_the_cache_and_stats_add_up() {
     let json = to_figure_json(&config, &summary, &["extra note".to_owned()]);
     let fig: FigureResult = serde_json::from_str(&json).expect("parses as FigureResult");
     assert_eq!(fig.id, "server_bench");
-    assert_eq!(fig.x, vec![50.0, 99.0]);
+    assert_eq!(fig.x, vec![50.0, 95.0, 99.0]);
     let latency = fig.series_named("latency_us").expect("latency series");
     assert_eq!(latency.values.len(), fig.x.len());
-    assert!(latency.values[1] >= latency.values[0], "p99 >= p50");
+    assert!(latency.values[1] >= latency.values[0], "p95 >= p50");
+    assert!(latency.values[2] >= latency.values[1], "p99 >= p95");
     assert!(fig.series_named("throughput_ops_s").is_some());
     assert!(fig.notes.iter().any(|n| n == "extra note"));
+    assert!(
+        fig.notes.iter().any(|n| n.contains("pipeline=1")),
+        "the config note records the pipeline depth"
+    );
 }
