@@ -1,4 +1,5 @@
-//! Server throughput vs. pipeline depth (DESIGN.md §9).
+//! Server throughput vs. pipeline depth (DESIGN.md §9), and the tracing
+//! overhead budget (DESIGN.md §10).
 //!
 //! Spawns an in-process (volatile) `p4lru-server`, drives it with the
 //! crate's own load generator at pipeline depths 1 / 8 / 32, and records
@@ -6,38 +7,95 @@
 //! Depth 1 is the pre-pipelining closed loop; the deeper columns are what
 //! batched framed I/O and shard group commit buy.
 //!
+//! With `--trace both` (the default) every depth is measured twice,
+//! back-to-back — once with request-lifecycle tracing on, once off — and the
+//! file records both series plus the relative overhead at the deepest depth.
+//! `--assert-overhead <pct>` exits nonzero if tracing costs more than `pct`%
+//! ops/s there (the obs crate's <3% budget). `--repeat <n>` records the best
+//! of n runs per column (this box's run-to-run noise at deep pipelines is
+//! several percent — larger than the effect being measured), and
+//! `--trace-sample <m>` overrides the 1-in-64 sampling rate.
+//!
 //! `--assert-speedup <f>` exits nonzero unless the deepest depth achieves
 //! at least `f`× the ops/sec of depth 1 (CI smoke uses this).
 
 use std::process::ExitCode;
 
 use p4lru_bench::{FigureResult, Scale};
-use p4lru_server::loadgen::{run, LoadgenConfig};
+use p4lru_server::loadgen::{run, BenchSummary, LoadgenConfig};
 use p4lru_server::server::{Server, ServerConfig};
 
-fn parse_extra_args() -> Result<(Option<f64>, Vec<usize>), String> {
-    let mut assert_speedup = None;
-    let mut depths = vec![1, 8, 32];
+struct ExtraArgs {
+    assert_speedup: Option<f64>,
+    assert_overhead: Option<f64>,
+    depths: Vec<usize>,
+    /// (trace-on, trace-off) — which modes to measure.
+    modes: (bool, bool),
+    /// Sampling rate for the trace-on mode (None = the obs crate default).
+    sample: Option<u64>,
+    /// Runs per column; the best run is recorded (noise suppression).
+    repeat: usize,
+}
+
+fn parse_extra_args() -> Result<ExtraArgs, String> {
+    let mut extra = ExtraArgs {
+        assert_speedup: None,
+        assert_overhead: None,
+        depths: vec![1, 8, 32],
+        modes: (true, true),
+        sample: None,
+        repeat: 1,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--assert-speedup" => {
                 let v = args.next().ok_or("--assert-speedup needs a value")?;
-                assert_speedup = Some(
+                extra.assert_speedup = Some(
                     v.parse()
                         .map_err(|e| format!("bad value for --assert-speedup: {e:?}"))?,
                 );
             }
+            "--assert-overhead" => {
+                let v = args.next().ok_or("--assert-overhead needs a value")?;
+                extra.assert_overhead = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad value for --assert-overhead: {e:?}"))?,
+                );
+            }
+            "--trace" => {
+                let v = args.next().ok_or("--trace needs a value")?;
+                extra.modes = match v.as_str() {
+                    "on" => (true, false),
+                    "off" => (false, true),
+                    "both" => (true, true),
+                    other => return Err(format!("bad value for --trace: {other} (on|off|both)")),
+                };
+            }
+            "--trace-sample" => {
+                let v = args.next().ok_or("--trace-sample needs a value")?;
+                extra.sample = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad value for --trace-sample: {e:?}"))?,
+                );
+            }
+            "--repeat" => {
+                let v = args.next().ok_or("--repeat needs a value")?;
+                extra.repeat = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad value for --repeat: {e:?}"))?
+                    .max(1);
+            }
             "--depths" => {
                 let v = args.next().ok_or("--depths needs a value")?;
-                depths = v
+                extra.depths = v
                     .split(',')
                     .map(|d| {
                         d.parse::<usize>()
                             .map_err(|e| format!("bad depth {d:?}: {e:?}"))
                     })
                     .collect::<Result<_, _>>()?;
-                if depths.is_empty() {
+                if extra.depths.is_empty() {
                     return Err("--depths needs at least one depth".into());
                 }
             }
@@ -46,17 +104,46 @@ fn parse_extra_args() -> Result<(Option<f64>, Vec<usize>), String> {
             }
             other => {
                 return Err(format!(
-                    "unknown flag {other} (try --scale, --depths, --assert-speedup)"
+                    "unknown flag {other} (try --scale, --depths, --trace, \
+                     --trace-sample, --repeat, --assert-speedup, --assert-overhead)"
                 ))
             }
         }
     }
-    Ok((assert_speedup, depths))
+    Ok(extra)
+}
+
+/// One measured column: a fresh server (so cache warm-up and store contents
+/// cannot leak between columns), one loadgen run, the final server stats.
+fn measure(
+    server_config: &ServerConfig,
+    threads: usize,
+    seconds: f64,
+    depth: usize,
+) -> Result<(BenchSummary, p4lru_server::StatsReport), String> {
+    let server =
+        Server::spawn(server_config).map_err(|e| format!("failed to start server: {e}"))?;
+    let config = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        threads,
+        seconds,
+        items: server_config.items,
+        pipeline: depth,
+        ..LoadgenConfig::default()
+    };
+    let summary = run(&config).map_err(|e| format!("loadgen failed at depth {depth}: {e}"))?;
+    if summary.not_found > 0 || summary.corrupt > 0 {
+        return Err(format!(
+            "depth {depth}: {} reads found nothing, {} mismatched",
+            summary.not_found, summary.corrupt
+        ));
+    }
+    Ok((summary, server.shutdown()))
 }
 
 fn main() -> ExitCode {
     let scale = Scale::from_args();
-    let (assert_speedup, depths) = match parse_extra_args() {
+    let extra = match parse_extra_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -64,7 +151,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let server_config = ServerConfig {
+    let base_config = ServerConfig {
         shards: scale.pick(2, 4),
         items: scale.pick(20_000, 100_000),
         units_per_shard: scale.pick(1024, 4096),
@@ -81,90 +168,159 @@ fn main() -> ExitCode {
     );
     fig.note(format!(
         "in-process server: shards={} items={} units_per_shard={} window={}",
-        server_config.shards,
-        server_config.items,
-        server_config.units_per_shard,
-        server_config.pipeline_window,
+        base_config.shards,
+        base_config.items,
+        base_config.units_per_shard,
+        base_config.pipeline_window,
     ));
     fig.note(format!(
         "loadgen: threads={threads} seconds={seconds} alpha=0.9 read_fraction=0.95 verify=on"
     ));
+    fig.x = extra.depths.iter().map(|&d| d as f64).collect();
 
-    let mut throughput = Vec::new();
-    let mut p50 = Vec::new();
-    let mut p95 = Vec::new();
-    let mut p99 = Vec::new();
-    for &depth in &depths {
-        // A fresh server per depth so cache warm-up and store contents
-        // cannot leak from one column into the next.
-        let server = match Server::spawn(&server_config) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: failed to start server: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let config = LoadgenConfig {
-            addr: server.local_addr().to_string(),
-            threads,
-            seconds,
-            items: server_config.items,
-            pipeline: depth,
-            ..LoadgenConfig::default()
-        };
-        let summary = match run(&config) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: loadgen failed at depth {depth}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if summary.not_found > 0 || summary.corrupt > 0 {
-            eprintln!(
-                "error: depth {depth}: {} reads found nothing, {} mismatched",
-                summary.not_found, summary.corrupt
-            );
-            return ExitCode::FAILURE;
-        }
-        println!(
-            "depth {depth:>3}: {:>9.0} ops/s  p50 {:>7.1} us  p95 {:>7.1} us  p99 {:>7.1} us  ({} ops)",
-            summary.throughput_ops_s, summary.p50_us, summary.p95_us, summary.p99_us, summary.ops
-        );
-        let stats = server.shutdown();
-        let t = &stats.totals;
+    if extra.repeat > 1 {
         fig.note(format!(
-            "depth {depth}: ops={} batches={} mean_batch={:.2} max_batch={} hit_rate={:.4}",
-            summary.ops, t.batches, t.batch_mean, t.batch_max, t.hit_rate
+            "each column is the best of {} runs (fresh server per run)",
+            extra.repeat
         ));
-        fig.x.push(depth as f64);
-        throughput.push(summary.throughput_ops_s);
-        p50.push(summary.p50_us);
-        p95.push(summary.p95_us);
-        p99.push(summary.p99_us);
     }
-    fig.push_series("throughput (ops/s)", throughput.clone());
-    fig.push_series("p50 latency (us)", p50);
-    fig.push_series("p95 latency (us)", p95);
-    fig.push_series("p99 latency (us)", p99);
 
-    let speedup = throughput.last().unwrap_or(&0.0) / throughput.first().unwrap_or(&1.0).max(1e-9);
+    // (trace on?, label suffix) for each measured mode, tracing first.
+    let modes: Vec<(bool, &str)> = [(true, "trace-on"), (false, "trace-off")]
+        .into_iter()
+        .filter(|&(on, _)| if on { extra.modes.0 } else { extra.modes.1 })
+        .collect();
+    // Per-mode columns, same order as `modes`. Depth is the outer loop so a
+    // mode pair at one depth is measured back-to-back — an on-vs-off
+    // comparison separated by minutes would fold machine drift into the
+    // overhead number.
+    let mut throughput_by_mode = vec![Vec::new(); modes.len()];
+    let mut p50_by_mode = vec![Vec::new(); modes.len()];
+    let mut p95_by_mode = vec![Vec::new(); modes.len()];
+    let mut p99_by_mode = vec![Vec::new(); modes.len()];
+
+    for &depth in &extra.depths {
+        for (mode_idx, &(trace_on, label)) in modes.iter().enumerate() {
+            let server_config = ServerConfig {
+                obs: p4lru_obs::ObsConfig {
+                    enabled: trace_on,
+                    sample_every: extra
+                        .sample
+                        .unwrap_or(p4lru_obs::ObsConfig::default().sample_every),
+                    ..p4lru_obs::ObsConfig::default()
+                },
+                ..base_config.clone()
+            };
+            let mut best: Option<(BenchSummary, p4lru_server::StatsReport)> = None;
+            for _ in 0..extra.repeat {
+                let run = match measure(&server_config, threads, seconds, depth) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|(b, _)| run.0.throughput_ops_s > b.throughput_ops_s)
+                {
+                    best = Some(run);
+                }
+            }
+            let (summary, stats) = best.expect("repeat >= 1");
+            let t = &stats.totals;
+            println!(
+                "{label} depth {depth:>3}: {:>9.0} ops/s  p50 {:>7.1} us  p95 {:>7.1} us  p99 {:>7.1} us  ({} ops)",
+                summary.throughput_ops_s, summary.p50_us, summary.p95_us, summary.p99_us, summary.ops
+            );
+            let mut note = format!(
+                "{label} depth {depth}: ops={} batches={} mean_batch={:.2} max_batch={} hit_rate={:.4}",
+                summary.ops, t.batches, t.batch_mean, t.batch_max, t.hit_rate
+            );
+            if trace_on && t.get_latency.count > 0 {
+                note.push_str(&format!(
+                    " server_get_p50_us={:.1} server_get_p99_us={:.1}",
+                    t.get_latency.p50_us, t.get_latency.p99_us
+                ));
+            }
+            fig.note(note);
+            throughput_by_mode[mode_idx].push(summary.throughput_ops_s);
+            p50_by_mode[mode_idx].push(summary.p50_us);
+            p95_by_mode[mode_idx].push(summary.p95_us);
+            p99_by_mode[mode_idx].push(summary.p99_us);
+        }
+    }
+    for (mode_idx, &(_, label)) in modes.iter().enumerate() {
+        fig.push_series(
+            format!("throughput {label} (ops/s)"),
+            throughput_by_mode[mode_idx].clone(),
+        );
+        fig.push_series(
+            format!("p50 latency {label} (us)"),
+            p50_by_mode[mode_idx].clone(),
+        );
+        fig.push_series(
+            format!("p95 latency {label} (us)"),
+            p95_by_mode[mode_idx].clone(),
+        );
+        fig.push_series(
+            format!("p99 latency {label} (us)"),
+            p99_by_mode[mode_idx].clone(),
+        );
+    }
+
+    let primary = &throughput_by_mode[0];
+    let speedup = primary.last().unwrap_or(&0.0) / primary.first().unwrap_or(&1.0).max(1e-9);
     fig.note(format!(
-        "speedup: depth {} reaches {speedup:.2}x the ops/s of depth {}",
-        depths.last().unwrap(),
-        depths.first().unwrap(),
+        "speedup ({}): depth {} reaches {speedup:.2}x the ops/s of depth {}",
+        modes[0].1,
+        extra.depths.last().unwrap(),
+        extra.depths.first().unwrap(),
     ));
+
+    // Tracing overhead at the deepest depth: how much ops/s turning the
+    // tracer on costs, relative to the trace-off baseline.
+    let mut overhead_pct = None;
+    if modes.len() == 2 {
+        let on = *throughput_by_mode[0].last().unwrap();
+        let off = *throughput_by_mode[1].last().unwrap();
+        let pct = (off - on) / off.max(1e-9) * 100.0;
+        overhead_pct = Some(pct);
+        fig.note(format!(
+            "tracing overhead at depth {}: {pct:.2}% ({on:.0} ops/s traced vs {off:.0} untraced)",
+            extra.depths.last().unwrap(),
+        ));
+        println!(
+            "tracing overhead at depth {}: {pct:.2}%",
+            extra.depths.last().unwrap()
+        );
+    }
     fig.emit();
 
-    if let Some(want) = assert_speedup {
+    if let Some(want) = extra.assert_speedup {
         if speedup < want {
             eprintln!(
                 "error: --assert-speedup {want}: depth {} only reached {speedup:.2}x depth {}",
-                depths.last().unwrap(),
-                depths.first().unwrap(),
+                extra.depths.last().unwrap(),
+                extra.depths.first().unwrap(),
             );
             return ExitCode::FAILURE;
         }
         println!("speedup {speedup:.2}x >= required {want}x");
+    }
+    if let Some(want) = extra.assert_overhead {
+        let Some(pct) = overhead_pct else {
+            eprintln!("error: --assert-overhead needs --trace both");
+            return ExitCode::FAILURE;
+        };
+        if pct > want {
+            eprintln!(
+                "error: --assert-overhead {want}: tracing cost {pct:.2}% ops/s at depth {}",
+                extra.depths.last().unwrap(),
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("tracing overhead {pct:.2}% <= allowed {want}%");
     }
     ExitCode::SUCCESS
 }

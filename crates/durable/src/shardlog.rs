@@ -34,6 +34,10 @@ pub struct ShardLog {
     unsynced: u64,
     appends_since_snapshot: u64,
     last_sync: Instant,
+    // Span hooks for the server's request tracer: when the last append /
+    // physical fsync completed. `None` until the first one happens.
+    last_append_at: Option<Instant>,
+    last_sync_at: Option<Instant>,
 }
 
 impl ShardLog {
@@ -52,6 +56,8 @@ impl ShardLog {
             unsynced: 0,
             appends_since_snapshot: 0,
             last_sync: Instant::now(),
+            last_append_at: None,
+            last_sync_at: None,
         })
     }
 
@@ -71,6 +77,8 @@ impl ShardLog {
                 unsynced: 0,
                 appends_since_snapshot: 0,
                 last_sync: Instant::now(),
+                last_append_at: None,
+                last_sync_at: None,
             },
             recovery,
         ))
@@ -100,6 +108,7 @@ impl ShardLog {
         let seq = self.wal.append(op)?;
         self.unsynced += 1;
         self.appends_since_snapshot += 1;
+        self.last_append_at = Some(Instant::now());
         Ok(seq)
     }
 
@@ -125,7 +134,24 @@ impl ShardLog {
         let took = self.wal.sync()?;
         self.unsynced = 0;
         self.last_sync = Instant::now();
+        self.last_sync_at = Some(self.last_sync);
         Ok(took)
+    }
+
+    /// When the last WAL record was appended (buffered, not yet durable),
+    /// or `None` before the first append. A span hook for the server's
+    /// request tracer — it stamps the `wal_append` lifecycle stage from
+    /// this instant rather than re-reading the clock on the request path.
+    pub fn last_append_at(&self) -> Option<Instant> {
+        self.last_append_at
+    }
+
+    /// When the last physical fsync completed, or `None` before the first.
+    /// Unlike `last_sync` (which starts at "now" so interval policies have
+    /// a baseline), this reports only real fsyncs — the tracer's `fsync`
+    /// span hook.
+    pub fn last_sync_at(&self) -> Option<Instant> {
+        self.last_sync_at
     }
 
     /// Whether enough appends have accumulated to be worth a snapshot.
@@ -264,6 +290,52 @@ mod tests {
         assert_eq!(recovery.snapshot_seq, 30);
         assert_eq!(recovery.replayed, 1, "only the post-snapshot DEL");
         assert_eq!(recovery.db.len(), 39);
+    }
+
+    #[test]
+    fn span_hooks_track_append_and_sync_instants() {
+        let tmp = TempDir::new("slog-spans");
+        let mut log = ShardLog::init_fresh(
+            tmp.path(),
+            &Database::default(),
+            &config(SyncPolicy::Always),
+        )
+        .unwrap();
+        assert!(log.last_append_at().is_none(), "no appends yet");
+        assert!(log.last_sync_at().is_none(), "no physical fsync yet");
+
+        let before = Instant::now();
+        log.append_set(1, record_for(1)).unwrap();
+        let appended = log.last_append_at().expect("append stamped");
+        assert!(appended >= before);
+        assert!(log.last_sync_at().is_none(), "append alone is not durable");
+
+        log.commit().unwrap();
+        let synced = log.last_sync_at().expect("commit under Always fsyncs");
+        assert!(synced >= appended, "fsync follows the append");
+
+        log.append_set(2, record_for(2)).unwrap();
+        assert!(
+            log.last_append_at().unwrap() >= synced,
+            "a later append moves the append stamp past the sync"
+        );
+    }
+
+    #[test]
+    fn deferred_commit_leaves_the_sync_hook_unset() {
+        let tmp = TempDir::new("slog-spans-defer");
+        let mut log = ShardLog::init_fresh(
+            tmp.path(),
+            &Database::default(),
+            &config(SyncPolicy::EveryN(10)),
+        )
+        .unwrap();
+        log.append_set(1, record_for(1)).unwrap();
+        assert!(log.commit().unwrap().is_none());
+        assert!(
+            log.last_sync_at().is_none(),
+            "a deferred commit must not report an fsync instant"
+        );
     }
 
     #[test]

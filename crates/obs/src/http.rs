@@ -1,0 +1,241 @@
+//! A minimal std-only HTTP/1.1 GET handler for the metrics endpoint.
+//!
+//! [`MetricsHttp`] binds a `TcpListener`, spawns one accept-loop thread,
+//! and serves each request from a render callback. It understands exactly
+//! enough HTTP for a Prometheus scraper or `curl`: the request line is
+//! parsed for method and path, headers are read to the blank line and
+//! discarded, and the response carries `Content-Length` and
+//! `Connection: close`. Anything beyond `GET /metrics` (or `GET /`) gets
+//! a 404; non-GET methods get a 405. One connection at a time — a scrape
+//! endpoint polled every few seconds does not need more.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A background metrics HTTP server. Shuts down on [`MetricsHttp::stop`]
+/// or drop.
+pub struct MetricsHttp {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsHttp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHttp")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsHttp {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port — see
+    /// [`MetricsHttp::local_addr`]) and starts serving. `render` is called
+    /// once per `GET /metrics` and must return the full exposition text.
+    pub fn serve<F>(addr: &str, render: F) -> std::io::Result<Self>
+    where
+        F: Fn() -> String + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-http".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Ignore per-connection errors: a scraper that hangs up
+                    // mid-response must not take the endpoint down.
+                    let _ = handle_conn(stream, &render);
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept() by connecting to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttp {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_conn<F: Fn() -> String>(stream: TcpStream, render: &F) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain the headers; we don't use any of them.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut stream = stream;
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" | "/" => {
+            let body = render();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Issues a plain HTTP/1.1 GET for `path` against `addr` and returns
+/// `(status_line, body)`. A test/CI helper — also used by the obs-smoke
+/// scrape script — not a general HTTP client.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: metrics\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    let mut in_body = false;
+    let mut body = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if in_body {
+            body.push_str(&line);
+        } else if line.trim_end().is_empty() {
+            in_body = true;
+        }
+    }
+    Ok((status.trim_end().to_string(), body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let server = MetricsHttp::serve("127.0.0.1:0", || "p4lru_up 1\n".to_string()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "p4lru_up 1\n");
+
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert!(status.contains("404"), "{status}");
+    }
+
+    #[test]
+    fn root_path_serves_metrics_too() {
+        let server = MetricsHttp::serve("127.0.0.1:0", || "x 2\n".to_string()).unwrap();
+        let (status, body) = http_get(server.local_addr(), "/").unwrap();
+        assert!(status.contains("200"));
+        assert_eq!(body, "x 2\n");
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let server = MetricsHttp::serve("127.0.0.1:0", String::new).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.contains("405"), "{status}");
+    }
+
+    #[test]
+    fn stop_joins_the_thread_and_frees_the_port() {
+        let mut server = MetricsHttp::serve("127.0.0.1:0", String::new).unwrap();
+        let addr = server.local_addr();
+        server.stop();
+        // After stop the listener is gone; a fresh bind to the port works.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok());
+    }
+
+    #[test]
+    fn render_reflects_live_state() {
+        use std::sync::atomic::AtomicU64;
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let server = MetricsHttp::serve("127.0.0.1:0", move || {
+            format!("c {}\n", c.load(Ordering::Relaxed))
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let (_, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(body, "c 0\n");
+        counter.store(41, Ordering::Relaxed);
+        let (_, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(body, "c 41\n");
+    }
+}

@@ -1,0 +1,137 @@
+//! A periodic background sampler.
+//!
+//! [`Periodic`] runs a callback on a fixed interval in its own thread —
+//! the server uses it to append `StatsReport` deltas as JSONL into the
+//! data dir. Shutdown (explicit [`Periodic::stop`] or drop) wakes the
+//! thread immediately via a channel instead of waiting out the interval,
+//! and fires one final tick so short-lived runs still produce at least one
+//! sample.
+
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A background thread invoking a callback every `interval`.
+pub struct Periodic {
+    stop_tx: Option<Sender<()>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Periodic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Periodic")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl Periodic {
+    /// Spawns the sampler. `tick` receives the 1-based tick number; the
+    /// final shutdown tick reuses the next number in sequence.
+    pub fn spawn<F>(interval: Duration, tick: F) -> Self
+    where
+        F: FnMut(u64) + Send + 'static,
+    {
+        let (stop_tx, stop_rx) = channel::<()>();
+        let mut tick = tick;
+        let handle = std::thread::Builder::new()
+            .name("sampler".into())
+            .spawn(move || {
+                let mut n = 0u64;
+                loop {
+                    match stop_rx.recv_timeout(interval) {
+                        Err(RecvTimeoutError::Timeout) => {
+                            n += 1;
+                            tick(n);
+                        }
+                        // Stop requested (or the handle was leaked and the
+                        // sender dropped): flush a final sample and exit.
+                        Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                            tick(n + 1);
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn sampler thread");
+        Self {
+            stop_tx: Some(stop_tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler, firing one final tick, and joins the thread.
+    pub fn stop(&mut self) {
+        if let Some(tx) = self.stop_tx.take() {
+            let _ = tx.send(());
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Periodic {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn ticks_on_the_interval() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let mut p = Periodic::spawn(Duration::from_millis(5), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        p.stop();
+        let n = count.load(Ordering::Relaxed);
+        assert!(n >= 2, "expected several ticks in 40ms at 5ms, got {n}");
+    }
+
+    #[test]
+    fn stop_fires_a_final_tick_even_before_the_first_interval() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let mut p = Periodic::spawn(Duration::from_secs(3600), move |n| {
+            c.store(n, Ordering::Relaxed);
+        });
+        p.stop();
+        assert_eq!(count.load(Ordering::Relaxed), 1, "shutdown tick ran");
+    }
+
+    #[test]
+    fn drop_is_stop() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        {
+            let _p = Periodic::spawn(Duration::from_secs(3600), move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn tick_numbers_are_sequential() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let mut p = Periodic::spawn(Duration::from_millis(3), move |n| {
+            s.lock().unwrap().push(n);
+        });
+        std::thread::sleep(Duration::from_millis(25));
+        p.stop();
+        let ticks = seen.lock().unwrap();
+        assert!(!ticks.is_empty());
+        for (i, &n) in ticks.iter().enumerate() {
+            assert_eq!(n, i as u64 + 1);
+        }
+    }
+}

@@ -280,6 +280,24 @@ fn main() -> ExitCode {
                             t.recovery_us as f64 / 1e3,
                         );
                     }
+                    if t.get_latency.count > 0 {
+                        println!(
+                            "  server-side latency (decode→flush): GET p50={:.1}us p95={:.1}us p99={:.1}us, SET p99={:.1}us",
+                            t.get_latency.p50_us,
+                            t.get_latency.p95_us,
+                            t.get_latency.p99_us,
+                            t.set_latency.p99_us,
+                        );
+                    }
+                    if !stats.stages.is_empty() {
+                        let line = stats
+                            .stages
+                            .iter()
+                            .map(|s| format!("{}={:.1}us", s.stage, s.p99_us))
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        println!("  stage p99s: {line}");
+                    }
                     hits = Some(t.hits);
                     notes.push(format!(
                         "server: shards={} gets={} hits={} misses={} absent={} sets={} evictions={} index_visits={} hit_rate={:.4} store_len={}",
@@ -295,6 +313,15 @@ fn main() -> ExitCode {
                         notes.push(format!(
                             "durability: wal_appends={} wal_fsyncs={} snapshots={} recovery_replayed={}",
                             t.wal_appends, t.wal_fsyncs, t.snapshots, t.recovery_replayed
+                        ));
+                    }
+                    if t.get_latency.count > 0 {
+                        notes.push(format!(
+                            "server_latency: get_p50_us={:.1} get_p95_us={:.1} get_p99_us={:.1} set_p99_us={:.1}",
+                            t.get_latency.p50_us,
+                            t.get_latency.p95_us,
+                            t.get_latency.p99_us,
+                            t.set_latency.p99_us
                         ));
                     }
                 }

@@ -5,8 +5,14 @@
 //! WAL (sync policy from `--sync`), snapshots are sealed every
 //! `--snapshot-every` appends, and a restart against the same directory
 //! recovers the store instead of repopulating it.
+//!
+//! Observability: `--metrics-addr` serves Prometheus text at `/metrics`,
+//! `--slow-op-us` logs per-stage breakdowns of slow requests to stderr,
+//! `--sample-interval-ms` appends stats deltas as JSONL, and `--trace off`
+//! turns request stamping off entirely (the overhead-measurement baseline).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use p4lru_durable::SyncPolicy;
 use p4lru_server::server::{Server, ServerConfig, StartMode};
@@ -30,6 +36,17 @@ OPTIONS:
                         [default: always]
   --snapshot-every <n>  appends between snapshots; 0 disables
                         [default: 100000]
+  --trace <on|off>      request-lifecycle tracing  [default: on]
+  --trace-sample <n>    trace one request in n (1 = every request)
+                        [default: 64]
+  --slow-op-us <n>      slow-op threshold (microseconds); crossing it logs
+                        the request's per-stage breakdown to stderr
+                        [default: 10000]
+  --metrics-addr <a>    serve Prometheus text-format at http://<a>/metrics
+  --sample-interval-ms <n>
+                        append a stats JSONL line every n ms (to
+                        --sample-file, or <data-dir>/samples.jsonl)
+  --sample-file <path>  where the sampler writes its JSONL
   -h, --help            print this help
 ";
 
@@ -60,6 +77,23 @@ fn parse_args() -> Result<ServerConfig, String> {
                     .map_err(|e| format!("bad value for {flag}: {e}"))?;
             }
             "--snapshot-every" => config.durability.snapshot_every = value.parse().map_err(bad)?,
+            "--trace" => {
+                config.obs.enabled = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad value for --trace: {other} (on|off)")),
+                };
+            }
+            "--trace-sample" => config.obs.sample_every = value.parse().map_err(bad)?,
+            "--slow-op-us" => {
+                config.obs.slow_op_us = value.parse().map_err(bad)?;
+                config.log_slow = true;
+            }
+            "--metrics-addr" => config.metrics_addr = Some(value),
+            "--sample-interval-ms" => {
+                config.sample_interval = Some(Duration::from_millis(value.parse().map_err(bad)?));
+            }
+            "--sample-file" => config.sample_path = Some(value.into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -112,6 +146,9 @@ fn main() -> ExitCode {
         config.items,
         capacity
     );
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics: http://{addr}/metrics");
+    }
     let stats = server.wait();
     println!("shutdown: final stats");
     for s in &stats.shards {
@@ -134,6 +171,21 @@ fn main() -> ExitCode {
             t.wal_fsync_max_ns as f64 / 1e3,
             t.snapshots,
         );
+    }
+    if t.get_latency.count > 0 {
+        println!(
+            "  server-side GET latency: p50={:.1}us p95={:.1}us p99={:.1}us (n={})",
+            t.get_latency.p50_us, t.get_latency.p95_us, t.get_latency.p99_us, t.get_latency.count,
+        );
+    }
+    if !stats.stages.is_empty() {
+        let line = stats
+            .stages
+            .iter()
+            .map(|s| format!("{}={:.1}us", s.stage, s.p99_us))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  stage p99s: {line}");
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,478 @@
+//! Turning the server's counters into external formats: the STATS report,
+//! the Prometheus `/metrics` document, and the background sampler's JSONL.
+//!
+//! Everything here reads the same sources — the shards' atomic
+//! [`ShardMetrics`] and the [`Tracer`]'s stage histograms — so the three
+//! views stay mutually consistent: a `/metrics` scrape and a STATS request
+//! at the same instant report the same counters bucket for bucket (the
+//! integration tests cross-check them).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use p4lru_obs::trace::{STAGES, STAGE_NAMES};
+use p4lru_obs::{Expo, Tracer};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{ShardMetrics, ShardSnapshot, StageSummary, StatsReport};
+
+/// Builds the STATS report: per-shard snapshots, their totals, and — when
+/// tracing is on — per-stage duration summaries from the tracer. `decode`
+/// is skipped: it is the trace's time origin, so it has no duration.
+pub fn build_report(metrics: &[Arc<ShardMetrics>], tracer: &Tracer) -> StatsReport {
+    let report = StatsReport::from_shards(
+        metrics
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.snapshot(i))
+            .collect(),
+    );
+    if !tracer.is_enabled() {
+        return report;
+    }
+    let stages = STAGES[1..]
+        .iter()
+        .map(|&stage| {
+            StageSummary::from_hist(STAGE_NAMES[stage as usize], &tracer.stage_snapshot(stage))
+        })
+        .collect();
+    report.with_stages(stages)
+}
+
+/// Emits one metric family with a per-shard sample.
+fn family(
+    e: &mut Expo,
+    shards: &[ShardSnapshot],
+    name: &str,
+    kind: &str,
+    help: &str,
+    value: impl Fn(&ShardSnapshot) -> f64,
+) {
+    e.meta(name, kind, help);
+    for s in shards {
+        let shard = s.shard.to_string();
+        e.sample(name, &[("shard", &shard)], value(s));
+    }
+}
+
+/// Renders the full Prometheus text-format document served at `/metrics`.
+pub fn render_prometheus(metrics: &[Arc<ShardMetrics>], tracer: &Tracer) -> String {
+    let shards: Vec<ShardSnapshot> = metrics
+        .iter()
+        .enumerate()
+        .map(|(i, m)| m.snapshot(i))
+        .collect();
+    let mut e = Expo::new();
+
+    e.meta("p4lru_shards", "gauge", "Number of shards.").sample(
+        "p4lru_shards",
+        &[],
+        shards.len() as f64,
+    );
+
+    family(
+        &mut e,
+        &shards,
+        "p4lru_hits_total",
+        "counter",
+        "GETs answered from the front cache.",
+        |s| s.hits as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_misses_total",
+        "counter",
+        "GETs that walked the backing index.",
+        |s| s.misses as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_absent_total",
+        "counter",
+        "GETs for keys not in the backing store.",
+        |s| s.absent as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_sets_total",
+        "counter",
+        "SETs applied.",
+        |s| s.sets as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_dels_total",
+        "counter",
+        "DELs applied.",
+        |s| s.dels as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_evictions_total",
+        "counter",
+        "Front-cache entries evicted.",
+        |s| s.evictions as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_index_visits_total",
+        "counter",
+        "B+Tree nodes visited on slow paths.",
+        |s| s.index_visits as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_wal_appends_total",
+        "counter",
+        "WAL records appended.",
+        |s| s.wal_appends as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_wal_fsyncs_total",
+        "counter",
+        "WAL fsyncs issued (group commit).",
+        |s| s.wal_fsyncs as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_wal_fsync_seconds_total",
+        "counter",
+        "Total time spent in WAL fsyncs.",
+        |s| s.wal_fsync_ns as f64 / 1e9,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_snapshots_total",
+        "counter",
+        "Snapshots sealed since startup.",
+        |s| s.snapshots as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_commit_batches_total",
+        "counter",
+        "Commit batches run (one group commit each).",
+        |s| s.batches as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_commit_batch_ops_total",
+        "counter",
+        "Requests covered by commit batches.",
+        |s| s.batch_ops as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_store_len",
+        "gauge",
+        "Records currently in the backing store.",
+        |s| s.store_len as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_queue_depth",
+        "gauge",
+        "Requests queued on the shard channel.",
+        |s| s.queue_depth as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_recovery_seconds",
+        "gauge",
+        "Wall time of the last startup recovery.",
+        |s| s.recovery_us as f64 / 1e6,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_recovery_replayed",
+        "gauge",
+        "WAL records replayed by the last startup recovery.",
+        |s| s.recovery_replayed as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_recovery_torn",
+        "gauge",
+        "1 if the last recovery skipped a torn final WAL record.",
+        |s| s.recovery_torn as f64,
+    );
+
+    e.meta(
+        "p4lru_request_seconds",
+        "histogram",
+        "Server-side request latency (decode to flush), per shard and op.",
+    );
+    for s in &shards {
+        let shard = s.shard.to_string();
+        for (op, summary) in [
+            ("get", &s.get_latency),
+            ("set", &s.set_latency),
+            ("del", &s.del_latency),
+        ] {
+            e.histogram(
+                "p4lru_request_seconds",
+                &[("shard", &shard), ("op", op)],
+                &summary.to_hist(),
+            );
+        }
+    }
+
+    if tracer.is_enabled() {
+        e.meta(
+            "p4lru_stage_seconds",
+            "histogram",
+            "Per-lifecycle-stage duration (time since the previous stage).",
+        );
+        for &stage in &STAGES[1..] {
+            e.histogram(
+                "p4lru_stage_seconds",
+                &[("stage", STAGE_NAMES[stage as usize])],
+                &tracer.stage_snapshot(stage),
+            );
+        }
+        e.meta(
+            "p4lru_traced_requests_total",
+            "counter",
+            "Requests whose lifecycle trace completed.",
+        )
+        .sample(
+            "p4lru_traced_requests_total",
+            &[],
+            tracer.finished_count() as f64,
+        );
+        e.meta(
+            "p4lru_slow_ops_total",
+            "counter",
+            "Traced requests past the slow-op threshold.",
+        )
+        .sample("p4lru_slow_ops_total", &[], tracer.slow_op_count() as f64);
+    }
+
+    e.finish()
+}
+
+/// One line of the background sampler's JSONL: cumulative totals plus the
+/// delta since the previous line (so a plot does not have to difference).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleLine {
+    /// 1-based tick number (the shutdown flush reuses the next number).
+    pub tick: u64,
+    /// Cumulative GETs across shards.
+    pub gets: u64,
+    /// Cumulative SETs.
+    pub sets: u64,
+    /// Cumulative DELs.
+    pub dels: u64,
+    /// Cumulative front-cache hits.
+    pub hits: u64,
+    /// Cumulative misses.
+    pub misses: u64,
+    /// Shard-queue depth at sample time (gauge, not differenced).
+    pub queue_depth: u64,
+    /// Traces finished since startup.
+    pub traced: u64,
+    /// Slow ops seen since startup.
+    pub slow_ops: u64,
+    /// Server-side GET p50, microseconds (0 until traced GETs exist).
+    pub get_p50_us: f64,
+    /// Server-side GET p99, microseconds.
+    pub get_p99_us: f64,
+    /// GETs since the previous line.
+    pub gets_delta: u64,
+    /// SETs since the previous line.
+    pub sets_delta: u64,
+    /// DELs since the previous line.
+    pub dels_delta: u64,
+    /// Hits since the previous line.
+    pub hits_delta: u64,
+}
+
+/// Appends one [`SampleLine`] per tick to a JSONL file. Owned by the
+/// [`p4lru_obs::Periodic`] thread; a write failure drops that tick only.
+pub struct StatsSampler {
+    file: File,
+    prev: SampleLine,
+}
+
+impl std::fmt::Debug for StatsSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsSampler")
+            .field("last_tick", &self.prev.tick)
+            .finish()
+    }
+}
+
+impl StatsSampler {
+    /// Opens (appending) the JSONL file, creating parent directories.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            file,
+            prev: SampleLine::default(),
+        })
+    }
+
+    /// Takes one sample and appends it as a JSON line.
+    pub fn tick(
+        &mut self,
+        tick: u64,
+        metrics: &[Arc<ShardMetrics>],
+        tracer: &Tracer,
+    ) -> io::Result<()> {
+        let report = build_report(metrics, tracer);
+        let t = &report.totals;
+        let line = SampleLine {
+            tick,
+            gets: t.gets,
+            sets: t.sets,
+            dels: t.dels,
+            hits: t.hits,
+            misses: t.misses,
+            queue_depth: t.queue_depth,
+            traced: tracer.finished_count(),
+            slow_ops: tracer.slow_op_count(),
+            get_p50_us: t.get_latency.p50_us,
+            get_p99_us: t.get_latency.p99_us,
+            gets_delta: t.gets.saturating_sub(self.prev.gets),
+            sets_delta: t.sets.saturating_sub(self.prev.sets),
+            dels_delta: t.dels.saturating_sub(self.prev.dels),
+            hits_delta: t.hits.saturating_sub(self.prev.hits),
+        };
+        let json = serde_json::to_string(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        self.file.write_all(json.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.prev = line;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4lru_obs::trace::{OpKind, Stage};
+    use p4lru_obs::ObsConfig;
+
+    fn sources() -> (Vec<Arc<ShardMetrics>>, Tracer) {
+        let metrics: Vec<Arc<ShardMetrics>> =
+            (0..2).map(|_| Arc::new(ShardMetrics::default())).collect();
+        metrics[0].hit();
+        metrics[0].miss(2);
+        metrics[1].set(1);
+        metrics[0].record_op_latency(OpKind::Get, 3_000);
+        let tracer = Tracer::new(&ObsConfig::default());
+        let mut trace = tracer.start(OpKind::Get, 0);
+        tracer.stamp(&mut trace, Stage::Decode);
+        tracer.stamp(&mut trace, Stage::Flush);
+        tracer.finish(trace).unwrap();
+        (metrics, tracer)
+    }
+
+    #[test]
+    fn report_carries_stage_summaries_when_tracing() {
+        let (metrics, tracer) = sources();
+        let report = build_report(&metrics, &tracer);
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.totals.gets, 2);
+        // Seven summaries: every stage but `decode` (the time origin).
+        assert_eq!(report.stages.len(), 7);
+        assert_eq!(report.stages[0].stage, "route");
+        assert_eq!(report.stages[6].stage, "flush");
+        assert!(report.stages.iter().all(|s| s.count == 1));
+    }
+
+    #[test]
+    fn report_omits_stages_when_tracing_is_off() {
+        let (metrics, _) = sources();
+        let tracer = Tracer::new(&ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        });
+        assert!(build_report(&metrics, &tracer).stages.is_empty());
+    }
+
+    #[test]
+    fn prometheus_document_covers_counters_gauges_and_histograms() {
+        let (metrics, tracer) = sources();
+        let text = render_prometheus(&metrics, &tracer);
+        assert!(text.contains("# TYPE p4lru_hits_total counter"));
+        assert!(text.contains("p4lru_hits_total{shard=\"0\"} 1\n"));
+        assert!(text.contains("p4lru_hits_total{shard=\"1\"} 0\n"));
+        assert!(text.contains("p4lru_sets_total{shard=\"1\"} 1\n"));
+        assert!(text.contains("# TYPE p4lru_queue_depth gauge"));
+        assert!(text.contains("# TYPE p4lru_request_seconds histogram"));
+        assert!(text.contains("p4lru_request_seconds_count{shard=\"0\",op=\"get\"} 1\n"));
+        assert!(text.contains("p4lru_stage_seconds_count{stage=\"flush\"} 1\n"));
+        assert!(text.contains("p4lru_traced_requests_total 1\n"));
+        assert!(text.contains("p4lru_shards 2\n"));
+    }
+
+    #[test]
+    fn prometheus_document_drops_tracer_families_when_off() {
+        let (metrics, _) = sources();
+        let tracer = Tracer::new(&ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        });
+        let text = render_prometheus(&metrics, &tracer);
+        assert!(!text.contains("p4lru_stage_seconds"));
+        assert!(!text.contains("p4lru_traced_requests_total"));
+        assert!(text.contains("p4lru_hits_total{shard=\"0\"} 1\n"));
+    }
+
+    #[test]
+    fn sampler_appends_jsonl_with_deltas() {
+        let (metrics, tracer) = sources();
+        let path = std::env::temp_dir().join(format!(
+            "p4lru-sampler-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut sampler = StatsSampler::create(&path).unwrap();
+        sampler.tick(1, &metrics, &tracer).unwrap();
+        metrics[0].hit();
+        metrics[0].hit();
+        sampler.tick(2, &metrics, &tracer).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<SampleLine> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].tick, 1);
+        assert_eq!(lines[0].gets, 2);
+        assert_eq!(lines[0].gets_delta, 2, "first delta is from zero");
+        assert_eq!(lines[1].gets, 4);
+        assert_eq!(lines[1].gets_delta, 2);
+        assert_eq!(lines[1].hits_delta, 2);
+        assert!(lines[1].gets >= lines[0].gets, "cumulatives are monotone");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -20,11 +20,18 @@
 //! of order over one long-lived per-connection channel, and the handler
 //! reorders by sequence number so the wire always sees responses in request
 //! order.
+//!
+//! Observability (DESIGN.md §10): every request carries a
+//! [`p4lru_obs::RequestTrace`] stamped at eight lifecycle stages, feeding
+//! per-shard per-op latency histograms (in STATS) and a slow-op log; the
+//! [`expose`] module renders the same counters as a Prometheus `/metrics`
+//! document and as the background sampler's JSONL.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod expose;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -32,7 +39,10 @@ pub mod server;
 pub mod shard;
 
 pub use client::Client;
-pub use metrics::{LatencyHistogram, ShardMetrics, ShardSnapshot, StatsReport};
+pub use expose::{build_report, render_prometheus, StatsSampler};
+pub use metrics::{
+    LatencyHistogram, LatencySummary, ShardMetrics, ShardSnapshot, StageSummary, StatsReport,
+};
 pub use protocol::{FrameReader, FrameWriter, Request, Response};
 pub use server::{shard_of, Server, ServerConfig};
 pub use shard::Shard;

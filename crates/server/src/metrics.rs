@@ -1,9 +1,13 @@
 //! Per-shard metrics: lock-free atomic counters readable by any thread
-//! (STATS never has to queue behind the shard's request channel), plus a
+//! (STATS never has to queue behind the shard's request channel), per-op
+//! server-side latency histograms fed by the span tracer, plus a
 //! log₂-bucketed latency histogram for the load generator's client side.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use p4lru_obs::hist::HistSnapshot;
+use p4lru_obs::trace::{OpKind, NUM_OPS};
+use p4lru_obs::AtomicHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Atomic hit/miss/slow-path counters owned by one shard, shared via `Arc`
@@ -54,6 +58,10 @@ pub struct ShardMetrics {
     pub batch_ops: AtomicU64,
     /// Deepest single commit batch seen.
     pub batch_max: AtomicU64,
+    /// Server-side end-to-end latency (decode → flush) per op-type, fed by
+    /// the span tracer when a traced request's response hits the wire.
+    /// Indexed by `OpKind as usize`.
+    pub op_latency: [AtomicHistogram; NUM_OPS],
 }
 
 impl ShardMetrics {
@@ -122,9 +130,24 @@ impl ShardMetrics {
         Self::bump(&self.queue_depth, 1);
     }
 
-    /// Records a request dequeued by the shard loop.
+    /// Records a request dequeued by the shard loop. The decrement
+    /// saturates at zero: `queue_depth` is a gauge assembled from two
+    /// unsynchronized counters (handlers push, the shard loop pops), and a
+    /// pop observed before its matching push must read as a transient 0 in
+    /// STATS, never wrap to ~`u64::MAX`.
     pub fn queue_pop(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let prev = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            })
+            .expect("fetch_update closure never returns None");
+        debug_assert!(prev > 0, "queue_pop without a matching queue_push");
+    }
+
+    /// Records a traced request's server-side end-to-end latency.
+    pub fn record_op_latency(&self, op: OpKind, ns: u64) {
+        self.op_latency[op as usize].record_ns(ns);
     }
 
     /// Records one commit batch of `len` requests (one group commit).
@@ -186,6 +209,100 @@ impl ShardMetrics {
             } else {
                 batch_ops as f64 / batches as f64
             },
+            get_latency: LatencySummary::from_hist(
+                &self.op_latency[OpKind::Get as usize].snapshot(),
+            ),
+            set_latency: LatencySummary::from_hist(
+                &self.op_latency[OpKind::Set as usize].snapshot(),
+            ),
+            del_latency: LatencySummary::from_hist(
+                &self.op_latency[OpKind::Del as usize].snapshot(),
+            ),
+        }
+    }
+}
+
+/// Quantile summary of one latency histogram, as carried by STATS. The raw
+/// log₂ buckets ride along so shard summaries merge exactly into totals
+/// (and so `/metrics` and STATS can be cross-checked bucket for bucket).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency, microseconds (0 when empty).
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Exact nanosecond sum of all samples (Prometheus `_sum`).
+    pub sum_ns: u64,
+    /// The raw log₂ nanosecond buckets (64 entries).
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// A summary of zero samples.
+    pub fn empty() -> Self {
+        Self::from_hist(&HistSnapshot::empty())
+    }
+
+    /// Summarizes a histogram snapshot.
+    pub fn from_hist(snap: &HistSnapshot) -> Self {
+        Self {
+            count: snap.count,
+            p50_us: snap.quantile_us(0.50),
+            p95_us: snap.quantile_us(0.95),
+            p99_us: snap.quantile_us(0.99),
+            sum_ns: snap.sum_ns,
+            buckets: snap.buckets.clone(),
+        }
+    }
+
+    /// Rebuilds the histogram the summary was cut from.
+    pub fn to_hist(&self) -> HistSnapshot {
+        let mut h = HistSnapshot::from_buckets(&self.buckets);
+        h.sum_ns = self.sum_ns;
+        h
+    }
+
+    /// Merges per-shard summaries into one (exact: bucket-wise addition,
+    /// quantiles recomputed from the merged buckets).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a LatencySummary>) -> Self {
+        let mut h = HistSnapshot::empty();
+        for p in parts {
+            h.merge(&p.to_hist());
+        }
+        Self::from_hist(&h)
+    }
+}
+
+/// Quantile summary of one lifecycle stage's duration (time since the
+/// previous stage), across all traced requests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage name (`decode`, `route`, `queue`, `wal_append`, `apply`,
+    /// `fsync`, `reorder`, `flush`).
+    pub stage: String,
+    /// Traced requests the stage was observed in.
+    pub count: u64,
+    /// Median stage duration, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile stage duration, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile stage duration, microseconds.
+    pub p99_us: f64,
+}
+
+impl StageSummary {
+    /// Summarizes one stage's duration histogram.
+    pub fn from_hist(stage: &str, snap: &HistSnapshot) -> Self {
+        Self {
+            stage: stage.to_string(),
+            count: snap.count,
+            p50_us: snap.quantile_us(0.50),
+            p95_us: snap.quantile_us(0.95),
+            p99_us: snap.quantile_us(0.99),
         }
     }
 }
@@ -227,9 +344,14 @@ pub struct ShardSnapshot {
     pub snapshots: u64,
     /// WAL records replayed by the last startup recovery.
     pub recovery_replayed: u64,
-    /// Microseconds the last startup recovery took.
+    /// Microseconds the last startup recovery took. In totals this is the
+    /// **max** across shards, not the sum: shards recover independently (in
+    /// parallel at startup), so the slowest shard is the recovery wall time
+    /// and a sum would misread it.
     pub recovery_us: u64,
-    /// Shards whose last recovery skipped a torn final WAL record.
+    /// 1 if this shard's last recovery skipped a torn/corrupt final WAL
+    /// record. In totals this is the **count** of such shards (a plain sum
+    /// of the 0/1 flags).
     pub recovery_torn: u64,
     /// Requests queued on the shard channel at snapshot time (gauge).
     pub queue_depth: u64,
@@ -241,15 +363,27 @@ pub struct ShardSnapshot {
     pub batch_max: u64,
     /// Mean requests per commit batch (`batch_ops / batches`).
     pub batch_mean: f64,
+    /// Server-side GET latency (decode → flush), traced requests only.
+    pub get_latency: LatencySummary,
+    /// Server-side SET latency (decode → flush), traced requests only.
+    pub set_latency: LatencySummary,
+    /// Server-side DEL latency (decode → flush), traced requests only.
+    pub del_latency: LatencySummary,
 }
 
-/// The STATS payload: one snapshot per shard plus their sum.
+/// The STATS payload: one snapshot per shard, their sum, and (when the
+/// server traces requests) per-lifecycle-stage duration summaries.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsReport {
     /// Per-shard snapshots, in shard order.
     pub shards: Vec<ShardSnapshot>,
-    /// Counters summed across shards (`shard` is the shard count).
+    /// Counters summed across shards (`shard` is the shard count;
+    /// `recovery_us`, `wal_fsync_max_ns`, and `batch_max` take the max —
+    /// see the field docs).
     pub totals: ShardSnapshot,
+    /// Per-stage duration summaries from the span tracer, in pipeline
+    /// order. Empty when tracing is off (or the report predates it).
+    pub stages: Vec<StageSummary>,
 }
 
 impl StatsReport {
@@ -280,6 +414,9 @@ impl StatsReport {
             batch_ops: 0,
             batch_max: 0,
             batch_mean: 0.0,
+            get_latency: LatencySummary::merged(shards.iter().map(|s| &s.get_latency)),
+            set_latency: LatencySummary::merged(shards.iter().map(|s| &s.set_latency)),
+            del_latency: LatencySummary::merged(shards.iter().map(|s| &s.del_latency)),
         };
         for s in &shards {
             totals.gets += s.gets;
@@ -297,7 +434,11 @@ impl StatsReport {
             totals.wal_fsync_max_ns = totals.wal_fsync_max_ns.max(s.wal_fsync_max_ns);
             totals.snapshots += s.snapshots;
             totals.recovery_replayed += s.recovery_replayed;
-            totals.recovery_us += s.recovery_us;
+            // Shards recover independently (in parallel at startup), so the
+            // slowest one is the recovery wall time; summing would inflate
+            // it by the shard count. `recovery_torn` stays a sum: each
+            // shard contributes 0 or 1, making the total a shard count.
+            totals.recovery_us = totals.recovery_us.max(s.recovery_us);
             totals.recovery_torn += s.recovery_torn;
             totals.queue_depth += s.queue_depth;
             totals.batches += s.batches;
@@ -310,7 +451,19 @@ impl StatsReport {
         if totals.batches > 0 {
             totals.batch_mean = totals.batch_ops as f64 / totals.batches as f64;
         }
-        Self { shards, totals }
+        Self {
+            shards,
+            totals,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Attaches per-stage duration summaries (the server fills these from
+    /// its tracer when building a report; `from_shards` alone cannot — the
+    /// stage histograms are tracer-global, not per-shard).
+    pub fn with_stages(mut self, stages: Vec<StageSummary>) -> Self {
+        self.stages = stages;
+        self
     }
 }
 
@@ -475,6 +628,85 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn queue_pop_saturates_instead_of_wrapping() {
+        let m = ShardMetrics::default();
+        m.queue_push();
+        m.queue_pop();
+        // A second pop with no matching push (a reordered pop racing its
+        // push) must leave the gauge at 0, not wrap to u64::MAX. The debug
+        // assertion that flags the mismatch is compiled out here.
+        if cfg!(debug_assertions) {
+            assert!(std::panic::catch_unwind(|| m.queue_pop()).is_err());
+        } else {
+            m.queue_pop();
+        }
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn recovery_totals_take_max_us_and_count_torn_shards() {
+        let a = ShardMetrics::default();
+        a.recovery(10, true, std::time::Duration::from_micros(400));
+        let b = ShardMetrics::default();
+        b.recovery(2, true, std::time::Duration::from_micros(900));
+        let c = ShardMetrics::default();
+        c.recovery(0, false, std::time::Duration::from_micros(100));
+        let report = StatsReport::from_shards(vec![a.snapshot(0), b.snapshot(1), c.snapshot(2)]);
+        assert_eq!(
+            report.totals.recovery_us, 900,
+            "wall time is the slowest shard, not the sum"
+        );
+        assert_eq!(report.totals.recovery_torn, 2, "count of torn shards");
+        assert_eq!(report.totals.recovery_replayed, 12);
+    }
+
+    #[test]
+    fn op_latency_summaries_merge_exactly_into_totals() {
+        let a = ShardMetrics::default();
+        a.record_op_latency(OpKind::Get, 1_000);
+        a.record_op_latency(OpKind::Get, 2_000);
+        a.record_op_latency(OpKind::Set, 50_000);
+        let b = ShardMetrics::default();
+        b.record_op_latency(OpKind::Get, 4_000_000);
+        let report = StatsReport::from_shards(vec![a.snapshot(0), b.snapshot(1)]);
+        assert_eq!(report.totals.get_latency.count, 3);
+        assert_eq!(report.totals.set_latency.count, 1);
+        assert_eq!(report.totals.del_latency.count, 0);
+        assert_eq!(report.totals.get_latency.sum_ns, 1_000 + 2_000 + 4_000_000);
+        let total_buckets: u64 = report.totals.get_latency.buckets.iter().sum();
+        assert_eq!(total_buckets, 3, "totals merge bucket-wise");
+        assert!(
+            report.totals.get_latency.p99_us > 1_000.0,
+            "p99 sees shard 1's 4ms GET"
+        );
+        assert!(report.totals.get_latency.p50_us < 10.0);
+
+        // Round-trips through STATS JSON, buckets and all.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(
+            back.totals.get_latency.to_hist().quantile_us(0.5),
+            report.totals.get_latency.p50_us
+        );
+    }
+
+    #[test]
+    fn stage_summaries_ride_on_the_report() {
+        let h = AtomicHistogram::new();
+        h.record_ns(5_000);
+        let stage = p4lru_obs::trace::STAGE_NAMES[2];
+        let report = StatsReport::from_shards(vec![ShardMetrics::default().snapshot(0)])
+            .with_stages(vec![StageSummary::from_hist(stage, &h.snapshot())]);
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].stage, "queue");
+        assert_eq!(report.stages[0].count, 1);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stages, report.stages);
     }
 
     #[test]

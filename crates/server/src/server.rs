@@ -12,6 +12,15 @@
 //! wire in request order no matter which shard finished first. STATS reads
 //! the shards' atomic counters directly, so it never queues behind the
 //! data path.
+//!
+//! Observability (DESIGN.md §10) rides the same paths: every request
+//! carries a [`p4lru_obs::RequestTrace`] that the handler and shard threads
+//! stamp at each lifecycle stage (decode → route → queue → wal-append →
+//! apply → fsync/commit-gate → reorder → flush); completed traces feed the
+//! per-shard per-op latency histograms, the tracer's stage histograms, and
+//! — past [`p4lru_obs::ObsConfig::slow_op_us`] — the slow-op ring and log.
+//! `--metrics-addr` serves it all as Prometheus text, and an optional
+//! background sampler appends [`StatsReport`] deltas as JSONL.
 
 use std::collections::BTreeMap;
 use std::io::{self, Write};
@@ -27,7 +36,10 @@ use p4lru_core::hashing::hash_u64;
 use p4lru_durable::DurabilityConfig;
 use p4lru_kvstore::db::record_for;
 use p4lru_kvstore::slab::Record;
+use p4lru_obs::trace::Stage;
+use p4lru_obs::{MetricsHttp, ObsConfig, OpKind, Periodic, RequestTrace, Tracer};
 
+use crate::expose::{build_report, render_prometheus, StatsSampler};
 use crate::metrics::{ShardMetrics, StatsReport};
 use crate::protocol::{encode_value, FrameReader, FrameWriter, Request, Response};
 use crate::shard::{record_from_bytes, Shard};
@@ -75,6 +87,21 @@ pub struct ServerConfig {
     /// pipelined client is capped here so a firehose peer cannot queue
     /// unbounded work.
     pub pipeline_window: usize,
+    /// Span tracing: whether requests are stamped at all, ring sizes, and
+    /// the slow-op threshold.
+    pub obs: ObsConfig,
+    /// Print each slow op's per-stage breakdown to stderr (`serverd
+    /// --slow-op-us` turns this on; tests read the slow ring instead).
+    pub log_slow: bool,
+    /// Address for the Prometheus `/metrics` HTTP endpoint; `None` serves
+    /// no HTTP (STATS over the binary protocol still works).
+    pub metrics_addr: Option<String>,
+    /// Cadence of the background stats sampler; `None` runs no sampler.
+    pub sample_interval: Option<Duration>,
+    /// Where the sampler appends its JSONL lines. Defaults to
+    /// `<data_dir>/samples.jsonl`; required explicitly when sampling a
+    /// volatile server (no data dir to default into).
+    pub sample_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +115,11 @@ impl Default for ServerConfig {
             data_dir: None,
             durability: DurabilityConfig::default(),
             pipeline_window: 64,
+            obs: ObsConfig::default(),
+            log_slow: false,
+            metrics_addr: None,
+            sample_interval: None,
+            sample_path: None,
         }
     }
 }
@@ -132,20 +164,30 @@ impl ShardReply {
     }
 }
 
+/// What rides back on a connection's reply channel: the request's sequence
+/// number, the shard's answer, and the request's lifecycle trace (stamped
+/// through queue/wal-append/apply/fsync by the shard loop; the pump adds
+/// reorder/flush).
+type Reply = (u64, ShardReply, RequestTrace);
+
 struct ShardRequest {
     op: ShardOp,
     /// Position in the connection's request order; echoed back so the pump
     /// can reorder replies that raced across shards.
     seq: u64,
+    /// This request's lifecycle trace (decode/route stamped by dispatch).
+    trace: RequestTrace,
     /// The connection's long-lived reply channel (one per connection, not
     /// per request — dispatch allocates nothing).
-    reply: Sender<(u64, ShardReply)>,
+    reply: Sender<Reply>,
 }
 
 /// What the accept loop hands every connection handler.
 struct Ctx {
     senders: Vec<Sender<ShardRequest>>,
     metrics: Vec<Arc<ShardMetrics>>,
+    tracer: Arc<Tracer>,
+    log_slow: bool,
     running: Arc<AtomicBool>,
     local_addr: SocketAddr,
     pipeline_window: u64,
@@ -161,6 +203,9 @@ pub struct Server {
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     senders: Vec<Sender<ShardRequest>>,
     metrics: Vec<Arc<ShardMetrics>>,
+    tracer: Arc<Tracer>,
+    metrics_http: Option<MetricsHttp>,
+    sampler: Option<Periodic>,
     start_mode: StartMode,
 }
 
@@ -301,16 +346,18 @@ impl Server {
         assert!(config.pipeline_window >= 1, "window admits one request");
         let (shards, start_mode) = build_shards(config)?;
         let metrics: Vec<Arc<ShardMetrics>> = shards.iter().map(Shard::metrics).collect();
+        let tracer = Arc::new(Tracer::new(&config.obs));
 
         let mut senders = Vec::with_capacity(config.shards);
         let mut shard_handles = Vec::with_capacity(config.shards);
         for (i, mut shard) in shards.into_iter().enumerate() {
             let (tx, rx): (Sender<ShardRequest>, Receiver<ShardRequest>) = mpsc::channel();
             senders.push(tx);
+            let tracer = Arc::clone(&tracer);
             shard_handles.push(
                 thread::Builder::new()
                     .name(format!("p4lru-shard-{i}"))
-                    .spawn(move || shard_loop(&mut shard, &rx))?,
+                    .spawn(move || shard_loop(&mut shard, &rx, &tracer))?,
             );
         }
 
@@ -321,6 +368,8 @@ impl Server {
         let ctx = Arc::new(Ctx {
             senders: senders.clone(),
             metrics: metrics.clone(),
+            tracer: Arc::clone(&tracer),
+            log_slow: config.log_slow,
             running: Arc::clone(&running),
             local_addr,
             pipeline_window: config.pipeline_window as u64,
@@ -332,6 +381,41 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &ctx, &handlers))?
         };
 
+        let metrics_http = match &config.metrics_addr {
+            Some(addr) => {
+                let metrics = metrics.clone();
+                let tracer = Arc::clone(&tracer);
+                Some(MetricsHttp::serve(addr, move || {
+                    render_prometheus(&metrics, &tracer)
+                })?)
+            }
+            None => None,
+        };
+
+        let sampler = match config.sample_interval {
+            Some(interval) => {
+                let path = config
+                    .sample_path
+                    .clone()
+                    .or_else(|| config.data_dir.as_ref().map(|d| d.join("samples.jsonl")))
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "sampling needs a sample_path (or a data_dir to default into)",
+                        )
+                    })?;
+                let mut sampler = StatsSampler::create(&path)?;
+                let metrics = metrics.clone();
+                let tracer = Arc::clone(&tracer);
+                Some(Periodic::spawn(interval, move |tick| {
+                    // A full disk (or yanked dir) must not take the data
+                    // path down; the sampler just drops that tick.
+                    let _ = sampler.tick(tick, &metrics, &tracer);
+                }))
+            }
+            None => None,
+        };
+
         Ok(Server {
             local_addr,
             running,
@@ -340,6 +424,9 @@ impl Server {
             handlers,
             senders,
             metrics,
+            tracer,
+            metrics_http,
+            sampler,
             start_mode,
         })
     }
@@ -354,15 +441,21 @@ impl Server {
         self.start_mode
     }
 
-    /// A stats report straight from the shards' atomic counters.
+    /// A stats report straight from the shards' atomic counters, with the
+    /// tracer's per-stage summaries attached when tracing is on.
     pub fn stats(&self) -> StatsReport {
-        StatsReport::from_shards(
-            self.metrics
-                .iter()
-                .enumerate()
-                .map(|(i, m)| m.snapshot(i))
-                .collect(),
-        )
+        build_report(&self.metrics, &self.tracer)
+    }
+
+    /// The span tracer (drain slow-op traces, read stage histograms).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Where the Prometheus endpoint is listening, if one was configured
+    /// (resolves a port-0 `metrics_addr` to the actual port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(MetricsHttp::local_addr)
     }
 
     /// Blocks until a client sends SHUTDOWN, then tears down and returns the
@@ -383,6 +476,10 @@ impl Server {
     }
 
     fn teardown(&mut self) {
+        // Joining the accept thread is what blocks until SHUTDOWN, so the
+        // ancillary threads must outlive it — tearing them down first would
+        // leave `wait()` serving without a sampler or metrics endpoint for
+        // the whole run.
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -396,6 +493,10 @@ impl Server {
         for h in self.shard_handles.drain(..) {
             let _ = h.join();
         }
+        // Everything is drained; the sampler's final JSONL line and any
+        // last-instant scrape see the complete counters.
+        self.sampler = None;
+        self.metrics_http = None;
     }
 }
 
@@ -422,6 +523,28 @@ fn apply(shard: &mut Shard, op: ShardOp) -> ShardReply {
     }
 }
 
+/// One dequeued request, applied and stamped: `queue` at dequeue,
+/// `wal_append` at the instant the durability engine buffered the record
+/// (mutations on a durable shard only — the engine's span hook, not a
+/// second clock read on the request path), `apply` when the in-memory
+/// mutation finished.
+fn apply_traced(
+    shard: &mut Shard,
+    tracer: &Tracer,
+    mut req: ShardRequest,
+) -> (Sender<Reply>, u64, ShardReply, RequestTrace) {
+    tracer.stamp(&mut req.trace, Stage::Queue);
+    let mutation = !matches!(req.op, ShardOp::Get(_));
+    let reply = apply(shard, req.op);
+    if mutation {
+        if let Some(at) = shard.last_wal_append_at() {
+            tracer.stamp_at(&mut req.trace, Stage::WalAppend, at);
+        }
+    }
+    tracer.stamp(&mut req.trace, Stage::Apply);
+    (req.reply, req.seq, reply, req.trace)
+}
+
 /// Drains the request channel in batches: apply every request in the batch,
 /// run one commit (so a single fsync covers all of them under
 /// `sync=always`), and only then release the replies — the group-commit
@@ -429,19 +552,19 @@ fn apply(shard: &mut Shard, op: ShardOp) -> ShardReply {
 /// connections are what make these batches deep: a closed-loop client
 /// contributes at most one request per batch, a `--pipeline 32` client up
 /// to its whole window.
-fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>) {
-    type BatchEntry = (Sender<(u64, ShardReply)>, u64, ShardReply);
+fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>, tracer: &Tracer) {
     let metrics = shard.metrics();
-    let mut batch: Vec<BatchEntry> = Vec::with_capacity(MAX_BATCH);
+    let mut batch: Vec<(Sender<Reply>, u64, ShardReply, RequestTrace)> =
+        Vec::with_capacity(MAX_BATCH);
     while let Ok(req) = rx.recv() {
         metrics.queue_pop();
-        batch.push((req.reply, req.seq, apply(shard, req.op)));
+        batch.push(apply_traced(shard, tracer, req));
         // Opportunistically fold in whatever else is already queued.
         while batch.len() < MAX_BATCH {
             match rx.try_recv() {
                 Ok(req) => {
                     metrics.queue_pop();
-                    batch.push((req.reply, req.seq, apply(shard, req.op)));
+                    batch.push(apply_traced(shard, tracer, req));
                 }
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
             }
@@ -450,13 +573,19 @@ fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>) {
             // The batch's appends may not have reached disk: none of these
             // requests may be acknowledged as succeeding.
             let msg = format!("wal commit failed: {e}");
-            for (_, _, reply) in &mut batch {
+            for (_, _, reply, _) in &mut batch {
                 *reply = ShardReply::Other(Response::Err(msg.clone()));
             }
         }
-        for (reply, seq, response) in batch.drain(..) {
+        // The commit gate: whether or not the sync policy issued a physical
+        // fsync for this batch, this is when the batch's acknowledgements
+        // were released (the latency the client pays for group commit). One
+        // batch, one instant, every trace.
+        let gate = std::time::Instant::now();
+        for (reply, seq, response, mut trace) in batch.drain(..) {
+            tracer.stamp_at(&mut trace, Stage::Fsync, gate);
             // A vanished handler (client hung up mid-request) is not an error.
-            let _ = reply.send((seq, response));
+            let _ = reply.send((seq, response, trace));
         }
     }
     // Clean shutdown: push any policy-deferred appends to disk.
@@ -499,17 +628,20 @@ struct Conn {
     /// Replies that arrived ahead of `next_write` (cross-shard races), plus
     /// inline responses (STATS, protocol errors) parked behind in-flight
     /// shard work. The common in-order reply skips this map entirely.
-    parked: BTreeMap<u64, ShardReply>,
+    parked: BTreeMap<u64, (ShardReply, RequestTrace)>,
     /// The connection's reply channel; `reply_tx` clones ride inside
     /// [`ShardRequest`]s instead of a fresh channel per request.
-    reply_tx: Sender<(u64, ShardReply)>,
-    reply_rx: Receiver<(u64, ShardReply)>,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
     /// Set once a SHUTDOWN request is parsed: its sequence number. No
     /// further requests are read; the pump drains, writes the final OK,
     /// then stops the server.
     shutdown_at: Option<u64>,
     /// Reused response-encode scratch buffer.
     out: Vec<u8>,
+    /// Traces whose responses are in the write buffer but not yet flushed
+    /// to the socket; [`flush_finished`] stamps `flush` and completes them.
+    unflushed: Vec<RequestTrace>,
 }
 
 impl Conn {
@@ -519,19 +651,24 @@ impl Conn {
 
     /// Accepts one reply from a shard (or an inline response) into the
     /// reorder buffer.
-    fn park(&mut self, seq: u64, reply: ShardReply) {
-        self.parked.insert(seq, reply);
+    fn park(&mut self, seq: u64, reply: ShardReply, trace: RequestTrace) {
+        self.parked.insert(seq, (reply, trace));
     }
 
     /// Writes every response that is next in request order into the write
+    /// buffer, stamping each trace's `reorder` stage as it leaves the
     /// buffer. The in-order case (`seq == next_write` just parked) costs
     /// one BTreeMap round-trip at most; responses behind a straggler shard
-    /// stay parked.
-    fn write_ready(&mut self, writer: &mut FrameWriter<TcpStream>) -> io::Result<()> {
-        while let Some(reply) = self.parked.remove(&self.next_write) {
+    /// stay parked — for them `reorder` measures the cross-shard wait.
+    fn write_ready(&mut self, writer: &mut FrameWriter<TcpStream>, ctx: &Ctx) -> io::Result<()> {
+        while let Some((reply, mut trace)) = self.parked.remove(&self.next_write) {
             reply.encode(&mut self.out);
             writer.write_frame(&self.out)?;
             self.next_write += 1;
+            if trace.is_enabled() {
+                ctx.tracer.stamp(&mut trace, Stage::Reorder);
+                self.unflushed.push(trace);
+            }
         }
         Ok(())
     }
@@ -541,6 +678,33 @@ impl Conn {
     fn shutdown_acked(&self) -> bool {
         self.shutdown_at.is_some_and(|seq| self.next_write > seq)
     }
+}
+
+/// Flushes the write buffer to the socket, then completes every trace whose
+/// response just hit the wire: stamp `flush`, finish into the tracer (stage
+/// histograms + rings), record the end-to-end latency in the owning shard's
+/// per-op histogram, and log the breakdown if it crossed the slow-op
+/// threshold.
+fn flush_finished(
+    writer: &mut FrameWriter<TcpStream>,
+    conn: &mut Conn,
+    ctx: &Ctx,
+) -> io::Result<()> {
+    writer.flush()?;
+    for mut trace in conn.unflushed.drain(..) {
+        ctx.tracer.stamp(&mut trace, Stage::Flush);
+        if let Some(done) = ctx.tracer.finish(trace) {
+            ctx.metrics[done.trace.shard as usize].record_op_latency(done.trace.op, done.total_ns);
+            if done.slow && ctx.log_slow {
+                eprintln!(
+                    "[p4lru-server] slow op (>{}us): {}",
+                    ctx.tracer.slow_threshold_us(),
+                    done.trace.breakdown()
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The pipelined connection pump. One thread, three obligations, strictly
@@ -570,21 +734,20 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
         reply_rx,
         shutdown_at: None,
         out: Vec::new(),
+        unflushed: Vec::new(),
     };
     let mut frame = Vec::new();
     loop {
         // (1) Collect whatever replies already arrived and ship the ready
         // prefix.
-        while let Ok((seq, reply)) = conn.reply_rx.try_recv() {
-            conn.park(seq, reply);
+        while let Ok((seq, reply, trace)) = conn.reply_rx.try_recv() {
+            conn.park(seq, reply, trace);
         }
-        if conn.write_ready(&mut writer).is_err() {
+        if conn.write_ready(&mut writer, ctx).is_err() {
             return;
         }
         if conn.shutdown_acked() {
-            if writer.flush().is_err() {
-                return;
-            }
+            let _ = flush_finished(&mut writer, &mut conn, ctx);
             ctx.running.store(false, Ordering::SeqCst);
             let _ = TcpStream::connect(ctx.local_addr); // wake the accept loop
             return;
@@ -599,7 +762,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
             if conn.outstanding() == 0 && !reader.has_buffered_frame() {
                 // About to block on the socket: everything written so far
                 // must be visible to the peer first.
-                if writer.flush().is_err() {
+                if flush_finished(&mut writer, &mut conn, ctx).is_err() {
                     return;
                 }
             }
@@ -632,11 +795,11 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
         // (3) Requests are in flight: block for the next reply. Flush
         // first — the peer may be waiting on buffered responses before it
         // sends (or reads) anything else.
-        if writer.flush().is_err() {
+        if flush_finished(&mut writer, &mut conn, ctx).is_err() {
             return;
         }
         match conn.reply_rx.recv_timeout(POLL_INTERVAL) {
-            Ok((seq, reply)) => conn.park(seq, reply),
+            Ok((seq, reply, trace)) => conn.park(seq, reply, trace),
             Err(RecvTimeoutError::Timeout) => {
                 if !ctx.running.load(Ordering::SeqCst) {
                     return;
@@ -657,43 +820,57 @@ fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
     let request = match Request::decode(frame) {
         Ok(request) => request,
         Err(e) => {
-            conn.park(seq, ShardReply::Other(Response::Err(e.to_string())));
+            conn.park(
+                seq,
+                ShardReply::Other(Response::Err(e.to_string())),
+                RequestTrace::disabled(),
+            );
             return;
         }
+    };
+    let kind = match &request {
+        Request::Get { .. } => Some(OpKind::Get),
+        Request::Set { .. } => Some(OpKind::Set),
+        Request::Del { .. } => Some(OpKind::Del),
+        // Control-plane requests (STATS, SHUTDOWN) are not traced: they
+        // skip the shard pipeline, so their stage stamps would be noise.
+        Request::Stats | Request::Shutdown => None,
     };
     let op = match request {
         Request::Get { key } => ShardOp::Get(key),
         Request::Set { key, value } => ShardOp::Set(key, record_from_bytes(&value)),
         Request::Del { key } => ShardOp::Del(key),
         Request::Stats => {
-            let report = StatsReport::from_shards(
-                ctx.metrics
-                    .iter()
-                    .enumerate()
-                    .map(|(i, m)| m.snapshot(i))
-                    .collect(),
-            );
+            let report = build_report(&ctx.metrics, &ctx.tracer);
             let response = match serde_json::to_string(&report) {
                 Ok(json) => Response::StatsJson(json),
                 Err(e) => Response::Err(format!("stats serialization failed: {e:?}")),
             };
-            conn.park(seq, ShardReply::Other(response));
+            conn.park(seq, ShardReply::Other(response), RequestTrace::disabled());
             return;
         }
         Request::Shutdown => {
             // Acknowledged in order; the pump stops the server once the OK
             // (and every response before it) is on the wire.
             conn.shutdown_at = Some(seq);
-            conn.park(seq, ShardReply::Ok);
+            conn.park(seq, ShardReply::Ok, RequestTrace::disabled());
             return;
         }
     };
     let shard = shard_of(op_key(&op), ctx.senders.len());
+    let mut trace = ctx
+        .tracer
+        .start(kind.expect("keyed ops always have a kind"), shard as u32);
+    // `decode` is the trace's time origin; `route` closes out the
+    // decode+route work this thread did before handing off to the shard.
+    ctx.tracer.stamp(&mut trace, Stage::Decode);
+    ctx.tracer.stamp(&mut trace, Stage::Route);
     ctx.metrics[shard].queue_push();
     if ctx.senders[shard]
         .send(ShardRequest {
             op,
             seq,
+            trace,
             reply: conn.reply_tx.clone(),
         })
         .is_err()
@@ -702,6 +879,7 @@ fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
         conn.park(
             seq,
             ShardReply::Other(Response::Err("shard unavailable".to_owned())),
+            RequestTrace::disabled(),
         );
     }
 }

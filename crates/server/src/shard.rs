@@ -258,6 +258,14 @@ impl Shard {
         self.metrics.snapshot(shard)
     }
 
+    /// When this shard's WAL last appended a record (`None` without
+    /// durability or before the first append) — the tracer's `wal_append`
+    /// span hook, read by the shard loop right after a mutation so the
+    /// stamp reflects when the buffered write actually happened.
+    pub fn last_wal_append_at(&self) -> Option<std::time::Instant> {
+        self.log.as_ref().and_then(|log| log.last_append_at())
+    }
+
     fn install(&mut self, key: u64, addr: Addr48) {
         if let Outcome::Evicted { .. } = self.cache.update(key, addr, overwrite) {
             self.metrics.eviction();

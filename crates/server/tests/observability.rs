@@ -1,0 +1,374 @@
+//! End-to-end observability tests: the `/metrics` endpoint against a live
+//! server (exposition validity + agreement with STATS), slow-op traces
+//! covering all eight lifecycle stages, and the background JSONL sampler.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use p4lru_obs::http::http_get;
+use p4lru_obs::trace::STAGES;
+use p4lru_obs::ObsConfig;
+use p4lru_server::client::Client;
+use p4lru_server::expose::SampleLine;
+use p4lru_server::server::{Server, ServerConfig};
+
+fn obs_config() -> ServerConfig {
+    ServerConfig {
+        items: 2_000,
+        units_per_shard: 128,
+        shards: 2,
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        // Trace every request (production default samples 1 in 64) so the
+        // assertions below can count ops exactly.
+        obs: ObsConfig {
+            sample_every: 1,
+            ..ObsConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// Drives a deterministic little workload over one connection: GET hits,
+/// absent GETs, SETs, DELs — every op-type and every outcome path.
+fn drive(client: &mut Client) {
+    for key in 0..50 {
+        client.get(key).unwrap().expect("populated key");
+    }
+    for key in 0..10 {
+        client.get(1_000_000 + key).unwrap();
+    }
+    for key in 0..20 {
+        client.set(key, b"rewritten").unwrap();
+    }
+    for key in 40..45 {
+        client.del(key).unwrap();
+    }
+}
+
+/// A parsed exposition sample: metric name, sorted labels, value.
+#[derive(Debug, Clone)]
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parses (and validates) the Prometheus text format: every line must be a
+/// well-formed `# HELP`/`# TYPE` comment or a `name{labels} value` sample.
+fn parse_exposition(text: &str) -> (Vec<Sample>, BTreeMap<String, String>) {
+    let mut samples = Vec::new();
+    let mut types = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (kw, rest) = rest.split_once(' ').expect("comment keyword");
+            assert!(kw == "HELP" || kw == "TYPE", "unknown comment {line:?}");
+            let (name, detail) = rest.split_once(' ').expect("comment body");
+            assert!(valid_metric_name(name), "bad name in {line:?}");
+            if kw == "TYPE" {
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&detail),
+                    "bad type in {line:?}"
+                );
+                types.insert(name.to_owned(), detail.to_owned());
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            v => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad value {line:?}: {e}")),
+        };
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_owned(), BTreeMap::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').expect("closing brace");
+                let mut labels = BTreeMap::new();
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label pair");
+                    assert!(valid_metric_name(k), "bad label name in {line:?}");
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .expect("quoted label value");
+                    labels.insert(k.to_owned(), v.to_owned());
+                }
+                (name.to_owned(), labels)
+            }
+        };
+        assert!(valid_metric_name(&name), "bad metric name in {line:?}");
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    (samples, types)
+}
+
+fn sum_of(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+#[test]
+fn metrics_endpoint_matches_stats_and_is_valid_exposition() {
+    let server = Server::spawn(&obs_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    drive(&mut client);
+
+    // The workload is quiesced (every reply read back), so a STATS request
+    // and a /metrics scrape now see the same counters.
+    let stats = client.stats().unwrap();
+    let addr = server.metrics_addr().expect("metrics endpoint configured");
+    let (status, body) = http_get(addr, "/metrics").unwrap();
+    assert!(status.contains("200"), "{status}");
+
+    let (samples, types) = parse_exposition(&body);
+    assert_eq!(
+        types.get("p4lru_hits_total").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        types.get("p4lru_store_len").map(String::as_str),
+        Some("gauge")
+    );
+    assert_eq!(
+        types.get("p4lru_request_seconds").map(String::as_str),
+        Some("histogram")
+    );
+
+    // Scalar families agree with STATS exactly.
+    let t = &stats.totals;
+    assert_eq!(sum_of(&samples, "p4lru_hits_total") as u64, t.hits);
+    assert_eq!(sum_of(&samples, "p4lru_misses_total") as u64, t.misses);
+    assert_eq!(sum_of(&samples, "p4lru_absent_total") as u64, t.absent);
+    assert_eq!(sum_of(&samples, "p4lru_sets_total") as u64, t.sets);
+    assert_eq!(sum_of(&samples, "p4lru_dels_total") as u64, t.dels);
+    assert_eq!(sum_of(&samples, "p4lru_store_len") as u64, t.store_len);
+
+    // The latency histograms agree with the STATS latency summaries: the
+    // per-(shard, op) _count lines sum to the summary counts.
+    let count_for = |op: &str| -> u64 {
+        samples
+            .iter()
+            .filter(|s| {
+                s.name == "p4lru_request_seconds_count"
+                    && s.labels.get("op").map(String::as_str) == Some(op)
+            })
+            .map(|s| s.value as u64)
+            .sum()
+    };
+    assert_eq!(count_for("get"), t.get_latency.count);
+    assert_eq!(count_for("set"), t.set_latency.count);
+    assert_eq!(count_for("del"), t.del_latency.count);
+    assert!(t.get_latency.count > 0, "traced GETs must be recorded");
+
+    // Histogram buckets: per label-set (minus `le`), cumulative counts are
+    // non-decreasing in emission order and the +Inf bucket equals _count.
+    let mut by_series: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    for s in &samples {
+        if !s.name.ends_with("_bucket") {
+            continue;
+        }
+        let mut key_labels = s.labels.clone();
+        let le = key_labels.remove("le").expect("bucket has le");
+        let key = format!("{}{:?}", s.name, key_labels);
+        by_series.entry(key).or_default().push((le, s.value));
+    }
+    assert!(!by_series.is_empty(), "no histogram buckets rendered");
+    for (key, buckets) in &by_series {
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "{key}: buckets not cumulative: {buckets:?}"
+            );
+        }
+        let (last_le, last_v) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf", "{key}: last bucket must be +Inf");
+        let name = key.split('{').next().unwrap().trim_end_matches("_bucket");
+        // Matching _count sample (same labels minus le).
+        let want_labels: BTreeMap<String, String> = {
+            let mut l = BTreeMap::new();
+            if let Some(series) = samples.iter().find(|s| {
+                s.name == format!("{name}_bucket")
+                    && format!("{}{:?}", s.name, {
+                        let mut k = s.labels.clone();
+                        k.remove("le");
+                        k
+                    }) == *key
+            }) {
+                l = series.labels.clone();
+                l.remove("le");
+            }
+            l
+        };
+        let count = samples
+            .iter()
+            .find(|s| s.name == format!("{name}_count") && s.labels == want_labels)
+            .unwrap_or_else(|| panic!("{key}: no _count sample"));
+        assert_eq!(*last_v, count.value, "{key}: +Inf != _count");
+    }
+
+    // Stage summaries ride on STATS, in pipeline order, decode excluded.
+    assert_eq!(stats.stages.len(), 7);
+    assert_eq!(stats.stages[0].stage, "route");
+    assert!(stats.stages.iter().all(|s| s.count > 0));
+
+    // Unknown paths 404, bad methods 405 — the endpoint is not a file server.
+    let (status, _) = http_get(addr, "/nope").unwrap();
+    assert!(status.contains("404"), "{status}");
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn slow_op_traces_cover_all_eight_stages_in_order() {
+    let server = Server::spawn(&ServerConfig {
+        obs: ObsConfig {
+            slow_op_us: 0, // every request is a "slow op"
+            sample_every: 1,
+            ..ObsConfig::default()
+        },
+        ..obs_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for key in 0..10 {
+        client.get(key).unwrap();
+        client.set(key, b"x").unwrap();
+    }
+    drop(client);
+
+    // The pump finishes a trace just *after* the flush that answered the
+    // client, so the last op's trace may still be a few instructions away.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.tracer().finished_count() < 20 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let slow = server.tracer().slow_traces();
+    assert!(slow.len() >= 10, "threshold 0 makes every op slow");
+    for trace in &slow {
+        let mut prev = 0;
+        for stage in STAGES {
+            let at = trace.stamp_ns(stage);
+            assert!(at > 0, "{stage:?} unstamped in {trace:?}");
+            assert!(
+                at >= prev,
+                "{stage:?} went backwards in {}",
+                trace.breakdown()
+            );
+            prev = at;
+        }
+        assert!((trace.shard as usize) < 2);
+        let line = trace.breakdown();
+        assert!(line.contains("shard="), "{line}");
+        assert!(line.contains(" flush+"), "{line}");
+    }
+    assert_eq!(server.tracer().slow_op_count() as usize, {
+        // Every keyed op was traced and slow (STATS/inline ops are not).
+        20
+    });
+    server.shutdown();
+}
+
+#[test]
+fn disabled_tracing_serves_metrics_without_latency_series() {
+    let server = Server::spawn(&ServerConfig {
+        obs: ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        },
+        ..obs_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    drive(&mut client);
+    let stats = client.stats().unwrap();
+    assert!(stats.stages.is_empty(), "no stage summaries when off");
+    assert_eq!(stats.totals.get_latency.count, 0);
+    assert!(stats.totals.gets > 0, "counters still work");
+
+    let addr = server.metrics_addr().unwrap();
+    let (status, body) = http_get(addr, "/metrics").unwrap();
+    assert!(status.contains("200"));
+    assert!(!body.contains("p4lru_stage_seconds"));
+    assert!(!body.contains("p4lru_traced_requests_total"));
+    assert!(body.contains("p4lru_hits_total"));
+
+    drop(client);
+    assert_eq!(server.tracer().finished_count(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn sampler_writes_monotone_jsonl_lines() {
+    let path = std::env::temp_dir().join(format!("p4lru-obs-sampler-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::spawn(&ServerConfig {
+        sample_interval: Some(Duration::from_millis(20)),
+        sample_path: Some(path.clone()),
+        ..obs_config()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    drive(&mut client);
+    std::thread::sleep(Duration::from_millis(70));
+    // A second burst the later samples must reflect (fresh keys — `drive`
+    // deleted some of the ones it touched).
+    for key in 100..170 {
+        client.get(key).unwrap().expect("populated key");
+    }
+    drop(client);
+    server.shutdown(); // fires the sampler's final flush tick
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<SampleLine> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("bad line {l:?}: {e:?}")))
+        .collect();
+    assert!(lines.len() >= 2, "interval ticks plus the shutdown flush");
+    for pair in lines.windows(2) {
+        assert!(pair[1].tick > pair[0].tick, "ticks advance");
+        assert!(pair[1].gets >= pair[0].gets, "cumulative GETs are monotone");
+        assert!(pair[1].sets >= pair[0].sets);
+        assert_eq!(
+            pair[1].gets_delta,
+            pair[1].gets - pair[0].gets,
+            "delta is the difference of consecutive cumulatives"
+        );
+    }
+    let last = lines.last().unwrap();
+    assert_eq!(last.gets, 130, "both bursts' GETs all sampled");
+    assert!(last.traced > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn volatile_sampler_without_a_path_is_refused() {
+    let err = Server::spawn(&ServerConfig {
+        sample_interval: Some(Duration::from_millis(20)),
+        sample_path: None,
+        data_dir: None,
+        ..obs_config()
+    })
+    .map(|s| s.shutdown())
+    .expect_err("no sample path and no data dir to default into");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
