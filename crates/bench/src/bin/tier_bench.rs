@@ -1,0 +1,216 @@
+//! Two-tier vs server-only deployment comparison (DESIGN.md §11).
+//!
+//! For each workload (YCSB-B, Zipf hot-key-flip, sequential scan) the same
+//! deterministic operation stream is driven twice against a fresh in-process
+//! serverd: once through the switch tier (`TierGateway`) and once directly
+//! (`DirectDriver`, charged the same modeled wire). Records total hit rate,
+//! switch hit rate, server offload, and client latency percentiles per
+//! workload as `results/BENCH_tier.json`.
+//!
+//! CI smoke flags: `--assert-two-tier` exits nonzero unless, on every
+//! workload, the two-tier total hit rate is at least the server-only hit
+//! rate and the switch absorbed something; `--assert-offload <pct>` exits
+//! nonzero unless the Zipf hot-key-flip offload reaches `pct`%.
+
+use std::process::ExitCode;
+
+use p4lru_bench::{FigureResult, Scale};
+use p4lru_tier::bench::{run_server_only, run_two_tier, DeploymentResult, Workload};
+use p4lru_tier::TierBenchConfig;
+
+struct ExtraArgs {
+    assert_two_tier: bool,
+    assert_offload: Option<f64>,
+}
+
+fn parse_extra_args() -> Result<ExtraArgs, String> {
+    let mut extra = ExtraArgs {
+        assert_two_tier: false,
+        assert_offload: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--assert-two-tier" => extra.assert_two_tier = true,
+            "--assert-offload" => {
+                let v = args.next().ok_or("--assert-offload needs a value")?;
+                extra.assert_offload = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad value for --assert-offload: {e:?}"))?,
+                );
+            }
+            "--scale" => {
+                args.next(); // handled by Scale::from_args
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (try --scale, --assert-two-tier, --assert-offload)"
+                ))
+            }
+        }
+    }
+    Ok(extra)
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let extra = match parse_extra_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = TierBenchConfig {
+        items: scale.pick(8_000, 20_000),
+        ops: scale.pick(24_000, 60_000),
+        flip_every: scale.pick(6_000, 15_000),
+        switch: p4lru_tier::SwitchTierConfig {
+            memory_bytes: scale.pick(24_000, 60_000),
+            ..p4lru_tier::SwitchTierConfig::default()
+        },
+        ..TierBenchConfig::default()
+    };
+
+    let mut fig = FigureResult::new(
+        "BENCH_tier",
+        "Two-tier (switch LruIndex + serverd) vs server-only deployment",
+        "workload (0=ycsb_b, 1=zipf_hot_flip, 2=scan)",
+        "hit rate / offload (fractions), latency (us)",
+    );
+    fig.note(format!(
+        "items={} ops={} flip_every={} server: shards={} units_per_shard={} \
+         switch: levels={} memory_bytes={}",
+        config.items,
+        config.ops,
+        config.flip_every,
+        config.shards,
+        config.units_per_shard,
+        config.switch.levels,
+        config.switch.memory_bytes,
+    ));
+    fig.note(
+        "both deployments drive the identical deterministic op stream against a fresh \
+         in-process serverd; latency = modeled SwitchHop wire + measured server time"
+            .to_owned(),
+    );
+    fig.x = (0..Workload::ALL.len()).map(|i| i as f64).collect();
+
+    let mut two_tier = Vec::new();
+    let mut server_only = Vec::new();
+    for workload in Workload::ALL {
+        let two = match run_two_tier(workload, &config) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: two-tier run on {} failed: {e}", workload.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        let one = match run_server_only(workload, &config) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: server-only run on {} failed: {e}", workload.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in [&two, &one] {
+            println!(
+                "{:>14} {:>11}: total hit {:.4}  switch hit {:.4}  offload {:.4}  \
+                 p50 {:>7.1} us  p99 {:>7.1} us",
+                r.workload,
+                r.deployment,
+                r.total_hit_rate,
+                r.switch_hit_rate,
+                r.offload,
+                r.p50_us,
+                r.p99_us
+            );
+            fig.note(format!(
+                "{} {}: requests={} gets={} total_hit_rate={:.4} switch_hit_rate={:.4} \
+                 server_hit_rate={:.4} offload={:.4} p50_us={:.1} p95_us={:.1} p99_us={:.1}",
+                r.workload,
+                r.deployment,
+                r.requests,
+                r.gets,
+                r.total_hit_rate,
+                r.switch_hit_rate,
+                r.server_hit_rate,
+                r.offload,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+            ));
+        }
+        two_tier.push(two);
+        server_only.push(one);
+    }
+
+    let col = |rs: &[DeploymentResult], f: fn(&DeploymentResult) -> f64| -> Vec<f64> {
+        rs.iter().map(f).collect()
+    };
+    fig.push_series(
+        "total hit rate two_tier",
+        col(&two_tier, |r| r.total_hit_rate),
+    );
+    fig.push_series(
+        "total hit rate server_only",
+        col(&server_only, |r| r.total_hit_rate),
+    );
+    fig.push_series(
+        "switch hit rate two_tier",
+        col(&two_tier, |r| r.switch_hit_rate),
+    );
+    fig.push_series("server offload two_tier", col(&two_tier, |r| r.offload));
+    fig.push_series("p50 latency two_tier (us)", col(&two_tier, |r| r.p50_us));
+    fig.push_series(
+        "p50 latency server_only (us)",
+        col(&server_only, |r| r.p50_us),
+    );
+    fig.push_series("p99 latency two_tier (us)", col(&two_tier, |r| r.p99_us));
+    fig.push_series(
+        "p99 latency server_only (us)",
+        col(&server_only, |r| r.p99_us),
+    );
+    fig.emit();
+
+    if extra.assert_two_tier {
+        for (two, one) in two_tier.iter().zip(&server_only) {
+            if two.total_hit_rate < one.total_hit_rate - 1e-9 {
+                eprintln!(
+                    "FAIL: on {} the two-tier total hit rate {:.4} fell below the \
+                     server-only {:.4}",
+                    two.workload, two.total_hit_rate, one.total_hit_rate
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        // The scan workload is adversarial by design (every reference is a
+        // capacity miss), so nonzero offload is required overall, not per
+        // workload.
+        let best_offload = two_tier.iter().map(|r| r.offload).fold(0.0, f64::max);
+        if best_offload <= 0.0 {
+            eprintln!("FAIL: the switch absorbed nothing on any workload");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "OK: two-tier total hit rate >= server-only on all {} workloads, \
+             best offload {:.1}%",
+            two_tier.len(),
+            best_offload * 100.0
+        );
+    }
+    if let Some(want_pct) = extra.assert_offload {
+        let flip = two_tier
+            .iter()
+            .find(|r| r.workload == Workload::HotFlip.label())
+            .expect("hot-flip workload always runs");
+        let got_pct = flip.offload * 100.0;
+        if got_pct < want_pct {
+            eprintln!("FAIL: hot-flip offload {got_pct:.1}% is below the required {want_pct:.1}%");
+            return ExitCode::FAILURE;
+        }
+        println!("OK: hot-flip offload {got_pct:.1}% >= {want_pct:.1}%");
+    }
+    ExitCode::SUCCESS
+}

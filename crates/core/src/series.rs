@@ -209,6 +209,24 @@ impl<K: Eq + Hash + Clone, V, const N: usize, S: CacheState<N>> SeriesLru<K, V, 
         }
     }
 
+    /// Removes the key from the series, returning the level it occupied and
+    /// its value. This is the control-plane invalidation path (a SET/DEL in
+    /// a two-tier deployment must expel the switch copy before the write is
+    /// forwarded); it has no data-plane equivalent in the paper's query/reply
+    /// protocol, which only ever promotes or cascade-inserts.
+    ///
+    /// Every level is scanned so that even eager-mode duplicates are fully
+    /// cleared; the returned entry is the shallowest (authoritative) copy.
+    pub fn remove(&mut self, key: &K) -> Option<(usize, V)> {
+        let mut found = None;
+        for (level, array) in self.levels.iter_mut().enumerate() {
+            if let Some(v) = array.remove(key) {
+                found.get_or_insert((level, v));
+            }
+        }
+        found
+    }
+
     /// The naive eager mode (ablation): every access writes level 0
     /// immediately — hit at level 0 promotes, anything else inserts fresh,
     /// potentially duplicating keys already held at deeper levels.
@@ -378,6 +396,37 @@ mod tests {
         // Out-of-range level behaves like a miss-insert.
         s.apply_reply(QueryHit::Level(9), 6, 60);
         assert!(s.contains(&6));
+    }
+
+    #[test]
+    fn remove_expels_from_any_level() {
+        let mut s = series(2, 1);
+        for k in 1..=4u64 {
+            s.apply_reply(QueryHit::Miss, k, k * 10);
+        }
+        // Key 1 was demoted to level 1; key 4 sits at level 0.
+        assert_eq!(s.remove(&1), Some((1, 10)));
+        assert_eq!(s.remove(&4), Some((0, 40)));
+        assert_eq!(s.remove(&1), None, "second remove finds nothing");
+        assert!(!s.contains(&1));
+        assert!(!s.contains(&4));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_clears_eager_duplicates() {
+        let mut s = series(3, 4);
+        let mut x = 11u64;
+        for _ in 0..2000 {
+            x = crate::hashing::mix64(x);
+            s.insert_eager(x % 30, x);
+        }
+        for k in 0..30u64 {
+            s.remove(&k);
+            assert!(!s.contains(&k), "key {k} survived removal");
+        }
+        assert_eq!(s.duplicate_count(), 0);
+        s.check_invariants().unwrap();
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The switch hop of a two-tier deployment: client → Tofino switch →
+//! server, with the switch optionally answering from its on-chip cache.
+//!
+//! The paper's headline latency claim is that a switch-tier hit saves the
+//! entire switch↔server leg *and* the server's service time: the reply is
+//! produced inside the pipeline (sub-microsecond) instead of by a host.
+//! [`SwitchHop`] prices both paths of one closed-loop request so that a
+//! gateway driving a real TCP server can charge each operation a modeled
+//! wire latency and compare two-tier against server-only fairly:
+//!
+//! * **hit** — client wire out, one pipeline traversal, client wire back;
+//! * **forward** — the hit path plus a second pipeline traversal (the reply
+//!   re-enters the switch) and both directions of the switch↔server wire.
+//!   The *server's* service time is real, measured by the caller, and added
+//!   on top.
+//!
+//! The model is stateless (uncontended links): a closed-loop client has at
+//! most one frame in flight, so FIFO queueing never engages.
+
+use crate::link::Link;
+use crate::{Nanos, MICROSECOND};
+
+/// Latency model of one client → switch → server path.
+#[derive(Clone, Debug)]
+pub struct SwitchHop {
+    /// Client ↔ switch wire.
+    client_link: Link,
+    /// Switch ↔ server wire.
+    server_link: Link,
+    /// One traversal of the switch pipeline (ingress parser → deparser).
+    pipeline_ns: Nanos,
+}
+
+impl SwitchHop {
+    /// A hop with explicit wires and pipeline traversal time.
+    pub fn new(client_link: Link, server_link: Link, pipeline_ns: Nanos) -> Self {
+        Self {
+            client_link,
+            server_link,
+            pipeline_ns,
+        }
+    }
+
+    /// Testbed-flavored defaults: 10 Gb/s wires, 5 µs client↔switch and
+    /// 2 µs switch↔server propagation (top-of-rack distances), ~400 ns for
+    /// one pipeline traversal.
+    pub fn testbed() -> Self {
+        Self::new(
+            Link::ten_gbps(5 * MICROSECOND),
+            Link::ten_gbps(2 * MICROSECOND),
+            400,
+        )
+    }
+
+    /// One pipeline traversal.
+    pub fn pipeline_ns(&self) -> Nanos {
+        self.pipeline_ns
+    }
+
+    /// RTT of a request answered *at the switch*: out and back on the client
+    /// wire with a single pipeline traversal in between.
+    pub fn hit_rtt(&self, request_bytes: u32, response_bytes: u32) -> Nanos {
+        self.client_link.oneway_ns(request_bytes)
+            + self.pipeline_ns
+            + self.client_link.oneway_ns(response_bytes)
+    }
+
+    /// Extra wire/pipeline time a *forwarded* request pays on top of
+    /// [`Self::hit_rtt`]: both directions of the switch↔server wire plus the
+    /// second pipeline traversal when the reply re-enters the switch. The
+    /// server's own service time is not included — it is real, and the
+    /// caller measures it.
+    pub fn forward_overhead_ns(&self, request_bytes: u32, response_bytes: u32) -> Nanos {
+        self.server_link.oneway_ns(request_bytes)
+            + self.server_link.oneway_ns(response_bytes)
+            + self.pipeline_ns
+    }
+
+    /// Total modeled wire RTT of a request that goes all the way to the
+    /// server — also the per-request cost of the *server-only* baseline,
+    /// where the switch forwards everything. Add the measured server
+    /// service time for the full client-observed latency.
+    pub fn direct_rtt(&self, request_bytes: u32, response_bytes: u32) -> Nanos {
+        self.hit_rtt(request_bytes, response_bytes)
+            + self.forward_overhead_ns(request_bytes, response_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_is_strictly_cheaper_than_direct() {
+        let hop = SwitchHop::testbed();
+        assert!(hop.hit_rtt(64, 128) < hop.direct_rtt(64, 128));
+        assert_eq!(
+            hop.direct_rtt(64, 128),
+            hop.hit_rtt(64, 128) + hop.forward_overhead_ns(64, 128)
+        );
+    }
+
+    #[test]
+    fn rtt_matches_hand_computation() {
+        // 1 Gb/s wires: 125 bytes serialize in exactly 1 µs.
+        let hop = SwitchHop::new(
+            Link::new(1_000_000_000, 500),
+            Link::new(1_000_000_000, 200),
+            100,
+        );
+        // Hit: (1000 + 500) out + 100 pipeline + (1000 + 500) back.
+        assert_eq!(hop.hit_rtt(125, 125), 3_100);
+        // Forward overhead: (1000 + 200) × 2 + 100.
+        assert_eq!(hop.forward_overhead_ns(125, 125), 2_500);
+        assert_eq!(hop.direct_rtt(125, 125), 5_600);
+    }
+
+    #[test]
+    fn testbed_hit_is_sub_twenty_microseconds() {
+        let hop = SwitchHop::testbed();
+        assert!(hop.hit_rtt(64, 128) < 20 * MICROSECOND);
+        assert_eq!(hop.pipeline_ns(), 400);
+    }
+}

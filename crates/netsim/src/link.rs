@@ -45,6 +45,19 @@ impl Link {
         (u64::from(bytes) * 8 * 1_000_000_000).div_ceil(self.rate_bps)
     }
 
+    /// Propagation delay.
+    pub fn latency_ns(&self) -> Nanos {
+        self.latency_ns
+    }
+
+    /// One-way traversal time of an *uncontended* link: serialization plus
+    /// propagation, ignoring the FIFO queue. The stateless counterpart of
+    /// [`Self::transmit`], for closed-loop latency models where at most one
+    /// frame is ever in flight.
+    pub fn oneway_ns(&self, bytes: u32) -> Nanos {
+        self.serialization_ns(bytes) + self.latency_ns
+    }
+
     /// Enqueues a frame handed to the link at `now`; returns its arrival
     /// time at the far end (FIFO behind any queued frames).
     pub fn transmit(&mut self, now: Nanos, bytes: u32) -> Nanos {

@@ -16,7 +16,7 @@ use p4lru_obs::trace::{STAGES, STAGE_NAMES};
 use p4lru_obs::{Expo, Tracer};
 use serde::{Deserialize, Serialize};
 
-use crate::metrics::{ShardMetrics, ShardSnapshot, StageSummary, StatsReport};
+use crate::metrics::{ShardMetrics, ShardSnapshot, StageSummary, StatsReport, TierSnapshot};
 
 /// Builds the STATS report: per-shard snapshots, their totals, and — when
 /// tracing is on — per-stage duration summaries from the tracer. `decode`
@@ -57,8 +57,100 @@ fn family(
     }
 }
 
+/// Emits the switch-tier metric families into an exposition. Used both by
+/// the two-tier proxy's own `/metrics` endpoint and by
+/// [`render_prometheus_with_tier`] when a gateway co-locates with the
+/// server renderer.
+pub fn tier_families(e: &mut Expo, t: &TierSnapshot) {
+    e.meta(
+        "p4lru_tier_requests_total",
+        "counter",
+        "Client requests routed through the switch tier.",
+    )
+    .sample(
+        "p4lru_tier_requests_total",
+        &[],
+        (t.gets + t.sets + t.dels) as f64,
+    );
+    e.meta(
+        "p4lru_tier_hits_total",
+        "counter",
+        "GETs answered entirely at the switch tier.",
+    )
+    .sample("p4lru_tier_hits_total", &[], t.hits as f64);
+    e.meta(
+        "p4lru_tier_level_hits_total",
+        "counter",
+        "Switch-tier hits by series level (0 = front array).",
+    );
+    for (level, &hits) in t.level_hits.iter().enumerate() {
+        let level = level.to_string();
+        e.sample(
+            "p4lru_tier_level_hits_total",
+            &[("level", &level)],
+            hits as f64,
+        );
+    }
+    e.meta(
+        "p4lru_tier_forwarded_total",
+        "counter",
+        "Requests forwarded to the server (misses plus all writes).",
+    )
+    .sample("p4lru_tier_forwarded_total", &[], t.forwarded as f64);
+    e.meta(
+        "p4lru_tier_invalidations_total",
+        "counter",
+        "Switch entries expelled by invalidate-before-forward.",
+    )
+    .sample(
+        "p4lru_tier_invalidations_total",
+        &[],
+        t.invalidations as f64,
+    );
+    e.meta(
+        "p4lru_tier_inserts_total",
+        "counter",
+        "Miss replies admitted into the switch tier.",
+    )
+    .sample("p4lru_tier_inserts_total", &[], t.inserts as f64);
+    e.meta(
+        "p4lru_tier_evictions_total",
+        "counter",
+        "Entries pushed out of the last series level.",
+    )
+    .sample("p4lru_tier_evictions_total", &[], t.evictions as f64);
+    e.meta(
+        "p4lru_tier_stale_drops_total",
+        "counter",
+        "Miss replies not admitted because an invalidation raced them.",
+    )
+    .sample("p4lru_tier_stale_drops_total", &[], t.stale_drops as f64);
+    e.meta(
+        "p4lru_tier_hit_rate",
+        "gauge",
+        "Switch-tier GET hit rate (hits / gets).",
+    )
+    .sample("p4lru_tier_hit_rate", &[], t.hit_rate);
+    e.meta(
+        "p4lru_tier_offload_ratio",
+        "gauge",
+        "Fraction of all client requests the server never saw.",
+    )
+    .sample("p4lru_tier_offload_ratio", &[], t.offload_ratio);
+}
+
 /// Renders the full Prometheus text-format document served at `/metrics`.
 pub fn render_prometheus(metrics: &[Arc<ShardMetrics>], tracer: &Tracer) -> String {
+    render_prometheus_with_tier(metrics, tracer, None)
+}
+
+/// [`render_prometheus`] plus the switch-tier families, for deployments
+/// where a two-tier gateway shares the renderer with the server counters.
+pub fn render_prometheus_with_tier(
+    metrics: &[Arc<ShardMetrics>],
+    tracer: &Tracer,
+    tier: Option<&TierSnapshot>,
+) -> String {
     let shards: Vec<ShardSnapshot> = metrics
         .iter()
         .enumerate()
@@ -268,6 +360,10 @@ pub fn render_prometheus(metrics: &[Arc<ShardMetrics>], tracer: &Tracer) -> Stri
         .sample("p4lru_slow_ops_total", &[], tracer.slow_op_count() as f64);
     }
 
+    if let Some(t) = tier {
+        tier_families(&mut e, t);
+    }
+
     e.finish()
 }
 
@@ -444,6 +540,40 @@ mod tests {
         assert!(!text.contains("p4lru_stage_seconds"));
         assert!(!text.contains("p4lru_traced_requests_total"));
         assert!(text.contains("p4lru_hits_total{shard=\"0\"} 1\n"));
+    }
+
+    #[test]
+    fn tier_families_render_when_a_snapshot_is_attached() {
+        let (metrics, tracer) = sources();
+        let tier = TierSnapshot {
+            gets: 100,
+            hits: 70,
+            level_hits: vec![50, 15, 5],
+            misses: 30,
+            sets: 20,
+            dels: 0,
+            forwarded: 50,
+            invalidations: 20,
+            inserts: 30,
+            evictions: 4,
+            stale_drops: 2,
+            hit_rate: 0.0,
+            offload_ratio: 0.0,
+        }
+        .with_ratios();
+        let text = render_prometheus_with_tier(&metrics, &tracer, Some(&tier));
+        assert!(text.contains("# TYPE p4lru_tier_hits_total counter"));
+        assert!(text.contains("p4lru_tier_hits_total 70\n"));
+        assert!(text.contains("p4lru_tier_requests_total 120\n"));
+        assert!(text.contains("p4lru_tier_level_hits_total{level=\"0\"} 50\n"));
+        assert!(text.contains("p4lru_tier_level_hits_total{level=\"2\"} 5\n"));
+        assert!(text.contains("p4lru_tier_forwarded_total 50\n"));
+        assert!(text.contains("p4lru_tier_invalidations_total 20\n"));
+        assert!(text.contains("# TYPE p4lru_tier_offload_ratio gauge"));
+        // The server families are still there, untouched.
+        assert!(text.contains("p4lru_hits_total{shard=\"0\"} 1\n"));
+        // And the plain renderer emits no tier families at all.
+        assert!(!render_prometheus(&metrics, &tracer).contains("p4lru_tier_"));
     }
 
     #[test]

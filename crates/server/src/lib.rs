@@ -39,9 +39,12 @@ pub mod server;
 pub mod shard;
 
 pub use client::Client;
-pub use expose::{build_report, render_prometheus, StatsSampler};
+pub use expose::{
+    build_report, render_prometheus, render_prometheus_with_tier, tier_families, StatsSampler,
+};
 pub use metrics::{
     LatencyHistogram, LatencySummary, ShardMetrics, ShardSnapshot, StageSummary, StatsReport,
+    TierSnapshot,
 };
 pub use protocol::{FrameReader, FrameWriter, Request, Response};
 pub use server::{shard_of, Server, ServerConfig};

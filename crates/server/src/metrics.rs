@@ -371,6 +371,60 @@ pub struct ShardSnapshot {
     pub del_latency: LatencySummary,
 }
 
+/// Counters of an in-network switch tier fronting the server (the two-tier
+/// deployment of `crates/tier`). Lives here so STATS can carry one report
+/// covering both tiers: the gateway/proxy fetches the server's report and
+/// attaches its own section via [`StatsReport::with_tier`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TierSnapshot {
+    /// GETs that consulted the switch tier.
+    pub gets: u64,
+    /// GETs answered entirely at the switch (never reached the server).
+    pub hits: u64,
+    /// Switch-tier hits broken down by series level (index 0 = front).
+    pub level_hits: Vec<u64>,
+    /// GETs forwarded to the server (switch misses).
+    pub misses: u64,
+    /// SETs routed through the tier (always forwarded).
+    pub sets: u64,
+    /// DELs routed through the tier (always forwarded).
+    pub dels: u64,
+    /// Requests of any kind forwarded to the server.
+    pub forwarded: u64,
+    /// Switch entries expelled by the invalidate-before-forward rule.
+    pub invalidations: u64,
+    /// Miss replies admitted into the switch tier.
+    pub inserts: u64,
+    /// Entries pushed out of the last series level by admissions.
+    pub evictions: u64,
+    /// Miss replies *not* admitted because an invalidation raced the
+    /// round-trip (the epoch guard — see DESIGN.md §11).
+    pub stale_drops: u64,
+    /// hits / gets (0 when no GETs yet).
+    pub hit_rate: f64,
+    /// hits / (gets + sets + dels): the fraction of all client requests the
+    /// server never saw — the paper's offload claim.
+    pub offload_ratio: f64,
+}
+
+impl TierSnapshot {
+    /// Recomputes the derived ratios from the raw counters.
+    pub fn with_ratios(mut self) -> Self {
+        self.hit_rate = if self.gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        };
+        let requests = self.gets + self.sets + self.dels;
+        self.offload_ratio = if requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / requests as f64
+        };
+        self
+    }
+}
+
 /// The STATS payload: one snapshot per shard, their sum, and (when the
 /// server traces requests) per-lifecycle-stage duration summaries.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -384,6 +438,9 @@ pub struct StatsReport {
     /// Per-stage duration summaries from the span tracer, in pipeline
     /// order. Empty when tracing is off (or the report predates it).
     pub stages: Vec<StageSummary>,
+    /// Switch-tier counters, when the report passed through a two-tier
+    /// gateway (`None` — serialized as `null` — for a bare server).
+    pub tier: Option<TierSnapshot>,
 }
 
 impl StatsReport {
@@ -455,6 +512,7 @@ impl StatsReport {
             shards,
             totals,
             stages: Vec::new(),
+            tier: None,
         }
     }
 
@@ -463,6 +521,13 @@ impl StatsReport {
     /// stage histograms are tracer-global, not per-shard).
     pub fn with_stages(mut self, stages: Vec<StageSummary>) -> Self {
         self.stages = stages;
+        self
+    }
+
+    /// Attaches the switch-tier section (the two-tier gateway/proxy calls
+    /// this on the upstream server's report before handing it to clients).
+    pub fn with_tier(mut self, tier: TierSnapshot) -> Self {
+        self.tier = Some(tier);
         self
     }
 }
@@ -707,6 +772,41 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.stages, report.stages);
+    }
+
+    #[test]
+    fn tier_section_rides_on_the_report_and_roundtrips() {
+        let report = StatsReport::from_shards(vec![ShardMetrics::default().snapshot(0)]);
+        assert_eq!(report.tier, None);
+        // A bare server's report serializes the section as null and
+        // deserializes back to None (the gateway is the only writer).
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"tier\":null"), "{json}");
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+
+        let tier = TierSnapshot {
+            gets: 80,
+            hits: 60,
+            level_hits: vec![40, 15, 5],
+            misses: 20,
+            sets: 15,
+            dels: 5,
+            forwarded: 40,
+            invalidations: 18,
+            inserts: 20,
+            evictions: 7,
+            stale_drops: 1,
+            hit_rate: 0.0,
+            offload_ratio: 0.0,
+        }
+        .with_ratios();
+        assert!((tier.hit_rate - 0.75).abs() < 1e-12);
+        assert!((tier.offload_ratio - 0.6).abs() < 1e-12);
+        let report = report.with_tier(tier.clone());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tier, Some(tier));
     }
 
     #[test]

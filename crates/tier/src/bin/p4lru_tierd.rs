@@ -1,0 +1,103 @@
+//! The tier daemon: runs the switch tier as a TCP proxy in front of a live
+//! serverd, speaking the same protocol on both sides.
+//!
+//! Point any existing client (`loadgen`, `p4lru-cli`, the bench drivers) at
+//! the proxy instead of the server and the deployment becomes two-tier:
+//! GETs that hit the switch never reach serverd, SET/DEL invalidate the
+//! switch copy before being forwarded (DESIGN.md §11), and
+//! `--metrics-addr` serves the `p4lru_tier_*` Prometheus families.
+//!
+//! Exits cleanly on a client's SHUTDOWN opcode (printing final tier
+//! counters); `--shutdown-upstream` forwards the SHUTDOWN to serverd too.
+
+use std::process::ExitCode;
+
+use p4lru_tier::{ProxyConfig, SwitchTierConfig, TierProxy};
+
+const USAGE: &str = "\
+p4lru_tierd — in-network LruIndex tier in front of serverd
+
+USAGE: p4lru_tierd [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>      listen address            [default: 127.0.0.1:4250]
+  --upstream <host:port>  serverd to front          [default: 127.0.0.1:4190]
+  --levels <n>            series index levels       [default: 4]
+  --switch-memory <bytes> index SRAM across levels  [default: 65536]
+  --seed <n>              index hash seed           [default: 0x7134]
+  --metrics-addr <a>      serve Prometheus text at http://<a>/metrics
+  --shutdown-upstream     forward a client's SHUTDOWN to serverd as well
+  -h, --help              print this help
+";
+
+fn parse_args() -> Result<ProxyConfig, String> {
+    let mut config = ProxyConfig {
+        addr: "127.0.0.1:4250".to_owned(),
+        upstream: "127.0.0.1:4190".to_owned(),
+        switch: SwitchTierConfig::default(),
+        metrics_addr: None,
+        shutdown_upstream: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        if flag == "--shutdown-upstream" {
+            config.shutdown_upstream = true;
+            continue;
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |e| format!("bad value for {flag}: {e:?}");
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--upstream" => config.upstream = value,
+            "--levels" => config.switch.levels = value.parse().map_err(bad)?,
+            "--switch-memory" => config.switch.memory_bytes = value.parse().map_err(bad)?,
+            "--seed" => config.switch.seed = value.parse().map_err(bad)?,
+            "--metrics-addr" => config.metrics_addr = Some(value),
+            _ => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    if config.switch.levels == 0 {
+        return Err("--levels must be at least 1".to_owned());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let proxy = match TierProxy::spawn(&config) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("error: failed to start tier proxy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "p4lru_tierd listening on {} (upstream {}, {} levels, {} B index)",
+        proxy.local_addr(),
+        config.upstream,
+        config.switch.levels,
+        config.switch.memory_bytes
+    );
+    if let Some(addr) = proxy.metrics_addr() {
+        eprintln!("p4lru_tierd metrics on http://{addr}/metrics");
+    }
+    let counters = std::sync::Arc::clone(proxy.counters());
+    let levels = config.switch.levels;
+    proxy.wait();
+    let snapshot = counters.snapshot(levels);
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(json) => println!("{json}"),
+        Err(e) => eprintln!("error: stats serialization failed: {e:?}"),
+    }
+    ExitCode::SUCCESS
+}

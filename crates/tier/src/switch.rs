@@ -1,0 +1,320 @@
+//! The switch tier: the LruIndex series index paired with a register-backed
+//! value store.
+//!
+//! On a Tofino, the series-connected P4LRU arrays track *which* keys are
+//! cached and *where* (a 48-bit slot address); the values themselves live
+//! in a separate register file indexed by that address. [`SwitchTier`]
+//! reproduces that split in software: a [`SeriesIndex`] maps keys to slot
+//! addresses, and a flat `Vec<Record>` plays the register file, with a
+//! free-list recycling slots as index evictions release them.
+//!
+//! Coherence with the server tier rests on two rules (DESIGN.md §11):
+//!
+//! 1. **Invalidate-before-forward** — every SET/DEL expels the switch copy
+//!    *before* being forwarded, so a later GET cannot hit stale data.
+//! 2. **Epoch-guarded admission** — a GET miss records the tier's epoch
+//!    before its server round-trip; the fetched value is admitted only if
+//!    no invalidation bumped the epoch in between. Without the guard, a
+//!    concurrent writer could slip a SET between the server read and the
+//!    admission, re-installing the overwritten value.
+
+use std::sync::Arc;
+
+use p4lru_core::dfa::Dfa3;
+use p4lru_kvstore::Record;
+use p4lru_lruindex::{QueryHit, ReplyOutcome, SeriesIndex};
+
+use crate::counters::TierCounters;
+
+/// Switch-tier sizing. Mirrors the paper's deployment: `levels` series
+/// arrays sharing `memory_bytes` of index SRAM (15 B/entry — 8-byte key,
+/// 6-byte address, 1-byte state), one value slot per index entry.
+#[derive(Clone, Debug)]
+pub struct SwitchTierConfig {
+    /// Series levels (the paper deploys 4).
+    pub levels: usize,
+    /// Index memory across all levels, bytes.
+    pub memory_bytes: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for SwitchTierConfig {
+    fn default() -> Self {
+        Self {
+            levels: 4,
+            memory_bytes: 64 * 1024,
+            seed: 0x7134,
+        }
+    }
+}
+
+/// The in-network front cache of a two-tier deployment.
+pub struct SwitchTier {
+    index: SeriesIndex<3, Dfa3>,
+    /// The register-file value store, one slot per index entry.
+    slots: Vec<Record>,
+    /// Free slot addresses (every address not currently held by the index).
+    free: Vec<u64>,
+    /// Bumped by every invalidation; guards miss-reply admission.
+    epoch: u64,
+    counters: Arc<TierCounters>,
+    levels: usize,
+}
+
+impl SwitchTier {
+    /// Builds the tier with a fresh counter block.
+    pub fn new(config: &SwitchTierConfig) -> Self {
+        Self::with_counters(config, Arc::new(TierCounters::default()))
+    }
+
+    /// Builds the tier around an existing (shared) counter block.
+    pub fn with_counters(config: &SwitchTierConfig, counters: Arc<TierCounters>) -> Self {
+        let index = SeriesIndex::new(config.levels, config.memory_bytes, config.seed, "P4LRU3");
+        let capacity = p4lru_lruindex::IndexCache::capacity(&index);
+        Self {
+            index,
+            slots: vec![[0u8; p4lru_kvstore::VALUE_SIZE]; capacity],
+            free: (0..capacity as u64).rev().collect(),
+            epoch: 0,
+            counters,
+            levels: config.levels,
+        }
+    }
+
+    /// Entry capacity (index entries = value slots).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Cached entries right now.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Is the tier empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Series levels configured.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The shared counter block.
+    pub fn counters(&self) -> &Arc<TierCounters> {
+        &self.counters
+    }
+
+    /// The current invalidation epoch. A GET records this before its server
+    /// round-trip and hands it back to [`Self::admit`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The switch's data-plane GET path: query the index, and on a hit
+    /// promote the entry (the reply pass) and read its slot. Counts the hit
+    /// per level. Returns `None` on a miss — the caller forwards.
+    pub fn lookup(&mut self, key: u64) -> Option<(usize, Record)> {
+        let (hit, addr) = self.index.query_level(key);
+        let QueryHit::Level(level) = hit else {
+            return None;
+        };
+        let addr = addr.expect("a query hit always carries its address");
+        let record = self.slots[addr as usize];
+        match self.index.admit(hit, key, addr) {
+            ReplyOutcome::Promoted => {}
+            outcome => unreachable!("promotion of a just-queried key: {outcome:?}"),
+        }
+        self.counters.hit(level);
+        Some((level, record))
+    }
+
+    /// Admits a miss reply fetched from the server, unless an invalidation
+    /// happened since `epoch` was read (the guard drops the reply exactly
+    /// as the switch drops a reply whose `cached_flag` went stale).
+    pub fn admit(&mut self, key: u64, record: Record, epoch: u64) -> bool {
+        if epoch != self.epoch {
+            self.counters.stale_drop();
+            return false;
+        }
+        // A racing reader's reply may have admitted the key already (two
+        // pipelined GETs of the same cold key): refresh its slot in place
+        // rather than cascade-inserting a duplicate.
+        if let (QueryHit::Level(level), Some(addr)) = self.index.query_level(key) {
+            self.slots[addr as usize] = record;
+            match self.index.admit(QueryHit::Level(level), key, addr) {
+                ReplyOutcome::Promoted => {}
+                outcome => unreachable!("promotion of a just-queried key: {outcome:?}"),
+            }
+            return true;
+        }
+        let slot = self
+            .free
+            .pop()
+            .expect("value store is sized to the index capacity");
+        self.slots[slot as usize] = record;
+        match self.index.admit(QueryHit::Miss, key, slot) {
+            ReplyOutcome::InsertedFresh { expelled } => {
+                self.counters.insert();
+                if let Some((_key, freed)) = expelled {
+                    self.counters.eviction();
+                    self.free.push(freed);
+                }
+            }
+            // Unreachable: the pre-check above saw a miss and `&mut self`
+            // is held throughout, so level 0 cannot already hold the key.
+            outcome => unreachable!("miss-path admit produced {outcome:?}"),
+        }
+        true
+    }
+
+    /// Expels the switch copy of a key (invalidate-before-forward) and bumps
+    /// the epoch. The epoch bumps even when the key is not cached: an
+    /// in-flight miss reply for that key may still be on its way back, and
+    /// admitting it would resurrect the overwritten value.
+    pub fn invalidate(&mut self, key: u64) -> bool {
+        self.epoch += 1;
+        match self.index.invalidate(key) {
+            Some((_level, addr)) => {
+                self.free.push(addr);
+                self.counters.invalidation();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Internal consistency: every address is either free or indexed,
+    /// exactly once.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.index.series().check_invariants()?;
+        let indexed = self.index.series().len();
+        if indexed + self.free.len() != self.slots.len() {
+            return Err(format!(
+                "slot leak: {indexed} indexed + {} free != {} total",
+                self.free.len(),
+                self.slots.len()
+            ));
+        }
+        let mut seen = vec![false; self.slots.len()];
+        for &addr in &self.free {
+            if std::mem::replace(&mut seen[addr as usize], true) {
+                return Err(format!("address {addr} freed twice"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(memory_bytes: usize) -> SwitchTier {
+        SwitchTier::new(&SwitchTierConfig {
+            levels: 3,
+            memory_bytes,
+            seed: 0xABC,
+        })
+    }
+
+    fn record(byte: u8) -> Record {
+        [byte; p4lru_kvstore::VALUE_SIZE]
+    }
+
+    #[test]
+    fn miss_admit_hit_roundtrip() {
+        let mut t = tier(4096);
+        assert_eq!(t.lookup(42), None);
+        let epoch = t.epoch();
+        assert!(t.admit(42, record(7), epoch));
+        let (level, rec) = t.lookup(42).expect("admitted key hits");
+        assert_eq!(level, 0);
+        assert_eq!(rec, record(7));
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalidation_expels_and_bumps_epoch() {
+        let mut t = tier(4096);
+        let epoch = t.epoch();
+        t.admit(5, record(1), epoch);
+        assert!(t.invalidate(5));
+        assert_eq!(t.lookup(5), None);
+        assert!(!t.invalidate(5), "second invalidate finds nothing");
+        assert_eq!(t.epoch(), epoch + 2, "every invalidate bumps the epoch");
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn epoch_guard_drops_raced_admission() {
+        let mut t = tier(4096);
+        // GET misses and records the epoch; a SET invalidates (key absent,
+        // but the epoch still moves) before the reply returns.
+        let epoch = t.epoch();
+        t.invalidate(9);
+        assert!(!t.admit(9, record(3), epoch), "stale reply must be dropped");
+        assert_eq!(t.lookup(9), None);
+        assert_eq!(t.counters().snapshot(3).stale_drops, 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_admission_refreshes_in_place() {
+        let mut t = tier(4096);
+        let epoch = t.epoch();
+        assert!(t.admit(11, record(1), epoch));
+        // A second pipelined reply for the same key, same epoch.
+        assert!(t.admit(11, record(2), epoch));
+        assert_eq!(t.len(), 1, "no duplicate entry");
+        assert_eq!(t.lookup(11).unwrap().1, record(2));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn slots_recycle_under_churn() {
+        let mut t = tier(2048);
+        let capacity = t.capacity();
+        for k in 0..(capacity as u64 * 5) {
+            let epoch = t.epoch();
+            t.admit(k, record(k as u8), epoch);
+        }
+        assert!(t.len() <= capacity);
+        t.check_invariants().unwrap();
+        let snap = t.counters().snapshot(3);
+        assert!(snap.evictions > 0, "churn must evict");
+        // Interleave invalidations and keep the free-list consistent.
+        for k in 0..(capacity as u64 * 5) {
+            t.invalidate(k);
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn per_level_hits_accumulate() {
+        let mut t = tier(2048);
+        for k in 0..(t.capacity() as u64) {
+            let epoch = t.epoch();
+            t.admit(k, record(1), epoch);
+        }
+        let mut hits = 0;
+        for k in 0..(t.capacity() as u64) {
+            if t.lookup(k).is_some() {
+                hits += 1;
+            }
+        }
+        let snap = t.counters().snapshot(3);
+        assert_eq!(snap.hits, hits);
+        assert_eq!(snap.level_hits.iter().sum::<u64>(), hits);
+        assert_eq!(snap.level_hits.len(), 3);
+        assert!(
+            snap.level_hits[1] + snap.level_hits[2] > 0,
+            "deep levels hit"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! End-to-end tests of `p4lru_tierd`: unmodified protocol clients against
+//! the proxy, STATS with the tier section, coherence across concurrent
+//! connections, and `/metrics` exposition validity (the tier-side
+//! counterpart of `crates/server/tests/observability.rs`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use p4lru_kvstore::db::record_for;
+use p4lru_obs::http::http_get;
+use p4lru_server::client::Client;
+use p4lru_server::server::{Server, ServerConfig};
+use p4lru_tier::{ProxyConfig, SwitchTierConfig, TierProxy};
+
+const ITEMS: u64 = 2_000;
+
+fn server() -> Server {
+    Server::spawn(&ServerConfig {
+        items: ITEMS,
+        units_per_shard: 64,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns")
+}
+
+fn proxy_for(server: &Server, metrics: bool) -> TierProxy {
+    TierProxy::spawn(&ProxyConfig {
+        upstream: server.local_addr().to_string(),
+        switch: SwitchTierConfig {
+            levels: 3,
+            memory_bytes: 8_192,
+            seed: 0x9E0,
+        },
+        metrics_addr: metrics.then(|| "127.0.0.1:0".to_owned()),
+        ..ProxyConfig::default()
+    })
+    .expect("proxy spawns")
+}
+
+fn pad64(value: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; 64];
+    let n = value.len().min(64);
+    out[..n].copy_from_slice(&value[..n]);
+    out
+}
+
+#[test]
+fn proxy_speaks_the_server_protocol_and_counts_hits() {
+    let server = server();
+    let proxy = proxy_for(&server, false);
+    let mut client = Client::connect(proxy.local_addr()).unwrap();
+
+    // Cold GET misses through to the server; the repeat hits the switch.
+    for _ in 0..2 {
+        assert_eq!(client.get(5).unwrap(), Some(record_for(5).to_vec()));
+    }
+    assert_eq!(client.get(ITEMS + 9).unwrap(), None, "absent key");
+
+    // Writes invalidate before forwarding; reads observe them immediately.
+    client.set(5, b"rewritten").unwrap();
+    assert_eq!(client.get(5).unwrap(), Some(pad64(b"rewritten")));
+    assert!(client.del(5).unwrap());
+    assert_eq!(client.get(5).unwrap(), None);
+    assert!(!client.del(5).unwrap(), "second DEL finds nothing");
+
+    let snap = proxy.counters().snapshot(3);
+    assert_eq!(snap.gets, 5);
+    assert_eq!(snap.hits, 1, "exactly the repeated warm GET");
+    assert_eq!(snap.sets, 1);
+    assert_eq!(snap.dels, 2);
+    assert!(snap.invalidations >= 1, "SET expelled the cached copy");
+    assert_eq!(snap.forwarded, 4 + 1 + 2, "all but the warm hit");
+
+    // STATS through the proxy carries the tier section; the same report
+    // straight from the server does not.
+    let report = client.stats().unwrap();
+    let tier = report.tier.expect("proxy attaches the tier section");
+    assert_eq!(tier.gets, 5);
+    assert_eq!(tier.level_hits.len(), 3);
+    assert!(report.totals.gets >= 4, "server saw the forwarded GETs");
+    let mut direct = Client::connect(server.local_addr()).unwrap();
+    assert!(direct.stats().unwrap().tier.is_none());
+
+    drop(client);
+    proxy.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_writer_never_exposes_stale_reads_through_the_proxy() {
+    let server = server();
+    let proxy = proxy_for(&server, false);
+    let key = 42;
+    let rounds: u64 = 300;
+
+    // One connection rewrites `key` with an encoded version counter while
+    // another keeps reading it. Acked writes are strictly ordered, the SET
+    // path invalidates before forwarding, and the epoch guard drops
+    // in-flight stale replies — so the versions a reader observes must be
+    // non-decreasing. A backslide is a stale switch hit.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let addr = proxy.local_addr();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut last = 0u64;
+            let mut observed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(value) = client.get(key).unwrap() {
+                    let version = u64::from_le_bytes(value[..8].try_into().unwrap());
+                    assert!(
+                        version >= last,
+                        "read went back in time: {version} after {last}"
+                    );
+                    last = version;
+                    observed += 1;
+                }
+            }
+            observed
+        })
+    };
+    let mut writer = Client::connect(proxy.local_addr()).unwrap();
+    for version in 1..=rounds {
+        writer.set(key, &version.to_le_bytes()).unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let observed = reader.join().expect("reader thread");
+    assert!(observed > 0, "reader must have raced at least one write");
+
+    let snap = proxy.counters().snapshot(3);
+    assert_eq!(snap.sets, rounds);
+    drop(writer);
+    proxy.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_opcode_stops_the_proxy_and_spares_the_server() {
+    let server = server();
+    let proxy = proxy_for(&server, false);
+    let addr = proxy.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.get(1).unwrap().is_some());
+    client.shutdown().unwrap();
+    proxy.wait();
+    assert!(
+        Client::connect(addr).is_err() || {
+            // The listener may accept a last connection while unwinding;
+            // it must not serve on it.
+            let mut c = Client::connect(addr).unwrap();
+            c.get(1).is_err()
+        },
+        "proxy still serving after SHUTDOWN"
+    );
+    // The upstream server survived (shutdown_upstream was off).
+    let mut direct = Client::connect(server.local_addr()).unwrap();
+    assert!(direct.get(1).unwrap().is_some());
+    server.shutdown();
+}
+
+// --- /metrics exposition validity (mirrors server/tests/observability.rs) ---
+
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parses (and validates) the Prometheus text format: every line must be a
+/// well-formed `# HELP`/`# TYPE` comment or a `name{labels} value` sample.
+fn parse_exposition(text: &str) -> (Vec<Sample>, BTreeMap<String, String>) {
+    let mut samples = Vec::new();
+    let mut types = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (kw, rest) = rest.split_once(' ').expect("comment keyword");
+            assert!(kw == "HELP" || kw == "TYPE", "unknown comment {line:?}");
+            let (name, detail) = rest.split_once(' ').expect("comment body");
+            assert!(valid_metric_name(name), "bad name in {line:?}");
+            if kw == "TYPE" {
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&detail),
+                    "bad type in {line:?}"
+                );
+                types.insert(name.to_owned(), detail.to_owned());
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("bad value {line:?}: {e}"));
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_owned(), BTreeMap::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').expect("closing brace");
+                let mut labels = BTreeMap::new();
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label pair");
+                    assert!(valid_metric_name(k), "bad label name in {line:?}");
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .expect("quoted label value");
+                    labels.insert(k.to_owned(), v.to_owned());
+                }
+                (name.to_owned(), labels)
+            }
+        };
+        assert!(valid_metric_name(&name), "bad metric name in {line:?}");
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    (samples, types)
+}
+
+fn value_of(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+#[test]
+fn proxy_metrics_endpoint_is_valid_exposition_and_matches_counters() {
+    let server = server();
+    let proxy = proxy_for(&server, true);
+    let mut client = Client::connect(proxy.local_addr()).unwrap();
+    for key in 0..40 {
+        client.get(key % 8).unwrap();
+    }
+    client.set(3, b"x").unwrap();
+    client.del(4).unwrap();
+
+    let metrics = proxy.metrics_addr().expect("metrics endpoint configured");
+    let (status, body) = http_get(metrics, "/metrics").expect("GET /metrics");
+    assert!(status.contains("200"), "{status}");
+    let (samples, types) = parse_exposition(&body);
+
+    let snap = proxy.counters().snapshot(3);
+    assert_eq!(value_of(&samples, "p4lru_tier_requests_total") as u64, 42);
+    assert_eq!(
+        value_of(&samples, "p4lru_tier_hits_total") as u64,
+        snap.hits
+    );
+    assert_eq!(
+        value_of(&samples, "p4lru_tier_forwarded_total") as u64,
+        snap.forwarded
+    );
+    assert_eq!(
+        value_of(&samples, "p4lru_tier_invalidations_total") as u64,
+        snap.invalidations
+    );
+    let offload = value_of(&samples, "p4lru_tier_offload_ratio");
+    assert!(
+        (offload - snap.offload_ratio).abs() < 1e-9 && offload > 0.0,
+        "offload gauge {offload} vs snapshot {}",
+        snap.offload_ratio
+    );
+
+    // Per-level hits carry a level label per configured level and sum to
+    // the hit total.
+    let per_level: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "p4lru_tier_level_hits_total")
+        .collect();
+    assert_eq!(per_level.len(), 3);
+    for s in &per_level {
+        assert!(s.labels.contains_key("level"), "missing level label");
+    }
+    let level_sum: f64 = per_level.iter().map(|s| s.value).sum();
+    assert_eq!(level_sum as u64, snap.hits);
+
+    assert_eq!(
+        types.get("p4lru_tier_hits_total").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        types.get("p4lru_tier_offload_ratio").map(String::as_str),
+        Some("gauge")
+    );
+
+    drop(client);
+    proxy.shutdown();
+    server.shutdown();
+}

@@ -21,18 +21,22 @@
 //!    ([`caida::CaidaConfig::segments`]).
 //!
 //! [`ycsb`] provides the Zipf(α = 0.9) key-request workload used for the
-//! LruIndex experiments, and [`stats`] computes the trace statistics used to
-//! calibrate the generator against the paper's quoted numbers.
+//! LruIndex experiments, [`adversarial`] the hot-key-flip and sequential
+//! scan patterns used to stress the two-tier deployment, and [`stats`]
+//! computes the trace statistics used to calibrate the generator against
+//! the paper's quoted numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod caida;
 pub mod packet;
 pub mod stats;
 pub mod ycsb;
 pub mod zipf;
 
+pub use adversarial::{HotFlipConfig, ScanConfig};
 pub use caida::{CaidaConfig, Trace};
 pub use packet::{FiveTuple, Packet};
 pub use zipf::Zipf;

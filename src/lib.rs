@@ -13,6 +13,7 @@
 //! * [`netsim`] — deterministic discrete-event simulator
 //! * [`lrutable`], [`lruindex`], [`lrumon`] — the three in-network systems
 //! * [`server`] — the runnable sharded cache service and load generator
+//! * [`tier`] — the two-tier deployment: LruIndex switch tier over serverd
 
 #![forbid(unsafe_code)]
 
@@ -26,4 +27,5 @@ pub use p4lru_netsim as netsim;
 pub use p4lru_pipeline as pipeline;
 pub use p4lru_server as server;
 pub use p4lru_sketches as sketches;
+pub use p4lru_tier as tier;
 pub use p4lru_traffic as traffic;
