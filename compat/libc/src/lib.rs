@@ -1,0 +1,146 @@
+//! Offline stand-in for the slice of the `libc` crate this workspace uses.
+//!
+//! The build environment has no route to crates.io, so — like the other
+//! shims under `compat/` — this crate declares exactly the foreign items the
+//! workspace needs and nothing more: the epoll family, `eventfd`, the raw
+//! `read`/`write`/`close` calls the eventfd is driven through, and
+//! `getrlimit`/`setrlimit` for raising the open-file ceiling in benchmarks.
+//!
+//! Everything here is the stable Linux kernel/glibc ABI; the constants and
+//! struct layouts match the upstream `libc` crate (notably `epoll_event` is
+//! `#[repr(C, packed)]` on x86_64, mirroring the kernel's packed layout).
+//! Calls are declared, not wrapped: all safety obligations sit with the
+//! caller, exactly as with upstream `libc`.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `unsigned int`.
+pub type c_uint = u32;
+/// C `void` for pointer types.
+pub type c_void = core::ffi::c_void;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `ssize_t`.
+pub type ssize_t = isize;
+/// Resource-limit value type (`rlim_t`).
+pub type rlim_t = u64;
+
+/// One epoll readiness record. Packed on x86_64 to match the kernel ABI
+/// (the upstream `libc` crate does the same).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Ready-event bitmask (`EPOLLIN | ...`).
+    pub events: u32,
+    /// Caller-chosen cookie returned verbatim with the event.
+    pub u64: u64,
+}
+
+/// Soft/hard pair for one resource limit.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct rlimit {
+    /// Current (soft) limit.
+    pub rlim_cur: rlim_t,
+    /// Maximum (hard) limit.
+    pub rlim_max: rlim_t,
+}
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change an fd's interest set.
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// Close the epoll fd on exec.
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// Close the eventfd on exec.
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+/// Nonblocking eventfd reads/writes.
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+/// Resource id for the open-file-descriptor limit.
+pub const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    /// Creates an epoll instance; `flags` is `EPOLL_CLOEXEC` or 0.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Adds/modifies/removes `fd` in the interest list of `epfd`.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Waits up to `timeout` ms for events; returns the number stored.
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Creates an eventfd counter with the given initial value and flags.
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    /// Raw `read(2)`.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Raw `write(2)`.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// Raw `close(2)`.
+    pub fn close(fd: c_int) -> c_int;
+    /// Reads a resource limit.
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    /// Sets a resource limit.
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        // x86_64 packs the struct to 12 bytes; other 64-bit targets pad to 16.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(core::mem::size_of::<epoll_event>(), 12);
+        }
+    }
+
+    #[test]
+    fn eventfd_round_trip() {
+        unsafe {
+            let fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(fd >= 0, "eventfd failed");
+            let one: u64 = 1;
+            let n = write(fd, (&one as *const u64).cast(), 8);
+            assert_eq!(n, 8);
+            let mut got: u64 = 0;
+            let n = read(fd, (&mut got as *mut u64).cast(), 8);
+            assert_eq!(n, 8);
+            assert_eq!(got, 1);
+            assert_eq!(close(fd), 0);
+        }
+    }
+
+    #[test]
+    fn getrlimit_nofile_reports_something() {
+        let mut lim = rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        let rc = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+        assert_eq!(rc, 0);
+        assert!(lim.rlim_cur > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! [`SharedStream`]: one socket, many handles, one file descriptor.
+//!
+//! A driver that wants separate buffered reader and writer halves around
+//! the same connection would classically `try_clone` the stream — but
+//! `try_clone` is `dup(2)`, and the second descriptor doubles the
+//! connection's bill against `RLIMIT_NOFILE`. At the scales this crate
+//! exists for (tens of thousands of connections, often client and server
+//! in one benchmark process) that bill is the binding constraint, not
+//! memory or CPU. `SharedStream` instead clones an [`Arc`] around the one
+//! `TcpStream`: `&TcpStream` already implements `Read` and `Write` (socket
+//! I/O takes no exclusive borrow), so every handle reads and writes the
+//! same descriptor, and the descriptor closes when the last handle drops.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A cloneable handle to a single `TcpStream`. All clones share one file
+/// descriptor (and therefore all socket flags: nonblocking, nodelay, ...).
+#[derive(Clone, Debug)]
+pub struct SharedStream(Arc<TcpStream>);
+
+impl SharedStream {
+    /// Wraps a stream. Further handles come from `clone()`.
+    pub fn new(stream: TcpStream) -> Self {
+        Self(Arc::new(stream))
+    }
+
+    /// The underlying stream, for flag twiddling (`set_nodelay`, ...).
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.0
+    }
+}
+
+impl Read for SharedStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&*self.0).read(buf)
+    }
+}
+
+impl Write for SharedStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&*self.0).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&*self.0).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn handles_share_one_descriptor() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (served, _) = listener.accept().unwrap();
+
+        let mut reader = SharedStream::new(client);
+        let mut writer = reader.clone();
+        writer.write_all(b"ping").unwrap();
+        let mut served = SharedStream::new(served);
+        let mut buf = [0u8; 4];
+        served.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        served.write_all(b"pong").unwrap();
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+
+        // Flags set through one handle are visible through the other —
+        // same descriptor, not a dup.
+        writer.get_ref().set_nonblocking(true).unwrap();
+        let mut scratch = [0u8; 1];
+        let err = reader.read(&mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+}

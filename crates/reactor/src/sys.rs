@@ -1,0 +1,146 @@
+//! Checked wrappers over the vendored `libc` shim.
+//!
+//! This is the only module in the crate that uses `unsafe`. Every wrapper
+//! turns the C error convention (negative return + `errno`) into
+//! `io::Result`, and every pointer handed to the kernel comes from a live
+//! Rust reference, so callers above this module stay entirely safe.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// One raw epoll readiness record (re-exported so [`crate::poll`] can size
+/// its event buffer without touching `libc` directly).
+pub(crate) type RawEvent = libc::epoll_event;
+
+fn cvt(rc: libc::c_int) -> io::Result<libc::c_int> {
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(rc)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub(crate) fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the kernel validates the flag.
+    cvt(unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) })
+}
+
+/// Adds, modifies, or removes `fd` in the interest list of `epfd`.
+pub(crate) fn epoll_ctl(
+    epfd: RawFd,
+    op: libc::c_int,
+    fd: RawFd,
+    events: u32,
+    token: u64,
+) -> io::Result<()> {
+    let mut ev = libc::epoll_event { events, u64: token };
+    // SAFETY: `ev` is a live stack value for the duration of the call; the
+    // kernel copies it and validates the fds.
+    cvt(unsafe { libc::epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+/// Waits for readiness; fills `buf` and returns the number of records.
+/// `timeout_ms` of -1 blocks indefinitely. `EINTR` is surfaced as `Ok(0)`
+/// (an empty turn) so callers simply loop.
+pub(crate) fn epoll_wait(epfd: RawFd, buf: &mut [RawEvent], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `buf` is a live, writable slice and its length bounds the
+    // kernel's writes via `maxevents`.
+    let rc =
+        unsafe { libc::epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as libc::c_int, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+/// Creates a nonblocking close-on-exec eventfd with counter 0.
+pub(crate) fn eventfd_new() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved.
+    cvt(unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) })
+}
+
+/// Adds 1 to the eventfd counter, waking any `epoll_wait` watching it.
+/// A full counter (`EAGAIN`) already guarantees a pending wakeup, so it is
+/// not an error.
+pub(crate) fn eventfd_write(fd: RawFd) {
+    let one: u64 = 1;
+    // SAFETY: `one` is a live 8-byte value, the size eventfd requires.
+    let _ = unsafe { libc::write(fd, (&one as *const u64).cast(), 8) };
+}
+
+/// Drains the eventfd counter to zero. The fd is nonblocking, so this is a
+/// single read that either collects the whole counter or finds it empty.
+pub(crate) fn eventfd_drain(fd: RawFd) {
+    let mut buf: u64 = 0;
+    // SAFETY: `buf` is a live 8-byte buffer, the size eventfd requires.
+    let _ = unsafe { libc::read(fd, (&mut buf as *mut u64).cast(), 8) };
+}
+
+/// Closes a raw fd (epoll and eventfd fds are not wrapped in std types).
+pub(crate) fn close_fd(fd: RawFd) {
+    // SAFETY: callers only pass fds they own exactly once (Drop impls).
+    let _ = unsafe { libc::close(fd) };
+}
+
+/// Returns the current `(soft, hard)` open-file-descriptor limit.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut lim = libc::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a live struct the kernel fills.
+    cvt(unsafe { libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) })?;
+    Ok((lim.rlim_cur, lim.rlim_max))
+}
+
+/// Best-effort raise of the open-file soft limit to at least `want` fds.
+///
+/// Privileged processes can raise the hard limit too (needed to hold 10k+
+/// connections when the inherited hard limit is low); unprivileged ones are
+/// clamped to the existing hard limit. Returns the soft limit now in
+/// effect — callers decide whether that is enough for their fan-out.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    if soft >= want {
+        return Ok(soft);
+    }
+    let raised = libc::rlimit {
+        rlim_cur: want,
+        rlim_max: hard.max(want),
+    };
+    // SAFETY: `raised` is a live struct the kernel copies.
+    if cvt(unsafe { libc::setrlimit(libc::RLIMIT_NOFILE, &raised) }).is_ok() {
+        return Ok(want);
+    }
+    // Raising the hard limit needs privilege; fall back to soft = hard.
+    let clamped = libc::rlimit {
+        rlim_cur: want.min(hard),
+        rlim_max: hard,
+    };
+    // SAFETY: as above.
+    cvt(unsafe { libc::setrlimit(libc::RLIMIT_NOFILE, &clamped) })?;
+    Ok(clamped.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofile_limit_is_sane() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+    }
+
+    #[test]
+    fn raise_nofile_is_monotone() {
+        let (soft, _) = nofile_limit().unwrap();
+        let now = raise_nofile_limit(soft).unwrap();
+        assert!(now >= soft);
+    }
+}

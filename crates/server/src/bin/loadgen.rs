@@ -13,6 +13,7 @@ use std::process::ExitCode;
 use p4lru_kvstore::db::record_for;
 use p4lru_server::client::Client;
 use p4lru_server::loadgen::{run, to_figure_json, LoadgenConfig};
+use p4lru_server::openloop::{run_open_loop, sweep_to_figure_json, OpenLoopConfig};
 
 const USAGE: &str = "\
 loadgen — closed-loop YCSB benchmark for p4lru_serverd
@@ -29,6 +30,14 @@ OPTIONS:
   --pipeline <depth>     in-flight requests per connection; 1 = closed loop
                          [default: 1]
   --seed <n>             workload seed           [default: 4269]
+
+OPEN-LOOP MODE (coordinated-omission-safe; --rate switches it on):
+  --rate <ops/s>         offered load, paced by a fixed schedule; latency is
+                         measured from each op's *intended* send instant
+  --conns <n>            connections to hold open   [default: 64]
+  --io-threads <n>       client-side event-loop threads [default: 2]
+  --open-window <n>      max in-flight ops per connection [default: 32]
+
   --out <path>           write FigureResult JSON [default: results/server_bench.json]
   --no-out               skip writing the JSON file
   --no-verify            skip read verification
@@ -50,6 +59,11 @@ struct Args {
     expect_hits: bool,
     acked_log: Option<PathBuf>,
     verify_acked: Option<PathBuf>,
+    /// `Some(rate)` switches to the open-loop generator.
+    rate: Option<f64>,
+    conns: usize,
+    io_threads: usize,
+    open_window: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +74,10 @@ fn parse_args() -> Result<Args, String> {
         expect_hits: false,
         acked_log: None,
         verify_acked: None,
+        rate: None,
+        conns: 64,
+        io_threads: 2,
+        open_window: 32,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -102,6 +120,10 @@ fn parse_args() -> Result<Args, String> {
             "--out",
             "--acked-log",
             "--verify-acked",
+            "--rate",
+            "--conns",
+            "--io-threads",
+            "--open-window",
         ];
         if !VALUE_FLAGS.contains(&flag.as_str()) {
             return Err(format!("unknown flag {flag}"));
@@ -125,6 +147,10 @@ fn parse_args() -> Result<Args, String> {
                 args.acked_log = Some(PathBuf::from(value));
             }
             "--verify-acked" => args.verify_acked = Some(PathBuf::from(value)),
+            "--rate" => args.rate = Some(value.parse().map_err(bad(&flag))?),
+            "--conns" => args.conns = value.parse().map_err(bad(&flag))?,
+            "--io-threads" => args.io_threads = value.parse().map_err(bad(&flag))?,
+            "--open-window" => args.open_window = value.parse().map_err(bad(&flag))?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -191,6 +217,76 @@ fn main() -> ExitCode {
         if let Err(e) = verify_acked(&args.config.addr, path) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+        None
+    } else if let Some(rate) = args.rate {
+        let open = OpenLoopConfig {
+            addr: args.config.addr.clone(),
+            conns: args.conns,
+            rate,
+            seconds: args.config.seconds,
+            items: args.config.items,
+            alpha: args.config.alpha,
+            read_fraction: args.config.read_fraction,
+            seed: args.config.seed,
+            io_threads: args.io_threads,
+            window: args.open_window,
+        };
+        println!(
+            "loadgen: open loop, {} conns at {:.0} ops/s offered for {}s against {}",
+            open.conns, open.rate, open.seconds, open.addr
+        );
+        let point = match run_open_loop(&open) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: open-loop run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  {} ops ({:.0} achieved of {:.0} offered ops/s): p50 {:.1} us, \
+             p95 {:.1} us, p99 {:.1} us (CO-safe), max send lag {} us",
+            point.ops,
+            point.achieved_ops_s,
+            point.offered_ops_s,
+            point.p50_us,
+            point.p95_us,
+            point.p99_us,
+            point.max_send_lag_us
+        );
+        if point.aborted_conns > 0 {
+            eprintln!(
+                "warning: {} connections did not drain cleanly",
+                point.aborted_conns
+            );
+        }
+        if point.not_found > 0 || point.corrupt > 0 {
+            eprintln!(
+                "warning: {} reads found nothing, {} reads mismatched",
+                point.not_found, point.corrupt
+            );
+        }
+        // The open-loop figure gets its own default file so a closed-loop
+        // figure written earlier survives.
+        let out = match &args.out {
+            Some(p) if p.as_path() == Path::new("results/server_bench.json") => {
+                Some(PathBuf::from("results/server_openloop.json"))
+            }
+            other => other.clone(),
+        };
+        if let Some(out) = out {
+            if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            let json = sweep_to_figure_json(&open, std::slice::from_ref(&point), &[]);
+            if let Err(e) = std::fs::write(&out, json) {
+                eprintln!("error: cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("  wrote {}", out.display());
         }
         None
     } else {

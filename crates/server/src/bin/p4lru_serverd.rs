@@ -30,6 +30,12 @@ OPTIONS:
   --seed <n>            cache hash seed      [default: 0x9412C0DE]
   --window <n>          max in-flight requests per connection (pipelining)
                         [default: 64]
+  --frontend <kind>     connection front-end: threads (one thread per
+                        connection) | reactor (epoll event loops)
+                        [default: threads]
+  --io-threads <n>      reactor event-loop threads   [default: 2]
+  --max-conns <n>       connection limit; connections past it get one ERR
+                        frame and are closed          [default: 8192]
   --data-dir <path>     durability root (WAL + snapshots); a dir that was
                         written before is recovered, and --items is ignored
   --sync <policy>       WAL sync policy: always | every=<n> | interval=<ms>
@@ -70,6 +76,13 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--units" => config.units_per_shard = value.parse().map_err(bad)?,
             "--seed" => config.seed = value.parse().map_err(bad)?,
             "--window" => config.pipeline_window = value.parse().map_err(bad)?,
+            "--frontend" => {
+                config.frontend = value
+                    .parse()
+                    .map_err(|e| format!("bad value for {flag}: {e}"))?;
+            }
+            "--io-threads" => config.io_threads = value.parse().map_err(bad)?,
+            "--max-conns" => config.max_conns = value.parse().map_err(bad)?,
             "--data-dir" => config.data_dir = Some(value.into()),
             "--sync" => {
                 config.durability.sync = value
@@ -108,6 +121,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Each connection costs two fds (stream + dup'd write half); ask for
+    // headroom above the connection limit before any sockets open.
+    match p4lru_reactor::raise_nofile_limit(2 * config.max_conns as u64 + 256) {
+        Ok(_) => {}
+        Err(e) => eprintln!("warning: could not raise fd limit: {e}"),
+    }
     let server = match Server::spawn(&config) {
         Ok(s) => s,
         Err(e) => {
@@ -140,11 +159,14 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "p4lru_serverd listening on {} ({} shards, {} items, {} cached addrs)",
+        "p4lru_serverd listening on {} ({} shards, {} items, {} cached addrs, \
+         frontend={}, max_conns={})",
         server.local_addr(),
         config.shards,
         config.items,
-        capacity
+        capacity,
+        config.frontend.name(),
+        config.max_conns
     );
     if let Some(addr) = server.metrics_addr() {
         println!("metrics: http://{addr}/metrics");

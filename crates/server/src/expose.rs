@@ -16,7 +16,10 @@ use p4lru_obs::trace::{STAGES, STAGE_NAMES};
 use p4lru_obs::{Expo, Tracer};
 use serde::{Deserialize, Serialize};
 
-use crate::metrics::{ShardMetrics, ShardSnapshot, StageSummary, StatsReport, TierSnapshot};
+use crate::metrics::{
+    ConnSnapshot, ReactorLoopSnapshot, ShardMetrics, ShardSnapshot, StageSummary, StatsReport,
+    TierSnapshot,
+};
 
 /// Builds the STATS report: per-shard snapshots, their totals, and — when
 /// tracing is on — per-stage duration summaries from the tracer. `decode`
@@ -139,9 +142,107 @@ pub fn tier_families(e: &mut Expo, t: &TierSnapshot) {
     .sample("p4lru_tier_offload_ratio", &[], t.offload_ratio);
 }
 
+/// Emits the connection-accounting families: current gauge, accepted and
+/// rejected totals, labeled by front-end.
+pub fn conn_families(e: &mut Expo, c: &ConnSnapshot) {
+    let frontend = c.frontend.as_str();
+    e.meta(
+        "p4lru_connections",
+        "gauge",
+        "Connections currently in service.",
+    )
+    .sample(
+        "p4lru_connections",
+        &[("frontend", frontend)],
+        c.current as f64,
+    );
+    e.meta(
+        "p4lru_connections_total",
+        "counter",
+        "Connections accepted since startup.",
+    )
+    .sample(
+        "p4lru_connections_total",
+        &[("frontend", frontend)],
+        c.accepted_total as f64,
+    );
+    e.meta(
+        "p4lru_conn_rejected_total",
+        "counter",
+        "Connections rejected at the --max-conns accept limit.",
+    )
+    .sample(
+        "p4lru_conn_rejected_total",
+        &[("frontend", frontend)],
+        c.rejected_total as f64,
+    );
+}
+
+/// Emits one per-io-thread reactor family.
+fn reactor_family(
+    e: &mut Expo,
+    loops: &[ReactorLoopSnapshot],
+    name: &str,
+    kind: &str,
+    help: &str,
+    value: impl Fn(&ReactorLoopSnapshot) -> f64,
+) {
+    e.meta(name, kind, help);
+    for l in loops {
+        let io_thread = l.io_thread.to_string();
+        e.sample(name, &[("io_thread", &io_thread)], value(l));
+    }
+}
+
+/// Emits the reactor loop families (one sample per I/O thread). Callers
+/// skip this entirely under the threaded front-end — an absent family
+/// reads better than a zero-thread one.
+pub fn reactor_families(e: &mut Expo, loops: &[ReactorLoopSnapshot]) {
+    reactor_family(
+        e,
+        loops,
+        "p4lru_reactor_turns_total",
+        "counter",
+        "Reactor loop turns (one epoll_wait harvest each).",
+        |l| l.turns as f64,
+    );
+    reactor_family(
+        e,
+        loops,
+        "p4lru_reactor_events_total",
+        "counter",
+        "Socket readiness events harvested by the reactor.",
+        |l| l.events as f64,
+    );
+    reactor_family(
+        e,
+        loops,
+        "p4lru_reactor_wakeups_total",
+        "counter",
+        "Eventfd wakeups (coalesced shard-reply signals).",
+        |l| l.wakeups as f64,
+    );
+    reactor_family(
+        e,
+        loops,
+        "p4lru_reactor_messages_total",
+        "counter",
+        "Messages (shard replies) delivered to connection drivers.",
+        |l| l.messages as f64,
+    );
+    reactor_family(
+        e,
+        loops,
+        "p4lru_reactor_connections",
+        "gauge",
+        "Connections currently owned by each reactor I/O thread.",
+        |l| l.connections as f64,
+    );
+}
+
 /// Renders the full Prometheus text-format document served at `/metrics`.
 pub fn render_prometheus(metrics: &[Arc<ShardMetrics>], tracer: &Tracer) -> String {
-    render_prometheus_with_tier(metrics, tracer, None)
+    render_prometheus_full(metrics, tracer, None, None, &[])
 }
 
 /// [`render_prometheus`] plus the switch-tier families, for deployments
@@ -150,6 +251,19 @@ pub fn render_prometheus_with_tier(
     metrics: &[Arc<ShardMetrics>],
     tracer: &Tracer,
     tier: Option<&TierSnapshot>,
+) -> String {
+    render_prometheus_full(metrics, tracer, tier, None, &[])
+}
+
+/// The complete renderer: shard and tracer families, plus — when provided —
+/// the tier, connection-accounting, and reactor-loop sections. The server's
+/// `/metrics` endpoint calls this with whatever its front-end maintains.
+pub fn render_prometheus_full(
+    metrics: &[Arc<ShardMetrics>],
+    tracer: &Tracer,
+    tier: Option<&TierSnapshot>,
+    conns: Option<&ConnSnapshot>,
+    reactor: &[ReactorLoopSnapshot],
 ) -> String {
     let shards: Vec<ShardSnapshot> = metrics
         .iter()
@@ -363,6 +477,12 @@ pub fn render_prometheus_with_tier(
     if let Some(t) = tier {
         tier_families(&mut e, t);
     }
+    if let Some(c) = conns {
+        conn_families(&mut e, c);
+    }
+    if !reactor.is_empty() {
+        reactor_families(&mut e, reactor);
+    }
 
     e.finish()
 }
@@ -574,6 +694,51 @@ mod tests {
         assert!(text.contains("p4lru_hits_total{shard=\"0\"} 1\n"));
         // And the plain renderer emits no tier families at all.
         assert!(!render_prometheus(&metrics, &tracer).contains("p4lru_tier_"));
+    }
+
+    #[test]
+    fn conn_and_reactor_families_render_when_attached() {
+        let (metrics, tracer) = sources();
+        let conns = ConnSnapshot {
+            frontend: "reactor".to_string(),
+            current: 11,
+            accepted_total: 13,
+            rejected_total: 2,
+        };
+        let loops = vec![
+            ReactorLoopSnapshot {
+                io_thread: 0,
+                turns: 5,
+                events: 9,
+                wakeups: 3,
+                messages: 17,
+                connections: 6,
+            },
+            ReactorLoopSnapshot {
+                io_thread: 1,
+                turns: 4,
+                events: 7,
+                wakeups: 2,
+                messages: 12,
+                connections: 5,
+            },
+        ];
+        let text = render_prometheus_full(&metrics, &tracer, None, Some(&conns), &loops);
+        assert!(text.contains("# TYPE p4lru_connections gauge"));
+        assert!(text.contains("p4lru_connections{frontend=\"reactor\"} 11\n"));
+        assert!(text.contains("p4lru_connections_total{frontend=\"reactor\"} 13\n"));
+        assert!(text.contains("p4lru_conn_rejected_total{frontend=\"reactor\"} 2\n"));
+        assert!(text.contains("# TYPE p4lru_reactor_turns_total counter"));
+        assert!(text.contains("p4lru_reactor_events_total{io_thread=\"0\"} 9\n"));
+        assert!(text.contains("p4lru_reactor_wakeups_total{io_thread=\"1\"} 2\n"));
+        assert!(text.contains("p4lru_reactor_messages_total{io_thread=\"0\"} 17\n"));
+        assert!(text.contains("p4lru_reactor_connections{io_thread=\"1\"} 5\n"));
+        // The shard families are still there, untouched.
+        assert!(text.contains("p4lru_hits_total{shard=\"0\"} 1\n"));
+        // And without the sections, none of the families appear.
+        let bare = render_prometheus(&metrics, &tracer);
+        assert!(!bare.contains("p4lru_connections"));
+        assert!(!bare.contains("p4lru_reactor_"));
     }
 
     #[test]

@@ -34,18 +34,22 @@ pub mod client;
 pub mod expose;
 pub mod loadgen;
 pub mod metrics;
+pub mod openloop;
 pub mod protocol;
+mod reactor_front;
 pub mod server;
 pub mod shard;
 
 pub use client::Client;
 pub use expose::{
-    build_report, render_prometheus, render_prometheus_with_tier, tier_families, StatsSampler,
+    build_report, render_prometheus, render_prometheus_full, render_prometheus_with_tier,
+    tier_families, StatsSampler,
 };
 pub use metrics::{
-    LatencyHistogram, LatencySummary, ShardMetrics, ShardSnapshot, StageSummary, StatsReport,
-    TierSnapshot,
+    ConnCounters, ConnSnapshot, LatencyHistogram, LatencySummary, ReactorLoopSnapshot,
+    ShardMetrics, ShardSnapshot, StageSummary, StatsReport, TierSnapshot,
 };
+pub use openloop::{run_open_loop, sweep_to_figure_json, OpenLoopConfig, OpenLoopSummary};
 pub use protocol::{FrameReader, FrameWriter, Request, Response};
-pub use server::{shard_of, Server, ServerConfig};
+pub use server::{shard_of, Frontend, Server, ServerConfig};
 pub use shard::Shard;

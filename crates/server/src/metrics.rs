@@ -425,6 +425,88 @@ impl TierSnapshot {
     }
 }
 
+/// Connection accounting shared by the accept loop and both front-ends.
+///
+/// `current` is a gauge (opened minus closed); the two totals are
+/// monotone counters. The accept loop bumps `rejected` when `--max-conns`
+/// turns a connection away, so a saturated server is visible in STATS and
+/// `/metrics` rather than silent.
+#[derive(Debug, Default)]
+pub struct ConnCounters {
+    /// Connections currently open (gauge).
+    pub current: AtomicU64,
+    /// Connections accepted since startup.
+    pub accepted: AtomicU64,
+    /// Connections rejected at the `--max-conns` accept limit.
+    pub rejected: AtomicU64,
+}
+
+impl ConnCounters {
+    /// Records an accepted connection entering service.
+    pub fn opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.current.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving service. Saturates at zero for the
+    /// same reason as [`ShardMetrics::queue_pop`]: the gauge is assembled
+    /// from unsynchronized open/close events.
+    pub fn closed(&self) {
+        let _ = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                Some(c.saturating_sub(1))
+            });
+    }
+
+    /// Records a connection turned away at the accept limit.
+    pub fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, labeled with the front-end that owns the
+    /// connections (`threads` or `reactor`).
+    pub fn snapshot(&self, frontend: &str) -> ConnSnapshot {
+        ConnSnapshot {
+            frontend: frontend.to_string(),
+            current: self.current.load(Ordering::Relaxed),
+            accepted_total: self.accepted.load(Ordering::Relaxed),
+            rejected_total: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Connection accounting as carried by STATS.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConnSnapshot {
+    /// Which front-end owns the connections (`threads` or `reactor`).
+    pub frontend: String,
+    /// Connections currently open.
+    pub current: u64,
+    /// Connections accepted since startup.
+    pub accepted_total: u64,
+    /// Connections rejected at the accept limit since startup.
+    pub rejected_total: u64,
+}
+
+/// One reactor I/O thread's loop counters, as carried by STATS (empty for
+/// the thread-per-connection front-end).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReactorLoopSnapshot {
+    /// I/O thread index.
+    pub io_thread: u64,
+    /// Loop turns (each harvesting a batch of events).
+    pub turns: u64,
+    /// Socket readiness events harvested.
+    pub events: u64,
+    /// Eventfd wakeups (coalesced cross-thread message signals).
+    pub wakeups: u64,
+    /// Messages (shard replies) delivered to drivers.
+    pub messages: u64,
+    /// Connections currently owned by this thread.
+    pub connections: u64,
+}
+
 /// The STATS payload: one snapshot per shard, their sum, and (when the
 /// server traces requests) per-lifecycle-stage duration summaries.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -441,6 +523,12 @@ pub struct StatsReport {
     /// Switch-tier counters, when the report passed through a two-tier
     /// gateway (`None` — serialized as `null` — for a bare server).
     pub tier: Option<TierSnapshot>,
+    /// Connection accounting (all-zero with an empty `frontend` when the
+    /// report was built from shard counters alone, as in unit tests).
+    pub conns: ConnSnapshot,
+    /// Per-io-thread reactor loop counters; empty under the threaded
+    /// front-end.
+    pub reactor: Vec<ReactorLoopSnapshot>,
 }
 
 impl StatsReport {
@@ -513,6 +601,8 @@ impl StatsReport {
             totals,
             stages: Vec::new(),
             tier: None,
+            conns: ConnSnapshot::default(),
+            reactor: Vec::new(),
         }
     }
 
@@ -528,6 +618,18 @@ impl StatsReport {
     /// this on the upstream server's report before handing it to clients).
     pub fn with_tier(mut self, tier: TierSnapshot) -> Self {
         self.tier = Some(tier);
+        self
+    }
+
+    /// Attaches the connection-accounting section.
+    pub fn with_conns(mut self, conns: ConnSnapshot) -> Self {
+        self.conns = conns;
+        self
+    }
+
+    /// Attaches the per-io-thread reactor loop counters.
+    pub fn with_reactor(mut self, reactor: Vec<ReactorLoopSnapshot>) -> Self {
+        self.reactor = reactor;
         self
     }
 }
@@ -807,6 +909,48 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.tier, Some(tier));
+    }
+
+    #[test]
+    fn conn_counters_gauge_and_totals() {
+        let c = ConnCounters::default();
+        c.opened();
+        c.opened();
+        c.rejected();
+        c.closed();
+        let s = c.snapshot("reactor");
+        assert_eq!(s.frontend, "reactor");
+        assert_eq!(s.current, 1);
+        assert_eq!(s.accepted_total, 2);
+        assert_eq!(s.rejected_total, 1);
+        // Closing past zero saturates (unsynchronized open/close events).
+        c.closed();
+        c.closed();
+        assert_eq!(c.current.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn conn_and_reactor_sections_ride_on_the_report() {
+        let report = StatsReport::from_shards(vec![ShardMetrics::default().snapshot(0)])
+            .with_conns(ConnSnapshot {
+                frontend: "reactor".to_string(),
+                current: 3,
+                accepted_total: 5,
+                rejected_total: 2,
+            })
+            .with_reactor(vec![ReactorLoopSnapshot {
+                io_thread: 0,
+                turns: 10,
+                events: 20,
+                wakeups: 4,
+                messages: 40,
+                connections: 3,
+            }]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.conns.rejected_total, 2);
+        assert_eq!(back.reactor[0].messages, 40);
     }
 
     #[test]

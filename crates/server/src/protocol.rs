@@ -324,9 +324,17 @@ pub struct FrameReader<R> {
 impl<R: Read> FrameReader<R> {
     /// Wraps a stream with a fresh (empty) buffer.
     pub fn new(inner: R) -> Self {
+        Self::with_capacity(inner, IO_BUF)
+    }
+
+    /// Wraps a stream with a caller-sized buffer. The reactor front-end
+    /// uses small buffers here: at 10k+ connections the default 64 KiB per
+    /// side is most of the memory bill, and [`FrameReader::fill`] still
+    /// grows on demand when a frame outsizes the buffer.
+    pub fn with_capacity(inner: R, cap: usize) -> Self {
         Self {
             inner,
-            buf: vec![0; IO_BUF],
+            buf: vec![0; cap.max(HEADER)],
             start: 0,
             end: 0,
         }
@@ -439,26 +447,52 @@ impl<R: Read> FrameReader<R> {
 
 /// A buffered frame writer: frames accumulate in memory and go to the
 /// stream in one `write` syscall per [`FrameWriter::flush`] (or when the
-/// buffer passes [`IO_BUF`]). The connection handler flushes before every
-/// potential block, so a peer is never left waiting on a buffered reply.
+/// buffer passes its flush threshold). The connection handler flushes
+/// before every potential block, so a peer is never left waiting on a
+/// buffered reply.
+///
+/// Writes are resumable: on a nonblocking stream,
+/// [`FrameWriter::flush_nonblocking`] can stop at any byte boundary with
+/// `WouldBlock` and the next call picks up exactly where the kernel
+/// stopped accepting — `pos` tracks how much of the buffer is already on
+/// the wire, so a partially written frame is never restarted.
 #[derive(Debug)]
 pub struct FrameWriter<W> {
     inner: W,
     buf: Vec<u8>,
+    /// Bytes of `buf` already written to the stream (nonzero only after a
+    /// partial nonblocking flush).
+    pos: usize,
+    /// Queue size past which [`FrameWriter::write_frame`] tries an interim
+    /// flush.
+    threshold: usize,
 }
 
 impl<W: Write> FrameWriter<W> {
     /// Wraps a stream with an empty write buffer.
     pub fn new(inner: W) -> Self {
+        Self::with_capacity(inner, IO_BUF)
+    }
+
+    /// Wraps a stream with a caller-sized write buffer, which is also the
+    /// interim-flush threshold. The reactor front-end keeps this small:
+    /// per-connection memory dominates at 10k+ connections, and the
+    /// pipeline window already bounds how many replies can queue.
+    pub fn with_capacity(inner: W, cap: usize) -> Self {
+        let cap = cap.max(HEADER);
         Self {
             inner,
-            buf: Vec::with_capacity(IO_BUF),
+            buf: Vec::with_capacity(cap),
+            pos: 0,
+            threshold: cap,
         }
     }
 
     /// Queues one frame. Only touches the stream if the buffer is already
-    /// past [`IO_BUF`] (a burst bigger than the buffer still coalesces into
-    /// buffer-sized writes).
+    /// past its threshold (a burst bigger than the buffer still coalesces
+    /// into buffer-sized writes). The interim flush is the nonblocking
+    /// kind: on a blocking stream it drains fully, and on a nonblocking
+    /// stream a stalled peer leaves the bytes queued instead of erroring.
     pub fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
         if payload.len() > MAX_FRAME {
             return Err(err(format!(
@@ -467,8 +501,8 @@ impl<W: Write> FrameWriter<W> {
             ))
             .into());
         }
-        if self.buf.len() >= IO_BUF {
-            self.flush()?;
+        if self.pending() >= self.threshold {
+            self.flush_nonblocking()?;
         }
         self.buf.push(FRAME_MAGIC);
         self.buf
@@ -479,7 +513,7 @@ impl<W: Write> FrameWriter<W> {
 
     /// Number of bytes queued but not yet written.
     pub fn pending(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
     /// Borrows the underlying stream.
@@ -487,13 +521,47 @@ impl<W: Write> FrameWriter<W> {
         &self.inner
     }
 
-    /// Writes every queued frame to the stream.
+    /// Mutably borrows the underlying stream (does not touch the queue).
+    pub fn inner_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+
+    /// Writes every queued frame to the stream. On a nonblocking stream a
+    /// stalled peer surfaces as `WouldBlock` with the unwritten remainder
+    /// still queued; use [`FrameWriter::flush_nonblocking`] there instead.
     pub fn flush(&mut self) -> io::Result<()> {
-        if !self.buf.is_empty() {
-            self.inner.write_all(&self.buf)?;
-            self.buf.clear();
+        if self.pending() > 0 {
+            self.inner.write_all(&self.buf[self.pos..])?;
         }
+        self.buf.clear();
+        self.pos = 0;
         self.inner.flush()
+    }
+
+    /// Writes queued frames until done or the stream would block.
+    ///
+    /// Returns `Ok(true)` when the queue fully drained, `Ok(false)` when
+    /// the kernel stopped accepting bytes mid-queue (`WouldBlock`) — call
+    /// again when the socket reports writable. Progress survives across
+    /// calls at any byte boundary, including inside a frame header.
+    pub fn flush_nonblocking(&mut self) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match self.inner.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream refused queued frame bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
     }
 }
 
@@ -745,5 +813,188 @@ mod tests {
         let total = writer.inner().len();
         assert_eq!(total, 32 * (HEADER + chunk.len()));
         assert!(writer.write_frame(&vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    /// A nonblocking stream at its most hostile: every other `read`/`write`
+    /// call returns `WouldBlock`, and the calls in between move exactly one
+    /// byte. Every byte boundary in every frame becomes a suspension point.
+    struct WouldBlockEveryByte {
+        data: Vec<u8>,
+        at: usize,
+        ready: bool,
+        wire: Vec<u8>,
+    }
+
+    impl WouldBlockEveryByte {
+        fn reading(data: Vec<u8>) -> Self {
+            Self {
+                data,
+                at: 0,
+                // Starts "ready" so the first call already blocks: turn()
+                // flips before reporting, putting a WouldBlock before every
+                // single byte moved.
+                ready: true,
+                wire: Vec::new(),
+            }
+        }
+
+        fn writing() -> Self {
+            Self::reading(Vec::new())
+        }
+
+        fn turn(&mut self) -> bool {
+            self.ready = !self.ready;
+            self.ready
+        }
+    }
+
+    impl io::Read for WouldBlockEveryByte {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.at == self.data.len() {
+                return Ok(0); // clean EOF once the wire is exhausted
+            }
+            if !self.turn() {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            buf[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    impl io::Write for WouldBlockEveryByte {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            if !self.turn() {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.wire.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn reader_resumes_across_wouldblock_at_every_byte_boundary() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xEE; 300]).unwrap();
+        let total = wire.len();
+
+        let mut reader = FrameReader::new(WouldBlockEveryByte::reading(wire));
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut buf = Vec::new();
+        let mut blocks = 0u32;
+        loop {
+            match reader.read_frame(&mut buf) {
+                Ok(true) => frames.push(buf.clone()),
+                Ok(false) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => blocks += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"first");
+        assert_eq!(frames[1], b"");
+        assert_eq!(frames[2], vec![0xEE; 300]);
+        assert_eq!(
+            blocks as usize, total,
+            "one WouldBlock before every byte, none lost or double-read"
+        );
+    }
+
+    #[test]
+    fn writer_resumes_across_wouldblock_at_every_byte_boundary() {
+        let mut writer = FrameWriter::with_capacity(WouldBlockEveryByte::writing(), 16);
+        writer.write_frame(b"first").unwrap();
+        writer.write_frame(b"").unwrap();
+        writer.write_frame(&[0xAB; 300]).unwrap();
+        let queued = writer.pending();
+        assert!(queued > 0);
+
+        let mut blocks = 0u32;
+        let mut last_pending = writer.pending();
+        loop {
+            match writer.flush_nonblocking().unwrap() {
+                true => break,
+                false => {
+                    blocks += 1;
+                    // Progress is never lost: pending() only shrinks, one
+                    // byte per unblocked call here.
+                    let now = writer.pending();
+                    assert!(now <= last_pending);
+                    last_pending = now;
+                }
+            }
+        }
+        assert_eq!(writer.pending(), 0);
+        assert!(
+            blocks >= queued as u32,
+            "a WouldBlock preceded every byte ({blocks} blocks, {queued} bytes)"
+        );
+
+        // The wire holds the exact frames, uncorrupted by the suspensions.
+        let wire = std::mem::take(&mut writer.inner_mut().wire);
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"first");
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"");
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, vec![0xAB; 300]);
+        assert!(!read_frame(&mut cursor, &mut buf).unwrap());
+    }
+
+    #[test]
+    fn blocking_flush_finishes_what_a_partial_nonblocking_flush_started() {
+        // Drain part of the queue nonblockingly, then hand the same writer
+        // to the blocking flush: the remainder must come out exactly once
+        // (pos accounting), never the already-written prefix again.
+        struct Half {
+            wire: Vec<u8>,
+            budget: usize,
+        }
+        impl io::Write for Half {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                let n = buf.len().min(self.budget);
+                self.budget -= n;
+                self.wire.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut writer = FrameWriter::new(Half {
+            wire: Vec::new(),
+            budget: 7, // stops mid-way through the second frame's header
+        });
+        writer.write_frame(b"abc").unwrap();
+        writer.write_frame(b"defgh").unwrap();
+        assert!(!writer.flush_nonblocking().unwrap());
+        assert_eq!(writer.pending(), (HEADER + 3) + (HEADER + 5) - 7);
+
+        writer.inner_mut().budget = usize::MAX;
+        writer.flush().unwrap();
+        assert_eq!(writer.pending(), 0);
+
+        let wire = std::mem::take(&mut writer.inner_mut().wire);
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"abc");
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"defgh");
+        assert!(!read_frame(&mut cursor, &mut buf).unwrap());
     }
 }

@@ -38,10 +38,12 @@ use p4lru_kvstore::db::record_for;
 use p4lru_kvstore::slab::Record;
 use p4lru_obs::trace::Stage;
 use p4lru_obs::{MetricsHttp, ObsConfig, OpKind, Periodic, RequestTrace, Tracer};
+use p4lru_reactor::{LoopStats, Mailbox, Reactor};
 
-use crate::expose::{build_report, render_prometheus, StatsSampler};
-use crate::metrics::{ShardMetrics, StatsReport};
-use crate::protocol::{encode_value, FrameReader, FrameWriter, Request, Response};
+use crate::expose::{build_report, render_prometheus_full, StatsSampler};
+use crate::metrics::{ConnCounters, ReactorLoopSnapshot, ShardMetrics, StatsReport};
+use crate::protocol::{encode_value, write_frame, FrameReader, FrameWriter, Request, Response};
+use crate::reactor_front::ReactorConn;
 use crate::shard::{record_from_bytes, Shard};
 
 /// Seed of the key → shard routing hash. Distinct from the per-shard cache
@@ -49,7 +51,44 @@ use crate::shard::{record_from_bytes, Shard};
 const ROUTE_SEED: u64 = 0x5EED_0F54_A2D5;
 
 /// How often an idle connection handler re-checks the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(250);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Which connection front-end the server runs (DESIGN.md §12).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Frontend {
+    /// One blocking handler thread per connection (the differential
+    /// baseline: simple, but each connection costs a thread).
+    #[default]
+    Threads,
+    /// A fixed pool of event-loop I/O threads multiplexing nonblocking
+    /// connections (epoll edge-triggered); connection count is bounded by
+    /// fds and per-connection buffers, not threads.
+    Reactor,
+}
+
+impl Frontend {
+    /// The label used in STATS and `/metrics` (`frontend="..."`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Frontend::Threads => "threads",
+            Frontend::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(Frontend::Threads),
+            "reactor" => Ok(Frontend::Reactor),
+            other => Err(format!(
+                "unknown frontend {other:?} (expected threads|reactor)"
+            )),
+        }
+    }
+}
 
 /// The shard a key is routed to: fixed-point multiply-shift range reduction
 /// of the routing hash. `(h as u128 * shards as u128) >> 64` maps the full
@@ -102,6 +141,15 @@ pub struct ServerConfig {
     /// `<data_dir>/samples.jsonl`; required explicitly when sampling a
     /// volatile server (no data dir to default into).
     pub sample_path: Option<PathBuf>,
+    /// Which connection front-end serves the data path.
+    pub frontend: Frontend,
+    /// Event-loop threads for the reactor front-end (ignored by
+    /// [`Frontend::Threads`]).
+    pub io_threads: usize,
+    /// Most connections allowed in service at once. Past the limit, new
+    /// connections receive a protocol-level ERR frame and are closed
+    /// (counted in STATS as `conns.rejected_total`).
+    pub max_conns: usize,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +168,9 @@ impl Default for ServerConfig {
             metrics_addr: None,
             sample_interval: None,
             sample_path: None,
+            frontend: Frontend::Threads,
+            io_threads: 2,
+            max_conns: 8192,
         }
     }
 }
@@ -144,7 +195,7 @@ enum ShardOp {
 /// A shard's answer, in the form the connection pump reorders and encodes.
 /// GET hits carry the fixed-size record inline — no per-request `Vec` — and
 /// are serialized straight into the connection's write buffer.
-enum ShardReply {
+pub(crate) enum ShardReply {
     Record(Record),
     NotFound,
     Ok,
@@ -168,7 +219,32 @@ impl ShardReply {
 /// number, the shard's answer, and the request's lifecycle trace (stamped
 /// through queue/wal-append/apply/fsync by the shard loop; the pump adds
 /// reorder/flush).
-type Reply = (u64, ShardReply, RequestTrace);
+pub(crate) type Reply = (u64, ShardReply, RequestTrace);
+
+/// Where a shard posts a finished reply. The threads front-end gives every
+/// connection an mpsc channel its handler thread blocks on; the reactor
+/// front-end gives it a [`Mailbox`] whose post also wakes the owning event
+/// loop. Shards are indifferent: both ends are just `send`.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    /// Per-connection mpsc channel (threads front-end).
+    Chan(Sender<Reply>),
+    /// Reactor mailbox (posts wake the connection's event loop).
+    Mail(Mailbox<Reply>),
+}
+
+impl ReplySink {
+    /// Delivers one reply. A vanished connection (client hung up with
+    /// requests in flight) is not an error on either path.
+    pub(crate) fn send(&self, reply: Reply) {
+        match self {
+            ReplySink::Chan(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Mail(mailbox) => mailbox.post(reply),
+        }
+    }
+}
 
 struct ShardRequest {
     op: ShardOp,
@@ -177,20 +253,58 @@ struct ShardRequest {
     seq: u64,
     /// This request's lifecycle trace (decode/route stamped by dispatch).
     trace: RequestTrace,
-    /// The connection's long-lived reply channel (one per connection, not
-    /// per request — dispatch allocates nothing).
-    reply: Sender<Reply>,
+    /// The connection's long-lived reply sink (one per connection, not per
+    /// request — dispatch allocates nothing).
+    reply: ReplySink,
 }
 
 /// What the accept loop hands every connection handler.
-struct Ctx {
+pub(crate) struct Ctx {
     senders: Vec<Sender<ShardRequest>>,
-    metrics: Vec<Arc<ShardMetrics>>,
-    tracer: Arc<Tracer>,
-    log_slow: bool,
-    running: Arc<AtomicBool>,
-    local_addr: SocketAddr,
-    pipeline_window: u64,
+    pub(crate) metrics: Vec<Arc<ShardMetrics>>,
+    pub(crate) tracer: Arc<Tracer>,
+    pub(crate) log_slow: bool,
+    pub(crate) running: Arc<AtomicBool>,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) pipeline_window: u64,
+    /// Connection gauge/counters shared by the accept loop, STATS, and
+    /// `/metrics`.
+    pub(crate) conns: Arc<ConnCounters>,
+    /// The reactor, when that front-end is running (drives the
+    /// per-io-thread STATS section).
+    reactor: Option<Arc<Reactor<Reply>>>,
+    /// `frontend="..."` label for STATS and `/metrics`.
+    frontend_name: &'static str,
+}
+
+impl Ctx {
+    /// The full STATS report: shard counters + tracer summaries +
+    /// connection section + per-io-thread reactor loop stats.
+    pub(crate) fn report(&self) -> StatsReport {
+        let mut report = build_report(&self.metrics, &self.tracer)
+            .with_conns(self.conns.snapshot(self.frontend_name));
+        if let Some(reactor) = &self.reactor {
+            report = report.with_reactor(reactor_snapshots(reactor));
+        }
+        report
+    }
+}
+
+/// Maps the reactor's live per-loop counters into the STATS/`/metrics`
+/// snapshot shape.
+fn reactor_snapshots(reactor: &Reactor<Reply>) -> Vec<ReactorLoopSnapshot> {
+    reactor
+        .stats()
+        .into_iter()
+        .map(|s: LoopStats| ReactorLoopSnapshot {
+            io_thread: s.io_thread as u64,
+            turns: s.turns,
+            events: s.events,
+            wakeups: s.wakeups,
+            messages: s.messages,
+            connections: s.connections,
+        })
+        .collect()
 }
 
 /// A running server; dropping it without [`Server::shutdown`] detaches the
@@ -204,6 +318,9 @@ pub struct Server {
     senders: Vec<Sender<ShardRequest>>,
     metrics: Vec<Arc<ShardMetrics>>,
     tracer: Arc<Tracer>,
+    conns: Arc<ConnCounters>,
+    reactor: Option<Arc<Reactor<Reply>>>,
+    frontend: Frontend,
     metrics_http: Option<MetricsHttp>,
     sampler: Option<Periodic>,
     start_mode: StartMode,
@@ -365,6 +482,14 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let running = Arc::new(AtomicBool::new(true));
         let handlers = Arc::new(Mutex::new(Vec::new()));
+        let conns = Arc::new(ConnCounters::default());
+        let reactor = match config.frontend {
+            Frontend::Threads => None,
+            Frontend::Reactor => Some(Arc::new(Reactor::spawn(
+                config.io_threads,
+                "p4lru-reactor",
+            )?)),
+        };
         let ctx = Arc::new(Ctx {
             senders: senders.clone(),
             metrics: metrics.clone(),
@@ -373,20 +498,38 @@ impl Server {
             running: Arc::clone(&running),
             local_addr,
             pipeline_window: config.pipeline_window as u64,
+            conns: Arc::clone(&conns),
+            reactor: reactor.clone(),
+            frontend_name: config.frontend.name(),
         });
         let accept = {
             let handlers = Arc::clone(&handlers);
+            let ctx = Arc::clone(&ctx);
+            let max_conns = config.max_conns;
             thread::Builder::new()
                 .name("p4lru-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &ctx, &handlers))?
+                .spawn(move || accept_loop(&listener, &ctx, &handlers, max_conns))?
         };
 
         let metrics_http = match &config.metrics_addr {
             Some(addr) => {
                 let metrics = metrics.clone();
                 let tracer = Arc::clone(&tracer);
+                let conns = Arc::clone(&conns);
+                let reactor = reactor.clone();
+                let frontend_name = config.frontend.name();
                 Some(MetricsHttp::serve(addr, move || {
-                    render_prometheus(&metrics, &tracer)
+                    let reactor_loops = reactor
+                        .as_deref()
+                        .map(reactor_snapshots)
+                        .unwrap_or_default();
+                    render_prometheus_full(
+                        &metrics,
+                        &tracer,
+                        None,
+                        Some(&conns.snapshot(frontend_name)),
+                        &reactor_loops,
+                    )
                 })?)
             }
             None => None,
@@ -425,6 +568,9 @@ impl Server {
             senders,
             metrics,
             tracer,
+            conns,
+            reactor,
+            frontend: config.frontend,
             metrics_http,
             sampler,
             start_mode,
@@ -444,7 +590,12 @@ impl Server {
     /// A stats report straight from the shards' atomic counters, with the
     /// tracer's per-stage summaries attached when tracing is on.
     pub fn stats(&self) -> StatsReport {
-        build_report(&self.metrics, &self.tracer)
+        let mut report = build_report(&self.metrics, &self.tracer)
+            .with_conns(self.conns.snapshot(self.frontend.name()));
+        if let Some(reactor) = &self.reactor {
+            report = report.with_reactor(reactor_snapshots(reactor));
+        }
+        report
     }
 
     /// The span tracer (drain slow-op traces, read stage histograms).
@@ -487,8 +638,15 @@ impl Server {
         for h in handlers {
             let _ = h.join();
         }
-        // Shard threads exit once every sender is gone (accept loop and all
-        // handlers are joined by now, so these are the last clones).
+        // The reactor's event loops own their connection drivers (which hold
+        // `Ctx`, and through it shard senders); stopping them drops the last
+        // connections before the shard channels are declared closed.
+        if let Some(reactor) = &self.reactor {
+            reactor.shutdown();
+        }
+        // Shard threads exit once every sender is gone (accept loop,
+        // handlers, and reactor drivers are done by now, so these are the
+        // last clones).
         self.senders.clear();
         for h in self.shard_handles.drain(..) {
             let _ = h.join();
@@ -532,7 +690,7 @@ fn apply_traced(
     shard: &mut Shard,
     tracer: &Tracer,
     mut req: ShardRequest,
-) -> (Sender<Reply>, u64, ShardReply, RequestTrace) {
+) -> (ReplySink, u64, ShardReply, RequestTrace) {
     tracer.stamp(&mut req.trace, Stage::Queue);
     let mutation = !matches!(req.op, ShardOp::Get(_));
     let reply = apply(shard, req.op);
@@ -554,8 +712,7 @@ fn apply_traced(
 /// to its whole window.
 fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>, tracer: &Tracer) {
     let metrics = shard.metrics();
-    let mut batch: Vec<(Sender<Reply>, u64, ShardReply, RequestTrace)> =
-        Vec::with_capacity(MAX_BATCH);
+    let mut batch: Vec<(ReplySink, u64, ShardReply, RequestTrace)> = Vec::with_capacity(MAX_BATCH);
     while let Ok(req) = rx.recv() {
         metrics.queue_pop();
         batch.push(apply_traced(shard, tracer, req));
@@ -585,14 +742,30 @@ fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>, tracer: &Tracer) {
         for (reply, seq, response, mut trace) in batch.drain(..) {
             tracer.stamp_at(&mut trace, Stage::Fsync, gate);
             // A vanished handler (client hung up mid-request) is not an error.
-            let _ = reply.send((seq, response, trace));
+            reply.send((seq, response, trace));
         }
     }
     // Clean shutdown: push any policy-deferred appends to disk.
     let _ = shard.flush();
 }
 
-fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+/// Tells a connection past the `max_conns` limit why it is being dropped:
+/// one protocol-level ERR frame, best-effort under a short write timeout (a
+/// peer that won't take even that is simply closed).
+fn reject_connection(stream: TcpStream, max_conns: usize) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+    let mut out = Vec::new();
+    Response::Err(format!("server at connection limit ({max_conns})")).encode(&mut out);
+    let _ = write_frame(&mut stream, &out);
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    ctx: &Arc<Ctx>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_conns: usize,
+) {
     loop {
         let (stream, _) = match listener.accept() {
             Ok(pair) => pair,
@@ -606,21 +779,50 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, handlers: &Arc<Mutex<Vec<
         if !ctx.running.load(Ordering::SeqCst) {
             return; // the wake-up connection, or a straggler past shutdown
         }
-        let ctx = Arc::clone(ctx);
-        if let Ok(handle) = thread::Builder::new()
+        if ctx.conns.current.load(Ordering::Relaxed) >= max_conns as u64 {
+            ctx.conns.rejected();
+            reject_connection(stream, max_conns);
+            continue;
+        }
+        if let Some(reactor) = &ctx.reactor {
+            ctx.conns.opened();
+            let conn_ctx = Arc::clone(ctx);
+            // `register` only errs before the driver exists (reactor
+            // stopping / fd registration failed) — the stream just drops.
+            if reactor
+                .register(stream, move |stream, mailbox| {
+                    ReactorConn::new(stream, mailbox, conn_ctx)
+                        .map(|c| Box::new(c) as Box<dyn p4lru_reactor::Driver<Msg = Reply>>)
+                })
+                .is_err()
+            {
+                ctx.conns.closed();
+            }
+            continue;
+        }
+        ctx.conns.opened();
+        let conn_ctx = Arc::clone(ctx);
+        match thread::Builder::new()
             .name("p4lru-conn".to_owned())
-            .spawn(move || handle_connection(stream, &ctx))
-        {
-            let mut list = handlers.lock().expect("handler list poisoned");
-            list.retain(|h| !h.is_finished());
-            list.push(handle);
+            .spawn(move || {
+                handle_connection(stream, &conn_ctx);
+                conn_ctx.conns.closed();
+            }) {
+            Ok(handle) => {
+                let mut list = handlers.lock().expect("handler list poisoned");
+                list.retain(|h| !h.is_finished());
+                list.push(handle);
+            }
+            Err(_) => ctx.conns.closed(),
         }
     }
 }
 
 /// Per-connection pump state: sequence counters, the reorder buffer, and
-/// the one reply channel every shard sends back on.
-struct Conn {
+/// the one reply sink every shard sends back on. Both front-ends run this
+/// same state machine; they differ only in how they wait (a blocking
+/// handler thread vs. a reactor driver).
+pub(crate) struct Conn {
     /// Sequence number the next parsed request gets.
     next_seq: u64,
     /// Sequence number of the next response to put on the wire.
@@ -629,29 +831,41 @@ struct Conn {
     /// inline responses (STATS, protocol errors) parked behind in-flight
     /// shard work. The common in-order reply skips this map entirely.
     parked: BTreeMap<u64, (ShardReply, RequestTrace)>,
-    /// The connection's reply channel; `reply_tx` clones ride inside
-    /// [`ShardRequest`]s instead of a fresh channel per request.
-    reply_tx: Sender<Reply>,
-    reply_rx: Receiver<Reply>,
+    /// The connection's reply sink; clones ride inside [`ShardRequest`]s
+    /// instead of a fresh channel per request.
+    sink: ReplySink,
     /// Set once a SHUTDOWN request is parsed: its sequence number. No
     /// further requests are read; the pump drains, writes the final OK,
     /// then stops the server.
-    shutdown_at: Option<u64>,
+    pub(crate) shutdown_at: Option<u64>,
     /// Reused response-encode scratch buffer.
     out: Vec<u8>,
     /// Traces whose responses are in the write buffer but not yet flushed
-    /// to the socket; [`flush_finished`] stamps `flush` and completes them.
+    /// to the socket; [`complete_flushed`] stamps `flush` and completes
+    /// them.
     unflushed: Vec<RequestTrace>,
 }
 
 impl Conn {
-    fn outstanding(&self) -> u64 {
+    pub(crate) fn new(sink: ReplySink) -> Conn {
+        Conn {
+            next_seq: 0,
+            next_write: 0,
+            parked: BTreeMap::new(),
+            sink,
+            shutdown_at: None,
+            out: Vec::new(),
+            unflushed: Vec::new(),
+        }
+    }
+
+    pub(crate) fn outstanding(&self) -> u64 {
         self.next_seq - self.next_write
     }
 
     /// Accepts one reply from a shard (or an inline response) into the
     /// reorder buffer.
-    fn park(&mut self, seq: u64, reply: ShardReply, trace: RequestTrace) {
+    pub(crate) fn park(&mut self, seq: u64, reply: ShardReply, trace: RequestTrace) {
         self.parked.insert(seq, (reply, trace));
     }
 
@@ -660,7 +874,11 @@ impl Conn {
     /// buffer. The in-order case (`seq == next_write` just parked) costs
     /// one BTreeMap round-trip at most; responses behind a straggler shard
     /// stay parked — for them `reorder` measures the cross-shard wait.
-    fn write_ready(&mut self, writer: &mut FrameWriter<TcpStream>, ctx: &Ctx) -> io::Result<()> {
+    pub(crate) fn write_ready<W: Write>(
+        &mut self,
+        writer: &mut FrameWriter<W>,
+        ctx: &Ctx,
+    ) -> io::Result<()> {
         while let Some((reply, mut trace)) = self.parked.remove(&self.next_write) {
             reply.encode(&mut self.out);
             writer.write_frame(&self.out)?;
@@ -675,22 +893,20 @@ impl Conn {
 
     /// Whether the SHUTDOWN acknowledgement has been written (the pump's
     /// cue to flush, stop the server, and close).
-    fn shutdown_acked(&self) -> bool {
+    pub(crate) fn shutdown_acked(&self) -> bool {
         self.shutdown_at.is_some_and(|seq| self.next_write > seq)
     }
 }
 
-/// Flushes the write buffer to the socket, then completes every trace whose
-/// response just hit the wire: stamp `flush`, finish into the tracer (stage
-/// histograms + rings), record the end-to-end latency in the owning shard's
-/// per-op histogram, and log the breakdown if it crossed the slow-op
-/// threshold.
-fn flush_finished(
-    writer: &mut FrameWriter<TcpStream>,
-    conn: &mut Conn,
-    ctx: &Ctx,
-) -> io::Result<()> {
-    writer.flush()?;
+/// Completes every trace whose response has reached the socket: stamp
+/// `flush`, finish into the tracer (stage histograms + rings), record the
+/// end-to-end latency in the owning shard's per-op histogram, and log the
+/// breakdown if it crossed the slow-op threshold. Callers invoke this only
+/// after the write buffer actually drained (a blocking `flush`, or a
+/// nonblocking flush that returned "empty") — the reactor front-end may
+/// flush a buffer across several readiness events before the traces in it
+/// complete.
+pub(crate) fn complete_flushed(conn: &mut Conn, ctx: &Ctx) {
     for mut trace in conn.unflushed.drain(..) {
         ctx.tracer.stamp(&mut trace, Stage::Flush);
         if let Some(done) = ctx.tracer.finish(trace) {
@@ -704,6 +920,17 @@ fn flush_finished(
             }
         }
     }
+}
+
+/// Flushes the write buffer to the socket (blocking), then completes the
+/// traces whose responses just hit the wire.
+fn flush_finished<W: Write>(
+    writer: &mut FrameWriter<W>,
+    conn: &mut Conn,
+    ctx: &Ctx,
+) -> io::Result<()> {
+    writer.flush()?;
+    complete_flushed(conn, ctx);
     Ok(())
 }
 
@@ -726,21 +953,12 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
     let mut reader = FrameReader::new(stream);
     let mut writer = FrameWriter::new(write_half);
     let (reply_tx, reply_rx) = mpsc::channel();
-    let mut conn = Conn {
-        next_seq: 0,
-        next_write: 0,
-        parked: BTreeMap::new(),
-        reply_tx,
-        reply_rx,
-        shutdown_at: None,
-        out: Vec::new(),
-        unflushed: Vec::new(),
-    };
+    let mut conn = Conn::new(ReplySink::Chan(reply_tx));
     let mut frame = Vec::new();
     loop {
         // (1) Collect whatever replies already arrived and ship the ready
         // prefix.
-        while let Ok((seq, reply, trace)) = conn.reply_rx.try_recv() {
+        while let Ok((seq, reply, trace)) = reply_rx.try_recv() {
             conn.park(seq, reply, trace);
         }
         if conn.write_ready(&mut writer, ctx).is_err() {
@@ -798,7 +1016,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
         if flush_finished(&mut writer, &mut conn, ctx).is_err() {
             return;
         }
-        match conn.reply_rx.recv_timeout(POLL_INTERVAL) {
+        match reply_rx.recv_timeout(POLL_INTERVAL) {
             Ok((seq, reply, trace)) => conn.park(seq, reply, trace),
             Err(RecvTimeoutError::Timeout) => {
                 if !ctx.running.load(Ordering::SeqCst) {
@@ -814,7 +1032,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
 /// sequence number. Keyed requests go to their shard; STATS and SHUTDOWN
 /// (and malformed frames) resolve inline but park behind any in-flight
 /// shard replies so the wire stays in request order.
-fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
+pub(crate) fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
     let seq = conn.next_seq;
     conn.next_seq += 1;
     let request = match Request::decode(frame) {
@@ -841,7 +1059,7 @@ fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
         Request::Set { key, value } => ShardOp::Set(key, record_from_bytes(&value)),
         Request::Del { key } => ShardOp::Del(key),
         Request::Stats => {
-            let report = build_report(&ctx.metrics, &ctx.tracer);
+            let report = ctx.report();
             let response = match serde_json::to_string(&report) {
                 Ok(json) => Response::StatsJson(json),
                 Err(e) => Response::Err(format!("stats serialization failed: {e:?}")),
@@ -871,7 +1089,7 @@ fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
             op,
             seq,
             trace,
-            reply: conn.reply_tx.clone(),
+            reply: conn.sink.clone(),
         })
         .is_err()
     {

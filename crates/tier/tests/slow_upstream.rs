@@ -1,0 +1,168 @@
+//! Regression test: one connection's slow upstream round-trip must not
+//! block other connections' switch hits.
+//!
+//! The proxy's contract (crates/tier/src/proxy.rs) is that the shared
+//! switch mutex is *not* held across the upstream round-trip: a GET miss
+//! reads the epoch, releases the tier, forwards, and re-acquires to admit.
+//! If that ever regresses — the lock held while the upstream dawdles — a
+//! single slow upstream reply would serialize every other connection's hit
+//! path behind it. This test pins the property with a purpose-built
+//! upstream that answers one key only when told to.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use p4lru_kvstore::db::record_for;
+use p4lru_server::client::Client;
+use p4lru_server::protocol::{read_frame, write_frame, Request, Response};
+use p4lru_tier::{ProxyConfig, SwitchTierConfig, TierProxy};
+
+/// GETs of this key stall at the upstream until the gate opens.
+const SLOW_KEY: u64 = 7_777;
+
+/// A gate the slow request waits behind.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl Gate {
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.bell.notify_all();
+    }
+
+    fn wait(&self) {
+        let opened = self.open.lock().unwrap();
+        let (opened, timeout) = self
+            .bell
+            .wait_timeout_while(opened, Duration::from_secs(30), |open| !*open)
+            .unwrap();
+        assert!(!timeout.timed_out(), "gate never opened");
+        drop(opened);
+    }
+}
+
+/// A protocol-speaking upstream that serves `record_for(key)` for every
+/// GET, except GETs of [`SLOW_KEY`], which wait for the gate. One thread
+/// per connection — the stall only ties up the stalled connection, exactly
+/// like a real (pipelined) serverd whose one shard is busy.
+fn spawn_stalling_upstream(gate: Arc<Gate>) -> io::Result<(std::net::SocketAddr, TcpListener)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let accept = listener.try_clone()?;
+    thread::spawn(move || {
+        while let Ok((stream, _)) = accept.accept() {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || serve_upstream(stream, &gate));
+        }
+    });
+    Ok((addr, listener))
+}
+
+fn serve_upstream(mut stream: TcpStream, gate: &Gate) {
+    let _ = stream.set_nodelay(true);
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut stream, &mut frame) {
+            Ok(true) => {}
+            _ => return,
+        }
+        let response = match Request::decode(&frame) {
+            Ok(Request::Get { key }) => {
+                if key == SLOW_KEY {
+                    gate.wait();
+                }
+                Response::Value(record_for(key).to_vec())
+            }
+            Ok(Request::Set { .. }) => Response::Ok,
+            Ok(Request::Del { .. }) => Response::Ok,
+            Ok(_) => Response::Err("unsupported in stalling upstream".to_owned()),
+            Err(e) => Response::Err(e.to_string()),
+        };
+        out.clear();
+        response.encode(&mut out);
+        if write_frame(&mut stream, &out).is_err() {
+            return;
+        }
+    }
+}
+
+#[test]
+fn slow_upstream_round_trip_does_not_block_other_connections_hits() {
+    let gate = Arc::new(Gate::default());
+    let (upstream_addr, _listener) = spawn_stalling_upstream(Arc::clone(&gate)).unwrap();
+    let proxy = TierProxy::spawn(&ProxyConfig {
+        upstream: upstream_addr.to_string(),
+        switch: SwitchTierConfig {
+            levels: 3,
+            memory_bytes: 8_192,
+            seed: 0x51_0E,
+        },
+        ..ProxyConfig::default()
+    })
+    .unwrap();
+
+    // Warm the switch on a fast key from connection B: miss, forward,
+    // admit; the repeat proves it now hits.
+    let warm = 42;
+    let mut conn_b = Client::connect(proxy.local_addr()).unwrap();
+    assert_eq!(conn_b.get(warm).unwrap(), Some(record_for(warm).to_vec()));
+    assert_eq!(conn_b.get(warm).unwrap(), Some(record_for(warm).to_vec()));
+    let hits_before = proxy.counters().snapshot(3).hits;
+    assert!(hits_before >= 1, "warm key must hit the switch");
+
+    // Connection A's GET parks inside the upstream round-trip.
+    let slow_addr = proxy.local_addr();
+    let conn_a = thread::spawn(move || {
+        let mut client = Client::connect(slow_addr).unwrap();
+        client.get(SLOW_KEY).unwrap()
+    });
+    // Make sure A reached the upstream (its forward counter ticks) before
+    // measuring B.
+    let forwarded_to = proxy.counters().snapshot(3).forwarded + 1;
+    let reached = Instant::now();
+    while proxy.counters().snapshot(3).forwarded < forwarded_to {
+        assert!(
+            reached.elapsed() < Duration::from_secs(10),
+            "connection A never reached the upstream"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // With A stalled mid-round-trip, B's switch hits must keep flowing
+    // promptly — the mutex is free while A waits on the network.
+    let rounds = 200;
+    let burst = Instant::now();
+    for _ in 0..rounds {
+        assert_eq!(conn_b.get(warm).unwrap(), Some(record_for(warm).to_vec()));
+    }
+    let burst_elapsed = burst.elapsed();
+    assert!(
+        burst_elapsed < Duration::from_secs(5),
+        "{rounds} switch hits took {burst_elapsed:?} while another \
+         connection was stalled upstream — the tier lock is being held \
+         across the round-trip"
+    );
+    let snap = proxy.counters().snapshot(3);
+    assert!(
+        snap.hits >= hits_before + rounds,
+        "hits {} must have grown by the burst ({} before)",
+        snap.hits,
+        hits_before
+    );
+
+    // Release A; it completes with the right value, and the admission it
+    // races in afterwards is the epoch guard's business, not this test's.
+    gate.open();
+    assert_eq!(
+        conn_a.join().expect("connection A panicked"),
+        Some(record_for(SLOW_KEY).to_vec())
+    );
+    proxy.shutdown();
+}
