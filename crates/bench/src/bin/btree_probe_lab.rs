@@ -1,0 +1,56 @@
+//! Scratch lab for dissecting slot-layout lookup cost (not part of the
+//! shipped figure set; see btree_bench for the recorded numbers).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn time_ns(label: &str, probe_keys: &[u64], mut f: impl FnMut(&u64) -> u64) {
+    let mut sum = 0u64;
+    for k in probe_keys.iter().take(probe_keys.len() / 4) {
+        sum = sum.wrapping_add(f(k));
+    }
+    let start = Instant::now();
+    for k in probe_keys {
+        sum = sum.wrapping_add(f(k));
+    }
+    let ns = start.elapsed().as_nanos() as f64 / probe_keys.len() as f64;
+    black_box(sum);
+    println!("  {label:<40} {ns:>7.1} ns/op");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let probes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let probe_keys: Vec<u64> = (0..probes).map(|_| rng.gen::<u64>() % n).collect();
+    println!("n={n} probes={probes}");
+
+    let mut seed_tree = p4lru_bench::seed_btree::BPlusTree::new(32);
+    for k in 0..n {
+        seed_tree.insert(k, k);
+    }
+    time_ns("seed get (fanout 32)", &probe_keys, |k| {
+        *seed_tree.get(k).unwrap()
+    });
+    drop(seed_tree);
+
+    for fanout in [32usize, 64, 128] {
+        let t = p4lru_kvstore::btree::BPlusTree::from_sorted(fanout, (0..n).map(|k| (k, k)));
+        println!("slot fanout {fanout} height {}", t.height());
+        time_ns("  slot lookup (cold path)", &probe_keys, |k| {
+            *t.lookup(k).0.unwrap()
+        });
+        time_ns("  slot lookup_hot", &probe_keys, |k| {
+            *t.lookup_hot(k).0.unwrap()
+        });
+        let mut t = t;
+        t.apply_adaptation();
+        time_ns("  slot lookup_hot (hash leaves)", &probe_keys, |k| {
+            *t.lookup_hot(k).0.unwrap()
+        });
+    }
+}

@@ -23,5 +23,6 @@
 pub mod figures;
 pub mod harness;
 pub mod report;
+pub mod seed_btree;
 
 pub use harness::{FigureResult, Scale, Series};

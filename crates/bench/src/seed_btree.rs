@@ -1,0 +1,614 @@
+//! The seed-era B+Tree, vendored verbatim (minus its unit tests) as the
+//! *before* side of `btree_bench`.
+//!
+//! `crates/kvstore` rewrote this structure in place (head-keyed slots, hash
+//! leaves, descent cache — see DESIGN.md §13); keeping the original here
+//! lets `results/BENCH_btree.json` measure old vs. new layouts on the same
+//! machine in the same process. Do not "fix" or optimise this file: its
+//! value is being exactly what the seed shipped. The only edits are this
+//! header, a neutralized doctest fence, and dropped in-module unit tests
+//! (the live tree carries those forward).
+#![allow(dead_code)]
+
+//! An arena-allocated B+Tree.
+//!
+//! Values live only in leaves; internal nodes hold separator keys. The tree
+//! reports the number of nodes visited per lookup, which is the cost the
+//! LruIndex cache lets the database skip ("the server invokes built-in
+//! indexing, like the B+ Tree, to pinpoint key k's index" — §3.2).
+//!
+//! Deletion rebalances by borrowing from or merging with siblings; the root
+//! collapses when it loses its last separator.
+
+#[derive(Clone, Debug)]
+enum Node<K, V> {
+    Internal { keys: Vec<K>, children: Vec<usize> },
+    Leaf { keys: Vec<K>, values: Vec<V> },
+}
+
+/// A B+Tree with configurable fan-out.
+///
+/// ```text
+/// use p4lru_kvstore::btree::BPlusTree;
+///
+/// let mut index = BPlusTree::new(32);
+/// for k in 0..1000u64 {
+///     index.insert(k, k * 2);
+/// }
+/// let (value, node_visits) = index.lookup(&500);
+/// assert_eq!(value, Some(&1000));
+/// assert_eq!(node_visits, index.height());
+/// assert_eq!(index.range(&10, &13).count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+    max_keys: usize,
+    height: usize,
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// A tree whose nodes hold at most `max_keys` keys (fan-out
+    /// `max_keys + 1`). Databases use fan-outs in the tens to hundreds;
+    /// the default elsewhere in this workspace is 32.
+    ///
+    /// # Panics
+    /// Panics if `max_keys < 3`.
+    pub fn new(max_keys: usize) -> Self {
+        assert!(max_keys >= 3, "max_keys must be at least 3");
+        Self {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            }],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+            max_keys,
+            height: 1,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 for a lone leaf). Lookup cost is exactly `height`
+    /// node visits.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn min_keys(&self) -> usize {
+        self.max_keys / 2
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Child index to descend into for `key`: the first separator greater
+    /// than `key` bounds the child on the right.
+    fn child_for(keys: &[K], key: &K) -> usize {
+        keys.partition_point(|k| k <= key)
+    }
+
+    /// Looks up `key`, returning the value and the number of nodes visited.
+    pub fn lookup(&self, key: &K) -> (Option<&V>, usize) {
+        let mut cur = self.root;
+        let mut visits = 0usize;
+        loop {
+            visits += 1;
+            match &self.nodes[cur] {
+                Node::Internal { keys, children } => {
+                    cur = children[Self::child_for(keys, key)];
+                }
+                Node::Leaf { keys, values } => {
+                    return match keys.binary_search(key) {
+                        Ok(i) => (Some(&values[i]), visits),
+                        Err(_) => (None, visits),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Plain lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.lookup(key).0
+    }
+
+    /// Inserts `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, split) = self.insert_rec(self.root, key, value);
+        if let Some((sep, right)) = split {
+            let new_root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            });
+            self.root = new_root;
+            self.height += 1;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(&mut self, node: usize, key: K, value: V) -> (Option<V>, Option<(K, usize)>) {
+        // Work around the borrow checker by deciding the child first.
+        let child = match &self.nodes[node] {
+            Node::Internal { keys, .. } => Some(Self::child_for(keys, &key)),
+            Node::Leaf { .. } => None,
+        };
+        match child {
+            None => {
+                // Leaf insert.
+                let (old, overflow) = match &mut self.nodes[node] {
+                    Node::Leaf { keys, values } => match keys.binary_search(&key) {
+                        Ok(i) => (Some(std::mem::replace(&mut values[i], value)), false),
+                        Err(i) => {
+                            keys.insert(i, key);
+                            values.insert(i, value);
+                            (None, keys.len() > self.max_keys)
+                        }
+                    },
+                    Node::Internal { .. } => unreachable!(),
+                };
+                if !overflow {
+                    return (old, None);
+                }
+                // Split leaf: right half to a fresh node; separator = first
+                // key of the right half (it stays in the leaf — B+ style).
+                let (rk, rv) = match &mut self.nodes[node] {
+                    Node::Leaf { keys, values } => {
+                        let mid = keys.len() / 2;
+                        (keys.split_off(mid), values.split_off(mid))
+                    }
+                    Node::Internal { .. } => unreachable!(),
+                };
+                let sep = rk[0].clone();
+                let right = self.alloc(Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                });
+                (old, Some((sep, right)))
+            }
+            Some(i) => {
+                let child_idx = match &self.nodes[node] {
+                    Node::Internal { children, .. } => children[i],
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                let (old, split) = self.insert_rec(child_idx, key, value);
+                let Some((sep, right)) = split else {
+                    return (old, None);
+                };
+                // Insert the promoted separator.
+                let overflow = match &mut self.nodes[node] {
+                    Node::Internal { keys, children } => {
+                        keys.insert(i, sep);
+                        children.insert(i + 1, right);
+                        keys.len() > self.max_keys
+                    }
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                if !overflow {
+                    return (old, None);
+                }
+                // Split internal: the middle key moves *up*.
+                let (rkeys, rchildren, sep_up) = match &mut self.nodes[node] {
+                    Node::Internal { keys, children } => {
+                        let mid = keys.len() / 2;
+                        let rkeys = keys.split_off(mid + 1);
+                        let sep_up = keys.pop().expect("mid key exists");
+                        let rchildren = children.split_off(mid + 1);
+                        (rkeys, rchildren, sep_up)
+                    }
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                let right = self.alloc(Node::Internal {
+                    keys: rkeys,
+                    children: rchildren,
+                });
+                (old, Some((sep_up, right)))
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (old, _) = self.remove_rec(self.root, key);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        // Collapse an empty internal root.
+        if let Node::Internal { keys, children } = &self.nodes[self.root] {
+            if keys.is_empty() {
+                let only = children[0];
+                self.free.push(self.root);
+                self.root = only;
+                self.height -= 1;
+            }
+        }
+        old
+    }
+
+    fn remove_rec(&mut self, node: usize, key: &K) -> (Option<V>, bool) {
+        let child = match &self.nodes[node] {
+            Node::Internal { keys, .. } => Some(Self::child_for(keys, key)),
+            Node::Leaf { .. } => None,
+        };
+        match child {
+            None => {
+                let min = self.min_keys();
+                match &mut self.nodes[node] {
+                    Node::Leaf { keys, values } => match keys.binary_search(key) {
+                        Ok(i) => {
+                            keys.remove(i);
+                            let v = values.remove(i);
+                            (Some(v), keys.len() < min)
+                        }
+                        Err(_) => (None, false),
+                    },
+                    Node::Internal { .. } => unreachable!(),
+                }
+            }
+            Some(i) => {
+                let child_idx = match &self.nodes[node] {
+                    Node::Internal { children, .. } => children[i],
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                let (old, underflow) = self.remove_rec(child_idx, key);
+                if old.is_none() || !underflow {
+                    return (old, false);
+                }
+                self.fix_underflow(node, i);
+                let min = self.min_keys();
+                let me_underflow = match &self.nodes[node] {
+                    Node::Internal { keys, .. } => keys.len() < min,
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                (old, me_underflow)
+            }
+        }
+    }
+
+    /// Repairs child `i` of internal `node` after an underflow, by borrowing
+    /// from an adjacent sibling or merging with it.
+    fn fix_underflow(&mut self, node: usize, i: usize) {
+        let (child_idx, left_idx, right_idx) = match &self.nodes[node] {
+            Node::Internal { children, .. } => (
+                children[i],
+                i.checked_sub(1).map(|j| children[j]),
+                children.get(i + 1).copied(),
+            ),
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let min = self.min_keys();
+
+        // Try borrowing from the left sibling.
+        if let Some(l) = left_idx {
+            if self.node_keys(l) > min {
+                self.borrow_from_left(node, i, l, child_idx);
+                return;
+            }
+        }
+        // Try borrowing from the right sibling.
+        if let Some(r) = right_idx {
+            if self.node_keys(r) > min {
+                self.borrow_from_right(node, i, child_idx, r);
+                return;
+            }
+        }
+        // Merge with a sibling (left preferred).
+        if let Some(l) = left_idx {
+            self.merge_children(node, i - 1, l, child_idx);
+        } else if let Some(r) = right_idx {
+            self.merge_children(node, i, child_idx, r);
+        }
+    }
+
+    fn node_keys(&self, idx: usize) -> usize {
+        match &self.nodes[idx] {
+            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: usize, sep_pos: usize, left: usize, child: usize) {
+        // sep_pos is the index of `child` in parent.children; the separator
+        // between left and child is parent.keys[sep_pos - 1].
+        let sep_idx = sep_pos - 1;
+        let is_leaf = matches!(self.nodes[child], Node::Leaf { .. });
+        if is_leaf {
+            let (k, v) = match &mut self.nodes[left] {
+                Node::Leaf { keys, values } => (
+                    keys.pop().expect("donor non-empty"),
+                    values.pop().expect("donor"),
+                ),
+                Node::Internal { .. } => unreachable!(),
+            };
+            let new_sep = k.clone();
+            match &mut self.nodes[child] {
+                Node::Leaf { keys, values } => {
+                    keys.insert(0, k);
+                    values.insert(0, v);
+                }
+                Node::Internal { .. } => unreachable!(),
+            }
+            match &mut self.nodes[parent] {
+                Node::Internal { keys, .. } => keys[sep_idx] = new_sep,
+                Node::Leaf { .. } => unreachable!(),
+            }
+        } else {
+            // Rotate through the parent separator.
+            let (donor_key, donor_child) = match &mut self.nodes[left] {
+                Node::Internal { keys, children } => {
+                    (keys.pop().expect("donor"), children.pop().expect("donor"))
+                }
+                Node::Leaf { .. } => unreachable!(),
+            };
+            let sep = match &mut self.nodes[parent] {
+                Node::Internal { keys, .. } => std::mem::replace(&mut keys[sep_idx], donor_key),
+                Node::Leaf { .. } => unreachable!(),
+            };
+            match &mut self.nodes[child] {
+                Node::Internal { keys, children } => {
+                    keys.insert(0, sep);
+                    children.insert(0, donor_child);
+                }
+                Node::Leaf { .. } => unreachable!(),
+            }
+        }
+    }
+
+    fn borrow_from_right(&mut self, parent: usize, sep_pos: usize, child: usize, right: usize) {
+        // Separator between child and right is parent.keys[sep_pos].
+        let is_leaf = matches!(self.nodes[child], Node::Leaf { .. });
+        if is_leaf {
+            let (k, v) = match &mut self.nodes[right] {
+                Node::Leaf { keys, values } => (keys.remove(0), values.remove(0)),
+                Node::Internal { .. } => unreachable!(),
+            };
+            let new_sep = match &self.nodes[right] {
+                Node::Leaf { keys, .. } => keys[0].clone(),
+                Node::Internal { .. } => unreachable!(),
+            };
+            match &mut self.nodes[child] {
+                Node::Leaf { keys, values } => {
+                    keys.push(k);
+                    values.push(v);
+                }
+                Node::Internal { .. } => unreachable!(),
+            }
+            match &mut self.nodes[parent] {
+                Node::Internal { keys, .. } => keys[sep_pos] = new_sep,
+                Node::Leaf { .. } => unreachable!(),
+            }
+        } else {
+            let (donor_key, donor_child) = match &mut self.nodes[right] {
+                Node::Internal { keys, children } => (keys.remove(0), children.remove(0)),
+                Node::Leaf { .. } => unreachable!(),
+            };
+            let sep = match &mut self.nodes[parent] {
+                Node::Internal { keys, .. } => std::mem::replace(&mut keys[sep_pos], donor_key),
+                Node::Leaf { .. } => unreachable!(),
+            };
+            match &mut self.nodes[child] {
+                Node::Internal { keys, children } => {
+                    keys.push(sep);
+                    children.push(donor_child);
+                }
+                Node::Leaf { .. } => unreachable!(),
+            }
+        }
+    }
+
+    /// Merges children `left` and `right` (adjacent, separator at
+    /// `parent.keys[sep_idx]`) into `left`.
+    fn merge_children(&mut self, parent: usize, sep_idx: usize, left: usize, right: usize) {
+        let sep = match &mut self.nodes[parent] {
+            Node::Internal { keys, children } => {
+                let sep = keys.remove(sep_idx);
+                children.remove(sep_idx + 1);
+                sep
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let right_node = std::mem::replace(
+            &mut self.nodes[right],
+            Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            },
+        );
+        self.free.push(right);
+        match (&mut self.nodes[left], right_node) {
+            (
+                Node::Leaf { keys, values },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                },
+            ) => {
+                keys.extend(rk);
+                values.extend(rv);
+            }
+            (
+                Node::Internal { keys, children },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                keys.push(sep);
+                keys.extend(rk);
+                children.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// In-order iteration over `(key, value)` pairs.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            tree: self,
+            stack: vec![(self.root, 0)],
+        }
+    }
+
+    /// In-order iteration starting at the first key `>= start` — the range
+    /// scan a database layer issues for `SELECT … WHERE k >= ?`.
+    pub fn iter_from(&self, start: &K) -> Iter<'_, K, V> {
+        // Build the descent stack: at each internal node, record the child
+        // position we took; at the leaf, the first in-range entry index.
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Internal { keys, children } => {
+                    let pos = Self::child_for(keys, start);
+                    // Resume *after* child `pos` once it is exhausted.
+                    stack.push((cur, pos + 1));
+                    cur = children[pos];
+                }
+                Node::Leaf { keys, .. } => {
+                    let pos = keys.partition_point(|k| k < start);
+                    stack.push((cur, pos));
+                    break;
+                }
+            }
+        }
+        Iter { tree: self, stack }
+    }
+
+    /// All `(key, value)` pairs with `start <= key < end`.
+    pub fn range<'a>(&'a self, start: &K, end: &'a K) -> impl Iterator<Item = (&'a K, &'a V)> {
+        self.iter_from(start).take_while(move |(k, _)| *k < end)
+    }
+
+    /// Structural invariants for property tests: uniform depth, sorted keys,
+    /// separator bounds, occupancy ≥ min for non-root nodes, `len`
+    /// consistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        let depth = self.check_rec(self.root, None, None, true, &mut count)?;
+        if depth != self.height {
+            return Err(format!("height {} but measured depth {depth}", self.height));
+        }
+        if count != self.len {
+            return Err(format!("len {} but counted {count}", self.len));
+        }
+        Ok(())
+    }
+
+    fn check_rec(
+        &self,
+        node: usize,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        is_root: bool,
+        count: &mut usize,
+    ) -> Result<usize, String> {
+        let in_bounds = |k: &K| lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k < h);
+        match &self.nodes[node] {
+            Node::Leaf { keys, values } => {
+                if keys.len() != values.len() {
+                    return Err(format!("leaf {node}: key/value arity mismatch"));
+                }
+                if !is_root && keys.len() < self.min_keys() {
+                    return Err(format!("leaf {node}: underfull ({} keys)", keys.len()));
+                }
+                if keys.len() > self.max_keys {
+                    return Err(format!("leaf {node}: overfull"));
+                }
+                if !keys.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("leaf {node}: keys unsorted"));
+                }
+                if !keys.iter().all(in_bounds) {
+                    return Err(format!("leaf {node}: key out of separator bounds"));
+                }
+                *count += keys.len();
+                Ok(1)
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err(format!("internal {node}: arity mismatch"));
+                }
+                if !is_root && keys.len() < self.min_keys() {
+                    return Err(format!("internal {node}: underfull"));
+                }
+                if keys.len() > self.max_keys {
+                    return Err(format!("internal {node}: overfull"));
+                }
+                if !keys.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("internal {node}: keys unsorted"));
+                }
+                if !keys.iter().all(in_bounds) {
+                    return Err(format!("internal {node}: separator out of bounds"));
+                }
+                let mut depth = None;
+                for (i, &c) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    let d = self.check_rec(c, clo, chi, false, count)?;
+                    if let Some(prev) = depth {
+                        if prev != d {
+                            return Err(format!("internal {node}: ragged depth"));
+                        }
+                    }
+                    depth = Some(d);
+                }
+                Ok(depth.expect("internal has children") + 1)
+            }
+        }
+    }
+}
+
+/// In-order iterator (depth-first through the arena).
+pub struct Iter<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    /// (node, next child/entry index) stack.
+    stack: Vec<(usize, usize)>,
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, pos) = *self.stack.last()?;
+            match &self.tree.nodes[node] {
+                Node::Leaf { keys, values } => {
+                    if pos < keys.len() {
+                        self.stack.last_mut().expect("non-empty").1 += 1;
+                        return Some((&keys[pos], &values[pos]));
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if pos < children.len() {
+                        self.stack.last_mut().expect("non-empty").1 += 1;
+                        self.stack.push((children[pos], 0));
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}

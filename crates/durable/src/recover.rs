@@ -61,11 +61,11 @@ fn corrupt(msg: impl Into<String>) -> io::Error {
 pub fn recover(dir: &Path) -> io::Result<Recovery> {
     let begin = Instant::now();
     let snap = snapshot::load_latest(dir)?;
-    let mut db = Database::default();
     let snapshot_entries = snap.entries.len() as u64;
-    for (key, record) in snap.entries {
-        db.insert(key, record);
-    }
+    // Snapshots are written from `Database::iter` (ascending keys), so the
+    // index is bulk-loaded bottom-up instead of one descent per entry; the
+    // constructor falls back to insert-order replay if the file is unsorted.
+    let mut db = Database::from_sorted_entries(snap.entries);
 
     let segments = wal::list_segments(dir)?;
     let mut last_seq = snap.seq;

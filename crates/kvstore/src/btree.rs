@@ -1,17 +1,405 @@
-//! An arena-allocated B+Tree.
+//! An arena-allocated B+Tree with a slot layout built for raw lookup speed.
 //!
 //! Values live only in leaves; internal nodes hold separator keys. The tree
 //! reports the number of nodes visited per lookup, which is the cost the
 //! LruIndex cache lets the database skip ("the server invokes built-in
 //! indexing, like the B+ Tree, to pinpoint key k's index" — §3.2).
 //!
+//! The seed-era layout (a `Vec<K>` per node, full-key binary search) paid a
+//! full key comparison per probe. This rewrite applies the slot-layout
+//! techniques from the btree-techniques thesis (see DESIGN.md §13):
+//!
+//! - **Key heads with prefix truncation.** Every node stores a contiguous
+//!   `u32` array of order-preserving *heads* — big-endian key bytes
+//!   `[skip, skip+4)` where `skip` counts the prefix bytes all keys in the
+//!   node share. Binary search runs over the flat head array; full keys are
+//!   only compared inside a run of equal heads. See [`crate::key`].
+//! - **Hash leaves.** A leaf whose recent access mix is point-lookup-heavy
+//!   arms a hash-bucket directory (open addressing over
+//!   [`IndexKey::hash64`]) so point probes skip the binary search entirely.
+//!   The directory is a fixed-size array *inline in the node* with a
+//!   compile-time mask, so the bucket byte's address is computable before
+//!   the node's own cache line arrives — the bucket load and the node
+//!   metadata load overlap instead of chaining, cutting a serial cache
+//!   miss off every probe. Entries stay physically sorted, so scans and
+//!   bulk snapshots never notice; the first range/scan touch flags the
+//!   leaf and the next mutation disarms the directory.
+//! - **A descent cache.** The tree remembers the last leaf a lookup landed
+//!   in (packed with a structural epoch). A hot lookup re-checks that
+//!   leaf's fence keys and, on a hit, answers in ~1 node visit instead of a
+//!   root-to-leaf walk. [`BPlusTree::lookup`] remains the uncached descent
+//!   (its visit count *is* the tree height — the cost model the LruIndex
+//!   figures are built on); [`BPlusTree::lookup_hot`] is the cached entry
+//!   point the database layer uses.
+//! - **Sorted bulk load.** [`BPlusTree::from_sorted`] builds the tree
+//!   bottom-up from ascending entries with full leaves — no root-to-leaf
+//!   descent per key.
+//!
 //! Deletion rebalances by borrowing from or merging with siblings; the root
 //! collapses when it loses its last separator.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering::Relaxed};
+
+use crate::key::{be_prefix, head_at, shared_prefix_bytes, IndexKey};
+
+/// Point-lookup streak after which a leaf flips to hash mode.
+const FLIP_STREAK: u8 = 16;
+/// Slots in a leaf's inline hash directory. A fixed power of two keeps the
+/// probe mask a compile-time constant, which is what lets the bucket load
+/// issue before the node's metadata line arrives.
+const INLINE_BUCKETS: usize = 128;
+/// Most entries a leaf may hold and still run in hash mode (load factor
+/// ≤ 0.5 over [`INLINE_BUCKETS`], so linear probes always terminate).
+/// Larger fan-outs simply stay in sorted mode.
+const INLINE_BUCKET_CAP: usize = INLINE_BUCKETS / 2;
+/// Access-mix bit marking a range/scan touch (drops hash mode on the next
+/// mutation of the leaf).
+const SCAN_FLAG: u8 = 0x80;
+
+/// Bits of the structural epoch packed into the descent-cache word; the
+/// remaining bits hold `leaf + 1` (0 = empty cache).
+const EPOCH_BITS: u32 = 40;
+const EPOCH_MASK: u64 = (1 << EPOCH_BITS) - 1;
+/// Largest leaf index the cache can remember (`leaf + 1` must fit the word).
+const MAX_CACHED_LEAF: u64 = (1 << (64 - EPOCH_BITS)) - 2;
+
+/// A leaf: sorted `(key, value)` entries plus the head array and the
+/// optional hash-bucket sidecar. Keys and values interleave in one
+/// allocation on purpose: the full-key verify and the value read land on
+/// the same cache line, where parallel `Vec<K>`/`Vec<V>` arrays cost a
+/// second miss per lookup.
+#[derive(Debug)]
+struct Leaf<K, V> {
+    /// Order-preserving 4-byte heads, parallel to `entries`.
+    heads: Vec<u32>,
+    entries: Vec<(K, V)>,
+    /// Big-endian key bytes shared by every key in this node (count).
+    skip: u8,
+    /// The shared prefix itself, right-aligned ([`be_prefix`]).
+    prefix: u64,
+    /// Hash-mode directory: open-addressed buckets of `slot + 1` (0
+    /// empty), inline in the node so a probe's bucket address needs no
+    /// pointer chase. Only meaningful while `hash` is set; entries stay
+    /// physically sorted either way.
+    buckets: [u8; INLINE_BUCKETS],
+    /// Whether the bucket directory is armed (hash mode).
+    hash: bool,
+    /// Access mix: bit 7 = scanned since last mutation, bits 0..7 = point
+    /// lookup streak. Updated with relaxed atomics so `&self` readers can
+    /// vote; acted on by the next `&mut self` mutation.
+    mix: AtomicU8,
+}
+
+impl<K: Clone, V: Clone> Clone for Leaf<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            heads: self.heads.clone(),
+            entries: self.entries.clone(),
+            skip: self.skip,
+            prefix: self.prefix,
+            buckets: self.buckets,
+            hash: self.hash,
+            mix: AtomicU8::new(self.mix.load(Relaxed)),
+        }
+    }
+}
+
+/// An internal node: separator keys with their head array, plus children.
+#[derive(Clone, Debug)]
+struct Inner<K> {
+    heads: Vec<u32>,
+    keys: Vec<K>,
+    children: Vec<u32>,
+    skip: u8,
+    prefix: u64,
+}
+
 #[derive(Clone, Debug)]
 enum Node<K, V> {
-    Internal { keys: Vec<K>, children: Vec<usize> },
-    Leaf { keys: Vec<K>, values: Vec<V> },
+    Inner(Inner<K>),
+    Leaf(Leaf<K, V>),
+}
+
+/// Head-first search of a sorted entry array: scan the flat `u32` heads,
+/// then compare full keys only within the run of equal heads. `key_of`
+/// projects an entry to its key (`&K` for inner nodes, `&(K, V)` for
+/// leaves). `Ok(i)` = exact match at `i`; `Err(i)` = insertion point.
+fn slot_search<K: IndexKey, T>(
+    heads: &[u32],
+    entries: &[T],
+    key_of: impl Fn(&T) -> &K,
+    skip: u8,
+    prefix: u64,
+    key: &K,
+    rank: u64,
+) -> Result<usize, usize> {
+    // Prefix gate: a key outside the node's shared-prefix class sorts
+    // entirely before or after every key in the node (ranks are
+    // order-preserving), so the heads don't even need consulting.
+    let kp = be_prefix(rank, skip);
+    if kp < prefix {
+        return Err(0);
+    }
+    if kp > prefix {
+        return Err(entries.len());
+    }
+    let h = head_at(rank, skip);
+    // Lower bound by counting `< h` over the flat `u32` array. The `u32`
+    // accumulator lets the loop auto-vectorize (4-wide compare+subtract
+    // at baseline SSE2), and the sequential independent loads stream
+    // through the prefetcher — unlike a binary search, whose
+    // data-dependent probes serialize on L2 latency and mispredict
+    // ~log2(len) times per node. Nodes are fanout-bounded so the scan is
+    // a few cache lines; oversized arrays (no current caller) fall back.
+    let lo = if heads.len() <= 1024 {
+        let mut n: u32 = 0;
+        for &x in heads {
+            n += u32::from(x < h);
+        }
+        n as usize
+    } else {
+        heads.partition_point(|&x| x < h)
+    };
+    // Full keys only within the run of equal heads (usually 0–1 long).
+    let mut hi = lo;
+    while hi < heads.len() && heads[hi] == h {
+        hi += 1;
+    }
+    match entries[lo..hi].binary_search_by(|e| key_of(e).cmp(key)) {
+        Ok(i) => Ok(lo + i),
+        Err(i) => Err(lo + i),
+    }
+}
+
+impl<K: IndexKey, V> Leaf<K, V> {
+    fn empty() -> Self {
+        Self {
+            heads: Vec::new(),
+            entries: Vec::new(),
+            skip: 0,
+            prefix: 0,
+            buckets: [0; INLINE_BUCKETS],
+            hash: false,
+            mix: AtomicU8::new(0),
+        }
+    }
+
+    /// A leaf over already-sorted entries; computes heads, starts
+    /// sorted-mode.
+    fn from_sorted_parts(entries: Vec<(K, V)>) -> Self {
+        let mut leaf = Self {
+            heads: Vec::new(),
+            entries,
+            skip: 0,
+            prefix: 0,
+            buckets: [0; INLINE_BUCKETS],
+            hash: false,
+            mix: AtomicU8::new(0),
+        };
+        leaf.rebuild_meta();
+        leaf
+    }
+
+    fn key(&self, i: usize) -> &K {
+        &self.entries[i].0
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Recomputes `skip`/`prefix`/`heads` from the current keys.
+    fn rebuild_meta(&mut self) {
+        if self.entries.is_empty() {
+            self.skip = 0;
+            self.prefix = 0;
+            self.heads.clear();
+            return;
+        }
+        let lo = self.entries[0].0.rank64();
+        let hi = self.entries[self.entries.len() - 1].0.rank64();
+        self.skip = shared_prefix_bytes(lo, hi);
+        self.prefix = be_prefix(lo, self.skip);
+        self.heads.clear();
+        let skip = self.skip;
+        self.heads
+            .extend(self.entries.iter().map(|(k, _)| head_at(k.rank64(), skip)));
+    }
+
+    fn search(&self, key: &K, rank: u64) -> Result<usize, usize> {
+        slot_search(
+            &self.heads,
+            &self.entries,
+            |e| &e.0,
+            self.skip,
+            self.prefix,
+            key,
+            rank,
+        )
+    }
+
+    /// Point lookup: hash probe in hash mode, head search otherwise.
+    fn find(&self, key: &K, rank: u64) -> Option<usize> {
+        if self.hash {
+            self.hash_find(key)
+        } else {
+            self.search(key, rank).ok()
+        }
+    }
+
+    fn hash_find(&self, key: &K) -> Option<usize> {
+        let mut i = (key.hash64() as usize) & (INLINE_BUCKETS - 1);
+        loop {
+            match self.buckets[i] {
+                0 => return None,
+                s => {
+                    let slot = usize::from(s) - 1;
+                    if self.entries[slot].0 == *key {
+                        return Some(slot);
+                    }
+                }
+            }
+            i = (i + 1) & (INLINE_BUCKETS - 1);
+        }
+    }
+
+    /// Rebuilds and arms the inline bucket directory. The caller ensures
+    /// `entries.len() <= INLINE_BUCKET_CAP`, which keeps the load factor
+    /// ≤ 0.5 (so linear probes always terminate) and `slot + 1` in a byte.
+    fn rebuild_buckets(&mut self) {
+        self.buckets = [0; INLINE_BUCKETS];
+        for (slot, (k, _)) in self.entries.iter().enumerate() {
+            let mut i = (k.hash64() as usize) & (INLINE_BUCKETS - 1);
+            while self.buckets[i] != 0 {
+                i = (i + 1) & (INLINE_BUCKETS - 1);
+            }
+            self.buckets[i] = (slot + 1) as u8;
+        }
+        self.hash = true;
+    }
+
+    /// Votes "point lookup" into the access mix (relaxed; losing a vote to
+    /// a concurrent racer is harmless — it only delays a mode flip).
+    fn note_point(&self) {
+        // Saturate at the flip threshold: once a leaf has earned its hash
+        // sidecar the streak stops moving, so steady-state point lookups
+        // never dirty the node's cache line.
+        let m = self.mix.load(Relaxed);
+        if m & SCAN_FLAG == 0 && m < FLIP_STREAK {
+            self.mix.store(m + 1, Relaxed);
+        }
+    }
+
+    /// Votes "scanned": the next mutation reverts the leaf to sorted mode.
+    fn note_scan(&self) {
+        self.mix.store(SCAN_FLAG, Relaxed);
+    }
+
+    /// Applies the pending mode decision after a mutation: disarm the hash
+    /// directory if a scan touched the leaf, otherwise keep it fresh (or
+    /// arm it once the point streak crosses [`FLIP_STREAK`]).
+    fn adapt(&mut self) {
+        let m = *self.mix.get_mut();
+        if m & SCAN_FLAG != 0 {
+            self.hash = false;
+            *self.mix.get_mut() = 0;
+        } else if (self.hash || m >= FLIP_STREAK)
+            && !self.entries.is_empty()
+            && self.entries.len() <= INLINE_BUCKET_CAP
+        {
+            self.rebuild_buckets();
+        } else {
+            // Empty, or grown past the directory's capacity: stay sorted.
+            self.hash = false;
+        }
+    }
+
+    /// Inserts at position `i`, extending the head array incrementally when
+    /// the new key shares the node prefix (the common case).
+    fn insert_entry(&mut self, i: usize, key: K, value: V) {
+        let r = key.rank64();
+        if !self.entries.is_empty() && be_prefix(r, self.skip) == self.prefix {
+            self.heads.insert(i, head_at(r, self.skip));
+            self.entries.insert(i, (key, value));
+        } else {
+            self.entries.insert(i, (key, value));
+            self.rebuild_meta();
+        }
+    }
+}
+
+impl<K: IndexKey> Inner<K> {
+    fn from_parts(keys: Vec<K>, children: Vec<u32>) -> Self {
+        let mut inner = Self {
+            heads: Vec::new(),
+            keys,
+            children,
+            skip: 0,
+            prefix: 0,
+        };
+        inner.rebuild_meta();
+        inner
+    }
+
+    fn rebuild_meta(&mut self) {
+        if self.keys.is_empty() {
+            self.skip = 0;
+            self.prefix = 0;
+            self.heads.clear();
+            return;
+        }
+        let lo = self.keys[0].rank64();
+        let hi = self.keys[self.keys.len() - 1].rank64();
+        self.skip = shared_prefix_bytes(lo, hi);
+        self.prefix = be_prefix(lo, self.skip);
+        self.heads.clear();
+        let skip = self.skip;
+        self.heads
+            .extend(self.keys.iter().map(|k| head_at(k.rank64(), skip)));
+    }
+
+    /// Child index to descend into for `key`: the first separator greater
+    /// than `key` bounds the child on the right.
+    fn child_for(&self, key: &K, rank: u64) -> usize {
+        match slot_search(
+            &self.heads,
+            &self.keys,
+            |k| k,
+            self.skip,
+            self.prefix,
+            key,
+            rank,
+        ) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Inserts a promoted separator and its right child after a child split.
+    fn insert_sep(&mut self, i: usize, sep: K, right: u32) {
+        let r = sep.rank64();
+        if !self.keys.is_empty() && be_prefix(r, self.skip) == self.prefix {
+            self.heads.insert(i, head_at(r, self.skip));
+            self.keys.insert(i, sep);
+        } else {
+            self.keys.insert(i, sep);
+            self.rebuild_meta();
+        }
+        self.children.insert(i + 1, right);
+    }
+}
+
+/// A mutable handle to the slot a key occupies after an upsert descent.
+///
+/// Returned by [`BPlusTree::get_or_insert_with`]: one root-to-leaf walk
+/// resolves both "was it there?" and "where does the value live?".
+pub struct SlotRef<'a, V> {
+    /// The value now stored under the key (the old one if `existed`).
+    pub value: &'a mut V,
+    /// Whether the key already existed (the factory was not called).
+    pub existed: bool,
+    /// Nodes visited by the descent (the tree height).
+    pub visits: usize,
 }
 
 /// A B+Tree with configurable fan-out.
@@ -28,36 +416,172 @@ enum Node<K, V> {
 /// assert_eq!(node_visits, index.height());
 /// assert_eq!(index.range(&10, &13).count(), 3);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BPlusTree<K, V> {
     nodes: Vec<Node<K, V>>,
-    free: Vec<usize>,
-    root: usize,
+    free: Vec<u32>,
+    root: u32,
     len: usize,
     max_keys: usize,
     height: usize,
+    /// Bumped on any structural change (alloc/free/rebalance/root move);
+    /// stale descent-cache entries die on mismatch.
+    epoch: u64,
+    /// Descent cache: `(leaf + 1) << EPOCH_BITS | epoch`, 0 = empty.
+    /// Written with relaxed stores from `&self` lookups.
+    cache: AtomicU64,
+    /// Lookups answered from the descent cache (~1 visit instead of a
+    /// full walk).
+    descent_hits: AtomicU64,
 }
 
-impl<K: Ord + Clone, V> BPlusTree<K, V> {
+impl<K: Clone, V: Clone> Clone for BPlusTree<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            len: self.len,
+            max_keys: self.max_keys,
+            height: self.height,
+            epoch: self.epoch,
+            cache: AtomicU64::new(self.cache.load(Relaxed)),
+            descent_hits: AtomicU64::new(self.descent_hits.load(Relaxed)),
+        }
+    }
+}
+
+impl<K: IndexKey, V> BPlusTree<K, V> {
     /// A tree whose nodes hold at most `max_keys` keys (fan-out
     /// `max_keys + 1`). Databases use fan-outs in the tens to hundreds;
-    /// the default elsewhere in this workspace is 32.
+    /// the default elsewhere in this workspace is 64.
     ///
     /// # Panics
     /// Panics if `max_keys < 3`.
     pub fn new(max_keys: usize) -> Self {
         assert!(max_keys >= 3, "max_keys must be at least 3");
         Self {
-            nodes: vec![Node::Leaf {
-                keys: Vec::new(),
-                values: Vec::new(),
-            }],
+            nodes: vec![Node::Leaf(Leaf::empty())],
             free: Vec::new(),
             root: 0,
             len: 0,
             max_keys,
             height: 1,
+            epoch: 0,
+            cache: AtomicU64::new(0),
+            descent_hits: AtomicU64::new(0),
         }
+    }
+
+    /// Builds the tree bottom-up from strictly ascending `(key, value)`
+    /// entries: full leaves, no per-key descent. `Database::populate`,
+    /// `from_entries`, and snapshot recovery use this.
+    ///
+    /// # Panics
+    /// Panics if `max_keys < 3` or the keys are not strictly ascending.
+    pub fn from_sorted<I>(max_keys: usize, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        assert!(max_keys >= 3, "max_keys must be at least 3");
+        let min_keys = max_keys / 2;
+
+        // Chunk into full leaves.
+        let mut leaf_entries: Vec<Vec<(K, V)>> = Vec::new();
+        let mut cur: Vec<(K, V)> = Vec::with_capacity(max_keys);
+        let mut len = 0usize;
+        for (k, v) in entries {
+            let prev = cur.last().or_else(|| {
+                leaf_entries
+                    .last()
+                    .map(|l| l.last().expect("flushed leaves are non-empty"))
+            });
+            if let Some((p, _)) = prev {
+                assert!(*p < k, "from_sorted requires strictly ascending keys");
+            }
+            cur.push((k, v));
+            len += 1;
+            if cur.len() == max_keys {
+                leaf_entries.push(std::mem::take(&mut cur));
+                cur.reserve(max_keys);
+            }
+        }
+        if !cur.is_empty() {
+            leaf_entries.push(cur);
+        }
+
+        let mut tree = Self {
+            nodes: Vec::with_capacity(leaf_entries.len().max(1) * 2),
+            free: Vec::new(),
+            root: 0,
+            len,
+            max_keys,
+            height: 1,
+            epoch: 0,
+            cache: AtomicU64::new(0),
+            descent_hits: AtomicU64::new(0),
+        };
+        if leaf_entries.is_empty() {
+            tree.nodes.push(Node::Leaf(Leaf::empty()));
+            return tree;
+        }
+
+        // Fix an underfull tail leaf by rebalancing the last two.
+        let tail = leaf_entries.len() - 1;
+        if leaf_entries.len() > 1 && leaf_entries[tail].len() < min_keys {
+            let take = (max_keys + leaf_entries[tail].len()).div_ceil(2);
+            let moved = leaf_entries[tail - 1].split_off(take);
+            let old = std::mem::replace(&mut leaf_entries[tail], moved);
+            leaf_entries[tail].extend(old);
+        }
+
+        // Allocate leaves, remembering each node's lowest key as the
+        // separator material for the level above.
+        let mut level: Vec<(K, u32)> = leaf_entries
+            .into_iter()
+            .map(|es| {
+                let low = es[0].0.clone();
+                let idx = tree.nodes.len() as u32;
+                tree.nodes.push(Node::Leaf(Leaf::from_sorted_parts(es)));
+                (low, idx)
+            })
+            .collect();
+
+        // Build inner levels until one node remains.
+        let fanout = max_keys + 1;
+        while level.len() > 1 {
+            let mut sizes: Vec<usize> = Vec::new();
+            let mut remaining = level.len();
+            while remaining > 0 {
+                let s = remaining.min(fanout);
+                sizes.push(s);
+                remaining -= s;
+            }
+            // An underfull tail group steals children from its left
+            // neighbour (non-root inner nodes need ≥ min_keys separators).
+            let t = sizes.len() - 1;
+            if sizes.len() > 1 && sizes[t] < min_keys + 1 {
+                let total = sizes[t - 1] + sizes[t];
+                sizes[t - 1] = total.div_ceil(2);
+                sizes[t] = total - sizes[t - 1];
+            }
+            let mut next: Vec<(K, u32)> = Vec::with_capacity(sizes.len());
+            let mut it = level.into_iter();
+            for s in sizes {
+                let group: Vec<(K, u32)> = it.by_ref().take(s).collect();
+                let low = group[0].0.clone();
+                let keys: Vec<K> = group[1..].iter().map(|(k, _)| k.clone()).collect();
+                let children: Vec<u32> = group.iter().map(|&(_, c)| c).collect();
+                let idx = tree.nodes.len() as u32;
+                tree.nodes
+                    .push(Node::Inner(Inner::from_parts(keys, children)));
+                next.push((low, idx));
+            }
+            level = next;
+            tree.height += 1;
+        }
+        tree.root = level[0].1;
+        tree
     }
 
     /// Number of stored keys.
@@ -70,206 +594,297 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         self.len == 0
     }
 
-    /// Tree height (1 for a lone leaf). Lookup cost is exactly `height`
-    /// node visits.
+    /// Tree height (1 for a lone leaf). Uncached lookup cost is exactly
+    /// `height` node visits.
     pub fn height(&self) -> usize {
         self.height
+    }
+
+    /// Lookups answered by the descent cache since the tree was built.
+    pub fn descent_hits(&self) -> u64 {
+        self.descent_hits.load(Relaxed)
     }
 
     fn min_keys(&self) -> usize {
         self.max_keys / 2
     }
 
-    fn alloc(&mut self, node: Node<K, V>) -> usize {
+    fn alloc(&mut self, node: Node<K, V>) -> u32 {
+        self.epoch += 1;
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx] = node;
+            self.nodes[idx as usize] = node;
             idx
         } else {
             self.nodes.push(node);
-            self.nodes.len() - 1
+            (self.nodes.len() - 1) as u32
         }
     }
 
-    /// Child index to descend into for `key`: the first separator greater
-    /// than `key` bounds the child on the right.
-    fn child_for(keys: &[K], key: &K) -> usize {
-        keys.partition_point(|k| k <= key)
+    fn free_node(&mut self, idx: u32) {
+        self.epoch += 1;
+        self.nodes[idx as usize] = Node::Leaf(Leaf::empty());
+        self.free.push(idx);
     }
 
-    /// Looks up `key`, returning the value and the number of nodes visited.
+    /// Remembers `leaf` (with the current epoch) as the next lookup's
+    /// first guess. Callable from `&self`: a lost race only loses a hint.
+    fn cache_store(&self, leaf: u32) {
+        if u64::from(leaf) <= MAX_CACHED_LEAF {
+            self.cache.store(
+                ((u64::from(leaf) + 1) << EPOCH_BITS) | (self.epoch & EPOCH_MASK),
+                Relaxed,
+            );
+        }
+    }
+
+    fn cached_leaf(&self) -> Option<u32> {
+        let packed = self.cache.load(Relaxed);
+        let leaf = packed >> EPOCH_BITS;
+        if leaf == 0 || (packed & EPOCH_MASK) != (self.epoch & EPOCH_MASK) {
+            None
+        } else {
+            Some((leaf - 1) as u32)
+        }
+    }
+
+    /// Looks up `key` with a full root-to-leaf descent, returning the value
+    /// and the number of nodes visited (always the tree height). This is
+    /// the cost-model entry point; hot paths use [`Self::lookup_hot`].
     pub fn lookup(&self, key: &K) -> (Option<&V>, usize) {
+        self.lookup_cold(key, key.rank64())
+    }
+
+    fn lookup_cold(&self, key: &K, rank: u64) -> (Option<&V>, usize) {
         let mut cur = self.root;
         let mut visits = 0usize;
         loop {
             visits += 1;
-            match &self.nodes[cur] {
-                Node::Internal { keys, children } => {
-                    cur = children[Self::child_for(keys, key)];
+            match &self.nodes[cur as usize] {
+                Node::Inner(inner) => {
+                    cur = inner.children[inner.child_for(key, rank)];
                 }
-                Node::Leaf { keys, values } => {
-                    return match keys.binary_search(key) {
-                        Ok(i) => (Some(&values[i]), visits),
-                        Err(_) => (None, visits),
-                    };
+                Node::Leaf(leaf) => {
+                    leaf.note_point();
+                    self.cache_store(cur);
+                    return (leaf.find(key, rank).map(|i| &leaf.entries[i].1), visits);
                 }
             }
         }
     }
 
-    /// Plain lookup.
+    /// Looks up `key` through the descent cache: if the last-touched leaf's
+    /// fence keys still cover `key`, the answer costs ~1 node visit;
+    /// otherwise this falls back to a full descent (which re-arms the
+    /// cache).
+    pub fn lookup_hot(&self, key: &K) -> (Option<&V>, usize) {
+        let rank = key.rank64();
+        if let Some(idx) = self.cached_leaf() {
+            if let Node::Leaf(leaf) = &self.nodes[idx as usize] {
+                // Conservative fence check: only keys within the leaf's
+                // [first, last] span are decidable here. Leaves hold
+                // disjoint key ranges, so a key inside this span cannot
+                // live in any other leaf — a miss within the span is a
+                // true miss.
+                if !leaf.entries.is_empty()
+                    && *key >= *leaf.key(0)
+                    && *key <= *leaf.key(leaf.len() - 1)
+                {
+                    self.descent_hits.fetch_add(1, Relaxed);
+                    leaf.note_point();
+                    return (leaf.find(key, rank).map(|i| &leaf.entries[i].1), 1);
+                }
+            }
+        }
+        self.lookup_cold(key, rank)
+    }
+
+    /// Plain lookup (descent-cache-aware).
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.lookup(key).0
+        self.lookup_hot(key).0
     }
 
     /// Inserts `key → value`; returns the previous value if the key existed.
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
-        let (old, split) = self.insert_rec(self.root, key, value);
+        let mut carry = Some(value);
+        let slot = self.get_or_insert_with(key, || carry.take().expect("fresh key consumes value"));
+        match carry.take() {
+            // The factory ran: the value is already in the tree.
+            None => None,
+            Some(v) => Some(std::mem::replace(slot.value, v)),
+        }
+    }
+
+    /// Resolves `key` to its value slot in **one** root-to-leaf walk,
+    /// inserting `make()` if absent. This is the single-walk upsert the
+    /// database layer uses instead of a `get` + `insert` pair.
+    pub fn get_or_insert_with<F>(&mut self, key: K, make: F) -> SlotRef<'_, V>
+    where
+        F: FnOnce() -> V,
+    {
+        let rank = key.rank64();
+        let (leaf, slot, existed, split) = self.upsert_rec(self.root, key, rank, make);
         if let Some((sep, right)) = split {
-            let new_root = self.alloc(Node::Internal {
-                keys: vec![sep],
-                children: vec![self.root, right],
-            });
+            let old_root = self.root;
+            let new_root = self.alloc(Node::Inner(Inner::from_parts(
+                vec![sep],
+                vec![old_root, right],
+            )));
             self.root = new_root;
             self.height += 1;
         }
-        if old.is_none() {
+        if !existed {
             self.len += 1;
         }
-        old
+        self.cache_store(leaf);
+        let visits = self.height;
+        match &mut self.nodes[leaf as usize] {
+            Node::Leaf(l) => SlotRef {
+                value: &mut l.entries[slot].1,
+                existed,
+                visits,
+            },
+            Node::Inner(_) => unreachable!("upsert landed on an inner node"),
+        }
     }
 
-    fn insert_rec(&mut self, node: usize, key: K, value: V) -> (Option<V>, Option<(K, usize)>) {
-        // Work around the borrow checker by deciding the child first.
-        let child = match &self.nodes[node] {
-            Node::Internal { keys, .. } => Some(Self::child_for(keys, &key)),
-            Node::Leaf { .. } => None,
+    #[allow(clippy::type_complexity)]
+    fn upsert_rec<F>(
+        &mut self,
+        node: u32,
+        key: K,
+        rank: u64,
+        make: F,
+    ) -> (u32, usize, bool, Option<(K, u32)>)
+    where
+        F: FnOnce() -> V,
+    {
+        let child = match &self.nodes[node as usize] {
+            Node::Inner(inner) => Some(inner.child_for(&key, rank)),
+            Node::Leaf(_) => None,
         };
         match child {
             None => {
-                // Leaf insert.
-                let (old, overflow) = match &mut self.nodes[node] {
-                    Node::Leaf { keys, values } => match keys.binary_search(&key) {
-                        Ok(i) => (Some(std::mem::replace(&mut values[i], value)), false),
-                        Err(i) => {
-                            keys.insert(i, key);
-                            values.insert(i, value);
-                            (None, keys.len() > self.max_keys)
+                let max_keys = self.max_keys;
+                let leaf = match &mut self.nodes[node as usize] {
+                    Node::Leaf(l) => l,
+                    Node::Inner(_) => unreachable!(),
+                };
+                match leaf.search(&key, rank) {
+                    Ok(i) => {
+                        leaf.adapt();
+                        (node, i, true, None)
+                    }
+                    Err(i) => {
+                        leaf.insert_entry(i, key, make());
+                        if leaf.len() <= max_keys {
+                            leaf.adapt();
+                            return (node, i, false, None);
                         }
-                    },
-                    Node::Internal { .. } => unreachable!(),
-                };
-                if !overflow {
-                    return (old, None);
+                        // Split: right half to a fresh node; separator =
+                        // first key of the right half (it stays in the
+                        // leaf — B+ style).
+                        let mid = leaf.len() / 2;
+                        let r_entries = leaf.entries.split_off(mid);
+                        leaf.heads.truncate(mid);
+                        leaf.rebuild_meta();
+                        leaf.hash = false;
+                        *leaf.mix.get_mut() = 0;
+                        let sep = r_entries[0].0.clone();
+                        let in_right = i >= mid;
+                        let slot = if in_right { i - mid } else { i };
+                        let right = self.alloc(Node::Leaf(Leaf::from_sorted_parts(r_entries)));
+                        let home = if in_right { right } else { node };
+                        (home, slot, false, Some((sep, right)))
+                    }
                 }
-                // Split leaf: right half to a fresh node; separator = first
-                // key of the right half (it stays in the leaf — B+ style).
-                let (rk, rv) = match &mut self.nodes[node] {
-                    Node::Leaf { keys, values } => {
-                        let mid = keys.len() / 2;
-                        (keys.split_off(mid), values.split_off(mid))
-                    }
-                    Node::Internal { .. } => unreachable!(),
-                };
-                let sep = rk[0].clone();
-                let right = self.alloc(Node::Leaf {
-                    keys: rk,
-                    values: rv,
-                });
-                (old, Some((sep, right)))
             }
-            Some(i) => {
-                let child_idx = match &self.nodes[node] {
-                    Node::Internal { children, .. } => children[i],
-                    Node::Leaf { .. } => unreachable!(),
+            Some(ci) => {
+                let child_idx = match &self.nodes[node as usize] {
+                    Node::Inner(inner) => inner.children[ci],
+                    Node::Leaf(_) => unreachable!(),
                 };
-                let (old, split) = self.insert_rec(child_idx, key, value);
+                let (leaf, slot, existed, split) = self.upsert_rec(child_idx, key, rank, make);
                 let Some((sep, right)) = split else {
-                    return (old, None);
+                    return (leaf, slot, existed, None);
                 };
-                // Insert the promoted separator.
-                let overflow = match &mut self.nodes[node] {
-                    Node::Internal { keys, children } => {
-                        keys.insert(i, sep);
-                        children.insert(i + 1, right);
-                        keys.len() > self.max_keys
-                    }
-                    Node::Leaf { .. } => unreachable!(),
+                let max_keys = self.max_keys;
+                let inner = match &mut self.nodes[node as usize] {
+                    Node::Inner(x) => x,
+                    Node::Leaf(_) => unreachable!(),
                 };
-                if !overflow {
-                    return (old, None);
+                inner.insert_sep(ci, sep, right);
+                if inner.keys.len() <= max_keys {
+                    return (leaf, slot, existed, None);
                 }
                 // Split internal: the middle key moves *up*.
-                let (rkeys, rchildren, sep_up) = match &mut self.nodes[node] {
-                    Node::Internal { keys, children } => {
-                        let mid = keys.len() / 2;
-                        let rkeys = keys.split_off(mid + 1);
-                        let sep_up = keys.pop().expect("mid key exists");
-                        let rchildren = children.split_off(mid + 1);
-                        (rkeys, rchildren, sep_up)
-                    }
-                    Node::Leaf { .. } => unreachable!(),
-                };
-                let right = self.alloc(Node::Internal {
-                    keys: rkeys,
-                    children: rchildren,
-                });
-                (old, Some((sep_up, right)))
+                let mid = inner.keys.len() / 2;
+                let r_keys = inner.keys.split_off(mid + 1);
+                let sep_up = inner.keys.pop().expect("mid key exists");
+                let r_children = inner.children.split_off(mid + 1);
+                inner.rebuild_meta();
+                let right_idx = self.alloc(Node::Inner(Inner::from_parts(r_keys, r_children)));
+                (leaf, slot, existed, Some((sep_up, right_idx)))
             }
         }
     }
 
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let (old, _) = self.remove_rec(self.root, key);
+        let rank = key.rank64();
+        let (old, _) = self.remove_rec(self.root, key, rank);
         if old.is_some() {
             self.len -= 1;
         }
         // Collapse an empty internal root.
-        if let Node::Internal { keys, children } = &self.nodes[self.root] {
-            if keys.is_empty() {
-                let only = children[0];
-                self.free.push(self.root);
+        if let Node::Inner(inner) = &self.nodes[self.root as usize] {
+            if inner.keys.is_empty() {
+                let only = inner.children[0];
+                let old_root = self.root;
                 self.root = only;
                 self.height -= 1;
+                self.free_node(old_root);
             }
         }
         old
     }
 
-    fn remove_rec(&mut self, node: usize, key: &K) -> (Option<V>, bool) {
-        let child = match &self.nodes[node] {
-            Node::Internal { keys, .. } => Some(Self::child_for(keys, key)),
-            Node::Leaf { .. } => None,
+    fn remove_rec(&mut self, node: u32, key: &K, rank: u64) -> (Option<V>, bool) {
+        let child = match &self.nodes[node as usize] {
+            Node::Inner(inner) => Some(inner.child_for(key, rank)),
+            Node::Leaf(_) => None,
         };
         match child {
             None => {
                 let min = self.min_keys();
-                match &mut self.nodes[node] {
-                    Node::Leaf { keys, values } => match keys.binary_search(key) {
+                match &mut self.nodes[node as usize] {
+                    Node::Leaf(leaf) => match leaf.search(key, rank) {
                         Ok(i) => {
-                            keys.remove(i);
-                            let v = values.remove(i);
-                            (Some(v), keys.len() < min)
+                            // A non-maximal shared prefix stays valid, so
+                            // no head rebuild on remove.
+                            leaf.heads.remove(i);
+                            let (_, v) = leaf.entries.remove(i);
+                            leaf.adapt();
+                            (Some(v), leaf.len() < min)
                         }
                         Err(_) => (None, false),
                     },
-                    Node::Internal { .. } => unreachable!(),
+                    Node::Inner(_) => unreachable!(),
                 }
             }
             Some(i) => {
-                let child_idx = match &self.nodes[node] {
-                    Node::Internal { children, .. } => children[i],
-                    Node::Leaf { .. } => unreachable!(),
+                let child_idx = match &self.nodes[node as usize] {
+                    Node::Inner(inner) => inner.children[i],
+                    Node::Leaf(_) => unreachable!(),
                 };
-                let (old, underflow) = self.remove_rec(child_idx, key);
+                let (old, underflow) = self.remove_rec(child_idx, key, rank);
                 if old.is_none() || !underflow {
                     return (old, false);
                 }
                 self.fix_underflow(node, i);
                 let min = self.min_keys();
-                let me_underflow = match &self.nodes[node] {
-                    Node::Internal { keys, .. } => keys.len() < min,
-                    Node::Leaf { .. } => unreachable!(),
+                let me_underflow = match &self.nodes[node as usize] {
+                    Node::Inner(inner) => inner.keys.len() < min,
+                    Node::Leaf(_) => unreachable!(),
                 };
                 (old, me_underflow)
             }
@@ -278,14 +893,15 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 
     /// Repairs child `i` of internal `node` after an underflow, by borrowing
     /// from an adjacent sibling or merging with it.
-    fn fix_underflow(&mut self, node: usize, i: usize) {
-        let (child_idx, left_idx, right_idx) = match &self.nodes[node] {
-            Node::Internal { children, .. } => (
-                children[i],
-                i.checked_sub(1).map(|j| children[j]),
-                children.get(i + 1).copied(),
+    fn fix_underflow(&mut self, node: u32, i: usize) {
+        self.epoch += 1;
+        let (child_idx, left_idx, right_idx) = match &self.nodes[node as usize] {
+            Node::Inner(inner) => (
+                inner.children[i],
+                i.checked_sub(1).map(|j| inner.children[j]),
+                inner.children.get(i + 1).copied(),
             ),
-            Node::Leaf { .. } => unreachable!(),
+            Node::Leaf(_) => unreachable!(),
         };
         let min = self.min_keys();
 
@@ -311,144 +927,153 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         }
     }
 
-    fn node_keys(&self, idx: usize) -> usize {
-        match &self.nodes[idx] {
-            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+    fn node_keys(&self, idx: u32) -> usize {
+        match &self.nodes[idx as usize] {
+            Node::Inner(inner) => inner.keys.len(),
+            Node::Leaf(leaf) => leaf.len(),
         }
     }
 
-    fn borrow_from_left(&mut self, parent: usize, sep_pos: usize, left: usize, child: usize) {
+    /// Recomputes a node's head metadata (and hash sidecar) after a
+    /// rebalance rearranged its keys.
+    fn refresh_meta(&mut self, idx: u32) {
+        match &mut self.nodes[idx as usize] {
+            Node::Leaf(leaf) => {
+                leaf.rebuild_meta();
+                leaf.adapt();
+            }
+            Node::Inner(inner) => inner.rebuild_meta(),
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: u32, sep_pos: usize, left: u32, child: u32) {
         // sep_pos is the index of `child` in parent.children; the separator
         // between left and child is parent.keys[sep_pos - 1].
         let sep_idx = sep_pos - 1;
-        let is_leaf = matches!(self.nodes[child], Node::Leaf { .. });
+        let is_leaf = matches!(self.nodes[child as usize], Node::Leaf(_));
         if is_leaf {
-            let (k, v) = match &mut self.nodes[left] {
-                Node::Leaf { keys, values } => (
-                    keys.pop().expect("donor non-empty"),
-                    values.pop().expect("donor"),
-                ),
-                Node::Internal { .. } => unreachable!(),
+            let (k, v) = match &mut self.nodes[left as usize] {
+                Node::Leaf(leaf) => {
+                    leaf.heads.pop();
+                    leaf.entries.pop().expect("donor non-empty")
+                }
+                Node::Inner(_) => unreachable!(),
             };
             let new_sep = k.clone();
-            match &mut self.nodes[child] {
-                Node::Leaf { keys, values } => {
-                    keys.insert(0, k);
-                    values.insert(0, v);
-                }
-                Node::Internal { .. } => unreachable!(),
+            match &mut self.nodes[child as usize] {
+                Node::Leaf(leaf) => leaf.entries.insert(0, (k, v)),
+                Node::Inner(_) => unreachable!(),
             }
-            match &mut self.nodes[parent] {
-                Node::Internal { keys, .. } => keys[sep_idx] = new_sep,
-                Node::Leaf { .. } => unreachable!(),
+            match &mut self.nodes[parent as usize] {
+                Node::Inner(inner) => inner.keys[sep_idx] = new_sep,
+                Node::Leaf(_) => unreachable!(),
             }
         } else {
             // Rotate through the parent separator.
-            let (donor_key, donor_child) = match &mut self.nodes[left] {
-                Node::Internal { keys, children } => {
-                    (keys.pop().expect("donor"), children.pop().expect("donor"))
+            let (donor_key, donor_child) = match &mut self.nodes[left as usize] {
+                Node::Inner(inner) => {
+                    inner.heads.pop();
+                    (
+                        inner.keys.pop().expect("donor"),
+                        inner.children.pop().expect("donor"),
+                    )
                 }
-                Node::Leaf { .. } => unreachable!(),
+                Node::Leaf(_) => unreachable!(),
             };
-            let sep = match &mut self.nodes[parent] {
-                Node::Internal { keys, .. } => std::mem::replace(&mut keys[sep_idx], donor_key),
-                Node::Leaf { .. } => unreachable!(),
+            let sep = match &mut self.nodes[parent as usize] {
+                Node::Inner(inner) => std::mem::replace(&mut inner.keys[sep_idx], donor_key),
+                Node::Leaf(_) => unreachable!(),
             };
-            match &mut self.nodes[child] {
-                Node::Internal { keys, children } => {
-                    keys.insert(0, sep);
-                    children.insert(0, donor_child);
+            match &mut self.nodes[child as usize] {
+                Node::Inner(inner) => {
+                    inner.keys.insert(0, sep);
+                    inner.children.insert(0, donor_child);
                 }
-                Node::Leaf { .. } => unreachable!(),
+                Node::Leaf(_) => unreachable!(),
             }
         }
+        self.refresh_meta(left);
+        self.refresh_meta(child);
+        self.refresh_meta(parent);
     }
 
-    fn borrow_from_right(&mut self, parent: usize, sep_pos: usize, child: usize, right: usize) {
+    fn borrow_from_right(&mut self, parent: u32, sep_pos: usize, child: u32, right: u32) {
         // Separator between child and right is parent.keys[sep_pos].
-        let is_leaf = matches!(self.nodes[child], Node::Leaf { .. });
+        let is_leaf = matches!(self.nodes[child as usize], Node::Leaf(_));
         if is_leaf {
-            let (k, v) = match &mut self.nodes[right] {
-                Node::Leaf { keys, values } => (keys.remove(0), values.remove(0)),
-                Node::Internal { .. } => unreachable!(),
-            };
-            let new_sep = match &self.nodes[right] {
-                Node::Leaf { keys, .. } => keys[0].clone(),
-                Node::Internal { .. } => unreachable!(),
-            };
-            match &mut self.nodes[child] {
-                Node::Leaf { keys, values } => {
-                    keys.push(k);
-                    values.push(v);
+            let (k, v) = match &mut self.nodes[right as usize] {
+                Node::Leaf(leaf) => {
+                    leaf.heads.remove(0);
+                    leaf.entries.remove(0)
                 }
-                Node::Internal { .. } => unreachable!(),
+                Node::Inner(_) => unreachable!(),
+            };
+            let new_sep = match &self.nodes[right as usize] {
+                Node::Leaf(leaf) => leaf.key(0).clone(),
+                Node::Inner(_) => unreachable!(),
+            };
+            match &mut self.nodes[child as usize] {
+                Node::Leaf(leaf) => leaf.entries.push((k, v)),
+                Node::Inner(_) => unreachable!(),
             }
-            match &mut self.nodes[parent] {
-                Node::Internal { keys, .. } => keys[sep_pos] = new_sep,
-                Node::Leaf { .. } => unreachable!(),
+            match &mut self.nodes[parent as usize] {
+                Node::Inner(inner) => inner.keys[sep_pos] = new_sep,
+                Node::Leaf(_) => unreachable!(),
             }
         } else {
-            let (donor_key, donor_child) = match &mut self.nodes[right] {
-                Node::Internal { keys, children } => (keys.remove(0), children.remove(0)),
-                Node::Leaf { .. } => unreachable!(),
-            };
-            let sep = match &mut self.nodes[parent] {
-                Node::Internal { keys, .. } => std::mem::replace(&mut keys[sep_pos], donor_key),
-                Node::Leaf { .. } => unreachable!(),
-            };
-            match &mut self.nodes[child] {
-                Node::Internal { keys, children } => {
-                    keys.push(sep);
-                    children.push(donor_child);
+            let (donor_key, donor_child) = match &mut self.nodes[right as usize] {
+                Node::Inner(inner) => {
+                    inner.heads.remove(0);
+                    (inner.keys.remove(0), inner.children.remove(0))
                 }
-                Node::Leaf { .. } => unreachable!(),
+                Node::Leaf(_) => unreachable!(),
+            };
+            let sep = match &mut self.nodes[parent as usize] {
+                Node::Inner(inner) => std::mem::replace(&mut inner.keys[sep_pos], donor_key),
+                Node::Leaf(_) => unreachable!(),
+            };
+            match &mut self.nodes[child as usize] {
+                Node::Inner(inner) => {
+                    inner.keys.push(sep);
+                    inner.children.push(donor_child);
+                }
+                Node::Leaf(_) => unreachable!(),
             }
         }
+        self.refresh_meta(right);
+        self.refresh_meta(child);
+        self.refresh_meta(parent);
     }
 
     /// Merges children `left` and `right` (adjacent, separator at
     /// `parent.keys[sep_idx]`) into `left`.
-    fn merge_children(&mut self, parent: usize, sep_idx: usize, left: usize, right: usize) {
-        let sep = match &mut self.nodes[parent] {
-            Node::Internal { keys, children } => {
-                let sep = keys.remove(sep_idx);
-                children.remove(sep_idx + 1);
+    fn merge_children(&mut self, parent: u32, sep_idx: usize, left: u32, right: u32) {
+        let sep = match &mut self.nodes[parent as usize] {
+            Node::Inner(inner) => {
+                inner.heads.remove(sep_idx);
+                let sep = inner.keys.remove(sep_idx);
+                inner.children.remove(sep_idx + 1);
                 sep
             }
-            Node::Leaf { .. } => unreachable!(),
+            Node::Leaf(_) => unreachable!(),
         };
-        let right_node = std::mem::replace(
-            &mut self.nodes[right],
-            Node::Leaf {
-                keys: Vec::new(),
-                values: Vec::new(),
-            },
-        );
+        let right_node =
+            std::mem::replace(&mut self.nodes[right as usize], Node::Leaf(Leaf::empty()));
+        self.epoch += 1;
         self.free.push(right);
-        match (&mut self.nodes[left], right_node) {
-            (
-                Node::Leaf { keys, values },
-                Node::Leaf {
-                    keys: rk,
-                    values: rv,
-                },
-            ) => {
-                keys.extend(rk);
-                values.extend(rv);
+        match (&mut self.nodes[left as usize], right_node) {
+            (Node::Leaf(leaf), Node::Leaf(r)) => {
+                leaf.entries.extend(r.entries);
             }
-            (
-                Node::Internal { keys, children },
-                Node::Internal {
-                    keys: rk,
-                    children: rc,
-                },
-            ) => {
-                keys.push(sep);
-                keys.extend(rk);
-                children.extend(rc);
+            (Node::Inner(inner), Node::Inner(r)) => {
+                inner.keys.push(sep);
+                inner.keys.extend(r.keys);
+                inner.children.extend(r.children);
             }
             _ => unreachable!("siblings are at the same level"),
         }
+        self.refresh_meta(left);
+        self.refresh_meta(parent);
     }
 
     /// In-order iteration over `(key, value)` pairs.
@@ -462,20 +1087,23 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// In-order iteration starting at the first key `>= start` — the range
     /// scan a database layer issues for `SELECT … WHERE k >= ?`.
     pub fn iter_from(&self, start: &K) -> Iter<'_, K, V> {
+        let rank = start.rank64();
         // Build the descent stack: at each internal node, record the child
         // position we took; at the leaf, the first in-range entry index.
         let mut stack = Vec::new();
         let mut cur = self.root;
         loop {
-            match &self.nodes[cur] {
-                Node::Internal { keys, children } => {
-                    let pos = Self::child_for(keys, start);
+            match &self.nodes[cur as usize] {
+                Node::Inner(inner) => {
+                    let pos = inner.child_for(start, rank);
                     // Resume *after* child `pos` once it is exhausted.
                     stack.push((cur, pos + 1));
-                    cur = children[pos];
+                    cur = inner.children[pos];
                 }
-                Node::Leaf { keys, .. } => {
-                    let pos = keys.partition_point(|k| k < start);
+                Node::Leaf(leaf) => {
+                    let pos = match leaf.search(start, rank) {
+                        Ok(i) | Err(i) => i,
+                    };
                     stack.push((cur, pos));
                     break;
                 }
@@ -489,9 +1117,22 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         self.iter_from(start).take_while(move |(k, _)| *k < end)
     }
 
+    /// Re-evaluates every leaf's hash-mode decision now instead of waiting
+    /// for each leaf's next mutation — a maintenance sweep for quiescent
+    /// moments (e.g. right after a snapshot scan flagged every leaf).
+    pub fn apply_adaptation(&mut self) {
+        for node in &mut self.nodes {
+            if let Node::Leaf(leaf) = node {
+                leaf.adapt();
+            }
+        }
+    }
+
     /// Structural invariants for property tests: uniform depth, sorted keys,
     /// separator bounds, occupancy ≥ min for non-root nodes, `len`
-    /// consistency.
+    /// consistency — plus the slot-layout extras: head arrays matching the
+    /// keys' prefix-truncated encodings, and hash sidecars resolving every
+    /// resident key.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut count = 0usize;
         let depth = self.check_rec(self.root, None, None, true, &mut count)?;
@@ -504,55 +1145,97 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         Ok(())
     }
 
+    fn check_heads(
+        node: u32,
+        heads: &[u32],
+        keys: &[K],
+        skip: u8,
+        prefix: u64,
+    ) -> Result<(), String> {
+        if heads.len() != keys.len() {
+            return Err(format!("node {node}: head/key arity mismatch"));
+        }
+        if skip > 8 {
+            return Err(format!("node {node}: skip {skip} out of range"));
+        }
+        for (i, k) in keys.iter().enumerate() {
+            let r = k.rank64();
+            if be_prefix(r, skip) != prefix {
+                return Err(format!("node {node}: key {i} outside stored prefix"));
+            }
+            if heads[i] != head_at(r, skip) {
+                return Err(format!("node {node}: stale head at {i}"));
+            }
+        }
+        Ok(())
+    }
+
     fn check_rec(
         &self,
-        node: usize,
+        node: u32,
         lo: Option<&K>,
         hi: Option<&K>,
         is_root: bool,
         count: &mut usize,
     ) -> Result<usize, String> {
         let in_bounds = |k: &K| lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k < h);
-        match &self.nodes[node] {
-            Node::Leaf { keys, values } => {
-                if keys.len() != values.len() {
-                    return Err(format!("leaf {node}: key/value arity mismatch"));
+        match &self.nodes[node as usize] {
+            Node::Leaf(leaf) => {
+                if !is_root && leaf.len() < self.min_keys() {
+                    return Err(format!("leaf {node}: underfull ({} keys)", leaf.len()));
                 }
-                if !is_root && keys.len() < self.min_keys() {
-                    return Err(format!("leaf {node}: underfull ({} keys)", keys.len()));
-                }
-                if keys.len() > self.max_keys {
+                if leaf.len() > self.max_keys {
                     return Err(format!("leaf {node}: overfull"));
                 }
-                if !keys.windows(2).all(|w| w[0] < w[1]) {
+                if !leaf.entries.windows(2).all(|w| w[0].0 < w[1].0) {
                     return Err(format!("leaf {node}: keys unsorted"));
                 }
-                if !keys.iter().all(in_bounds) {
+                if !leaf.entries.iter().all(|(k, _)| in_bounds(k)) {
                     return Err(format!("leaf {node}: key out of separator bounds"));
                 }
-                *count += keys.len();
+                let keys: Vec<K> = leaf.entries.iter().map(|(k, _)| k.clone()).collect();
+                Self::check_heads(node, &leaf.heads, &keys, leaf.skip, leaf.prefix)?;
+                if leaf.hash {
+                    if leaf.len() > INLINE_BUCKET_CAP {
+                        return Err(format!(
+                            "leaf {node}: hash mode past directory capacity ({} keys)",
+                            leaf.len()
+                        ));
+                    }
+                    for (i, (k, _)) in leaf.entries.iter().enumerate() {
+                        if leaf.hash_find(k) != Some(i) {
+                            return Err(format!("leaf {node}: hash directory misses key {i}"));
+                        }
+                    }
+                }
+                *count += leaf.len();
                 Ok(1)
             }
-            Node::Internal { keys, children } => {
-                if children.len() != keys.len() + 1 {
+            Node::Inner(inner) => {
+                if inner.children.len() != inner.keys.len() + 1 {
                     return Err(format!("internal {node}: arity mismatch"));
                 }
-                if !is_root && keys.len() < self.min_keys() {
+                if !is_root && inner.keys.len() < self.min_keys() {
                     return Err(format!("internal {node}: underfull"));
                 }
-                if keys.len() > self.max_keys {
+                if inner.keys.len() > self.max_keys {
                     return Err(format!("internal {node}: overfull"));
                 }
-                if !keys.windows(2).all(|w| w[0] < w[1]) {
+                if !inner.keys.windows(2).all(|w| w[0] < w[1]) {
                     return Err(format!("internal {node}: keys unsorted"));
                 }
-                if !keys.iter().all(in_bounds) {
+                if !inner.keys.iter().all(in_bounds) {
                     return Err(format!("internal {node}: separator out of bounds"));
                 }
+                Self::check_heads(node, &inner.heads, &inner.keys, inner.skip, inner.prefix)?;
                 let mut depth = None;
-                for (i, &c) in children.iter().enumerate() {
-                    let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
-                    let chi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                for (i, &c) in inner.children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&inner.keys[i - 1]) };
+                    let chi = if i == inner.keys.len() {
+                        hi
+                    } else {
+                        Some(&inner.keys[i])
+                    };
                     let d = self.check_rec(c, clo, chi, false, count)?;
                     if let Some(prev) = depth {
                         if prev != d {
@@ -568,30 +1251,35 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 }
 
 /// In-order iterator (depth-first through the arena).
+///
+/// Iteration counts as a scan: every leaf it yields from is flagged, so a
+/// hash-mode leaf reverts to plain sorted mode at its next mutation.
 pub struct Iter<'a, K, V> {
     tree: &'a BPlusTree<K, V>,
     /// (node, next child/entry index) stack.
-    stack: Vec<(usize, usize)>,
+    stack: Vec<(u32, usize)>,
 }
 
-impl<'a, K: Ord + Clone, V> Iterator for Iter<'a, K, V> {
+impl<'a, K: IndexKey, V> Iterator for Iter<'a, K, V> {
     type Item = (&'a K, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let (node, pos) = *self.stack.last()?;
-            match &self.tree.nodes[node] {
-                Node::Leaf { keys, values } => {
-                    if pos < keys.len() {
+            match &self.tree.nodes[node as usize] {
+                Node::Leaf(leaf) => {
+                    if pos < leaf.len() {
+                        leaf.note_scan();
                         self.stack.last_mut().expect("non-empty").1 += 1;
-                        return Some((&keys[pos], &values[pos]));
+                        let (k, v) = &leaf.entries[pos];
+                        return Some((k, v));
                     }
                     self.stack.pop();
                 }
-                Node::Internal { children, .. } => {
-                    if pos < children.len() {
+                Node::Inner(inner) => {
+                    if pos < inner.children.len() {
                         self.stack.last_mut().expect("non-empty").1 += 1;
-                        self.stack.push((children[pos], 0));
+                        self.stack.push((inner.children[pos], 0));
                     } else {
                         self.stack.pop();
                     }
@@ -804,5 +1492,203 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn tiny_fanout_rejected() {
         let _ = BPlusTree::<u64, ()>::new(2);
+    }
+
+    // ——— slot-layout additions ———
+
+    #[test]
+    fn from_sorted_matches_insert_built_tree() {
+        for n in [0usize, 1, 3, 63, 64, 65, 1000, 4097] {
+            let entries: Vec<(u64, u64)> = (0..n as u64).map(|k| (k * 3, k)).collect();
+            let bulk = BPlusTree::from_sorted(64, entries.clone());
+            bulk.check_invariants()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let mut built = BPlusTree::new(64);
+            for &(k, v) in &entries {
+                built.insert(k, v);
+            }
+            assert_eq!(bulk.len(), built.len(), "n={n}");
+            let a: Vec<(u64, u64)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+            let b: Vec<(u64, u64)> = built.iter().map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(a, b, "n={n}");
+            assert!(bulk.height() <= built.height(), "n={n}: bulk is denser");
+        }
+    }
+
+    #[test]
+    fn from_sorted_tail_rebalance_keeps_occupancy() {
+        // n = k * max_keys + 1 leaves a 1-entry tail without the fix.
+        for max_keys in [4usize, 5, 7, 64] {
+            for tail in 1..=2usize {
+                let n = 10 * max_keys + tail;
+                let t = BPlusTree::from_sorted(max_keys, (0..n as u64).map(|k| (k, ())));
+                t.check_invariants()
+                    .unwrap_or_else(|e| panic!("max_keys={max_keys} n={n}: {e}"));
+                assert_eq!(t.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_rejects_unsorted_input() {
+        let _ = BPlusTree::from_sorted(4, [(3u64, ()), (2, ())]);
+    }
+
+    #[test]
+    fn from_sorted_tree_is_mutable_afterwards() {
+        let mut t = BPlusTree::from_sorted(8, (0..1000u64).map(|k| (k * 2, k)));
+        for k in 0..500u64 {
+            t.insert(k * 2 + 1, k);
+        }
+        for k in (0..2000u64).step_by(3) {
+            t.remove(&k);
+        }
+        t.check_invariants().unwrap();
+        let keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        let mut model: std::collections::BTreeSet<u64> =
+            (0..2000u64).filter(|k| *k < 1000 || k % 2 == 0).collect();
+        model.retain(|k| k % 3 != 0);
+        assert_eq!(keys, model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_or_insert_with_is_single_walk_upsert() {
+        let mut t = BPlusTree::new(8);
+        let slot = t.get_or_insert_with(10u64, || 1);
+        assert!(!slot.existed);
+        assert_eq!(*slot.value, 1);
+        let slot = t.get_or_insert_with(10u64, || unreachable!("key exists"));
+        assert!(slot.existed);
+        assert_eq!(slot.visits, 1, "single-leaf tree: one visit");
+        *slot.value = 5;
+        assert_eq!(t.get(&10), Some(&5));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lookup_hot_hits_cost_one_visit() {
+        let t = BPlusTree::from_sorted(8, (0..10_000u64).map(|k| (k, k)));
+        assert!(t.height() > 2);
+        let (_, cold) = t.lookup_hot(&5000);
+        assert_eq!(cold, t.height(), "first touch walks the tree");
+        let before = t.descent_hits();
+        let (v, hot) = t.lookup_hot(&5000);
+        assert_eq!(v, Some(&5000));
+        assert_eq!(hot, 1, "repeat lands in the cached leaf");
+        assert_eq!(t.descent_hits(), before + 1);
+        // A miss inside the cached leaf's span is decidable in one visit
+        // too — but only via the hot path; `lookup` still walks fully.
+        let (_, visits) = t.lookup(&5000);
+        assert_eq!(visits, t.height());
+    }
+
+    #[test]
+    fn descent_cache_survives_rebalances_correctly() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..500u64 {
+            t.insert(k, k);
+        }
+        // Warm the cache on one leaf, then force merges/borrows around it.
+        assert_eq!(t.lookup_hot(&250).0, Some(&250));
+        assert_eq!(t.lookup_hot(&250).0, Some(&250));
+        for k in 200..300u64 {
+            if k != 250 {
+                t.remove(&k);
+            }
+        }
+        t.check_invariants().unwrap();
+        // The cached leaf index is stale now; answers must stay right.
+        assert_eq!(t.lookup_hot(&250).0, Some(&250));
+        assert_eq!(t.lookup_hot(&299).0, None);
+        assert_eq!(t.lookup_hot(&199).0, Some(&199));
+        t.remove(&250);
+        assert_eq!(t.lookup_hot(&250).0, None);
+    }
+
+    #[test]
+    fn hash_mode_flips_on_point_streak_and_reverts_on_scan() {
+        let mut t = BPlusTree::from_sorted(16, (0..12u64).map(|k| (k, k)));
+        let leaf_of = |t: &BPlusTree<u64, u64>| match &t.nodes[t.root as usize] {
+            Node::Leaf(l) => (l.hash, l.mix.load(Relaxed)),
+            Node::Inner(_) => panic!("single-leaf tree expected"),
+        };
+        assert!(!leaf_of(&t).0, "starts in sorted mode");
+        for _ in 0..(FLIP_STREAK + 2) {
+            assert_eq!(t.get(&7), Some(&7));
+        }
+        t.insert(100, 100); // mutation applies the pending flip
+        assert!(leaf_of(&t).0, "point streak flips to hash mode");
+        t.check_invariants().unwrap();
+        for k in 0..12u64 {
+            assert_eq!(t.get(&k), Some(&k));
+        }
+        assert_eq!(t.get(&100), Some(&100));
+        // A scan flags the leaf; the next mutation drops the sidecar.
+        assert_eq!(t.range(&0, &5).count(), 5);
+        t.insert(101, 101);
+        assert!(!leaf_of(&t).0, "scan touch reverts to sorted mode");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_adaptation_flips_without_a_mutation() {
+        let mut t = BPlusTree::from_sorted(16, (0..16u64).map(|k| (k, k)));
+        for _ in 0..(FLIP_STREAK + 2) {
+            assert_eq!(t.get(&3), Some(&3));
+        }
+        t.apply_adaptation();
+        match &t.nodes[t.root as usize] {
+            Node::Leaf(l) => assert!(l.hash),
+            Node::Inner(_) => panic!("single-leaf tree expected"),
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn signed_and_narrow_keys_work() {
+        let mut t = BPlusTree::new(8);
+        let keys: Vec<i32> = vec![i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
+        for &k in &keys {
+            t.insert(k, i64::from(k));
+        }
+        t.check_invariants().unwrap();
+        let got: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, keys, "signed keys iterate in order");
+        for &k in &keys {
+            assert_eq!(t.get(&k), Some(&i64::from(k)));
+        }
+
+        let mut t = BPlusTree::new(4);
+        for k in (0..=u16::MAX).step_by(7) {
+            t.insert(k, ());
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(&7), Some(&()));
+        assert_eq!(t.get(&8), None);
+    }
+
+    #[test]
+    fn heads_discriminate_dense_keys() {
+        // The regression this layout exists for: dense u64 keys must get
+        // non-degenerate heads via prefix truncation.
+        let t = BPlusTree::from_sorted(64, (0..100_000u64).map(|k| (k, ())));
+        t.check_invariants().unwrap();
+        let mut saw_discriminating_leaf = false;
+        for node in &t.nodes {
+            if let Node::Leaf(leaf) = node {
+                if leaf.len() > 1 {
+                    let distinct: std::collections::BTreeSet<u32> =
+                        leaf.heads.iter().copied().collect();
+                    assert_eq!(
+                        distinct.len(),
+                        leaf.heads.len(),
+                        "dense consecutive keys must have fully distinct heads"
+                    );
+                    saw_discriminating_leaf = true;
+                }
+            }
+        }
+        assert!(saw_discriminating_leaf);
     }
 }

@@ -4,8 +4,10 @@
 use crate::btree::BPlusTree;
 use crate::slab::{Addr48, Record, SlabStore, VALUE_SIZE};
 
-/// Default B+Tree fan-out used across the workspace.
-pub const DEFAULT_MAX_KEYS: usize = 32;
+/// Default B+Tree fan-out used across the workspace. 64 keys per node keeps
+/// a 1M-key index at height 4 (vs 6 at the old 32) while a node's head
+/// array still spans only four cache lines.
+pub const DEFAULT_MAX_KEYS: usize = 64;
 
 /// Per-node-visit cost of an index walk, in nanoseconds. A cache-missing
 /// pointer chase in DRAM is ≈100 ns; binary search within a node adds a
@@ -47,6 +49,19 @@ pub struct Lookup<'a> {
     pub index_visits: usize,
 }
 
+/// Result of an upsert: where the record landed and what the single index
+/// walk cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Upserted {
+    /// The record's address (stable across overwrites of an existing key).
+    pub addr: Addr48,
+    /// Whether the key already existed (the write was an in-place
+    /// overwrite rather than a fresh insert).
+    pub existed: bool,
+    /// B+Tree nodes visited by the combined find-or-insert walk.
+    pub index_visits: usize,
+}
+
 impl Default for Database {
     fn default() -> Self {
         Self::new(DEFAULT_MAX_KEYS)
@@ -63,13 +78,10 @@ impl Database {
     }
 
     /// Builds a database with `items` records keyed `0..items`, each record
-    /// derived deterministically from its key.
+    /// derived deterministically from its key. Keys are already sorted, so
+    /// the index is bulk-loaded bottom-up with full leaves.
     pub fn populate(items: u64) -> Self {
-        let mut db = Self::new(DEFAULT_MAX_KEYS);
-        for key in 0..items {
-            db.insert(key, record_for(key));
-        }
-        db
+        Self::from_sorted_entries((0..items).map(|key| (key, record_for(key))))
     }
 
     /// Number of records.
@@ -87,20 +99,56 @@ impl Database {
         self.index.height()
     }
 
-    /// Inserts or overwrites `key`.
+    /// Lookups the index answered from its descent cache (~1 node visit
+    /// instead of a full walk) since this database was built.
+    pub fn index_descent_hits(&self) -> u64 {
+        self.index.descent_hits()
+    }
+
+    /// Applies any pending leaf-mode adaptations in the index now (e.g.
+    /// after a snapshot scan flagged every leaf as scanned). Cheap; meant
+    /// for quiescent moments like post-snapshot seal.
+    pub fn optimize_index(&mut self) {
+        self.index.apply_adaptation();
+    }
+
+    /// Inserts or overwrites `key`, returning the prior address if the key
+    /// existed. A thin wrapper over [`Self::upsert`].
     pub fn insert(&mut self, key: u64, record: Record) -> Option<Addr48> {
-        if let Some(&addr) = self.index.get(&key) {
-            self.store.set(addr, record);
-            return Some(addr);
+        let u = self.upsert(key, record);
+        u.existed.then_some(u.addr)
+    }
+
+    /// Inserts or overwrites `key` with a **single** index walk.
+    ///
+    /// The seed-era `insert` walked the index twice — once to probe for the
+    /// key, once to insert it. This resolves the slot with one
+    /// find-or-insert descent: a fresh key allocates its record on the way
+    /// down; an existing key overwrites its record in place.
+    pub fn upsert(&mut self, key: u64, record: Record) -> Upserted {
+        let store = &mut self.store;
+        let mut carry = Some(record);
+        let slot = self
+            .index
+            .get_or_insert_with(key, || store.insert(carry.take().expect("fresh key")));
+        let addr = *slot.value;
+        let existed = slot.existed;
+        let index_visits = slot.visits;
+        if let Some(record) = carry {
+            store.set(addr, record);
         }
-        let addr = self.store.insert(record);
-        self.index.insert(key, addr);
-        None
+        Upserted {
+            addr,
+            existed,
+            index_visits,
+        }
     }
 
     /// Keyed lookup through the index (the slow path a cache miss takes).
+    /// Uses the descent cache, so a run of lookups hitting the same leaf
+    /// costs ~1 node visit each after the first.
     pub fn lookup_by_key(&self, key: u64) -> Option<Lookup<'_>> {
-        let (addr, visits) = self.index.lookup(&key);
+        let (addr, visits) = self.index.lookup_hot(&key);
         let addr = *addr?;
         Some(Lookup {
             addr,
@@ -127,13 +175,39 @@ impl Database {
 
     /// Builds a database from `(key, record)` pairs (deserialization hook —
     /// the slab assigns fresh addresses, so only the contents round-trip,
-    /// not the physical layout).
+    /// not the physical layout). Later duplicates win, matching an
+    /// insert-loop replay. Sorts once, then bulk-loads the index.
     pub fn from_entries(entries: impl IntoIterator<Item = (u64, Record)>) -> Self {
-        let mut db = Self::default();
-        for (key, record) in entries {
-            db.insert(key, record);
+        let mut entries: Vec<(u64, Record)> = entries.into_iter().collect();
+        entries.sort_by_key(|&(k, _)| k);
+        // Keep the *last* record per key: scan reversed so the survivor of
+        // each duplicate run is the latest entry, then restore order.
+        entries.reverse();
+        entries.dedup_by_key(|&mut (k, _)| k);
+        entries.reverse();
+        Self::from_sorted_entries(entries)
+    }
+
+    /// Builds a database from `(key, record)` pairs already in strictly
+    /// ascending key order — the snapshot-recovery fast path (snapshots are
+    /// written from [`Self::iter`], which is ordered). The index is built
+    /// bottom-up with full leaves instead of one descent per key. Falls
+    /// back to [`Self::from_entries`] if the input turns out unsorted
+    /// (defensive: snapshot files cross a serialization boundary).
+    pub fn from_sorted_entries(entries: impl IntoIterator<Item = (u64, Record)>) -> Self {
+        let entries: Vec<(u64, Record)> = entries.into_iter().collect();
+        if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Self::from_entries(entries);
         }
-        db
+        let mut store = SlabStore::new();
+        let pairs: Vec<(u64, Addr48)> = entries
+            .into_iter()
+            .map(|(key, record)| (key, store.insert(record)))
+            .collect();
+        Self {
+            index: BPlusTree::from_sorted(DEFAULT_MAX_KEYS, pairs),
+            store,
+        }
     }
 
     /// Removes `key`.
@@ -227,5 +301,44 @@ mod tests {
     fn record_for_is_deterministic_and_distinct() {
         assert_eq!(record_for(1), record_for(1));
         assert_ne!(record_for(1), record_for(2));
+    }
+
+    #[test]
+    fn upsert_reports_existence_and_single_walk_cost() {
+        let mut db = Database::new(8);
+        let first = db.upsert(9, record_for(9));
+        assert!(!first.existed);
+        let again = db.upsert(9, record_for(10));
+        assert!(again.existed);
+        assert_eq!(again.addr, first.addr, "overwrite keeps the address");
+        assert_eq!(again.index_visits, db.index_height());
+        assert_eq!(db.lookup_by_key(9).unwrap().record, &record_for(10));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn from_sorted_entries_falls_back_on_unsorted_input() {
+        let entries = vec![
+            (5u64, record_for(5)),
+            (1, record_for(1)),
+            (3, record_for(3)),
+        ];
+        let db = Database::from_sorted_entries(entries);
+        assert_eq!(db.len(), 3);
+        let keys: Vec<u64> = db.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert_eq!(db.lookup_by_key(5).unwrap().record, &record_for(5));
+    }
+
+    #[test]
+    fn from_entries_keeps_the_last_duplicate() {
+        let entries = vec![
+            (2u64, record_for(20)),
+            (1, record_for(1)),
+            (2, record_for(21)),
+        ];
+        let db = Database::from_entries(entries);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.lookup_by_key(2).unwrap().record, &record_for(21));
     }
 }

@@ -1,0 +1,166 @@
+//! Order-preserving key projections for the slot-layout B+Tree.
+//!
+//! The rewritten [`crate::btree::BPlusTree`] never compares full keys on the
+//! hot path. Instead every node stores a contiguous array of 4-byte *heads*
+//! derived from each key's big-endian encoding (the `head()` trick from the
+//! btree-techniques thesis): an order-preserving `u32` that a binary search
+//! can scan without touching the key storage at all. Full-key comparisons
+//! only happen inside a run of equal heads.
+//!
+//! For that to discriminate anything on dense integer keys (the workspace
+//! reality: `u64` record ids counting up from zero, whose top four
+//! big-endian bytes are all zero), heads are combined with per-node *prefix
+//! truncation*: a node whose keys share their first `skip` big-endian bytes
+//! derives heads from bytes `[skip, skip + 4)` instead. A node covering 64
+//! consecutive dense keys shares at least six prefix bytes, so its heads
+//! become the low key bytes — fully discriminating.
+//!
+//! [`IndexKey`] is the one hook a key type provides: [`IndexKey::rank64`],
+//! an order-preserving projection onto `u64`. Everything else (prefixes,
+//! heads, hashes for hash-mode leaves) derives from the rank. Ties in
+//! `rank64` are allowed — tied keys get equal heads and fall back to full
+//! `Ord` comparison, which is always correct, just slower.
+
+/// A key usable by the slot-layout B+Tree.
+///
+/// Implementations must make [`rank64`](IndexKey::rank64) *order
+/// preserving*: `a <= b` implies `a.rank64() <= b.rank64()`. Ties are
+/// permitted (they only cost full-key comparisons), so any type can project
+/// lossily — e.g. a string type could rank by its first eight bytes.
+pub trait IndexKey: Ord + Clone {
+    /// An order-preserving projection of this key onto `u64`.
+    fn rank64(&self) -> u64;
+
+    /// The hash used by hash-mode leaves. The default is a single
+    /// multiplicative (Fibonacci) hash — one multiply on the critical path
+    /// before the bucket load, where a full finalizing mix costs a serial
+    /// chain of them. Only the low 32 bits carry entropy (the mixed high
+    /// half is shifted down, because bucket masks use the low bits); that
+    /// is plenty for per-leaf directories of at most a few hundred slots.
+    /// Override if `rank64` is lossy for this type.
+    fn hash64(&self) -> u64 {
+        self.rank64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+    }
+}
+
+macro_rules! unsigned_index_key {
+    ($($t:ty),*) => {$(
+        impl IndexKey for $t {
+            #[inline]
+            fn rank64(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+
+macro_rules! signed_index_key {
+    ($($t:ty),*) => {$(
+        impl IndexKey for $t {
+            #[inline]
+            fn rank64(&self) -> u64 {
+                // Sign-flip the two's-complement encoding so negative keys
+                // rank below positive ones.
+                (*self as i64 as u64) ^ (1 << 63)
+            }
+        }
+    )*};
+}
+
+unsigned_index_key!(u8, u16, u32, u64, usize);
+signed_index_key!(i8, i16, i32, i64, isize);
+
+/// The first `skip` big-endian bytes of a rank, right-aligned.
+///
+/// Two keys live in the same prefix class iff their `be_prefix` values are
+/// equal for the node's `skip`. `skip` must be in `0..=8`; `skip == 0`
+/// means "no shared prefix" and every key trivially matches.
+#[inline]
+pub(crate) fn be_prefix(rank: u64, skip: u8) -> u64 {
+    if skip == 0 {
+        0
+    } else {
+        rank >> (64 - 8 * u32::from(skip.min(8)))
+    }
+}
+
+/// Big-endian bytes `[skip, skip + 4)` of a rank as an order-preserving
+/// `u32` head (zero-padded past the end; all-tie zero when `skip >= 8`).
+#[inline]
+pub(crate) fn head_at(rank: u64, skip: u8) -> u32 {
+    if skip >= 8 {
+        0
+    } else {
+        ((rank << (8 * u32::from(skip))) >> 32) as u32
+    }
+}
+
+/// How many leading big-endian bytes two ranks share (0..=8).
+#[inline]
+pub(crate) fn shared_prefix_bytes(lo: u64, hi: u64) -> u8 {
+    let x = lo ^ hi;
+    if x == 0 {
+        8
+    } else {
+        (x.leading_zeros() / 8) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_preserves_order_unsigned() {
+        let keys: Vec<u16> = vec![0, 1, 9, 255, 256, 65535];
+        for w in keys.windows(2) {
+            assert!(w[0].rank64() < w[1].rank64());
+        }
+    }
+
+    #[test]
+    fn rank_preserves_order_signed() {
+        let keys: Vec<i32> = vec![i32::MIN, -5, -1, 0, 1, 7, i32::MAX];
+        for w in keys.windows(2) {
+            assert!(w[0].rank64() < w[1].rank64());
+        }
+    }
+
+    #[test]
+    fn dense_keys_get_discriminating_heads_after_truncation() {
+        // The motivating case: 64 consecutive u64 keys. Without truncation
+        // every head is zero; with it they are fully distinct.
+        let base = 123_456u64;
+        let ranks: Vec<u64> = (base..base + 64).map(|k| k.rank64()).collect();
+        assert_eq!(head_at(ranks[0], 0), 0, "untruncated heads are useless");
+        let skip = shared_prefix_bytes(ranks[0], ranks[63]);
+        assert!(skip >= 4);
+        let heads: Vec<u32> = ranks.iter().map(|&r| head_at(r, skip)).collect();
+        for w in heads.windows(2) {
+            assert!(w[0] < w[1], "heads must discriminate and stay ordered");
+        }
+    }
+
+    #[test]
+    fn heads_are_order_preserving_within_a_prefix_class() {
+        for skip in 0..=8u8 {
+            let a = 0x1122_3344_5566_7788u64;
+            let b = a + 0x10;
+            if be_prefix(a, skip) == be_prefix(b, skip) {
+                assert!(head_at(a, skip) <= head_at(b, skip));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_and_head_edges() {
+        assert_eq!(be_prefix(u64::MAX, 0), 0);
+        assert_eq!(be_prefix(u64::MAX, 8), u64::MAX);
+        assert_eq!(head_at(u64::MAX, 8), 0);
+        assert_eq!(head_at(0xAABB_CCDD_0000_0000, 0), 0xAABB_CCDD);
+        assert_eq!(head_at(0x0000_0000_AABB_CCDD, 4), 0xAABB_CCDD);
+        assert_eq!(shared_prefix_bytes(7, 7), 8);
+        assert_eq!(shared_prefix_bytes(0, u64::MAX), 0);
+        assert_eq!(shared_prefix_bytes(0x0100, 0x01FF), 7);
+    }
+}

@@ -9,7 +9,12 @@
 //! index whose traversal cost is observable:
 //!
 //! * [`btree`] — an arena-allocated B+Tree (insert, lookup, delete with
-//!   rebalancing) that reports how many nodes each lookup visits;
+//!   rebalancing) that reports how many nodes each lookup visits, with a
+//!   slot layout built for raw lookup speed (head arrays with per-node
+//!   prefix truncation, adaptive hash leaves, a descent cache, and sorted
+//!   bulk load — DESIGN.md §13);
+//! * [`key`] — the [`key::IndexKey`] projection those slot layouts are
+//!   derived from;
 //! * [`slab`] — a slab store of fixed 64-byte records addressed by
 //!   [`slab::Addr48`] (the paper's 48-bit index, 64-byte values);
 //! * [`db`] — the two glued together, with the service-time model used by
@@ -20,8 +25,10 @@
 
 pub mod btree;
 pub mod db;
+pub mod key;
 pub mod slab;
 
-pub use btree::BPlusTree;
+pub use btree::{BPlusTree, SlotRef};
 pub use db::Database;
+pub use key::IndexKey;
 pub use slab::{Addr48, Record, SlabStore, VALUE_SIZE};

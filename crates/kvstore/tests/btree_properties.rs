@@ -1,6 +1,8 @@
 //! Property tests: the B+Tree must be observationally a `BTreeMap` under
 //! arbitrary operation sequences, with structural invariants intact.
 
+#![recursion_limit = "256"]
+
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -66,4 +68,119 @@ proptest! {
         prop_assert!(tree.is_empty());
         prop_assert_eq!(tree.height(), 1);
     }
+}
+
+proptest! {
+    // The slot-layout rewrite adds three kinds of hidden state — hash-mode
+    // sidecars, the descent cache, and per-node head/prefix metadata — all
+    // of which must be observationally invisible. This interleaving drives
+    // every transition: hot bursts push leaves toward hash mode, scans
+    // flag them back, removals trigger the rebalances that invalidate the
+    // descent cache, and every answer is checked against a `BTreeMap`.
+    #[test]
+    fn mixed_ops_with_hot_bursts_and_scans_match_btreemap(
+        max_keys in 3usize..12,
+        ops in proptest::collection::vec(mixed_op_strategy(), 0..400),
+    ) {
+        let mut tree = BPlusTree::new(max_keys);
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                MixedOp::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                MixedOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                MixedOp::HotGet(k) => {
+                    prop_assert_eq!(tree.lookup_hot(&k).0, model.get(&k));
+                }
+                MixedOp::HotBurst(k) => {
+                    // Long enough to cross the leaf's hash-flip streak and
+                    // to exercise repeated descent-cache hits on one leaf.
+                    for _ in 0..20 {
+                        prop_assert_eq!(tree.lookup_hot(&k).0, model.get(&k));
+                    }
+                }
+                MixedOp::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got: Vec<(u16, u32)> =
+                        tree.range(&lo, &hi).map(|(k, v)| (*k, *v)).collect();
+                    let want: Vec<(u16, u32)> =
+                        model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+                MixedOp::Optimize => tree.apply_adaptation(),
+            }
+            if step % 64 == 0 {
+                prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+            }
+        }
+        prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+        let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u32)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    // Bulk load must be observationally identical to an insert loop over
+    // the same (sorted, deduplicated) entries — and must stay correct as a
+    // starting point for further mutation.
+    #[test]
+    fn bulk_load_matches_insert_built(
+        max_keys in 3usize..80,
+        keys in proptest::collection::vec(any::<u32>(), 0..500),
+        extra in proptest::collection::vec(any::<u32>(), 0..50),
+    ) {
+        let mut keys = keys;
+        keys.sort_unstable();
+        keys.dedup();
+        let entries: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 0xABCD)).collect();
+        let mut bulk = BPlusTree::from_sorted(max_keys, entries.clone());
+        prop_assert!(bulk.check_invariants().is_ok(), "{:?}", bulk.check_invariants());
+        let mut built = BPlusTree::new(max_keys);
+        for &(k, v) in &entries {
+            built.insert(k, v);
+        }
+        prop_assert!(bulk.height() <= built.height());
+        {
+            let a: Vec<(u32, u32)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+            let b: Vec<(u32, u32)> = built.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(a, b);
+        }
+        // The bulk-built tree accepts further mutation like any other.
+        for &k in &extra {
+            let v = k.wrapping_mul(3);
+            prop_assert_eq!(bulk.insert(k, v), built.insert(k, v));
+        }
+        for &k in extra.iter().rev().take(extra.len() / 2) {
+            prop_assert_eq!(bulk.remove(&k), built.remove(&k));
+        }
+        prop_assert!(bulk.check_invariants().is_ok(), "{:?}", bulk.check_invariants());
+        let a: Vec<(u32, u32)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(u32, u32)> = built.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum MixedOp {
+    Insert(u16, u32),
+    Remove(u16),
+    HotGet(u16),
+    HotBurst(u16),
+    Range(u16, u16),
+    Optimize,
+}
+
+fn mixed_op_strategy() -> impl Strategy<Value = MixedOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MixedOp::Insert(k % 300, v)),
+        any::<u16>().prop_map(|k| MixedOp::Remove(k % 300)),
+        any::<u16>().prop_map(|k| MixedOp::HotGet(k % 300)),
+        any::<u16>().prop_map(|k| MixedOp::HotBurst(k % 300)),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| MixedOp::Range(a % 300, b % 300)),
+        Just(MixedOp::Optimize),
+    ]
 }

@@ -337,6 +337,22 @@ pub fn render_prometheus_full(
     family(
         &mut e,
         &shards,
+        "p4lru_index_height",
+        "gauge",
+        "Current B+Tree height of the backing index.",
+        |s| s.index_height as f64,
+    );
+    family(
+        &mut e,
+        &shards,
+        "p4lru_index_descent_hits_total",
+        "counter",
+        "Index lookups answered by the B+Tree descent cache.",
+        |s| s.index_descent_hits as f64,
+    );
+    family(
+        &mut e,
+        &shards,
         "p4lru_wal_appends_total",
         "counter",
         "WAL records appended.",
@@ -642,6 +658,10 @@ mod tests {
         assert!(text.contains("p4lru_hits_total{shard=\"1\"} 0\n"));
         assert!(text.contains("p4lru_sets_total{shard=\"1\"} 1\n"));
         assert!(text.contains("# TYPE p4lru_queue_depth gauge"));
+        assert!(text.contains("# TYPE p4lru_index_height gauge"));
+        assert!(text.contains("# TYPE p4lru_index_descent_hits_total counter"));
+        assert!(text.contains("p4lru_index_height{shard=\"0\"} "));
+        assert!(text.contains("p4lru_index_descent_hits_total{shard=\"1\"} "));
         assert!(text.contains("# TYPE p4lru_request_seconds histogram"));
         assert!(text.contains("p4lru_request_seconds_count{shard=\"0\",op=\"get\"} 1\n"));
         assert!(text.contains("p4lru_stage_seconds_count{stage=\"flush\"} 1\n"));

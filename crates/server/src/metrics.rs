@@ -28,6 +28,12 @@ pub struct ShardMetrics {
     pub evictions: AtomicU64,
     /// Total B+Tree nodes visited on slow paths (misses and new-key SETs).
     pub index_visits: AtomicU64,
+    /// Current B+Tree height of the backing index (gauge — the per-lookup
+    /// cost a cached address lets the shard skip).
+    pub index_height: AtomicU64,
+    /// Index lookups answered by the B+Tree's descent cache (~1 node visit
+    /// instead of a full walk) since the shard was built.
+    pub index_descent_hits: AtomicU64,
     /// Records currently in the backing store (gauge, not a counter).
     pub store_len: AtomicU64,
     /// WAL records appended (0 when the shard runs without durability).
@@ -105,6 +111,15 @@ impl ShardMetrics {
     /// Updates the backing-store size gauge.
     pub fn store_len_set(&self, len: usize) {
         self.store_len.store(len as u64, Ordering::Relaxed);
+    }
+
+    /// Updates the index gauges: current tree height and the cumulative
+    /// descent-cache hit count (both read straight off the database after
+    /// an operation touched the index).
+    pub fn index_stats(&self, height: usize, descent_hits: u64) {
+        self.index_height.store(height as u64, Ordering::Relaxed);
+        self.index_descent_hits
+            .store(descent_hits, Ordering::Relaxed);
     }
 
     /// Records one WAL append.
@@ -186,6 +201,8 @@ impl ShardMetrics {
             dels: self.dels.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             index_visits: self.index_visits.load(Ordering::Relaxed),
+            index_height: self.index_height.load(Ordering::Relaxed),
+            index_descent_hits: self.index_descent_hits.load(Ordering::Relaxed),
             hit_rate: if gets == 0 {
                 0.0
             } else {
@@ -328,6 +345,12 @@ pub struct ShardSnapshot {
     pub evictions: u64,
     /// Total index nodes visited on slow paths.
     pub index_visits: u64,
+    /// Current B+Tree height of this shard's backing index. In totals this
+    /// is the **max** across shards (the indexes are siblings, not stacked;
+    /// "how deep is a miss" is the tallest one).
+    pub index_height: u64,
+    /// Index lookups answered by the B+Tree's descent cache.
+    pub index_descent_hits: u64,
     /// hits / gets (0 when no GETs yet).
     pub hit_rate: f64,
     /// Records currently in the backing store.
@@ -544,6 +567,8 @@ impl StatsReport {
             dels: 0,
             evictions: 0,
             index_visits: 0,
+            index_height: 0,
+            index_descent_hits: 0,
             hit_rate: 0.0,
             store_len: 0,
             wal_appends: 0,
@@ -572,6 +597,8 @@ impl StatsReport {
             totals.dels += s.dels;
             totals.evictions += s.evictions;
             totals.index_visits += s.index_visits;
+            totals.index_height = totals.index_height.max(s.index_height);
+            totals.index_descent_hits += s.index_descent_hits;
             totals.store_len += s.store_len;
             totals.wal_appends += s.wal_appends;
             totals.wal_fsyncs += s.wal_fsyncs;
@@ -716,6 +743,7 @@ mod tests {
         m.del();
         m.eviction();
         m.store_len_set(7);
+        m.index_stats(4, 11);
         m.wal_append();
         m.wal_append();
         m.wal_fsync(std::time::Duration::from_nanos(500));
@@ -737,6 +765,8 @@ mod tests {
         assert_eq!(s.dels, 1);
         assert_eq!(s.evictions, 1);
         assert_eq!(s.index_visits, 5);
+        assert_eq!(s.index_height, 4);
+        assert_eq!(s.index_descent_hits, 11);
         assert!((s.hit_rate - 0.5).abs() < 1e-12);
         assert_eq!(s.store_len, 7);
         assert_eq!(s.wal_appends, 2);
@@ -811,6 +841,20 @@ mod tests {
             m.queue_pop();
         }
         assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn index_totals_take_max_height_and_sum_descent_hits() {
+        let a = ShardMetrics::default();
+        a.index_stats(3, 100);
+        let b = ShardMetrics::default();
+        b.index_stats(5, 40);
+        let report = StatsReport::from_shards(vec![a.snapshot(0), b.snapshot(1)]);
+        assert_eq!(
+            report.totals.index_height, 5,
+            "height is the tallest shard index, not a sum"
+        );
+        assert_eq!(report.totals.index_descent_hits, 140);
     }
 
     #[test]

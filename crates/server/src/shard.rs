@@ -114,6 +114,7 @@ impl Shard {
         }
         shard.metrics.recovery(replayed, torn_tail, duration);
         shard.metrics.store_len_set(shard.db.len());
+        shard.sync_index_stats();
         Ok(shard)
     }
 
@@ -143,6 +144,7 @@ impl Shard {
     pub fn load(&mut self, key: u64, record: Record) {
         self.db.insert(key, record);
         self.metrics.store_len_set(self.db.len());
+        self.sync_index_stats();
     }
 
     /// Reads `key`. A cache hit reads the slab directly by cached address
@@ -155,7 +157,7 @@ impl Shard {
             self.metrics.hit();
             return Some(record);
         }
-        match self.db.lookup_by_key(key) {
+        let out = match self.db.lookup_by_key(key) {
             Some(found) => {
                 let (addr, visits) = (found.addr, found.index_visits);
                 let record = *found.record;
@@ -167,7 +169,9 @@ impl Shard {
                 self.metrics.absent();
                 None
             }
-        }
+        };
+        self.sync_index_stats();
+        out
     }
 
     /// Write-through SET: the WAL (when durable) sees the record first, then
@@ -179,23 +183,21 @@ impl Shard {
             log.append_set(key, record)?;
             self.metrics.wal_append();
         }
-        match self.db.insert(key, record) {
-            Some(addr) => {
-                // Existing key: the record was overwritten in place, so any
-                // cached address is still valid.
-                self.metrics.set(0);
-                self.install(key, addr);
-            }
-            None => {
-                // New key: learn the freshly assigned address the same way
-                // a miss would.
-                let found = self.db.lookup_by_key(key).expect("key was just inserted");
-                let (addr, visits) = (found.addr, found.index_visits);
-                self.metrics.set(visits);
-                self.install(key, addr);
-            }
+        // One find-or-insert walk resolves probe, insert, and address —
+        // the seed-era path walked the index twice (probe, then insert)
+        // and a third time to learn a new key's address.
+        let u = self.db.upsert(key, record);
+        if u.existed {
+            // The record was overwritten in place, so any cached address
+            // is still valid; the walk cost is not charged (seed parity:
+            // in-place overwrites reported 0 visits).
+            self.metrics.set(0);
+        } else {
+            self.metrics.set(u.index_visits);
         }
+        self.install(key, u.addr);
         self.metrics.store_len_set(self.db.len());
+        self.sync_index_stats();
         Ok(())
     }
 
@@ -213,6 +215,7 @@ impl Shard {
         self.cache.remove(&key);
         let existed = self.db.remove(key);
         self.metrics.store_len_set(self.db.len());
+        self.sync_index_stats();
         Ok(existed)
     }
 
@@ -240,6 +243,10 @@ impl Shard {
         if log.should_snapshot() {
             log.snapshot(&self.db)?;
             self.metrics.snapshot_taken();
+            // The snapshot's full scan flagged every index leaf as
+            // scanned; re-apply leaf-mode decisions now, in this quiescent
+            // moment, instead of letting the next writes pay for it.
+            self.db.optimize_index();
         }
         Ok(())
     }
@@ -270,6 +277,13 @@ impl Shard {
         if let Outcome::Evicted { .. } = self.cache.update(key, addr, overwrite) {
             self.metrics.eviction();
         }
+    }
+
+    /// Mirrors the index gauges (tree height, descent-cache hits) into the
+    /// metrics after an operation touched the index.
+    fn sync_index_stats(&self) {
+        self.metrics
+            .index_stats(self.db.index_height(), self.db.index_descent_hits());
     }
 }
 

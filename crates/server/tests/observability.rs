@@ -161,6 +161,36 @@ fn metrics_endpoint_matches_stats_and_is_valid_exposition() {
     assert_eq!(sum_of(&samples, "p4lru_dels_total") as u64, t.dels);
     assert_eq!(sum_of(&samples, "p4lru_store_len") as u64, t.store_len);
 
+    // The index families: the height gauge reflects a populated B+Tree
+    // (totals take the max across shards, samples are per-shard), and the
+    // descent-hits counter sums across shards into the STATS total.
+    assert_eq!(
+        types.get("p4lru_index_height").map(String::as_str),
+        Some("gauge")
+    );
+    assert_eq!(
+        types
+            .get("p4lru_index_descent_hits_total")
+            .map(String::as_str),
+        Some("counter")
+    );
+    let heights: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.name == "p4lru_index_height")
+        .map(|s| s.value as u64)
+        .collect();
+    assert_eq!(heights.len(), 2, "one height gauge per shard");
+    assert!(heights.iter().all(|&h| h >= 1), "{heights:?}");
+    assert_eq!(heights.iter().copied().max().unwrap(), t.index_height);
+    assert_eq!(
+        sum_of(&samples, "p4lru_index_descent_hits_total") as u64,
+        t.index_descent_hits
+    );
+    assert!(
+        t.index_descent_hits > 0,
+        "sequential misses over 0..50 share leaves, so the descent cache hits"
+    );
+
     // The latency histograms agree with the STATS latency summaries: the
     // per-(shard, op) _count lines sum to the summary counts.
     let count_for = |op: &str| -> u64 {
