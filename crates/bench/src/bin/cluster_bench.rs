@@ -1,0 +1,359 @@
+//! Cluster scaling: throughput vs. node count (DESIGN.md §14).
+//!
+//! Spawns 1..N in-process *durable* serverd nodes — one shard each,
+//! `sync=always` — partitions a key space across them with the cluster's
+//! consistent-hash ring, and drives a YCSB-B-style mix (95% GET / 5% SET,
+//! pipeline depth 32) with one closed-loop connection per node. Every
+//! batch that carries a mutation pays a commit before any of its replies
+//! ack, so a single node is commit-bound, not CPU-bound — and each extra
+//! node brings its own WAL and its own commit stream. That is the scaling
+//! story this figure records: N nodes ≈ N parallel commit paths, even on
+//! one core, because a committing node sleeps while its siblings run.
+//!
+//! The commit cost is pinned to a modeled device profile
+//! (`--commit-latency-us`, default 2000: a commodity-disk fsync) layered
+//! on top of the real fsync, so the figure measures the *architecture*
+//! and is comparable across machines — CI boxes range from ~100 us NVMe
+//! (where nothing commit-bound can be observed) to multi-ms cloud disks.
+//!
+//! `--assert-scaling <f>` exits nonzero unless the largest cluster reaches
+//! at least `f`× the ops/s of one node (CI smoke uses this). Results land
+//! in `results/BENCH_cluster.json`.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use p4lru_bench::{FigureResult, Scale};
+use p4lru_cluster::{HashRing, DEFAULT_VNODES};
+use p4lru_durable::SyncPolicy;
+use p4lru_kvstore::db::record_for;
+use p4lru_server::client::Client;
+use p4lru_server::protocol::Response;
+use p4lru_server::server::{Server, ServerConfig};
+
+struct ExtraArgs {
+    assert_scaling: Option<f64>,
+    nodes: Vec<usize>,
+    depth: usize,
+    commit_latency: Duration,
+}
+
+fn parse_extra_args(scale: Scale) -> Result<ExtraArgs, String> {
+    let mut extra = ExtraArgs {
+        assert_scaling: None,
+        nodes: scale.pick(vec![1, 2], vec![1, 2, 3]),
+        depth: 32,
+        commit_latency: Duration::from_micros(2_000),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--assert-scaling" => {
+                let v = args.next().ok_or("--assert-scaling needs a value")?;
+                extra.assert_scaling = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad value for --assert-scaling: {e:?}"))?,
+                );
+            }
+            "--nodes" => {
+                let v = args.next().ok_or("--nodes needs a value")?;
+                extra.nodes = v
+                    .split(',')
+                    .map(|n| {
+                        n.parse::<usize>()
+                            .map_err(|e| format!("bad node count {n:?}: {e:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if extra.nodes.is_empty() || extra.nodes.contains(&0) {
+                    return Err("--nodes needs positive node counts".into());
+                }
+            }
+            "--depth" => {
+                let v = args.next().ok_or("--depth needs a value")?;
+                extra.depth = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad value for --depth: {e:?}"))?
+                    .max(1);
+            }
+            "--commit-latency-us" => {
+                let v = args.next().ok_or("--commit-latency-us needs a value")?;
+                extra.commit_latency = Duration::from_micros(
+                    v.parse()
+                        .map_err(|e| format!("bad value for --commit-latency-us: {e:?}"))?,
+                );
+            }
+            "--scale" => {
+                args.next(); // handled by Scale::from_args
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (try --scale, --nodes, --depth, \
+                     --commit-latency-us, --assert-scaling)"
+                ))
+            }
+        }
+    }
+    Ok(extra)
+}
+
+fn temp_root(nodes: usize, idx: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "p4lru-cluster-bench-{}-n{nodes}-{idx}",
+        std::process::id()
+    ))
+}
+
+fn node_config(dir: PathBuf, commit_latency: Duration) -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 1,
+        items: 0,
+        units_per_shard: 2048,
+        data_dir: Some(dir),
+        ..ServerConfig::default()
+    };
+    config.durability.sync = SyncPolicy::Always;
+    config.durability.snapshot_every = 0;
+    config.durability.commit_latency = commit_latency;
+    config.obs.enabled = false;
+    config
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Preloads `keys` into a node over one pipelined connection.
+fn preload(addr: &str, keys: &[u64], depth: usize) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut inflight = 0usize;
+    for &key in keys {
+        client
+            .send_set(key, &record_for(key))
+            .map_err(|e| format!("preload send: {e}"))?;
+        inflight += 1;
+        if inflight == depth {
+            for _ in 0..inflight {
+                match client.recv().map_err(|e| format!("preload recv: {e}"))? {
+                    Response::Ok => {}
+                    other => return Err(format!("preload: unexpected {other:?}")),
+                }
+            }
+            inflight = 0;
+        }
+    }
+    for _ in 0..inflight {
+        client.recv().map_err(|e| format!("preload recv: {e}"))?;
+    }
+    Ok(())
+}
+
+/// One node's closed-loop driver: keeps `depth` requests in flight over a
+/// single connection, 95% GET / 5% SET over the node's own key partition,
+/// and counts replies that complete inside the measure window.
+fn drive(
+    addr: &str,
+    keys: &[u64],
+    depth: usize,
+    seed: u64,
+    warmup_end: Instant,
+    deadline: Instant,
+) -> Result<u64, String> {
+    #[derive(Clone, Copy)]
+    enum Kind {
+        Get(u64),
+        Set,
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut rng = seed | 1;
+    let mut inflight: VecDeque<Kind> = VecDeque::with_capacity(depth);
+    let mut measured = 0u64;
+    let send_one = |client: &mut Client, rng: &mut u64| -> Result<Kind, String> {
+        let key = keys[(xorshift(rng) % keys.len() as u64) as usize];
+        let kind = if xorshift(rng) % 100 < 95 {
+            client.send_get(key).map_err(|e| format!("send GET: {e}"))?;
+            Kind::Get(key)
+        } else {
+            client
+                .send_set(key, &record_for(key))
+                .map_err(|e| format!("send SET: {e}"))?;
+            Kind::Set
+        };
+        Ok(kind)
+    };
+    while Instant::now() < deadline {
+        while inflight.len() < depth {
+            inflight.push_back(send_one(&mut client, &mut rng)?);
+        }
+        client.flush().map_err(|e| format!("flush: {e}"))?;
+        // Drain half the window, then refill: the pipe never runs dry.
+        for _ in 0..(depth / 2).max(1) {
+            let response = client.recv().map_err(|e| format!("recv: {e}"))?;
+            match (inflight.pop_front().expect("reply had a request"), response) {
+                (Kind::Get(key), Response::Value(v)) => {
+                    if v[..8] != key.to_le_bytes() {
+                        return Err(format!("GET {key}: value self-describes differently"));
+                    }
+                }
+                (Kind::Get(key), other) => {
+                    return Err(format!("GET {key}: unexpected {other:?}"));
+                }
+                (Kind::Set, Response::Ok) => {}
+                (Kind::Set, other) => return Err(format!("SET: unexpected {other:?}")),
+            }
+            if Instant::now() >= warmup_end {
+                measured += 1;
+            }
+        }
+    }
+    Ok(measured)
+}
+
+/// Brings up an `n`-node cluster, partitions the key space by ring, and
+/// returns measured cluster ops/s.
+fn measure(
+    n: usize,
+    keys_total: u64,
+    depth: usize,
+    commit_latency: Duration,
+    warmup: Duration,
+    seconds: f64,
+) -> Result<f64, String> {
+    let mut servers = Vec::new();
+    let mut dirs = Vec::new();
+    for idx in 0..n {
+        let dir = temp_root(n, idx);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        let server = Server::spawn(&node_config(dir.clone(), commit_latency))
+            .map_err(|e| format!("failed to start node {idx}: {e}"))?;
+        servers.push(server);
+        dirs.push(dir);
+    }
+    // The ring decides ownership, exactly as the router would.
+    let names: Vec<String> = (0..n).map(|i| format!("node-{i}")).collect();
+    let ring = HashRing::new(&names, DEFAULT_VNODES);
+    let mut partitions: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for key in 0..keys_total {
+        let owner = ring.node_for(key).expect("non-empty ring");
+        let idx = names.iter().position(|nm| nm == owner).unwrap();
+        partitions[idx].push(key);
+    }
+
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let ops: Result<Vec<u64>, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|idx| {
+                let addr = &addrs[idx];
+                let keys = &partitions[idx];
+                scope.spawn(move || {
+                    preload(addr, keys, 64)?;
+                    Ok::<(), String>(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap()?;
+        }
+        let start = Instant::now();
+        let warmup_end = start + warmup;
+        let deadline = warmup_end + Duration::from_secs_f64(seconds);
+        let handles: Vec<_> = (0..n)
+            .map(|idx| {
+                let addr = &addrs[idx];
+                let keys = &partitions[idx];
+                scope.spawn(move || {
+                    drive(addr, keys, depth, 0x9412 + idx as u64, warmup_end, deadline)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for server in servers {
+        server.shutdown();
+    }
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Ok(ops?.into_iter().sum::<u64>() as f64 / seconds)
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let extra = match parse_extra_args(scale) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let keys_total = scale.pick(2_000u64, 6_000u64);
+    let seconds = scale.pick(1.5, 4.0);
+    let warmup = Duration::from_millis(scale.pick(200, 500));
+
+    let mut fig = FigureResult::new(
+        "BENCH_cluster",
+        "Cluster throughput vs. node count (durable, sync=always, YCSB-B)",
+        "nodes",
+        "throughput (ops/s)",
+    );
+    fig.note(format!(
+        "per node: 1 shard, sync=always, fresh data dir; driver: 1 conn/node, \
+         depth={}, 95% GET / 5% SET, {keys_total} keys ring-partitioned",
+        extra.depth
+    ));
+    fig.note(format!(
+        "every batch with a mutation commits (fsync + modeled {}us device \
+         latency) before acking, so one node is commit-bound; N nodes = N \
+         independent WALs committing in parallel",
+        extra.commit_latency.as_micros()
+    ));
+    fig.x = extra.nodes.iter().map(|&n| n as f64).collect();
+
+    let mut throughput = Vec::new();
+    for &n in &extra.nodes {
+        let ops_s = match measure(
+            n,
+            keys_total,
+            extra.depth,
+            extra.commit_latency,
+            warmup,
+            seconds,
+        ) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("nodes {n}: {ops_s:>9.0} ops/s");
+        throughput.push(ops_s);
+    }
+    let scaling = throughput.last().unwrap_or(&0.0) / throughput.first().unwrap_or(&1.0).max(1e-9);
+    fig.note(format!(
+        "scaling: {} nodes reach {scaling:.2}x the ops/s of {} node(s)",
+        extra.nodes.last().unwrap(),
+        extra.nodes.first().unwrap(),
+    ));
+    fig.push_series("throughput (ops/s)".to_owned(), throughput);
+    fig.emit();
+
+    if let Some(want) = extra.assert_scaling {
+        if scaling < want {
+            eprintln!(
+                "error: --assert-scaling {want}: {} nodes only reached {scaling:.2}x one node",
+                extra.nodes.last().unwrap()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("scaling {scaling:.2}x >= required {want}x");
+    }
+    ExitCode::SUCCESS
+}

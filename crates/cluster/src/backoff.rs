@@ -1,0 +1,152 @@
+//! Bounded, jittered exponential backoff for cluster retries.
+//!
+//! Deterministic by construction: the delay for attempt `k` under seed `s`
+//! is a pure function, so tests can assert exact schedules and two clients
+//! with different seeds desynchronize instead of thundering back in
+//! lockstep after a node death. Uses "equal jitter": attempt `k` draws
+//! uniformly from `[raw/2, raw]` where `raw = min(cap, base · 2^k)` — the
+//! schedule keeps its exponential spine (delays never collapse to zero)
+//! while spreading each wave over half a period.
+
+use std::time::Duration;
+
+/// Retry schedule: how many attempts, and how long between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry delay before jitter.
+    pub base: Duration,
+    /// Ceiling on the un-jittered delay.
+    pub cap: Duration,
+    /// Total attempts (the first try counts; `3` = try, retry, retry).
+    pub max_attempts: u32,
+    /// Jitter seed; two clients with different seeds spread out.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(640),
+            max_attempts: 8,
+            seed: 0x9412_C0DE,
+        }
+    }
+}
+
+/// One retry sequence: hand out delays until the policy is exhausted.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Backoff {
+    /// Starts a fresh sequence under `policy`.
+    pub fn new(policy: RetryPolicy) -> Self {
+        Self { policy, attempt: 0 }
+    }
+
+    /// The delay to sleep before the next retry, or `None` once the
+    /// attempt budget is spent. The first call is attempt 0.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let delay = delay_for(&self.policy, self.attempt);
+        self.attempt += 1;
+        Some(delay)
+    }
+
+    /// Retries consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Rewinds to attempt 0 (after a success, so the next failure starts
+    /// from the short end of the schedule again).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// The pure schedule: equal jitter over an exponentially growing, capped
+/// raw delay.
+pub fn delay_for(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let base = policy.base.as_millis() as u64;
+    let cap = policy.cap.as_millis() as u64;
+    let raw = base.saturating_mul(1u64 << attempt.min(20)).min(cap).max(1);
+    let half = raw / 2;
+    let jitter =
+        mix(policy.seed ^ (attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407)) % (raw - half + 1);
+    Duration::from_millis(half + jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(8),
+            cap: Duration::from_millis(100),
+            max_attempts: 6,
+            seed,
+        }
+    }
+
+    #[test]
+    fn delays_stay_inside_the_equal_jitter_envelope() {
+        let p = policy(42);
+        for attempt in 0..32 {
+            let raw = 8u64.saturating_mul(1 << attempt.min(20)).min(100);
+            let d = delay_for(&p, attempt).as_millis() as u64;
+            assert!(
+                d >= raw / 2 && d <= raw,
+                "attempt {attempt}: {d}ms outside [{}, {raw}]",
+                raw / 2
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a: Vec<_> = (0..6).map(|k| delay_for(&policy(1), k)).collect();
+        let b: Vec<_> = (0..6).map(|k| delay_for(&policy(1), k)).collect();
+        let c: Vec<_> = (0..6).map(|k| delay_for(&policy(2), k)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seeds desynchronize");
+    }
+
+    #[test]
+    fn budget_is_bounded_and_reset_restores_it() {
+        let mut b = Backoff::new(policy(7));
+        let mut delays = 0;
+        while b.next_delay().is_some() {
+            delays += 1;
+        }
+        // max_attempts counts tries; 6 tries = 5 sleeps between them.
+        assert_eq!(delays, 5);
+        assert_eq!(b.attempts(), 5);
+        assert!(b.next_delay().is_none(), "exhausted stays exhausted");
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert_eq!(b.next_delay(), Some(delay_for(&policy(7), 0)));
+    }
+
+    #[test]
+    fn one_attempt_means_no_retries() {
+        let mut b = Backoff::new(RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        });
+        assert_eq!(b.next_delay(), None);
+    }
+}

@@ -1,0 +1,332 @@
+//! Cluster load generator with acknowledged-write verification.
+//!
+//! Closed-loop worker threads drive a YCSB-B-style mix (95% GET / 5% SET
+//! by default) through a [`ClusterClient`], each thread owning a disjoint
+//! key partition so per-key history is totally ordered without locks.
+//!
+//! `--verify-acked` turns every thread into an auditor of the durability
+//! contract (DESIGN.md §14): a SET the cluster *acknowledged* must be the
+//! value every later GET observes — across retries, failovers, and a
+//! kill -9 of the primary — while a SET that *errored* is indeterminate
+//! (the crash may or may not have applied it), so either outcome is
+//! accepted until the next acknowledged write supersedes it. Values
+//! self-describe as `[key LE][nonce LE][zero padding]`, so a misrouted or
+//! stale read is caught by inspection, and a final sweep re-reads every
+//! acknowledged key after the load window (when a `--kill`ed primary's
+//! follower has promoted).
+//!
+//! `--crash-ok` keeps the run alive through op errors (they are the point
+//! of a failover drill); without it the first error fails the run.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use p4lru_cluster::{ClusterClient, ClusterSpec, RetryPolicy};
+use p4lru_kvstore::VALUE_SIZE;
+
+const USAGE: &str = "\
+cluster_loadgen — closed-loop cluster driver with ack verification
+
+USAGE: cluster_loadgen --cluster <spec> [OPTIONS]
+
+OPTIONS:
+  --cluster <spec>      comma-separated slots, each primary[~follower]
+  --threads <n>         worker threads                [default: 2]
+  --duration-ms <n>     load window per thread        [default: 2000]
+  --keys <n>            key-space size                [default: 2000]
+  --key-base <n>        first key (keeps clear of server pre-population)
+                        [default: 1000000000]
+  --read-pct <n>        GET percentage, rest SET      [default: 95]
+  --seed <n>            RNG seed                      [default: 42]
+  --retry-attempts <n>  op attempts incl. first try   [default: 14]
+  --retry-cap-ms <n>    backoff ceiling               [default: 400]
+  --verify-acked        audit the durability contract (see module docs)
+  --crash-ok            op errors don't fail the run (failover drills)
+  -h, --help            print this help
+";
+
+#[derive(Clone)]
+struct Config {
+    spec: ClusterSpec,
+    threads: usize,
+    duration: Duration,
+    keys: u64,
+    key_base: u64,
+    read_pct: u64,
+    seed: u64,
+    retry: RetryPolicy,
+    verify_acked: bool,
+    crash_ok: bool,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut spec = None;
+    let mut config = Config {
+        spec: ClusterSpec { nodes: Vec::new() },
+        threads: 2,
+        duration: Duration::from_millis(2000),
+        keys: 2000,
+        key_base: 1_000_000_000,
+        read_pct: 95,
+        seed: 42,
+        retry: RetryPolicy {
+            cap: Duration::from_millis(400),
+            max_attempts: 14,
+            ..RetryPolicy::default()
+        },
+        verify_acked: false,
+        crash_ok: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--verify-acked" => {
+                config.verify_acked = true;
+                continue;
+            }
+            "--crash-ok" => {
+                config.crash_ok = true;
+                continue;
+            }
+            _ => {}
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |e| format!("bad value for {flag}: {e:?}");
+        match flag.as_str() {
+            "--cluster" => spec = Some(ClusterSpec::parse(&value)?),
+            "--threads" => config.threads = value.parse().map_err(bad)?,
+            "--duration-ms" => {
+                config.duration = Duration::from_millis(value.parse().map_err(bad)?);
+            }
+            "--keys" => config.keys = value.parse().map_err(bad)?,
+            "--key-base" => config.key_base = value.parse().map_err(bad)?,
+            "--read-pct" => config.read_pct = value.parse().map_err(bad)?,
+            "--seed" => config.seed = value.parse().map_err(bad)?,
+            "--retry-attempts" => config.retry.max_attempts = value.parse().map_err(bad)?,
+            "--retry-cap-ms" => {
+                config.retry.cap = Duration::from_millis(value.parse().map_err(bad)?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    config.spec = spec.ok_or("missing --cluster")?;
+    if config.threads == 0 || config.keys == 0 || config.read_pct > 100 {
+        return Err("need threads >= 1, keys >= 1, read-pct <= 100".to_owned());
+    }
+    Ok(config)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// `[key LE][nonce LE][zeros]` — a value that names its own key and write.
+fn value_for(key: u64, nonce: u64) -> [u8; VALUE_SIZE] {
+    let mut v = [0u8; VALUE_SIZE];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v[8..16].copy_from_slice(&nonce.to_le_bytes());
+    v
+}
+
+fn nonce_of(value: &[u8]) -> Option<(u64, u64)> {
+    if value.len() != VALUE_SIZE {
+        return None;
+    }
+    let key = u64::from_le_bytes(value[..8].try_into().unwrap());
+    let nonce = u64::from_le_bytes(value[8..16].try_into().unwrap());
+    Some((key, nonce))
+}
+
+#[derive(Default)]
+struct WorkerOutcome {
+    gets: u64,
+    sets: u64,
+    errors: u64,
+    violations: u64,
+}
+
+/// Per-key audit state. `acked` is the contract: the nonce of the last
+/// SET the cluster acknowledged. `limbo` holds nonces of later SETs that
+/// errored — each may or may not have landed, so a read may legally
+/// observe any of them *or* the acked value, until an ack supersedes all.
+#[derive(Default)]
+struct Audit {
+    acked: HashMap<u64, u64>,
+    limbo: HashMap<u64, Vec<u64>>,
+}
+
+impl Audit {
+    fn on_acked_set(&mut self, key: u64, nonce: u64) {
+        self.acked.insert(key, nonce);
+        self.limbo.remove(&key);
+    }
+
+    fn on_failed_set(&mut self, key: u64, nonce: u64) {
+        self.limbo.entry(key).or_default().push(nonce);
+    }
+
+    /// Checks one observation against the contract; returns a complaint
+    /// if it is inconsistent.
+    fn check(&self, key: u64, observed: Option<&[u8]>) -> Option<String> {
+        let acked = self.acked.get(&key).copied();
+        let in_limbo = |n: u64| self.limbo.get(&key).is_some_and(|l| l.contains(&n));
+        match observed {
+            // Absent is only legal when nothing was ever acknowledged.
+            None => acked.map(|nonce| format!("key {key}: acked nonce {nonce} lost (NOT_FOUND)")),
+            Some(bytes) => {
+                let Some((vkey, nonce)) = nonce_of(bytes) else {
+                    return Some(format!(
+                        "key {key}: malformed value ({} bytes)",
+                        bytes.len()
+                    ));
+                };
+                if vkey != key {
+                    return Some(format!("key {key}: value self-describes as key {vkey}"));
+                }
+                if acked == Some(nonce) || in_limbo(nonce) {
+                    return None;
+                }
+                Some(format!(
+                    "key {key}: observed nonce {nonce}, acked {acked:?}, limbo {:?}",
+                    self.limbo.get(&key)
+                ))
+            }
+        }
+    }
+}
+
+fn worker(config: &Config, thread: usize) -> WorkerOutcome {
+    let mut out = WorkerOutcome::default();
+    let mut cluster = ClusterClient::new(
+        &config.spec,
+        RetryPolicy {
+            seed: config.seed ^ (thread as u64) << 17,
+            ..config.retry
+        },
+    );
+    // Disjoint per-thread partition: per-key order needs no locks.
+    let lo = config.key_base + config.keys * thread as u64 / config.threads as u64;
+    let hi = config.key_base + config.keys * (thread as u64 + 1) / config.threads as u64;
+    let mut rng = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (thread as u64 + 1);
+    let mut audit = Audit::default();
+    let mut nonce = 0u64;
+    let mut complaints = 0u64;
+    let mut complain = |out: &mut WorkerOutcome, what: String| {
+        out.violations += 1;
+        complaints += 1;
+        if complaints <= 5 {
+            eprintln!("cluster_loadgen[t{thread}]: VIOLATION {what}");
+        }
+    };
+
+    let deadline = Instant::now() + config.duration;
+    while Instant::now() < deadline {
+        let key = lo + xorshift(&mut rng) % (hi - lo).max(1);
+        if xorshift(&mut rng) % 100 < config.read_pct {
+            match cluster.get(key) {
+                Ok(observed) => {
+                    out.gets += 1;
+                    if config.verify_acked {
+                        if let Some(what) = audit.check(key, observed.as_deref()) {
+                            complain(&mut out, what);
+                        }
+                    }
+                }
+                Err(e) => {
+                    out.errors += 1;
+                    if !config.crash_ok {
+                        complain(&mut out, format!("GET {key} failed: {e}"));
+                    }
+                }
+            }
+        } else {
+            nonce += 1;
+            match cluster.set(key, &value_for(key, nonce)) {
+                Ok(()) => {
+                    out.sets += 1;
+                    audit.on_acked_set(key, nonce);
+                }
+                Err(e) => {
+                    out.errors += 1;
+                    audit.on_failed_set(key, nonce);
+                    if !config.crash_ok {
+                        complain(&mut out, format!("SET {key} failed: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    // The final sweep: every acknowledged write must still be readable —
+    // by now a killed primary's follower has promoted and the ClusterClient
+    // retries will find it.
+    if config.verify_acked {
+        let keys: Vec<u64> = audit.acked.keys().copied().collect();
+        for key in keys {
+            match cluster.get(key) {
+                Ok(observed) => {
+                    if let Some(what) = audit.check(key, observed.as_deref()) {
+                        complain(&mut out, format!("final sweep: {what}"));
+                    }
+                }
+                Err(e) => complain(&mut out, format!("final sweep: GET {key} failed: {e}")),
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|t| {
+                let config = &config;
+                scope.spawn(move || worker(config, t))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut total = WorkerOutcome::default();
+    for o in &outcomes {
+        total.gets += o.gets;
+        total.sets += o.sets;
+        total.errors += o.errors;
+        total.violations += o.violations;
+    }
+    let ops = total.gets + total.sets;
+    // The summary line CI greps: violations must be 0.
+    println!(
+        "cluster_loadgen: ops={ops} gets={} sets={} errors={} violations={} \
+         ops_per_sec={:.0} elapsed_ms={}",
+        total.gets,
+        total.sets,
+        total.errors,
+        total.violations,
+        ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed.as_millis(),
+    );
+    if total.violations > 0 || (!config.crash_ok && total.errors > 0) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

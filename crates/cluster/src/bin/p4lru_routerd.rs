@@ -1,0 +1,204 @@
+//! The cluster router daemon: a thin proxy that speaks the ordinary
+//! client protocol and routes each key to its consistent-hash slot.
+//!
+//! Unmodified clients (loadgen, `p4lru_client`, anything speaking the
+//! frame protocol) connect to the router exactly as they would to a single
+//! serverd and get cluster routing, failover retries, and merged STATS for
+//! free. Each connection gets its own [`ClusterClient`] — its own sockets
+//! to the nodes — so connections scale the same way they do against a
+//! single server and one stalled peer cannot head-of-line-block another.
+//!
+//! STATS answers with every node's shards merged into one report (shard
+//! ids offset per node, totals re-summed); SHUTDOWN stops the *router*
+//! only — nodes are owned by whoever started them.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use p4lru_cluster::{ClusterClient, ClusterSpec, RetryPolicy};
+use p4lru_server::metrics::StatsReport;
+use p4lru_server::protocol::{FrameReader, FrameWriter, Request, Response};
+
+const USAGE: &str = "\
+p4lru_routerd — consistent-hash router for a p4lru serverd cluster
+
+USAGE: p4lru_routerd --cluster <spec> [OPTIONS]
+
+OPTIONS:
+  --cluster <spec>      comma-separated slots, each primary[~follower]
+                        (e.g. 127.0.0.1:4190~127.0.0.1:4290,127.0.0.1:4191)
+  --addr <host:port>    listen address            [default: 127.0.0.1:4195]
+  --retry-base-ms <n>   first-retry backoff       [default: 10]
+  --retry-cap-ms <n>    backoff ceiling           [default: 640]
+  --retry-attempts <n>  attempts per op (first try included) [default: 8]
+  -h, --help            print this help
+";
+
+struct RouterConfig {
+    addr: String,
+    spec: ClusterSpec,
+    retry: RetryPolicy,
+}
+
+fn parse_args() -> Result<RouterConfig, String> {
+    let mut addr = "127.0.0.1:4195".to_owned();
+    let mut spec = None;
+    let mut retry = RetryPolicy::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |e| format!("bad value for {flag}: {e:?}");
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--cluster" => spec = Some(ClusterSpec::parse(&value)?),
+            "--retry-base-ms" => retry.base = Duration::from_millis(value.parse().map_err(bad)?),
+            "--retry-cap-ms" => retry.cap = Duration::from_millis(value.parse().map_err(bad)?),
+            "--retry-attempts" => retry.max_attempts = value.parse().map_err(bad)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let spec = spec.ok_or("missing --cluster")?;
+    Ok(RouterConfig { addr, spec, retry })
+}
+
+/// Merges per-node reports into one: shards concatenated with node-offset
+/// ids, totals re-derived. Tier/conn/reactor/cluster sections are
+/// per-node concerns and stay out of the merged view.
+fn merge_stats(reports: Vec<(String, StatsReport)>) -> StatsReport {
+    let mut shards = Vec::new();
+    for (_, report) in reports {
+        let offset = shards.len() as u64;
+        for mut s in report.shards {
+            s.shard += offset;
+            shards.push(s);
+        }
+    }
+    StatsReport::from_shards(shards)
+}
+
+fn serve_conn(
+    stream: TcpStream,
+    spec: &ClusterSpec,
+    retry: RetryPolicy,
+    running: &AtomicBool,
+) -> io::Result<bool> {
+    stream.set_nodelay(true)?;
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    let mut writer = FrameWriter::new(stream);
+    let mut cluster = ClusterClient::new(spec, retry);
+    let mut frame = Vec::new();
+    let mut payload = Vec::new();
+    while running.load(Ordering::SeqCst) {
+        if !reader.read_frame(&mut frame)? {
+            return Ok(true); // clean disconnect
+        }
+        let request = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                Response::Err(e.to_string()).encode(&mut payload);
+                writer.write_frame(&payload)?;
+                writer.flush()?;
+                return Ok(true);
+            }
+        };
+        let response = match request {
+            Request::Get { key } => match cluster.get(key) {
+                Ok(Some(v)) => Response::Value(v),
+                Ok(None) => Response::NotFound,
+                Err(e) => Response::Err(format!("GET via {}: {e}", cluster.node_for(key))),
+            },
+            Request::Set { key, value } => match cluster.set(key, &value) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(format!("SET via {}: {e}", cluster.node_for(key))),
+            },
+            Request::Del { key } => match cluster.del(key) {
+                Ok(true) => Response::Ok,
+                Ok(false) => Response::NotFound,
+                Err(e) => Response::Err(format!("DEL via {}: {e}", cluster.node_for(key))),
+            },
+            Request::Stats => match cluster.stats_all() {
+                Ok(reports) => {
+                    let merged = merge_stats(reports);
+                    match serde_json::to_string(&merged) {
+                        Ok(json) => Response::StatsJson(json),
+                        Err(e) => Response::Err(format!("STATS encode: {e:?}")),
+                    }
+                }
+                Err(e) => Response::Err(format!("STATS: {e}")),
+            },
+            Request::Shutdown => {
+                Response::Ok.encode(&mut payload);
+                writer.write_frame(&payload)?;
+                writer.flush()?;
+                running.store(false, Ordering::SeqCst);
+                return Ok(false);
+            }
+        };
+        response.encode(&mut payload);
+        writer.write_frame(&payload)?;
+        // Only flush when no further request is already buffered: pipelined
+        // clients get coalesced writes, closed-loop clients get no added
+        // latency.
+        if !reader.has_buffered_frame() {
+            writer.flush()?;
+        }
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&config.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = listener.local_addr().expect("bound socket has an address");
+    // Parsed by cluster tooling, like serverd's listen line.
+    println!(
+        "p4lru_routerd listening on {addr} routing {} slots",
+        config.spec.nodes.len()
+    );
+    let running = Arc::new(AtomicBool::new(true));
+    let spec = Arc::new(config.spec);
+    let mut workers = Vec::new();
+    while running.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        let spec = Arc::clone(&spec);
+        let running_conn = Arc::clone(&running);
+        let retry = config.retry;
+        workers.push(std::thread::spawn(move || {
+            match serve_conn(stream, &spec, retry, &running_conn) {
+                Ok(true) | Err(_) => {}
+                Ok(false) => {
+                    // SHUTDOWN: poke the accept loop awake so it notices.
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+        }));
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    println!("p4lru_routerd: shutdown");
+    ExitCode::SUCCESS
+}

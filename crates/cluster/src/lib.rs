@@ -1,0 +1,32 @@
+//! A consistent-hash cluster of p4lru serverd nodes (DESIGN.md §14).
+//!
+//! Three layers, all over the existing single-node server:
+//!
+//! * [`ring`] — the consistent-hash ring: key → slot with bounded movement
+//!   on membership change (adding or removing a node moves an expected
+//!   `keys/N` fraction, never a reshuffle).
+//! * [`spec`] + [`client`] — static membership (`primary[~follower]` per
+//!   slot) and a routing client that retries through node death: the slot
+//!   name stays fixed on the ring while failover swaps which socket it
+//!   answers on, so a promoted follower inherits its slot's keys exactly.
+//! * [`backoff`] — bounded, jittered, deterministic retry schedules.
+//!
+//! Replication itself (WAL shipping, watermarks, promote-on-failure) lives
+//! in `p4lru_server::repl`; this crate is the *routing* half: it decides
+//! which node owns a key and which socket currently speaks for that node.
+//!
+//! Two binaries ride on the library: `p4lru_routerd`, a thin proxy that
+//! speaks the ordinary client protocol and fans requests out across the
+//! cluster (so unmodified clients get routing for free), and
+//! `cluster_loadgen`, a closed-loop driver that can verify every
+//! acknowledged write across kill-9 failovers.
+
+pub mod backoff;
+pub mod client;
+pub mod ring;
+pub mod spec;
+
+pub use backoff::{Backoff, RetryPolicy};
+pub use client::ClusterClient;
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use spec::{ClusterSpec, NodeSpec};

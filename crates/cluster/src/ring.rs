@@ -1,0 +1,205 @@
+//! The consistent-hash ring: key → node routing with bounded movement.
+//!
+//! Each node contributes [`DEFAULT_VNODES`] points to a 64-bit ring; a key
+//! routes to the first point clockwise of its hash. Point positions depend
+//! only on `(node name, replica index)`, so two rings built over the same
+//! node set — in any insertion order, via any add/remove history — are
+//! byte-identical, and adding or removing one node moves only the keys
+//! whose successor point changed: an expected `keys/N` fraction, never the
+//! wholesale reshuffle a `hash % N` scheme would cause.
+//!
+//! Routing is a binary search over a sorted point array — no hashing of
+//! node names on the lookup path, no allocation.
+
+/// Virtual-node points each member contributes to the ring. More points
+/// smooth the load split (the per-node share concentrates around `1/N`)
+/// at the cost of a longer array to search; 64 keeps the worst node within
+/// ~2x of the mean for the cluster sizes this crate targets.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A consistent-hash ring over named nodes.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// Member names, sorted and unique.
+    nodes: Vec<String>,
+    /// `(point, node index)` sorted by point; ties broken by node name so
+    /// the ring is a pure function of the member set.
+    points: Vec<(u64, u32)>,
+    vnodes: usize,
+}
+
+/// The finalizer from splitmix64: a full-avalanche bijection on `u64`, so
+/// dense key spaces (0, 1, 2, …) spread uniformly around the ring.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the node name and replica index, then mixed: cheap, stable
+/// across runs (no process-seeded hashing), and good enough dispersion once
+/// the splitmix finalizer scrambles it.
+fn point_hash(name: &str, replica: usize) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in name.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01B3);
+    }
+    h = (h ^ replica as u64).wrapping_mul(0x1000_0000_01B3);
+    mix(h)
+}
+
+impl HashRing {
+    /// Builds a ring over `names` with `vnodes` points per node. Duplicate
+    /// names collapse; order is irrelevant.
+    pub fn new<S: AsRef<str>>(names: &[S], vnodes: usize) -> Self {
+        let mut ring = Self {
+            nodes: Vec::new(),
+            points: Vec::new(),
+            vnodes: vnodes.max(1),
+        };
+        for name in names {
+            let name = name.as_ref();
+            if !ring.nodes.iter().any(|n| n == name) {
+                ring.nodes.push(name.to_owned());
+            }
+        }
+        ring.nodes.sort();
+        ring.rebuild();
+        ring
+    }
+
+    /// Adds a member (no-op if present). Only keys whose successor becomes
+    /// one of the new node's points move — everything else stays put.
+    pub fn add(&mut self, name: &str) {
+        if self.nodes.iter().any(|n| n == name) {
+            return;
+        }
+        self.nodes.push(name.to_owned());
+        self.nodes.sort();
+        self.rebuild();
+    }
+
+    /// Removes a member (no-op if absent). Only the removed node's keys
+    /// move, to their next-clockwise surviving point.
+    pub fn remove(&mut self, name: &str) {
+        let before = self.nodes.len();
+        self.nodes.retain(|n| n != name);
+        if self.nodes.len() != before {
+            self.rebuild();
+        }
+    }
+
+    /// The node owning `key`, or `None` on an empty ring.
+    pub fn node_for(&self, key: u64) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = mix(key);
+        // First point at or after the key's hash, wrapping to the start.
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, idx) = self.points[at % self.points.len()];
+        Some(&self.nodes[idx as usize])
+    }
+
+    /// Member names, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no members remain.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        for (idx, name) in self.nodes.iter().enumerate() {
+            for replica in 0..self.vnodes {
+                self.points.push((point_hash(name, replica), idx as u32));
+            }
+        }
+        // Tie-break by name (nodes are sorted, so index order is name
+        // order): the ring must not depend on anything but the member set.
+        self.points.sort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_total_and_deterministic() {
+        let ring = HashRing::new(&["a:1", "b:1", "c:1"], DEFAULT_VNODES);
+        for key in 0..1_000u64 {
+            let owner = ring.node_for(key).unwrap();
+            assert_eq!(ring.node_for(key).unwrap(), owner);
+            assert!(ring.nodes().iter().any(|n| n == owner));
+        }
+    }
+
+    #[test]
+    fn construction_order_is_irrelevant() {
+        let forward = HashRing::new(&["n0", "n1", "n2"], 32);
+        let mut grown = HashRing::new(&["n2"], 32);
+        grown.add("n0");
+        grown.add("n1");
+        for key in 0..500u64 {
+            assert_eq!(forward.node_for(key), grown.node_for(key));
+        }
+    }
+
+    #[test]
+    fn every_node_owns_a_usable_share() {
+        let names = ["n0", "n1", "n2", "n3"];
+        let ring = HashRing::new(&names, DEFAULT_VNODES);
+        let keys = 40_000u64;
+        let mut owned = std::collections::HashMap::new();
+        for key in 0..keys {
+            *owned
+                .entry(ring.node_for(key).unwrap().to_owned())
+                .or_insert(0u64) += 1;
+        }
+        let mean = keys / names.len() as u64;
+        for name in names {
+            let share = owned.get(name).copied().unwrap_or(0);
+            assert!(
+                share > mean / 3 && share < mean * 3,
+                "{name} owns {share} of {keys} (mean {mean})"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_keys() {
+        let mut ring = HashRing::new(&["n0", "n1", "n2"], DEFAULT_VNODES);
+        let before: Vec<String> = (0..2_000u64)
+            .map(|k| ring.node_for(k).unwrap().to_owned())
+            .collect();
+        ring.remove("n1");
+        for (key, old) in before.iter().enumerate() {
+            let now = ring.node_for(key as u64).unwrap();
+            if old != "n1" {
+                assert_eq!(now, old, "key {key} moved although its owner survived");
+            } else {
+                assert_ne!(now, "n1");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node_rings() {
+        let mut ring = HashRing::new::<&str>(&[], DEFAULT_VNODES);
+        assert!(ring.is_empty());
+        assert_eq!(ring.node_for(7), None);
+        ring.add("only");
+        assert_eq!(ring.node_for(7), Some("only"));
+        assert_eq!(ring.len(), 1);
+    }
+}

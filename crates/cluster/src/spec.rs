@@ -1,0 +1,106 @@
+//! Static cluster membership: a comma-separated list of node slots.
+//!
+//! Each slot is `primary[~follower]` — a serverd address, optionally paired
+//! with the address of the replica that will take over if the primary dies
+//! (see DESIGN.md §14). The **primary address is the slot's identity**: it
+//! names the slot on the hash ring, so a failover swaps which socket a slot
+//! talks to without moving a single key.
+//!
+//! Example: `127.0.0.1:4190~127.0.0.1:4290,127.0.0.1:4191`.
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// One slot in the cluster: a primary address and an optional standby.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// The serverd address clients talk to first; also the slot's ring name.
+    pub primary: String,
+    /// A replica's client address, tried when the primary stops answering
+    /// (its server promotes itself; see `--failover-ms`).
+    pub follower: Option<String>,
+}
+
+impl NodeSpec {
+    /// The slot's stable identity on the ring.
+    pub fn name(&self) -> &str {
+        &self.primary
+    }
+}
+
+/// A parsed cluster membership list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// The slots, in spec order.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// Parses `primary[~follower],primary[~follower],…`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut nodes = Vec::new();
+        for slot in spec.split(',') {
+            let slot = slot.trim();
+            if slot.is_empty() {
+                continue;
+            }
+            let (primary, follower) = match slot.split_once('~') {
+                Some((p, f)) => (p.trim(), Some(f.trim())),
+                None => (slot, None),
+            };
+            if primary.is_empty() || !primary.contains(':') {
+                return Err(format!("bad node address {slot:?}: want host:port"));
+            }
+            if let Some(f) = follower {
+                if f.is_empty() || !f.contains(':') {
+                    return Err(format!("bad follower address in {slot:?}: want host:port"));
+                }
+            }
+            if nodes.iter().any(|n: &NodeSpec| n.primary == primary) {
+                return Err(format!("duplicate node {primary}"));
+            }
+            nodes.push(NodeSpec {
+                primary: primary.to_owned(),
+                follower: follower.map(str::to_owned),
+            });
+        }
+        if nodes.is_empty() {
+            return Err("empty cluster spec".to_owned());
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Builds the routing ring over the slots' identities.
+    pub fn ring(&self) -> HashRing {
+        let names: Vec<&str> = self.nodes.iter().map(NodeSpec::name).collect();
+        HashRing::new(&names, DEFAULT_VNODES)
+    }
+
+    /// Looks a slot up by its ring name.
+    pub fn node(&self, name: &str) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.primary == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_paired_slots() {
+        let spec = ClusterSpec::parse("127.0.0.1:4190~127.0.0.1:4290, 127.0.0.1:4191").unwrap();
+        assert_eq!(spec.nodes.len(), 2);
+        assert_eq!(spec.nodes[0].primary, "127.0.0.1:4190");
+        assert_eq!(spec.nodes[0].follower.as_deref(), Some("127.0.0.1:4290"));
+        assert_eq!(spec.nodes[1].follower, None);
+        assert_eq!(spec.ring().len(), 2);
+        assert!(spec.node("127.0.0.1:4191").is_some());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ClusterSpec::parse("").is_err());
+        assert!(ClusterSpec::parse("no-port").is_err());
+        assert!(ClusterSpec::parse("a:1~").is_err());
+        assert!(ClusterSpec::parse("a:1,a:1").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! ClusterClient retry/failover behavior against scripted fake nodes
+//! (DESIGN.md §14).
+//!
+//! Three contracts:
+//!
+//! * a slot rides out a flapping primary: dropped connections and
+//!   `READONLY` answers flip between the pair until an address serves;
+//! * the retry budget is a budget: with every address dead the op fails
+//!   in bounded time instead of spinning;
+//! * errors retrying cannot fix (a semantic ERR from a healthy node)
+//!   surface immediately, with no failover flip.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p4lru_cluster::{ClusterClient, ClusterSpec, RetryPolicy};
+use p4lru_server::protocol::{read_frame, write_frame, Request, Response};
+
+#[derive(Clone, Copy)]
+enum Script {
+    /// Drop the first `n` connections on accept, then serve honestly.
+    DeadThenHealthy(u64),
+    /// Answer every mutation with a follower's READONLY error.
+    Readonly,
+    /// Answer every request with a semantic error a retry cannot fix.
+    SemanticError,
+    /// Serve honestly from the first connection.
+    Healthy,
+}
+
+/// A scripted node speaking the real client protocol. Returns its address
+/// and a connection counter.
+fn spawn_fake(script: Script) -> (SocketAddr, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let conns = Arc::new(AtomicU64::new(0));
+    let conns_out = Arc::clone(&conns);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let conn = conns.fetch_add(1, Ordering::SeqCst);
+            if matches!(script, Script::DeadThenHealthy(n) if conn < n) {
+                continue; // dropped on the floor: the client sees EOF
+            }
+            let mut frame = Vec::new();
+            let mut out = Vec::new();
+            while let Ok(true) = read_frame(&mut stream, &mut frame) {
+                let Ok(request) = Request::decode(&frame) else {
+                    break;
+                };
+                let response = match (script, request) {
+                    (Script::SemanticError, _) => Response::Err("value too large".to_owned()),
+                    (Script::Readonly, Request::Set { .. } | Request::Del { .. }) => {
+                        Response::Err("READONLY follower; primary is 127.0.0.1:9".to_owned())
+                    }
+                    (_, Request::Set { .. }) => Response::Ok,
+                    (_, Request::Get { .. }) => Response::NotFound,
+                    (_, Request::Del { .. }) => Response::NotFound,
+                    (_, _) => Response::Ok,
+                };
+                response.encode(&mut out);
+                if write_frame(&mut stream, &out).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, conns_out)
+}
+
+fn fast_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(10),
+        max_attempts,
+        seed: 7,
+    }
+}
+
+#[test]
+fn a_flapping_primary_and_readonly_follower_resolve_within_the_budget() {
+    // The primary drops its first connection (as a freshly killed process
+    // would); the follower has not promoted and answers READONLY. The
+    // client must walk primary → follower → primary and land the write.
+    let (primary, primary_conns) = spawn_fake(Script::DeadThenHealthy(1));
+    let (follower, follower_conns) = spawn_fake(Script::Readonly);
+    let spec = ClusterSpec::parse(&format!("{primary}~{follower}")).unwrap();
+    let mut cluster = ClusterClient::new(&spec, fast_retry(8));
+
+    cluster.set(42, b"hello").unwrap();
+    assert_eq!(cluster.failovers(), 2, "primary → follower → primary");
+    assert!(primary_conns.load(Ordering::SeqCst) >= 2);
+    assert_eq!(follower_conns.load(Ordering::SeqCst), 1);
+
+    // The surviving connection is reused: no further flips or dials.
+    cluster.set(43, b"again").unwrap();
+    assert_eq!(cluster.failovers(), 2);
+    assert_eq!(primary_conns.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn a_dead_pair_fails_in_bounded_time() {
+    // Addresses nothing listens on: bind, learn the port, release it.
+    let free = |_| {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let (a, b) = (free(0), free(1));
+    let spec = ClusterSpec::parse(&format!("{a}~{b}")).unwrap();
+    let mut cluster = ClusterClient::new(&spec, fast_retry(5));
+
+    let started = Instant::now();
+    let err = cluster.set(7, b"x").unwrap_err();
+    // 5 attempts = 4 sleeps of at most 10ms each, plus dial time.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "budget did not bound the retry loop"
+    );
+    assert!(
+        err.kind() == std::io::ErrorKind::ConnectionRefused
+            || err.kind() == std::io::ErrorKind::TimedOut,
+        "surfaced the connection failure, got {err:?}"
+    );
+}
+
+#[test]
+fn semantic_errors_surface_immediately_without_failover() {
+    let (node, conns) = spawn_fake(Script::SemanticError);
+    let (standby, standby_conns) = spawn_fake(Script::Healthy);
+    let spec = ClusterSpec::parse(&format!("{node}~{standby}")).unwrap();
+    let mut cluster = ClusterClient::new(&spec, fast_retry(8));
+
+    let err = cluster.set(1, b"x").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("value too large"));
+    assert_eq!(cluster.failovers(), 0, "no flip on a non-retryable error");
+    assert_eq!(conns.load(Ordering::SeqCst), 1);
+    assert_eq!(standby_conns.load(Ordering::SeqCst), 0, "standby untouched");
+}

@@ -1,0 +1,110 @@
+//! Property tests for the consistent-hash ring (DESIGN.md §14).
+//!
+//! The two promises a cluster leans on:
+//!
+//! * **stability** — the ring is a pure function of the member *set*; any
+//!   construction history (bulk build, incremental adds, add-then-remove)
+//!   yields identical routing;
+//! * **bounded movement** — adding a node moves keys only *onto* it, and
+//!   removing a node moves only *its* keys, in both cases no more than
+//!   `2 · keys/N` of them (expected `keys/N`; the factor of two absorbs
+//!   vnode placement variance).
+
+use proptest::prelude::*;
+
+use p4lru_cluster::{HashRing, DEFAULT_VNODES};
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:4190")).collect()
+}
+
+fn owners(ring: &HashRing, keys: u64) -> Vec<String> {
+    (0..keys)
+        .map(|k| ring.node_for(k).unwrap().to_owned())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn any_construction_history_yields_the_same_ring(n in 2usize..9, extra in 0u64..1000) {
+        let members = names(n);
+        let bulk = HashRing::new(&members, DEFAULT_VNODES);
+
+        // Incremental build, back to front.
+        let mut grown = HashRing::new(&members[n - 1..], DEFAULT_VNODES);
+        for name in members[..n - 1].iter().rev() {
+            grown.add(name);
+        }
+
+        // Overshoot and retract: add a stranger, then remove it.
+        let mut detoured = HashRing::new(&members, DEFAULT_VNODES);
+        let stranger = format!("192.168.9.{}:1", extra);
+        detoured.add(&stranger);
+        detoured.remove(&stranger);
+
+        for key in (0..50_000u64).step_by(97) {
+            let want = bulk.node_for(key);
+            prop_assert_eq!(grown.node_for(key), want);
+            prop_assert_eq!(detoured.node_for(key), want);
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_at_most_twice_the_fair_share_and_only_onto_it(n in 1usize..8) {
+        let keys = 4_000u64;
+        let members = names(n);
+        let mut ring = HashRing::new(&members, DEFAULT_VNODES);
+        let before = owners(&ring, keys);
+        let newcomer = format!("10.0.1.{n}:4190");
+        ring.add(&newcomer);
+
+        let mut moved = 0u64;
+        for (key, old) in before.iter().enumerate() {
+            let now = ring.node_for(key as u64).unwrap();
+            if now != old {
+                prop_assert_eq!(
+                    now, &newcomer,
+                    "key {} moved between surviving nodes", key
+                );
+                moved += 1;
+            }
+        }
+        let bound = 2 * keys / (n as u64 + 1);
+        prop_assert!(
+            moved <= bound,
+            "{moved} keys moved to the newcomer; bound is {bound} (2·keys/N)"
+        );
+        prop_assert!(moved > 0, "the newcomer must take over some keys");
+    }
+
+    #[test]
+    fn removing_a_node_moves_exactly_its_keys_and_no_more_than_twice_fair_share(
+        n in 2usize..9, victim_idx in 0usize..8,
+    ) {
+        let keys = 4_000u64;
+        let members = names(n);
+        let victim = members[victim_idx % n].clone();
+        let mut ring = HashRing::new(&members, DEFAULT_VNODES);
+        let before = owners(&ring, keys);
+        ring.remove(&victim);
+
+        let mut moved = 0u64;
+        for (key, old) in before.iter().enumerate() {
+            let now = ring.node_for(key as u64).unwrap();
+            if *old == victim {
+                prop_assert_ne!(now, &victim);
+                moved += 1;
+            } else {
+                prop_assert_eq!(
+                    now, old,
+                    "key {} moved although its owner survived", key
+                );
+            }
+        }
+        let bound = 2 * keys / n as u64;
+        prop_assert!(
+            moved <= bound,
+            "the victim owned {moved} keys; bound is {bound} (2·keys/N)"
+        );
+    }
+}

@@ -18,6 +18,9 @@
 //!   damage;
 //! * [`shardlog`] — the per-shard engine tying the above together under a
 //!   [`SyncPolicy`];
+//! * [`reader`] — tailing the log as a stream (the primary side of WAL
+//!   shipping: contiguous encoded records from a given sequence, or a
+//!   snapshot-needed signal once the history was pruned);
 //! * [`failpoint`] — fault injection (truncate / corrupt / short-write at a
 //!   chosen byte offset) for crash tests.
 //!
@@ -31,6 +34,7 @@
 
 pub mod crc;
 pub mod failpoint;
+pub mod reader;
 pub mod record;
 pub mod recover;
 pub mod shardlog;
@@ -43,6 +47,7 @@ mod testutil;
 use std::time::Duration;
 
 pub use failpoint::{FailMode, FailpointFile};
+pub use reader::{ReadBatch, ReadOutcome};
 pub use record::{WalOp, WalRecord};
 pub use recover::Recovery;
 pub use shardlog::ShardLog;
@@ -111,6 +116,15 @@ pub struct DurabilityConfig {
     pub snapshot_every: u64,
     /// Rotate WAL segments once they pass this many bytes.
     pub segment_bytes: u64,
+    /// Modeled device commit latency, added after every real fsync.
+    /// `ZERO` (the default) means the physical device speed. Benchmarks
+    /// use this to pin the commit cost to a device profile — e.g. the
+    /// 1–2 ms of a commodity disk — so figures about commit-path behavior
+    /// (group commit, cluster scaling) measure the architecture rather
+    /// than whichever storage the CI box happens to have, and stay
+    /// comparable across machines. The sleep happens with the fsync's
+    /// durability guarantee already in hand; it only delays the ack.
+    pub commit_latency: Duration,
 }
 
 impl Default for DurabilityConfig {
@@ -119,6 +133,7 @@ impl Default for DurabilityConfig {
             sync: SyncPolicy::Always,
             snapshot_every: 100_000,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            commit_latency: Duration::ZERO,
         }
     }
 }

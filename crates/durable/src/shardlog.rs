@@ -104,6 +104,43 @@ impl ShardLog {
         self.append(&WalOp::Del { key })
     }
 
+    /// Appends a record *shipped from a primary* (replication). The shipped
+    /// sequence number must exactly continue this log — a stale replay or a
+    /// gap is rejected before anything is written, so a bad shipment cannot
+    /// damage the follower's log.
+    pub fn append_replicated(&mut self, seq: u64, op: &WalOp) -> io::Result<u64> {
+        let expected = self.wal.last_seq() + 1;
+        if seq != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "replicated record seq {seq} does not continue the log (expected {expected})"
+                ),
+            ));
+        }
+        self.append(op)
+    }
+
+    /// Replaces this shard's entire durable state with a snapshot *shipped
+    /// from a primary* (catch-up for a follower too far behind to tail the
+    /// log). Validates and installs the snapshot atomically, deletes every
+    /// WAL segment, and reopens the log at `seq + 1`. Returns the decoded
+    /// entries so the caller can rebuild its in-memory store.
+    ///
+    /// On a validation failure nothing changes: the old snapshot, segments,
+    /// and WAL position all survive.
+    pub fn reset_to_snapshot(&mut self, seq: u64, bytes: &[u8]) -> io::Result<Vec<(u64, Record)>> {
+        let entries = crate::snapshot::install_snapshot_bytes(&self.dir, seq, bytes)?;
+        for segment in crate::wal::list_segments(&self.dir)? {
+            std::fs::remove_file(&segment.path)?;
+        }
+        crate::wal::fsync_dir(&self.dir)?;
+        self.wal = Wal::create(&self.dir, seq + 1, self.config.segment_bytes)?;
+        self.unsynced = 0;
+        self.appends_since_snapshot = 0;
+        Ok(entries)
+    }
+
     fn append(&mut self, op: &WalOp) -> io::Result<u64> {
         let seq = self.wal.append(op)?;
         self.unsynced += 1;
@@ -129,9 +166,16 @@ impl ShardLog {
         self.sync().map(Some)
     }
 
-    /// Unconditionally fsyncs everything appended so far.
+    /// Unconditionally fsyncs everything appended so far. With a modeled
+    /// [`DurabilityConfig::commit_latency`], the sleep lands here — after
+    /// the real fsync, inside the reported duration — so group commit,
+    /// metrics, and ack timing all see the modeled device.
     pub fn sync(&mut self) -> io::Result<Duration> {
-        let took = self.wal.sync()?;
+        let mut took = self.wal.sync()?;
+        if !self.config.commit_latency.is_zero() {
+            std::thread::sleep(self.config.commit_latency);
+            took += self.config.commit_latency;
+        }
         self.unsynced = 0;
         self.last_sync = Instant::now();
         self.last_sync_at = Some(self.last_sync);

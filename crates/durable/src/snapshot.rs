@@ -162,6 +162,49 @@ pub fn load_latest(dir: &Path) -> io::Result<LoadedSnapshot> {
     })
 }
 
+/// Installs a snapshot *shipped from another node* (replication catch-up):
+/// writes `bytes` crash-atomically (tmp, fsync, rename, dir fsync) and
+/// returns the decoded entries so the caller can rebuild its store without
+/// re-reading the file.
+///
+/// The bytes are validated **before** the rename — magic, version, CRC, and
+/// that the file's sealed seq matches the `seq` it was shipped as — so a
+/// corrupt or mislabeled shipment never becomes a loadable snapshot file:
+/// the tmp file is removed and the existing state is untouched.
+pub fn install_snapshot_bytes(
+    dir: &Path,
+    seq: u64,
+    bytes: &[u8],
+) -> io::Result<Vec<(u64, Record)>> {
+    let tmp = dir.join(format!("{PREFIX}{seq:020}.tmp"));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    let validated = read_snapshot(&tmp).and_then(|(file_seq, entries)| {
+        if file_seq == seq {
+            Ok(entries)
+        } else {
+            Err(err(format!(
+                "shipped snapshot declares seq {file_seq} but was sent as {seq}"
+            )))
+        }
+    });
+    let entries = match validated {
+        Ok(entries) => entries,
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    let path = dir.join(snapshot_file_name(seq));
+    fs::rename(&tmp, &path)?;
+    crate::wal::fsync_dir(dir)?;
+    prune_older_snapshots(dir, seq)?;
+    Ok(entries)
+}
+
 fn read_snapshot(path: &Path) -> io::Result<(u64, Vec<(u64, Record)>)> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;

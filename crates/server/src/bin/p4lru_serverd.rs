@@ -15,6 +15,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use p4lru_durable::SyncPolicy;
+use p4lru_server::repl::ReplConfig;
 use p4lru_server::server::{Server, ServerConfig, StartMode};
 
 const USAGE: &str = "\
@@ -42,6 +43,9 @@ OPTIONS:
                         [default: always]
   --snapshot-every <n>  appends between snapshots; 0 disables
                         [default: 100000]
+  --commit-latency-us <n>
+                        modeled device commit latency added after every
+                        fsync (0 = physical device speed)  [default: 0]
   --trace <on|off>      request-lifecycle tracing  [default: on]
   --trace-sample <n>    trace one request in n (1 = every request)
                         [default: 64]
@@ -53,6 +57,20 @@ OPTIONS:
                         append a stats JSONL line every n ms (to
                         --sample-file, or <data-dir>/samples.jsonl)
   --sample-file <path>  where the sampler writes its JSONL
+
+REPLICATION (requires --data-dir; see DESIGN.md §14):
+  --repl-addr <a>       serve WAL shipping to followers on this address
+                        (port 0 picks a free port, printed at startup)
+  --follow <host:port>  start as a follower pulling from this primary's
+                        replication address
+  --replicate <mode>    async (acks don't wait) | ack (mutation acks wait
+                        for the follower's durable watermark) [default: async]
+  --ack-timeout-ms <n>  how long an ack-mode primary holds a batch's acks
+                        before erroring them          [default: 2000]
+  --pull-interval-ms <n>
+                        follower idle delay between pulls  [default: 5]
+  --failover-ms <n>     follower promotes itself after this long without
+                        reaching the primary          [default: 750]
   -h, --help            print this help
 ";
 
@@ -90,6 +108,10 @@ fn parse_args() -> Result<ServerConfig, String> {
                     .map_err(|e| format!("bad value for {flag}: {e}"))?;
             }
             "--snapshot-every" => config.durability.snapshot_every = value.parse().map_err(bad)?,
+            "--commit-latency-us" => {
+                config.durability.commit_latency =
+                    Duration::from_micros(value.parse().map_err(bad)?);
+            }
             "--trace" => {
                 config.obs.enabled = match value.as_str() {
                     "on" => true,
@@ -107,7 +129,47 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.sample_interval = Some(Duration::from_millis(value.parse().map_err(bad)?));
             }
             "--sample-file" => config.sample_path = Some(value.into()),
+            "--repl-addr" => {
+                config.repl.get_or_insert_with(ReplConfig::default).listen = Some(value);
+            }
+            "--follow" => {
+                config.repl.get_or_insert_with(ReplConfig::default).follow = Some(value);
+            }
+            "--replicate" => {
+                config.repl.get_or_insert_with(ReplConfig::default).ack = match value.as_str() {
+                    "async" => false,
+                    "ack" => true,
+                    other => return Err(format!("bad value for --replicate: {other} (async|ack)")),
+                };
+            }
+            "--ack-timeout-ms" => {
+                config
+                    .repl
+                    .get_or_insert_with(ReplConfig::default)
+                    .ack_timeout = Duration::from_millis(value.parse().map_err(bad)?);
+            }
+            "--pull-interval-ms" => {
+                config
+                    .repl
+                    .get_or_insert_with(ReplConfig::default)
+                    .pull_interval = Duration::from_millis(value.parse().map_err(bad)?);
+            }
+            "--failover-ms" => {
+                config.repl.get_or_insert_with(ReplConfig::default).failover =
+                    Duration::from_millis(value.parse().map_err(bad)?);
+            }
             other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if let Some(rc) = &config.repl {
+        if rc.listen.is_none() && rc.follow.is_none() {
+            return Err(
+                "replication flags need --repl-addr (primary) and/or --follow (follower)"
+                    .to_owned(),
+            );
+        }
+        if config.data_dir.is_none() {
+            return Err("replication ships the WAL, so it requires --data-dir".to_owned());
         }
     }
     Ok(config)
@@ -170,6 +232,19 @@ fn main() -> ExitCode {
     );
     if let Some(addr) = server.metrics_addr() {
         println!("metrics: http://{addr}/metrics");
+    }
+    if let (Some(role), Some(rc)) = (server.role(), config.repl.as_ref()) {
+        // Parsed by cluster tooling (port 0 on --repl-addr picks a free
+        // port, and this line is where it learns which one).
+        let mode = if rc.ack { "ack" } else { "async" };
+        let mut line = format!("replication: role={} mode={mode}", role.name());
+        if let Some(addr) = server.repl_addr() {
+            line.push_str(&format!(" shipping on {addr}"));
+        }
+        if let Some(primary) = rc.follow.as_deref() {
+            line.push_str(&format!(" following {primary}"));
+        }
+        println!("{line}");
     }
     let stats = server.wait();
     println!("shutdown: final stats");

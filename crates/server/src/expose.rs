@@ -17,8 +17,8 @@ use p4lru_obs::{Expo, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{
-    ConnSnapshot, ReactorLoopSnapshot, ShardMetrics, ShardSnapshot, StageSummary, StatsReport,
-    TierSnapshot,
+    ClusterSnapshot, ConnSnapshot, ReactorLoopSnapshot, ShardMetrics, ShardSnapshot, StageSummary,
+    StatsReport, TierSnapshot,
 };
 
 /// Builds the STATS report: per-shard snapshots, their totals, and — when
@@ -142,6 +142,126 @@ pub fn tier_families(e: &mut Expo, t: &TierSnapshot) {
     .sample("p4lru_tier_offload_ratio", &[], t.offload_ratio);
 }
 
+/// Emits the replication/cluster families (`p4lru_cluster_*`). The role is
+/// exposed as a pair of labeled 0/1 gauges so a promotion shows up as an
+/// edge on both series; watermarks are per-shard gauges.
+pub fn cluster_families(e: &mut Expo, c: &ClusterSnapshot) {
+    e.meta(
+        "p4lru_cluster_role",
+        "gauge",
+        "Current replication role (1 on the matching label).",
+    );
+    for role in ["primary", "follower"] {
+        let on = if c.role == role { 1.0 } else { 0.0 };
+        e.sample("p4lru_cluster_role", &[("role", role)], on);
+    }
+    e.meta(
+        "p4lru_cluster_ack_mode",
+        "gauge",
+        "1 when mutation acks wait for the replicated watermark.",
+    )
+    .sample(
+        "p4lru_cluster_ack_mode",
+        &[],
+        if c.ack_mode { 1.0 } else { 0.0 },
+    );
+    e.meta(
+        "p4lru_cluster_promotions_total",
+        "counter",
+        "Follower-to-primary promotions (failover events).",
+    )
+    .sample("p4lru_cluster_promotions_total", &[], c.promotions as f64);
+    e.meta(
+        "p4lru_cluster_pulls_served_total",
+        "counter",
+        "Replication PULL requests served to followers.",
+    )
+    .sample(
+        "p4lru_cluster_pulls_served_total",
+        &[],
+        c.pulls_served as f64,
+    );
+    e.meta(
+        "p4lru_cluster_records_shipped_total",
+        "counter",
+        "WAL records shipped to followers.",
+    )
+    .sample(
+        "p4lru_cluster_records_shipped_total",
+        &[],
+        c.records_shipped as f64,
+    );
+    e.meta(
+        "p4lru_cluster_bytes_shipped_total",
+        "counter",
+        "WAL bytes shipped to followers.",
+    )
+    .sample(
+        "p4lru_cluster_bytes_shipped_total",
+        &[],
+        c.bytes_shipped as f64,
+    );
+    e.meta(
+        "p4lru_cluster_snapshots_shipped_total",
+        "counter",
+        "Snapshots shipped for follower catch-up.",
+    )
+    .sample(
+        "p4lru_cluster_snapshots_shipped_total",
+        &[],
+        c.snapshots_shipped as f64,
+    );
+    e.meta(
+        "p4lru_cluster_records_applied_total",
+        "counter",
+        "Replicated WAL records applied locally.",
+    )
+    .sample(
+        "p4lru_cluster_records_applied_total",
+        &[],
+        c.records_applied as f64,
+    );
+    e.meta(
+        "p4lru_cluster_snapshots_installed_total",
+        "counter",
+        "Shipped snapshots installed locally.",
+    )
+    .sample(
+        "p4lru_cluster_snapshots_installed_total",
+        &[],
+        c.snapshots_installed as f64,
+    );
+    e.meta(
+        "p4lru_cluster_pull_rejects_total",
+        "counter",
+        "Malformed or mismatched pull exchanges rejected.",
+    )
+    .sample(
+        "p4lru_cluster_pull_rejects_total",
+        &[],
+        c.pull_rejects as f64,
+    );
+    e.meta(
+        "p4lru_cluster_ack_timeouts_total",
+        "counter",
+        "Ack-mode batches that timed out awaiting replication.",
+    )
+    .sample(
+        "p4lru_cluster_ack_timeouts_total",
+        &[],
+        c.ack_timeouts as f64,
+    );
+    e.meta(
+        "p4lru_cluster_watermark",
+        "gauge",
+        "Per-shard replication watermark (durable on primary, applied on follower).",
+    );
+    for (shard, &seq) in c.watermarks.iter().enumerate() {
+        let shard = shard.to_string();
+        e.sample("p4lru_cluster_watermark", &[("shard", &shard)], seq as f64);
+    }
+}
+
 /// Emits the connection-accounting families: current gauge, accepted and
 /// rejected totals, labeled by front-end.
 pub fn conn_families(e: &mut Expo, c: &ConnSnapshot) {
@@ -242,7 +362,7 @@ pub fn reactor_families(e: &mut Expo, loops: &[ReactorLoopSnapshot]) {
 
 /// Renders the full Prometheus text-format document served at `/metrics`.
 pub fn render_prometheus(metrics: &[Arc<ShardMetrics>], tracer: &Tracer) -> String {
-    render_prometheus_full(metrics, tracer, None, None, &[])
+    render_prometheus_full(metrics, tracer, None, None, &[], None)
 }
 
 /// [`render_prometheus`] plus the switch-tier families, for deployments
@@ -252,18 +372,20 @@ pub fn render_prometheus_with_tier(
     tracer: &Tracer,
     tier: Option<&TierSnapshot>,
 ) -> String {
-    render_prometheus_full(metrics, tracer, tier, None, &[])
+    render_prometheus_full(metrics, tracer, tier, None, &[], None)
 }
 
 /// The complete renderer: shard and tracer families, plus — when provided —
-/// the tier, connection-accounting, and reactor-loop sections. The server's
-/// `/metrics` endpoint calls this with whatever its front-end maintains.
+/// the tier, connection-accounting, reactor-loop, and cluster sections. The
+/// server's `/metrics` endpoint calls this with whatever its front-end
+/// maintains.
 pub fn render_prometheus_full(
     metrics: &[Arc<ShardMetrics>],
     tracer: &Tracer,
     tier: Option<&TierSnapshot>,
     conns: Option<&ConnSnapshot>,
     reactor: &[ReactorLoopSnapshot],
+    cluster: Option<&ClusterSnapshot>,
 ) -> String {
     let shards: Vec<ShardSnapshot> = metrics
         .iter()
@@ -498,6 +620,9 @@ pub fn render_prometheus_full(
     }
     if !reactor.is_empty() {
         reactor_families(&mut e, reactor);
+    }
+    if let Some(c) = cluster {
+        cluster_families(&mut e, c);
     }
 
     e.finish()
@@ -743,7 +868,7 @@ mod tests {
                 connections: 5,
             },
         ];
-        let text = render_prometheus_full(&metrics, &tracer, None, Some(&conns), &loops);
+        let text = render_prometheus_full(&metrics, &tracer, None, Some(&conns), &loops, None);
         assert!(text.contains("# TYPE p4lru_connections gauge"));
         assert!(text.contains("p4lru_connections{frontend=\"reactor\"} 11\n"));
         assert!(text.contains("p4lru_connections_total{frontend=\"reactor\"} 13\n"));
@@ -759,6 +884,45 @@ mod tests {
         let bare = render_prometheus(&metrics, &tracer);
         assert!(!bare.contains("p4lru_connections"));
         assert!(!bare.contains("p4lru_reactor_"));
+    }
+
+    #[test]
+    fn cluster_families_render_when_a_snapshot_is_attached() {
+        let (metrics, tracer) = sources();
+        let cluster = ClusterSnapshot {
+            role: "primary".to_string(),
+            ack_mode: true,
+            primary_addr: String::new(),
+            promotions: 1,
+            pulls_served: 40,
+            records_shipped: 120,
+            bytes_shipped: 9_000,
+            snapshots_shipped: 2,
+            records_applied: 7,
+            snapshots_installed: 1,
+            pull_rejects: 3,
+            ack_timeouts: 5,
+            watermarks: vec![120, 0],
+        };
+        let text = render_prometheus_full(&metrics, &tracer, None, None, &[], Some(&cluster));
+        assert!(text.contains("# TYPE p4lru_cluster_role gauge"));
+        assert!(text.contains("p4lru_cluster_role{role=\"primary\"} 1\n"));
+        assert!(text.contains("p4lru_cluster_role{role=\"follower\"} 0\n"));
+        assert!(text.contains("p4lru_cluster_ack_mode 1\n"));
+        assert!(text.contains("p4lru_cluster_promotions_total 1\n"));
+        assert!(text.contains("p4lru_cluster_pulls_served_total 40\n"));
+        assert!(text.contains("p4lru_cluster_records_shipped_total 120\n"));
+        assert!(text.contains("p4lru_cluster_bytes_shipped_total 9000\n"));
+        assert!(text.contains("p4lru_cluster_snapshots_shipped_total 2\n"));
+        assert!(text.contains("p4lru_cluster_records_applied_total 7\n"));
+        assert!(text.contains("p4lru_cluster_snapshots_installed_total 1\n"));
+        assert!(text.contains("p4lru_cluster_pull_rejects_total 3\n"));
+        assert!(text.contains("p4lru_cluster_ack_timeouts_total 5\n"));
+        assert!(text.contains("p4lru_cluster_watermark{shard=\"0\"} 120\n"));
+        assert!(text.contains("p4lru_cluster_watermark{shard=\"1\"} 0\n"));
+        // Absent on a standalone server.
+        let bare = render_prometheus(&metrics, &tracer);
+        assert!(!bare.contains("p4lru_cluster_"));
     }
 
     #[test]

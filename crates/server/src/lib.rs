@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod openloop;
 pub mod protocol;
 mod reactor_front;
+pub mod repl;
 pub mod server;
 pub mod shard;
 
@@ -46,10 +47,11 @@ pub use expose::{
     tier_families, StatsSampler,
 };
 pub use metrics::{
-    ConnCounters, ConnSnapshot, LatencyHistogram, LatencySummary, ReactorLoopSnapshot,
-    ShardMetrics, ShardSnapshot, StageSummary, StatsReport, TierSnapshot,
+    ClusterSnapshot, ConnCounters, ConnSnapshot, LatencyHistogram, LatencySummary,
+    ReactorLoopSnapshot, ShardMetrics, ShardSnapshot, StageSummary, StatsReport, TierSnapshot,
 };
 pub use openloop::{run_open_loop, sweep_to_figure_json, OpenLoopConfig, OpenLoopSummary};
 pub use protocol::{FrameReader, FrameWriter, Request, Response};
+pub use repl::{ReplConfig, Role};
 pub use server::{shard_of, Frontend, Server, ServerConfig};
 pub use shard::Shard;

@@ -448,6 +448,44 @@ impl TierSnapshot {
     }
 }
 
+/// Replication/cluster counters, as carried by STATS and `/metrics` when
+/// the server runs with replication configured (`--repl-addr`/`--follow`).
+///
+/// Built by `ReplState::snapshot()`; `None` on a standalone server. The
+/// `watermarks` vector is per-shard: on a primary it is the follower's
+/// durable sequence as reported by its pulls, on a follower it is the local
+/// applied sequence. `role` can flip `follower` → `primary` exactly once
+/// (promote-on-failure); `promotions` counts that flip.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// `primary` or `follower` (current role — may have been promoted).
+    pub role: String,
+    /// Whether mutation acks wait for the replicated watermark.
+    pub ack_mode: bool,
+    /// The primary this node follows (empty on a born-primary node).
+    pub primary_addr: String,
+    /// Follower→primary promotions (0 or 1).
+    pub promotions: u64,
+    /// PULL requests served by the replication listener.
+    pub pulls_served: u64,
+    /// WAL records shipped to followers.
+    pub records_shipped: u64,
+    /// WAL bytes shipped to followers.
+    pub bytes_shipped: u64,
+    /// Snapshots shipped for catch-up (history pruned past the cursor).
+    pub snapshots_shipped: u64,
+    /// Replicated WAL records applied locally (follower side).
+    pub records_applied: u64,
+    /// Shipped snapshots installed locally (follower side).
+    pub snapshots_installed: u64,
+    /// Malformed/mismatched pull exchanges rejected (either side).
+    pub pull_rejects: u64,
+    /// Ack-mode batches that timed out waiting for the watermark.
+    pub ack_timeouts: u64,
+    /// Per-shard replication watermark (see type docs).
+    pub watermarks: Vec<u64>,
+}
+
 /// Connection accounting shared by the accept loop and both front-ends.
 ///
 /// `current` is a gauge (opened minus closed); the two totals are
@@ -552,6 +590,9 @@ pub struct StatsReport {
     /// Per-io-thread reactor loop counters; empty under the threaded
     /// front-end.
     pub reactor: Vec<ReactorLoopSnapshot>,
+    /// Replication/cluster counters; `None` (serialized as `null`) on a
+    /// standalone server.
+    pub cluster: Option<ClusterSnapshot>,
 }
 
 impl StatsReport {
@@ -630,6 +671,7 @@ impl StatsReport {
             tier: None,
             conns: ConnSnapshot::default(),
             reactor: Vec::new(),
+            cluster: None,
         }
     }
 
@@ -657,6 +699,13 @@ impl StatsReport {
     /// Attaches the per-io-thread reactor loop counters.
     pub fn with_reactor(mut self, reactor: Vec<ReactorLoopSnapshot>) -> Self {
         self.reactor = reactor;
+        self
+    }
+
+    /// Attaches the replication/cluster section (a replicating server fills
+    /// this from its `ReplState`).
+    pub fn with_cluster(mut self, cluster: ClusterSnapshot) -> Self {
+        self.cluster = Some(cluster);
         self
     }
 }
@@ -995,6 +1044,33 @@ mod tests {
         assert_eq!(back, report);
         assert_eq!(back.conns.rejected_total, 2);
         assert_eq!(back.reactor[0].messages, 40);
+    }
+
+    #[test]
+    fn cluster_section_rides_on_the_report() {
+        let report = StatsReport::from_shards(vec![ShardMetrics::default().snapshot(0)]);
+        assert!(report.cluster.is_none());
+        let report = report.with_cluster(ClusterSnapshot {
+            role: "follower".to_string(),
+            ack_mode: true,
+            primary_addr: "127.0.0.1:4000".to_string(),
+            promotions: 0,
+            pulls_served: 0,
+            records_shipped: 0,
+            bytes_shipped: 0,
+            snapshots_shipped: 0,
+            records_applied: 12,
+            snapshots_installed: 1,
+            pull_rejects: 0,
+            ack_timeouts: 0,
+            watermarks: vec![12, 0],
+        });
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        let cluster = back.cluster.unwrap();
+        assert_eq!(cluster.role, "follower");
+        assert_eq!(cluster.watermarks, vec![12, 0]);
     }
 
     #[test]

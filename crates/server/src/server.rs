@@ -44,6 +44,10 @@ use crate::expose::{build_report, render_prometheus_full, StatsSampler};
 use crate::metrics::{ConnCounters, ReactorLoopSnapshot, ShardMetrics, StatsReport};
 use crate::protocol::{encode_value, write_frame, FrameReader, FrameWriter, Request, Response};
 use crate::reactor_front::ReactorConn;
+use crate::repl::{
+    follower_pull_loop, spawn_repl_listener, FollowerConfig, ReplConfig, ReplServer, ReplState,
+    Role,
+};
 use crate::shard::{record_from_bytes, Shard};
 
 /// Seed of the key → shard routing hash. Distinct from the per-shard cache
@@ -150,6 +154,10 @@ pub struct ServerConfig {
     /// connections receive a protocol-level ERR frame and are closed
     /// (counted in STATS as `conns.rejected_total`).
     pub max_conns: usize,
+    /// Cluster replication: a listener that ships this node's WALs, a
+    /// primary to follow, and the ack/failover policy. `None` runs a
+    /// standalone node. Requires `data_dir` (replication ships the WAL).
+    pub repl: Option<ReplConfig>,
 }
 
 impl Default for ServerConfig {
@@ -171,6 +179,7 @@ impl Default for ServerConfig {
             frontend: Frontend::Threads,
             io_threads: 2,
             max_conns: 8192,
+            repl: None,
         }
     }
 }
@@ -186,10 +195,22 @@ pub enum StartMode {
     Recovered,
 }
 
-enum ShardOp {
+pub(crate) enum ShardOp {
     Get(u64),
     Set(u64, Record),
     Del(u64),
+    /// A dense, pre-validated run of replicated WAL records from the
+    /// follower's pull loop. Replies with [`ShardReply::Seq`] — the
+    /// shard's post-apply sequence — once the batch commit released it.
+    ReplApply(Vec<p4lru_durable::WalRecord>),
+    /// A full snapshot shipped by the primary (catch-up past pruned
+    /// history); replaces the shard's durable and in-memory state.
+    ReplSnapshot {
+        /// The snapshot's sequence number.
+        seq: u64,
+        /// The raw `P4LRSNAP` file bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 /// A shard's answer, in the form the connection pump reorders and encodes.
@@ -199,6 +220,10 @@ pub(crate) enum ShardReply {
     Record(Record),
     NotFound,
     Ok,
+    /// The shard's last applied WAL sequence, after a replication op.
+    /// Never rides a client connection (repl ops come from the pull
+    /// loop's own sink), so it has no meaningful wire encoding.
+    Seq(u64),
     /// A pre-encoded response payload (STATS JSON, protocol errors); also
     /// what WAL failures come back as.
     Other(Response),
@@ -209,7 +234,7 @@ impl ShardReply {
         match self {
             ShardReply::Record(record) => encode_value(record, buf),
             ShardReply::NotFound => Response::NotFound.encode(buf),
-            ShardReply::Ok => Response::Ok.encode(buf),
+            ShardReply::Ok | ShardReply::Seq(_) => Response::Ok.encode(buf),
             ShardReply::Other(response) => response.encode(buf),
         }
     }
@@ -246,16 +271,16 @@ impl ReplySink {
     }
 }
 
-struct ShardRequest {
-    op: ShardOp,
+pub(crate) struct ShardRequest {
+    pub(crate) op: ShardOp,
     /// Position in the connection's request order; echoed back so the pump
     /// can reorder replies that raced across shards.
-    seq: u64,
+    pub(crate) seq: u64,
     /// This request's lifecycle trace (decode/route stamped by dispatch).
-    trace: RequestTrace,
+    pub(crate) trace: RequestTrace,
     /// The connection's long-lived reply sink (one per connection, not per
     /// request — dispatch allocates nothing).
-    reply: ReplySink,
+    pub(crate) reply: ReplySink,
 }
 
 /// What the accept loop hands every connection handler.
@@ -275,6 +300,10 @@ pub(crate) struct Ctx {
     reactor: Option<Arc<Reactor<Reply>>>,
     /// `frontend="..."` label for STATS and `/metrics`.
     frontend_name: &'static str,
+    /// Replication state, when the node is part of a cluster: the data
+    /// path checks the role (followers are read-only) and STATS carries
+    /// the cluster section.
+    pub(crate) repl: Option<Arc<ReplState>>,
 }
 
 impl Ctx {
@@ -285,6 +314,9 @@ impl Ctx {
             .with_conns(self.conns.snapshot(self.frontend_name));
         if let Some(reactor) = &self.reactor {
             report = report.with_reactor(reactor_snapshots(reactor));
+        }
+        if let Some(repl) = &self.repl {
+            report = report.with_cluster(repl.snapshot());
         }
         report
     }
@@ -324,6 +356,10 @@ pub struct Server {
     metrics_http: Option<MetricsHttp>,
     sampler: Option<Periodic>,
     start_mode: StartMode,
+    repl: Option<Arc<ReplState>>,
+    repl_addr: Option<SocketAddr>,
+    repl_accept: Option<JoinHandle<()>>,
+    puller: Option<JoinHandle<()>>,
 }
 
 /// Name of the marker file a completed data-dir initialization writes last.
@@ -331,7 +367,7 @@ pub struct Server {
 /// first run and must be rebuilt, not recovered.
 const META_FILE: &str = "meta";
 
-fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+pub(crate) fn shard_dir(root: &Path, shard: usize) -> PathBuf {
     root.join(format!("shard-{shard:03}"))
 }
 
@@ -461,9 +497,35 @@ impl Server {
     pub fn spawn(config: &ServerConfig) -> io::Result<Server> {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.pipeline_window >= 1, "window admits one request");
+        if config.repl.is_some() && config.data_dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication ships the WAL, so it requires a data dir",
+            ));
+        }
         let (shards, start_mode) = build_shards(config)?;
         let metrics: Vec<Arc<ShardMetrics>> = shards.iter().map(Shard::metrics).collect();
         let tracer = Arc::new(Tracer::new(&config.obs));
+
+        // Replication state is built before the shards move into their
+        // threads: a follower's cursors and watermarks start at whatever
+        // each shard durably recovered.
+        let init_seqs: Vec<u64> = shards.iter().map(Shard::last_seq).collect();
+        let repl_state = config.repl.as_ref().map(|rc| {
+            let role = if rc.follow.is_some() {
+                Role::Follower
+            } else {
+                Role::Primary
+            };
+            Arc::new(ReplState::new(
+                role,
+                config.shards,
+                rc.ack,
+                rc.ack_timeout,
+                rc.follow.clone().unwrap_or_default(),
+                &init_seqs,
+            ))
+        });
 
         let mut senders = Vec::with_capacity(config.shards);
         let mut shard_handles = Vec::with_capacity(config.shards);
@@ -471,10 +533,11 @@ impl Server {
             let (tx, rx): (Sender<ShardRequest>, Receiver<ShardRequest>) = mpsc::channel();
             senders.push(tx);
             let tracer = Arc::clone(&tracer);
+            let repl = repl_state.clone();
             shard_handles.push(
                 thread::Builder::new()
                     .name(format!("p4lru-shard-{i}"))
-                    .spawn(move || shard_loop(&mut shard, &rx, &tracer))?,
+                    .spawn(move || shard_loop(&mut shard, i, &rx, &tracer, repl.as_deref()))?,
             );
         }
 
@@ -501,6 +564,7 @@ impl Server {
             conns: Arc::clone(&conns),
             reactor: reactor.clone(),
             frontend_name: config.frontend.name(),
+            repl: repl_state.clone(),
         });
         let accept = {
             let handlers = Arc::clone(&handlers);
@@ -511,6 +575,48 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &ctx, &handlers, max_conns))?
         };
 
+        // Replication threads: the listener serves WAL pulls straight from
+        // the shard directories (regardless of role, so a promoted node
+        // can feed a new follower); the puller tails the primary.
+        let mut repl_addr = None;
+        let mut repl_accept = None;
+        let mut puller = None;
+        if let (Some(rc), Some(state)) = (&config.repl, &repl_state) {
+            if let Some(listen) = &rc.listen {
+                let (addr, handle) = spawn_repl_listener(
+                    listen,
+                    ReplServer {
+                        root: config.data_dir.clone().expect("repl requires a data dir"),
+                        shards: config.shards,
+                        state: Arc::clone(state),
+                        running: Arc::clone(&running),
+                    },
+                )?;
+                repl_addr = Some(addr);
+                repl_accept = Some(handle);
+            }
+            if rc.follow.is_some() {
+                let cfg = FollowerConfig {
+                    primary: state.primary_addr.clone(),
+                    pull_interval: rc.pull_interval,
+                    failover: rc.failover,
+                };
+                let senders = senders.clone();
+                let metrics = metrics.clone();
+                let state = Arc::clone(state);
+                let running = Arc::clone(&running);
+                puller = Some(
+                    thread::Builder::new()
+                        .name("p4lru-repl-pull".to_owned())
+                        .spawn(move || {
+                            follower_pull_loop(
+                                &cfg, &senders, &metrics, &state, &running, init_seqs,
+                            )
+                        })?,
+                );
+            }
+        }
+
         let metrics_http = match &config.metrics_addr {
             Some(addr) => {
                 let metrics = metrics.clone();
@@ -518,6 +624,7 @@ impl Server {
                 let conns = Arc::clone(&conns);
                 let reactor = reactor.clone();
                 let frontend_name = config.frontend.name();
+                let repl = repl_state.clone();
                 Some(MetricsHttp::serve(addr, move || {
                     let reactor_loops = reactor
                         .as_deref()
@@ -529,6 +636,7 @@ impl Server {
                         None,
                         Some(&conns.snapshot(frontend_name)),
                         &reactor_loops,
+                        repl.as_deref().map(ReplState::snapshot).as_ref(),
                     )
                 })?)
             }
@@ -574,6 +682,10 @@ impl Server {
             metrics_http,
             sampler,
             start_mode,
+            repl: repl_state,
+            repl_addr,
+            repl_accept,
+            puller,
         })
     }
 
@@ -587,6 +699,17 @@ impl Server {
         self.start_mode
     }
 
+    /// Where the replication listener is bound, when one was configured
+    /// (resolves a port-0 `repl.listen` to the actual port).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_addr
+    }
+
+    /// The node's current replication role (`None` on a standalone node).
+    pub fn role(&self) -> Option<Role> {
+        self.repl.as_ref().map(|r| r.role())
+    }
+
     /// A stats report straight from the shards' atomic counters, with the
     /// tracer's per-stage summaries attached when tracing is on.
     pub fn stats(&self) -> StatsReport {
@@ -594,6 +717,9 @@ impl Server {
             .with_conns(self.conns.snapshot(self.frontend.name()));
         if let Some(reactor) = &self.reactor {
             report = report.with_reactor(reactor_snapshots(reactor));
+        }
+        if let Some(repl) = &self.repl {
+            report = report.with_cluster(repl.snapshot());
         }
         report
     }
@@ -644,6 +770,19 @@ impl Server {
         if let Some(reactor) = &self.reactor {
             reactor.shutdown();
         }
+        // Replication threads hold shard senders too, so they must exit
+        // before the shard channels can close. The puller notices
+        // `running` within its bounded read timeout; the repl accept
+        // thread blocks in `accept` and needs a wake-up connection.
+        if let Some(puller) = self.puller.take() {
+            let _ = puller.join();
+        }
+        if let Some(accept) = self.repl_accept.take() {
+            if let Some(addr) = self.repl_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = accept.join();
+        }
         // Shard threads exit once every sender is gone (accept loop,
         // handlers, and reactor drivers are done by now, so these are the
         // last clones).
@@ -678,6 +817,25 @@ fn apply(shard: &mut Shard, op: ShardOp) -> ShardReply {
             Ok(false) => ShardReply::NotFound,
             Err(e) => ShardReply::Other(Response::Err(format!("wal append failed: {e}"))),
         },
+        ShardOp::ReplApply(records) => {
+            // Stale records (already applied — re-delivery after a dropped
+            // ack) are skipped; a genuine gap or WAL failure rejects the
+            // rest of the run. Either way the reply carries the shard's
+            // actual position so the puller's cursor resynchronizes.
+            for rec in &records {
+                if let Err(e) = shard.apply_replicated(rec) {
+                    return ShardReply::Other(Response::Err(format!(
+                        "replicated apply stopped at seq {}: {e}",
+                        rec.seq
+                    )));
+                }
+            }
+            ShardReply::Seq(shard.last_seq())
+        }
+        ShardOp::ReplSnapshot { seq, bytes } => match shard.install_shipped_snapshot(seq, &bytes) {
+            Ok(()) => ShardReply::Seq(shard.last_seq()),
+            Err(e) => ShardReply::Other(Response::Err(format!("snapshot install failed: {e}"))),
+        },
     }
 }
 
@@ -690,7 +848,7 @@ fn apply_traced(
     shard: &mut Shard,
     tracer: &Tracer,
     mut req: ShardRequest,
-) -> (ReplySink, u64, ShardReply, RequestTrace) {
+) -> (ReplySink, u64, ShardReply, RequestTrace, bool) {
     tracer.stamp(&mut req.trace, Stage::Queue);
     let mutation = !matches!(req.op, ShardOp::Get(_));
     let reply = apply(shard, req.op);
@@ -700,7 +858,7 @@ fn apply_traced(
         }
     }
     tracer.stamp(&mut req.trace, Stage::Apply);
-    (req.reply, req.seq, reply, req.trace)
+    (req.reply, req.seq, reply, req.trace, mutation)
 }
 
 /// Drains the request channel in batches: apply every request in the batch,
@@ -710,9 +868,16 @@ fn apply_traced(
 /// connections are what make these batches deep: a closed-loop client
 /// contributes at most one request per batch, a `--pipeline 32` client up
 /// to its whole window.
-fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>, tracer: &Tracer) {
+fn shard_loop(
+    shard: &mut Shard,
+    shard_idx: usize,
+    rx: &Receiver<ShardRequest>,
+    tracer: &Tracer,
+    repl: Option<&ReplState>,
+) {
     let metrics = shard.metrics();
-    let mut batch: Vec<(ReplySink, u64, ShardReply, RequestTrace)> = Vec::with_capacity(MAX_BATCH);
+    let mut batch: Vec<(ReplySink, u64, ShardReply, RequestTrace, bool)> =
+        Vec::with_capacity(MAX_BATCH);
     while let Ok(req) = rx.recv() {
         metrics.queue_pop();
         batch.push(apply_traced(shard, tracer, req));
@@ -726,12 +891,38 @@ fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>, tracer: &Tracer) {
                 Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
             }
         }
-        if let Err(e) = shard.commit_batch(batch.len()) {
-            // The batch's appends may not have reached disk: none of these
-            // requests may be acknowledged as succeeding.
-            let msg = format!("wal commit failed: {e}");
-            for (_, _, reply, _) in &mut batch {
-                *reply = ShardReply::Other(Response::Err(msg.clone()));
+        match shard.commit_batch(batch.len()) {
+            Err(e) => {
+                // The batch's appends may not have reached disk: none of
+                // these requests may be acknowledged as succeeding.
+                let msg = format!("wal commit failed: {e}");
+                for (_, _, reply, _, _) in &mut batch {
+                    *reply = ShardReply::Other(Response::Err(msg.clone()));
+                }
+            }
+            Ok(()) => {
+                // `--replicate ack`: a primary holds the batch's mutation
+                // acks until the follower's durable watermark covers it.
+                // On timeout the mutations get an error instead of an ack
+                // — they are locally durable but their replication is
+                // unconfirmed, and an un-acked write may exist after
+                // failover (the same one-sided contract a kill -9 leaves
+                // for in-flight ops).
+                if let Some(state) = repl {
+                    let gated = state.ack_mode
+                        && state.role() == Role::Primary
+                        && batch.iter().any(|(_, _, _, _, m)| *m);
+                    if gated && !state.wait_watermark(shard_idx, shard.last_seq()) {
+                        let msg = "replication ack timeout: write is durable locally \
+                                   but unconfirmed on the follower"
+                            .to_owned();
+                        for (_, _, reply, _, mutation) in &mut batch {
+                            if *mutation {
+                                *reply = ShardReply::Other(Response::Err(msg.clone()));
+                            }
+                        }
+                    }
+                }
             }
         }
         // The commit gate: whether or not the sync policy issued a physical
@@ -739,7 +930,7 @@ fn shard_loop(shard: &mut Shard, rx: &Receiver<ShardRequest>, tracer: &Tracer) {
         // were released (the latency the client pays for group commit). One
         // batch, one instant, every trace.
         let gate = std::time::Instant::now();
-        for (reply, seq, response, mut trace) in batch.drain(..) {
+        for (reply, seq, response, mut trace, _) in batch.drain(..) {
             tracer.stamp_at(&mut trace, Stage::Fsync, gate);
             // A vanished handler (client hung up mid-request) is not an error.
             reply.send((seq, response, trace));
@@ -1054,6 +1245,24 @@ pub(crate) fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
         // skip the shard pipeline, so their stage stamps would be noise.
         Request::Stats | Request::Shutdown => None,
     };
+    // A follower's store is a replica of the primary's WAL: client writes
+    // would fork the history, so they bounce with a redirect hint. Reads
+    // stay open (the replica lags, but serves).
+    if matches!(kind, Some(OpKind::Set) | Some(OpKind::Del)) {
+        if let Some(repl) = ctx.repl.as_deref() {
+            if repl.role() == Role::Follower {
+                conn.park(
+                    seq,
+                    ShardReply::Other(Response::Err(format!(
+                        "READONLY follower; primary is {}",
+                        repl.primary_addr
+                    ))),
+                    RequestTrace::disabled(),
+                );
+                return;
+            }
+        }
+    }
     let op = match request {
         Request::Get { key } => ShardOp::Get(key),
         Request::Set { key, value } => ShardOp::Set(key, record_from_bytes(&value)),
@@ -1105,6 +1314,11 @@ pub(crate) fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
 fn op_key(op: &ShardOp) -> u64 {
     match op {
         ShardOp::Get(key) | ShardOp::Set(key, _) | ShardOp::Del(key) => *key,
+        // Replication ops come from the follower pull loop already addressed
+        // to a shard; they never pass through key routing.
+        ShardOp::ReplApply(_) | ShardOp::ReplSnapshot { .. } => {
+            unreachable!("replication ops are routed by shard index, not key")
+        }
     }
 }
 

@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use p4lru_core::array::P4Lru3Array;
 use p4lru_core::unit::Outcome;
-use p4lru_durable::{DurabilityConfig, Recovery, ShardLog};
+use p4lru_durable::{DurabilityConfig, Recovery, ShardLog, WalOp, WalRecord};
 use p4lru_kvstore::slab::Record;
 use p4lru_kvstore::{Addr48, Database, VALUE_SIZE};
 
@@ -260,6 +260,71 @@ impl Shard {
         Ok(())
     }
 
+    /// Sequence number of this shard's last WAL append (`0` without
+    /// durability — replication requires a WAL, so a non-durable shard
+    /// never reports progress).
+    pub fn last_seq(&self) -> u64 {
+        self.log.as_ref().map(ShardLog::last_seq).unwrap_or(0)
+    }
+
+    /// Applies one WAL record shipped from a primary: re-append it to the
+    /// local WAL under the *same* sequence number, then mutate the store the
+    /// same way the original request did. Returns `Ok(false)` for a record
+    /// at or below the local sequence (a re-delivered pull after a broken
+    /// connection — skipping keeps the apply idempotent), `Ok(true)` when
+    /// applied, and an error for a sequence gap (the puller must resync its
+    /// cursor) or a shard without durability.
+    pub fn apply_replicated(&mut self, rec: &WalRecord) -> io::Result<bool> {
+        let Some(log) = &mut self.log else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication requires a durable shard",
+            ));
+        };
+        if rec.seq <= log.last_seq() {
+            return Ok(false);
+        }
+        log.append_replicated(rec.seq, &rec.op)?;
+        self.metrics.wal_append();
+        match rec.op {
+            WalOp::Set { key, record } => {
+                let u = self.db.upsert(key, record);
+                self.metrics.set(if u.existed { 0 } else { u.index_visits });
+                self.install(key, u.addr);
+            }
+            WalOp::Del { key } => {
+                self.metrics.del();
+                // Same invalidate-before-free order as [`Shard::del`]: the
+                // slab reuses freed addresses.
+                self.cache.remove(&key);
+                self.db.remove(key);
+            }
+        }
+        self.metrics.store_len_set(self.db.len());
+        self.sync_index_stats();
+        Ok(true)
+    }
+
+    /// Replaces this shard's entire state with a snapshot shipped from a
+    /// primary (catch-up after the primary pruned the WAL history behind
+    /// this follower's cursor). The snapshot bytes are validated (magic,
+    /// CRC, sequence) and installed crash-atomically before the local WAL
+    /// is truncated; the front cache starts cold.
+    pub fn install_shipped_snapshot(&mut self, seq: u64, bytes: &[u8]) -> io::Result<()> {
+        let Some(log) = &mut self.log else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication requires a durable shard",
+            ));
+        };
+        let entries = log.reset_to_snapshot(seq, bytes)?;
+        self.db = Database::from_sorted_entries(entries);
+        self.cache.drain();
+        self.metrics.store_len_set(self.db.len());
+        self.sync_index_stats();
+        Ok(())
+    }
+
     /// A snapshot of this shard's counters.
     pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
         self.metrics.snapshot(shard)
@@ -447,6 +512,117 @@ mod tests {
         assert_eq!(s.recovery_torn, 0);
         // The replayed keys were re-installed: reading them hits the cache.
         assert!(s.hits >= 2, "recovered hot keys hit, got {}", s.hits);
+    }
+
+    #[test]
+    fn replicated_records_apply_skip_stale_and_reject_gaps() {
+        let tmp = TempDir::new("repl-apply");
+        let config = DurabilityConfig::default();
+        let mut shard = loaded_shard(5);
+        shard.enable_durability_fresh(&tmp.0, &config).unwrap();
+
+        let set = |seq, key| WalRecord {
+            seq,
+            op: WalOp::Set {
+                key,
+                record: record_for(key + 1000),
+            },
+        };
+        assert!(shard.apply_replicated(&set(1, 100)).unwrap());
+        assert!(shard.apply_replicated(&set(2, 101)).unwrap());
+        assert_eq!(shard.last_seq(), 2);
+        assert_eq!(shard.get(100), Some(record_for(1100)));
+
+        // Re-delivery of an already-applied record is a no-op, not damage.
+        assert!(!shard.apply_replicated(&set(2, 101)).unwrap());
+        assert_eq!(shard.last_seq(), 2);
+
+        // A DEL replicates with the same invalidate-before-free order.
+        let del = WalRecord {
+            seq: 3,
+            op: WalOp::Del { key: 100 },
+        };
+        assert!(shard.apply_replicated(&del).unwrap());
+        assert_eq!(shard.get(100), None);
+
+        // A sequence gap is refused (the puller resyncs its cursor).
+        assert!(shard.apply_replicated(&set(9, 102)).is_err());
+        assert_eq!(shard.last_seq(), 3, "a refused record appends nothing");
+
+        // The replicated history is durable: the shard loop commits each
+        // applied batch, and recovery replays it.
+        shard.commit().unwrap();
+        drop(shard);
+        let mut shard = Shard::recover(64, 0xBEEF, &tmp.0, &config).unwrap();
+        assert_eq!(shard.get(101), Some(record_for(1101)));
+        assert_eq!(shard.get(100), None);
+    }
+
+    #[test]
+    fn shipped_snapshot_replaces_state_and_resets_the_log() {
+        let tmp_primary = TempDir::new("repl-snap-src");
+        let tmp_follower = TempDir::new("repl-snap-dst");
+        let config = DurabilityConfig::default();
+
+        // The "primary": 30 records sealed into a snapshot at seq 4.
+        let mut primary = loaded_shard(30);
+        primary
+            .enable_durability_fresh(&tmp_primary.0, &config)
+            .unwrap();
+        for seq in 1..=4 {
+            primary.set(seq + 200, record_for(seq + 200)).unwrap();
+        }
+        primary.commit().unwrap();
+        if let Some(log) = &mut primary.log {
+            log.snapshot(&primary.db).unwrap();
+        }
+        let (seq, path) = p4lru_durable::snapshot::list_snapshots(&tmp_primary.0)
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(seq, 4);
+        let bytes = std::fs::read(path).unwrap();
+
+        // The "follower": diverged junk state that must disappear.
+        let mut follower = loaded_shard(3);
+        follower
+            .enable_durability_fresh(&tmp_follower.0, &config)
+            .unwrap();
+        follower.set(999, record_for(999)).unwrap();
+        follower.get(999); // cache it, so drain() has something to clear
+        follower.install_shipped_snapshot(seq, &bytes).unwrap();
+
+        assert_eq!(follower.store_len(), 34);
+        assert_eq!(follower.last_seq(), seq);
+        assert_eq!(follower.get(999), None, "pre-snapshot state is gone");
+        assert_eq!(follower.get(201), Some(record_for(201)));
+
+        // The log continues from the snapshot's sequence.
+        let next = WalRecord {
+            seq: seq + 1,
+            op: WalOp::Set {
+                key: 777,
+                record: record_for(777),
+            },
+        };
+        assert!(follower.apply_replicated(&next).unwrap());
+        follower.commit().unwrap();
+        drop(follower);
+        let mut follower = Shard::recover(64, 0xBEEF, &tmp_follower.0, &config).unwrap();
+        assert_eq!(follower.get(777), Some(record_for(777)));
+        assert_eq!(follower.store_len(), 35);
+    }
+
+    #[test]
+    fn replication_needs_a_durable_shard() {
+        let mut shard = loaded_shard(2);
+        let rec = WalRecord {
+            seq: 1,
+            op: WalOp::Del { key: 0 },
+        };
+        assert!(shard.apply_replicated(&rec).is_err());
+        assert!(shard.install_shipped_snapshot(1, &[]).is_err());
+        assert_eq!(shard.last_seq(), 0);
     }
 
     #[test]

@@ -109,15 +109,30 @@ fn kill9_mid_load_loses_no_acknowledged_write() {
     // Writer thread: fresh keys (outside the populated 0..1000 space) with
     // occasional deletes, recording only *acknowledged* operations. Runs
     // until the SIGKILL severs the connection.
+    //
+    // The operation that *fails* (the one in flight when the SIGKILL lands)
+    // is indeterminate: the server may have applied and logged it without
+    // its ack ever reaching us, and recovery legitimately replays every
+    // valid record in the WAL — fsynced or not (kill -9 preserves the page
+    // cache). The durability contract is one-sided: acked ⇒ durable; not
+    // acked ⇒ unknown. An earlier version of this test got that wrong and
+    // asserted the prior acked state of the in-flight key, which flaked
+    // ~1/13 runs whenever the kill severed a DEL's ack after the server
+    // had already logged it (the "lost" key was always `1_000_000 + i/2`
+    // for the final `i % 7 == 3` iteration — the victim of the in-flight
+    // DEL). The in-flight key is returned separately and audited only for
+    // present-implies-correct-value.
     let writer = {
         std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("writer connects");
             // key -> should it exist after recovery?
             let mut acked: HashMap<u64, bool> = HashMap::new();
+            let in_flight;
             let mut i = 0u64;
             loop {
                 let key = 1_000_000 + i;
                 if client.set(key, &record_for(key)).is_err() {
+                    in_flight = key;
                     break;
                 }
                 acked.insert(key, true);
@@ -129,7 +144,10 @@ fn kill9_mid_load_loses_no_acknowledged_write() {
                         Ok(_) => {
                             acked.insert(victim, false);
                         }
-                        Err(_) => break,
+                        Err(_) => {
+                            in_flight = victim;
+                            break;
+                        }
                     }
                 }
                 i += 1;
@@ -137,7 +155,7 @@ fn kill9_mid_load_loses_no_acknowledged_write() {
                 // round-trip, so the SIGKILL's socket teardown surfaces as
                 // an error on the very next operation.
             }
-            acked
+            (acked, in_flight)
         })
     };
 
@@ -146,7 +164,10 @@ fn kill9_mid_load_loses_no_acknowledged_write() {
     std::thread::sleep(std::time::Duration::from_millis(700));
     child.kill().expect("SIGKILL the server");
     child.wait().expect("reap the server");
-    let acked = writer.join().expect("writer thread");
+    let (mut acked, in_flight) = writer.join().expect("writer thread");
+    // The in-flight op's outcome is unknowable; drop the key from the
+    // strict audit (it is checked separately below).
+    acked.remove(&in_flight);
     assert!(
         acked.len() > 20,
         "need meaningful load before the kill, got {} acked ops",
@@ -176,6 +197,16 @@ fn kill9_mid_load_loses_no_acknowledged_write() {
         }
     }
     assert!(live > 0 && deleted > 0, "both op kinds must be audited");
+
+    // The in-flight key may or may not have been applied, but if it is
+    // present it must carry the correct record, never a torn one.
+    if let Some(v) = client.get(in_flight).expect("GET in-flight key") {
+        assert_eq!(
+            &v[..],
+            &record_for(in_flight)[..],
+            "in-flight key {in_flight} recovered with a corrupt value"
+        );
+    }
 
     // Pre-populated keys still present (snapshot path).
     assert_eq!(

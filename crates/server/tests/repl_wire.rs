@@ -1,0 +1,337 @@
+//! Replication wire-format hostility tests (DESIGN.md §14).
+//!
+//! Two directions of distrust:
+//!
+//! * the **primary's listener** is poked with garbage (client-protocol
+//!   magic, torn headers, malformed pulls, out-of-range shards, stale
+//!   cursors) and must answer each with a clean close or an ERR response —
+//!   never damage, never a hang;
+//! * a **real follower** is pointed at a *scripted fake primary* that ships
+//!   a CRC-corrupt batch, a torn (mid-record truncated) batch, and a
+//!   wrong-position batch before finally behaving. Every bad shipment must
+//!   be rejected wholesale — follower state untouched, cursor unmoved —
+//!   and the good shipment must then apply cleanly on a fresh connection.
+
+#![cfg(unix)]
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p4lru_durable::record::encode_into;
+use p4lru_durable::WalOp;
+use p4lru_kvstore::db::record_for;
+use p4lru_server::client::Client;
+use p4lru_server::repl::{
+    read_repl_frame, write_repl_frame, PullRequest, PullResponse, ReplConfig, REPL_MAGIC,
+};
+use p4lru_server::server::{Server, ServerConfig};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "p4lru-replwire-{label}-{}-{:x}",
+            std::process::id(),
+            &raw const label as usize
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn one_shard_config(data_dir: &Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 1,
+        items: 50,
+        units_per_shard: 64,
+        data_dir: Some(data_dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+fn pull(stream: &mut TcpStream, req: &PullRequest) -> PullResponse {
+    let mut buf = Vec::new();
+    req.encode(&mut buf);
+    write_repl_frame(stream, &buf).unwrap();
+    let mut frame = Vec::new();
+    assert!(
+        read_repl_frame(stream, &mut frame).unwrap(),
+        "listener answered"
+    );
+    PullResponse::decode(&frame).unwrap()
+}
+
+#[test]
+fn repl_listener_survives_garbage_and_answers_stale_pulls() {
+    let tmp = TempDir::new("listener");
+    let mut config = one_shard_config(&tmp.0);
+    config.repl = Some(ReplConfig {
+        listen: Some("127.0.0.1:0".to_owned()),
+        ..ReplConfig::default()
+    });
+    let server = Server::spawn(&config).unwrap();
+    let repl_addr = server.repl_addr().unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    for key in 500..510u64 {
+        c.set(key, &record_for(key)).unwrap();
+    }
+
+    let mut s = TcpStream::connect(repl_addr).unwrap();
+
+    // A fresh cursor sees the ten records, CRC-valid and dense.
+    match pull(
+        &mut s,
+        &PullRequest {
+            shard: 0,
+            from_seq: 1,
+            durable_seq: 0,
+            max_bytes: 1 << 20,
+        },
+    ) {
+        PullResponse::Records {
+            first_seq,
+            last_seq,
+            bytes,
+        } => {
+            assert_eq!((first_seq, last_seq), (1, 10));
+            let records = p4lru_durable::reader::decode_batch(&bytes, 1).unwrap();
+            assert_eq!(records.len(), 10);
+        }
+        other => panic!("expected records, got {other:?}"),
+    }
+
+    // A stale cursor (past the tail) is UP_TO_DATE, not an error and not a
+    // replay from the wrong position.
+    assert_eq!(
+        pull(
+            &mut s,
+            &PullRequest {
+                shard: 0,
+                from_seq: 10_000,
+                durable_seq: 9_999,
+                max_bytes: 1 << 20,
+            },
+        ),
+        PullResponse::UpToDate
+    );
+
+    // An out-of-range shard and a malformed payload each get an ERR frame
+    // on a connection that stays usable.
+    assert!(matches!(
+        pull(
+            &mut s,
+            &PullRequest {
+                shard: 7,
+                from_seq: 1,
+                durable_seq: 0,
+                max_bytes: 1 << 20,
+            },
+        ),
+        PullResponse::Err(_)
+    ));
+    write_repl_frame(&mut s, &[0xEE, 1, 2, 3]).unwrap();
+    let mut frame = Vec::new();
+    assert!(read_repl_frame(&mut s, &mut frame).unwrap());
+    assert!(matches!(
+        PullResponse::decode(&frame).unwrap(),
+        PullResponse::Err(_)
+    ));
+
+    // Client-protocol magic on the replication port: closed, fast.
+    let mut wrong = TcpStream::connect(repl_addr).unwrap();
+    std::io::Write::write_all(&mut wrong, &[0xB1, 4, 0, 0, 0, 1, 2, 3, 4]).unwrap();
+    wrong
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut sink = [0u8; 16];
+    assert_eq!(wrong.read(&mut sink).unwrap_or(0), 0, "peer closed");
+
+    // A torn header (connection dropped mid-frame) leaves no mark: the
+    // next connection is served normally.
+    let mut torn = TcpStream::connect(repl_addr).unwrap();
+    std::io::Write::write_all(&mut torn, &[REPL_MAGIC, 25, 0]).unwrap();
+    drop(torn);
+    let mut again = TcpStream::connect(repl_addr).unwrap();
+    assert!(matches!(
+        pull(
+            &mut again,
+            &PullRequest {
+                shard: 0,
+                from_seq: 11,
+                durable_seq: 10,
+                max_bytes: 1 << 20,
+            },
+        ),
+        PullResponse::UpToDate
+    ));
+
+    server.shutdown();
+}
+
+/// Encodes `n` SET records starting at sequence `first` in on-disk WAL
+/// framing — exactly what an honest primary would ship.
+fn good_batch(first: u64, n: u64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for seq in first..first + n {
+        encode_into(
+            &mut bytes,
+            seq,
+            &WalOp::Set {
+                key: 9_000 + seq,
+                record: record_for(9_000 + seq),
+            },
+        );
+    }
+    bytes
+}
+
+/// A scripted fake primary: each accepted connection serves shard 0's first
+/// pull from the script (corrupt CRC → torn record → wrong position → good
+/// batch), then UP_TO_DATE forever. A real follower must reject the first
+/// three wholesale and apply the fourth.
+fn spawn_scripted_primary() -> (SocketAddr, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let conns = Arc::new(AtomicU64::new(0));
+    let conns_out = Arc::clone(&conns);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let conn = conns.fetch_add(1, Ordering::SeqCst);
+            let mut frame = Vec::new();
+            let mut out = Vec::new();
+            let mut served_records = false;
+            while let Ok(true) = read_repl_frame(&mut stream, &mut frame) {
+                let Ok(req) = PullRequest::decode(&frame) else {
+                    break;
+                };
+                let response = if served_records || req.from_seq > 3 {
+                    PullResponse::UpToDate
+                } else {
+                    served_records = true;
+                    match conn {
+                        0 => {
+                            // CRC-corrupt: valid framing, one flipped
+                            // payload byte.
+                            let mut bytes = good_batch(req.from_seq, 3);
+                            bytes[12] ^= 0xFF;
+                            PullResponse::Records {
+                                first_seq: req.from_seq,
+                                last_seq: req.from_seq + 2,
+                                bytes,
+                            }
+                        }
+                        1 => {
+                            // Torn: the last record is cut mid-payload, the
+                            // way a crashed primary's tail would look.
+                            let mut bytes = good_batch(req.from_seq, 3);
+                            bytes.truncate(bytes.len() - 7);
+                            PullResponse::Records {
+                                first_seq: req.from_seq,
+                                last_seq: req.from_seq + 2,
+                                bytes,
+                            }
+                        }
+                        2 => {
+                            // Wrong position: intact records, but not the
+                            // run the follower asked for.
+                            PullResponse::Records {
+                                first_seq: req.from_seq + 5,
+                                last_seq: req.from_seq + 7,
+                                bytes: good_batch(req.from_seq + 5, 3),
+                            }
+                        }
+                        _ => PullResponse::Records {
+                            first_seq: req.from_seq,
+                            last_seq: req.from_seq + 2,
+                            bytes: good_batch(req.from_seq, 3),
+                        },
+                    }
+                };
+                response.encode(&mut out);
+                if write_repl_frame(&mut stream, &out).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, conns_out)
+}
+
+#[test]
+fn corrupt_torn_and_misplaced_shipments_never_damage_the_follower() {
+    let (fake_primary, conns) = spawn_scripted_primary();
+    let tmp = TempDir::new("hostile");
+    let mut config = one_shard_config(&tmp.0);
+    config.repl = Some(ReplConfig {
+        follow: Some(fake_primary.to_string()),
+        // Far above the scripted rejection phase: this test is about
+        // validation, not promotion.
+        failover: Duration::from_secs(30),
+        ..ReplConfig::default()
+    });
+    let follower = Server::spawn(&config).unwrap();
+    let mut f = Client::connect(follower.local_addr()).unwrap();
+
+    // The follower must chew through the three hostile connections and
+    // apply the fourth, honest one.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let cluster = loop {
+        let report = f.stats().unwrap();
+        let cluster = report.cluster.clone().unwrap();
+        if cluster.records_applied == 3 {
+            break cluster;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never caught up: {cluster:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    assert_eq!(
+        cluster.pull_rejects, 3,
+        "each hostile shipment counts one wholesale rejection"
+    );
+    assert_eq!(cluster.watermarks, vec![3]);
+    assert_eq!(cluster.snapshots_installed, 0);
+    assert!(
+        conns.load(Ordering::SeqCst) >= 4,
+        "three reconnects happened"
+    );
+
+    // The store holds exactly the honest records — nothing from the
+    // corrupt, torn, or misplaced shipments leaked in.
+    for seq in 1..=3u64 {
+        let key = 9_000 + seq;
+        assert_eq!(
+            f.get(key).unwrap().as_deref(),
+            Some(&record_for(key)[..]),
+            "honest record {seq} applied"
+        );
+    }
+    assert_eq!(
+        f.get(9_000 + 6).unwrap(),
+        None,
+        "misplaced run never applied"
+    );
+
+    // And the follower remains a healthy replica: no spurious promotion.
+    assert_eq!(cluster.role, "follower");
+    assert_eq!(cluster.promotions, 0);
+
+    follower.shutdown();
+}

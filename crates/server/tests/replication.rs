@@ -1,0 +1,378 @@
+//! Replication integration tests: WAL shipping from a primary to a live
+//! follower, snapshot catch-up when the primary has pruned its history, the
+//! follower's read-only contract, and the headline failover audit — kill -9
+//! a primary under `--replicate ack` load and verify that no acknowledged
+//! write is missing from the promoted follower.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use p4lru_kvstore::db::record_for;
+use p4lru_server::client::Client;
+use p4lru_server::repl::ReplConfig;
+use p4lru_server::server::{Server, ServerConfig};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "p4lru-repl-{label}-{}-{:x}",
+            std::process::id(),
+            &raw const label as usize
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn base_config(data_dir: &Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 2,
+        items: 200,
+        units_per_shard: 64,
+        data_dir: Some(data_dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+fn primary_config(data_dir: &Path, ack: bool) -> ServerConfig {
+    let mut config = base_config(data_dir);
+    config.repl = Some(ReplConfig {
+        listen: Some("127.0.0.1:0".to_owned()),
+        ack,
+        ..ReplConfig::default()
+    });
+    config
+}
+
+fn follower_config(data_dir: &Path, primary_repl: SocketAddr) -> ServerConfig {
+    let mut config = base_config(data_dir);
+    config.repl = Some(ReplConfig {
+        follow: Some(primary_repl.to_string()),
+        failover: Duration::from_millis(600),
+        ..ReplConfig::default()
+    });
+    config
+}
+
+/// Polls `check` against fresh STATS until it passes or the deadline hits.
+fn wait_for(client: &mut Client, what: &str, check: impl Fn(&p4lru_server::StatsReport) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = client.stats().expect("STATS while waiting");
+        if check(&report) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn follower_catches_up_and_stays_read_only() {
+    let tmp = TempDir::new("catchup");
+    let primary = Server::spawn(&primary_config(&tmp.0.join("a"), false)).unwrap();
+    let repl_addr = primary.repl_addr().expect("primary ships WAL");
+    let follower = Server::spawn(&follower_config(&tmp.0.join("b"), repl_addr)).unwrap();
+
+    let mut p = Client::connect(primary.local_addr()).unwrap();
+    for key in 1_000..1_032u64 {
+        p.set(key, &record_for(key)).unwrap();
+    }
+    p.del(1_003).unwrap();
+    p.del(1_017).unwrap();
+
+    // 34 mutations must arrive; the follower acks its durable watermark
+    // back on every pull, so the primary's counters see shipping too.
+    let mut f = Client::connect(follower.local_addr()).unwrap();
+    wait_for(&mut f, "34 records applied", |r| {
+        r.cluster.as_ref().map(|c| c.records_applied) == Some(34)
+    });
+
+    for key in 1_000..1_032u64 {
+        let got = f.get(key).expect("follower GET");
+        if key == 1_003 || key == 1_017 {
+            assert_eq!(got, None, "replicated DEL of {key} must hold");
+        } else {
+            assert_eq!(
+                got.as_deref(),
+                Some(&record_for(key)[..]),
+                "replicated SET of {key} must hold"
+            );
+        }
+    }
+
+    // The follower refuses client mutations and names its primary.
+    let err = f
+        .set(9, &record_for(9))
+        .expect_err("follower SET must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("READONLY"), "got {msg:?}");
+    assert!(msg.contains(&repl_addr.to_string()), "got {msg:?}");
+    assert!(f.del(9).is_err(), "follower DEL must fail");
+    assert_eq!(
+        f.get(7).unwrap().as_deref(),
+        Some(&record_for(7)[..]),
+        "follower reads stay open"
+    );
+
+    let fc = f
+        .stats()
+        .unwrap()
+        .cluster
+        .expect("follower cluster section");
+    assert_eq!(fc.role, "follower");
+    assert!(!fc.ack_mode);
+    assert_eq!(fc.promotions, 0);
+    assert_eq!(fc.snapshots_installed, 0, "live tailing needs no snapshot");
+    assert_eq!(fc.watermarks.iter().sum::<u64>(), 34);
+
+    // The follower's durable watermark flows back on its next pull, so the
+    // primary's copy trails by at most one pull interval.
+    wait_for(&mut p, "durable watermark echoed to the primary", |r| {
+        r.cluster
+            .as_ref()
+            .is_some_and(|c| c.watermarks.iter().sum::<u64>() == 34)
+    });
+    let pc = p.stats().unwrap().cluster.expect("primary cluster section");
+    assert_eq!(pc.role, "primary");
+    assert_eq!(pc.records_shipped, 34);
+    assert!(pc.bytes_shipped > 0);
+    assert!(pc.pulls_served > 0);
+
+    primary.shutdown();
+    follower.shutdown();
+}
+
+#[test]
+fn follower_bootstraps_from_a_shipped_snapshot_when_history_is_pruned() {
+    let tmp = TempDir::new("snapcatchup");
+    let mut config = primary_config(&tmp.0.join("a"), false);
+    // A tiny snapshot cadence prunes the WAL history almost immediately, so
+    // a fresh follower's from-the-beginning cursor cannot be served from
+    // records and must take the snapshot path.
+    config.durability.snapshot_every = 16;
+    let primary = Server::spawn(&config).unwrap();
+    let mut p = Client::connect(primary.local_addr()).unwrap();
+    for key in 5_000..5_080u64 {
+        p.set(key, &record_for(key)).unwrap();
+    }
+
+    let follower = Server::spawn(&follower_config(
+        &tmp.0.join("b"),
+        primary.repl_addr().unwrap(),
+    ))
+    .unwrap();
+    let mut f = Client::connect(follower.local_addr()).unwrap();
+    wait_for(&mut f, "snapshot install + tail catch-up", |r| {
+        r.cluster
+            .as_ref()
+            .is_some_and(|c| c.snapshots_installed >= 1 && c.watermarks.iter().sum::<u64>() == 80)
+    });
+
+    for key in 5_000..5_080u64 {
+        assert_eq!(
+            f.get(key).expect("follower GET").as_deref(),
+            Some(&record_for(key)[..]),
+            "key {key} must survive the snapshot + tail path"
+        );
+    }
+    assert!(
+        p.stats().unwrap().cluster.unwrap().snapshots_shipped >= 1,
+        "the primary must have shipped at least one snapshot"
+    );
+
+    primary.shutdown();
+    follower.shutdown();
+}
+
+/// Spawns a `p4lru_serverd` child with replication flags and parses the
+/// client listen address and (when primary) the replication address from
+/// its stdout.
+fn spawn_node(data_dir: &Path, repl_args: &[&str]) -> (Child, SocketAddr, Option<SocketAddr>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_p4lru_serverd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--items",
+            "200",
+            "--units",
+            "64",
+            "--sync",
+            "always",
+            "--data-dir",
+        ])
+        .arg(data_dir)
+        .args(repl_args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serverd spawns");
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr = None;
+    let mut repl_addr = None;
+    while addr.is_none() || repl_addr.is_none() {
+        let Some(line) = lines.next() else {
+            break; // a follower prints no "shipping on" line
+        };
+        let line = line.expect("serverd stdout is readable");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            addr = Some(
+                rest.split_whitespace()
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .expect("listen address parses"),
+            );
+        }
+        if let Some(rest) = line.split("shipping on ").nth(1) {
+            repl_addr = Some(
+                rest.split_whitespace()
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .expect("replication address parses"),
+            );
+        }
+        // Both interesting lines print before the daemon blocks serving, a
+        // follower's role line carries no address to wait for.
+        if addr.is_some() && line.contains("role=follower") {
+            break;
+        }
+    }
+    std::thread::spawn(move || for _ in lines {});
+    (
+        child,
+        addr.expect("serverd printed its listen line"),
+        repl_addr,
+    )
+}
+
+#[test]
+fn kill9_primary_under_ack_load_loses_no_acknowledged_write() {
+    let tmp = TempDir::new("failover");
+    let (mut primary, primary_addr, repl_addr) = spawn_node(
+        &tmp.0.join("a"),
+        &[
+            "--repl-addr",
+            "127.0.0.1:0",
+            "--replicate",
+            "ack",
+            "--ack-timeout-ms",
+            "4000",
+        ],
+    );
+    let repl_addr = repl_addr.expect("primary prints its replication address");
+    let follow = repl_addr.to_string();
+    let (mut follower, follower_addr, _) = spawn_node(
+        &tmp.0.join("b"),
+        &["--follow", &follow, "--failover-ms", "500"],
+    );
+
+    // Writer against the primary: every *acknowledged* op is, by the ack
+    // contract, durable on the follower before the ack was released. The
+    // op in flight when the SIGKILL lands is indeterminate (same one-sided
+    // contract as the crash-recovery test) and is audited separately.
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::connect(primary_addr).expect("writer connects");
+        let mut acked: HashMap<u64, bool> = HashMap::new();
+        let in_flight;
+        let mut i = 0u64;
+        loop {
+            let key = 1_000_000 + i;
+            if client.set(key, &record_for(key)).is_err() {
+                in_flight = key;
+                break;
+            }
+            acked.insert(key, true);
+            if i % 7 == 3 {
+                let victim = 1_000_000 + i / 2;
+                match client.del(victim) {
+                    Ok(_) => {
+                        acked.insert(victim, false);
+                    }
+                    Err(_) => {
+                        in_flight = victim;
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+        (acked, in_flight)
+    });
+
+    std::thread::sleep(Duration::from_millis(900));
+    primary.kill().expect("SIGKILL the primary");
+    primary.wait().expect("reap the primary");
+    let (mut acked, in_flight) = writer.join().expect("writer thread");
+    acked.remove(&in_flight);
+    assert!(
+        acked.len() > 10,
+        "need meaningful acked load before the kill, got {}",
+        acked.len()
+    );
+
+    // The follower notices the dead primary and promotes itself.
+    let mut f = Client::connect(follower_addr).expect("survivor connects");
+    wait_for(&mut f, "follower promotion", |r| {
+        r.cluster.as_ref().map(|c| c.role.as_str()) == Some("primary")
+    });
+    let cluster = f.stats().unwrap().cluster.unwrap();
+    assert_eq!(cluster.promotions, 1);
+
+    // The audit: every acknowledged write is on the promoted node.
+    let (mut live, mut deleted) = (0u64, 0u64);
+    for (&key, &should_exist) in &acked {
+        let got = f.get(key).expect("GET on the promoted follower");
+        if should_exist {
+            assert_eq!(
+                got.as_deref(),
+                Some(&record_for(key)[..]),
+                "replication-acked SET of key {key} is missing after failover"
+            );
+            live += 1;
+        } else {
+            assert_eq!(
+                got, None,
+                "replication-acked DEL of key {key} was resurrected by failover"
+            );
+            deleted += 1;
+        }
+    }
+    assert!(live > 0 && deleted > 0, "both op kinds must be audited");
+
+    // If the in-flight op made it across, it must be intact, never torn.
+    if let Some(v) = f.get(in_flight).expect("GET in-flight key") {
+        assert_eq!(&v[..], &record_for(in_flight)[..]);
+    }
+
+    // A promoted node accepts writes: it *is* the primary now.
+    f.set(42_000, &record_for(42_000))
+        .expect("promoted follower takes writes");
+    assert_eq!(
+        f.get(42_000).unwrap().as_deref(),
+        Some(&record_for(42_000)[..])
+    );
+
+    f.shutdown().expect("clean shutdown");
+    drop(f);
+    follower.wait().expect("survivor exits after SHUTDOWN");
+}
