@@ -2,18 +2,21 @@
 //!
 //! Supports exactly the shapes this workspace derives on: non-generic
 //! structs with named fields, and non-generic enums whose variants are all
-//! unit variants (serialized as their name string). Anything else is a
-//! compile error with a pointed message, so unsupported uses fail loudly
-//! rather than silently misbehaving.
+//! unit variants (serialized as their name string). The one helper
+//! attribute recognized is `#[serde(default)]` on a field: a missing key
+//! deserializes to `Default::default()` instead of erroring, which is how
+//! newly added STATS fields stay parseable against payloads from older
+//! nodes. Anything else is a compile error with a pointed message, so
+//! unsupported uses fail loudly rather than silently misbehaving.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Direction::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Direction::Deserialize)
 }
@@ -24,8 +27,14 @@ enum Direction {
     Deserialize,
 }
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key becomes `Default::default()`.
+    default: bool,
+}
+
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     Enum { name: String, variants: Vec<String> },
 }
 
@@ -101,16 +110,44 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
+/// True when an attribute body (the bracketed group after `#`) is
+/// `serde(default)`.
+fn is_serde_default(group: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(arg)] if arg.to_string() == "default" => true,
+                _ => panic!(
+                    "serde_derive shim: only `#[serde(default)]` is supported, \
+                     got `#[serde({})]`",
+                    args.stream()
+                ),
+            }
+        }
+        _ => false,
+    }
+}
+
 /// Field names of a named-field struct body.
-fn named_fields(body: TokenStream, item: &str) -> Vec<String> {
+fn named_fields(body: TokenStream, item: &str) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
-    let mut fields = Vec::new();
+    let mut fields: Vec<Field> = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Skip field attributes and visibility.
+        // Skip field attributes and visibility, noting `#[serde(default)]`.
+        let mut default = false;
         loop {
             match tokens.get(i) {
-                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        default |= is_serde_default(&g.stream());
+                    }
+                    i += 2;
+                }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     i += 1;
                     if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -128,13 +165,16 @@ fn named_fields(body: TokenStream, item: &str) -> Vec<String> {
             }
             panic!("serde_derive shim: `{item}` has a non-named field");
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             _ => panic!(
                 "serde_derive shim: `{item}` field `{}` lacks a type",
-                fields.last().unwrap()
+                fields.last().unwrap().name
             ),
         }
         // Skip the type: everything up to a comma at angle-bracket depth 0.
@@ -186,10 +226,13 @@ fn unit_variants(body: TokenStream, item: &str) -> Vec<String> {
     variants
 }
 
-fn struct_ser(name: &str, fields: &[String]) -> String {
+fn struct_ser(name: &str, fields: &[Field]) -> String {
     let pushes: String = fields
         .iter()
-        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .map(|f| {
+            let f = &f.name;
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+        })
         .collect();
     format!(
         "impl ::serde::Serialize for {name} {{\n\
@@ -200,16 +243,28 @@ fn struct_ser(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn struct_de(name: &str, fields: &[String]) -> String {
+fn struct_de(name: &str, fields: &[Field]) -> String {
     let inits: String = fields
         .iter()
-        .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value(\
-                     __v.get(\"{f}\")\
-                     .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?\
-                 )?,"
-            )
+        .map(|field| {
+            let f = &field.name;
+            if field.default {
+                format!(
+                    "{f}: match __v.get(\"{f}\") {{\
+                         ::std::option::Option::Some(__x) => \
+                             ::serde::Deserialize::from_value(__x)?,\
+                         ::std::option::Option::None => \
+                             ::std::default::Default::default(),\
+                     }},"
+                )
+            } else {
+                format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                         __v.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?\
+                     )?,"
+                )
+            }
         })
         .collect();
     format!(

@@ -1,0 +1,273 @@
+//! `cluster_top`: one merged, refreshing status table for a whole p4lru
+//! cluster.
+//!
+//! Polls every node named in `--cluster` (primaries *and* followers — each
+//! node's client port answers STATS whatever its role) plus, optionally,
+//! the router's merged view, and renders one row per node: role, durable
+//! watermarks, replication lag, connections, hit rate, and the apply/fsync
+//! stage p99s from the in-band tracer. The same poll drives two output
+//! modes:
+//!
+//! * default — a terminal table, redrawn every `--interval-ms`, for a
+//!   human watching a failover or a catch-up drain live;
+//! * `--jsonl` — one JSON object per poll on stdout, for CI jobs that
+//!   archive a cluster snapshot next to the run logs.
+//!
+//! A node that does not answer renders as `down` rather than killing the
+//! poll: mid-failover is exactly when the table is most useful.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use p4lru_cluster::ClusterSpec;
+use p4lru_server::metrics::StatsReport;
+use p4lru_server::Client;
+use serde::Serialize;
+
+const USAGE: &str = "\
+cluster_top — merged refreshing status table for a p4lru cluster
+
+USAGE: cluster_top --cluster <spec> [OPTIONS]
+
+OPTIONS:
+  --cluster <spec>     comma-separated slots, each primary[~follower]
+                       (client addresses, not replication addresses)
+  --router <addr>      also poll a p4lru_routerd for its merged view
+  --interval-ms <n>    poll period                  [default: 1000]
+  --iterations <n>     stop after n polls (0 = run until interrupted)
+                       [default: 0]
+  --jsonl              emit one JSON object per poll instead of a table
+  -h, --help           print this help
+";
+
+struct TopConfig {
+    spec: ClusterSpec,
+    router: Option<String>,
+    interval: Duration,
+    iterations: u64,
+    jsonl: bool,
+}
+
+fn parse_args() -> Result<TopConfig, String> {
+    let mut spec = None;
+    let mut router = None;
+    let mut interval = Duration::from_millis(1_000);
+    let mut iterations = 0u64;
+    let mut jsonl = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        if flag == "--jsonl" {
+            jsonl = true;
+            continue;
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |e| format!("bad value for {flag}: {e:?}");
+        match flag.as_str() {
+            "--cluster" => spec = Some(ClusterSpec::parse(&value)?),
+            "--router" => router = Some(value),
+            "--interval-ms" => interval = Duration::from_millis(value.parse().map_err(bad)?),
+            "--iterations" => iterations = value.parse().map_err(bad)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(TopConfig {
+        spec: spec.ok_or("missing --cluster")?,
+        router,
+        interval,
+        iterations,
+        jsonl,
+    })
+}
+
+/// One node's row: everything the table and the JSONL line show.
+#[derive(Debug, Serialize)]
+struct NodeRow {
+    addr: String,
+    /// `primary` / `follower` / `standalone` / `down`.
+    role: String,
+    up: bool,
+    conns: u64,
+    keys: u64,
+    gets: u64,
+    sets: u64,
+    hit_rate: f64,
+    /// Summed per-shard replication watermark (0 without replication).
+    watermark: u64,
+    /// Summed per-shard replication lag in sequence numbers.
+    lag_seqs: u64,
+    lag_bytes: u64,
+    pull_age_ms: u64,
+    apply_p99_us: f64,
+    fsync_p99_us: f64,
+}
+
+impl NodeRow {
+    fn down(addr: &str) -> Self {
+        Self {
+            addr: addr.to_owned(),
+            role: "down".to_owned(),
+            up: false,
+            conns: 0,
+            keys: 0,
+            gets: 0,
+            sets: 0,
+            hit_rate: 0.0,
+            watermark: 0,
+            lag_seqs: 0,
+            lag_bytes: 0,
+            pull_age_ms: 0,
+            apply_p99_us: 0.0,
+            fsync_p99_us: 0.0,
+        }
+    }
+
+    fn from_report(addr: &str, role_default: &str, report: &StatsReport) -> Self {
+        let stage_p99 = |name: &str| {
+            report
+                .stages
+                .iter()
+                .find(|s| s.stage == name)
+                .map(|s| s.p99_us)
+                .unwrap_or(0.0)
+        };
+        let (role, watermark, lag_seqs, lag_bytes, pull_age_ms) = match &report.cluster {
+            Some(c) => (
+                c.role.clone(),
+                c.watermarks.iter().sum(),
+                c.lag_seqs.iter().sum(),
+                c.lag_bytes,
+                c.pull_age_ms,
+            ),
+            None => (role_default.to_owned(), 0, 0, 0, 0),
+        };
+        Self {
+            addr: addr.to_owned(),
+            role,
+            up: true,
+            conns: report.conns.current,
+            keys: report.totals.store_len,
+            gets: report.totals.gets,
+            sets: report.totals.sets,
+            hit_rate: report.totals.hit_rate,
+            watermark,
+            lag_seqs,
+            lag_bytes,
+            pull_age_ms,
+            apply_p99_us: stage_p99("apply"),
+            fsync_p99_us: stage_p99("fsync"),
+        }
+    }
+}
+
+/// One poll's full picture.
+#[derive(Debug, Serialize)]
+struct TopSample {
+    tick: u64,
+    nodes: Vec<NodeRow>,
+    router: Option<NodeRow>,
+}
+
+/// STATS from one address; `None` when the node does not answer.
+fn poll(addr: &str, role_default: &str) -> NodeRow {
+    let report = Client::connect(addr).and_then(|mut c| c.stats());
+    match report {
+        Ok(report) => NodeRow::from_report(addr, role_default, &report),
+        Err(_) => NodeRow::down(addr),
+    }
+}
+
+fn sample(config: &TopConfig, tick: u64) -> TopSample {
+    let mut nodes = Vec::new();
+    for node in &config.spec.nodes {
+        nodes.push(poll(&node.primary, "standalone"));
+        if let Some(f) = &node.follower {
+            nodes.push(poll(f, "standalone"));
+        }
+    }
+    let router = config.router.as_deref().map(|addr| poll(addr, "router"));
+    TopSample {
+        tick,
+        nodes,
+        router,
+    }
+}
+
+fn render_table(s: &TopSample) {
+    // Clear + home: a refreshing table, not a scrolling log.
+    print!("\x1b[2J\x1b[H");
+    println!(
+        "cluster_top — tick {} — {} node(s){}",
+        s.tick,
+        s.nodes.len(),
+        if s.router.is_some() { " + router" } else { "" }
+    );
+    println!(
+        "{:<22} {:<10} {:>5} {:>9} {:>10} {:>6} {:>10} {:>7} {:>8} {:>10} {:>10}",
+        "NODE",
+        "ROLE",
+        "CONN",
+        "KEYS",
+        "GETS",
+        "HIT%",
+        "WATERMARK",
+        "LAG",
+        "AGE_MS",
+        "APPLY_P99",
+        "FSYNC_P99"
+    );
+    let mut rows: Vec<&NodeRow> = s.nodes.iter().collect();
+    if let Some(r) = &s.router {
+        rows.push(r);
+    }
+    for n in rows {
+        if !n.up {
+            println!("{:<22} {:<10} (no response)", n.addr, n.role);
+            continue;
+        }
+        println!(
+            "{:<22} {:<10} {:>5} {:>9} {:>10} {:>6.1} {:>10} {:>7} {:>8} {:>9.1}u {:>9.1}u",
+            n.addr,
+            n.role,
+            n.conns,
+            n.keys,
+            n.gets,
+            n.hit_rate * 100.0,
+            n.watermark,
+            n.lag_seqs,
+            n.pull_age_ms,
+            n.apply_p99_us,
+            n.fsync_p99_us,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let s = sample(&config, tick);
+        if config.jsonl {
+            match serde_json::to_string(&s) {
+                Ok(line) => println!("{line}"),
+                Err(e) => eprintln!("error: sample serialization failed: {e:?}"),
+            }
+        } else {
+            render_table(&s);
+        }
+        if config.iterations != 0 && tick >= config.iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(config.interval);
+    }
+}

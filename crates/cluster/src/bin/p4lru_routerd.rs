@@ -8,6 +8,20 @@
 //! to the nodes — so connections scale the same way they do against a
 //! single server and one stalled peer cannot head-of-line-block another.
 //!
+//! Failover is *probed*, not discovered: a background [`Prober`] PINGs
+//! every slot's active node and flips routing to the standby after
+//! `--probe-fails` consecutive failures — before the first client-visible
+//! timeout. All per-connection clients share one [`ClusterHealth`], so
+//! one flip moves every connection, and `--metrics-addr` serves the
+//! per-slot request/error/flip/probe families from the same state.
+//!
+//! The router is also a trace hop: it forwards a client's in-band
+//! [`SpanContext`] upstream (hop +1) or originates one for every
+//! `--trace-every`-th untraced request, and prints a `ROUTER trace=…`
+//! breakdown (queue + upstream RTT) when a request crosses
+//! `--slow-op-us` — grep the trace id to join it with serverd's
+//! `SERVER trace=…` stage breakdown.
+//!
 //! STATS answers with every node's shards merged into one report (shard
 //! ids offset per node, totals re-summed); SHUTDOWN stops the *router*
 //! only — nodes are owned by whoever started them.
@@ -17,9 +31,12 @@ use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use p4lru_cluster::{ClusterClient, ClusterSpec, RetryPolicy};
+use p4lru_cluster::{
+    router_families, ClusterClient, ClusterHealth, ClusterSpec, ProbeConfig, Prober, RetryPolicy,
+};
+use p4lru_obs::{Expo, HopKind, HopTrace, MetricsHttp, SpanContext, TraceIdGen};
 use p4lru_server::metrics::StatsReport;
 use p4lru_server::protocol::{FrameReader, FrameWriter, Request, Response};
 
@@ -29,25 +46,46 @@ p4lru_routerd — consistent-hash router for a p4lru serverd cluster
 USAGE: p4lru_routerd --cluster <spec> [OPTIONS]
 
 OPTIONS:
-  --cluster <spec>      comma-separated slots, each primary[~follower]
-                        (e.g. 127.0.0.1:4190~127.0.0.1:4290,127.0.0.1:4191)
-  --addr <host:port>    listen address            [default: 127.0.0.1:4195]
-  --retry-base-ms <n>   first-retry backoff       [default: 10]
-  --retry-cap-ms <n>    backoff ceiling           [default: 640]
-  --retry-attempts <n>  attempts per op (first try included) [default: 8]
-  -h, --help            print this help
+  --cluster <spec>        comma-separated slots, each primary[~follower]
+                          (e.g. 127.0.0.1:4190~127.0.0.1:4290,127.0.0.1:4191)
+  --addr <host:port>      listen address            [default: 127.0.0.1:4195]
+  --retry-base-ms <n>     first-retry backoff       [default: 10]
+  --retry-cap-ms <n>      backoff ceiling           [default: 640]
+  --retry-attempts <n>    attempts per op (first try included) [default: 8]
+  --metrics-addr <a>      serve per-slot Prometheus families at
+                          http://<a>/metrics
+  --probe-interval-ms <n> health-probe period       [default: 100]
+  --probe-timeout-ms <n>  per-probe deadline        [default: 250]
+  --probe-fails <n>       consecutive failures before a slot flips
+                          (0 disables probing)      [default: 3]
+  --trace-every <n>       originate an in-band trace for 1 in n requests
+                          (0 disables origination; forwarded client
+                          spans always propagate)   [default: 64]
+  --slow-op-us <n>        print a ROUTER trace breakdown past this
+                          end-to-end time           [default: 10000]
+  -h, --help              print this help
 ";
 
 struct RouterConfig {
     addr: String,
     spec: ClusterSpec,
     retry: RetryPolicy,
+    metrics_addr: Option<String>,
+    probe: ProbeConfig,
+    probing: bool,
+    trace_every: u64,
+    slow_op_us: u64,
 }
 
 fn parse_args() -> Result<RouterConfig, String> {
     let mut addr = "127.0.0.1:4195".to_owned();
     let mut spec = None;
     let mut retry = RetryPolicy::default();
+    let mut metrics_addr = None;
+    let mut probe = ProbeConfig::default();
+    let mut probing = true;
+    let mut trace_every = 64u64;
+    let mut slow_op_us = 10_000u64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "-h" || flag == "--help" {
@@ -62,11 +100,34 @@ fn parse_args() -> Result<RouterConfig, String> {
             "--retry-base-ms" => retry.base = Duration::from_millis(value.parse().map_err(bad)?),
             "--retry-cap-ms" => retry.cap = Duration::from_millis(value.parse().map_err(bad)?),
             "--retry-attempts" => retry.max_attempts = value.parse().map_err(bad)?,
+            "--metrics-addr" => metrics_addr = Some(value),
+            "--probe-interval-ms" => {
+                probe.interval = Duration::from_millis(value.parse().map_err(bad)?)
+            }
+            "--probe-timeout-ms" => {
+                probe.timeout = Duration::from_millis(value.parse().map_err(bad)?)
+            }
+            "--probe-fails" => {
+                let n: u32 = value.parse().map_err(bad)?;
+                probing = n > 0;
+                probe.fail_threshold = n.max(1);
+            }
+            "--trace-every" => trace_every = value.parse().map_err(bad)?,
+            "--slow-op-us" => slow_op_us = value.parse().map_err(bad)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     let spec = spec.ok_or("missing --cluster")?;
-    Ok(RouterConfig { addr, spec, retry })
+    Ok(RouterConfig {
+        addr,
+        spec,
+        retry,
+        metrics_addr,
+        probe,
+        probing,
+        trace_every,
+        slow_op_us,
+    })
 }
 
 /// Merges per-node reports into one: shards concatenated with node-offset
@@ -84,22 +145,53 @@ fn merge_stats(reports: Vec<(String, StatsReport)>) -> StatsReport {
     StatsReport::from_shards(shards)
 }
 
-fn serve_conn(
-    stream: TcpStream,
-    spec: &ClusterSpec,
+/// Everything a connection thread shares with the rest of the router.
+struct Shared {
+    spec: ClusterSpec,
     retry: RetryPolicy,
-    running: &AtomicBool,
-) -> io::Result<bool> {
+    running: AtomicBool,
+    health: Arc<ClusterHealth>,
+    trace_ids: TraceIdGen,
+    trace_every: u64,
+    /// Sampling clock for span origination (1 in `trace_every`).
+    traced: std::sync::atomic::AtomicU64,
+    slow_ns: u64,
+}
+
+impl Shared {
+    /// The span to send upstream for this request: the client's own
+    /// context forwarded one hop further, or (for 1 in `trace_every`
+    /// untraced requests) a freshly originated one.
+    fn span_for(&self, incoming: Option<SpanContext>) -> Option<SpanContext> {
+        if let Some(span) = incoming {
+            return Some(span.next_hop());
+        }
+        if self.trace_every == 0 {
+            return None;
+        }
+        let n = self.traced.fetch_add(1, Ordering::Relaxed);
+        if self.trace_every == 1 || n.is_multiple_of(self.trace_every) {
+            Some(SpanContext::originate(self.trace_ids.next_id()))
+        } else {
+            None
+        }
+    }
+}
+
+fn serve_conn(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
     stream.set_nodelay(true)?;
     let mut reader = FrameReader::new(stream.try_clone()?);
     let mut writer = FrameWriter::new(stream);
-    let mut cluster = ClusterClient::new(spec, retry);
+    let mut cluster =
+        ClusterClient::with_health(&shared.spec, shared.retry, Arc::clone(&shared.health));
     let mut frame = Vec::new();
     let mut payload = Vec::new();
-    while running.load(Ordering::SeqCst) {
+    while shared.running.load(Ordering::SeqCst) {
         if !reader.read_frame(&mut frame)? {
             return Ok(true); // clean disconnect
         }
+        let received = Instant::now();
+        let incoming = reader.take_span();
         let request = match Request::decode(&frame) {
             Ok(r) => r,
             Err(e) => {
@@ -109,21 +201,31 @@ fn serve_conn(
                 return Ok(true);
             }
         };
+        let span = match request {
+            Request::Get { .. } | Request::Set { .. } | Request::Del { .. } => {
+                shared.span_for(incoming)
+            }
+            _ => None,
+        };
+        let dispatched = Instant::now();
         let response = match request {
-            Request::Get { key } => match cluster.get(key) {
+            Request::Get { key } => match cluster.get_spanned(key, span) {
                 Ok(Some(v)) => Response::Value(v),
                 Ok(None) => Response::NotFound,
                 Err(e) => Response::Err(format!("GET via {}: {e}", cluster.node_for(key))),
             },
-            Request::Set { key, value } => match cluster.set(key, &value) {
+            Request::Set { key, value } => match cluster.set_spanned(key, &value, span) {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Err(format!("SET via {}: {e}", cluster.node_for(key))),
             },
-            Request::Del { key } => match cluster.del(key) {
+            Request::Del { key } => match cluster.del_spanned(key, span) {
                 Ok(true) => Response::Ok,
                 Ok(false) => Response::NotFound,
                 Err(e) => Response::Err(format!("DEL via {}: {e}", cluster.node_for(key))),
             },
+            // A PING probes the router itself: answered from this hop,
+            // never forwarded (the prober talks to the nodes directly).
+            Request::Ping => Response::Pong,
             Request::Stats => match cluster.stats_all() {
                 Ok(reports) => {
                     let merged = merge_stats(reports);
@@ -138,10 +240,19 @@ fn serve_conn(
                 Response::Ok.encode(&mut payload);
                 writer.write_frame(&payload)?;
                 writer.flush()?;
-                running.store(false, Ordering::SeqCst);
+                shared.running.store(false, Ordering::SeqCst);
                 return Ok(false);
             }
         };
+        if let Some(ctx) = span {
+            let total = received.elapsed();
+            if total.as_nanos() as u64 >= shared.slow_ns {
+                let mut hop = HopTrace::new(ctx, HopKind::Router);
+                hop.segment("queue", (dispatched - received).as_nanos() as u64);
+                hop.segment("upstream", dispatched.elapsed().as_nanos() as u64);
+                println!("[p4lru_routerd] slow op: {}", hop.breakdown());
+            }
+        }
         response.encode(&mut payload);
         writer.write_frame(&payload)?;
         // Only flush when no further request is already buffered: pipelined
@@ -175,18 +286,48 @@ fn main() -> ExitCode {
         "p4lru_routerd listening on {addr} routing {} slots",
         config.spec.nodes.len()
     );
-    let running = Arc::new(AtomicBool::new(true));
-    let spec = Arc::new(config.spec);
+    let health = Arc::new(ClusterHealth::new(&config.spec));
+    let prober = config
+        .probing
+        .then(|| Prober::spawn(Arc::clone(&health), config.probe));
+    let metrics_http = match &config.metrics_addr {
+        Some(maddr) => {
+            let health = Arc::clone(&health);
+            match MetricsHttp::serve(maddr, move || {
+                let mut e = Expo::new();
+                router_families(&mut e, &health);
+                e.finish()
+            }) {
+                Ok(h) => {
+                    println!("p4lru_routerd metrics on http://{}/metrics", h.local_addr());
+                    Some(h)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind metrics {maddr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let shared = Arc::new(Shared {
+        spec: config.spec,
+        retry: config.retry,
+        running: AtomicBool::new(true),
+        health,
+        trace_ids: TraceIdGen::new(),
+        trace_every: config.trace_every,
+        traced: std::sync::atomic::AtomicU64::new(0),
+        slow_ns: config.slow_op_us.saturating_mul(1_000),
+    });
     let mut workers = Vec::new();
-    while running.load(Ordering::SeqCst) {
+    while shared.running.load(Ordering::SeqCst) {
         let Ok((stream, _)) = listener.accept() else {
             continue;
         };
-        let spec = Arc::clone(&spec);
-        let running_conn = Arc::clone(&running);
-        let retry = config.retry;
+        let shared_conn = Arc::clone(&shared);
         workers.push(std::thread::spawn(move || {
-            match serve_conn(stream, &spec, retry, &running_conn) {
+            match serve_conn(stream, &shared_conn) {
                 Ok(true) | Err(_) => {}
                 Ok(false) => {
                     // SHUTDOWN: poke the accept loop awake so it notices.
@@ -199,6 +340,10 @@ fn main() -> ExitCode {
     for w in workers {
         let _ = w.join();
     }
+    if let Some(p) = prober {
+        p.stop();
+    }
+    drop(metrics_http);
     println!("p4lru_routerd: shutdown");
     ExitCode::SUCCESS
 }

@@ -15,11 +15,14 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::sync::Arc;
 
+use p4lru_obs::SpanContext;
 use p4lru_server::client::Client;
 use p4lru_server::metrics::StatsReport;
 
 use crate::backoff::{Backoff, RetryPolicy};
+use crate::health::ClusterHealth;
 use crate::ring::HashRing;
 use crate::spec::ClusterSpec;
 
@@ -52,6 +55,11 @@ pub struct ClusterClient {
     ring: HashRing,
     slots: HashMap<String, Slot>,
     retry: RetryPolicy,
+    /// Shared prober-maintained health. When present its choice of
+    /// active address is authoritative: this client adopts it before
+    /// every attempt instead of flipping privately, so the prober's
+    /// pre-timeout failover moves every connection at once.
+    health: Option<Arc<ClusterHealth>>,
 }
 
 /// True for errors where trying the slot's other address can help: the
@@ -74,6 +82,16 @@ fn is_retryable(e: &io::Error) -> bool {
 impl ClusterClient {
     /// Builds a client over `spec`; connections open lazily on first use.
     pub fn new(spec: &ClusterSpec, retry: RetryPolicy) -> Self {
+        Self::build(spec, retry, None)
+    }
+
+    /// Builds a client that defers failover decisions to shared
+    /// prober-maintained health (the router's per-connection clients).
+    pub fn with_health(spec: &ClusterSpec, retry: RetryPolicy, health: Arc<ClusterHealth>) -> Self {
+        Self::build(spec, retry, Some(health))
+    }
+
+    fn build(spec: &ClusterSpec, retry: RetryPolicy, health: Option<Arc<ClusterHealth>>) -> Self {
         let mut slots = HashMap::new();
         for node in &spec.nodes {
             slots.insert(
@@ -91,6 +109,7 @@ impl ClusterClient {
             ring: spec.ring(),
             slots,
             retry,
+            health,
         }
     }
 
@@ -113,20 +132,53 @@ impl ClusterClient {
 
     /// Reads a key from its slot.
     pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
-        let name = self.node_for(key).to_owned();
-        self.on_slot(&name, |c| c.get(key))
+        self.get_spanned(key, None)
     }
 
     /// Writes a key to its slot.
     pub fn set(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
-        let name = self.node_for(key).to_owned();
-        self.on_slot(&name, |c| c.set(key, value))
+        self.set_spanned(key, value, None)
     }
 
     /// Deletes a key from its slot.
     pub fn del(&mut self, key: u64) -> io::Result<bool> {
+        self.del_spanned(key, None)
+    }
+
+    /// Reads a key, forwarding an in-band trace context upstream.
+    pub fn get_spanned(
+        &mut self,
+        key: u64,
+        span: Option<SpanContext>,
+    ) -> io::Result<Option<Vec<u8>>> {
         let name = self.node_for(key).to_owned();
-        self.on_slot(&name, |c| c.del(key))
+        self.on_slot(&name, |c| {
+            c.set_next_span(span);
+            c.get(key)
+        })
+    }
+
+    /// Writes a key, forwarding an in-band trace context upstream.
+    pub fn set_spanned(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        span: Option<SpanContext>,
+    ) -> io::Result<()> {
+        let name = self.node_for(key).to_owned();
+        self.on_slot(&name, |c| {
+            c.set_next_span(span);
+            c.set(key, value)
+        })
+    }
+
+    /// Deletes a key, forwarding an in-band trace context upstream.
+    pub fn del_spanned(&mut self, key: u64, span: Option<SpanContext>) -> io::Result<bool> {
+        let name = self.node_for(key).to_owned();
+        self.on_slot(&name, |c| {
+            c.set_next_span(span);
+            c.del(key)
+        })
     }
 
     /// Fetches every slot's stats report, labeled by slot name.
@@ -160,8 +212,21 @@ impl ClusterClient {
             .slots
             .get_mut(name)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no slot {name}")))?;
+        let shared = self.health.as_deref().and_then(|h| h.slot(name));
+        if let Some(s) = shared {
+            s.record_request();
+        }
         let mut backoff = Backoff::new(self.retry);
         loop {
+            // Under shared health the prober's choice is authoritative:
+            // adopt it (dropping the stale connection) before every try.
+            if let Some(s) = shared {
+                let active = s.active();
+                if slot.active != active {
+                    slot.active = active.to_owned();
+                    slot.client = None;
+                }
+            }
             let attempt = match &mut slot.client {
                 Some(c) => f(c),
                 None => match Client::connect(slot.active.as_str()) {
@@ -176,12 +241,22 @@ impl ClusterClient {
                     // error; reconnect rather than resynchronize.
                     slot.client = None;
                     if !is_retryable(&e) {
+                        if let Some(s) = shared {
+                            s.record_error();
+                        }
                         return Err(e);
                     }
-                    slot.flip();
+                    if shared.is_none() {
+                        slot.flip();
+                    }
                     match backoff.next_delay() {
                         Some(d) => std::thread::sleep(d),
-                        None => return Err(e),
+                        None => {
+                            if let Some(s) = shared {
+                                s.record_error();
+                            }
+                            return Err(e);
+                        }
                     }
                 }
             }

@@ -10,23 +10,32 @@
 //!   name stays fixed on the ring while failover swaps which socket it
 //!   answers on, so a promoted follower inherits its slot's keys exactly.
 //! * [`backoff`] — bounded, jittered, deterministic retry schedules.
+//! * [`health`] — router-side health probing: a background [`Prober`]
+//!   PINGs every slot's active node, a consecutive-failure detector
+//!   flips routing to the standby *before* the first client-visible
+//!   timeout, and the shared [`ClusterHealth`] renders the router's
+//!   per-slot `/metrics` families.
 //!
 //! Replication itself (WAL shipping, watermarks, promote-on-failure) lives
 //! in `p4lru_server::repl`; this crate is the *routing* half: it decides
 //! which node owns a key and which socket currently speaks for that node.
 //!
-//! Two binaries ride on the library: `p4lru_routerd`, a thin proxy that
+//! Three binaries ride on the library: `p4lru_routerd`, a thin proxy that
 //! speaks the ordinary client protocol and fans requests out across the
-//! cluster (so unmodified clients get routing for free), and
-//! `cluster_loadgen`, a closed-loop driver that can verify every
-//! acknowledged write across kill-9 failovers.
+//! cluster (so unmodified clients get routing for free) while probing
+//! slot health and exposing per-slot metrics; `cluster_loadgen`, a
+//! closed-loop driver that can verify every acknowledged write across
+//! kill-9 failovers; and `cluster_top`, a refreshing cluster-wide status
+//! table merging every node's STATS with the router's view.
 
 pub mod backoff;
 pub mod client;
+pub mod health;
 pub mod ring;
 pub mod spec;
 
 pub use backoff::{Backoff, RetryPolicy};
 pub use client::ClusterClient;
+pub use health::{probe, router_families, ClusterHealth, ProbeConfig, Prober, SlotHealth};
 pub use ring::{HashRing, DEFAULT_VNODES};
 pub use spec::{ClusterSpec, NodeSpec};

@@ -1,0 +1,152 @@
+//! Prober-driven failover (DESIGN.md §15): killing a probed primary must
+//! flip routing to the standby *before* any client-visible error.
+//!
+//! The setup mirrors the router: a background [`Prober`] PINGs each
+//! slot's active address and flips shared [`ClusterHealth`] after three
+//! consecutive failures; a [`ClusterClient`] built `with_health` defers
+//! to that shared state on every attempt. When the primary dies, client
+//! writes issued *during* the detection window must ride their retry
+//! budget until the prober's flip lands — zero errors surface — and the
+//! flip itself must be the prober's, not a private client failover.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p4lru_cluster::{ClusterClient, ClusterHealth, ClusterSpec, ProbeConfig, Prober, RetryPolicy};
+use p4lru_server::protocol::{read_frame, write_frame, Request, Response};
+
+/// A killable fake node speaking the real client protocol (PING
+/// included, so the prober can probe it). While `dead` is set, new
+/// connections are dropped on accept and live connections are severed
+/// before their next reply — the observable shape of `kill -9`.
+fn spawn_node() -> (SocketAddr, Arc<AtomicBool>, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let dead = Arc::new(AtomicBool::new(false));
+    let requests = Arc::new(AtomicU64::new(0));
+    let (dead_in, requests_in) = (Arc::clone(&dead), Arc::clone(&requests));
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            if dead_in.load(Ordering::SeqCst) {
+                continue; // dropped on the floor
+            }
+            let dead = Arc::clone(&dead_in);
+            let requests = Arc::clone(&requests_in);
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                let mut frame = Vec::new();
+                let mut out = Vec::new();
+                while let Ok(true) = read_frame(&mut stream, &mut frame) {
+                    if dead.load(Ordering::SeqCst) {
+                        return; // sever mid-conversation
+                    }
+                    let Ok(request) = Request::decode(&frame) else {
+                        return;
+                    };
+                    let response = match request {
+                        Request::Ping => Response::Pong,
+                        Request::Set { .. } => {
+                            requests.fetch_add(1, Ordering::SeqCst);
+                            Response::Ok
+                        }
+                        Request::Get { .. } | Request::Del { .. } => {
+                            requests.fetch_add(1, Ordering::SeqCst);
+                            Response::NotFound
+                        }
+                        _ => Response::Ok,
+                    };
+                    response.encode(&mut out);
+                    if write_frame(&mut stream, &out).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    (addr, dead, requests)
+}
+
+#[test]
+fn the_prober_flips_routing_before_any_client_visible_error() {
+    let (primary, primary_dead, primary_requests) = spawn_node();
+    let (standby, _standby_dead, standby_requests) = spawn_node();
+    let spec = ClusterSpec::parse(&format!("{primary}~{standby}")).unwrap();
+
+    let health = Arc::new(ClusterHealth::new(&spec));
+    let prober = Prober::spawn(
+        Arc::clone(&health),
+        ProbeConfig {
+            interval: Duration::from_millis(15),
+            timeout: Duration::from_millis(100),
+            fail_threshold: 3,
+        },
+    );
+
+    // A retry budget that comfortably outlasts the detection window
+    // (3 failed probes x 15ms): the client waits out the flip instead of
+    // ever surfacing an error.
+    let mut cluster = ClusterClient::with_health(
+        &spec,
+        RetryPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(20),
+            max_attempts: 40,
+            seed: 11,
+        },
+        Arc::clone(&health),
+    );
+
+    // Healthy steady state: traffic lands on the primary.
+    for key in 0..20u64 {
+        cluster.set(key, b"before").unwrap();
+    }
+    assert_eq!(primary_requests.load(Ordering::SeqCst), 20);
+    assert_eq!(standby_requests.load(Ordering::SeqCst), 0);
+    let slot = health.slot(&primary.to_string()).unwrap();
+    assert_eq!(slot.flips(), 0);
+    assert!(slot.is_healthy(), "probes reach the live primary");
+
+    // Kill the primary and keep writing through the detection window.
+    // Every op must succeed: retries against the corpse are absorbed by
+    // the budget until the prober flips the slot to the standby.
+    primary_dead.store(true, Ordering::SeqCst);
+    let killed_at = Instant::now();
+    for key in 100..140u64 {
+        cluster
+            .set(key, b"during failover")
+            .expect("no client-visible error across the kill");
+    }
+    let detection = killed_at.elapsed();
+
+    // Routing moved because the *prober* moved it: the shared slot flipped
+    // exactly once, and the client performed no private failovers.
+    assert_eq!(slot.flips(), 1, "the prober flipped the slot");
+    assert_eq!(slot.active(), standby.to_string());
+    assert!(!slot.is_healthy() || slot.flips() == 1);
+    assert_eq!(
+        cluster.failovers(),
+        0,
+        "health-attached clients defer to the prober instead of flipping"
+    );
+    assert!(
+        standby_requests.load(Ordering::SeqCst) >= 40,
+        "the kill-window writes landed on the standby"
+    );
+    // Detection is probe-paced (3 x 15ms + RTTs), far under the ~2s a
+    // client-side connect timeout would burn.
+    assert!(
+        detection < Duration::from_secs(5),
+        "flip took {detection:?}"
+    );
+
+    // Steady state on the standby: no retries needed, no new flips.
+    for key in 200..210u64 {
+        cluster.set(key, b"after").unwrap();
+    }
+    assert_eq!(slot.flips(), 1);
+
+    prober.stop();
+}

@@ -22,6 +22,11 @@
 //! - [`sampler::Periodic`] — a background thread invoking a callback on a
 //!   fixed interval (the server's JSONL stats sampler), with a final tick
 //!   on shutdown so short runs still produce output.
+//! - [`span`] — in-band trace propagation: a 16-byte [`span::SpanContext`]
+//!   (trace id, origin stamp, hop count) carried *inside* flagged wire
+//!   frames across router → tier → server hops, plus the per-hop
+//!   [`span::HopTrace`] segment model so every hop of a slow request
+//!   prints a breakdown line sharing one grep-able trace id.
 //!
 //! The stage order matches the server's actual pipeline: the WAL append
 //! happens *before* the in-memory apply (the append-before-apply
@@ -36,10 +41,12 @@ pub mod expo;
 pub mod hist;
 pub mod http;
 pub mod sampler;
+pub mod span;
 pub mod trace;
 
 pub use expo::Expo;
 pub use hist::{AtomicHistogram, HistSnapshot};
 pub use http::MetricsHttp;
 pub use sampler::Periodic;
+pub use span::{HopKind, HopTrace, SpanContext, TraceIdGen, SPAN_BYTES};
 pub use trace::{FinishedTrace, ObsConfig, OpKind, RequestTrace, Stage, TraceRing, Tracer};

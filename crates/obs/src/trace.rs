@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::hist::{AtomicHistogram, HistSnapshot};
+use crate::span::SpanContext;
 
 /// The eight lifecycle stages, in pipeline order. `WalAppend` precedes
 /// `Apply` because the server's durability discipline appends to the WAL
@@ -129,6 +130,13 @@ pub struct RequestTrace {
     pub op: OpKind,
     /// The shard that served it.
     pub shard: u32,
+    /// The propagated in-band context, when the request's frame carried
+    /// one and the trace was sampled. Joins this trace to the upstream
+    /// hops' breakdown lines by trace id.
+    pub span: Option<SpanContext>,
+    /// Microseconds the request had already been in flight (origin →
+    /// decode) when the span attached; 0 without a span.
+    pub upstream_us: u32,
     enabled: bool,
     stamps: [u64; NUM_STAGES],
 }
@@ -139,6 +147,8 @@ impl RequestTrace {
         Self {
             op: OpKind::Get,
             shard: 0,
+            span: None,
+            upstream_us: 0,
             enabled: false,
             stamps: [0; NUM_STAGES],
         }
@@ -182,6 +192,17 @@ impl RequestTrace {
             self.shard,
             self.total_ns() as f64 / 1e3
         );
+        if let Some(span) = &self.span {
+            // Same `trace=` key as every forwarding hop's HopTrace line:
+            // grep the id to join the router/tier view to these stages.
+            let _ = write!(
+                line,
+                " trace={:016x} hop={} upstream+{:.1}us",
+                span.trace_id,
+                span.hop,
+                f64::from(self.upstream_us)
+            );
+        }
         let mut prev = self.stamps[0];
         for (i, name) in STAGE_NAMES.iter().enumerate().skip(1) {
             let at = self.stamps[i];
@@ -302,8 +323,21 @@ impl Tracer {
         RequestTrace {
             op,
             shard,
+            span: None,
+            upstream_us: 0,
             enabled,
             stamps: [0; NUM_STAGES],
+        }
+    }
+
+    /// Attaches a propagated in-band span to a live trace, recording how
+    /// long the request had already been in flight (origin → now). A
+    /// disabled (sampled-out) trace ignores the span — propagation rides
+    /// the same sampling budget as everything else.
+    pub fn attach_span(&self, trace: &mut RequestTrace, span: SpanContext) {
+        if trace.enabled {
+            trace.span = Some(span);
+            trace.upstream_us = span.age_us();
         }
     }
 
@@ -472,9 +506,14 @@ impl TraceRing {
             if slot.ver.load(Ordering::Acquire) != v1 {
                 continue; // a writer raced the read
             }
+            // The ring persists stamps only; a drained trace's span is
+            // gone (slow-op *logging* happens at finish time, span
+            // intact — the ring is the rolling statistical sample).
             out.push(RequestTrace {
                 op: OpKind::from_u8((header & 0xFF) as u8),
                 shard: (header >> 8) as u32,
+                span: None,
+                upstream_us: 0,
                 enabled: true,
                 stamps,
             });
@@ -599,6 +638,34 @@ mod tests {
         t.stamp(&mut trace, Stage::Decode);
         t.stamp_at(&mut trace, Stage::WalAppend, at);
         assert!(trace.stamp_ns(Stage::WalAppend) >= 1);
+    }
+
+    #[test]
+    fn attached_spans_ride_the_trace_into_the_breakdown() {
+        use crate::span::SpanContext;
+        let t = tracer(u64::MAX / 2_000);
+        let mut trace = t.start(OpKind::Get, 2);
+        let span = SpanContext {
+            trace_id: 0x0123_4567_89AB_CDEF,
+            origin_us: crate::span::unix_us_now().wrapping_sub(250),
+            hop: 1,
+        };
+        t.attach_span(&mut trace, span);
+        assert_eq!(trace.span, Some(span));
+        assert!(trace.upstream_us >= 250, "upstream {}us", trace.upstream_us);
+        t.stamp(&mut trace, Stage::Decode);
+        t.stamp(&mut trace, Stage::Flush);
+        let done = t.finish(trace).unwrap();
+        let line = done.trace.breakdown();
+        assert!(
+            line.contains("trace=0123456789abcdef hop=1 upstream+"),
+            "{line}"
+        );
+        // Disabled traces refuse the span (sampled-out requests stay free).
+        let mut off = RequestTrace::disabled();
+        t.attach_span(&mut off, span);
+        assert_eq!(off.span, None);
+        assert!(!off.breakdown().contains("trace="));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use p4lru_obs::SpanContext;
 
 use crate::metrics::StatsReport;
 use crate::protocol::{
@@ -23,6 +26,9 @@ pub struct Client {
     writer: FrameWriter<TcpStream>,
     frame: Vec<u8>,
     payload: Vec<u8>,
+    /// In-band trace context to attach to the next queued request
+    /// ([`Client::set_next_span`]); consumed by one send.
+    next_span: Option<SpanContext>,
 }
 
 fn unexpected(what: &str, got: &Response) -> io::Error {
@@ -36,6 +42,20 @@ impl Client {
     /// Connects (with `TCP_NODELAY`, as a closed-loop client needs).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::over(stream)
+    }
+
+    /// Connects with a connect deadline and per-operation read/write
+    /// timeouts — the health prober's constructor, where a dead peer must
+    /// cost a bounded wait, never a blocked thread.
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::over(stream)
+    }
+
+    fn over(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         let write_half = stream.try_clone()?;
         Ok(Self {
@@ -43,32 +63,47 @@ impl Client {
             writer: FrameWriter::new(write_half),
             frame: Vec::new(),
             payload: Vec::new(),
+            next_span: None,
         })
+    }
+
+    /// Attaches an in-band trace context to the next queued request (one
+    /// request only — a span describes one hop of one request). Routers
+    /// and the tier proxy use this to forward the context they received.
+    pub fn set_next_span(&mut self, span: Option<SpanContext>) {
+        self.next_span = span;
+    }
+
+    fn write_payload(&mut self) -> io::Result<()> {
+        match self.next_span.take() {
+            Some(span) => self.writer.write_frame_spanned(&self.payload, &span),
+            None => self.writer.write_frame(&self.payload),
+        }
     }
 
     /// Queues a GET without flushing (pipelined path).
     pub fn send_get(&mut self, key: u64) -> io::Result<()> {
         encode_get(key, &mut self.payload);
-        self.writer.write_frame(&self.payload)
+        self.write_payload()
     }
 
     /// Queues a SET without flushing (pipelined path; borrows the value, no
     /// per-request allocation).
     pub fn send_set(&mut self, key: u64, value: &[u8]) -> io::Result<()> {
         encode_set(key, value, &mut self.payload);
-        self.writer.write_frame(&self.payload)
+        self.write_payload()
     }
 
     /// Queues a DEL without flushing (pipelined path).
     pub fn send_del(&mut self, key: u64) -> io::Result<()> {
         encode_del(key, &mut self.payload);
-        self.writer.write_frame(&self.payload)
+        self.write_payload()
     }
 
     /// Queues any request without flushing.
     pub fn send(&mut self, request: &Request) -> io::Result<()> {
         request.encode(&mut self.payload);
-        self.writer.write_frame(&self.payload)
+        self.write_payload()
     }
 
     /// Pushes every queued request onto the wire.
@@ -144,6 +179,17 @@ impl Client {
         match self.call(&Request::Shutdown)? {
             Response::Ok => Ok(()),
             other => Err(unexpected("SHUTDOWN", &other)),
+        }
+    }
+
+    /// One liveness round trip, returning its RTT. Answered inline by the
+    /// server (no shard dispatch), so the RTT measures connection + server
+    /// front-of-pipe health, not cache load.
+    pub fn ping(&mut self) -> io::Result<Duration> {
+        let start = Instant::now();
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(start.elapsed()),
+            other => Err(unexpected("PING", &other)),
         }
     }
 }

@@ -16,6 +16,8 @@ use p4lru_obs::trace::{STAGES, STAGE_NAMES};
 use p4lru_obs::{Expo, Tracer};
 use serde::{Deserialize, Serialize};
 
+#[cfg(test)]
+use crate::metrics::LatencySummary;
 use crate::metrics::{
     ClusterSnapshot, ConnSnapshot, ReactorLoopSnapshot, ShardMetrics, ShardSnapshot, StageSummary,
     StatsReport, TierSnapshot,
@@ -260,6 +262,43 @@ pub fn cluster_families(e: &mut Expo, c: &ClusterSnapshot) {
         let shard = shard.to_string();
         e.sample("p4lru_cluster_watermark", &[("shard", &shard)], seq as f64);
     }
+    e.meta(
+        "p4lru_repl_lag_seqs",
+        "gauge",
+        "Per-shard replication lag in sequence numbers (follower side; 0 when caught up).",
+    );
+    for (shard, &lag) in c.lag_seqs.iter().enumerate() {
+        let shard = shard.to_string();
+        e.sample("p4lru_repl_lag_seqs", &[("shard", &shard)], lag as f64);
+    }
+    e.meta(
+        "p4lru_repl_lag_bytes",
+        "gauge",
+        "Estimated replication lag in WAL bytes (lag times average record size).",
+    )
+    .sample("p4lru_repl_lag_bytes", &[], c.lag_bytes as f64);
+    e.meta(
+        "p4lru_repl_pull_age_ms",
+        "gauge",
+        "Milliseconds since the last completed replication pull round trip.",
+    )
+    .sample("p4lru_repl_pull_age_ms", &[], c.pull_age_ms as f64);
+    e.meta(
+        "p4lru_repl_pull_rtt_seconds",
+        "histogram",
+        "Round-trip time of replication PULL exchanges.",
+    )
+    .histogram("p4lru_repl_pull_rtt_seconds", &[], &c.pull_rtt.to_hist());
+    e.meta(
+        "p4lru_repl_batch_apply_seconds",
+        "histogram",
+        "Durable-apply time of shipped replication batches.",
+    )
+    .histogram(
+        "p4lru_repl_batch_apply_seconds",
+        &[],
+        &c.batch_apply.to_hist(),
+    );
 }
 
 /// Emits the connection-accounting families: current gauge, accepted and
@@ -889,6 +928,10 @@ mod tests {
     #[test]
     fn cluster_families_render_when_a_snapshot_is_attached() {
         let (metrics, tracer) = sources();
+        let mut pull_rtt = p4lru_obs::HistSnapshot::empty();
+        pull_rtt.buckets[18] = 4; // ~0.3-0.5 ms RTTs
+        pull_rtt.count = 4;
+        pull_rtt.sum_ns = 1_400_000;
         let cluster = ClusterSnapshot {
             role: "primary".to_string(),
             ack_mode: true,
@@ -903,6 +946,11 @@ mod tests {
             pull_rejects: 3,
             ack_timeouts: 5,
             watermarks: vec![120, 0],
+            lag_seqs: vec![6, 0],
+            lag_bytes: 480,
+            pull_age_ms: 12,
+            pull_rtt: LatencySummary::from_hist(&pull_rtt),
+            batch_apply: LatencySummary::empty(),
         };
         let text = render_prometheus_full(&metrics, &tracer, None, None, &[], Some(&cluster));
         assert!(text.contains("# TYPE p4lru_cluster_role gauge"));
@@ -920,9 +968,19 @@ mod tests {
         assert!(text.contains("p4lru_cluster_ack_timeouts_total 5\n"));
         assert!(text.contains("p4lru_cluster_watermark{shard=\"0\"} 120\n"));
         assert!(text.contains("p4lru_cluster_watermark{shard=\"1\"} 0\n"));
+        // The replication-lag section rides along, whatever the role.
+        assert!(text.contains("# TYPE p4lru_repl_lag_seqs gauge"));
+        assert!(text.contains("p4lru_repl_lag_seqs{shard=\"0\"} 6\n"));
+        assert!(text.contains("p4lru_repl_lag_seqs{shard=\"1\"} 0\n"));
+        assert!(text.contains("p4lru_repl_lag_bytes 480\n"));
+        assert!(text.contains("p4lru_repl_pull_age_ms 12\n"));
+        assert!(text.contains("# TYPE p4lru_repl_pull_rtt_seconds histogram"));
+        assert!(text.contains("p4lru_repl_pull_rtt_seconds_count 4\n"));
+        assert!(text.contains("p4lru_repl_batch_apply_seconds_count 0\n"));
         // Absent on a standalone server.
         let bare = render_prometheus(&metrics, &tracer);
         assert!(!bare.contains("p4lru_cluster_"));
+        assert!(!bare.contains("p4lru_repl_"));
     }
 
     #[test]

@@ -258,6 +258,12 @@ pub struct LatencySummary {
     pub buckets: Vec<u64>,
 }
 
+impl Default for LatencySummary {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl LatencySummary {
     /// A summary of zero samples.
     pub fn empty() -> Self {
@@ -484,6 +490,24 @@ pub struct ClusterSnapshot {
     pub ack_timeouts: u64,
     /// Per-shard replication watermark (see type docs).
     pub watermarks: Vec<u64>,
+    /// Per-shard replication lag in sequence numbers as observed by the
+    /// follower's pull loop (zero on a primary and once caught up).
+    #[serde(default)]
+    pub lag_seqs: Vec<u64>,
+    /// Estimated lag in WAL bytes (`lag_seqs` total times the average
+    /// record size of the last shipment).
+    #[serde(default)]
+    pub lag_bytes: u64,
+    /// Milliseconds since the last completed pull round trip (0 until the
+    /// first pull, and on a primary).
+    #[serde(default)]
+    pub pull_age_ms: u64,
+    /// Round-trip time of PULL exchanges (follower side).
+    #[serde(default)]
+    pub pull_rtt: LatencySummary,
+    /// Durable-apply time of shipped batches through the shard channel.
+    #[serde(default)]
+    pub batch_apply: LatencySummary,
 }
 
 /// Connection accounting shared by the accept loop and both front-ends.
@@ -1064,6 +1088,10 @@ mod tests {
             pull_rejects: 0,
             ack_timeouts: 0,
             watermarks: vec![12, 0],
+            lag_seqs: vec![3, 0],
+            lag_bytes: 300,
+            pull_age_ms: 7,
+            ..ClusterSnapshot::default()
         });
         let json = serde_json::to_string(&report).unwrap();
         let back: StatsReport = serde_json::from_str(&json).unwrap();
@@ -1071,6 +1099,26 @@ mod tests {
         let cluster = back.cluster.unwrap();
         assert_eq!(cluster.role, "follower");
         assert_eq!(cluster.watermarks, vec![12, 0]);
+        assert_eq!(cluster.lag_seqs, vec![3, 0]);
+        assert_eq!(cluster.lag_bytes, 300);
+
+        // Old STATS payloads (without the lag fields) still deserialize:
+        // the lag section defaults to empty rather than failing the parse.
+        let lag_fields = [
+            "lag_seqs",
+            "lag_bytes",
+            "pull_age_ms",
+            "pull_rtt",
+            "batch_apply",
+        ];
+        let mut old = Serialize::to_value(report.cluster.as_ref().unwrap());
+        if let serde::Value::Map(entries) = &mut old {
+            entries.retain(|(k, _)| !lag_fields.contains(&k.as_str()));
+        }
+        let cluster = ClusterSnapshot::from_value(&old).unwrap();
+        assert_eq!(cluster.role, "follower");
+        assert_eq!(cluster.lag_seqs, Vec::<u64>::new());
+        assert_eq!(cluster.pull_rtt.count, 0);
     }
 
     #[test]

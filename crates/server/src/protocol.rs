@@ -13,8 +13,19 @@
 //! misread as garbage opcodes.
 //!
 //! Requests: GET `0x01`, SET `0x02`, DEL `0x03`, STATS `0x04`,
-//! SHUTDOWN `0x05`. Responses: VALUE `0x80`, NOT_FOUND `0x81`, OK `0x82`,
-//! STATS_JSON `0x83`, ERR `0x84`.
+//! SHUTDOWN `0x05`, PING `0x06`. Responses: VALUE `0x80`, NOT_FOUND
+//! `0x81`, OK `0x82`, STATS_JSON `0x83`, ERR `0x84`, PONG `0x85`.
+//!
+//! **In-band trace propagation.** A frame whose magic byte carries
+//! [`FLAG_TRACE`] prepends a 16-byte [`SpanContext`] (trace id, origin
+//! stamp, hop count) to its payload — the length prefix covers both. The
+//! readers strip the context before handing the payload up
+//! ([`FrameReader::take_span`] surfaces it), so request decoding is
+//! untouched; frames without the flag are byte-identical to the
+//! pre-trace protocol, which is what keeps old clients and new servers
+//! (and vice versa) interoperable. This is the in-band-telemetry idea
+//! from the P4 world: the trace context shares the request's own packet
+//! path instead of a sidecar channel.
 //!
 //! **Pipelining.** A peer may send any number of request frames before
 //! reading a response; the server guarantees responses come back in request
@@ -25,6 +36,8 @@
 
 use std::io::{self, Read, Write};
 
+use p4lru_obs::span::{SpanContext, SPAN_BYTES};
+
 /// Wire-format revision. Bump when the frame or payload layout changes.
 pub const PROTOCOL_VERSION: u8 = 1;
 
@@ -32,6 +45,17 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// version in its low bits. Chosen to collide with neither request nor
 /// response opcodes, so a peer that skips the magic entirely is also caught.
 pub const FRAME_MAGIC: u8 = 0xB0 | PROTOCOL_VERSION;
+
+/// Magic-byte flag: the frame's payload is prefixed by a 16-byte
+/// [`SpanContext`]. The only defined flag bit; anything else in the magic
+/// byte is still a version-drift error.
+pub const FLAG_TRACE: u8 = 0x40;
+
+/// Whether a magic byte is acceptable: the fixed marker, with or without
+/// the trace flag.
+fn magic_ok(b: u8) -> bool {
+    b & !FLAG_TRACE == FRAME_MAGIC
+}
 
 /// Largest accepted payload. Frames beyond this are a protocol error, not an
 /// allocation: a garbage length prefix must not make the server reserve
@@ -62,6 +86,10 @@ pub enum Request {
     Stats,
     /// Ask the server to stop accepting connections and exit cleanly.
     Shutdown,
+    /// Liveness probe: the cheapest possible round trip (no shard
+    /// dispatch, no trace, answered inline like STATS). The router's
+    /// health prober drives these on an interval.
+    Ping,
 }
 
 /// A response from server to client.
@@ -77,6 +105,8 @@ pub enum Response {
     StatsJson(String),
     /// The request could not be served.
     Err(String),
+    /// The answer to a PING.
+    Pong,
 }
 
 const OP_GET: u8 = 0x01;
@@ -84,12 +114,14 @@ const OP_SET: u8 = 0x02;
 const OP_DEL: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_PING: u8 = 0x06;
 
 const RE_VALUE: u8 = 0x80;
 const RE_NOT_FOUND: u8 = 0x81;
 const RE_OK: u8 = 0x82;
 const RE_STATS_JSON: u8 = 0x83;
 const RE_ERR: u8 = 0x84;
+const RE_PONG: u8 = 0x85;
 
 /// A malformed frame or payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -170,6 +202,10 @@ impl Request {
                 buf.clear();
                 buf.push(OP_SHUTDOWN);
             }
+            Request::Ping => {
+                buf.clear();
+                buf.push(OP_PING);
+            }
         }
     }
 
@@ -192,12 +228,13 @@ impl Request {
             },
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_PING => Request::Ping,
             other => return Err(err(format!("unknown request opcode {other:#04x}"))),
         };
         // Fixed-layout requests must not carry trailing bytes.
         let expect = match &req {
             Request::Get { .. } | Request::Del { .. } => 9,
-            Request::Stats | Request::Shutdown => 1,
+            Request::Stats | Request::Shutdown | Request::Ping => 1,
             Request::Set { .. } => payload.len(),
         };
         if payload.len() != expect {
@@ -226,6 +263,7 @@ impl Response {
                 buf.push(RE_ERR);
                 buf.extend_from_slice(s.as_bytes());
             }
+            Response::Pong => buf.push(RE_PONG),
         }
     }
 
@@ -239,7 +277,8 @@ impl Response {
             RE_VALUE => Ok(Response::Value(body.to_vec())),
             RE_NOT_FOUND if body.is_empty() => Ok(Response::NotFound),
             RE_OK if body.is_empty() => Ok(Response::Ok),
-            RE_NOT_FOUND | RE_OK => Err(err("unexpected body on bare response")),
+            RE_PONG if body.is_empty() => Ok(Response::Pong),
+            RE_NOT_FOUND | RE_OK | RE_PONG => Err(err("unexpected body on bare response")),
             RE_STATS_JSON => Ok(Response::StatsJson(utf8(body, "STATS payload")?)),
             RE_ERR => Ok(Response::Err(utf8(body, "ERR payload")?)),
             other => Err(err(format!("unknown response opcode {other:#04x}"))),
@@ -263,7 +302,32 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame's payload into `buf` (cleared and resized).
+/// Writes one trace-flagged frame: [`FRAME_MAGIC`]` | `[`FLAG_TRACE`],
+/// a length covering context + payload, the 16-byte context, then the
+/// payload.
+pub fn write_frame_spanned(
+    w: &mut impl Write,
+    payload: &[u8],
+    span: &SpanContext,
+) -> io::Result<()> {
+    if payload.len() + SPAN_BYTES > MAX_FRAME {
+        return Err(err(format!(
+            "frame of {} bytes exceeds MAX_FRAME",
+            payload.len() + SPAN_BYTES
+        ))
+        .into());
+    }
+    w.write_all(&[FRAME_MAGIC | FLAG_TRACE])?;
+    w.write_all(&((payload.len() + SPAN_BYTES) as u32).to_le_bytes())?;
+    w.write_all(&span.encode())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload into `buf` (cleared and resized). A
+/// trace-flagged frame has its span context stripped and *discarded* —
+/// use [`FrameReader`] (and [`FrameReader::take_span`]) where the context
+/// matters.
 ///
 /// Returns `Ok(false)` on clean EOF *before* the magic byte — the peer hung
 /// up between requests, which is not an error. A wrong magic byte is an
@@ -276,7 +340,7 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
         Ok(_) => {}
         Err(e) => return Err(e),
     }
-    if magic[0] != FRAME_MAGIC {
+    if !magic_ok(magic[0]) {
         return Err(err(format!(
             "bad frame magic {:#04x} (expected {FRAME_MAGIC:#04x}; \
              mixed protocol versions?)",
@@ -293,6 +357,12 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
     buf.clear();
     buf.resize(n, 0);
     r.read_exact(buf)?;
+    if magic[0] & FLAG_TRACE != 0 {
+        if n < SPAN_BYTES {
+            return Err(err("trace-flagged frame shorter than its span context").into());
+        }
+        buf.drain(..SPAN_BYTES);
+    }
     Ok(true)
 }
 
@@ -319,6 +389,9 @@ pub struct FrameReader<R> {
     buf: Vec<u8>,
     start: usize,
     end: usize,
+    /// Span context stripped from the most recent trace-flagged frame
+    /// ([`FrameReader::take_span`]); cleared by every plain frame.
+    span: Option<SpanContext>,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -337,6 +410,7 @@ impl<R: Read> FrameReader<R> {
             buf: vec![0; cap.max(HEADER)],
             start: 0,
             end: 0,
+            span: None,
         }
     }
 
@@ -344,11 +418,18 @@ impl<R: Read> FrameReader<R> {
         self.end - self.start
     }
 
+    /// The span context carried by the most recently read frame, if it
+    /// was trace-flagged. Taking consumes it; a later plain frame also
+    /// clears it, so a stale span can never attach to the wrong request.
+    pub fn take_span(&mut self) -> Option<SpanContext> {
+        self.span.take()
+    }
+
     /// Payload length of the buffered frame header, if a full header is
     /// buffered and well-formed. `Err` variants are reported by
     /// [`FrameReader::read_frame`]; this only peeks.
     fn peek_len(&self) -> Option<usize> {
-        if self.buffered() < HEADER || self.buf[self.start] != FRAME_MAGIC {
+        if self.buffered() < HEADER || !magic_ok(self.buf[self.start]) {
             return None;
         }
         let len: [u8; 4] = self.buf[self.start + 1..self.start + HEADER]
@@ -361,7 +442,7 @@ impl<R: Read> FrameReader<R> {
     /// [`FrameReader::read_frame`] will turn into an immediate error) is
     /// already buffered, so the next `read_frame` will not touch the socket.
     pub fn has_buffered_frame(&self) -> bool {
-        if self.buffered() >= 1 && self.buf[self.start] != FRAME_MAGIC {
+        if self.buffered() >= 1 && !magic_ok(self.buf[self.start]) {
             return true; // bad magic: read_frame errors without blocking
         }
         match self.peek_len() {
@@ -395,7 +476,7 @@ impl<R: Read> FrameReader<R> {
     /// unbuffered [`read_frame`].
     pub fn read_frame(&mut self, buf: &mut Vec<u8>) -> io::Result<bool> {
         loop {
-            if self.buffered() >= 1 && self.buf[self.start] != FRAME_MAGIC {
+            if self.buffered() >= 1 && !magic_ok(self.buf[self.start]) {
                 return Err(err(format!(
                     "bad frame magic {:#04x} (expected {FRAME_MAGIC:#04x}; \
                      mixed protocol versions?)",
@@ -410,9 +491,21 @@ impl<R: Read> FrameReader<R> {
                     );
                 }
                 if self.buffered() >= HEADER + len {
-                    let at = self.start + HEADER;
+                    let mut at = self.start + HEADER;
+                    let mut body = len;
+                    self.span = None;
+                    if self.buf[self.start] & FLAG_TRACE != 0 {
+                        if len < SPAN_BYTES {
+                            return Err(
+                                err("trace-flagged frame shorter than its span context").into()
+                            );
+                        }
+                        self.span = SpanContext::decode(&self.buf[at..at + SPAN_BYTES]);
+                        at += SPAN_BYTES;
+                        body -= SPAN_BYTES;
+                    }
                     buf.clear();
-                    buf.extend_from_slice(&self.buf[at..at + len]);
+                    buf.extend_from_slice(&self.buf[at..at + body]);
                     self.start += HEADER + len;
                     if self.start == self.end {
                         self.start = 0;
@@ -511,6 +604,28 @@ impl<W: Write> FrameWriter<W> {
         Ok(())
     }
 
+    /// Queues one trace-flagged frame: same coalescing as
+    /// [`FrameWriter::write_frame`], with `span`'s 16 bytes prefixed to
+    /// the payload (and covered by the length).
+    pub fn write_frame_spanned(&mut self, payload: &[u8], span: &SpanContext) -> io::Result<()> {
+        if payload.len() + SPAN_BYTES > MAX_FRAME {
+            return Err(err(format!(
+                "frame of {} bytes exceeds MAX_FRAME",
+                payload.len() + SPAN_BYTES
+            ))
+            .into());
+        }
+        if self.pending() >= self.threshold {
+            self.flush_nonblocking()?;
+        }
+        self.buf.push(FRAME_MAGIC | FLAG_TRACE);
+        self.buf
+            .extend_from_slice(&((payload.len() + SPAN_BYTES) as u32).to_le_bytes());
+        self.buf.extend_from_slice(&span.encode());
+        self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+
     /// Number of bytes queued but not yet written.
     pub fn pending(&self) -> usize {
         self.buf.len() - self.pos
@@ -596,6 +711,22 @@ mod tests {
         roundtrip_request(Request::Del { key: 42 });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Ping);
+    }
+
+    #[test]
+    fn ping_and_pong_roundtrip_and_reject_bodies() {
+        let mut buf = Vec::new();
+        Request::Ping.encode(&mut buf);
+        assert_eq!(buf, [OP_PING], "PING is a single opcode byte");
+        assert_eq!(Request::decode(&buf).unwrap(), Request::Ping);
+        assert!(Request::decode(&[OP_PING, 0]).is_err(), "PING with body");
+
+        Response::Pong.encode(&mut buf);
+        assert_eq!(buf, [RE_PONG]);
+        assert_eq!(Response::decode(&buf).unwrap(), Response::Pong);
+        assert!(Response::decode(&[RE_PONG, 1]).is_err(), "PONG with body");
+        roundtrip_response(Response::Pong);
     }
 
     #[test]
@@ -949,6 +1080,123 @@ mod tests {
         assert!(read_frame(&mut cursor, &mut buf).unwrap());
         assert_eq!(buf, vec![0xAB; 300]);
         assert!(!read_frame(&mut cursor, &mut buf).unwrap());
+    }
+
+    fn span(trace_id: u64, hop: u8) -> SpanContext {
+        SpanContext {
+            trace_id,
+            origin_us: 123_456,
+            hop,
+        }
+    }
+
+    #[test]
+    fn spanned_frames_carry_the_context_and_plain_frames_clear_it() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            writer
+                .write_frame_spanned(b"traced", &span(0xAA55, 2))
+                .unwrap();
+            writer.write_frame(b"plain").unwrap();
+            writer.write_frame_spanned(b"", &span(7, 0)).unwrap();
+            writer.flush().unwrap();
+        }
+        assert_eq!(wire[0], FRAME_MAGIC | FLAG_TRACE);
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let mut buf = Vec::new();
+
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, b"traced", "the context is stripped from the payload");
+        assert_eq!(reader.take_span(), Some(span(0xAA55, 2)));
+        assert_eq!(reader.take_span(), None, "taking consumes");
+
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, b"plain");
+        assert_eq!(reader.take_span(), None, "plain frames carry no span");
+
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(buf, b"", "a spanned frame can have an empty payload");
+        assert_eq!(reader.take_span(), Some(span(7, 0)));
+
+        // A stale span never leaks onto a later plain frame even if the
+        // caller forgot to take it.
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            writer.write_frame_spanned(b"a", &span(1, 0)).unwrap();
+            writer.write_frame(b"b").unwrap();
+            writer.flush().unwrap();
+        }
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert!(reader.read_frame(&mut buf).unwrap());
+        assert_eq!(reader.take_span(), None);
+    }
+
+    #[test]
+    fn unbuffered_reader_strips_and_discards_the_span() {
+        let mut wire = Vec::new();
+        write_frame_spanned(&mut wire, b"payload", &span(9, 1)).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(buf, b"payload");
+    }
+
+    #[test]
+    fn old_clients_and_new_servers_interoperate_both_ways() {
+        // A pre-PING, pre-trace client's frames are plain; the upgraded
+        // reader must parse them byte-for-byte as before.
+        let mut wire = Vec::new();
+        for req in [
+            Request::Get { key: 3 },
+            Request::Set {
+                key: 4,
+                value: vec![9; 64],
+            },
+            Request::Stats,
+        ] {
+            let mut payload = Vec::new();
+            req.encode(&mut payload);
+            write_frame(&mut wire, &payload).unwrap();
+        }
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            assert!(reader.read_frame(&mut buf).unwrap());
+            Request::decode(&buf).expect("pre-trace frames still parse");
+            assert_eq!(reader.take_span(), None);
+        }
+
+        // And the trace flag is the *only* tolerated magic deviation: any
+        // other flag bit (0x08 is not part of 0xB1) still fails fast as
+        // version drift.
+        let mut wire = vec![FRAME_MAGIC | 0x08];
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(OP_PING);
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let e = reader.read_frame(&mut buf).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+
+        // A trace-flagged frame too short to hold its context is
+        // malformed, not a truncated read.
+        let mut wire = vec![FRAME_MAGIC | FLAG_TRACE];
+        wire.extend_from_slice(&4u32.to_le_bytes());
+        wire.extend_from_slice(&[0; 4]);
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let e = reader.read_frame(&mut buf).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("span context"), "{e}");
+    }
+
+    #[test]
+    fn spanned_writer_respects_max_frame_including_the_context() {
+        let mut writer = FrameWriter::new(Vec::new());
+        let almost = vec![0u8; MAX_FRAME - SPAN_BYTES];
+        writer.write_frame_spanned(&almost, &span(1, 0)).unwrap();
+        let too_big = vec![0u8; MAX_FRAME - SPAN_BYTES + 1];
+        assert!(writer.write_frame_spanned(&too_big, &span(1, 0)).is_err());
     }
 
     #[test]

@@ -100,7 +100,12 @@ impl ReactorConn {
         {
             match self.reader.read_frame(&mut self.frame) {
                 Ok(true) => {
-                    serve(&self.frame, &self.ctx, &mut self.conn);
+                    serve(
+                        &self.frame,
+                        self.reader.take_span(),
+                        &self.ctx,
+                        &mut self.conn,
+                    );
                     served += 1;
                 }
                 Ok(false) => return Err(Status::Close), // clean disconnect

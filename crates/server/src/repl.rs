@@ -42,9 +42,9 @@ use std::time::{Duration, Instant};
 
 use p4lru_durable::reader::{decode_batch, read_log_from, ReadOutcome};
 use p4lru_durable::snapshot::list_snapshots;
-use p4lru_obs::RequestTrace;
+use p4lru_obs::{AtomicHistogram, RequestTrace};
 
-use crate::metrics::{ClusterSnapshot, ShardMetrics};
+use crate::metrics::{ClusterSnapshot, LatencySummary, ShardMetrics};
 use crate::server::{Reply, ReplySink, ShardOp, ShardReply, ShardRequest};
 
 /// Replication configuration, hung off
@@ -337,6 +337,21 @@ pub struct ReplState {
     snapshots_installed: AtomicU64,
     pull_rejects: AtomicU64,
     ack_timeouts: AtomicU64,
+    /// Per-shard replication lag in sequence numbers, as last observed by
+    /// the follower's pull loop (always zero on a primary): the shipped
+    /// `last_seq` minus the applied cursor at shipment time, held through
+    /// applies and drained only by an `UpToDate` confirmation — a follower
+    /// that is still receiving records *is* behind, however fast it applies.
+    lag_seqs: Vec<AtomicU64>,
+    /// Rolling average encoded-record size from the last shipment, the
+    /// multiplier behind the `lag_bytes` estimate.
+    avg_record_bytes: AtomicU64,
+    /// Milliseconds since `started` of the last completed pull round trip;
+    /// `u64::MAX` until the first one (renders as age 0, not "huge").
+    last_pull_ms: AtomicU64,
+    started: Instant,
+    pull_rtt: AtomicHistogram,
+    batch_apply: AtomicHistogram,
 }
 
 impl ReplState {
@@ -378,6 +393,12 @@ impl ReplState {
             snapshots_installed: AtomicU64::new(0),
             pull_rejects: AtomicU64::new(0),
             ack_timeouts: AtomicU64::new(0),
+            lag_seqs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            avg_record_bytes: AtomicU64::new(0),
+            last_pull_ms: AtomicU64::new(u64::MAX),
+            started: Instant::now(),
+            pull_rtt: AtomicHistogram::new(),
+            batch_apply: AtomicHistogram::new(),
         }
     }
 
@@ -455,10 +476,56 @@ impl ReplState {
         (0..self.gates.len()).map(|i| self.watermark(i)).collect()
     }
 
+    /// Records one shard's observed replication lag in sequence numbers
+    /// (follower side; `UpToDate` reports zero).
+    pub(crate) fn set_lag(&self, shard: usize, seqs: u64) {
+        if let Some(g) = self.lag_seqs.get(shard) {
+            g.store(seqs, Ordering::Relaxed);
+        }
+    }
+
+    /// Notes the size profile of a shipped batch (feeds the `lag_bytes`
+    /// estimate) — `records` is nonzero by construction (dense runs).
+    pub(crate) fn note_batch(&self, records: u64, bytes: u64) {
+        if let Some(avg) = bytes.checked_div(records) {
+            self.avg_record_bytes.store(avg, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one completed pull round trip (RTT sample + freshness
+    /// stamp behind `pull_age_ms`).
+    pub(crate) fn mark_pull(&self, rtt: Duration) {
+        self.pull_rtt.record_ns(rtt.as_nanos() as u64);
+        self.last_pull_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Records how long one shipped batch took to apply through the shard
+    /// channel (includes the commit gate — this is durable-apply time).
+    pub(crate) fn record_batch_apply(&self, took: Duration) {
+        self.batch_apply.record_ns(took.as_nanos() as u64);
+    }
+
     /// Point-in-time copy of the replication counters for STATS and
     /// `/metrics`.
     pub fn snapshot(&self) -> ClusterSnapshot {
+        let lag_seqs: Vec<u64> = self
+            .lag_seqs
+            .iter()
+            .map(|g| g.load(Ordering::Relaxed))
+            .collect();
+        let lag_total: u64 = lag_seqs.iter().sum();
+        let lag_bytes = lag_total.saturating_mul(self.avg_record_bytes.load(Ordering::Relaxed));
+        let pull_age_ms = match self.last_pull_ms.load(Ordering::Relaxed) {
+            u64::MAX => 0,
+            at => (self.started.elapsed().as_millis() as u64).saturating_sub(at),
+        };
         ClusterSnapshot {
+            lag_seqs,
+            lag_bytes,
+            pull_age_ms,
+            pull_rtt: LatencySummary::from_hist(&self.pull_rtt.snapshot()),
+            batch_apply: LatencySummary::from_hist(&self.batch_apply.snapshot()),
             role: self.role().name().to_string(),
             ack_mode: self.ack_mode,
             primary_addr: self.primary_addr.clone(),
@@ -738,6 +805,7 @@ pub(crate) fn follower_pull_loop(
                     max_bytes: PULL_MAX_BYTES,
                 };
                 req.encode(&mut out);
+                let pull_started = Instant::now();
                 if write_repl_frame(&mut stream, &out).is_err() {
                     break 'conn;
                 }
@@ -745,6 +813,7 @@ pub(crate) fn follower_pull_loop(
                     Ok(true) => {}
                     _ => break 'conn,
                 }
+                state.mark_pull(pull_started.elapsed());
                 let response = match PullResponse::decode(&frame) {
                     Ok(r) => r,
                     Err(_) => {
@@ -756,7 +825,7 @@ pub(crate) fn follower_pull_loop(
                 match response {
                     PullResponse::Records {
                         first_seq,
-                        last_seq: _,
+                        last_seq,
                         bytes,
                     } => {
                         if first_seq != cursors[shard] + 1 {
@@ -779,7 +848,14 @@ pub(crate) fn follower_pull_loop(
                         if records.is_empty() {
                             continue;
                         }
+                        // The shipment's head is the freshest view of the
+                        // primary's position this node has: everything from
+                        // the cursor to `last_seq` is known-outstanding.
+                        // `UpToDate` (below) drains the gauge to zero.
+                        state.set_lag(shard, last_seq.saturating_sub(cursors[shard]));
+                        state.note_batch(records.len() as u64, bytes.len() as u64);
                         let n = records.len() as u64;
+                        let apply_started = Instant::now();
                         match apply_to_shard(
                             &senders[shard],
                             &metrics[shard],
@@ -788,7 +864,15 @@ pub(crate) fn follower_pull_loop(
                             ShardOp::ReplApply(records),
                         ) {
                             Ok(applied) => {
+                                state.record_batch_apply(apply_started.elapsed());
                                 cursors[shard] = applied;
+                                // Deliberately no `set_lag` here: applying a
+                                // full batch proves nothing about the
+                                // primary's head (a full shipment usually
+                                // means more is waiting — that is why the
+                                // loop re-pulls immediately). The gauge
+                                // holds the last known-outstanding distance
+                                // until the primary confirms `UpToDate`.
                                 state.advance_watermark(shard, applied);
                                 state.record_applied(n);
                                 progressed = true;
@@ -829,7 +913,7 @@ pub(crate) fn follower_pull_loop(
                             Err(ApplyErr::ShardGone) => return,
                         }
                     }
-                    PullResponse::UpToDate => {}
+                    PullResponse::UpToDate => state.set_lag(shard, 0),
                     PullResponse::Err(msg) => {
                         eprintln!("[p4lru-server] pull for shard {shard} failed: {msg}");
                         state.pull_reject();
@@ -945,6 +1029,44 @@ mod tests {
         assert!(!state.promote(), "second promote is a no-op");
         assert_eq!(state.role(), Role::Primary);
         assert_eq!(state.snapshot().promotions, 1);
+    }
+
+    #[test]
+    fn lag_telemetry_tracks_and_drains() {
+        let state = ReplState::new(
+            Role::Follower,
+            2,
+            false,
+            Duration::from_millis(10),
+            "127.0.0.1:1".to_owned(),
+            &[0, 0],
+        );
+        // Before any pull: everything reads as zero/fresh.
+        let s = state.snapshot();
+        assert_eq!(s.lag_seqs, vec![0, 0]);
+        assert_eq!(s.lag_bytes, 0);
+        assert_eq!(s.pull_age_ms, 0, "no pull yet is age 0, not huge");
+        assert_eq!(s.pull_rtt.count, 0);
+
+        state.set_lag(0, 40);
+        state.note_batch(10, 1_000); // 100 bytes/record
+        state.mark_pull(Duration::from_micros(250));
+        state.record_batch_apply(Duration::from_micros(900));
+        let s = state.snapshot();
+        assert_eq!(s.lag_seqs, vec![40, 0]);
+        assert_eq!(s.lag_bytes, 40 * 100, "lag_bytes = lag * avg record size");
+        assert_eq!(s.pull_rtt.count, 1);
+        assert_eq!(s.batch_apply.count, 1);
+        assert!(s.pull_rtt.sum_ns >= 250_000);
+
+        // Catching up drains the gauges to zero.
+        state.set_lag(0, 0);
+        let s = state.snapshot();
+        assert_eq!(s.lag_seqs, vec![0, 0]);
+        assert_eq!(s.lag_bytes, 0);
+        // Out-of-range shard is a no-op, like the watermark gates.
+        state.set_lag(9, 5);
+        assert_eq!(state.snapshot().lag_seqs.len(), 2);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use p4lru_durable::DurabilityConfig;
 use p4lru_kvstore::db::record_for;
 use p4lru_kvstore::slab::Record;
 use p4lru_obs::trace::Stage;
-use p4lru_obs::{MetricsHttp, ObsConfig, OpKind, Periodic, RequestTrace, Tracer};
+use p4lru_obs::{MetricsHttp, ObsConfig, OpKind, Periodic, RequestTrace, SpanContext, Tracer};
 use p4lru_reactor::{LoopStats, Mailbox, Reactor};
 
 use crate::expose::{build_report, render_prometheus_full, StatsSampler};
@@ -1176,7 +1176,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
                 }
             }
             match reader.read_frame(&mut frame) {
-                Ok(true) => serve(&frame, ctx, &mut conn),
+                Ok(true) => serve(&frame, reader.take_span(), ctx, &mut conn),
                 Ok(false) => return, // clean disconnect
                 Err(e)
                     if matches!(
@@ -1220,10 +1220,13 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
 }
 
 /// Parses and dispatches one request frame under the connection's next
-/// sequence number. Keyed requests go to their shard; STATS and SHUTDOWN
-/// (and malformed frames) resolve inline but park behind any in-flight
-/// shard replies so the wire stays in request order.
-pub(crate) fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
+/// sequence number. Keyed requests go to their shard; STATS, SHUTDOWN,
+/// and PING (and malformed frames) resolve inline but park behind any
+/// in-flight shard replies so the wire stays in request order. `span` is
+/// the in-band trace context the frame carried, if any — it attaches to
+/// the request's (sampled) trace so the server's eight stages land in
+/// the same trace the upstream hop originated.
+pub(crate) fn serve(frame: &[u8], span: Option<SpanContext>, ctx: &Ctx, conn: &mut Conn) {
     let seq = conn.next_seq;
     conn.next_seq += 1;
     let request = match Request::decode(frame) {
@@ -1241,9 +1244,10 @@ pub(crate) fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
         Request::Get { .. } => Some(OpKind::Get),
         Request::Set { .. } => Some(OpKind::Set),
         Request::Del { .. } => Some(OpKind::Del),
-        // Control-plane requests (STATS, SHUTDOWN) are not traced: they
-        // skip the shard pipeline, so their stage stamps would be noise.
-        Request::Stats | Request::Shutdown => None,
+        // Control-plane requests (STATS, SHUTDOWN, PING) are not traced:
+        // they skip the shard pipeline, so their stage stamps would be
+        // noise — and PING must stay the cheapest possible round trip.
+        Request::Stats | Request::Shutdown | Request::Ping => None,
     };
     // A follower's store is a replica of the primary's WAL: client writes
     // would fork the history, so they bounce with a redirect hint. Reads
@@ -1283,11 +1287,22 @@ pub(crate) fn serve(frame: &[u8], ctx: &Ctx, conn: &mut Conn) {
             conn.park(seq, ShardReply::Ok, RequestTrace::disabled());
             return;
         }
+        Request::Ping => {
+            conn.park(
+                seq,
+                ShardReply::Other(Response::Pong),
+                RequestTrace::disabled(),
+            );
+            return;
+        }
     };
     let shard = shard_of(op_key(&op), ctx.senders.len());
     let mut trace = ctx
         .tracer
         .start(kind.expect("keyed ops always have a kind"), shard as u32);
+    if let Some(span) = span {
+        ctx.tracer.attach_span(&mut trace, span);
+    }
     // `decode` is the trace's time origin; `route` closes out the
     // decode+route work this thread did before handing off to the shard.
     ctx.tracer.stamp(&mut trace, Stage::Decode);

@@ -1,0 +1,227 @@
+//! Replication-lag telemetry integration test (DESIGN.md §15).
+//!
+//! A real follower is pointed at a scripted fake primary that ships one
+//! ten-record batch and then *withholds* the up-to-date confirmation —
+//! the shape of a primary that is slow to ship the rest of its backlog.
+//! The follower must:
+//!
+//! * report the shipped-but-unconfirmed distance as nonzero
+//!   `repl_lag_seqs` (held steady across polls, not a one-poll blip),
+//!   with the `lag_bytes` estimate and pull/apply histograms populated;
+//! * render the same numbers as `p4lru_repl_*` Prometheus families on its
+//!   own `/metrics` endpoint — the follower role serves the replication
+//!   section too, not just the primary;
+//! * drain the gauge to exactly zero once the primary finally confirms
+//!   `UP_TO_DATE`.
+
+#![cfg(unix)]
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p4lru_durable::record::encode_into;
+use p4lru_durable::WalOp;
+use p4lru_kvstore::db::record_for;
+use p4lru_obs::http::http_get;
+use p4lru_server::client::Client;
+use p4lru_server::repl::{
+    read_repl_frame, write_repl_frame, PullRequest, PullResponse, ReplConfig,
+};
+use p4lru_server::server::{Server, ServerConfig};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "p4lru-repllag-{label}-{}-{:x}",
+            std::process::id(),
+            &raw const label as usize
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Encodes `n` SET records starting at sequence `first` in on-disk WAL
+/// framing — exactly what an honest primary would ship.
+fn batch(first: u64, n: u64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for seq in first..first + n {
+        encode_into(
+            &mut bytes,
+            seq,
+            &WalOp::Set {
+                key: 9_000 + seq,
+                record: record_for(9_000 + seq),
+            },
+        );
+    }
+    bytes
+}
+
+/// A fake primary that ships records 1..=10 on the first pull and then
+/// stalls: until `caught_up` flips, every later pull gets an *empty*
+/// records frame (keeps the connection alive, confirms nothing), after
+/// which it answers `UP_TO_DATE`. The ten-record shipment stays
+/// unconfirmed — the follower's lag gauge must hold at 10 the whole time.
+fn spawn_stalling_primary() -> (SocketAddr, Arc<AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let caught_up = Arc::new(AtomicBool::new(false));
+    let gate = Arc::clone(&caught_up);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let mut frame = Vec::new();
+            let mut out = Vec::new();
+            while let Ok(true) = read_repl_frame(&mut stream, &mut frame) {
+                let Ok(req) = PullRequest::decode(&frame) else {
+                    break;
+                };
+                let response = if req.from_seq == 1 {
+                    PullResponse::Records {
+                        first_seq: 1,
+                        last_seq: 10,
+                        bytes: batch(1, 10),
+                    }
+                } else if gate.load(Ordering::SeqCst) {
+                    PullResponse::UpToDate
+                } else {
+                    // Alive but confirming nothing: an empty shipment at
+                    // the follower's own cursor.
+                    PullResponse::Records {
+                        first_seq: req.from_seq,
+                        last_seq: req.from_seq.saturating_sub(1),
+                        bytes: Vec::new(),
+                    }
+                };
+                response.encode(&mut out);
+                if write_repl_frame(&mut stream, &out).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, caught_up)
+}
+
+fn follower_config(data_dir: &Path, primary: SocketAddr) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 1,
+        items: 50,
+        units_per_shard: 64,
+        data_dir: Some(data_dir.to_path_buf()),
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        repl: Some(ReplConfig {
+            follow: Some(primary.to_string()),
+            // This test is about the gauge, never about promotion.
+            failover: Duration::from_secs(60),
+            pull_interval: Duration::from_millis(25),
+            ..ReplConfig::default()
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// Polls fresh STATS until `check` passes or the deadline hits.
+fn wait_for(client: &mut Client, what: &str, check: impl Fn(&p4lru_server::StatsReport) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = client.stats().expect("STATS while waiting");
+        if check(&report) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn a_stalled_follower_reports_its_lag_and_drains_it_on_catch_up() {
+    let (fake_primary, caught_up) = spawn_stalling_primary();
+    let tmp = TempDir::new("gauge");
+    let follower = Server::spawn(&follower_config(&tmp.0, fake_primary)).unwrap();
+    let mut f = Client::connect(follower.local_addr()).unwrap();
+
+    // Phase 1: the batch lands but is never confirmed — the gauge must
+    // read the shipped distance, not zero.
+    wait_for(&mut f, "the ten-record shipment to apply", |r| {
+        r.cluster.as_ref().map(|c| c.records_applied) == Some(10)
+    });
+    let cluster = f.stats().unwrap().cluster.unwrap();
+    assert_eq!(cluster.lag_seqs, vec![10], "shipped-but-unconfirmed lag");
+    assert!(
+        cluster.lag_bytes > 0,
+        "lag_bytes estimates from the batch's record sizes"
+    );
+    assert!(cluster.pull_rtt.count > 0, "pull RTTs were measured");
+    assert!(cluster.batch_apply.count >= 1, "the apply was timed");
+    assert_eq!(cluster.watermarks, vec![10], "the batch is durably applied");
+
+    // Not a one-poll blip: the follower keeps pulling (and keeps getting
+    // nothing confirmed), and the gauge holds.
+    std::thread::sleep(Duration::from_millis(300));
+    let held = f.stats().unwrap().cluster.unwrap();
+    assert_eq!(
+        held.lag_seqs,
+        vec![10],
+        "lag holds while the primary stalls"
+    );
+    assert!(
+        held.pull_rtt.count > cluster.pull_rtt.count,
+        "the pull loop stayed live through the stall"
+    );
+
+    // Satellite check: the follower's own /metrics renders the replication
+    // section — lag gauges, histograms, and the role family all present.
+    let metrics = follower.metrics_addr().expect("metrics endpoint");
+    let (status, body) = http_get(metrics, "/metrics").unwrap();
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("p4lru_cluster_role{role=\"follower\"} 1\n"));
+    assert!(body.contains("p4lru_repl_lag_seqs{shard=\"0\"} 10\n"));
+    assert!(body.contains("# TYPE p4lru_repl_lag_bytes gauge"));
+    assert!(body.contains("p4lru_repl_pull_age_ms"));
+    assert!(body.contains("# TYPE p4lru_repl_pull_rtt_seconds histogram"));
+    assert!(body.contains("p4lru_repl_batch_apply_seconds_count 1\n"));
+    assert!(body.contains("p4lru_cluster_records_applied_total 10\n"));
+
+    // Phase 2: the primary confirms UP_TO_DATE; the gauge drains to zero
+    // and the replicated data is all present.
+    caught_up.store(true, Ordering::SeqCst);
+    wait_for(&mut f, "the lag gauge to drain", |r| {
+        r.cluster
+            .as_ref()
+            .is_some_and(|c| c.lag_seqs.iter().sum::<u64>() == 0)
+    });
+    let drained = f.stats().unwrap().cluster.unwrap();
+    assert_eq!(drained.lag_bytes, 0, "no lag, no bytes estimate");
+    assert_eq!(drained.records_applied, 10);
+    assert_eq!(drained.role, "follower");
+    assert_eq!(drained.promotions, 0, "the stall never looked like a death");
+    for seq in 1..=10u64 {
+        let key = 9_000 + seq;
+        assert_eq!(
+            f.get(key).unwrap().as_deref(),
+            Some(&record_for(key)[..]),
+            "replicated record {seq} readable on the follower"
+        );
+    }
+
+    let (_, body) = http_get(metrics, "/metrics").unwrap();
+    assert!(body.contains("p4lru_repl_lag_seqs{shard=\"0\"} 0\n"));
+    assert!(body.contains("p4lru_repl_lag_bytes 0\n"));
+
+    follower.shutdown();
+}

@@ -12,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use p4lru_tier::{ProxyConfig, SwitchTierConfig, TierProxy};
+use p4lru_tier::{ProxyConfig, TierProxy};
 
 const USAGE: &str = "\
 p4lru_tierd — in-network LruIndex tier in front of serverd
@@ -27,6 +27,11 @@ OPTIONS:
   --seed <n>              index hash seed           [default: 0x7134]
   --metrics-addr <a>      serve Prometheus text at http://<a>/metrics
   --shutdown-upstream     forward a client's SHUTDOWN to serverd as well
+  --trace-every <n>       originate an in-band trace for 1 in n requests
+                          (0 disables origination; forwarded client spans
+                          always propagate)        [default: 64]
+  --slow-op-us <n>        print a TIER trace breakdown past this
+                          end-to-end time          [default: 10000]
   -h, --help              print this help
 ";
 
@@ -34,9 +39,7 @@ fn parse_args() -> Result<ProxyConfig, String> {
     let mut config = ProxyConfig {
         addr: "127.0.0.1:4250".to_owned(),
         upstream: "127.0.0.1:4190".to_owned(),
-        switch: SwitchTierConfig::default(),
-        metrics_addr: None,
-        shutdown_upstream: false,
+        ..ProxyConfig::default()
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -57,6 +60,8 @@ fn parse_args() -> Result<ProxyConfig, String> {
             "--switch-memory" => config.switch.memory_bytes = value.parse().map_err(bad)?,
             "--seed" => config.switch.seed = value.parse().map_err(bad)?,
             "--metrics-addr" => config.metrics_addr = Some(value),
+            "--trace-every" => config.trace_every = value.parse().map_err(bad)?,
+            "--slow-op-us" => config.slow_op_us = value.parse().map_err(bad)?,
             _ => return Err(format!("unknown flag {flag}")),
         }
     }

@@ -16,12 +16,12 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use p4lru_obs::MetricsHttp;
+use p4lru_obs::{HopKind, HopTrace, MetricsHttp, SpanContext, TraceIdGen};
 use p4lru_server::shard::record_from_bytes;
 use p4lru_server::{tier_families, Client, FrameReader, FrameWriter, Request, Response};
 
@@ -45,6 +45,13 @@ pub struct ProxyConfig {
     /// Forward SHUTDOWN to the upstream serverd as well (a client's
     /// SHUTDOWN always stops the proxy itself).
     pub shutdown_upstream: bool,
+    /// Originate an in-band trace context for 1 in `trace_every` data
+    /// requests (0 disables origination). A client's own trace context
+    /// always propagates, whatever this is set to.
+    pub trace_every: u64,
+    /// Print a `TIER trace=…` breakdown when a traced request's
+    /// end-to-end time exceeds this many microseconds.
+    pub slow_op_us: u64,
 }
 
 impl Default for ProxyConfig {
@@ -55,6 +62,8 @@ impl Default for ProxyConfig {
             switch: SwitchTierConfig::default(),
             metrics_addr: None,
             shutdown_upstream: false,
+            trace_every: 64,
+            slow_op_us: 10_000,
         }
     }
 }
@@ -67,6 +76,31 @@ struct Shared {
     shutdown_upstream: bool,
     running: Arc<AtomicBool>,
     local_addr: SocketAddr,
+    trace_ids: TraceIdGen,
+    /// Sampling clock for span origination (1 in `trace_every`).
+    traced: AtomicU64,
+    trace_every: u64,
+    slow_ns: u64,
+}
+
+impl Shared {
+    /// The span this hop works under: the client's own context advanced
+    /// one hop, or (for 1 in `trace_every` untraced data requests) a
+    /// freshly originated one.
+    fn span_for(&self, incoming: Option<SpanContext>) -> Option<SpanContext> {
+        if let Some(span) = incoming {
+            return Some(span.next_hop());
+        }
+        if self.trace_every == 0 {
+            return None;
+        }
+        let n = self.traced.fetch_add(1, Ordering::Relaxed);
+        if self.trace_every == 1 || n.is_multiple_of(self.trace_every) {
+            Some(SpanContext::originate(self.trace_ids.next_id()))
+        } else {
+            None
+        }
+    }
 }
 
 /// A running tier proxy; stop with [`TierProxy::shutdown`] or wait for a
@@ -101,6 +135,10 @@ impl TierProxy {
             shutdown_upstream: config.shutdown_upstream,
             running: Arc::clone(&running),
             local_addr,
+            trace_ids: TraceIdGen::new(),
+            traced: AtomicU64::new(0),
+            trace_every: config.trace_every,
+            slow_ns: config.slow_op_us.saturating_mul(1_000),
         });
         let metrics_http = match &config.metrics_addr {
             Some(addr) => {
@@ -244,7 +282,22 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         let stop = matches!(request, Request::Shutdown);
-        let response = serve(&request, shared, &mut upstream);
+        let span = match request {
+            Request::Get { .. } | Request::Set { .. } | Request::Del { .. } => {
+                shared.span_for(reader.take_span())
+            }
+            _ => None,
+        };
+        let started = Instant::now();
+        let response = serve(&request, span, shared, &mut upstream);
+        if let Some(ctx) = span {
+            let total = started.elapsed().as_nanos() as u64;
+            if total >= shared.slow_ns {
+                let mut hop = HopTrace::new(ctx, HopKind::Tier);
+                hop.segment("serve", total);
+                println!("[p4lru_tierd] slow op: {}", hop.breakdown());
+            }
+        }
         if respond(&mut writer, &mut out, &response).is_err() {
             return;
         }
@@ -270,8 +323,15 @@ fn respond(
 }
 
 /// The tier logic for one request. Upstream failures surface as protocol
-/// `Err` responses rather than dropped connections.
-fn serve(request: &Request, shared: &Shared, upstream: &mut Client) -> Response {
+/// `Err` responses rather than dropped connections. `span` (this hop's
+/// trace context) rides upstream on forwarded requests only — a switch hit
+/// never leaves the tier, which the trace shows as a missing SERVER hop.
+fn serve(
+    request: &Request,
+    span: Option<SpanContext>,
+    shared: &Shared,
+    upstream: &mut Client,
+) -> Response {
     match *request {
         Request::Get { key } => {
             shared.counters.get();
@@ -283,6 +343,7 @@ fn serve(request: &Request, shared: &Shared, upstream: &mut Client) -> Response 
                 switch.epoch()
             };
             shared.counters.forward();
+            upstream.set_next_span(span);
             match upstream.get(key) {
                 Ok(Some(value)) => {
                     shared.switch.lock().expect("switch poisoned").admit(
@@ -304,6 +365,7 @@ fn serve(request: &Request, shared: &Shared, upstream: &mut Client) -> Response 
                 .expect("switch poisoned")
                 .invalidate(key);
             shared.counters.forward();
+            upstream.set_next_span(span);
             match upstream.set(key, value) {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Err(format!("upstream SET failed: {e}")),
@@ -317,6 +379,7 @@ fn serve(request: &Request, shared: &Shared, upstream: &mut Client) -> Response 
                 .expect("switch poisoned")
                 .invalidate(key);
             shared.counters.forward();
+            upstream.set_next_span(span);
             match upstream.del(key) {
                 Ok(true) => Response::Ok,
                 Ok(false) => Response::NotFound,
@@ -334,5 +397,8 @@ fn serve(request: &Request, shared: &Shared, upstream: &mut Client) -> Response 
             Err(e) => Response::Err(format!("upstream STATS failed: {e}")),
         },
         Request::Shutdown => Response::Ok,
+        // A PING probes the *proxy* — it answers from its own front door,
+        // the way serverd answers inline without a shard dispatch.
+        Request::Ping => Response::Pong,
     }
 }
